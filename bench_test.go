@@ -1,0 +1,220 @@
+// Package repro_test regenerates every table and figure of the paper at
+// a reduced (Quick) scale as Go benchmarks — one benchmark per artifact.
+// The full paper-scale grid is cmd/isibench. Native* benchmarks (real
+// hardware, no simulator) live in internal/native.
+package repro_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/workload"
+)
+
+// quick returns the reduced-scale parameters shared by all benches.
+func quick() exp.Params { return exp.Quick() }
+
+// lastCell parses the numeric cell at (lastRow, col), stripping units.
+func lastCell(b *testing.B, t *exp.Table, col int) float64 {
+	b.Helper()
+	row := t.Rows[len(t.Rows)-1]
+	s := strings.TrimSuffix(strings.TrimSuffix(row[col], "x"), "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		b.Fatalf("cell %q: %v", row[col], err)
+	}
+	return v
+}
+
+// BenchmarkFig1 regenerates Figure 1 (IN query response time, Main).
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := exp.Fig1(quick())
+		b.ReportMetric(lastCell(b, t, 3), "speedup@64MB")
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 (locate runtime share and CPI).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := exp.Table1(quick())
+		b.ReportMetric(lastCell(b, t, 2), "CPI@maxMain")
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2 (pipeline slot breakdown).
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := exp.Table2(quick())
+		// Memory share of Main at the largest size (row 2 = Memory).
+		s := strings.TrimSuffix(t.Rows[2][2], "%")
+		v, _ := strconv.ParseFloat(s, 64)
+		b.ReportMetric(v, "memSlots%")
+	}
+}
+
+// BenchmarkTable5 regenerates Table 5 (code complexity metrics).
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := exp.Table5(quick())
+		if len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFig3Int regenerates Figure 3a (binary search, int arrays).
+func BenchmarkFig3Int(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := exp.Fig3(quick(), false, false)
+		base := lastCell(b, t, 2)
+		coro := lastCell(b, t, 5)
+		b.ReportMetric(base/coro, "coroSpeedup@64MB")
+	}
+}
+
+// BenchmarkFig3Str regenerates Figure 3b (binary search, string arrays).
+func BenchmarkFig3Str(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := exp.Fig3(quick(), true, false)
+		b.ReportMetric(lastCell(b, t, 5), "coroCycles@64MB")
+	}
+}
+
+// BenchmarkFig4Int regenerates Figure 4a (sorted lookup values, ints).
+func BenchmarkFig4Int(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := exp.Fig3(quick(), false, true)
+		b.ReportMetric(lastCell(b, t, 2), "baseCycles@64MB")
+	}
+}
+
+// BenchmarkFig4Str regenerates Figure 4b (sorted lookup values, strings).
+func BenchmarkFig4Str(b *testing.B) {
+	p := quick()
+	p.Sizes = workload.SizesMB(1, 32) // strings are the slowest sweep
+	for i := 0; i < b.N; i++ {
+		t := exp.Fig3(p, true, true)
+		b.ReportMetric(lastCell(b, t, 2), "baseCycles@32MB")
+	}
+}
+
+// BenchmarkFig5 regenerates Figure 5 (TMAM breakdown per variant).
+func BenchmarkFig5(b *testing.B) {
+	p := quick()
+	p.Sizes = workload.SizesMB(4, 64)
+	for i := 0; i < b.N; i++ {
+		t := exp.Fig5(p)
+		if len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates Figure 6 (L1D miss breakdown).
+func BenchmarkFig6(b *testing.B) {
+	p := quick()
+	p.Sizes = workload.SizesMB(4, 64)
+	for i := 0; i < b.N; i++ {
+		t := exp.Fig6(p)
+		if len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates Figure 7 (group-size sweep at 256 MB).
+func BenchmarkFig7(b *testing.B) {
+	p := quick()
+	p.Lookups = 1000
+	for i := 0; i < b.N; i++ {
+		t := exp.Fig7(p)
+		if len(t.Rows) != 12 {
+			b.Fatal("group sweep incomplete")
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates Figure 8 (Main and Delta queries).
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := exp.Fig8(quick())
+		if len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkAblationLFB regenerates the LFB-sensitivity ablation.
+func BenchmarkAblationLFB(b *testing.B) {
+	p := quick()
+	p.Lookups = 1000
+	for i := 0; i < b.N; i++ {
+		exp.AblLFB(p)
+	}
+}
+
+// BenchmarkAblationSwitchCost regenerates the switch-cost ablation.
+func BenchmarkAblationSwitchCost(b *testing.B) {
+	p := quick()
+	p.Lookups = 1000
+	for i := 0; i < b.N; i++ {
+		exp.AblSwitchCost(p)
+	}
+}
+
+// BenchmarkAblationSpeculation regenerates the speculation ablation.
+func BenchmarkAblationSpeculation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.AblSpeculation(quick())
+	}
+}
+
+// BenchmarkAblationHashJoin regenerates the hash-probe ablation.
+func BenchmarkAblationHashJoin(b *testing.B) {
+	p := quick()
+	p.Lookups = 1000
+	for i := 0; i < b.N; i++ {
+		exp.AblHashJoin(p)
+	}
+}
+
+// BenchmarkAblationPageTree regenerates the paged-B+-tree ablation.
+func BenchmarkAblationPageTree(b *testing.B) {
+	p := quick()
+	p.Lookups = 1000
+	for i := 0; i < b.N; i++ {
+		exp.AblPageTree(p)
+	}
+}
+
+// BenchmarkAblationCoroBackends measures the coroutine backends on this
+// machine (wall clock).
+func BenchmarkAblationCoroBackends(b *testing.B) {
+	p := quick()
+	p.Lookups = 1024
+	for i := 0; i < b.N; i++ {
+		exp.AblCoroBackend(p)
+	}
+}
+
+// BenchmarkAblationHWSupport regenerates the conditional-suspension
+// ablation (Section 6 hardware support).
+func BenchmarkAblationHWSupport(b *testing.B) {
+	p := quick()
+	p.Lookups = 1000
+	for i := 0; i < b.N; i++ {
+		exp.AblHWSupport(p)
+	}
+}
+
+// BenchmarkAblationNUMA regenerates the remote-memory ablation.
+func BenchmarkAblationNUMA(b *testing.B) {
+	p := quick()
+	p.Lookups = 1000
+	for i := 0; i < b.N; i++ {
+		exp.AblNUMA(p)
+	}
+}

@@ -1,0 +1,107 @@
+// Command isibench regenerates the paper's tables and figures at full
+// scale (1 MB–2 GB sweeps, 10 K lookups). Each experiment prints a table
+// whose rows are the paper's plotted series; -csv writes
+// machine-readable copies.
+//
+// Usage:
+//
+//	isibench                 # run everything (takes minutes)
+//	isibench -run fig3a,fig7 # run selected experiments
+//	isibench -quick          # reduced grid (the bench_test.go scale)
+//	isibench -full           # lift the Delta size cap to the full sweep
+//	isibench -lookups 50000  # the paper's 50 K predicate-value variant
+//	isibench -csv out/       # also write CSV files
+//	isibench -list           # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		runList = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		quick   = flag.Bool("quick", false, "reduced grid (1–64 MB, 2 K lookups)")
+		full    = flag.Bool("full", false, "lift the Delta sweep cap (needs ~12 GB RAM and patience)")
+		lookups = flag.Int("lookups", 0, "override the number of predicate values / searches")
+		seed    = flag.Uint64("seed", 0, "override the workload seed")
+		csvDir  = flag.String("csv", "", "directory for CSV copies")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		quiet   = flag.Bool("quiet", false, "suppress progress lines")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range exp.All() {
+			fmt.Printf("%-12s %s\n", r.ID, r.Name)
+		}
+		return
+	}
+
+	p := exp.Defaults()
+	if *quick {
+		p = exp.Quick()
+	}
+	if *full {
+		p.Full = true
+	}
+	if *lookups > 0 {
+		p.Lookups = *lookups
+	}
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+	if !*quiet {
+		p.Progress = os.Stderr
+	}
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*runList, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[id] = true
+		}
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "isibench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	ran := 0
+	for _, r := range exp.All() {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		start := time.Now()
+		tables := r.Run(p)
+		for _, t := range tables {
+			t.Fprint(os.Stdout)
+			if *csvDir != "" {
+				f, err := os.Create(filepath.Join(*csvDir, t.ID+".csv"))
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "isibench: %v\n", err)
+					os.Exit(1)
+				}
+				t.CSV(f)
+				f.Close()
+			}
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "[%s done in %v]\n", r.ID, time.Since(start).Round(time.Millisecond))
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "isibench: no experiment matched -run (use -list)")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,14 @@
+// Command isiloc prints the Table 5 code-complexity metrics, computed
+// over this repository's own implementations via the //loc: region
+// markers (see internal/locmetric).
+package main
+
+import (
+	"os"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	exp.Table5(exp.Params{}).Fprint(os.Stdout)
+}

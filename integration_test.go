@@ -1,0 +1,51 @@
+package repro_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/workload"
+)
+
+// TestEveryExperimentRuns drives every registered experiment end to end
+// at a reduced scale: the cross-package integration test for the whole
+// reproduction (simulator → indexes → dictionaries → column store →
+// experiment harness → rendering).
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration grid is slow")
+	}
+	p := exp.Defaults()
+	p.Sizes = workload.SizesMB(1, 32)
+	p.Lookups = 200
+	p.DeltaMax = 4 << 20
+
+	for _, r := range exp.All() {
+		t.Run(r.ID, func(t *testing.T) {
+			tables := r.Run(p)
+			if len(tables) == 0 {
+				t.Fatal("no tables produced")
+			}
+			for _, tab := range tables {
+				if tab.ID == "" || len(tab.Header) == 0 {
+					t.Fatalf("malformed table %+v", tab)
+				}
+				if len(tab.Rows) == 0 {
+					t.Fatalf("table %s has no rows", tab.ID)
+				}
+				for _, row := range tab.Rows {
+					if len(row) != len(tab.Header) {
+						t.Fatalf("table %s: row width %d != header width %d", tab.ID, len(row), len(tab.Header))
+					}
+				}
+				var buf bytes.Buffer
+				tab.Fprint(&buf)
+				tab.CSV(&buf)
+				if buf.Len() == 0 {
+					t.Fatalf("table %s rendered empty", tab.ID)
+				}
+			}
+		})
+	}
+}

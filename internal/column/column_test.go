@@ -1,0 +1,195 @@
+package column
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dict"
+	"repro/internal/memsim"
+)
+
+func newEngine() *memsim.Engine { return memsim.New(memsim.TinyConfig()) }
+
+func TestBitPackedRoundTrip(t *testing.T) {
+	f := func(raw []uint32, maxBits uint8) bool {
+		width := uint(maxBits%31) + 1
+		mask := uint32(1<<width - 1)
+		codes := make([]uint32, len(raw))
+		var maxCode uint32
+		for i, r := range raw {
+			codes[i] = r & mask
+			if codes[i] > maxCode {
+				maxCode = codes[i]
+			}
+		}
+		b := NewBitPacked(codes, maxCode)
+		for i, c := range codes {
+			if b.Get(i) != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitPackedWidths(t *testing.T) {
+	b := NewBitPacked([]uint32{0, 1}, 1)
+	if b.Width() != 1 {
+		t.Fatalf("width = %d", b.Width())
+	}
+	b = NewBitPacked([]uint32{0}, 0)
+	if b.Width() != 1 {
+		t.Fatalf("zero-max width = %d", b.Width())
+	}
+	b = NewBitPacked([]uint32{1 << 20}, 1<<20)
+	if b.Width() != 21 {
+		t.Fatalf("width = %d", b.Width())
+	}
+	if b.Get(0) != 1<<20 {
+		t.Fatal("value corrupted")
+	}
+}
+
+// buildMaterialized builds a Main dictionary of n values (v = 10i) and a
+// column whose codes are a deterministic shuffle of 0..n-1.
+func buildMaterialized(e *memsim.Engine, n int, seed uint64) *Column[uint64] {
+	m := dict.NewMainVirtual(e, n, func(i int) uint64 { return uint64(i) * 10 })
+	codes := make([]uint32, n)
+	for i := range codes {
+		codes[i] = uint32(i)
+	}
+	rng := rand.New(rand.NewPCG(seed, seed+1))
+	rng.Shuffle(n, func(i, j int) { codes[i], codes[j] = codes[j], codes[i] })
+	return NewColumn(e, m, codes)
+}
+
+func TestRunINMatchesBruteForce(t *testing.T) {
+	e := newEngine()
+	n := 2000
+	col := buildMaterialized(e, n, 3)
+	cfg := DefaultQueryConfig()
+	cfg.FixedCycles = 1000
+
+	rng := rand.New(rand.NewPCG(9, 10))
+	values := make([]uint64, 300)
+	for i := range values {
+		values[i] = rng.Uint64N(uint64(n*10 + 50))
+	}
+	// Brute force: a value matches exactly one row iff divisible by 10 and
+	// in range (the column is a permutation of all codes).
+	wantSet := map[uint64]struct{}{}
+	for _, v := range values {
+		if v%10 == 0 && v < uint64(n*10) {
+			wantSet[v] = struct{}{}
+		}
+	}
+	res := col.RunIN(e, cfg, values, false)
+	if res.MatchingRows != len(wantSet) {
+		t.Fatalf("MatchingRows = %d, want %d", res.MatchingRows, len(wantSet))
+	}
+	// Interleaved execution returns identical results.
+	res2 := col.RunIN(e, cfg, values, true)
+	if res2.MatchingRows != res.MatchingRows {
+		t.Fatalf("interleaved rows = %d, want %d", res2.MatchingRows, res.MatchingRows)
+	}
+}
+
+func TestRunINVirtualCountsFoundCodes(t *testing.T) {
+	e := newEngine()
+	n := 4096
+	m := dict.NewMainVirtual(e, n, func(i int) uint64 { return uint64(i) })
+	col := NewVirtualColumn(e, m)
+	cfg := DefaultQueryConfig()
+	values := []uint64{0, 1, 5, 100000, 4095}
+	res := col.RunIN(e, cfg, values, false)
+	if res.MatchingRows != 4 { // 100000 is absent
+		t.Fatalf("MatchingRows = %d, want 4", res.MatchingRows)
+	}
+}
+
+func TestQueryPhaseAccounting(t *testing.T) {
+	e := newEngine()
+	n := 4096
+	m := dict.NewMainVirtual(e, n, func(i int) uint64 { return uint64(i) })
+	col := NewVirtualColumn(e, m)
+	cfg := DefaultQueryConfig()
+	cfg.FixedCycles = 12345
+	values := make([]uint64, 200)
+	for i := range values {
+		values[i] = uint64(i * 3)
+	}
+	res := col.RunIN(e, cfg, values, false)
+	if res.EncodeCycles <= 0 || res.ScanCycles <= 0 || res.BitmapCycles <= 0 {
+		t.Fatalf("phase cycles must be positive: %+v", res)
+	}
+	if res.FixedCycles != 12345 {
+		t.Fatalf("fixed = %d", res.FixedCycles)
+	}
+	if got := res.TotalCycles(); got != res.EncodeCycles+res.BitmapCycles+res.ScanCycles+res.FixedCycles {
+		t.Fatalf("TotalCycles inconsistent: %d", got)
+	}
+	if res.LocateShare() <= 0 || res.LocateShare() >= 1 {
+		t.Fatalf("LocateShare = %v", res.LocateShare())
+	}
+	if res.LocateCPI() <= 0 {
+		t.Fatalf("LocateCPI = %v", res.LocateCPI())
+	}
+	shares := res.LocateSlotShares()
+	var sum float64
+	for _, s := range shares {
+		sum += s
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("slot shares sum = %v", sum)
+	}
+}
+
+func TestInterleavedEncodeFasterBeyondCache(t *testing.T) {
+	// Dictionary much larger than the tiny LLC: the interleaved encode
+	// phase must be faster; everything else is equal (Figure 1's gap).
+	cfgSim := memsim.TinyConfig()
+	n := 1 << 16
+	values := make([]uint64, 500)
+	rng := rand.New(rand.NewPCG(11, 12))
+	for i := range values {
+		values[i] = rng.Uint64N(uint64(n))
+	}
+	run := func(interleaved bool) QueryResult {
+		e := memsim.New(cfgSim)
+		m := dict.NewMainVirtual(e, n, func(i int) uint64 { return uint64(i) })
+		col := NewVirtualColumn(e, m)
+		cfg := DefaultQueryConfig()
+		col.RunIN(e, cfg, values, interleaved) // warm
+		return col.RunIN(e, cfg, values, interleaved)
+	}
+	seq := run(false)
+	inter := run(true)
+	if inter.EncodeCycles >= seq.EncodeCycles {
+		t.Fatalf("interleaved encode %d ≥ sequential %d", inter.EncodeCycles, seq.EncodeCycles)
+	}
+	if inter.ScanCycles != seq.ScanCycles {
+		t.Fatalf("scan cycles must not depend on encode mode: %d vs %d", inter.ScanCycles, seq.ScanCycles)
+	}
+}
+
+func TestDeltaColumnQuery(t *testing.T) {
+	e := newEngine()
+	rng := rand.New(rand.NewPCG(13, 14))
+	vals := make([]uint64, 1500)
+	for i := range vals {
+		vals[i] = uint64(i) * 4
+	}
+	rng.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	d := dict.BulkDelta(e, vals)
+	col := NewVirtualColumn(e, d)
+	cfg := DefaultQueryConfig()
+	values := []uint64{0, 4, 6, 5996, 8000}
+	res := col.RunIN(e, cfg, values, true)
+	if res.MatchingRows != 3 { // 6 and 8000 absent
+		t.Fatalf("MatchingRows = %d, want 3", res.MatchingRows)
+	}
+}

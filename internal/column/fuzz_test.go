@@ -1,0 +1,33 @@
+package column
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzBitPacked exercises arbitrary code sequences and widths through the
+// pack/unpack round trip.
+func FuzzBitPacked(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, uint8(7))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}, uint8(31))
+	f.Add([]byte{}, uint8(1))
+	f.Fuzz(func(t *testing.T, raw []byte, widthSeed uint8) {
+		width := uint(widthSeed%31) + 1
+		mask := uint32(1<<width - 1)
+		codes := make([]uint32, 0, len(raw)/4)
+		var maxCode uint32
+		for i := 0; i+4 <= len(raw); i += 4 {
+			c := binary.LittleEndian.Uint32(raw[i:]) & mask
+			codes = append(codes, c)
+			if c > maxCode {
+				maxCode = c
+			}
+		}
+		b := NewBitPacked(codes, maxCode)
+		for i, c := range codes {
+			if got := b.Get(i); got != c {
+				t.Fatalf("Get(%d) = %d, want %d (width %d)", i, got, c, b.Width())
+			}
+		}
+	})
+}

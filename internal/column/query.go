@@ -1,0 +1,143 @@
+package column
+
+import (
+	"repro/internal/dict"
+	"repro/internal/memsim"
+	"repro/internal/tmam"
+)
+
+// QueryConfig models the parts of query execution that surround the
+// dictionary index join.
+type QueryConfig struct {
+	// Group is the interleaving group size for the encode phase.
+	Group int
+	// ScanCores is the number of cores the engine spreads the code-vector
+	// scan across (HANA parallelizes scans; the paper pins only the
+	// microbenchmarks to one core).
+	ScanCores int
+	// ScanRowInstr is the per-row predicate-evaluation work of the
+	// vectorized scan, in instructions (amortized over SIMD lanes).
+	ScanRowInstr float64
+	// FixedCycles is the size-independent query overhead (parsing,
+	// planning, result shipping) calibrated against Figure 1's flat
+	// region.
+	FixedCycles int64
+}
+
+// DefaultQueryConfig returns the calibration used for Figures 1 and 8.
+func DefaultQueryConfig() QueryConfig {
+	return QueryConfig{
+		Group:        6,
+		ScanCores:    20,
+		ScanRowInstr: 1.0,
+		FixedCycles:  2_600_000, // ≈1 ms at 2.6 GHz
+	}
+}
+
+// QueryResult reports an IN-predicate query execution.
+type QueryResult struct {
+	// MatchingRows is the number of qualifying rows.
+	MatchingRows int
+	// EncodeCycles is the dictionary index-join phase (the paper's locate
+	// hotspot); EncodeStats its isolated engine counters.
+	EncodeCycles int64
+	EncodeStats  memsim.Stats
+	// BitmapCycles covers building the code bitmap from located codes.
+	BitmapCycles int64
+	// ScanCycles is the per-core share of the parallel code-vector scan.
+	ScanCycles int64
+	// FixedCycles is the constant overhead.
+	FixedCycles int64
+}
+
+// TotalCycles returns the modelled response time in cycles.
+func (r QueryResult) TotalCycles() int64 {
+	return r.EncodeCycles + r.BitmapCycles + r.ScanCycles + r.FixedCycles
+}
+
+// Ms returns the modelled response time in milliseconds at 2.6 GHz.
+func (r QueryResult) Ms() float64 { return memsim.Ms(r.TotalCycles()) }
+
+// RunIN executes SELECT ... WHERE col IN (values): encode the predicate
+// values through the dictionary (sequentially or interleaved), build a
+// code bitmap, and scan the code vector. Only the encode phase differs
+// between the two modes.
+func (c *Column[V]) RunIN(e *memsim.Engine, cfg QueryConfig, values []V, interleaved bool) QueryResult {
+	var res QueryResult
+
+	// Phase 1: encode the predicate values (the index join).
+	codes := make([]uint32, len(values))
+	before := e.Stats()
+	start := e.Now()
+	if interleaved {
+		c.Dict.LocateAllInterleaved(e, values, cfg.Group, codes)
+	} else {
+		c.Dict.LocateAll(e, values, codes)
+	}
+	res.EncodeCycles = e.Now() - start
+	res.EncodeStats = e.Stats().Sub(before)
+
+	// Phase 2: build the bitmap of matching codes. The bitmap spans
+	// Dict.Len() bits; each found code touches one word.
+	bitmapBase := e.Alloc(c.Dict.Len()/8 + 8)
+	found := 0
+	start = e.Now()
+	for _, code := range codes {
+		if code == dict.NotFound {
+			continue
+		}
+		found++
+		e.Load(bitmapBase + uint64(code/8))
+		e.Compute(4)
+	}
+	res.BitmapCycles = e.Now() - start
+
+	// Phase 3: scan the code vector, probing the bitmap per row. The scan
+	// is bandwidth-bound streaming spread over ScanCores; charge this
+	// core's share.
+	start = e.Now()
+	share := (c.VectorBytes() + cfg.ScanCores - 1) / cfg.ScanCores
+	e.Stream(c.base, share)
+	e.Compute(int(float64(c.rows) / float64(cfg.ScanCores) * cfg.ScanRowInstr))
+	res.ScanCycles = e.Now() - start
+	res.FixedCycles = cfg.FixedCycles
+	// Keep the fixed overhead inside the engine timeline too, attributed
+	// as generic retiring work, so engine time equals query time.
+	e.Compute(int(cfg.FixedCycles) * e.Config().IPCNum / e.Config().IPCDen)
+
+	// Matching rows: a materialized column is scanned for real; a virtual
+	// column is a permutation of the dictionary, so each found code
+	// matches exactly one row.
+	if c.packed != nil {
+		bitmap := make(map[uint32]struct{}, found)
+		for _, code := range codes {
+			if code != dict.NotFound {
+				bitmap[code] = struct{}{}
+			}
+		}
+		for i := 0; i < c.packed.Len(); i++ {
+			if _, ok := bitmap[c.packed.Get(i)]; ok {
+				res.MatchingRows++
+			}
+		}
+	} else {
+		res.MatchingRows = found
+	}
+	return res
+}
+
+// LocateShare returns the fraction of total query cycles spent in the
+// encode (locate) phase — the paper's Table 1 "Runtime %".
+func (r QueryResult) LocateShare() float64 {
+	return float64(r.EncodeCycles) / float64(r.TotalCycles())
+}
+
+// LocateCPI returns the cycles-per-instruction of the encode phase
+// (Table 1).
+func (r QueryResult) LocateCPI() float64 { return r.EncodeStats.Breakdown.CPI() }
+
+// LocateSlotShares returns the TMAM pipeline-slot breakdown of the encode
+// phase (Table 2).
+func (r QueryResult) LocateSlotShares() [tmam.NumCategories]float64 {
+	return r.EncodeStats.Breakdown.SlotShares()
+}

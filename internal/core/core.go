@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/memsim"
+	"repro/internal/search"
+)
+
+// Technique selects how a bulk lookup executes.
+type Technique int
+
+// The execution techniques of Section 5.1.
+const (
+	// Std is the speculative, branch-based sequential search
+	// (std::lower_bound).
+	Std Technique = iota
+	// Baseline is the branch-free sequential search (conditional move).
+	Baseline
+	// GP is static interleaving by group prefetching.
+	GP
+	// AMAC is dynamic interleaving by asynchronous memory access chaining.
+	AMAC
+	// CORO is dynamic interleaving with coroutines — the paper's proposal.
+	CORO
+	// COROSeq drives the same coroutine without suspension, demonstrating
+	// the unified implementation's sequential mode.
+	COROSeq
+	// SPP is software-pipelined prefetching (Chen et al.) — the static
+	// technique the paper omits; implementable here because the search
+	// pipeline depth is fixed (see search.RunSPP). The group parameter
+	// bounds the pipeline width (0 = classic full depth).
+	SPP
+)
+
+// String returns the paper's name for the technique.
+func (t Technique) String() string {
+	switch t {
+	case Std:
+		return "std"
+	case Baseline:
+		return "Baseline"
+	case GP:
+		return "GP"
+	case AMAC:
+		return "AMAC"
+	case CORO:
+		return "CORO"
+	case COROSeq:
+		return "CORO-seq"
+	case SPP:
+		return "SPP"
+	}
+	return fmt.Sprintf("Technique(%d)", int(t))
+}
+
+// Interleaved reports whether the technique interleaves instruction
+// streams (and therefore uses the group size).
+func (t Technique) Interleaved() bool {
+	return t == GP || t == AMAC || t == CORO || t == SPP
+}
+
+// Techniques lists all techniques in the paper's presentation order.
+func Techniques() []Technique { return []Technique{Std, Baseline, GP, AMAC, CORO} }
+
+// RunSearch executes a bulk binary-search lookup with the chosen
+// technique. out[i] receives the largest index with table[idx] ≤ keys[i]
+// (the shared loop semantics of Listing 2). group is ignored by the
+// sequential techniques.
+func RunSearch[K any](e *memsim.Engine, c search.Costs, t search.Table[K], tech Technique, keys []K, group int, out []int) {
+	switch tech {
+	case Std:
+		search.RunStd(e, c, t, keys, out)
+	case Baseline:
+		search.RunBaseline(e, c, t, keys, out)
+	case GP:
+		search.RunGP(e, c, t, keys, group, out)
+	case AMAC:
+		search.RunAMAC(e, c, t, keys, group, out)
+	case CORO:
+		search.RunCORO(e, c, t, keys, group, out)
+	case COROSeq:
+		search.RunCOROSequential(e, c, t, keys, out)
+	case SPP:
+		search.RunSPP(e, c, t, keys, group, out)
+	default:
+		panic(fmt.Sprintf("core: unknown technique %d", tech))
+	}
+}
+
+// PaperGroups returns the best group sizes the paper determines in
+// Section 5.4.5: 10 for GP (capped by the line-fill buffers), 6 for AMAC
+// and CORO.
+func PaperGroups() map[Technique]int {
+	return map[Technique]int{GP: 10, AMAC: 6, CORO: 6}
+}

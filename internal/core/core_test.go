@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/memsim"
+	"repro/internal/search"
+	"repro/internal/workload"
+)
+
+func TestOptimalGroup(t *testing.T) {
+	cases := []struct {
+		stall, compute, sw float64
+		want               int
+	}{
+		{100, 10, 10, 6},   // 100/20+1
+		{0, 10, 10, 1},     // no stalls: sequential
+		{100, 0, 0, 1},     // degenerate: guard
+		{182, 4, 17.5, 10}, // ceil(182/21.5)=9 +1
+		{90, 45, 0, 3},
+	}
+	for _, c := range cases {
+		if got := OptimalGroup(c.stall, c.compute, c.sw); got != c.want {
+			t.Errorf("OptimalGroup(%v,%v,%v) = %d, want %d", c.stall, c.compute, c.sw, got, c.want)
+		}
+	}
+}
+
+func TestTechniqueStrings(t *testing.T) {
+	names := map[Technique]string{Std: "std", Baseline: "Baseline", GP: "GP", AMAC: "AMAC", CORO: "CORO", COROSeq: "CORO-seq"}
+	for tech, want := range names {
+		if tech.String() != want {
+			t.Errorf("%d.String() = %q", tech, tech.String())
+		}
+	}
+	if !GP.Interleaved() || Baseline.Interleaved() {
+		t.Error("Interleaved() misclassifies")
+	}
+	if len(Techniques()) != 5 {
+		t.Error("Techniques() should list the paper's five variants")
+	}
+}
+
+func TestRunSearchAllTechniquesAgree(t *testing.T) {
+	n := 4096
+	keys := workload.IntKeys(workload.UniformIndices(3, 300, n))
+	costs := search.DefaultCosts()
+	var want []int
+	for _, tech := range []Technique{Std, Baseline, GP, AMAC, CORO, COROSeq} {
+		e := memsim.New(memsim.TinyConfig())
+		tab := search.IntTable{A: memsim.NewVirtualIntArray(e, n, 8, workload.IntValue)}
+		out := make([]int, len(keys))
+		RunSearch[uint64](e, costs, tab, tech, keys, 4, out)
+		if want == nil {
+			want = out
+			continue
+		}
+		for i := range out {
+			if out[i] != want[i] {
+				t.Fatalf("%v disagrees at %d: %d vs %d", tech, i, out[i], want[i])
+			}
+		}
+	}
+}
+
+func TestEstimateRecommendsSensibleGroups(t *testing.T) {
+	// Beyond-LLC working set: the estimator must recommend interleaving
+	// (G > 1) for all techniques, with GP's G at least as large as CORO's
+	// (GP has the smallest switch overhead).
+	n := 1 << 16 // 512 KB vs 8 KB tiny LLC
+	keys := workload.IntKeys(workload.UniformIndices(5, 400, n))
+	costs := search.DefaultCosts()
+	mk := func() (*memsim.Engine, search.Table[uint64]) {
+		e := memsim.New(memsim.TinyConfig())
+		return e, search.IntTable{A: memsim.NewVirtualIntArray(e, n, 8, workload.IntValue)}
+	}
+	est := Estimate(mk, costs, keys)
+	if est.TStall <= 0 || est.TCompute <= 0 {
+		t.Fatalf("degenerate estimate: %+v", est)
+	}
+	for _, tech := range []Technique{GP, AMAC, CORO} {
+		if est.G[tech] < 2 {
+			t.Errorf("G[%v] = %d, want > 1 for a miss-dominated workload", tech, est.G[tech])
+		}
+		if est.TSwitch[tech] < 0 {
+			t.Errorf("TSwitch[%v] = %v", tech, est.TSwitch[tech])
+		}
+	}
+	if est.G[GP] < est.G[CORO] {
+		t.Errorf("G[GP]=%d < G[CORO]=%d: GP's lower switch cost should allow a larger group", est.G[GP], est.G[CORO])
+	}
+	if est.TSwitch[CORO] <= est.TSwitch[GP] {
+		t.Errorf("TSwitch CORO (%v) should exceed GP (%v)", est.TSwitch[CORO], est.TSwitch[GP])
+	}
+}
+
+func TestPaperGroups(t *testing.T) {
+	g := PaperGroups()
+	if g[GP] != 10 || g[AMAC] != 6 || g[CORO] != 6 {
+		t.Fatalf("PaperGroups = %v", g)
+	}
+}

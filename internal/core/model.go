@@ -1,0 +1,82 @@
+// Package core is the public face of the reproduction: the interleaving
+// cost model of the paper's Section 3 (Inequality 1), a profiling-based
+// group-size tuner replicating the Section 5.4.5 methodology, and a bulk
+// lookup facade that selects among the execution techniques.
+package core
+
+import (
+	"math"
+
+	"repro/internal/memsim"
+	"repro/internal/search"
+	"repro/internal/tmam"
+)
+
+// OptimalGroup implements Inequality 1: the minimum group size G for
+// which stalls are eliminated,
+//
+//	G ≥ Tstall / (Tcompute + Tswitch) + 1.
+//
+// Interleaving more instruction streams does not further improve
+// performance and may deteriorate it through cache conflicts.
+func OptimalGroup(tStall, tCompute, tSwitch float64) int {
+	if tCompute+tSwitch <= 0 {
+		return 1
+	}
+	g := int(math.Ceil(tStall/(tCompute+tSwitch))) + 1
+	if g < 1 {
+		return 1
+	}
+	return g
+}
+
+// ModelEstimate holds per-technique model parameters and the group sizes
+// Inequality 1 recommends, all in cycles per lookup.
+type ModelEstimate struct {
+	// TStall and TCompute come from the Baseline profile: memory-stall
+	// cycles map to Tstall and all other cycles to Tcompute (Section
+	// 5.4.5).
+	TStall, TCompute float64
+	// TSwitch is, per technique, the difference in retiring cycles
+	// between the technique at group size 1 and Baseline.
+	TSwitch map[Technique]float64
+	// G is the Inequality 1 estimate per technique.
+	G map[Technique]int
+}
+
+// Estimate profiles Baseline and each interleaving technique at group
+// size 1 over the given keys, then applies Inequality 1 — the exact
+// methodology of Section 5.4.5. The mk callback must return a fresh
+// engine/table pair so each profile starts from identical cold state; a
+// warm-up pass precedes each measurement.
+func Estimate[K any](mk func() (*memsim.Engine, search.Table[K]), costs search.Costs, keys []K) ModelEstimate {
+	profile := func(tech Technique) tmam.Breakdown {
+		e, t := mk()
+		out := make([]int, len(keys))
+		run := func() { RunSearch(e, costs, t, tech, keys, 1, out) }
+		run() // warm caches and TLBs
+		before := e.Stats().Breakdown
+		run()
+		return e.Stats().Breakdown.Sub(before)
+	}
+
+	n := float64(len(keys))
+	base := profile(Baseline)
+	est := ModelEstimate{
+		TStall:   float64(base.Cycles[tmam.Memory]) / n,
+		TCompute: float64(base.TotalCycles()-base.Cycles[tmam.Memory]) / n,
+		TSwitch:  map[Technique]float64{},
+		G:        map[Technique]int{},
+	}
+	baseRetiring := float64(base.Cycles[tmam.Retiring]) / n
+	for _, tech := range []Technique{GP, AMAC, CORO} {
+		bd := profile(tech)
+		sw := float64(bd.Cycles[tmam.Retiring])/n - baseRetiring
+		if sw < 0 {
+			sw = 0
+		}
+		est.TSwitch[tech] = sw
+		est.G[tech] = OptimalGroup(est.TStall, est.TCompute, sw)
+	}
+	return est
+}

@@ -1,0 +1,266 @@
+package coro
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// backends enumerates the body-driven backends under a common constructor.
+var backends = []struct {
+	name string
+	make func(body func(suspend func()) int) Handle[int]
+}{
+	{"pull", func(body func(func()) int) Handle[int] { return NewPull(body) }},
+	{"goro", func(body func(func()) int) Handle[int] { return NewGoro(body) }},
+}
+
+func TestBodyBackendsBasicLifecycle(t *testing.T) {
+	for _, b := range backends {
+		t.Run(b.name, func(t *testing.T) {
+			steps := 0
+			h := b.make(func(suspend func()) int {
+				for i := 0; i < 3; i++ {
+					steps++
+					suspend()
+				}
+				return 42
+			})
+			if h.Done() {
+				t.Fatal("fresh coroutine reports done")
+			}
+			if steps != 0 {
+				t.Fatal("body ran before first Resume")
+			}
+			resumes := 0
+			for !h.Done() {
+				h.Resume()
+				resumes++
+				if resumes > 10 {
+					t.Fatal("coroutine never completed")
+				}
+			}
+			if steps != 3 {
+				t.Fatalf("steps = %d, want 3", steps)
+			}
+			if resumes != 4 { // 3 suspensions + final segment
+				t.Fatalf("resumes = %d, want 4", resumes)
+			}
+			if h.Result() != 42 {
+				t.Fatalf("result = %d", h.Result())
+			}
+			h.Resume() // resuming a done coroutine is a no-op
+			if h.Result() != 42 {
+				t.Fatal("result changed after extra resume")
+			}
+		})
+	}
+}
+
+func TestBodyBackendsNoSuspension(t *testing.T) {
+	for _, b := range backends {
+		t.Run(b.name, func(t *testing.T) {
+			h := b.make(func(func()) int { return 7 })
+			h.Resume()
+			if !h.Done() || h.Result() != 7 {
+				t.Fatalf("done=%v result=%d", h.Done(), h.Result())
+			}
+		})
+	}
+}
+
+func TestBodyBackendsStopMidFlight(t *testing.T) {
+	for _, b := range backends {
+		t.Run(b.name, func(t *testing.T) {
+			cleaned := false
+			h := b.make(func(suspend func()) int {
+				defer func() { cleaned = true }()
+				for {
+					suspend()
+				}
+			})
+			h.Resume()
+			h.Resume()
+			s, ok := h.(Stopper)
+			if !ok {
+				t.Fatal("backend must implement Stopper")
+			}
+			s.Stop()
+			if !h.Done() {
+				t.Fatal("stopped coroutine must report done")
+			}
+			if !cleaned {
+				t.Fatal("deferred cleanup in body did not run on Stop")
+			}
+			s.Stop() // idempotent
+			h.Resume()
+		})
+	}
+}
+
+func TestBodyBackendsStopBeforeStart(t *testing.T) {
+	for _, b := range backends {
+		t.Run(b.name, func(t *testing.T) {
+			ran := false
+			h := b.make(func(suspend func()) int { ran = true; return 0 })
+			h.(Stopper).Stop()
+			if ran {
+				t.Fatal("body ran despite Stop before first Resume")
+			}
+		})
+	}
+}
+
+func TestPullPanicPropagates(t *testing.T) {
+	h := NewPull(func(suspend func()) int {
+		panic("boom")
+	})
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	h.Resume()
+}
+
+func TestFrameLifecycleAndReset(t *testing.T) {
+	state := 0
+	step := func() (int, bool) {
+		state++
+		if state == 3 {
+			return 99, true
+		}
+		return 0, false
+	}
+	f := NewFrame(step)
+	for !f.Done() {
+		f.Resume()
+	}
+	if f.Result() != 99 || state != 3 {
+		t.Fatalf("result=%d state=%d", f.Result(), state)
+	}
+	f.Resume() // no-op
+	if state != 3 {
+		t.Fatal("resume after done advanced the machine")
+	}
+
+	// Recycle the frame for a second run.
+	f.Reset(func() (int, bool) { return 5, true })
+	if f.Done() {
+		t.Fatal("reset frame reports done")
+	}
+	f.Resume()
+	if f.Result() != 5 {
+		t.Fatalf("recycled result = %d", f.Result())
+	}
+}
+
+func TestRunSequentialOrder(t *testing.T) {
+	var order []int
+	RunSequential(5,
+		func(i int) Handle[int] { return NewFrame(func() (int, bool) { return i * i, true }) },
+		func(i, r int) {
+			order = append(order, i)
+			if r != i*i {
+				t.Fatalf("result for %d = %d", i, r)
+			}
+		})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential order violated: %v", order)
+		}
+	}
+}
+
+// suspendingLookup builds a frame that suspends `susp` times then returns
+// i*10.
+func suspendingLookup(i, susp int) Handle[int] {
+	remaining := susp
+	return NewFrame(func() (int, bool) {
+		if remaining > 0 {
+			remaining--
+			return 0, false
+		}
+		return i * 10, true
+	})
+}
+
+func TestRunInterleavedCompletesAll(t *testing.T) {
+	for _, group := range []int{1, 2, 3, 7, 16, 100} {
+		n := 23
+		got := make(map[int]int)
+		RunInterleaved(n, group,
+			func(i int) Handle[int] { return suspendingLookup(i, i%5) },
+			func(i, r int) { got[i] = r })
+		if len(got) != n {
+			t.Fatalf("group %d: delivered %d results, want %d", group, len(got), n)
+		}
+		for i, r := range got {
+			if r != i*10 {
+				t.Fatalf("group %d: result[%d] = %d", group, i, r)
+			}
+		}
+	}
+}
+
+func TestRunInterleavedZeroAndEmpty(t *testing.T) {
+	called := false
+	RunInterleaved(0, 4, func(i int) Handle[int] { called = true; return nil }, func(int, int) { called = true })
+	RunInterleaved(5, 0, func(i int) Handle[int] { called = true; return nil }, func(int, int) { called = true })
+	if called {
+		t.Fatal("no coroutine should start for empty input or zero group")
+	}
+}
+
+func TestRunInterleavedMatchesSequentialProperty(t *testing.T) {
+	f := func(suspCounts []uint8, group uint8) bool {
+		n := len(suspCounts)
+		g := int(group%16) + 1
+		seq := make(map[int]int)
+		RunSequential(n,
+			func(i int) Handle[int] { return suspendingLookup(i, int(suspCounts[i]%7)) },
+			func(i, r int) { seq[i] = r })
+		inter := make(map[int]int)
+		RunInterleaved(n, g,
+			func(i int) Handle[int] { return suspendingLookup(i, int(suspCounts[i]%7)) },
+			func(i, r int) { inter[i] = r })
+		if len(seq) != len(inter) {
+			return false
+		}
+		for k, v := range seq {
+			if inter[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunInterleavedActuallyInterleaves(t *testing.T) {
+	// With group 2 and lookups that suspend once, the resume order must
+	// alternate between streams rather than completing one then the next.
+	var trace []int
+	mk := func(i int) Handle[int] {
+		suspended := false
+		return NewFrame(func() (int, bool) {
+			trace = append(trace, i)
+			if !suspended {
+				suspended = true
+				return 0, false
+			}
+			return i, true
+		})
+	}
+	RunInterleaved(2, 2, mk, func(int, int) {})
+	want := []int{0, 1, 0, 1}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v", trace)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}

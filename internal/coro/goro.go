@@ -1,0 +1,83 @@
+package coro
+
+// Goro is a stackful coroutine: a goroutine synchronized with its resumer
+// over unbuffered channels. Every resume costs two channel operations and
+// two scheduler handoffs — the expensive construct the paper rules out in
+// Section 3 ("OS threads … context switching takes several thousand
+// cycles") and the reason a Go reproduction cannot simply use goroutines
+// for interleaving. It exists to quantify that overhead.
+type Goro[R any] struct {
+	resume chan struct{}
+	// status carries true for "suspended again", false for "completed".
+	status chan bool
+	stopCh chan struct{}
+	// exited is closed when the goroutine has fully unwound (deferred
+	// cleanup in the body included), making Stop synchronous.
+	exited chan struct{}
+	result R
+	done   bool
+}
+
+// NewGoro creates a goroutine-backed coroutine. The body does not start
+// until the first Resume. Abandoned handles must be Stopped or the
+// goroutine leaks.
+func NewGoro[R any](body func(suspend func()) R) *Goro[R] {
+	g := &Goro[R]{
+		resume: make(chan struct{}),
+		status: make(chan bool),
+		stopCh: make(chan struct{}),
+		exited: make(chan struct{}),
+	}
+	go func() {
+		defer close(g.exited)
+		defer func() {
+			if r := recover(); r != nil && r != errStopped { //nolint:errorlint // sentinel identity
+				panic(r)
+			}
+		}()
+		select {
+		case <-g.resume:
+		case <-g.stopCh:
+			return
+		}
+		g.result = body(func() {
+			g.status <- true
+			select {
+			case <-g.resume:
+			case <-g.stopCh:
+				panic(errStopped)
+			}
+		})
+		g.status <- false
+	}()
+	return g
+}
+
+// Resume runs the body until its next suspension or completion.
+func (g *Goro[R]) Resume() {
+	if g.done {
+		return
+	}
+	g.resume <- struct{}{}
+	if alive := <-g.status; !alive {
+		g.done = true
+	}
+}
+
+// Done reports completion.
+func (g *Goro[R]) Done() bool { return g.done }
+
+// Result returns the body's return value once Done is true.
+func (g *Goro[R]) Result() R { return g.result }
+
+// Stop abandons the coroutine and releases its goroutine, returning once
+// the body (including deferred cleanup) has unwound. Must not be called
+// concurrently with Resume; idempotent.
+func (g *Goro[R]) Stop() {
+	if g.done {
+		return
+	}
+	close(g.stopCh)
+	<-g.exited
+	g.done = true
+}

@@ -1,0 +1,62 @@
+package coro
+
+import "iter"
+
+// Pull is a coroutine backed by iter.Pull's runtime coroutines: the body
+// is ordinary straight-line Go that calls suspend() wherever the paper
+// writes co_await. This is the closest Go gets to the paper's programming
+// model — the suspension machinery is invisible in the body — at the cost
+// of a runtime coroutine switch per resume (measured in internal/native).
+type Pull[R any] struct {
+	next       func() (struct{}, bool)
+	stop       func()
+	result     R
+	haveResult bool
+	done       bool
+}
+
+// NewPull creates a coroutine from body. The body does not start executing
+// until the first Resume; each suspend() call inside it returns control to
+// the resumer. The value returned by body becomes Result.
+func NewPull[R any](body func(suspend func()) R) *Pull[R] {
+	p := &Pull[R]{}
+	seq := func(yield func(struct{}) bool) {
+		defer func() {
+			if r := recover(); r != nil && r != errStopped { //nolint:errorlint // sentinel identity
+				panic(r)
+			}
+		}()
+		p.result = body(func() {
+			if !yield(struct{}{}) {
+				// The handle was stopped: unwind the body.
+				panic(errStopped)
+			}
+		})
+		p.haveResult = true
+	}
+	p.next, p.stop = iter.Pull(seq)
+	return p
+}
+
+// Resume runs the body until its next suspension or completion.
+func (p *Pull[R]) Resume() {
+	if p.done {
+		return
+	}
+	if _, ok := p.next(); !ok {
+		p.done = true
+	}
+}
+
+// Done reports completion.
+func (p *Pull[R]) Done() bool { return p.done }
+
+// Result returns the body's return value once Done is true.
+func (p *Pull[R]) Result() R { return p.result }
+
+// Stop abandons the coroutine, releasing its runtime resources. Safe to
+// call whether or not the coroutine completed; idempotent.
+func (p *Pull[R]) Stop() {
+	p.stop()
+	p.done = true
+}

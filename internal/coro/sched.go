@@ -1,0 +1,64 @@
+package coro
+
+// This file implements the two schedulers of the paper's Listing 7. The
+// schedulers are agnostic to the coroutine implementation — "they can be
+// used with any index lookup" — so they take a constructor callback and
+// deliver results through a sink.
+
+// RunSequential performs the lookups one after the other (Listing 7,
+// runSequential): each coroutine is driven to completion before the next
+// starts. Coroutines created for sequential execution typically never
+// suspend, making the loop equivalent to plain function calls.
+func RunSequential[R any](n int, start func(i int) Handle[R], sink func(i int, r R)) {
+	for i := 0; i < n; i++ {
+		h := start(i)
+		for !h.Done() {
+			h.Resume()
+		}
+		sink(i, h.Result())
+	}
+}
+
+// RunInterleaved executes the lookups in groups of `group` concurrent
+// instruction streams (Listing 7, runInterleaved): a buffer of coroutine
+// handles is polled round-robin; unfinished lookups are resumed, finished
+// ones deliver their result and are replaced by the next pending lookup.
+// Results arrive through sink keyed by their input index (completion order
+// is interleaved, not sequential).
+func RunInterleaved[R any](n, group int, start func(i int) Handle[R], sink func(i int, r R)) {
+	if group > n {
+		group = n
+	}
+	if group <= 0 {
+		return
+	}
+	handles := make([]Handle[R], group)
+	owner := make([]int, group)
+	for i := 0; i < group; i++ {
+		handles[i] = start(i)
+		owner[i] = i
+	}
+	next := group
+	notDone := group
+	for notDone > 0 {
+		for s := 0; s < group; s++ {
+			h := handles[s]
+			if h == nil {
+				continue
+			}
+			if !h.Done() {
+				h.Resume()
+				continue
+			}
+			sink(owner[s], h.Result())
+			if next < n {
+				handles[s] = start(next)
+				owner[s] = next
+				next++
+			} else {
+				handles[s] = nil
+				notDone--
+			}
+		}
+	}
+}

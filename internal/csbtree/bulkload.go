@@ -1,0 +1,64 @@
+package csbtree
+
+import "repro/internal/memsim"
+
+// BulkLoad builds a tree bottom-up from keys sorted in strictly increasing
+// order with their values (for CodeLeaves, vals are the dictionary codes
+// and keys[i] must equal dict.At(vals[i])). Construction is host-time
+// work: building the index is not part of any measured region.
+func BulkLoad(e *memsim.Engine, kind Kind, keys, vals []uint32, dict *memsim.IntArray) *Tree {
+	if len(keys) != len(vals) {
+		panic("csbtree: keys and vals length mismatch")
+	}
+	t := New(e, kind, len(keys), dict)
+	if len(keys) == 0 {
+		return t
+	}
+	// Discard the placeholder root leaf New created and pack the leaf
+	// level from scratch.
+	t.numLeaf = 0
+	nLeaves := (len(keys) + maxKeys - 1) / maxKeys
+	t.allocLeaves(nLeaves)
+	mins := make([]uint32, nLeaves)
+	for l := 0; l < nLeaves; l++ {
+		lo := l * maxKeys
+		hi := min(lo+maxKeys, len(keys))
+		for k := lo; k < hi; k++ {
+			t.setLeafEntry(l, k-lo, keys[k], vals[k])
+		}
+		t.setLfNKeys(l, hi-lo)
+		mins[l] = keys[lo]
+	}
+	t.count = len(keys)
+
+	// Build internal levels until one root remains.
+	levelFirst := 0 // index of first node of the current level
+	levelCount := nLeaves
+	t.height = 0
+	for levelCount > 1 {
+		nParents := (levelCount + maxChildren - 1) / maxChildren
+		pFirst := t.allocInner(nParents)
+		pMins := make([]uint32, nParents)
+		for p := 0; p < nParents; p++ {
+			cLo := p * maxChildren
+			cHi := min(cLo+maxChildren, levelCount)
+			node := pFirst + p
+			t.setInChild(node, levelFirst+cLo)
+			t.setInNKeys(node, cHi-cLo-1)
+			for c := cLo + 1; c < cHi; c++ {
+				t.setInKey(node, c-cLo-1, mins[c])
+			}
+			pMins[p] = mins[cLo]
+		}
+		mins = pMins
+		levelFirst = pFirst
+		levelCount = nParents
+		t.height++
+	}
+	if t.height == 0 {
+		t.root = 0 // single leaf
+	} else {
+		t.root = levelFirst
+	}
+	return t
+}

@@ -1,0 +1,123 @@
+package csbtree
+
+import "fmt"
+
+// Check validates the full structural invariants of the tree — strictly
+// increasing keys, tight separators (separator == min of the right
+// child), non-empty leaves — and returns the first violation found. It
+// applies to trees built by BulkLoad and Insert; after lazy deletions use
+// CheckLoose (Delete leaves separators stale and leaves may underflow).
+func (t *Tree) Check() error { return t.check(true) }
+
+// CheckLoose validates the invariants that lazy deletion preserves:
+// ordering within nodes and separator *bounds* (every key of child i is
+// ≥ separator i-1), allowing empty leaves and stale separators.
+func (t *Tree) CheckLoose() error { return t.check(false) }
+
+func (t *Tree) check(strict bool) error {
+	if t.count == 0 {
+		return nil
+	}
+	n, _, _, err := t.checkNode(t.root, t.height, 0, ^uint32(0), true, strict)
+	if err != nil {
+		return err
+	}
+	if n != t.count {
+		return fmt.Errorf("csbtree: reachable keys %d != count %d", n, t.count)
+	}
+	return nil
+}
+
+// checkNode recursively validates the subtree rooted at node (a leaf when
+// lvl == 0) against the key interval [lo, hi]; unbounded ends are flagged
+// by loUnbounded. It returns the number of keys, the minimum key, and the
+// maximum key of the subtree.
+func (t *Tree) checkNode(node, lvl int, lo, hi uint32, loUnbounded, strict bool) (int, uint32, uint32, error) {
+	if lvl == 0 {
+		n := t.lfNKeys(node)
+		if n == 0 {
+			if strict {
+				return 0, 0, 0, fmt.Errorf("csbtree: empty leaf %d", node)
+			}
+			return 0, lo, lo, nil
+		}
+		prev := t.lfKey(node, 0)
+		for k := 1; k < n; k++ {
+			cur := t.lfKey(node, k)
+			if cur <= prev {
+				return 0, 0, 0, fmt.Errorf("csbtree: leaf %d keys not strictly increasing at %d", node, k)
+			}
+			prev = cur
+		}
+		minK, maxK := t.lfKey(node, 0), prev
+		if !loUnbounded && minK < lo {
+			return 0, 0, 0, fmt.Errorf("csbtree: leaf %d min %d below bound %d", node, minK, lo)
+		}
+		if maxK > hi {
+			return 0, 0, 0, fmt.Errorf("csbtree: leaf %d max %d above bound %d", node, maxK, hi)
+		}
+		return n, minK, maxK, nil
+	}
+
+	nKeys := t.inNKeys(node)
+	if nKeys > maxKeys {
+		return 0, 0, 0, fmt.Errorf("csbtree: node %d has %d keys", node, nKeys)
+	}
+	for k := 1; k < nKeys; k++ {
+		if t.inKey(node, k) <= t.inKey(node, k-1) {
+			return 0, 0, 0, fmt.Errorf("csbtree: node %d separators not increasing", node)
+		}
+	}
+	fc := t.inChild(node)
+	total := 0
+	var subMin, subMax uint32
+	for ci := 0; ci <= nKeys; ci++ {
+		cLo, cUnbounded := lo, loUnbounded
+		if ci > 0 {
+			cLo, cUnbounded = t.inKey(node, ci-1), false
+		}
+		cHi := hi
+		if ci < nKeys {
+			cHi = t.inKey(node, ci) - 1
+		}
+		cnt, mn, mx, err := t.checkNode(fc+ci, lvl-1, cLo, cHi, cUnbounded, strict)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		// A separator must equal the minimum key of the child to its
+		// right (how bulk load and splits define separators); lazy
+		// deletion only guarantees the ≥ bound, checked via cLo above.
+		if strict && ci > 0 && mn != t.inKey(node, ci-1) {
+			return 0, 0, 0, fmt.Errorf("csbtree: node %d separator %d != child min %d", node, t.inKey(node, ci-1), mn)
+		}
+		if ci == 0 {
+			subMin = mn
+		}
+		subMax = mx
+		total += cnt
+	}
+	return total, subMin, subMax, nil
+}
+
+// Keys returns all keys in order (host time; for tests).
+func (t *Tree) Keys() []uint32 {
+	var out []uint32
+	if t.count == 0 {
+		return out
+	}
+	var walk func(node, lvl int)
+	walk = func(node, lvl int) {
+		if lvl == 0 {
+			for k := 0; k < t.lfNKeys(node); k++ {
+				out = append(out, t.lfKey(node, k))
+			}
+			return
+		}
+		fc := t.inChild(node)
+		for ci := 0; ci <= t.inNKeys(node); ci++ {
+			walk(fc+ci, lvl-1)
+		}
+	}
+	walk(t.root, t.height)
+	return out
+}

@@ -1,0 +1,257 @@
+// Package csbtree implements the cache-sensitive B+-tree of Rao and Ross
+// (SIGMOD 2000) that SAP HANA's Delta dictionaries use as their value
+// index (paper Sections 2.1, 4, 5.5).
+//
+// Layout follows the original proposal: internal nodes are one cache line
+// (64 B) holding up to 14 keys; all children of a node are stored
+// contiguously as a *node group*, so a node stores a single firstChild
+// reference instead of 15 pointers. Leaves come in two flavours:
+//
+//   - value leaves (128 B): keys plus their associated values — the
+//     generic index of Listing 6;
+//   - code leaves (64 B): dictionary codes only, as in HANA's Delta
+//     (Section 5.5): key comparisons dereference the dictionary array,
+//     adding one more dependent memory access (and, when interleaving,
+//     one more suspension point) per comparison.
+//
+// Lookups come in sequential, GP, AMAC, and CORO forms, mirroring
+// internal/search. Inserts implement the full CSB+ algorithm: splitting a
+// node reallocates its node group so siblings stay contiguous.
+package csbtree
+
+import (
+	"fmt"
+
+	"repro/internal/memsim"
+)
+
+// Node geometry (Rao & Ross: one 64-byte line per internal node).
+const (
+	innerSize   = 64
+	leafSize    = 128 // value leaves: keys[14] + vals[14] + header
+	codeLeaf    = 64  // code leaves: codes[14] + header
+	maxKeys     = 14
+	maxChildren = maxKeys + 1
+)
+
+// Internal node layout: nKeys u16 | pad u16 | firstChild u32 | keys [14]u32.
+const (
+	inNKeysOff = 0
+	inChildOff = 4
+	inKeysOff  = 8
+)
+
+// Value leaf layout: nKeys u16 | pad[6] | keys [14]u32 | vals [14]u32.
+const (
+	lfNKeysOff = 0
+	lfKeysOff  = 8
+	lfValsOff  = lfKeysOff + 4*maxKeys
+)
+
+// Code leaf layout: nKeys u16 | pad[6] | codes [14]u32.
+const clCodesOff = 8
+
+// Kind selects the leaf representation.
+type Kind int
+
+// Leaf kinds.
+const (
+	// ValueLeaves store (key, value) pairs inline.
+	ValueLeaves Kind = iota
+	// CodeLeaves store dictionary codes; the key of a code is
+	// dict.At(code). Lookup comparisons must load the dictionary entry.
+	CodeLeaves
+)
+
+// Costs holds the instruction charges of tree traversal, mirroring
+// search.Costs for the flat binary search.
+type Costs struct {
+	// Init is the per-lookup setup; Descend the child-index arithmetic per
+	// level; NodeSearch the branch-free binary search within one node
+	// (log2(14) ≈ 4 iterations, no cache misses after the node prefetch);
+	// Store the result store.
+	Init, Descend, NodeSearch, Store int
+	// DictCmp is the per-comparison work in a code leaf beyond the load of
+	// the dictionary entry.
+	DictCmp int
+	// Switch overheads per technique, as in internal/search.
+	GPStage, AMACSwitch, COROSuspend, COROResume int
+}
+
+// DefaultCosts returns charges consistent with search.DefaultCosts: a
+// within-node search costs about four flat-search iterations.
+func DefaultCosts() Costs {
+	return Costs{
+		Init:        4,
+		Descend:     4,
+		NodeSearch:  32,
+		Store:       2,
+		DictCmp:     8,
+		GPStage:     6,
+		AMACSwitch:  11,
+		COROSuspend: 17,
+		COROResume:  18,
+	}
+}
+
+// Tree is a CSB+-tree over uint32 keys and values, arena-backed so every
+// node access is charged through the simulated memory hierarchy.
+type Tree struct {
+	kind   Kind
+	inner  *memsim.Arena
+	leaves *memsim.Arena
+	// dict maps code → key value for CodeLeaves.
+	dict *memsim.IntArray
+
+	// root is an index into inner (or into leaves when height == 0).
+	root     int
+	height   int // number of internal levels above the leaf level
+	numInner int // bump allocator for internal nodes
+	numLeaf  int // bump allocator for leaves
+	count    int
+
+	// Free-lists of recycled node groups, indexed by group size. Splits
+	// reallocate whole groups (CSB+ keeps siblings contiguous), so the
+	// old group is recycled for a later allocation of the same size.
+	leafFree  [maxChildren + 2][]int
+	innerFree [maxChildren + 2][]int
+}
+
+// leafBytes returns the byte size of one leaf for the tree's kind.
+func (t *Tree) leafBytes() int {
+	if t.kind == CodeLeaves {
+		return codeLeaf
+	}
+	return leafSize
+}
+
+// New creates an empty tree sized for about capacity keys. For CodeLeaves,
+// dict must map code → key and outlive the tree.
+func New(e *memsim.Engine, kind Kind, capacity int, dict *memsim.IntArray) *Tree {
+	if kind == CodeLeaves && dict == nil {
+		panic("csbtree: CodeLeaves requires a dictionary array")
+	}
+	if capacity < maxKeys {
+		capacity = maxKeys
+	}
+	t := &Tree{kind: kind, dict: dict}
+	nLeaves := capacity/maxKeys + 2
+	// Group reallocation churns address space even with the free-lists
+	// (group sizes grow before they recycle), so reserve well beyond the
+	// tight bound; simulated address space is free and the host buffer
+	// only grows to the high-water mark actually written.
+	leafBytes := leafSize
+	if kind == CodeLeaves {
+		leafBytes = codeLeaf
+	}
+	t.leaves = memsim.NewArenaReserve(e, 4096, 16*nLeaves*leafBytes+(64<<10))
+	t.inner = memsim.NewArenaReserve(e, 4096, 16*(nLeaves/maxChildren+2)*innerSize+(64<<10))
+	// Start with a single empty leaf as the root.
+	t.root = t.allocLeaves(1)
+	t.height = 0
+	return t
+}
+
+// Len returns the number of keys.
+func (t *Tree) Len() int { return t.count }
+
+// Height returns the number of internal levels above the leaves.
+func (t *Tree) Height() int { return t.height }
+
+// --- node accessors (host time; simulated charges are the caller's job) ---
+
+func (t *Tree) allocLeaves(n int) int {
+	if n < len(t.leafFree) {
+		if fl := t.leafFree[n]; len(fl) > 0 {
+			idx := fl[len(fl)-1]
+			t.leafFree[n] = fl[:len(fl)-1]
+			return idx
+		}
+	}
+	idx := t.numLeaf
+	t.numLeaf += n
+	// Touch the last byte so the arena's host buffer covers the group.
+	t.leaves.PutU16((t.numLeaf-1)*t.leafBytes()+lfNKeysOff, 0)
+	return idx
+}
+
+func (t *Tree) freeLeaves(first, n int) {
+	if n > 0 && n < len(t.leafFree) {
+		t.leafFree[n] = append(t.leafFree[n], first)
+	}
+}
+
+func (t *Tree) allocInner(n int) int {
+	if n < len(t.innerFree) {
+		if fl := t.innerFree[n]; len(fl) > 0 {
+			idx := fl[len(fl)-1]
+			t.innerFree[n] = fl[:len(fl)-1]
+			return idx
+		}
+	}
+	idx := t.numInner
+	t.numInner += n
+	t.inner.PutU16((t.numInner-1)*innerSize+inNKeysOff, 0)
+	return idx
+}
+
+func (t *Tree) freeInner(first, n int) {
+	if n > 0 && n < len(t.innerFree) {
+		t.innerFree[n] = append(t.innerFree[n], first)
+	}
+}
+
+func (t *Tree) leafOff(i int) int      { return i * t.leafBytes() }
+func (t *Tree) leafAddr(i int) uint64  { return t.leaves.Addr(t.leafOff(i)) }
+func (t *Tree) innerOff(i int) int     { return i * innerSize }
+func (t *Tree) innerAddr(i int) uint64 { return t.inner.Addr(t.innerOff(i)) }
+
+func (t *Tree) inNKeys(i int) int     { return int(t.inner.U16(t.innerOff(i) + inNKeysOff)) }
+func (t *Tree) setInNKeys(i, n int)   { t.inner.PutU16(t.innerOff(i)+inNKeysOff, uint16(n)) }
+func (t *Tree) inChild(i int) int     { return int(t.inner.U32(t.innerOff(i) + inChildOff)) }
+func (t *Tree) setInChild(i, c int)   { t.inner.PutU32(t.innerOff(i)+inChildOff, uint32(c)) }
+func (t *Tree) inKey(i, k int) uint32 { return t.inner.U32(t.innerOff(i) + inKeysOff + 4*k) }
+func (t *Tree) setInKey(i, k int, v uint32) {
+	t.inner.PutU32(t.innerOff(i)+inKeysOff+4*k, v)
+}
+
+func (t *Tree) lfNKeys(i int) int   { return int(t.leaves.U16(t.leafOff(i) + lfNKeysOff)) }
+func (t *Tree) setLfNKeys(i, n int) { t.leaves.PutU16(t.leafOff(i)+lfNKeysOff, uint16(n)) }
+
+// lfKey returns the k-th key of leaf i; for code leaves this reads the
+// dictionary (host time).
+func (t *Tree) lfKey(i, k int) uint32 {
+	if t.kind == CodeLeaves {
+		return uint32(t.dict.At(int(t.lfCode(i, k))))
+	}
+	return t.leaves.U32(t.leafOff(i) + lfKeysOff + 4*k)
+}
+
+func (t *Tree) lfVal(i, k int) uint32 {
+	if t.kind == CodeLeaves {
+		return t.lfCode(i, k)
+	}
+	return t.leaves.U32(t.leafOff(i) + lfValsOff + 4*k)
+}
+
+func (t *Tree) lfCode(i, k int) uint32 {
+	return t.leaves.U32(t.leafOff(i) + clCodesOff + 4*k)
+}
+
+func (t *Tree) setLeafEntry(i, k int, key, val uint32) {
+	if t.kind == CodeLeaves {
+		t.leaves.PutU32(t.leafOff(i)+clCodesOff+4*k, val)
+		return
+	}
+	t.leaves.PutU32(t.leafOff(i)+lfKeysOff+4*k, key)
+	t.leaves.PutU32(t.leafOff(i)+lfValsOff+4*k, val)
+}
+
+// minKeyLeaf returns the smallest key in leaf i.
+func (t *Tree) minKeyLeaf(i int) uint32 { return t.lfKey(i, 0) }
+
+// String summarizes the tree for diagnostics.
+func (t *Tree) String() string {
+	return fmt.Sprintf("csbtree{kind=%d count=%d height=%d leaves=%d inner=%d}",
+		t.kind, t.count, t.height, t.numLeaf, t.numInner)
+}

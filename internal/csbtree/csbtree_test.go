@@ -1,0 +1,374 @@
+package csbtree
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/memsim"
+)
+
+func newEngine() *memsim.Engine {
+	return memsim.New(memsim.TinyConfig())
+}
+
+// buildValueTree bulk-loads a ValueLeaves tree mapping key → key*2.
+func buildValueTree(e *memsim.Engine, keys []uint32) *Tree {
+	vals := make([]uint32, len(keys))
+	for i, k := range keys {
+		vals[i] = k * 2
+	}
+	return BulkLoad(e, ValueLeaves, keys, vals, nil)
+}
+
+// seqKeys returns 0, step, 2*step, ...
+func seqKeys(n int, step uint32) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = uint32(i) * step
+	}
+	return out
+}
+
+func TestBulkLoadAndLookup(t *testing.T) {
+	for _, n := range []int{1, 2, 13, 14, 15, 100, 1000, 5000} {
+		e := newEngine()
+		keys := seqKeys(n, 3)
+		tr := buildValueTree(e, keys)
+		if err := tr.Check(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if tr.Len() != n {
+			t.Fatalf("n=%d: Len=%d", n, tr.Len())
+		}
+		c := DefaultCosts()
+		for _, k := range keys {
+			v, ok := tr.Lookup(e, c, k)
+			if !ok || v != k*2 {
+				t.Fatalf("n=%d: Lookup(%d) = (%d,%v)", n, k, v, ok)
+			}
+		}
+		// Absent keys: between, below, above.
+		for _, k := range []uint32{1, 2, uint32(n)*3 + 1} {
+			if k%3 == 0 && int(k/3) < n {
+				continue
+			}
+			if _, ok := tr.Lookup(e, c, k); ok {
+				t.Fatalf("n=%d: found absent key %d", n, k)
+			}
+		}
+	}
+}
+
+func TestBulkLoadHeightGrows(t *testing.T) {
+	e := newEngine()
+	if h := buildValueTree(e, seqKeys(10, 1)).Height(); h != 0 {
+		t.Fatalf("10 keys: height %d", h)
+	}
+	if h := buildValueTree(e, seqKeys(100, 1)).Height(); h != 1 {
+		t.Fatalf("100 keys: height %d", h)
+	}
+	if h := buildValueTree(e, seqKeys(5000, 1)).Height(); h < 2 {
+		t.Fatalf("5000 keys: height %d", h)
+	}
+}
+
+func TestInsertSequentialAndLookup(t *testing.T) {
+	e := newEngine()
+	tr := New(e, ValueLeaves, 4096, nil)
+	c := DefaultCosts()
+	n := uint32(3000)
+	for k := uint32(0); k < n; k++ {
+		if !tr.Insert(k, k+7) {
+			t.Fatalf("Insert(%d) rejected", k)
+		}
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint32(0); k < n; k++ {
+		v, ok := tr.Lookup(e, c, k)
+		if !ok || v != k+7 {
+			t.Fatalf("Lookup(%d) = (%d,%v)", k, v, ok)
+		}
+	}
+}
+
+func TestInsertRandomOrderMatchesReference(t *testing.T) {
+	e := newEngine()
+	tr := New(e, ValueLeaves, 8192, nil)
+	rng := rand.New(rand.NewPCG(5, 6))
+	ref := map[uint32]uint32{}
+	for i := 0; i < 5000; i++ {
+		k := uint32(rng.Uint64N(20000))
+		_, exists := ref[k]
+		ok := tr.Insert(k, k^0xabcd)
+		if ok == exists {
+			t.Fatalf("Insert(%d): ok=%v but exists=%v", k, ok, exists)
+		}
+		ref[k] = k ^ 0xabcd
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len=%d, want %d", tr.Len(), len(ref))
+	}
+	c := DefaultCosts()
+	for k, want := range ref {
+		v, ok := tr.Lookup(e, c, k)
+		if !ok || v != want {
+			t.Fatalf("Lookup(%d) = (%d,%v), want %d", k, v, ok, want)
+		}
+	}
+	// Keys come back sorted.
+	keys := tr.Keys()
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatal("Keys() not sorted")
+	}
+}
+
+func TestInsertDuplicateRejected(t *testing.T) {
+	e := newEngine()
+	tr := New(e, ValueLeaves, 64, nil)
+	if !tr.Insert(5, 1) || tr.Insert(5, 2) {
+		t.Fatal("duplicate handling broken")
+	}
+	c := DefaultCosts()
+	if v, _ := tr.Lookup(e, c, 5); v != 1 {
+		t.Fatal("duplicate insert overwrote value")
+	}
+}
+
+func TestInsertIntoBulkLoadedTree(t *testing.T) {
+	e := newEngine()
+	keys := seqKeys(1000, 2) // evens
+	tr := buildValueTree(e, keys)
+	for k := uint32(1); k < 2000; k += 2 { // odds
+		if !tr.Insert(k, k) {
+			t.Fatalf("Insert(%d) rejected", k)
+		}
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestInsertPropertyAgainstMap(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := newEngine()
+		tr := New(e, ValueLeaves, len(raw)+16, nil)
+		ref := map[uint32]bool{}
+		for _, r := range raw {
+			k := uint32(r)
+			got := tr.Insert(k, k)
+			want := !ref[k]
+			if got != want {
+				return false
+			}
+			ref[k] = true
+		}
+		if tr.Check() != nil {
+			return false
+		}
+		c := DefaultCosts()
+		for k := range ref {
+			if _, ok := tr.Lookup(e, c, k); !ok {
+				return false
+			}
+		}
+		return tr.Len() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// buildCodeTree creates a Delta-style arrangement: an unsorted value array
+// indexed by a CodeLeaves tree (code = position in the array).
+func buildCodeTree(e *memsim.Engine, values []uint32) (*Tree, *memsim.IntArray) {
+	data := make([]uint64, len(values))
+	for i, v := range values {
+		data[i] = uint64(v)
+	}
+	dict := memsim.NewBackedIntArray(e, data, 4)
+	type kv struct{ key, code uint32 }
+	pairs := make([]kv, len(values))
+	for i, v := range values {
+		pairs[i] = kv{v, uint32(i)}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].key < pairs[j].key })
+	keys := make([]uint32, len(pairs))
+	codes := make([]uint32, len(pairs))
+	for i, p := range pairs {
+		keys[i] = p.key
+		codes[i] = p.code
+	}
+	return BulkLoad(e, CodeLeaves, keys, codes, dict), dict
+}
+
+func shuffledValues(n int, seed uint64) []uint32 {
+	rng := rand.New(rand.NewPCG(seed, seed+1))
+	vals := make([]uint32, n)
+	for i := range vals {
+		vals[i] = uint32(i) * 5
+	}
+	rng.Shuffle(n, func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	return vals
+}
+
+func TestCodeLeavesLookup(t *testing.T) {
+	e := newEngine()
+	values := shuffledValues(2000, 9)
+	tr, _ := buildCodeTree(e, values)
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	c := DefaultCosts()
+	for code, v := range values {
+		got, ok := tr.Lookup(e, c, v)
+		if !ok || got != uint32(code) {
+			t.Fatalf("Lookup(%d) = (%d,%v), want code %d", v, got, ok, code)
+		}
+	}
+	if _, ok := tr.Lookup(e, c, 3); ok { // 3 is not a multiple of 5
+		t.Fatal("found absent value")
+	}
+}
+
+func TestInterleavedVariantsMatchSequential(t *testing.T) {
+	e := newEngine()
+	keys := seqKeys(3000, 3)
+	tr := buildValueTree(e, keys)
+	c := DefaultCosts()
+
+	probes := make([]uint32, 0, 600)
+	rng := rand.New(rand.NewPCG(7, 8))
+	for i := 0; i < 600; i++ {
+		probes = append(probes, uint32(rng.Uint64N(3000*3+10)))
+	}
+	want := make([]Result, len(probes))
+	tr.RunSequential(e, c, probes, want)
+
+	for _, group := range []int{1, 2, 6, 17} {
+		gotGP := make([]Result, len(probes))
+		tr.RunGP(e, c, probes, group, gotGP)
+		gotAMAC := make([]Result, len(probes))
+		tr.RunAMAC(e, c, probes, group, gotAMAC)
+		gotCORO := make([]Result, len(probes))
+		tr.RunCORO(e, c, probes, group, gotCORO)
+		for i := range probes {
+			if gotGP[i] != want[i] {
+				t.Fatalf("group %d: GP[%d] = %+v, want %+v", group, i, gotGP[i], want[i])
+			}
+			if gotAMAC[i] != want[i] {
+				t.Fatalf("group %d: AMAC[%d] = %+v, want %+v", group, i, gotAMAC[i], want[i])
+			}
+			if gotCORO[i] != want[i] {
+				t.Fatalf("group %d: CORO[%d] = %+v, want %+v", group, i, gotCORO[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCodeLeavesInterleavedVariants(t *testing.T) {
+	e := newEngine()
+	values := shuffledValues(3000, 13)
+	tr, _ := buildCodeTree(e, values)
+	c := DefaultCosts()
+
+	rng := rand.New(rand.NewPCG(17, 18))
+	probes := make([]uint32, 0, 500)
+	for i := 0; i < 500; i++ {
+		probes = append(probes, uint32(rng.Uint64N(3000*5+10)))
+	}
+	want := make([]Result, len(probes))
+	tr.RunSequential(e, c, probes, want)
+
+	gotAMAC := make([]Result, len(probes))
+	tr.RunAMAC(e, c, probes, 6, gotAMAC)
+	gotCORO := make([]Result, len(probes))
+	tr.RunCORO(e, c, probes, 6, gotCORO)
+	for i := range probes {
+		if gotAMAC[i] != want[i] {
+			t.Fatalf("AMAC[%d] = %+v, want %+v", i, gotAMAC[i], want[i])
+		}
+		if gotCORO[i] != want[i] {
+			t.Fatalf("CORO[%d] = %+v, want %+v", i, gotCORO[i], want[i])
+		}
+	}
+}
+
+func TestGPRejectsCodeLeaves(t *testing.T) {
+	e := newEngine()
+	tr, _ := buildCodeTree(e, shuffledValues(100, 3))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.RunGP(e, DefaultCosts(), []uint32{1}, 4, make([]Result, 1))
+}
+
+func TestEmptyTreeLookups(t *testing.T) {
+	e := newEngine()
+	tr := New(e, ValueLeaves, 16, nil)
+	c := DefaultCosts()
+	if _, ok := tr.Lookup(e, c, 1); ok {
+		t.Fatal("found key in empty tree")
+	}
+	out := make([]Result, 2)
+	tr.RunGP(e, c, []uint32{1, 2}, 4, out)
+	tr.RunAMAC(e, c, []uint32{1, 2}, 4, out)
+	tr.RunCORO(e, c, []uint32{1, 2}, 4, out)
+	for _, r := range out {
+		if r.Found {
+			t.Fatal("empty tree returned a result")
+		}
+	}
+}
+
+func TestInterleavingReducesTreeCycles(t *testing.T) {
+	// Tree larger than the tiny LLC: CORO interleaving must reduce total
+	// cycles vs sequential (the Delta curves of Figure 8).
+	cfg := memsim.TinyConfig()
+	n := 20000
+	keys := seqKeys(n, 1)
+	probesRNG := rand.New(rand.NewPCG(21, 22))
+	probes := make([]uint32, 2000)
+	for i := range probes {
+		probes[i] = uint32(probesRNG.Uint64N(uint64(n)))
+	}
+	c := DefaultCosts()
+
+	cycles := func(run func(e *memsim.Engine, tr *Tree, out []Result)) int64 {
+		e := memsim.New(cfg)
+		tr := buildValueTree(e, keys)
+		out := make([]Result, len(probes))
+		run(e, tr, out) // warm
+		start := e.Now()
+		run(e, tr, out)
+		return e.Now() - start
+	}
+	seq := cycles(func(e *memsim.Engine, tr *Tree, out []Result) { tr.RunSequential(e, c, probes, out) })
+	co := cycles(func(e *memsim.Engine, tr *Tree, out []Result) { tr.RunCORO(e, c, probes, 6, out) })
+	if co >= seq {
+		t.Fatalf("CORO %d ≥ sequential %d cycles", co, seq)
+	}
+}
+
+func TestLookupChargesMemory(t *testing.T) {
+	e := newEngine()
+	tr := buildValueTree(e, seqKeys(5000, 1))
+	c := DefaultCosts()
+	before := e.Stats()
+	tr.Lookup(e, c, 4000)
+	st := e.Stats().Sub(before)
+	if st.TotalLoads() < int64(tr.Height()) {
+		t.Fatalf("loads = %d, want ≥ height %d", st.TotalLoads(), tr.Height())
+	}
+}

@@ -1,0 +1,46 @@
+package csbtree
+
+import (
+	"testing"
+
+	"repro/internal/memsim"
+)
+
+// FuzzInsertLookup drives random insert sequences through the CSB+-tree,
+// checking the structural invariants and a reference map after every
+// batch.
+func FuzzInsertLookup(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5})
+	f.Add([]byte{5, 4, 3, 2, 1, 1, 2, 3})
+	f.Add([]byte{0})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 2048 {
+			raw = raw[:2048]
+		}
+		e := memsim.New(memsim.TinyConfig())
+		tr := New(e, ValueLeaves, len(raw)+16, nil)
+		ref := map[uint32]uint32{}
+		for i, b := range raw {
+			// Two bytes of key space stretched over the byte stream.
+			key := uint32(b)<<3 | uint32(i%8)
+			val := uint32(i)
+			_, exists := ref[key]
+			if got := tr.Insert(key, val); got == exists {
+				t.Fatalf("Insert(%d) returned %v, exists=%v", key, got, exists)
+			}
+			if !exists {
+				ref[key] = val
+			}
+		}
+		if err := tr.Check(); err != nil {
+			t.Fatalf("invariants: %v", err)
+		}
+		c := DefaultCosts()
+		for k, want := range ref {
+			v, ok := tr.Lookup(e, c, k)
+			if !ok || v != want {
+				t.Fatalf("Lookup(%d) = (%d,%v), want %d", k, v, ok, want)
+			}
+		}
+	})
+}

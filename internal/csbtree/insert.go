@@ -1,0 +1,183 @@
+package csbtree
+
+// Insert adds key → val to the tree (host time: index maintenance is not
+// a measured region). It returns false if the key already exists. For
+// CodeLeaves, val is the dictionary code and key must equal
+// dict.At(val).
+//
+// Splits follow the full CSB+ algorithm of Rao & Ross: children of a node
+// form one contiguous group, so splitting a child reallocates the whole
+// group (copying the sibling nodes) and updates the parent's single
+// firstChild reference. Old groups are leaked into the arena — acceptable
+// for an index whose reservation is sized for it, and loud (a panic) when
+// exceeded.
+// pathEntry records one descent step: the internal node visited and the
+// child index taken.
+type pathEntry struct{ node, childIdx int }
+
+func (t *Tree) Insert(key, val uint32) bool {
+	// Locate the leaf, recording the descent path.
+	path := make([]pathEntry, 0, t.height)
+	node := t.root
+	for lvl := t.height; lvl > 0; lvl-- {
+		idx := t.searchInner(node, key)
+		path = append(path, pathEntry{node, idx})
+		node = t.inChild(node) + idx
+	}
+	leaf := node
+	n := t.lfNKeys(leaf)
+	pos := t.searchLeafPos(leaf, key)
+	if pos < n && t.lfKey(leaf, pos) == key {
+		return false
+	}
+
+	if n < maxKeys {
+		// Shift entries right and insert in place.
+		for k := n; k > pos; k-- {
+			t.copyLeafEntry(leaf, k-1, leaf, k)
+		}
+		t.setLeafEntry(leaf, pos, key, val)
+		t.setLfNKeys(leaf, n+1)
+		t.count++
+		return true
+	}
+
+	// Leaf split: gather the 15 entries in order.
+	type kv struct{ k, v uint32 }
+	entries := make([]kv, 0, maxKeys+1)
+	for k := 0; k < pos; k++ {
+		entries = append(entries, kv{t.lfKey(leaf, k), t.lfVal(leaf, k)})
+	}
+	entries = append(entries, kv{key, val})
+	for k := pos; k < n; k++ {
+		entries = append(entries, kv{t.lfKey(leaf, k), t.lfVal(leaf, k)})
+	}
+	lN := (len(entries) + 1) / 2
+	writeLeaf := func(idx int, es []kv) {
+		for k, e := range es {
+			t.setLeafEntry(idx, k, e.k, e.v)
+		}
+		t.setLfNKeys(idx, len(es))
+	}
+	sep := entries[lN].k // min key of the right leaf
+
+	if t.height == 0 {
+		// The root leaf splits: a fresh group of two leaves under a new
+		// root node.
+		fc := t.allocLeaves(2)
+		writeLeaf(fc, entries[:lN])
+		writeLeaf(fc+1, entries[lN:])
+		r := t.allocInner(1)
+		t.setInChild(r, fc)
+		t.setInNKeys(r, 1)
+		t.setInKey(r, 0, sep)
+		t.freeLeaves(t.root, 1)
+		t.root = r
+		t.height = 1
+		t.count++
+		return true
+	}
+
+	// Reallocate the parent's leaf group with one extra slot.
+	parent := path[len(path)-1]
+	fc := t.inChild(parent.node)
+	children := t.inNKeys(parent.node) + 1
+	j := parent.childIdx
+	newFc := t.allocLeaves(children + 1)
+	for i := 0; i < j; i++ {
+		t.leaves.Copy(t.leafOff(newFc+i), t.leafOff(fc+i), t.leafBytes())
+	}
+	writeLeaf(newFc+j, entries[:lN])
+	writeLeaf(newFc+j+1, entries[lN:])
+	for i := j + 1; i < children; i++ {
+		t.leaves.Copy(t.leafOff(newFc+i+1), t.leafOff(fc+i), t.leafBytes())
+	}
+	t.setInChild(parent.node, newFc)
+	t.freeLeaves(fc, children)
+
+	// Insert the separator into the parent, splitting upward as needed.
+	t.insertSeparator(path, sep, j)
+	t.count++
+	return true
+}
+
+// copyLeafEntry copies entry from[src] to to[dst] preserving the raw
+// representation (codes for code leaves).
+func (t *Tree) copyLeafEntry(fromLeaf, src, toLeaf, dst int) {
+	if t.kind == CodeLeaves {
+		t.leaves.PutU32(t.leafOff(toLeaf)+clCodesOff+4*dst, t.lfCode(fromLeaf, src))
+		return
+	}
+	off := t.leafOff(toLeaf)
+	t.leaves.PutU32(off+lfKeysOff+4*dst, t.leaves.U32(t.leafOff(fromLeaf)+lfKeysOff+4*src))
+	t.leaves.PutU32(off+lfValsOff+4*dst, t.leaves.U32(t.leafOff(fromLeaf)+lfValsOff+4*src))
+}
+
+// insertSeparator inserts sep at key position j of the last node on path,
+// splitting internal nodes (and growing the tree) as necessary.
+func (t *Tree) insertSeparator(path []pathEntry, sep uint32, j int) {
+	node := path[len(path)-1].node
+	n := t.inNKeys(node)
+	keys := make([]uint32, 0, maxKeys+1)
+	for k := 0; k < n; k++ {
+		keys = append(keys, t.inKey(node, k))
+	}
+	keys = append(keys[:j], append([]uint32{sep}, keys[j:]...)...)
+	if len(keys) <= maxKeys {
+		for k, v := range keys {
+			t.setInKey(node, k, v)
+		}
+		t.setInNKeys(node, len(keys))
+		return
+	}
+
+	// Split the internal node: 15 keys → 7 | promote keys[7] | 7, with the
+	// 16 children divided 8/8. The children stay in place — both halves
+	// index into the same (already reallocated) child group.
+	const lK = maxKeys / 2 // 7
+	promoted := keys[lK]
+	fc := t.inChild(node)
+
+	writeInner := func(idx, firstChild int, ks []uint32) {
+		t.setInChild(idx, firstChild)
+		t.setInNKeys(idx, len(ks))
+		for k, v := range ks {
+			t.setInKey(idx, k, v)
+		}
+	}
+
+	if len(path) == 1 {
+		// Root split: the two halves must be adjacent (they form the new
+		// root's child group), so write them into a fresh pair.
+		pair := t.allocInner(2)
+		writeInner(pair, fc, keys[:lK])
+		writeInner(pair+1, fc+lK+1, keys[lK+1:])
+		r := t.allocInner(1)
+		t.setInChild(r, pair)
+		t.setInNKeys(r, 1)
+		t.setInKey(r, 0, promoted)
+		t.freeInner(t.root, 1)
+		t.root = r
+		t.height++
+		return
+	}
+
+	// Reallocate the grandparent's child group with one extra slot and
+	// place the two halves at positions pj and pj+1.
+	gp := path[len(path)-2]
+	gfc := t.inChild(gp.node)
+	gChildren := t.inNKeys(gp.node) + 1
+	pj := gp.childIdx
+	newFc := t.allocInner(gChildren + 1)
+	for i := 0; i < pj; i++ {
+		t.inner.Copy(t.innerOff(newFc+i), t.innerOff(gfc+i), innerSize)
+	}
+	writeInner(newFc+pj, fc, keys[:lK])
+	writeInner(newFc+pj+1, fc+lK+1, keys[lK+1:])
+	for i := pj + 1; i < gChildren; i++ {
+		t.inner.Copy(t.innerOff(newFc+i+1), t.innerOff(gfc+i), innerSize)
+	}
+	t.setInChild(gp.node, newFc)
+	t.freeInner(gfc, gChildren)
+	t.insertSeparator(path[:len(path)-1], promoted, pj)
+}

@@ -1,0 +1,215 @@
+package csbtree
+
+import "repro/internal/memsim"
+
+// RunGP interleaves tree lookups with group prefetching. GP couples the
+// instruction streams — all lookups of a group descend in lock step —
+// which works because the CSB+-tree is balanced: every traversal visits
+// exactly Height() internal levels. It supports ValueLeaves only; the
+// data-dependent dictionary probes of CodeLeaves diverge per stream,
+// exactly the control-flow divergence GP cannot express (Section 3).
+func (t *Tree) RunGP(e *memsim.Engine, c Costs, keys []uint32, group int, out []Result) {
+	if t.kind != ValueLeaves {
+		panic("csbtree: RunGP supports ValueLeaves only (coupled control flow)")
+	}
+	if group < 1 {
+		group = 1
+	}
+	nodes := make([]int, group)
+	for g0 := 0; g0 < len(keys); g0 += group {
+		gn := min(group, len(keys)-g0)
+		e.Compute(c.Init * gn)
+		if t.count == 0 {
+			for s := 0; s < gn; s++ {
+				out[g0+s] = Result{}
+			}
+			continue
+		}
+		for s := 0; s < gn; s++ {
+			nodes[s] = t.root
+		}
+		for lvl := t.height; lvl > 0; lvl-- {
+			// Prefetch stage (skipped for the shared, cached root).
+			if lvl < t.height {
+				for s := 0; s < gn; s++ {
+					e.SwitchWork(c.GPStage)
+					t.prefetchNode(e, t.innerAddr(nodes[s]), innerSize)
+				}
+			}
+			// Access stage.
+			for s := 0; s < gn; s++ {
+				t.loadNode(e, t.innerAddr(nodes[s]), innerSize)
+				e.Compute(c.NodeSearch + c.Descend)
+				nodes[s] = t.inChild(nodes[s]) + t.searchInner(nodes[s], keys[g0+s])
+			}
+		}
+		// Leaf stage.
+		if t.height > 0 {
+			for s := 0; s < gn; s++ {
+				e.SwitchWork(c.GPStage)
+				t.prefetchNode(e, t.leafAddr(nodes[s]), t.leafBytes())
+			}
+		}
+		for s := 0; s < gn; s++ {
+			out[g0+s] = t.searchLeafCharged(e, c, nodes[s], keys[g0+s], nil)
+			e.Compute(c.Store)
+		}
+	}
+}
+
+// prefetchNode issues one prefetch per cache line of a node.
+func (t *Tree) prefetchNode(e *memsim.Engine, addr uint64, bytes int) {
+	for off := 0; off < bytes; off += e.Config().LineSize {
+		e.Prefetch(addr + uint64(off))
+	}
+}
+
+// treeStage enumerates the AMAC state machine for tree traversal. The
+// explosion of stages relative to Listing 6's coroutine is the paper's
+// "Very High" added code complexity for AMAC (Table 3) made concrete.
+type treeStage uint8
+
+const (
+	tsInit treeStage = iota
+	tsInner
+	tsLeaf
+	tsDictProbe
+	tsDictFinal
+	tsDone
+)
+
+// treeState is one AMAC state-buffer entry for a tree lookup.
+type treeState struct {
+	key    uint32
+	node   int
+	lvl    int
+	lo, hi int
+	code   uint32
+	owner  int
+	stage  treeStage
+}
+
+// RunAMAC interleaves tree lookups with an explicit state machine. Unlike
+// GP it handles CodeLeaves: the in-leaf dictionary probes become two more
+// stages whose iteration count diverges per stream.
+func (t *Tree) RunAMAC(e *memsim.Engine, c Costs, keys []uint32, group int, out []Result) {
+	if group < 1 {
+		group = 1
+	}
+	if group > len(keys) {
+		group = len(keys)
+	}
+	if len(keys) == 0 {
+		return
+	}
+	states := make([]treeState, group)
+	next := 0
+	notDone := group
+	for notDone > 0 {
+		for s := range states {
+			st := &states[s]
+			switch st.stage {
+			case tsInit:
+				e.SwitchWork(c.AMACSwitch)
+				if next >= len(keys) {
+					st.stage = tsDone
+					notDone--
+					continue
+				}
+				st.key = keys[next]
+				st.owner = next
+				next++
+				e.Compute(c.Init)
+				if t.count == 0 {
+					out[st.owner] = Result{}
+					e.Compute(c.Store)
+					continue // stays in tsInit for the next input
+				}
+				st.node = t.root
+				st.lvl = t.height
+				if st.lvl == 0 {
+					// Single-leaf tree: the root leaf is hot, no prefetch.
+					st.stage = tsLeaf
+				} else {
+					// The root is cached; descend through it directly.
+					st.stage = tsInner
+				}
+			case tsInner:
+				e.SwitchWork(c.AMACSwitch)
+				t.loadNode(e, t.innerAddr(st.node), innerSize)
+				e.Compute(c.NodeSearch + c.Descend)
+				st.node = t.inChild(st.node) + t.searchInner(st.node, st.key)
+				st.lvl--
+				if st.lvl == 0 {
+					t.prefetchNode(e, t.leafAddr(st.node), t.leafBytes())
+					st.stage = tsLeaf
+				} else {
+					t.prefetchNode(e, t.innerAddr(st.node), innerSize)
+				}
+			case tsLeaf:
+				e.SwitchWork(c.AMACSwitch)
+				t.loadNode(e, t.leafAddr(st.node), t.leafBytes())
+				if t.kind == ValueLeaves {
+					e.Compute(c.NodeSearch)
+					n := t.lfNKeys(st.node)
+					pos := t.searchLeafPos(st.node, st.key)
+					r := Result{}
+					if pos < n && t.lfKey(st.node, pos) == st.key {
+						r = Result{Value: t.lfVal(st.node, pos), Found: true}
+					}
+					out[st.owner] = r
+					e.Compute(c.Store)
+					st.stage = tsInit
+					continue
+				}
+				st.lo, st.hi = 0, t.lfNKeys(st.node)
+				st.stage = tsDictProbe
+				if st.lo < st.hi {
+					mid := (st.lo + st.hi) / 2
+					st.code = t.lfCode(st.node, mid)
+					e.Prefetch(t.dict.Addr(int(st.code)))
+				}
+			case tsDictProbe:
+				e.SwitchWork(c.AMACSwitch)
+				if st.lo >= st.hi {
+					// Lower bound found: issue the final equality probe.
+					if st.lo < t.lfNKeys(st.node) {
+						st.code = t.lfCode(st.node, st.lo)
+						e.Prefetch(t.dict.Addr(int(st.code)))
+						st.stage = tsDictFinal
+					} else {
+						out[st.owner] = Result{}
+						e.Compute(c.Store)
+						st.stage = tsInit
+					}
+					continue
+				}
+				mid := (st.lo + st.hi) / 2
+				st.code = t.lfCode(st.node, mid)
+				e.Load(t.dict.Addr(int(st.code)))
+				e.Compute(c.DictCmp)
+				if uint32(t.dict.At(int(st.code))) < st.key {
+					st.lo = mid + 1
+				} else {
+					st.hi = mid
+				}
+				if st.lo < st.hi {
+					nmid := (st.lo + st.hi) / 2
+					e.Prefetch(t.dict.Addr(int(t.lfCode(st.node, nmid))))
+				}
+			case tsDictFinal:
+				e.SwitchWork(c.AMACSwitch)
+				e.Load(t.dict.Addr(int(st.code)))
+				e.Compute(c.DictCmp)
+				r := Result{}
+				if uint32(t.dict.At(int(st.code))) == st.key {
+					r = Result{Value: st.code, Found: true}
+				}
+				out[st.owner] = r
+				e.Compute(c.Store)
+				st.stage = tsInit
+			case tsDone:
+			}
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package csbtree
+
+import (
+	"repro/internal/coro"
+	"repro/internal/memsim"
+)
+
+// Result is a lookup outcome: the value bound to the key (a dictionary
+// code for CodeLeaves) and whether the key exists.
+type Result struct {
+	Value uint32
+	Found bool
+}
+
+// searchInner returns the child index for key within an internal node:
+// the number of separators ≤ key (host time; the simulated charge is
+// Costs.NodeSearch, issued by callers).
+func (t *Tree) searchInner(node int, key uint32) int {
+	n := t.inNKeys(node)
+	idx := 0
+	for idx < n && t.inKey(node, idx) <= key {
+		idx++
+	}
+	return idx
+}
+
+// searchLeafPos returns the position of the first leaf entry with
+// key ≥ the probe (host time).
+func (t *Tree) searchLeafPos(leaf int, key uint32) int {
+	n := t.lfNKeys(leaf)
+	pos := 0
+	for pos < n && t.lfKey(leaf, pos) < key {
+		pos++
+	}
+	return pos
+}
+
+// prefetchHook suspends an interleaved lookup around a prefetch; nil means
+// sequential execution (plain demand loads).
+type prefetchHook func(addr uint64, lines int)
+
+// loadNode charges the demand loads of a node's cache lines.
+func (t *Tree) loadNode(e *memsim.Engine, addr uint64, bytes int) {
+	for off := 0; off < bytes; off += e.Config().LineSize {
+		e.Load(addr + uint64(off))
+	}
+}
+
+// lookupCharged walks the tree for key, charging through e. hook, when
+// non-nil, is invoked before each node (and each code-leaf dictionary
+// entry) is accessed — the suspension points of Listing 6.
+func (t *Tree) lookupCharged(e *memsim.Engine, c Costs, key uint32, hook prefetchHook) Result {
+	e.Compute(c.Init)
+	if t.count == 0 {
+		return Result{}
+	}
+	node := t.root
+	for lvl := t.height; lvl > 0; lvl-- {
+		// The paper assumes a cached root (Section 4), so the traversal
+		// suspends for every node except the root.
+		if lvl < t.height && hook != nil {
+			hook(t.innerAddr(node), innerSize)
+		}
+		t.loadNode(e, t.innerAddr(node), innerSize)
+		e.Compute(c.NodeSearch + c.Descend)
+		node = t.inChild(node) + t.searchInner(node, key)
+	}
+	if t.height > 0 && hook != nil {
+		hook(t.leafAddr(node), t.leafBytes())
+	}
+	return t.searchLeafCharged(e, c, node, key, hook)
+}
+
+// searchLeafCharged performs the in-leaf search with simulated charges.
+func (t *Tree) searchLeafCharged(e *memsim.Engine, c Costs, leaf int, key uint32, hook prefetchHook) Result {
+	t.loadNode(e, t.leafAddr(leaf), t.leafBytes())
+	n := t.lfNKeys(leaf)
+	if t.kind == ValueLeaves {
+		e.Compute(c.NodeSearch)
+		pos := t.searchLeafPos(leaf, key)
+		if pos < n && t.lfKey(leaf, pos) == key {
+			return Result{Value: t.lfVal(leaf, pos), Found: true}
+		}
+		return Result{}
+	}
+	// Code leaves: a binary search whose every comparison dereferences the
+	// dictionary array — one more dependent access chain (and suspension
+	// point) per probe, as in Section 5.5.
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		code := t.lfCode(leaf, mid)
+		addr := t.dict.Addr(int(code))
+		if hook != nil {
+			hook(addr, 1)
+		}
+		e.Load(addr)
+		e.Compute(c.DictCmp)
+		if uint32(t.dict.At(int(code))) < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < n {
+		code := t.lfCode(leaf, lo)
+		addr := t.dict.Addr(int(code))
+		if hook != nil {
+			hook(addr, 1)
+		}
+		e.Load(addr)
+		e.Compute(c.DictCmp)
+		if uint32(t.dict.At(int(code))) == key {
+			return Result{Value: code, Found: true}
+		}
+	}
+	return Result{}
+}
+
+// Lookup performs one sequential lookup (no suspension).
+func (t *Tree) Lookup(e *memsim.Engine, c Costs, key uint32) (uint32, bool) {
+	r := t.lookupCharged(e, c, key, nil)
+	return r.Value, r.Found
+}
+
+// LookupCoro builds the Listing 6 coroutine: the sequential traversal
+// augmented with a prefetch of every touched node's cache lines followed
+// by one suspension, plus — for code leaves — a suspension per dictionary
+// access. A single implementation serves both execution modes.
+func (t *Tree) LookupCoro(e *memsim.Engine, c Costs, key uint32, interleave bool) coro.Handle[Result] {
+	return coro.NewPull(func(suspend func()) Result {
+		var hook prefetchHook
+		if interleave {
+			hook = func(addr uint64, bytes int) {
+				for off := 0; off < bytes; off += e.Config().LineSize {
+					e.Prefetch(addr + uint64(off))
+				}
+				e.SwitchWork(c.COROSuspend)
+				suspend()
+				e.SwitchWork(c.COROResume)
+			}
+		}
+		return t.lookupCharged(e, c, key, hook)
+	})
+}
+
+// RunSequential looks up all keys one after the other.
+func (t *Tree) RunSequential(e *memsim.Engine, c Costs, keys []uint32, out []Result) {
+	for i, k := range keys {
+		out[i] = t.lookupCharged(e, c, k, nil)
+		e.Compute(c.Store)
+	}
+}
+
+// RunCORO interleaves the lookups in groups of `group` coroutines under
+// the Listing 7 scheduler.
+func (t *Tree) RunCORO(e *memsim.Engine, c Costs, keys []uint32, group int, out []Result) {
+	coro.RunInterleaved(len(keys), group,
+		func(i int) coro.Handle[Result] { return t.LookupCoro(e, c, keys[i], true) },
+		func(i int, r Result) {
+			out[i] = r
+			e.Compute(c.Store)
+		})
+}

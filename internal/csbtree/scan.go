@@ -1,0 +1,88 @@
+package csbtree
+
+import "repro/internal/memsim"
+
+// Scan visits all entries with lo ≤ key ≤ hi in ascending key order,
+// charging node and (for code leaves) dictionary accesses through the
+// engine. It returns the number of entries visited; fn returning false
+// stops the scan early. Rao & Ross CSB+-trees have no leaf links (the
+// node-group layout replaces sibling pointers), so the scan descends once
+// and walks leaves through their parents.
+func (t *Tree) Scan(e *memsim.Engine, c Costs, lo, hi uint32, fn func(key, val uint32) bool) int {
+	if t.count == 0 || lo > hi {
+		return 0
+	}
+	visited := 0
+	t.scanNode(e, c, t.root, t.height, lo, hi, &visited, fn)
+	return visited
+}
+
+// scanNode walks the subtree in order, pruning with the separators. It
+// reports whether the scan should continue.
+func (t *Tree) scanNode(e *memsim.Engine, c Costs, node, lvl int, lo, hi uint32, visited *int, fn func(key, val uint32) bool) bool {
+	if lvl == 0 {
+		t.loadNode(e, t.leafAddr(node), t.leafBytes())
+		n := t.lfNKeys(node)
+		for k := 0; k < n; k++ {
+			if t.kind == CodeLeaves {
+				e.Load(t.dict.Addr(int(t.lfCode(node, k))))
+				e.Compute(c.DictCmp)
+			}
+			key := t.lfKey(node, k)
+			if key < lo {
+				continue
+			}
+			if key > hi {
+				return false
+			}
+			*visited++
+			if !fn(key, t.lfVal(node, k)) {
+				return false
+			}
+		}
+		return true
+	}
+	t.loadNode(e, t.innerAddr(node), innerSize)
+	e.Compute(c.NodeSearch)
+	fc := t.inChild(node)
+	nKeys := t.inNKeys(node)
+	// Child ci covers keys in [sep[ci-1], sep[ci]); start at the child
+	// that can contain lo and stop once a separator exceeds hi.
+	start := t.searchInner(node, lo)
+	for ci := start; ci <= nKeys; ci++ {
+		if ci > 0 && t.inKey(node, ci-1) > hi {
+			break
+		}
+		if !t.scanNode(e, c, fc+ci, lvl-1, lo, hi, visited, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Delete removes key from the tree (host time, like Insert). It returns
+// false if the key is absent. Deletion is lazy, as Rao & Ross recommend
+// for CSB+-trees: the entry is removed from its leaf and the leaf may
+// underflow (even empty leaves remain in their group); separators are
+// left stale, which keeps lookups correct because they only guide the
+// descent — an absent key simply lands in a leaf that no longer holds it.
+func (t *Tree) Delete(key uint32) bool {
+	if t.count == 0 {
+		return false
+	}
+	node := t.root
+	for lvl := t.height; lvl > 0; lvl-- {
+		node = t.inChild(node) + t.searchInner(node, key)
+	}
+	n := t.lfNKeys(node)
+	pos := t.searchLeafPos(node, key)
+	if pos >= n || t.lfKey(node, pos) != key {
+		return false
+	}
+	for k := pos; k < n-1; k++ {
+		t.copyLeafEntry(node, k+1, node, k)
+	}
+	t.setLfNKeys(node, n-1)
+	t.count--
+	return true
+}

@@ -1,0 +1,229 @@
+package csbtree
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/memsim"
+)
+
+func TestScanFullRange(t *testing.T) {
+	e := newEngine()
+	keys := seqKeys(2000, 3)
+	tr := buildValueTree(e, keys)
+	c := DefaultCosts()
+	var got []uint32
+	n := tr.Scan(e, c, 0, ^uint32(0), func(k, v uint32) bool {
+		if v != k*2 {
+			t.Fatalf("value for %d = %d", k, v)
+		}
+		got = append(got, k)
+		return true
+	})
+	if n != len(keys) || len(got) != len(keys) {
+		t.Fatalf("visited %d, want %d", n, len(keys))
+	}
+	for i, k := range got {
+		if k != keys[i] {
+			t.Fatalf("order broken at %d: %d vs %d", i, k, keys[i])
+		}
+	}
+}
+
+func TestScanSubRangeProperty(t *testing.T) {
+	e := newEngine()
+	keys := seqKeys(3000, 2) // evens 0..5998
+	tr := buildValueTree(e, keys)
+	c := DefaultCosts()
+	f := func(a, b uint16) bool {
+		lo, hi := uint32(a), uint32(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		want := 0
+		for _, k := range keys {
+			if k >= lo && k <= hi {
+				want++
+			}
+		}
+		got := tr.Scan(e, c, lo, hi, func(k, v uint32) bool {
+			if k < lo || k > hi {
+				t.Fatalf("scan leaked key %d outside [%d,%d]", k, lo, hi)
+			}
+			return true
+		})
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	e := newEngine()
+	tr := buildValueTree(e, seqKeys(500, 1))
+	c := DefaultCosts()
+	seen := 0
+	tr.Scan(e, c, 0, ^uint32(0), func(k, v uint32) bool {
+		seen++
+		return seen < 10
+	})
+	if seen != 10 {
+		t.Fatalf("seen = %d, want 10", seen)
+	}
+}
+
+func TestScanCodeLeaves(t *testing.T) {
+	e := newEngine()
+	values := shuffledValues(1000, 4) // multiples of 5
+	tr, _ := buildCodeTree(e, values)
+	c := DefaultCosts()
+	var prev int64 = -1
+	n := tr.Scan(e, c, 100, 400, func(k, code uint32) bool {
+		if int64(k) <= prev {
+			t.Fatalf("out of order: %d after %d", k, prev)
+		}
+		if values[code] != k {
+			t.Fatalf("code %d maps to %d, not %d", code, values[code], k)
+		}
+		prev = int64(k)
+		return true
+	})
+	if n != 61 { // 100,105,...,400
+		t.Fatalf("visited %d, want 61", n)
+	}
+}
+
+func TestScanEmptyAndInverted(t *testing.T) {
+	e := newEngine()
+	tr := New(e, ValueLeaves, 16, nil)
+	c := DefaultCosts()
+	if tr.Scan(e, c, 0, 10, func(uint32, uint32) bool { return true }) != 0 {
+		t.Fatal("empty tree scanned entries")
+	}
+	tr.Insert(5, 1)
+	if tr.Scan(e, c, 10, 0, func(uint32, uint32) bool { return true }) != 0 {
+		t.Fatal("inverted range scanned entries")
+	}
+}
+
+func TestDeleteBasic(t *testing.T) {
+	e := newEngine()
+	tr := buildValueTree(e, seqKeys(1000, 1))
+	c := DefaultCosts()
+	if !tr.Delete(500) {
+		t.Fatal("delete of present key failed")
+	}
+	if tr.Delete(500) {
+		t.Fatal("double delete succeeded")
+	}
+	if tr.Delete(100000) {
+		t.Fatal("delete of absent key succeeded")
+	}
+	if _, ok := tr.Lookup(e, c, 500); ok {
+		t.Fatal("deleted key still found")
+	}
+	if v, ok := tr.Lookup(e, c, 501); !ok || v != 1002 {
+		t.Fatal("neighbour key damaged")
+	}
+	if tr.Len() != 999 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckLoose(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteManyThenScanAndReinsert(t *testing.T) {
+	e := newEngine()
+	n := 2000
+	tr := buildValueTree(e, seqKeys(n, 1))
+	c := DefaultCosts()
+	rng := rand.New(rand.NewPCG(31, 32))
+	deleted := map[uint32]bool{}
+	for i := 0; i < 800; i++ {
+		k := uint32(rng.Uint64N(uint64(n)))
+		if tr.Delete(k) == deleted[k] {
+			t.Fatalf("Delete(%d) inconsistent with state %v", k, deleted[k])
+		}
+		deleted[k] = true
+	}
+	if err := tr.CheckLoose(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != n-len(deleted) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n-len(deleted))
+	}
+	// Scan sees exactly the survivors, in order.
+	var prev int64 = -1
+	got := 0
+	tr.Scan(e, c, 0, ^uint32(0), func(k, v uint32) bool {
+		if deleted[k] {
+			t.Fatalf("scan returned deleted key %d", k)
+		}
+		if int64(k) <= prev {
+			t.Fatalf("scan order broken at %d", k)
+		}
+		prev = int64(k)
+		got++
+		return true
+	})
+	if got != tr.Len() {
+		t.Fatalf("scan visited %d, want %d", got, tr.Len())
+	}
+	// Lookups agree.
+	for k := uint32(0); k < uint32(n); k += 7 {
+		_, ok := tr.Lookup(e, c, k)
+		if ok == deleted[k] {
+			t.Fatalf("Lookup(%d) = %v but deleted=%v", k, ok, deleted[k])
+		}
+	}
+	// Deleted keys can be reinserted.
+	for k := range deleted {
+		if !tr.Insert(k, k*2) {
+			t.Fatalf("reinsert of %d failed", k)
+		}
+		delete(deleted, k)
+		if len(deleted)%100 == 0 {
+			break
+		}
+	}
+	if err := tr.CheckLoose(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteEmptiesLeafThenLookupStillWorks(t *testing.T) {
+	e := newEngine()
+	tr := buildValueTree(e, seqKeys(300, 1))
+	c := DefaultCosts()
+	// Wipe out an entire leaf's worth of keys.
+	for k := uint32(100); k < 120; k++ {
+		if !tr.Delete(k) {
+			t.Fatalf("Delete(%d) failed", k)
+		}
+	}
+	if err := tr.CheckLoose(); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint32(95); k < 125; k++ {
+		_, ok := tr.Lookup(e, c, k)
+		want := k < 100 || k >= 120
+		if ok != want {
+			t.Fatalf("Lookup(%d) = %v, want %v", k, ok, want)
+		}
+	}
+}
+
+func TestScanChargesMemory(t *testing.T) {
+	e := memsim.New(memsim.TinyConfig())
+	tr := buildValueTree(e, seqKeys(5000, 1))
+	c := DefaultCosts()
+	before := e.Stats()
+	tr.Scan(e, c, 0, 4999, func(uint32, uint32) bool { return true })
+	st := e.Stats().Sub(before)
+	if st.TotalLoads() < int64(tr.numLeaf) {
+		t.Fatalf("scan loads = %d, want ≥ %d leaves", st.TotalLoads(), tr.numLeaf)
+	}
+}

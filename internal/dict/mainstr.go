@@ -1,0 +1,77 @@
+package dict
+
+import (
+	"repro/internal/memsim"
+	"repro/internal/search"
+)
+
+// MainStr is the read-optimized dictionary for string columns: a sorted
+// array of 16-byte string slots (the paper's 15-character values). The
+// IN predicate of Listing 1 — zip codes — runs against exactly this
+// representation.
+type MainStr struct {
+	arr   *memsim.StrArray
+	costs search.Costs
+}
+
+// NewMainStrVirtual builds a string Main dictionary of n slots whose
+// values are computed by val (monotone increasing), costing no host
+// memory.
+func NewMainStrVirtual(e *memsim.Engine, n int, val func(i int) memsim.StrVal) *MainStr {
+	return &MainStr{
+		arr:   memsim.NewVirtualStrArray(e, n, val),
+		costs: search.DefaultCosts(),
+	}
+}
+
+// Len returns the number of values.
+func (m *MainStr) Len() int { return m.arr.Len() }
+
+// Bytes returns the simulated dictionary size.
+func (m *MainStr) Bytes() int { return m.arr.Bytes() }
+
+// Extract returns the value at code (one charged array access).
+func (m *MainStr) Extract(e *memsim.Engine, code uint32) memsim.StrVal {
+	v, _ := m.arr.Read(e, int(code))
+	return v
+}
+
+func (m *MainStr) table() search.StrTable { return search.StrTable{A: m.arr} }
+
+func (m *MainStr) locatePos(low int, value memsim.StrVal) uint32 {
+	if m.arr.Len() > 0 && m.arr.At(low).Cmp(value) == 0 {
+		return uint32(low)
+	}
+	return NotFound
+}
+
+// Locate binary-searches for value with the speculative search.
+func (m *MainStr) Locate(e *memsim.Engine, value memsim.StrVal) uint32 {
+	if m.arr.Len() == 0 {
+		return NotFound
+	}
+	return m.locatePos(search.Std[memsim.StrVal](e, m.costs, m.table(), value), value)
+}
+
+// LocateAll performs the sequential index join.
+func (m *MainStr) LocateAll(e *memsim.Engine, values []memsim.StrVal, out []uint32) {
+	for i, v := range values {
+		out[i] = m.Locate(e, v)
+	}
+}
+
+// LocateAllInterleaved hides the search's cache misses with coroutine
+// interleaving.
+func (m *MainStr) LocateAllInterleaved(e *memsim.Engine, values []memsim.StrVal, group int, out []uint32) {
+	if m.arr.Len() == 0 {
+		for i := range values {
+			out[i] = NotFound
+		}
+		return
+	}
+	lows := make([]int, len(values))
+	search.RunCORO[memsim.StrVal](e, m.costs, m.table(), values, group, lows)
+	for i, low := range lows {
+		out[i] = m.locatePos(low, values[i])
+	}
+}

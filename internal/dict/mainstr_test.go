@@ -1,0 +1,95 @@
+package dict
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/memsim"
+	"repro/internal/workload"
+)
+
+func TestMainStrLocateExtractRoundTrip(t *testing.T) {
+	e := newEngine()
+	n := 3000
+	m := NewMainStrVirtual(e, n, workload.StrValue)
+	if m.Bytes() != n*memsim.StrSlot {
+		t.Fatalf("Bytes = %d", m.Bytes())
+	}
+	for _, code := range []uint32{0, 1, 42, 2999} {
+		v := m.Extract(e, code)
+		if got := m.Locate(e, v); got != code {
+			t.Fatalf("Locate(Extract(%d)) = %d", code, got)
+		}
+	}
+	// Absent values.
+	var absent memsim.StrVal
+	copy(absent[:], "zzzzzzzzzzzzzzz")
+	if got := m.Locate(e, absent); got != NotFound {
+		t.Fatalf("Locate(absent) = %d", got)
+	}
+}
+
+func TestMainStrInterleavedMatchesSequential(t *testing.T) {
+	e := newEngine()
+	n := 4000
+	m := NewMainStrVirtual(e, n, workload.StrValue)
+	rng := rand.New(rand.NewPCG(5, 6))
+	values := make([]memsim.StrVal, 600)
+	for i := range values {
+		// Mix of present values and mutated (absent) ones.
+		v := workload.StrValue(int(rng.Uint64N(uint64(n))))
+		if i%5 == 0 {
+			v[3] = 'q'
+		}
+		values[i] = v
+	}
+	seq := make([]uint32, len(values))
+	m.LocateAll(e, values, seq)
+	for _, g := range []int{1, 6, 16} {
+		inter := make([]uint32, len(values))
+		m.LocateAllInterleaved(e, values, g, inter)
+		for i := range values {
+			if inter[i] != seq[i] {
+				t.Fatalf("group %d: value %q → %d vs %d", g, values[i].String(), inter[i], seq[i])
+			}
+		}
+	}
+}
+
+func TestMainStrEmpty(t *testing.T) {
+	e := newEngine()
+	m := NewMainStrVirtual(e, 0, workload.StrValue)
+	var v memsim.StrVal
+	if m.Locate(e, v) != NotFound {
+		t.Fatal("empty dictionary located a value")
+	}
+	out := make([]uint32, 1)
+	m.LocateAllInterleaved(e, []memsim.StrVal{v}, 4, out)
+	if out[0] != NotFound {
+		t.Fatal("empty interleaved locate")
+	}
+}
+
+func TestStringColumnQueryEndToEnd(t *testing.T) {
+	// A string dictionary works through the full generic column pipeline.
+	e := newEngine()
+	n := 2048
+	m := NewMainStrVirtual(e, n, workload.StrValue)
+	values := []memsim.StrVal{
+		workload.StrValue(0),
+		workload.StrValue(100),
+		workload.StrValue(n - 1),
+		workload.StrValue(n + 5), // absent
+	}
+	codes := make([]uint32, len(values))
+	m.LocateAll(e, values, codes)
+	found := 0
+	for _, c := range codes {
+		if c != NotFound {
+			found++
+		}
+	}
+	if found != 3 {
+		t.Fatalf("found = %d, want 3", found)
+	}
+}

@@ -1,0 +1,321 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/core"
+	"repro/internal/hashjoin"
+	"repro/internal/memsim"
+	"repro/internal/native"
+	"repro/internal/pagebtree"
+	"repro/internal/search"
+	"repro/internal/workload"
+)
+
+// ablSize is the working-set size used by the fixed-size ablations — the
+// 256 MB point of Section 5.4, comfortably beyond the LLC.
+const ablSize = int64(256 << 20)
+
+// AblLFB measures the sensitivity of interleaved execution to the number
+// of line-fill buffers (Section 5.4.5 attributes GP's plateau at G=10 to
+// the 10 LFBs).
+func AblLFB(p Params) *Table {
+	t := &Table{
+		ID:     "abl-lfb",
+		Title:  "LFB count sensitivity (256 MB int array, cycles per search)",
+		Header: []string{"LFBs", "GP G=10", "GP G=14", "CORO G=6"},
+	}
+	n := workload.ElemsFor(ablSize, 8)
+	keys := workload.IntKeys(workload.UniformIndices(p.Seed, p.Lookups, n))
+	costs := search.DefaultCosts()
+	for _, lfbs := range []int{4, 10, 16} {
+		cfg := memsim.DefaultConfig()
+		cfg.NumLFB = lfbs
+		row := []string{fmt.Sprintf("%d", lfbs)}
+		for _, v := range []struct {
+			tech  core.Technique
+			group int
+		}{{core.GP, 10}, {core.GP, 14}, {core.CORO, 6}} {
+			m := measureIntSearch(cfg, costs, n, 8, keys, v.tech, v.group)
+			row = append(row, fmt.Sprintf("%.0f", m.CyclesPerLookup))
+		}
+		t.AddRow(row...)
+		p.progressf("abl-lfb: %d LFBs done", lfbs)
+	}
+	t.AddNote("more LFBs lift GP's G>10 plateau; CORO at G=6 is insensitive (it never saturates 10)")
+	return t
+}
+
+// AblSwitchCost varies the coroutine switch cost to show where CORO's
+// optimum group and runtime move — the hardware-support discussion of
+// Section 6 (a hardware-context switch would make CORO as fast as GP).
+func AblSwitchCost(p Params) *Table {
+	t := &Table{
+		ID:     "abl-switch",
+		Title:  "Coroutine switch-cost sensitivity (256 MB int array)",
+		Header: []string{"switch instr", "CORO G=6 cycles/search", "vs Baseline"},
+	}
+	n := workload.ElemsFor(ablSize, 8)
+	keys := workload.IntKeys(workload.UniformIndices(p.Seed, p.Lookups, n))
+	base := measureIntSearch(memsim.DefaultConfig(), search.DefaultCosts(), n, 8, keys, core.Baseline, 1)
+	for _, sw := range []int{0, 8, 35, 70} {
+		costs := search.DefaultCosts()
+		costs.COROSuspend = sw / 2
+		costs.COROResume = sw - sw/2
+		m := measureIntSearch(memsim.DefaultConfig(), costs, n, 8, keys, core.CORO, 6)
+		t.AddRow(fmt.Sprintf("%d", sw),
+			fmt.Sprintf("%.0f", m.CyclesPerLookup),
+			fmt.Sprintf("%.2fx", base.CyclesPerLookup/m.CyclesPerLookup))
+		p.progressf("abl-switch: %d instr done", sw)
+	}
+	t.AddNote("switch=0 approximates the hardware-context support of Section 6: CORO approaches GP")
+	return t
+}
+
+// AblSpeculation toggles speculation-as-prefetch for the std search,
+// reproducing the Section 5.4.1 observation that "speculation, even if it
+// is bad half the time, is better than waiting".
+func AblSpeculation(p Params) *Table {
+	t := &Table{
+		ID:     "abl-spec",
+		Title:  "Speculation on/off for std (cycles per search)",
+		Header: []string{"size", "std (spec on)", "std (spec off)", "Baseline"},
+	}
+	costs := search.DefaultCosts()
+	for _, size := range p.Sizes {
+		n := workload.ElemsFor(size, 8)
+		keys := workload.IntKeys(workload.UniformIndices(p.Seed, p.Lookups, n))
+		on := measureIntSearch(memsim.DefaultConfig(), costs, n, 8, keys, core.Std, 1)
+		cfgOff := memsim.DefaultConfig()
+		cfgOff.SpecPrefetch = false
+		off := measureIntSearch(cfgOff, costs, n, 8, keys, core.Std, 1)
+		base := measureIntSearch(memsim.DefaultConfig(), costs, n, 8, keys, core.Baseline, 1)
+		t.AddRow(sizeLabel(size),
+			fmt.Sprintf("%.0f", on.CyclesPerLookup),
+			fmt.Sprintf("%.0f", off.CyclesPerLookup),
+			fmt.Sprintf("%.0f", base.CyclesPerLookup))
+		p.progressf("abl-spec: %s done", sizeLabel(size))
+	}
+	t.AddNote("beyond the LLC, speculative fills let std beat the branch-free Baseline despite 50%% flushes")
+	return t
+}
+
+// AblHashJoin interleaves hash-join probes (Section 6's first "other
+// target").
+func AblHashJoin(p Params) *Table {
+	t := &Table{
+		ID:     "abl-hash",
+		Title:  "Hash-join probe interleaving (cycles per probe)",
+		Header: []string{"build size", "sequential", "AMAC G=6", "CORO G=6"},
+	}
+	c := hashjoin.DefaultCosts()
+	for _, size := range []int{1 << 16, 1 << 20, 1 << 23} {
+		rng := rand.New(rand.NewPCG(p.Seed, 99))
+		probes := make([]uint64, p.Lookups)
+		for i := range probes {
+			probes[i] = rng.Uint64N(uint64(size))
+		}
+		cycles := func(run func(e *memsim.Engine, h *hashjoin.Table, out []hashjoin.Result)) float64 {
+			e := memsim.New(memsim.DefaultConfig())
+			h := hashjoin.New(e, size)
+			for k := 0; k < size; k++ {
+				h.Insert(uint64(k), uint32(k))
+			}
+			out := make([]hashjoin.Result, len(probes))
+			run(e, h, out)
+			start := e.Now()
+			run(e, h, out)
+			return float64(e.Now()-start) / float64(len(probes))
+		}
+		seq := cycles(func(e *memsim.Engine, h *hashjoin.Table, out []hashjoin.Result) { h.RunSequential(e, c, probes, out) })
+		am := cycles(func(e *memsim.Engine, h *hashjoin.Table, out []hashjoin.Result) { h.RunAMAC(e, c, probes, 6, out) })
+		co := cycles(func(e *memsim.Engine, h *hashjoin.Table, out []hashjoin.Result) { h.RunCORO(e, c, probes, 6, out) })
+		t.AddRow(fmt.Sprintf("%d keys", size),
+			fmt.Sprintf("%.0f", seq), fmt.Sprintf("%.0f", am), fmt.Sprintf("%.0f", co))
+		p.progressf("abl-hash: %d keys done", size)
+	}
+	return t
+}
+
+// AblPageTree compares the flat binary search against the paged B+-tree
+// of Section 6, with and without interleaving.
+func AblPageTree(p Params) *Table {
+	t := &Table{
+		ID:     "abl-pagetree",
+		Title:  "Paged B+-tree over sorted array vs flat binary search (cycles per lookup)",
+		Header: []string{"size", "flat seq", "flat CORO", "tree seq", "tree CORO", "flat walks/lkp", "tree walks/lkp"},
+	}
+	costs := search.DefaultCosts()
+	for _, size := range p.Sizes {
+		n := workload.ElemsFor(size, 8)
+		keys := workload.IntKeys(workload.UniformIndices(p.Seed, p.Lookups, n))
+
+		flatSeq := measureIntSearch(memsim.DefaultConfig(), costs, n, 8, keys, core.Baseline, 1)
+		flatCoro := measureIntSearch(memsim.DefaultConfig(), costs, n, 8, keys, core.CORO, p.GroupDyn)
+
+		treeRun := func(group int) measurement {
+			e := memsim.New(memsim.DefaultConfig())
+			arr := memsim.NewVirtualIntArray(e, n, 8, workload.IntValue)
+			x := pagebtree.Build(e, arr)
+			out := make([]int, len(keys))
+			run := func() {
+				if group > 1 {
+					x.RunCORO(e, keys, group, out)
+				} else {
+					x.RunSequential(e, keys, out)
+				}
+			}
+			run()
+			before := e.Stats()
+			start := e.Now()
+			run()
+			return measurement{float64(e.Now()-start) / float64(len(keys)), e.Stats().Sub(before)}
+		}
+		treeSeq := treeRun(1)
+		treeCoro := treeRun(p.GroupDyn)
+
+		perLookup := func(v int64) string { return fmt.Sprintf("%.1f", float64(v)/float64(p.Lookups)) }
+		t.AddRow(sizeLabel(size),
+			fmt.Sprintf("%.0f", flatSeq.CyclesPerLookup),
+			fmt.Sprintf("%.0f", flatCoro.CyclesPerLookup),
+			fmt.Sprintf("%.0f", treeSeq.CyclesPerLookup),
+			fmt.Sprintf("%.0f", treeCoro.CyclesPerLookup),
+			perLookup(flatSeq.Stats.PageWalks),
+			perLookup(treeSeq.Stats.PageWalks))
+		p.progressf("abl-pagetree: %s done", sizeLabel(size))
+	}
+	t.AddNote("page-sized nodes confine each node search to one page, trading extra probes for far fewer page walks (Section 6)")
+	return t
+}
+
+// AblSPP compares software-pipelined prefetching — the Chen et al.
+// technique the paper leaves unimplemented — against GP and AMAC. In the
+// classic full-depth pipeline the prefetch-to-consume distance is one
+// whole tick of (depth) other lookups, so completed fills are evicted
+// down the hierarchy (by other slots' fills and page walks) before use;
+// width-limited SPP behaves like a cheaper, coupled AMAC.
+func AblSPP(p Params) *Table {
+	t := &Table{
+		ID:     "abl-spp",
+		Title:  "Software-pipelined prefetching vs GP/AMAC (cycles per search)",
+		Header: []string{"size", "GP G=10", "AMAC G=6", "SPP full", "SPP W=6", "SPP W=10", "full evicted hits/lkp"},
+	}
+	costs := search.DefaultCosts()
+	for _, size := range p.Sizes {
+		n := workload.ElemsFor(size, 8)
+		keys := workload.IntKeys(workload.UniformIndices(p.Seed, p.Lookups, n))
+		gp := measureIntSearch(memsim.DefaultConfig(), costs, n, 8, keys, core.GP, 10)
+		amac := measureIntSearch(memsim.DefaultConfig(), costs, n, 8, keys, core.AMAC, 6)
+		full := measureIntSearch(memsim.DefaultConfig(), costs, n, 8, keys, core.SPP, 0)
+		w6 := measureIntSearch(memsim.DefaultConfig(), costs, n, 8, keys, core.SPP, 6)
+		w10 := measureIntSearch(memsim.DefaultConfig(), costs, n, 8, keys, core.SPP, 10)
+		t.AddRow(sizeLabel(size),
+			fmt.Sprintf("%.0f", gp.CyclesPerLookup),
+			fmt.Sprintf("%.0f", amac.CyclesPerLookup),
+			fmt.Sprintf("%.0f", full.CyclesPerLookup),
+			fmt.Sprintf("%.0f", w6.CyclesPerLookup),
+			fmt.Sprintf("%.0f", w10.CyclesPerLookup),
+			fmt.Sprintf("%.1f", float64(full.Stats.Loads[memsim.LevelL2]+full.Stats.Loads[memsim.LevelL3])/float64(p.Lookups)))
+		p.progressf("abl-spp: %s done", sizeLabel(size))
+	}
+	t.AddNote("'evicted hits' = loads whose prefetched line fell to L2/L3 before consumption: full-depth SPP over-extends the prefetch distance")
+	t.AddNote("width-limited SPP sits between GP and AMAC; the depth also varies with table size, the paper's stated obstacle")
+	return t
+}
+
+// AblHWSupport implements the paper's Section 6 hardware proposal — an
+// instruction reporting whether an address is cached, enabling
+// conditional suspension — and compares it with unconditional CORO.
+func AblHWSupport(p Params) *Table {
+	t := &Table{
+		ID:     "abl-hwsupport",
+		Title:  "Conditional suspension via a cached-query instruction (Section 6)",
+		Header: []string{"size", "Baseline", "CORO G=6", "CORO-informed G=6", "informed gain"},
+	}
+	costs := search.DefaultCosts()
+	for _, size := range p.Sizes {
+		n := workload.ElemsFor(size, 8)
+		keys := workload.IntKeys(workload.UniformIndices(p.Seed, p.Lookups, n))
+		base := measureIntSearch(memsim.DefaultConfig(), costs, n, 8, keys, core.Baseline, 1)
+		plain := measureIntSearch(memsim.DefaultConfig(), costs, n, 8, keys, core.CORO, p.GroupDyn)
+		informed := func() measurement {
+			e := memsim.New(memsim.DefaultConfig())
+			tab := search.IntTable{A: memsim.NewVirtualIntArray(e, n, 8, workload.IntValue)}
+			out := make([]int, len(keys))
+			warm := workload.IntKeys(workload.UniformIndices(memsim.DefaultConfig().Seed+warmSeedOffset, len(keys), n))
+			search.RunCOROInformed[uint64](e, costs, tab, warm, p.GroupDyn, out)
+			start := e.Now()
+			search.RunCOROInformed[uint64](e, costs, tab, keys, p.GroupDyn, out)
+			return measurement{CyclesPerLookup: float64(e.Now()-start) / float64(len(keys))}
+		}()
+		t.AddRow(sizeLabel(size),
+			fmt.Sprintf("%.0f", base.CyclesPerLookup),
+			fmt.Sprintf("%.0f", plain.CyclesPerLookup),
+			fmt.Sprintf("%.0f", informed.CyclesPerLookup),
+			fmt.Sprintf("%.2fx", plain.CyclesPerLookup/informed.CyclesPerLookup))
+		p.progressf("abl-hwsupport: %s done", sizeLabel(size))
+	}
+	t.AddNote("cached probes skip prefetch+suspend entirely: the gain concentrates where the upper search levels are resident")
+	return t
+}
+
+// AblNUMA raises the memory latency to a remote-socket figure, testing
+// the paper's Section 6 conjecture that interleaving helps even more
+// under NUMA ("interleaving could be even more beneficial, assuming
+// there is enough work to hide the increased memory latency").
+func AblNUMA(p Params) *Table {
+	t := &Table{
+		ID:     "abl-numa",
+		Title:  "Remote-memory (NUMA) sensitivity (256 MB int array, cycles per search)",
+		Header: []string{"DRAM latency", "Baseline", "CORO G=6", "CORO G=12", "best speedup"},
+	}
+	n := workload.ElemsFor(ablSize, 8)
+	keys := workload.IntKeys(workload.UniformIndices(p.Seed, p.Lookups, n))
+	costs := search.DefaultCosts()
+	for _, lat := range []int{182, 310} {
+		cfg := memsim.DefaultConfig()
+		cfg.StallDRAM = lat
+		base := measureIntSearch(cfg, costs, n, 8, keys, core.Baseline, 1)
+		coro6 := measureIntSearch(cfg, costs, n, 8, keys, core.CORO, 6)
+		coro12 := measureIntSearch(cfg, costs, n, 8, keys, core.CORO, 12)
+		best := min(coro6.CyclesPerLookup, coro12.CyclesPerLookup)
+		t.AddRow(fmt.Sprintf("%d cyc", lat),
+			fmt.Sprintf("%.0f", base.CyclesPerLookup),
+			fmt.Sprintf("%.0f", coro6.CyclesPerLookup),
+			fmt.Sprintf("%.0f", coro12.CyclesPerLookup),
+			fmt.Sprintf("%.2fx", base.CyclesPerLookup/best))
+		p.progressf("abl-numa: %d cyc done", lat)
+	}
+	t.AddNote("remote latency needs a larger group (Inequality 1: Tstall grows), and the relative win over sequential grows with it")
+	return t
+}
+
+// AblCoroBackend measures the real (wall-clock) cost of the three Go
+// coroutine backends — the reproduction-gap ablation: stackful goroutines
+// are too heavy for miss-hiding, iter.Pull sits in between, and hand
+// frames match AMAC.
+func AblCoroBackend(p Params) *Table {
+	t := &Table{
+		ID:     "abl-coro",
+		Title:  "Coroutine backends on real hardware (ns per lookup, this machine)",
+		Header: []string{"variant", "ns/lookup", "vs sequential"},
+	}
+	lookups := min(p.Lookups, 4096)
+	ms := native.MeasureInterleaving(1<<25, lookups, 10, 3)
+	var seqNs float64
+	for _, m := range ms {
+		if m.Name == "sequential" {
+			seqNs = m.NsPerOp
+		}
+	}
+	for _, m := range ms {
+		if !m.Correct {
+			t.AddNote("%s produced incorrect results", m.Name)
+		}
+		t.AddRow(m.Name, fmt.Sprintf("%.0f", m.NsPerOp), fmt.Sprintf("%.2fx", seqNs/m.NsPerOp))
+	}
+	t.AddNote("256 MB array, group 10; early loads substitute for prefetch intrinsics (see internal/native)")
+	t.AddNote("wall-clock on the current machine: directional, not calibrated; see `go test -bench Native`")
+	return t
+}

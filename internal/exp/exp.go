@@ -1,0 +1,219 @@
+// Package exp regenerates every table and figure of the paper's
+// evaluation (Section 5) plus the ablations listed in DESIGN.md. Each
+// runner returns printable tables whose rows/series correspond to what
+// the paper reports; cmd/isibench prints the full grid and bench_test.go
+// exercises reduced-scale versions.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/memsim"
+	"repro/internal/search"
+	"repro/internal/workload"
+)
+
+// Params scopes an experiment run.
+type Params struct {
+	// Sizes is the array/dictionary byte-size sweep (the x-axis of
+	// Figures 1, 3, 4, 8).
+	Sizes []int64
+	// Lookups is the number of predicate values / searches (10 K in the
+	// paper's headline figures).
+	Lookups int
+	// GroupGP and GroupDyn are the interleaving group sizes: the paper's
+	// best configurations are 10 for GP and 6 for AMAC/CORO (Section
+	// 5.4.5).
+	GroupGP, GroupDyn int
+	// DeltaMax caps arena-backed Delta dictionary sweeps (host memory is
+	// real for trees); Full lifts the cap to the full sweep.
+	DeltaMax int64
+	Full     bool
+	// Seed drives all workload generation.
+	Seed uint64
+	// Progress, when non-nil, receives one line per completed
+	// configuration (the full grid takes minutes).
+	Progress io.Writer
+}
+
+// Defaults returns the paper-scale parameters: 1 MB–2 GB, 10 K lookups.
+func Defaults() Params {
+	return Params{
+		Sizes:    workload.SizesMB(1, 2048),
+		Lookups:  10000,
+		GroupGP:  10,
+		GroupDyn: 6,
+		DeltaMax: 256 << 20,
+		Seed:     7,
+	}
+}
+
+// Quick returns a reduced grid for benchmarks and smoke tests: the shape
+// (LLC crossover included) at a fraction of the runtime.
+func Quick() Params {
+	p := Defaults()
+	p.Sizes = workload.SizesMB(1, 64)
+	p.Lookups = 2000
+	p.DeltaMax = 16 << 20
+	return p
+}
+
+func (p Params) progressf(format string, args ...any) {
+	if p.Progress != nil {
+		fmt.Fprintf(p.Progress, format+"\n", args...)
+	}
+}
+
+// deltaSizes filters the sweep for arena-backed Delta experiments.
+func (p Params) deltaSizes() []int64 {
+	if p.Full {
+		return p.Sizes
+	}
+	var out []int64
+	for _, s := range p.Sizes {
+		if s <= p.DeltaMax {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Table is one printable result table; figures are tables whose rows are
+// the plotted series points.
+type Table struct {
+	ID     string // e.g. "fig3a", "tab1"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddNote appends a free-text note printed under the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%*s", w, c)
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	printRow(t.Header)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV(w io.Writer) {
+	rows := append([][]string{t.Header}, t.Rows...)
+	for _, row := range rows {
+		for i, c := range row {
+			if i > 0 {
+				fmt.Fprint(w, ",")
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			fmt.Fprint(w, c)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// sizeLabel prints a byte size the way the paper's axes do.
+func sizeLabel(bytes int64) string {
+	switch {
+	case bytes >= 1<<30:
+		return fmt.Sprintf("%dGB", bytes>>30)
+	case bytes >= 1<<20:
+		return fmt.Sprintf("%dMB", bytes>>20)
+	default:
+		return fmt.Sprintf("%dKB", bytes>>10)
+	}
+}
+
+// measurement is one warmed, measured technique run.
+type measurement struct {
+	CyclesPerLookup float64
+	Stats           memsim.Stats
+}
+
+// warmSeedOffset derives the disjoint warm-up key set. Warming with the
+// measured keys themselves would leave every deep probe line cache-
+// resident (10 K lookups touch only a few MB), an unrealistically lucky
+// steady state; a disjoint warm set warms what real repetition warms —
+// the shared top levels, TLB entries, and page tables — while the
+// per-lookup tails stay cold.
+const warmSeedOffset = 0x5eed
+
+// measureIntSearch measures one technique over a virtual integer array of
+// nElems × elemSize bytes.
+func measureIntSearch(cfg memsim.Config, costs search.Costs, nElems, elemSize int, keys []uint64, tech core.Technique, group int) measurement {
+	e := memsim.New(cfg)
+	tab := search.IntTable{A: memsim.NewVirtualIntArray(e, nElems, elemSize, workload.IntValue)}
+	out := make([]int, len(keys))
+	warm := workload.IntKeys(workload.UniformIndices(cfg.Seed+warmSeedOffset, len(keys), nElems))
+	core.RunSearch[uint64](e, costs, tab, tech, warm, group, out)
+	before := e.Stats()
+	start := e.Now()
+	core.RunSearch[uint64](e, costs, tab, tech, keys, group, out)
+	return measurement{
+		CyclesPerLookup: float64(e.Now()-start) / float64(len(keys)),
+		Stats:           e.Stats().Sub(before),
+	}
+}
+
+// measureStrSearch is the string-array counterpart (16-byte slots).
+func measureStrSearch(cfg memsim.Config, costs search.Costs, nElems int, keys []memsim.StrVal, tech core.Technique, group int) measurement {
+	e := memsim.New(cfg)
+	tab := search.StrTable{A: memsim.NewVirtualStrArray(e, nElems, workload.StrValue)}
+	out := make([]int, len(keys))
+	warm := workload.StrKeys(workload.UniformIndices(cfg.Seed+warmSeedOffset, len(keys), nElems))
+	core.RunSearch[memsim.StrVal](e, costs, tab, tech, warm, group, out)
+	before := e.Stats()
+	start := e.Now()
+	core.RunSearch[memsim.StrVal](e, costs, tab, tech, keys, group, out)
+	return measurement{
+		CyclesPerLookup: float64(e.Now()-start) / float64(len(keys)),
+		Stats:           e.Stats().Sub(before),
+	}
+}
+
+// groupFor returns the configured group size for a technique.
+func (p Params) groupFor(tech core.Technique) int {
+	if tech == core.GP {
+		return p.GroupGP
+	}
+	return p.GroupDyn
+}

@@ -1,0 +1,308 @@
+package exp
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// testParams keeps experiment smoke tests fast while crossing the LLC
+// boundary (25 MB) so shape assertions hold.
+func testParams() Params {
+	p := Defaults()
+	p.Sizes = workload.SizesMB(1, 32)
+	p.Lookups = 400
+	p.DeltaMax = 4 << 20
+	return p
+}
+
+// cell parses a numeric table cell (strips trailing x/% units).
+func cell(t *testing.T, tab *Table, row, col int) float64 {
+	t.Helper()
+	s := tab.Rows[row][col]
+	s = strings.TrimSuffix(strings.TrimSuffix(s, "x"), "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("table %s cell (%d,%d) = %q: %v", tab.ID, row, col, tab.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestFig1Shape(t *testing.T) {
+	p := testParams()
+	tab := Fig1(p)
+	if len(tab.Rows) != len(p.Sizes) {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	last := len(tab.Rows) - 1
+	seq, inter := cell(t, tab, last, 1), cell(t, tab, last, 2)
+	if inter >= seq {
+		t.Errorf("at %s interleaved (%v ms) should beat sequential (%v ms)", tab.Rows[last][0], inter, seq)
+	}
+	// Response time grows with dictionary size for the sequential curve.
+	if cell(t, tab, 0, 1) >= seq {
+		t.Errorf("sequential response time should grow with dictionary size")
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	p := testParams()
+	tab := Fig3(p, false, false)
+	last := len(tab.Rows) - 1
+	baseline := cell(t, tab, last, 2)
+	gp := cell(t, tab, last, 3)
+	amac := cell(t, tab, last, 4)
+	coro := cell(t, tab, last, 5)
+	if gp >= baseline || amac >= baseline || coro >= baseline {
+		t.Errorf("beyond the LLC all interleaved variants must beat Baseline: base=%v gp=%v amac=%v coro=%v", baseline, gp, amac, coro)
+	}
+	if gp >= amac {
+		t.Errorf("GP (%v) should be the fastest interleaved variant (AMAC %v)", gp, amac)
+	}
+}
+
+func TestFig3StringsRuns(t *testing.T) {
+	p := testParams()
+	p.Sizes = workload.SizesMB(1, 4)
+	tab := Fig3(p, true, false)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestFig4SortedImproves(t *testing.T) {
+	p := testParams()
+	unsorted := Fig3(p, false, false)
+	sorted := Fig3(p, false, true)
+	// Sorting lookups increases temporal locality: Baseline must improve
+	// at the largest size (paper: up to 2.6×).
+	last := len(unsorted.Rows) - 1
+	if cell(t, sorted, last, 2) >= cell(t, unsorted, last, 2) {
+		t.Errorf("sorted lookups should speed up Baseline: %v vs %v", cell(t, sorted, last, 2), cell(t, unsorted, last, 2))
+	}
+}
+
+func TestFig5BreakdownConsistent(t *testing.T) {
+	p := testParams()
+	p.Sizes = workload.SizesMB(32, 32)
+	tab := Fig5(p)
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for i, row := range tab.Rows {
+		var sum float64
+		for c := 2; c <= 6; c++ {
+			sum += cell(t, tab, i, c)
+		}
+		total := cell(t, tab, i, 7)
+		if sum < total*0.95 || sum > total*1.05 {
+			t.Errorf("row %v: breakdown sum %v != total %v", row[1], sum, total)
+		}
+	}
+	// Baseline beyond the LLC is memory-dominated.
+	for i, row := range tab.Rows {
+		if row[1] == "Baseline" {
+			if mem, total := cell(t, tab, i, 4), cell(t, tab, i, 7); mem < total/2 {
+				t.Errorf("Baseline at 32MB: memory %v should dominate total %v", mem, total)
+			}
+		}
+	}
+}
+
+func TestFig6InterleavedShiftsToLFB(t *testing.T) {
+	p := testParams()
+	p.Sizes = workload.SizesMB(32, 32)
+	tab := Fig6(p)
+	var baseDRAM, coroDRAM, coroLFBPlusL1Hidden float64
+	for i, row := range tab.Rows {
+		switch row[1] {
+		case "Baseline":
+			baseDRAM = cell(t, tab, i, 5)
+		case "CORO":
+			coroDRAM = cell(t, tab, i, 5)
+			coroLFBPlusL1Hidden = cell(t, tab, i, 2)
+		}
+	}
+	if coroDRAM >= baseDRAM/2 {
+		t.Errorf("CORO DRAM accesses (%v) should collapse vs Baseline (%v): prefetches absorb them", coroDRAM, baseDRAM)
+	}
+	_ = coroLFBPlusL1Hidden // value depends on drain timing; presence checked via parse
+}
+
+func TestFig7OptimaOrdering(t *testing.T) {
+	p := testParams()
+	p.Lookups = 300
+	tab := Fig7(p)
+	if len(tab.Rows) != 12 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	best := func(col int) int {
+		bestG, bestV := 0, 1e18
+		for i := range tab.Rows {
+			if v := cell(t, tab, i, col); v < bestV {
+				bestV, bestG = v, i+1
+			}
+		}
+		return bestG
+	}
+	gGP, gCORO := best(2), best(4)
+	if gCORO > gGP {
+		t.Errorf("CORO optimum G=%d should not exceed GP optimum G=%d", gCORO, gGP)
+	}
+	if gGP < 6 {
+		t.Errorf("GP optimum G=%d implausibly small", gGP)
+	}
+	if len(tab.Notes) < 4 {
+		t.Errorf("Fig7 should note the Inequality 1 estimates")
+	}
+}
+
+func TestFig8DeltaCapped(t *testing.T) {
+	// The Delta win needs a tree larger than the LLC (25 MB): sweep to
+	// 64 MB with the Delta capped at 32 MB so the dash behaviour is also
+	// exercised.
+	p := testParams()
+	p.Sizes = workload.SizesMB(1, 64)
+	p.DeltaMax = 32 << 20
+	tab := Fig8(p)
+	last := len(tab.Rows) - 1
+	if tab.Rows[last][3] != "-" {
+		t.Errorf("Delta columns beyond the cap should be dashed")
+	}
+	// Interleaving wins at the largest (beyond-LLC) Delta size.
+	var lastDelta int
+	for i, row := range tab.Rows {
+		if row[3] != "-" {
+			lastDelta = i
+		}
+	}
+	if cell(t, tab, lastDelta, 4) >= cell(t, tab, lastDelta, 3) {
+		t.Errorf("Delta-Interleaved should beat Delta at %s", tab.Rows[lastDelta][0])
+	}
+}
+
+func TestTables12(t *testing.T) {
+	p := testParams()
+	t1 := Table1(p)
+	if len(t1.Rows) != 2 {
+		t.Fatalf("tab1 rows = %d", len(t1.Rows))
+	}
+	// Locate's runtime share grows with dictionary size (Main columns 1→2).
+	if cell(t, t1, 0, 1) >= cell(t, t1, 0, 2) {
+		t.Errorf("Main locate share should grow with size: %v vs %v", cell(t, t1, 0, 1), cell(t, t1, 0, 2))
+	}
+	// CPI grows with dictionary size.
+	if cell(t, t1, 1, 1) >= cell(t, t1, 1, 2) {
+		t.Errorf("Main locate CPI should grow with size")
+	}
+
+	t2 := Table2(p)
+	if len(t2.Rows) != 5 {
+		t.Fatalf("tab2 rows = %d", len(t2.Rows))
+	}
+	for col := 1; col <= 4; col++ {
+		var sum float64
+		for row := 0; row < 5; row++ {
+			sum += cell(t, t2, row, col)
+		}
+		if sum < 98 || sum > 102 {
+			t.Errorf("tab2 column %d sums to %v%%", col, sum)
+		}
+	}
+}
+
+func TestStaticTables(t *testing.T) {
+	if tab := Table3(Params{}); len(tab.Rows) != 3 {
+		t.Fatalf("tab3 rows = %d", len(tab.Rows))
+	}
+	if tab := Table4(Params{}); len(tab.Rows) < 10 {
+		t.Fatalf("tab4 rows = %d", len(tab.Rows))
+	}
+	tab := Table5(Params{})
+	if len(tab.Rows) != 5 {
+		t.Fatalf("tab5 rows = %d: %v", len(tab.Rows), tab.Rows)
+	}
+	// CORO-U must have the smallest diff-to-original and total footprint
+	// among the techniques (the paper's headline for Table 5).
+	byName := map[string][]string{}
+	for _, row := range tab.Rows {
+		byName[row[0]] = row
+	}
+	coro := byName["CORO-U"]
+	for _, other := range []string{"GP", "AMAC"} {
+		row := byName[other]
+		cd, _ := strconv.Atoi(coro[2])
+		od, _ := strconv.Atoi(row[2])
+		if cd >= od {
+			t.Errorf("CORO-U diff (%d) should undercut %s (%d)", cd, other, od)
+		}
+		cf, _ := strconv.Atoi(coro[3])
+		of, _ := strconv.Atoi(row[3])
+		if cf >= of {
+			t.Errorf("CORO-U footprint (%d) should undercut %s (%d)", cf, other, of)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{ID: "x", Title: "T", Header: []string{"a", "b"}}
+	tab.AddRow("1", "hello,world")
+	tab.AddNote("n=%d", 5)
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"== x: T ==", "hello,world", "note: n=5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fprint output missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	tab.CSV(&buf)
+	if !strings.Contains(buf.String(), `"hello,world"`) {
+		t.Errorf("CSV must quote commas: %s", buf.String())
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := map[string]bool{}
+	for _, r := range All() {
+		if ids[r.ID] {
+			t.Errorf("duplicate runner id %s", r.ID)
+		}
+		ids[r.ID] = true
+		if r.Run == nil || r.Name == "" {
+			t.Errorf("runner %s incomplete", r.ID)
+		}
+	}
+	for _, want := range []string{"fig1", "fig3a", "fig3b", "fig4a", "fig4b", "fig5", "fig6", "fig7", "fig8", "tab1", "tab2", "tab3", "tab4", "tab5"} {
+		if !ids[want] {
+			t.Errorf("registry missing %s", want)
+		}
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations are slow")
+	}
+	p := testParams()
+	p.Sizes = workload.SizesMB(4, 32)
+	p.Lookups = 300
+	if tab := AblSpeculation(p); len(tab.Rows) != 4 {
+		t.Fatalf("abl-spec rows = %d", len(tab.Rows))
+	}
+	if tab := AblPageTree(p); len(tab.Rows) != 4 {
+		t.Fatalf("abl-pagetree rows = %d", len(tab.Rows))
+	}
+	hp := p
+	hp.Lookups = 500
+	if tab := AblHashJoin(hp); len(tab.Rows) != 3 {
+		t.Fatalf("abl-hash rows = %d", len(tab.Rows))
+	}
+	if tab := AblHWSupport(p); len(tab.Rows) != 4 {
+		t.Fatalf("abl-hwsupport rows = %d", len(tab.Rows))
+	}
+}

@@ -1,0 +1,196 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/column"
+	"repro/internal/dict"
+	"repro/internal/memsim"
+	"repro/internal/tmam"
+	"repro/internal/workload"
+)
+
+// mainQueryEnv builds a virtual Main dictionary of the given byte size and
+// its (virtual, permutation) column on a fresh engine.
+func mainQueryEnv(size int64) (*memsim.Engine, *column.Column[uint64], int) {
+	e := memsim.New(memsim.DefaultConfig())
+	n := workload.ElemsFor(size, 4) // INTEGER dictionary entries
+	d := dict.NewMainVirtual(e, n, workload.IntValue)
+	return e, column.NewVirtualColumn(e, d), n
+}
+
+// deltaQueryEnv builds an arena-backed Delta dictionary of the given byte
+// size (real host memory) and its column.
+func deltaQueryEnv(size int64, seed uint64) (*memsim.Engine, *column.Column[uint64], int) {
+	e := memsim.New(memsim.DefaultConfig())
+	n := workload.ElemsFor(size, 4)
+	// Distinct values in shuffled append order: the update-arrival order
+	// of a Delta.
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = uint64(i)
+	}
+	shuffle(vals, seed)
+	d := dict.BulkDelta(e, vals)
+	return e, column.NewVirtualColumn(e, d), n
+}
+
+func shuffle(vals []uint64, seed uint64) {
+	// Fisher-Yates with a splitmix-style generator: deterministic and
+	// cheap for hundreds of millions of entries.
+	s := seed
+	next := func() uint64 {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := len(vals) - 1; i > 0; i-- {
+		j := int(next() % uint64(i+1))
+		vals[i], vals[j] = vals[j], vals[i]
+	}
+}
+
+// queryValues draws the IN-predicate values from the dictionary domain.
+func queryValues(p Params, n int) []uint64 {
+	return workload.IntKeys(workload.UniformIndices(p.Seed, p.Lookups, n))
+}
+
+// runQuery executes a warmed IN query. The warm-up query uses a disjoint
+// value list (see warmSeedOffset): shared index levels and translations
+// warm up, per-value probe tails stay cold, as in steady-state execution.
+func runQuery(e *memsim.Engine, col *column.Column[uint64], values []uint64, interleaved bool, group int) column.QueryResult {
+	cfg := column.DefaultQueryConfig()
+	cfg.Group = group
+	warm := workload.IntKeys(workload.UniformIndices(uint64(warmSeedOffset), len(values), col.Dict.Len()))
+	col.RunIN(e, cfg, warm, interleaved)
+	return col.RunIN(e, cfg, values, interleaved)
+}
+
+// Fig1 reproduces Figure 1: response time of an IN-predicate query with
+// 10 K INTEGER values against Main, sequential vs interleaved, as the
+// dictionary grows from 1 MB to 2 GB.
+func Fig1(p Params) *Table {
+	t := &Table{
+		ID:     "fig1",
+		Title:  "IN-predicate query response time, Main dictionary (ms)",
+		Header: []string{"size", "Main", "Main-Interleaved", "speedup"},
+	}
+	for _, size := range p.Sizes {
+		e, col, n := mainQueryEnv(size)
+		values := queryValues(p, n)
+		seq := runQuery(e, col, values, false, p.GroupDyn)
+		inter := runQuery(e, col, values, true, p.GroupDyn)
+		t.AddRow(sizeLabel(size),
+			fmt.Sprintf("%.2f", seq.Ms()),
+			fmt.Sprintf("%.2f", inter.Ms()),
+			fmt.Sprintf("%.2fx", seq.Ms()/inter.Ms()))
+		p.progressf("fig1: %s done", sizeLabel(size))
+	}
+	t.AddNote("%d predicate values; scan parallelized over %d cores; fixed overhead %.1f ms (calibration in EXPERIMENTS.md)",
+		p.Lookups, column.DefaultQueryConfig().ScanCores, memsim.Ms(column.DefaultQueryConfig().FixedCycles))
+	return t
+}
+
+// Fig8 reproduces Figure 8: the same query over both Main and Delta,
+// sequential vs interleaved.
+func Fig8(p Params) *Table {
+	t := &Table{
+		ID:     "fig8",
+		Title:  "IN-predicate query response time, Main and Delta (ms)",
+		Header: []string{"size", "Main", "Main-Int", "Delta", "Delta-Int"},
+	}
+	deltaOK := map[int64]bool{}
+	for _, s := range p.deltaSizes() {
+		deltaOK[s] = true
+	}
+	for _, size := range p.Sizes {
+		e, col, n := mainQueryEnv(size)
+		values := queryValues(p, n)
+		mainSeq := runQuery(e, col, values, false, p.GroupDyn)
+		mainInter := runQuery(e, col, values, true, p.GroupDyn)
+		dSeqMs, dInterMs := "-", "-"
+		if deltaOK[size] {
+			de, dcol, dn := deltaQueryEnv(size, p.Seed)
+			dvalues := queryValues(p, dn)
+			dSeq := runQuery(de, dcol, dvalues, false, p.GroupDyn)
+			dInter := runQuery(de, dcol, dvalues, true, p.GroupDyn)
+			dSeqMs = fmt.Sprintf("%.2f", dSeq.Ms())
+			dInterMs = fmt.Sprintf("%.2f", dInter.Ms())
+		}
+		t.AddRow(sizeLabel(size),
+			fmt.Sprintf("%.2f", mainSeq.Ms()),
+			fmt.Sprintf("%.2f", mainInter.Ms()),
+			dSeqMs, dInterMs)
+		p.progressf("fig8: %s done", sizeLabel(size))
+	}
+	if !p.Full {
+		t.AddNote("Delta sweeps capped at %s (arena-backed tree; run with -full for the complete sweep)", sizeLabel(p.DeltaMax))
+	}
+	return t
+}
+
+// Table1 reproduces Table 1: execution details of locate — its share of
+// query runtime and its CPI — for Main and Delta at the smallest and
+// largest dictionary sizes.
+func Table1(p Params) *Table {
+	t := &Table{
+		ID:     "tab1",
+		Title:  "Execution details of locate",
+		Header: []string{"metric", "Main " + sizeLabel(p.Sizes[0]), "Main " + sizeLabel(p.Sizes[len(p.Sizes)-1]), "Delta " + sizeLabel(p.deltaSizes()[0]), "Delta " + sizeLabel(p.deltaSizes()[len(p.deltaSizes())-1])},
+	}
+	var shares, cpis []string
+	collect := func(res column.QueryResult) {
+		shares = append(shares, fmt.Sprintf("%.1f%%", 100*res.LocateShare()))
+		cpis = append(cpis, fmt.Sprintf("%.1f", res.LocateCPI()))
+	}
+	for _, size := range []int64{p.Sizes[0], p.Sizes[len(p.Sizes)-1]} {
+		e, col, n := mainQueryEnv(size)
+		collect(runQuery(e, col, queryValues(p, n), false, p.GroupDyn))
+		p.progressf("tab1: Main %s done", sizeLabel(size))
+	}
+	ds := p.deltaSizes()
+	for _, size := range []int64{ds[0], ds[len(ds)-1]} {
+		e, col, n := deltaQueryEnv(size, p.Seed)
+		collect(runQuery(e, col, queryValues(p, n), false, p.GroupDyn))
+		p.progressf("tab1: Delta %s done", sizeLabel(size))
+	}
+	t.AddRow(append([]string{"Runtime %"}, shares...)...)
+	t.AddRow(append([]string{"Cycles per Instruction"}, cpis...)...)
+	t.AddNote("paper (1MB → 2GB): Main 21.4%%→65.7%%, CPI 0.9→6.3; Delta 34.3%%→78.8%%, CPI 0.7→4.2")
+	return t
+}
+
+// Table2 reproduces Table 2: the TMAM pipeline-slot breakdown of locate
+// for Main and Delta at the smallest and largest dictionary sizes.
+func Table2(p Params) *Table {
+	t := &Table{
+		ID:     "tab2",
+		Title:  "Pipeline slot breakdown for locate",
+		Header: []string{"category", "Main " + sizeLabel(p.Sizes[0]), "Main " + sizeLabel(p.Sizes[len(p.Sizes)-1]), "Delta " + sizeLabel(p.deltaSizes()[0]), "Delta " + sizeLabel(p.deltaSizes()[len(p.deltaSizes())-1])},
+	}
+	var all [][tmam.NumCategories]float64
+	for _, size := range []int64{p.Sizes[0], p.Sizes[len(p.Sizes)-1]} {
+		e, col, n := mainQueryEnv(size)
+		res := runQuery(e, col, queryValues(p, n), false, p.GroupDyn)
+		all = append(all, res.LocateSlotShares())
+		p.progressf("tab2: Main %s done", sizeLabel(size))
+	}
+	ds := p.deltaSizes()
+	for _, size := range []int64{ds[0], ds[len(ds)-1]} {
+		e, col, n := deltaQueryEnv(size, p.Seed)
+		res := runQuery(e, col, queryValues(p, n), false, p.GroupDyn)
+		all = append(all, res.LocateSlotShares())
+		p.progressf("tab2: Delta %s done", sizeLabel(size))
+	}
+	for cat := tmam.Category(0); cat < tmam.NumCategories; cat++ {
+		row := []string{cat.String()}
+		for _, shares := range all {
+			row = append(row, fmt.Sprintf("%.1f%%", 100*shares[cat]))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("paper 2GB: Main memory 46.0%%, bad speculation 26.1%%; Delta memory 85.9%%")
+	return t
+}

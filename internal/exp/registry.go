@@ -1,0 +1,43 @@
+package exp
+
+// Runner names one experiment and produces its tables.
+type Runner struct {
+	ID   string
+	Name string
+	Run  func(Params) []*Table
+}
+
+// one wraps a single-table experiment.
+func one(f func(Params) *Table) func(Params) []*Table {
+	return func(p Params) []*Table { return []*Table{f(p)} }
+}
+
+// All lists every experiment in the paper's presentation order, followed
+// by the ablations.
+func All() []Runner {
+	return []Runner{
+		{"fig1", "Figure 1: IN query response time (Main)", one(Fig1)},
+		{"tab1", "Table 1: execution details of locate", one(Table1)},
+		{"tab2", "Table 2: pipeline slot breakdown for locate", one(Table2)},
+		{"tab3", "Table 3: properties of interleaving techniques", one(Table3)},
+		{"tab4", "Table 4: architectural parameters", one(Table4)},
+		{"tab5", "Table 5: implementation complexity and code footprint", one(Table5)},
+		{"fig3a", "Figure 3a: binary search, int arrays", one(func(p Params) *Table { return Fig3(p, false, false) })},
+		{"fig3b", "Figure 3b: binary search, string arrays", one(func(p Params) *Table { return Fig3(p, true, false) })},
+		{"fig4a", "Figure 4a: sorted lookup values, int arrays", one(func(p Params) *Table { return Fig3(p, false, true) })},
+		{"fig4b", "Figure 4b: sorted lookup values, string arrays", one(func(p Params) *Table { return Fig3(p, true, true) })},
+		{"fig5", "Figure 5: execution time breakdown", one(Fig5)},
+		{"fig6", "Figure 6: L1D miss breakdown", one(Fig6)},
+		{"fig7", "Figure 7: effect of group size", one(Fig7)},
+		{"fig8", "Figure 8: IN query response time (Main and Delta)", one(Fig8)},
+		{"abl-lfb", "Ablation: LFB count sensitivity", one(AblLFB)},
+		{"abl-switch", "Ablation: switch-cost sensitivity", one(AblSwitchCost)},
+		{"abl-spec", "Ablation: speculation on/off for std", one(AblSpeculation)},
+		{"abl-hash", "Ablation: hash-join probe interleaving (Section 6)", one(AblHashJoin)},
+		{"abl-pagetree", "Ablation: paged B+-tree vs flat binary search (Section 6)", one(AblPageTree)},
+		{"abl-coro", "Ablation: coroutine backend cost (native)", one(AblCoroBackend)},
+		{"abl-hwsupport", "Ablation: conditional suspension (Section 6 hardware support)", one(AblHWSupport)},
+		{"abl-numa", "Ablation: remote-memory latency (Section 6 NUMA)", one(AblNUMA)},
+		{"abl-spp", "Ablation: software-pipelined prefetching (Chen et al.)", one(AblSPP)},
+	}
+}

@@ -1,0 +1,148 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/memsim"
+	"repro/internal/search"
+	"repro/internal/tmam"
+	"repro/internal/workload"
+)
+
+// Fig3 reproduces Figure 3: cycles per binary search over sorted arrays,
+// 1 MB–2 GB, five implementations, unsorted lookup values. sortKeys=true
+// reproduces Figure 4 (sorted lookup values increase temporal locality).
+func Fig3(p Params, strings bool, sortKeys bool) *Table {
+	id, title := "fig3a", "Binary searches over sorted int array (cycles per search)"
+	elemSize := 8
+	if strings {
+		id, title = "fig3b", "Binary searches over sorted string array (cycles per search)"
+		elemSize = memsim.StrSlot
+	}
+	if sortKeys {
+		id = "fig4" + id[4:]
+		title += ", sorted lookup values"
+	}
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		Header: []string{"size", "std", "Baseline", "GP", "AMAC", "CORO"},
+	}
+	costs := search.DefaultCosts()
+	for _, size := range p.Sizes {
+		n := workload.ElemsFor(size, elemSize)
+		indices := workload.UniformIndices(p.Seed, p.Lookups, n)
+		if sortKeys {
+			indices = workload.Sorted(indices)
+		}
+		row := []string{sizeLabel(size)}
+		for _, tech := range core.Techniques() {
+			var m measurement
+			if strings {
+				m = measureStrSearch(memsim.DefaultConfig(), costs, n, workload.StrKeys(indices), tech, p.groupFor(tech))
+			} else {
+				m = measureIntSearch(memsim.DefaultConfig(), costs, n, elemSize, workload.IntKeys(indices), tech, p.groupFor(tech))
+			}
+			row = append(row, fmt.Sprintf("%.0f", m.CyclesPerLookup))
+		}
+		t.AddRow(row...)
+		p.progressf("%s: %s done", id, sizeLabel(size))
+	}
+	t.AddNote("group sizes: GP=%d, AMAC/CORO=%d (Section 5.4.5 best configurations)", p.GroupGP, p.GroupDyn)
+	return t
+}
+
+// Fig5 reproduces Figure 5: the TMAM execution-time breakdown of one
+// binary search per implementation and array size (int arrays, unsorted
+// lookups).
+func Fig5(p Params) *Table {
+	t := &Table{
+		ID:     "fig5",
+		Title:  "Execution time breakdown of binary search (cycles per search)",
+		Header: []string{"size", "variant", "Front-End", "BadSpec", "Memory", "Core", "Retiring", "total"},
+	}
+	costs := search.DefaultCosts()
+	for _, size := range p.Sizes {
+		n := workload.ElemsFor(size, 8)
+		keys := workload.IntKeys(workload.UniformIndices(p.Seed, p.Lookups, n))
+		for _, tech := range core.Techniques() {
+			m := measureIntSearch(memsim.DefaultConfig(), costs, n, 8, keys, tech, p.groupFor(tech))
+			bd := m.Stats.Breakdown
+			perSearch := func(c tmam.Category) string {
+				return fmt.Sprintf("%.0f", float64(bd.Cycles[c])/float64(p.Lookups))
+			}
+			t.AddRow(sizeLabel(size), tech.String(),
+				perSearch(tmam.FrontEnd), perSearch(tmam.BadSpeculation), perSearch(tmam.Memory),
+				perSearch(tmam.CoreStall), perSearch(tmam.Retiring),
+				fmt.Sprintf("%.0f", m.CyclesPerLookup))
+		}
+		p.progressf("fig5: %s done", sizeLabel(size))
+	}
+	return t
+}
+
+// Fig6 reproduces Figure 6: the breakdown of L1D misses per search by the
+// memory-hierarchy level that satisfied them (L1 hits omitted, as in the
+// paper).
+func Fig6(p Params) *Table {
+	t := &Table{
+		ID:     "fig6",
+		Title:  "Breakdown of L1D misses per search (loads by satisfying level)",
+		Header: []string{"size", "variant", "LFB", "L2", "L3", "DRAM", "walks"},
+	}
+	costs := search.DefaultCosts()
+	for _, size := range p.Sizes {
+		n := workload.ElemsFor(size, 8)
+		keys := workload.IntKeys(workload.UniformIndices(p.Seed, p.Lookups, n))
+		for _, tech := range core.Techniques() {
+			m := measureIntSearch(memsim.DefaultConfig(), costs, n, 8, keys, tech, p.groupFor(tech))
+			per := func(v int64) string { return fmt.Sprintf("%.1f", float64(v)/float64(p.Lookups)) }
+			t.AddRow(sizeLabel(size), tech.String(),
+				per(m.Stats.Loads[memsim.LevelLFB]), per(m.Stats.Loads[memsim.LevelL2]),
+				per(m.Stats.Loads[memsim.LevelL3]), per(m.Stats.Loads[memsim.LevelDRAM]),
+				per(m.Stats.PageWalks))
+		}
+		p.progressf("fig6: %s done", sizeLabel(size))
+	}
+	return t
+}
+
+// Fig7 reproduces Figure 7: cycles per search as a function of the group
+// size for a 256 MB int array, plus the Inequality 1 estimates derived
+// from profiling (Section 5.4.5).
+func Fig7(p Params) *Table {
+	const size = 256 << 20
+	n := workload.ElemsFor(size, 8)
+	keys := workload.IntKeys(workload.UniformIndices(p.Seed, p.Lookups, n))
+	costs := search.DefaultCosts()
+
+	t := &Table{
+		ID:     "fig7",
+		Title:  "Effect of group size on runtime (256 MB int array, cycles per search)",
+		Header: []string{"G", "Baseline", "GP", "AMAC", "CORO"},
+	}
+	base := measureIntSearch(memsim.DefaultConfig(), costs, n, 8, keys, core.Baseline, 1)
+	for g := 1; g <= 12; g++ {
+		row := []string{fmt.Sprintf("%d", g), fmt.Sprintf("%.0f", base.CyclesPerLookup)}
+		for _, tech := range []core.Technique{core.GP, core.AMAC, core.CORO} {
+			m := measureIntSearch(memsim.DefaultConfig(), costs, n, 8, keys, tech, g)
+			row = append(row, fmt.Sprintf("%.0f", m.CyclesPerLookup))
+		}
+		t.AddRow(row...)
+		p.progressf("fig7: G=%d done", g)
+	}
+
+	// The Inequality 1 estimate from profiling, exactly as in the paper.
+	mk := func() (*memsim.Engine, search.Table[uint64]) {
+		e := memsim.New(memsim.DefaultConfig())
+		return e, search.IntTable{A: memsim.NewVirtualIntArray(e, n, 8, workload.IntValue)}
+	}
+	est := core.Estimate(mk, costs, keys)
+	t.AddNote("profiled model parameters: Tstall=%.0f Tcompute=%.0f cycles/lookup", est.TStall, est.TCompute)
+	for _, tech := range []core.Technique{core.GP, core.AMAC, core.CORO} {
+		t.AddNote("Inequality 1 estimate for %s: G ≥ %d (Tswitch=%.0f)", tech, est.G[tech], est.TSwitch[tech])
+	}
+	t.AddNote("paper: estimated G_GP ≥ 12 (observed best 10, capped by %d LFBs), G_AMAC = G_CORO ≥ 6", memsim.DefaultConfig().NumLFB)
+	return t
+}

@@ -1,0 +1,243 @@
+// Package hashjoin implements the hash-join probe target of the paper's
+// Section 6 ("the probe phases of hash joins that use [a hash table with
+// bucket lists] are straightforward candidates for our technique"): a
+// bucket-chained hash table over simulated memory with sequential, AMAC,
+// and coroutine-interleaved probes. Chain lengths diverge per key, so
+// this is the decoupled-control-flow case static interleaving cannot
+// express.
+package hashjoin
+
+import (
+	"repro/internal/coro"
+	"repro/internal/memsim"
+)
+
+// Node layout in the node arena: key u64 | val u32 | next u32 (16 B,
+// quarter of a cache line). next is nodeIndex+1, 0 means end of chain.
+const nodeSize = 16
+
+// Costs holds the instruction charges of the probe path.
+type Costs struct {
+	// Hash covers hashing and bucket-address arithmetic; NodeCmp one
+	// chain-node comparison; Store the result store.
+	Hash, NodeCmp, Store int
+	// Switch overheads, as in internal/search.
+	AMACSwitch, COROSuspend, COROResume int
+}
+
+// DefaultCosts mirrors search.DefaultCosts.
+func DefaultCosts() Costs {
+	return Costs{
+		Hash:        6,
+		NodeCmp:     6,
+		Store:       2,
+		AMACSwitch:  11,
+		COROSuspend: 17,
+		COROResume:  18,
+	}
+}
+
+// Table is a bucket-chained hash table in simulated memory.
+type Table struct {
+	buckets *memsim.Arena // u32 per bucket: nodeIndex+1, 0 = empty
+	nodes   *memsim.Arena
+	mask    uint64
+	nNodes  int
+	count   int
+}
+
+// New creates a table with capacity slots at a load factor around one.
+func New(e *memsim.Engine, capacity int) *Table {
+	nBuckets := 1
+	for nBuckets < capacity {
+		nBuckets <<= 1
+	}
+	return &Table{
+		buckets: memsim.NewArena(e, nBuckets*4),
+		nodes:   memsim.NewArenaReserve(e, 4096, (capacity+1)*nodeSize),
+		mask:    uint64(nBuckets - 1),
+	}
+}
+
+// hash is a Fibonacci multiply-shift.
+func (t *Table) hash(key uint64) uint64 {
+	return (key * 0x9e3779b97f4a7c15) >> 32 & t.mask
+}
+
+// Len returns the number of entries.
+func (t *Table) Len() int { return t.count }
+
+// Insert adds key → val (host time; the build is not the measured phase
+// of this ablation). Duplicate keys prepend, as in a join build side.
+func (t *Table) Insert(key uint64, val uint32) {
+	b := int(t.hash(key)) * 4
+	head := t.buckets.U32(b)
+	idx := t.nNodes
+	t.nNodes++
+	off := idx * nodeSize
+	t.nodes.PutU64(off, key)
+	t.nodes.PutU32(off+8, val)
+	t.nodes.PutU32(off+12, head)
+	t.buckets.PutU32(b, uint32(idx)+1)
+	t.count++
+}
+
+// Result is a probe outcome.
+type Result struct {
+	Value uint32
+	Found bool
+}
+
+// probeCharged walks the bucket chain for key. hook, when non-nil, is the
+// interleaving suspension point before each dependent memory access.
+func (t *Table) probeCharged(e *memsim.Engine, c Costs, key uint64, hook func(addr uint64)) Result {
+	e.Compute(c.Hash)
+	bOff := int(t.hash(key)) * 4
+	bAddr := t.buckets.Addr(bOff)
+	if hook != nil {
+		hook(bAddr)
+	}
+	e.Load(bAddr)
+	next := t.buckets.U32(bOff)
+	for next != 0 {
+		off := int(next-1) * nodeSize
+		nAddr := t.nodes.Addr(off)
+		if hook != nil {
+			hook(nAddr)
+		}
+		e.Load(nAddr)
+		e.Compute(c.NodeCmp)
+		if t.nodes.U64(off) == key {
+			return Result{Value: t.nodes.U32(off + 8), Found: true}
+		}
+		next = t.nodes.U32(off + 12)
+	}
+	return Result{}
+}
+
+// Probe performs one sequential probe.
+func (t *Table) Probe(e *memsim.Engine, c Costs, key uint64) (uint32, bool) {
+	r := t.probeCharged(e, c, key, nil)
+	return r.Value, r.Found
+}
+
+// ProbeCoro builds the interleavable probe coroutine: the sequential code
+// with a prefetch+suspension before each pointer dereference.
+func (t *Table) ProbeCoro(e *memsim.Engine, c Costs, key uint64, interleave bool) coro.Handle[Result] {
+	return coro.NewPull(func(suspend func()) Result {
+		var hook func(addr uint64)
+		if interleave {
+			hook = func(addr uint64) {
+				e.Prefetch(addr)
+				e.SwitchWork(c.COROSuspend)
+				suspend()
+				e.SwitchWork(c.COROResume)
+			}
+		}
+		return t.probeCharged(e, c, key, hook)
+	})
+}
+
+// RunSequential probes all keys one after the other.
+func (t *Table) RunSequential(e *memsim.Engine, c Costs, keys []uint64, out []Result) {
+	for i, k := range keys {
+		out[i] = t.probeCharged(e, c, k, nil)
+		e.Compute(c.Store)
+	}
+}
+
+// RunCORO interleaves the probes with coroutines.
+func (t *Table) RunCORO(e *memsim.Engine, c Costs, keys []uint64, group int, out []Result) {
+	coro.RunInterleaved(len(keys), group,
+		func(i int) coro.Handle[Result] { return t.ProbeCoro(e, c, keys[i], true) },
+		func(i int, r Result) {
+			out[i] = r
+			e.Compute(c.Store)
+		})
+}
+
+// amacStage enumerates the probe state machine.
+type amacStage uint8
+
+const (
+	asInit amacStage = iota
+	asBucket
+	asNode
+	asDone
+)
+
+type amacState struct {
+	key   uint64
+	next  uint32
+	owner int
+	stage amacStage
+}
+
+// RunAMAC interleaves the probes with an explicit state machine.
+func (t *Table) RunAMAC(e *memsim.Engine, c Costs, keys []uint64, group int, out []Result) {
+	if group < 1 {
+		group = 1
+	}
+	if group > len(keys) {
+		group = len(keys)
+	}
+	if len(keys) == 0 {
+		return
+	}
+	states := make([]amacState, group)
+	next := 0
+	notDone := group
+	for notDone > 0 {
+		for s := range states {
+			st := &states[s]
+			switch st.stage {
+			case asInit:
+				e.SwitchWork(c.AMACSwitch)
+				if next >= len(keys) {
+					st.stage = asDone
+					notDone--
+					continue
+				}
+				st.key = keys[next]
+				st.owner = next
+				next++
+				e.Compute(c.Hash)
+				e.Prefetch(t.buckets.Addr(int(t.hash(st.key)) * 4))
+				st.stage = asBucket
+			case asBucket:
+				e.SwitchWork(c.AMACSwitch)
+				bOff := int(t.hash(st.key)) * 4
+				e.Load(t.buckets.Addr(bOff))
+				st.next = t.buckets.U32(bOff)
+				if st.next == 0 {
+					out[st.owner] = Result{}
+					e.Compute(c.Store)
+					st.stage = asInit
+					continue
+				}
+				e.Prefetch(t.nodes.Addr(int(st.next-1) * nodeSize))
+				st.stage = asNode
+			case asNode:
+				e.SwitchWork(c.AMACSwitch)
+				off := int(st.next-1) * nodeSize
+				e.Load(t.nodes.Addr(off))
+				e.Compute(c.NodeCmp)
+				if t.nodes.U64(off) == st.key {
+					out[st.owner] = Result{Value: t.nodes.U32(off + 8), Found: true}
+					e.Compute(c.Store)
+					st.stage = asInit
+					continue
+				}
+				st.next = t.nodes.U32(off + 12)
+				if st.next == 0 {
+					out[st.owner] = Result{}
+					e.Compute(c.Store)
+					st.stage = asInit
+					continue
+				}
+				e.Prefetch(t.nodes.Addr(int(st.next-1) * nodeSize))
+			case asDone:
+			}
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package hashjoin
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/memsim"
+)
+
+func newEngine() *memsim.Engine { return memsim.New(memsim.TinyConfig()) }
+
+func TestInsertProbe(t *testing.T) {
+	e := newEngine()
+	h := New(e, 1000)
+	c := DefaultCosts()
+	for k := uint64(0); k < 500; k++ {
+		h.Insert(k*3, uint32(k))
+	}
+	if h.Len() != 500 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	for k := uint64(0); k < 500; k++ {
+		v, ok := h.Probe(e, c, k*3)
+		if !ok || v != uint32(k) {
+			t.Fatalf("Probe(%d) = (%d,%v)", k*3, v, ok)
+		}
+	}
+	for _, k := range []uint64{1, 2, 1501} {
+		if _, ok := h.Probe(e, c, k); ok {
+			t.Fatalf("found absent key %d", k)
+		}
+	}
+}
+
+func TestDuplicateKeysPrepend(t *testing.T) {
+	e := newEngine()
+	h := New(e, 10)
+	c := DefaultCosts()
+	h.Insert(7, 1)
+	h.Insert(7, 2)
+	v, ok := h.Probe(e, c, 7)
+	if !ok || v != 2 {
+		t.Fatalf("Probe(7) = (%d,%v), want newest value 2", v, ok)
+	}
+}
+
+func TestProbeVariantsAgreeProperty(t *testing.T) {
+	f := func(rawKeys []uint16, probes []uint16, g uint8) bool {
+		e := newEngine()
+		h := New(e, len(rawKeys)+1)
+		ref := map[uint64]uint32{}
+		for i, rk := range rawKeys {
+			h.Insert(uint64(rk), uint32(i))
+			ref[uint64(rk)] = uint32(i) // last write wins (prepend → found first)
+		}
+		c := DefaultCosts()
+		group := int(g%8) + 1
+		keys := make([]uint64, len(probes))
+		for i, p := range probes {
+			keys[i] = uint64(p)
+		}
+		seq := make([]Result, len(keys))
+		h.RunSequential(e, c, keys, seq)
+		am := make([]Result, len(keys))
+		h.RunAMAC(e, c, keys, group, am)
+		co := make([]Result, len(keys))
+		h.RunCORO(e, c, keys, group, co)
+		for i, k := range keys {
+			want, exists := ref[k]
+			for _, got := range []Result{seq[i], am[i], co[i]} {
+				if got.Found != exists {
+					return false
+				}
+				if exists && got.Value != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterleavedProbeFasterBeyondCache(t *testing.T) {
+	n := 1 << 15 // table ≫ tiny LLC
+	rng := rand.New(rand.NewPCG(3, 4))
+	probes := make([]uint64, 2000)
+	for i := range probes {
+		probes[i] = rng.Uint64N(uint64(n))
+	}
+	c := DefaultCosts()
+	cycles := func(run func(e *memsim.Engine, h *Table, out []Result)) int64 {
+		e := newEngine()
+		h := New(e, n)
+		for k := 0; k < n; k++ {
+			h.Insert(uint64(k), uint32(k))
+		}
+		out := make([]Result, len(probes))
+		run(e, h, out)
+		start := e.Now()
+		run(e, h, out)
+		return e.Now() - start
+	}
+	seq := cycles(func(e *memsim.Engine, h *Table, out []Result) { h.RunSequential(e, c, probes, out) })
+	am := cycles(func(e *memsim.Engine, h *Table, out []Result) { h.RunAMAC(e, c, probes, 6, out) })
+	co := cycles(func(e *memsim.Engine, h *Table, out []Result) { h.RunCORO(e, c, probes, 6, out) })
+	if am >= seq || co >= seq {
+		t.Fatalf("interleaved probes not faster: seq=%d amac=%d coro=%d", seq, am, co)
+	}
+}
+
+func TestEmptyProbeSet(t *testing.T) {
+	e := newEngine()
+	h := New(e, 8)
+	c := DefaultCosts()
+	h.RunAMAC(e, c, nil, 4, nil)
+	h.RunCORO(e, c, nil, 4, nil)
+}

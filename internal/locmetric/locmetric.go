@@ -1,0 +1,175 @@
+// Package locmetric regenerates the paper's Table 5 — implementation
+// complexity and code footprint of the interleaving techniques — by
+// counting marked regions in this repository's own sources.
+//
+// Regions are delimited by `//loc:begin <name>` and `//loc:end <name>`
+// comments. Counted lines exclude blanks and comment-only lines. The
+// Diff-to-Original metric is the number of counted lines in a region that
+// do not appear (as whitespace-normalized lines) in the original
+// sequential region — the paper's measure of how intrusive a technique's
+// rewrite is.
+package locmetric
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// RepoRoot locates the repository root from this source file's compiled-in
+// path, so Table 5 can be regenerated from tests and CLIs run anywhere
+// inside the module. It returns an error when sources are not present
+// (e.g. a stripped binary run elsewhere).
+func RepoRoot() (string, error) {
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		return "", fmt.Errorf("locmetric: cannot locate own source file")
+	}
+	root := filepath.Dir(filepath.Dir(filepath.Dir(file))) // internal/locmetric/x.go → root
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		return "", fmt.Errorf("locmetric: %s does not look like the repo root: %w", root, err)
+	}
+	return root, nil
+}
+
+// ScanRepo scans a repo-relative list of Go files and merges their
+// regions.
+func ScanRepo(relPaths ...string) (map[string]Region, error) {
+	root, err := RepoRoot()
+	if err != nil {
+		return nil, err
+	}
+	merged := map[string]Region{}
+	for _, rel := range relPaths {
+		regions, err := ScanFile(filepath.Join(root, rel))
+		if err != nil {
+			return nil, err
+		}
+		for name, r := range regions {
+			prev := merged[name]
+			merged[name] = Region{Name: name, Lines: append(prev.Lines, r.Lines...)}
+		}
+	}
+	return merged, nil
+}
+
+// Region is a named, counted code region.
+type Region struct {
+	Name  string
+	Lines []string // normalized counted lines
+}
+
+// LoC returns the counted line count.
+func (r Region) LoC() int { return len(r.Lines) }
+
+// ScanFile extracts all marked regions from a Go source file.
+func ScanFile(path string) (map[string]Region, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return scan(string(data))
+}
+
+func scan(src string) (map[string]Region, error) {
+	regions := map[string]Region{}
+	open := map[string][]string{}
+	for ln, line := range strings.Split(src, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if name, ok := strings.CutPrefix(trimmed, "//loc:begin "); ok {
+			name = strings.TrimSpace(name)
+			if _, dup := open[name]; dup {
+				return nil, fmt.Errorf("locmetric: line %d: region %q reopened", ln+1, name)
+			}
+			open[name] = []string{}
+			continue
+		}
+		if name, ok := strings.CutPrefix(trimmed, "//loc:end "); ok {
+			name = strings.TrimSpace(name)
+			lines, isOpen := open[name]
+			if !isOpen {
+				return nil, fmt.Errorf("locmetric: line %d: region %q closed but not open", ln+1, name)
+			}
+			prev := regions[name]
+			regions[name] = Region{Name: name, Lines: append(prev.Lines, lines...)}
+			delete(open, name)
+			continue
+		}
+		if countable(trimmed) {
+			for name := range open {
+				open[name] = append(open[name], normalize(trimmed))
+			}
+		}
+	}
+	if len(open) > 0 {
+		for name := range open {
+			return nil, fmt.Errorf("locmetric: region %q never closed", name)
+		}
+	}
+	return regions, nil
+}
+
+// countable reports whether a trimmed line counts as code.
+func countable(trimmed string) bool {
+	if trimmed == "" {
+		return false
+	}
+	if strings.HasPrefix(trimmed, "//") {
+		return false
+	}
+	return true
+}
+
+// normalize collapses interior whitespace so indentation changes do not
+// defeat the diff.
+func normalize(trimmed string) string {
+	return strings.Join(strings.Fields(trimmed), " ")
+}
+
+// DiffToOriginal counts lines of region that are absent from original
+// (multiset semantics: duplicates must be matched one-for-one).
+func DiffToOriginal(region, original Region) int {
+	avail := map[string]int{}
+	for _, l := range original.Lines {
+		avail[l]++
+	}
+	diff := 0
+	for _, l := range region.Lines {
+		if avail[l] > 0 {
+			avail[l]--
+		} else {
+			diff++
+		}
+	}
+	return diff
+}
+
+// Metrics is one Table 5 row.
+type Metrics struct {
+	Technique       string
+	InterleavedLoC  int
+	DiffToOriginal  int
+	TotalFootprint  int
+	UnifiedCodepath bool
+}
+
+// Compute derives the Table 5 row for a technique region against the
+// original sequential region. Unified implementations (CORO-U) support
+// both modes in one codepath, so their footprint is just their own LoC;
+// separate implementations must also maintain the original.
+func Compute(technique string, region, original Region, unified bool) Metrics {
+	m := Metrics{
+		Technique:       technique,
+		InterleavedLoC:  region.LoC(),
+		DiffToOriginal:  DiffToOriginal(region, original),
+		UnifiedCodepath: unified,
+	}
+	if unified {
+		m.TotalFootprint = region.LoC()
+	} else {
+		m.TotalFootprint = region.LoC() + original.LoC()
+	}
+	return m
+}

@@ -1,0 +1,103 @@
+package locmetric
+
+import "testing"
+
+const sample = `
+package x
+
+//loc:begin orig
+func f() int {
+	a := 1
+	// a comment line
+	b := 2
+
+	return a + b
+}
+//loc:end orig
+
+//loc:begin variant
+func g() int {
+	a := 1
+	prefetch()
+	b := 2
+	return a + b
+}
+//loc:end variant
+`
+
+func TestScanCountsCodeOnly(t *testing.T) {
+	regions, err := scan(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := regions["orig"]
+	if orig.LoC() != 5 { // func, a, b, return, closing brace
+		t.Fatalf("orig LoC = %d, lines=%q", orig.LoC(), orig.Lines)
+	}
+	variant := regions["variant"]
+	if variant.LoC() != 6 {
+		t.Fatalf("variant LoC = %d", variant.LoC())
+	}
+}
+
+func TestDiffToOriginal(t *testing.T) {
+	regions, _ := scan(sample)
+	// variant differs by: func g header and prefetch() → 2 lines.
+	if d := DiffToOriginal(regions["variant"], regions["orig"]); d != 2 {
+		t.Fatalf("diff = %d", d)
+	}
+	// A region diffed against itself is zero.
+	if d := DiffToOriginal(regions["orig"], regions["orig"]); d != 0 {
+		t.Fatalf("self diff = %d", d)
+	}
+}
+
+func TestDiffMultisetSemantics(t *testing.T) {
+	a := Region{Lines: []string{"x++", "x++", "x++"}}
+	b := Region{Lines: []string{"x++"}}
+	if d := DiffToOriginal(a, b); d != 2 {
+		t.Fatalf("multiset diff = %d", d)
+	}
+}
+
+func TestComputeFootprint(t *testing.T) {
+	orig := Region{Lines: make([]string, 10)}
+	variant := Region{Lines: make([]string, 15)}
+	sep := Compute("AMAC", variant, orig, false)
+	if sep.TotalFootprint != 25 {
+		t.Fatalf("separate footprint = %d", sep.TotalFootprint)
+	}
+	uni := Compute("CORO-U", variant, orig, true)
+	if uni.TotalFootprint != 15 {
+		t.Fatalf("unified footprint = %d", uni.TotalFootprint)
+	}
+}
+
+func TestScanErrors(t *testing.T) {
+	if _, err := scan("//loc:begin a\ncode\n"); err == nil {
+		t.Fatal("unclosed region must error")
+	}
+	if _, err := scan("//loc:end a\n"); err == nil {
+		t.Fatal("unopened end must error")
+	}
+	if _, err := scan("//loc:begin a\n//loc:begin a\n//loc:end a\n//loc:end a\n"); err == nil {
+		t.Fatal("reopened region must error")
+	}
+}
+
+func TestScanFileMissing(t *testing.T) {
+	if _, err := ScanFile("/nonexistent/file.go"); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestNestedRegionsBothCount(t *testing.T) {
+	src := "//loc:begin outer\nx := 1\n//loc:begin inner\ny := 2\n//loc:end inner\n//loc:end outer\n"
+	regions, err := scan(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regions["outer"].LoC() != 2 || regions["inner"].LoC() != 1 {
+		t.Fatalf("outer=%d inner=%d", regions["outer"].LoC(), regions["inner"].LoC())
+	}
+}

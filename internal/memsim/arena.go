@@ -1,0 +1,98 @@
+package memsim
+
+import "encoding/binary"
+
+// Arena is a host-backed region of simulated address space. Mutable data
+// structures (CSB+-tree nodes, Delta dictionary arrays, hash tables) live
+// in arenas: their bytes are real so the structures hold real data, and
+// every offset maps to a simulated address so cache and TLB behaviour is
+// modelled. Writes during structure construction are free (construction
+// is not a measured region); reads on the lookup path are charged by the
+// caller via Engine.Load on Addr(off).
+type Arena struct {
+	base    uint64
+	buf     []byte
+	reserve int
+}
+
+// NewArena allocates size bytes of simulated address space backed by a
+// host buffer of the same size. The arena cannot grow beyond size.
+func NewArena(e *Engine, size int) *Arena {
+	return NewArenaReserve(e, size, size)
+}
+
+// NewArenaReserve allocates `reserve` bytes of simulated address space —
+// address space is free, so growable structures reserve generously — with
+// an initial host buffer of `size` bytes that grows on demand up to the
+// reservation. Writing past the reservation panics: the structure would
+// otherwise silently alias a neighbouring allocation.
+func NewArenaReserve(e *Engine, size, reserve int) *Arena {
+	if reserve < size {
+		reserve = size
+	}
+	return &Arena{base: e.Alloc(reserve), buf: make([]byte, size), reserve: reserve}
+}
+
+// Base returns the simulated base address.
+func (a *Arena) Base() uint64 { return a.base }
+
+// Size returns the arena capacity in bytes.
+func (a *Arena) Size() int { return len(a.buf) }
+
+// Addr converts a byte offset to a simulated address.
+func (a *Arena) Addr(off int) uint64 { return a.base + uint64(off) }
+
+// grow extends the host buffer to cover end bytes, bounded by the
+// simulated reservation.
+func (a *Arena) grow(end int) {
+	if end <= len(a.buf) {
+		return
+	}
+	if end > a.reserve {
+		panic("memsim: arena write past its simulated reservation")
+	}
+	n := len(a.buf) * 2
+	if n < end {
+		n = end
+	}
+	if n > a.reserve {
+		n = a.reserve
+	}
+	nb := make([]byte, n)
+	copy(nb, a.buf)
+	a.buf = nb
+}
+
+// Copy moves n bytes from srcOff to dstOff within the arena (host time;
+// used by structure reorganizations such as CSB+ node-group splits).
+func (a *Arena) Copy(dstOff, srcOff, n int) {
+	a.grow(dstOff + n)
+	copy(a.buf[dstOff:dstOff+n], a.buf[srcOff:srcOff+n])
+}
+
+// U32 reads a little-endian uint32 at off without charging simulated time.
+func (a *Arena) U32(off int) uint32 { return binary.LittleEndian.Uint32(a.buf[off:]) }
+
+// PutU32 writes a little-endian uint32 at off.
+func (a *Arena) PutU32(off int, v uint32) {
+	a.grow(off + 4)
+	binary.LittleEndian.PutUint32(a.buf[off:], v)
+}
+
+// U64 reads a little-endian uint64 at off without charging simulated time.
+func (a *Arena) U64(off int) uint64 { return binary.LittleEndian.Uint64(a.buf[off:]) }
+
+// PutU64 writes a little-endian uint64 at off.
+func (a *Arena) PutU64(off int, v uint64) {
+	a.grow(off + 8)
+	binary.LittleEndian.PutUint64(a.buf[off:], v)
+}
+
+// U16 reads a little-endian uint16 at off without charging simulated time.
+func (a *Arena) U16(off int) uint16 { return binary.LittleEndian.Uint16(a.buf[off:]) }
+
+// PutU16 writes a little-endian uint16 at off.
+func (a *Arena) PutU16(off int, v uint16) {
+	a.grow(off + 2)
+	binary.LittleEndian.PutUint16(a.buf[off:], v)
+}

@@ -1,0 +1,120 @@
+package memsim
+
+import "fmt"
+
+// IntArray is a simulated read-only array of fixed-width integer elements
+// occupying simulated address space. The element values are produced by a
+// value function, so paper-scale arrays (up to 2 GB) cost no host memory —
+// exactly mirroring Section 5.3, where "the values are the corresponding
+// array indices". A backed variant wraps a real slice.
+type IntArray struct {
+	base     uint64
+	n        int
+	elemSize int
+	val      func(i int) uint64
+}
+
+// NewVirtualIntArray reserves address space for n elements of elemSize
+// bytes (4 or 8) whose values are computed by val. val must be
+// monotonically non-decreasing if the array is to be binary searched.
+func NewVirtualIntArray(e *Engine, n, elemSize int, val func(i int) uint64) *IntArray {
+	if elemSize != 4 && elemSize != 8 {
+		panic(fmt.Sprintf("memsim: unsupported element size %d", elemSize))
+	}
+	return &IntArray{
+		base:     e.Alloc(n * elemSize),
+		n:        n,
+		elemSize: elemSize,
+		val:      val,
+	}
+}
+
+// NewBackedIntArray reserves address space mirroring data; element i of
+// the simulated array has value data[i].
+func NewBackedIntArray(e *Engine, data []uint64, elemSize int) *IntArray {
+	a := NewVirtualIntArray(e, len(data), elemSize, func(i int) uint64 { return data[i] })
+	return a
+}
+
+// Len returns the number of elements.
+func (a *IntArray) Len() int { return a.n }
+
+// Bytes returns the simulated size of the array in bytes.
+func (a *IntArray) Bytes() int { return a.n * a.elemSize }
+
+// Addr returns the simulated address of element i.
+func (a *IntArray) Addr(i int) uint64 { return a.base + uint64(i*a.elemSize) }
+
+// At returns element i without charging simulated time (verification and
+// result extraction).
+func (a *IntArray) At(i int) uint64 { return a.val(i) }
+
+// Read loads element i through the engine, charging translation and data
+// access, and returns its value and hit level.
+func (a *IntArray) Read(e *Engine, i int) (uint64, Level) {
+	level := e.Load(a.Addr(i))
+	return a.val(i), level
+}
+
+// StrSlot is the fixed 16-byte dictionary slot holding a 15-character
+// string plus a NUL, as in the paper's string microbenchmarks ("we convert
+// the index to a string of 15 characters").
+const StrSlot = 16
+
+// StrVal is a fixed-size string value.
+type StrVal [StrSlot]byte
+
+// Cmp compares two string values lexicographically over their 15
+// significant bytes.
+func (s StrVal) Cmp(o StrVal) int {
+	for i := 0; i < StrSlot-1; i++ {
+		if s[i] != o[i] {
+			if s[i] < o[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// String trims the padding for display.
+func (s StrVal) String() string {
+	end := 0
+	for end < StrSlot && s[end] != 0 {
+		end++
+	}
+	return string(s[:end])
+}
+
+// StrArray is a simulated read-only array of 16-byte string slots.
+type StrArray struct {
+	base uint64
+	n    int
+	val  func(i int) StrVal
+}
+
+// NewVirtualStrArray reserves address space for n string slots whose
+// values are computed by val (monotone for binary search).
+func NewVirtualStrArray(e *Engine, n int, val func(i int) StrVal) *StrArray {
+	return &StrArray{base: e.Alloc(n * StrSlot), n: n, val: val}
+}
+
+// Len returns the number of elements.
+func (a *StrArray) Len() int { return a.n }
+
+// Bytes returns the simulated size in bytes.
+func (a *StrArray) Bytes() int { return a.n * StrSlot }
+
+// Addr returns the simulated address of slot i. Slots are 16-byte aligned
+// so a slot never spans two cache lines.
+func (a *StrArray) Addr(i int) uint64 { return a.base + uint64(i*StrSlot) }
+
+// At returns element i without charging simulated time.
+func (a *StrArray) At(i int) StrVal { return a.val(i) }
+
+// Read loads slot i through the engine and returns its value and level.
+func (a *StrArray) Read(e *Engine, i int) (StrVal, Level) {
+	level := e.Load(a.Addr(i))
+	return a.val(i), level
+}

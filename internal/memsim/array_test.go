@@ -1,0 +1,144 @@
+package memsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIntArrayAddressing(t *testing.T) {
+	e := testEngine()
+	a := NewVirtualIntArray(e, 100, 4, func(i int) uint64 { return uint64(i * 3) })
+	if a.Len() != 100 || a.Bytes() != 400 {
+		t.Fatalf("len/bytes: %d/%d", a.Len(), a.Bytes())
+	}
+	if a.Addr(1)-a.Addr(0) != 4 {
+		t.Fatal("4-byte elements must be 4 bytes apart")
+	}
+	if a.At(7) != 21 {
+		t.Fatalf("At(7) = %d", a.At(7))
+	}
+}
+
+func TestIntArrayRejectsBadElemSize(t *testing.T) {
+	e := testEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for elemSize 3")
+		}
+	}()
+	NewVirtualIntArray(e, 10, 3, func(i int) uint64 { return 0 })
+}
+
+func TestBackedIntArray(t *testing.T) {
+	e := testEngine()
+	data := []uint64{5, 10, 20, 40}
+	a := NewBackedIntArray(e, data, 8)
+	for i, want := range data {
+		if got := a.At(i); got != want {
+			t.Fatalf("At(%d) = %d, want %d", i, got, want)
+		}
+	}
+	v, _ := a.Read(e, 2)
+	if v != 20 {
+		t.Fatalf("Read = %d", v)
+	}
+}
+
+func TestStrValCmp(t *testing.T) {
+	mk := func(s string) StrVal {
+		var v StrVal
+		copy(v[:], s)
+		return v
+	}
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"abc", "abc", 0},
+		{"abc", "abd", -1},
+		{"abd", "abc", 1},
+		{"ab", "abc", -1}, // shorter sorts first (NUL < 'c')
+		{"", "", 0},
+	}
+	for _, c := range cases {
+		if got := mk(c.a).Cmp(mk(c.b)); got != c.want {
+			t.Errorf("Cmp(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	if mk("hello").String() != "hello" {
+		t.Errorf("String() = %q", mk("hello").String())
+	}
+}
+
+func TestStrValCmpMatchesStringCompare(t *testing.T) {
+	f := func(a, b [15]byte) bool {
+		var x, y StrVal
+		copy(x[:], a[:])
+		copy(y[:], b[:])
+		want := 0
+		sa, sb := string(a[:]), string(b[:])
+		if sa < sb {
+			want = -1
+		} else if sa > sb {
+			want = 1
+		}
+		return x.Cmp(y) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrArraySlotAlignment(t *testing.T) {
+	e := testEngine()
+	a := NewVirtualStrArray(e, 100, func(i int) StrVal {
+		var v StrVal
+		v[0] = byte(i)
+		return v
+	})
+	line := uint64(e.Config().LineSize)
+	for i := 0; i < 100; i++ {
+		start, end := a.Addr(i), a.Addr(i)+StrSlot-1
+		if start/line != end/line {
+			t.Fatalf("slot %d spans cache lines", i)
+		}
+	}
+	v, _ := a.Read(e, 3)
+	if v[0] != 3 {
+		t.Fatalf("Read value = %v", v[0])
+	}
+}
+
+func TestArenaRoundTrip(t *testing.T) {
+	e := testEngine()
+	ar := NewArena(e, 64)
+	ar.PutU32(0, 0xdeadbeef)
+	ar.PutU64(8, 0x1122334455667788)
+	ar.PutU16(20, 0xabcd)
+	if ar.U32(0) != 0xdeadbeef || ar.U64(8) != 0x1122334455667788 || ar.U16(20) != 0xabcd {
+		t.Fatal("arena round trip failed")
+	}
+	if ar.Addr(16) != ar.Base()+16 {
+		t.Fatal("Addr offset arithmetic")
+	}
+}
+
+func TestArenaGrowsWithinReserve(t *testing.T) {
+	e := testEngine()
+	ar := NewArenaReserve(e, 8, 4096)
+	ar.PutU64(1024, 42) // beyond initial host buffer, within reserve
+	if ar.U64(1024) != 42 {
+		t.Fatal("arena did not grow")
+	}
+}
+
+func TestArenaPanicsPastReserve(t *testing.T) {
+	e := testEngine()
+	ar := NewArena(e, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic writing past reservation")
+		}
+	}()
+	ar.PutU64(1024, 42)
+}

@@ -1,0 +1,90 @@
+package memsim
+
+// cache is a set-associative cache with true-LRU replacement. It stores
+// tags only; data values live in the (virtual or backed) arrays of the
+// callers. The same structure models data caches (keyed by line number)
+// and TLBs (keyed by page number).
+type cache struct {
+	sets    [][]uint64 // per set, MRU-first list of keys
+	ways    int
+	setMask uint64
+}
+
+// newCache builds a cache holding `entries` keys with the given
+// associativity. entries must be a positive multiple of ways; the set
+// count is rounded down to a power of two (hardware-style indexing).
+func newCache(entries, ways int) *cache {
+	if ways <= 0 {
+		panic("memsim: cache ways must be positive")
+	}
+	numSets := entries / ways
+	if numSets < 1 {
+		numSets = 1
+	}
+	// Round down to a power of two for mask indexing.
+	for numSets&(numSets-1) != 0 {
+		numSets &= numSets - 1
+	}
+	c := &cache{
+		sets:    make([][]uint64, numSets),
+		ways:    ways,
+		setMask: uint64(numSets - 1),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]uint64, 0, ways)
+	}
+	return c
+}
+
+// lookup probes the cache for key, updating LRU order on a hit.
+func (c *cache) lookup(key uint64) bool {
+	set := c.sets[key&c.setMask]
+	for i, k := range set {
+		if k == key {
+			// Move to front (MRU).
+			copy(set[1:i+1], set[:i])
+			set[0] = key
+			return true
+		}
+	}
+	return false
+}
+
+// insert places key at the MRU position, evicting the LRU way if the set
+// is full. Inserting a key that is already present refreshes its LRU
+// position without duplicating it.
+func (c *cache) insert(key uint64) {
+	if c.lookup(key) {
+		return
+	}
+	set := c.sets[key&c.setMask]
+	if len(set) < c.ways {
+		set = append(set, 0)
+	}
+	copy(set[1:], set[:len(set)-1])
+	set[0] = key
+	c.sets[key&c.setMask] = set
+}
+
+// contains probes for key without updating LRU state (a hypothetical
+// "is this cached?" query, Section 6 of the paper).
+func (c *cache) contains(key uint64) bool {
+	for _, k := range c.sets[key&c.setMask] {
+		if k == key {
+			return true
+		}
+	}
+	return false
+}
+
+// size reports the number of resident keys (for tests).
+func (c *cache) size() int {
+	n := 0
+	for _, s := range c.sets {
+		n += len(s)
+	}
+	return n
+}
+
+// capacity reports the maximum number of resident keys.
+func (c *cache) capacity() int { return len(c.sets) * c.ways }

@@ -1,0 +1,143 @@
+package memsim
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheHitAfterInsert(t *testing.T) {
+	c := newCache(16, 4)
+	if c.lookup(42) {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.insert(42)
+	if !c.lookup(42) {
+		t.Fatal("inserted key missing")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// Direct construction: 1 set, 2 ways.
+	c := newCache(2, 2)
+	c.insert(1)
+	c.insert(2)
+	// Touch 1 so 2 becomes LRU.
+	if !c.lookup(1) {
+		t.Fatal("1 missing")
+	}
+	c.insert(3) // evicts 2
+	if c.lookup(2) {
+		t.Error("LRU key 2 should have been evicted")
+	}
+	if !c.lookup(1) || !c.lookup(3) {
+		t.Error("keys 1 and 3 should be resident")
+	}
+}
+
+func TestCacheInsertExistingNoDuplicate(t *testing.T) {
+	c := newCache(2, 2)
+	c.insert(7)
+	c.insert(7)
+	c.insert(8)
+	if !c.lookup(7) || !c.lookup(8) {
+		t.Fatal("both keys should fit: duplicate insert must not consume a way")
+	}
+}
+
+func TestCacheSetIndexing(t *testing.T) {
+	// 4 sets × 2 ways: keys differing only above the set bits map to the
+	// same set and evict each other; keys in different sets do not.
+	c := newCache(8, 2)
+	c.insert(0)
+	c.insert(4)
+	c.insert(8) // same set as 0 and 4 (key & 3 == 0): evicts 0
+	if c.lookup(0) {
+		t.Error("0 should have been evicted from its set")
+	}
+	if !c.lookup(4) || !c.lookup(8) {
+		t.Error("4 and 8 should be resident")
+	}
+	c.insert(1)
+	if !c.lookup(1) {
+		t.Error("different set must be unaffected")
+	}
+}
+
+func TestCacheOccupancyNeverExceedsCapacity(t *testing.T) {
+	f := func(keys []uint64) bool {
+		c := newCache(32, 4)
+		for _, k := range keys {
+			c.insert(k)
+			if c.size() > c.capacity() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheMostRecentAlwaysResident(t *testing.T) {
+	f := func(keys []uint64) bool {
+		c := newCache(16, 2)
+		for _, k := range keys {
+			c.insert(k)
+			if !c.lookup(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheDeterminism(t *testing.T) {
+	run := func() []bool {
+		c := newCache(64, 4)
+		rng := rand.New(rand.NewPCG(1, 2))
+		var out []bool
+		for i := 0; i < 2000; i++ {
+			k := rng.Uint64N(256)
+			out = append(out, c.lookup(k))
+			c.insert(k)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at access %d", i)
+		}
+	}
+}
+
+func TestCacheWorkingSetSmallerThanCapacityAlwaysHits(t *testing.T) {
+	// After one warming pass, a working set that fits one set's ways must
+	// always hit: no conflict or capacity misses.
+	c := newCache(64, 4) // 16 sets × 4 ways
+	keys := []uint64{0, 16, 32, 48}
+	for _, k := range keys {
+		c.insert(k)
+	}
+	for round := 0; round < 10; round++ {
+		for _, k := range keys {
+			if !c.lookup(k) {
+				t.Fatalf("round %d: resident working set missed key %d", round, k)
+			}
+		}
+	}
+}
+
+func TestNewCachePanicsOnBadWays(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	newCache(8, 0)
+}

@@ -1,0 +1,150 @@
+// Package memsim is a deterministic, cycle-level model of a Haswell-class
+// memory hierarchy: set-associative L1/L2/L3 caches, ten line-fill buffers
+// (LFBs), two TLB levels with radix page walks that fetch page-table
+// entries through the data caches, and a 182-cycle DRAM access — the
+// structural parameters of the paper's Table 4.
+//
+// Index algorithms execute against an Engine, charging useful work via
+// Compute and memory traffic via Load/Prefetch. The Engine attributes
+// every elapsed cycle to a TMAM category (internal/tmam), which is how the
+// paper's Tables 1–2 and Figures 5–6 are regenerated. The paper's headline
+// phenomena are all emergent properties of this model: the response-time
+// cliff when an index outgrows the LLC, LFB saturation capping group
+// prefetching at G≈10 (Section 5.4.5), the TLB-driven runtime jumps at
+// 8 MB/32 MB/128 MB (Section 5.4.3), and speculation acting as a prefetcher
+// for binary search (Section 5.4.1).
+package memsim
+
+// Config holds the structural and latency parameters of the simulated
+// core and memory hierarchy.
+type Config struct {
+	// LineSize is the cache-line size in bytes (power of two).
+	LineSize int
+	// PageSize is the virtual-memory page size in bytes (power of two).
+	PageSize int
+
+	// L1Size/L1Ways etc. describe the three data-cache levels in bytes and
+	// associativity.
+	L1Size, L1Ways int
+	L2Size, L2Ways int
+	L3Size, L3Ways int
+
+	// DTLBEntries/STLBEntries describe the two TLB levels.
+	DTLBEntries, DTLBWays int
+	STLBEntries, STLBWays int
+
+	// NumLFB is the number of line-fill buffers, i.e. the maximum number of
+	// outstanding cache-line fills (10 on Haswell).
+	NumLFB int
+
+	// Effective stall cycles of a demand load hitting each level. L1 hits
+	// are fully hidden by the pipeline; deeper levels expose their latency
+	// to a dependent instruction chain.
+	StallL1, StallL2, StallL3, StallDRAM int
+
+	// StallSTLB is the added translation latency of a DTLB miss that hits
+	// the STLB. WalkBase is the fixed cost of the upper levels of a radix
+	// page walk (they are almost always cached); the final PTE fetch goes
+	// through the data caches and adds that level's stall.
+	StallSTLB, WalkBase int
+
+	// MispredictPenalty is the pipeline-flush cost of a branch
+	// misprediction; FrontEndBubble is the accompanying instruction-fetch
+	// bubble, both in cycles.
+	MispredictPenalty, FrontEndBubble int
+
+	// IPCNum/IPCDen give the retirement rate of straight-line, cache-
+	// resident code as a rational (instructions per cycle). The default of
+	// 2/1 reflects the ~0.5 CPI the paper measures for stall-free regions.
+	IPCNum, IPCDen int
+
+	// StreamMLP is the number of overlapped line fills sustained by
+	// sequential (hardware-prefetched) streaming; a streamed line costs
+	// StallDRAM/StreamMLP cycles.
+	StreamMLP int
+
+	// SpecPrefetch enables the speculation-as-prefetch behaviour of
+	// Section 5.4.1: while a compare's load is outstanding, the core
+	// speculates a branch direction (50% accurate) and issues the predicted
+	// next probe's line fill.
+	SpecPrefetch bool
+
+	// SpecIssueProb is the probability that the speculated next load
+	// actually issues while the current one is outstanding. Speculation
+	// depth is limited by ROB/load-buffer resources and mispredict
+	// recovery, so only a fraction of speculative fills reach the memory
+	// system; 0.6 calibrates `std` to the paper's ~13% advantage over the
+	// branch-free Baseline beyond the LLC (Figure 3a, Section 5.4.1).
+	SpecIssueProb float64
+
+	// Seed drives the deterministic branch-outcome stream.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's Table 4 machine: Intel Xeon 2660 v3
+// (Haswell), 32 KB/8-way L1D, 256 KB/8-way L2, 25 MB/20-way L3, 10 LFBs,
+// 64-entry/4-way DTLB, 1024-entry/8-way STLB, 182-cycle DRAM latency
+// (Section 2.2).
+func DefaultConfig() Config {
+	return Config{
+		LineSize:    64,
+		PageSize:    4096,
+		L1Size:      32 << 10,
+		L1Ways:      8,
+		L2Size:      256 << 10,
+		L2Ways:      8,
+		L3Size:      25 << 20,
+		L3Ways:      20,
+		DTLBEntries: 64,
+		DTLBWays:    4,
+		STLBEntries: 1024,
+		STLBWays:    8,
+		NumLFB:      10,
+
+		StallL1:   0,
+		StallL2:   8,
+		StallL3:   40,
+		StallDRAM: 182,
+
+		StallSTLB: 9,
+		WalkBase:  14,
+
+		MispredictPenalty: 15,
+		FrontEndBubble:    3,
+
+		IPCNum: 2,
+		IPCDen: 1,
+
+		StreamMLP:     10,
+		SpecPrefetch:  true,
+		SpecIssueProb: 0.6,
+		Seed:          1,
+	}
+}
+
+// TinyConfig returns a drastically scaled-down hierarchy for tests: the
+// same structure with capacities small enough that cache and TLB effects
+// appear within kilobyte-sized working sets.
+func TinyConfig() Config {
+	c := DefaultConfig()
+	c.L1Size = 512
+	c.L1Ways = 2
+	c.L2Size = 2 << 10
+	c.L2Ways = 4
+	c.L3Size = 8 << 10
+	c.L3Ways = 4
+	c.DTLBEntries = 4
+	c.DTLBWays = 2
+	c.STLBEntries = 16
+	c.STLBWays = 4
+	c.PageSize = 1 << 10
+	c.NumLFB = 4
+	return c
+}
+
+// CyclesPerMs converts simulated cycles to milliseconds at the paper's
+// 2.6 GHz clock.
+const ClockGHz = 2.6
+
+// Ms converts a cycle count to milliseconds at ClockGHz.
+func Ms(cycles int64) float64 { return float64(cycles) / (ClockGHz * 1e6) }

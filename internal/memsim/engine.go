@@ -1,0 +1,413 @@
+package memsim
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/tmam"
+)
+
+// pteBase is the simulated physical region holding last-level page-table
+// entries. It is far above any data allocation so PTE lines share cache
+// sets with data without ever aliasing data addresses.
+const pteBase = uint64(1) << 44
+
+// allocBase is where data allocations start; leaving page zero unused
+// keeps address 0 available as a sentinel.
+const allocBase = uint64(1) << 20
+
+type lfbEntry struct {
+	line    uint64
+	readyAt int64
+	valid   bool
+}
+
+// Engine simulates a single core executing against the configured memory
+// hierarchy. All methods advance the global clock and attribute the
+// elapsed cycles to TMAM categories. An Engine is not safe for concurrent
+// use; experiments that need parallelism run one Engine per goroutine.
+type Engine struct {
+	cfg Config
+
+	now int64
+	bd  tmam.Breakdown
+
+	l1, l2, l3 *cache
+	dtlb, stlb *cache
+	lfbs       []lfbEntry
+
+	lineShift uint
+	pageShift uint
+
+	computeCarry int // fractional-cycle carry of the IPC division
+
+	rng *rand.Rand
+
+	cursor uint64 // bump allocator for simulated address space
+
+	stats Stats
+}
+
+// New creates an engine with the given configuration.
+func New(cfg Config) *Engine {
+	e := &Engine{
+		cfg:  cfg,
+		l1:   newCache(cfg.L1Size/cfg.LineSize, cfg.L1Ways),
+		l2:   newCache(cfg.L2Size/cfg.LineSize, cfg.L2Ways),
+		l3:   newCache(cfg.L3Size/cfg.LineSize, cfg.L3Ways),
+		dtlb: newCache(cfg.DTLBEntries, cfg.DTLBWays),
+		stlb: newCache(cfg.STLBEntries, cfg.STLBWays),
+		lfbs: make([]lfbEntry, cfg.NumLFB),
+		rng:  rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15)),
+
+		cursor: allocBase,
+	}
+	e.lineShift = log2(uint64(cfg.LineSize))
+	e.pageShift = log2(uint64(cfg.PageSize))
+	return e
+}
+
+func log2(v uint64) uint {
+	var s uint
+	for v > 1 {
+		v >>= 1
+		s++
+	}
+	return s
+}
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Now returns the current simulated cycle.
+func (e *Engine) Now() int64 { return e.now }
+
+// Stats returns a snapshot of all counters, including the TMAM breakdown.
+func (e *Engine) Stats() Stats {
+	s := e.stats
+	s.Breakdown = e.bd
+	return s
+}
+
+// Alloc reserves size bytes of simulated address space, page-aligned, and
+// returns the base address. It never allocates host memory.
+func (e *Engine) Alloc(size int) uint64 {
+	base := e.cursor
+	pages := (uint64(size) + uint64(e.cfg.PageSize) - 1) >> e.pageShift
+	if pages == 0 {
+		pages = 1
+	}
+	// One guard page between regions so off-by-one accesses in callers
+	// fault loudly in tests rather than aliasing a neighbour.
+	e.cursor += (pages + 1) << e.pageShift
+	return base
+}
+
+// stall advances the clock by c cycles attributed to the given category.
+func (e *Engine) stall(c int64, cat tmam.Category) {
+	if c <= 0 {
+		return
+	}
+	e.now += c
+	e.bd.Cycles[cat] += c
+}
+
+// Compute retires instr instructions of useful straight-line work at the
+// configured IPC.
+func (e *Engine) Compute(instr int) {
+	e.bd.Instructions += int64(instr)
+	e.addComputeCycles(instr)
+}
+
+// SwitchWork retires instr instructions spent in the instruction-stream
+// switching mechanism (state save/restore, handle dispatch). It counts as
+// Retiring work — the overhead is real retired instructions (Section
+// 5.4.4) — but is tracked separately so Tswitch can be estimated.
+func (e *Engine) SwitchWork(instr int) {
+	e.bd.SwitchInstructions += int64(instr)
+	e.bd.Instructions += int64(instr)
+	e.addComputeCycles(instr)
+}
+
+func (e *Engine) addComputeCycles(instr int) {
+	num := instr*e.cfg.IPCDen + e.computeCarry
+	cycles := num / e.cfg.IPCNum
+	e.computeCarry = num % e.cfg.IPCNum
+	e.stall(int64(cycles), tmam.Retiring)
+}
+
+// Mispredict charges a branch-misprediction flush plus its front-end
+// fetch bubble.
+func (e *Engine) Mispredict() {
+	e.stats.Mispredicts++
+	e.stall(int64(e.cfg.MispredictPenalty), tmam.BadSpeculation)
+	e.stall(int64(e.cfg.FrontEndBubble), tmam.FrontEnd)
+}
+
+// drainLFBs completes every fill whose latency has elapsed, installing the
+// line into the cache hierarchy.
+func (e *Engine) drainLFBs() {
+	for i := range e.lfbs {
+		if e.lfbs[i].valid && e.lfbs[i].readyAt <= e.now {
+			e.installLine(e.lfbs[i].line)
+			e.lfbs[i].valid = false
+		}
+	}
+}
+
+func (e *Engine) installLine(line uint64) {
+	e.l1.insert(line)
+	e.l2.insert(line)
+	e.l3.insert(line)
+}
+
+// findLFB returns the index of an in-flight fill for line, or -1.
+func (e *Engine) findLFB(line uint64) int {
+	for i := range e.lfbs {
+		if e.lfbs[i].valid && e.lfbs[i].line == line {
+			return i
+		}
+	}
+	return -1
+}
+
+// allocLFB starts a fill for line completing at readyAt. It reports
+// whether a buffer was available.
+func (e *Engine) allocLFB(line uint64, readyAt int64) bool {
+	for i := range e.lfbs {
+		if !e.lfbs[i].valid {
+			e.lfbs[i] = lfbEntry{line: line, readyAt: readyAt, valid: true}
+			return true
+		}
+	}
+	return false
+}
+
+// probeLevel determines the nearest level holding line without modelling
+// the LFBs, filling the line into all levels on its way back (a demand
+// fill). It returns the level and its stall cycles.
+func (e *Engine) probeLevel(line uint64) (Level, int64) {
+	switch {
+	case e.l1.lookup(line):
+		return LevelL1, int64(e.cfg.StallL1)
+	case e.l2.lookup(line):
+		e.l1.insert(line)
+		return LevelL2, int64(e.cfg.StallL2)
+	case e.l3.lookup(line):
+		e.l1.insert(line)
+		e.l2.insert(line)
+		return LevelL3, int64(e.cfg.StallL3)
+	default:
+		e.installLine(line)
+		return LevelDRAM, int64(e.cfg.StallDRAM)
+	}
+}
+
+// translate resolves the page of addr through DTLB → STLB → page walk,
+// charging translation stalls to Memory. Page-table entries are fetched
+// through the data caches, so large working sets evict them — the source
+// of the runtime jumps of Section 5.4.3.
+func (e *Engine) translate(addr uint64) {
+	page := addr >> e.pageShift
+	if e.dtlb.lookup(page) {
+		e.stats.DTLBHits++
+		return
+	}
+	if e.stlb.lookup(page) {
+		e.stats.STLBHits++
+		e.dtlb.insert(page)
+		e.stall(int64(e.cfg.StallSTLB), tmam.Memory)
+		return
+	}
+	// Page walk: the upper levels of the radix tree are effectively always
+	// cached (WalkBase); the final PTE read goes through the hierarchy.
+	e.stats.PageWalks++
+	pteLine := (pteBase + page*8) >> e.lineShift
+	level, cost := e.probeLevel(pteLine)
+	switch level {
+	case LevelL1:
+		e.stats.Walks[PWL1]++
+	case LevelL2:
+		e.stats.Walks[PWL2]++
+	case LevelL3:
+		e.stats.Walks[PWL3]++
+	default:
+		e.stats.Walks[PWDRAM]++
+	}
+	e.stall(int64(e.cfg.WalkBase)+cost, tmam.Memory)
+	e.dtlb.insert(page)
+	e.stlb.insert(page)
+}
+
+// Load performs a demand load of addr, blocking until the data arrives.
+// It returns the level that satisfied the access. Dependent-chain loads
+// cannot be hidden by the out-of-order core, so L2/L3/DRAM stalls are
+// charged in full; an LFB hit waits only for the residual fill time.
+func (e *Engine) Load(addr uint64) Level {
+	e.translate(addr)
+	e.drainLFBs()
+	line := addr >> e.lineShift
+	if e.l1.lookup(line) {
+		e.stats.Loads[LevelL1]++
+		e.stall(int64(e.cfg.StallL1), tmam.Memory)
+		return LevelL1
+	}
+	if i := e.findLFB(line); i >= 0 {
+		e.stats.Loads[LevelLFB]++
+		e.stall(e.lfbs[i].readyAt-e.now, tmam.Memory)
+		e.installLine(line)
+		e.lfbs[i].valid = false
+		return LevelLFB
+	}
+	level, cost := e.probeLevel(line)
+	e.stats.Loads[level]++
+	e.stall(cost, tmam.Memory)
+	return level
+}
+
+// Prefetch issues a non-blocking fill of addr's line (PREFETCHNTA in the
+// paper). Address translation is blocking — the pipeline cannot proceed
+// until the virtual address resolves (Section 5.4.3) — but the data fetch
+// is not. When every LFB is busy the prefetch is dropped, which is what
+// limits group prefetching beyond G=10 (Section 5.4.5).
+func (e *Engine) Prefetch(addr uint64) {
+	e.translate(addr)
+	e.drainLFBs()
+	line := addr >> e.lineShift
+	if e.l1.lookup(line) || e.findLFB(line) >= 0 {
+		e.stats.PrefetchCached++
+		return
+	}
+	var cost int64
+	switch {
+	case e.l2.lookup(line):
+		cost = int64(e.cfg.StallL2)
+	case e.l3.lookup(line):
+		cost = int64(e.cfg.StallL3)
+	default:
+		cost = int64(e.cfg.StallDRAM)
+	}
+	if e.allocLFB(line, e.now+cost) {
+		e.stats.PrefetchIssued++
+	} else {
+		e.stats.PrefetchDropped++
+	}
+}
+
+// SpecLoad performs a demand load under branch speculation (the `std`
+// binary search of Section 5.4.1). While the load is outstanding the core
+// predicts the dependent branch (50% accurate) and speculatively issues
+// the predicted next probe's line fill; correctNext and wrongNext are the
+// two candidate addresses (0 when the search is about to terminate). A
+// wrong prediction costs a pipeline flush. The speculative fill is why
+// `std` outperforms the branch-free Baseline once the array outsizes the
+// LLC: half the time the next miss is already in flight.
+func (e *Engine) SpecLoad(addr, correctNext, wrongNext uint64) Level {
+	if !e.cfg.SpecPrefetch {
+		level := e.Load(addr)
+		if correctNext != 0 || wrongNext != 0 {
+			if e.rng.Uint64()&1 == 0 {
+				e.stats.SpecCorrect++
+			} else {
+				e.Mispredict()
+			}
+		}
+		return level
+	}
+	correct := e.rng.Uint64()&1 == 0
+	spec := wrongNext
+	if correct {
+		spec = correctNext
+	}
+	// Only a fraction of speculative loads reach the memory system; the
+	// rest are squashed or never issue before the branch resolves.
+	if spec != 0 && e.rng.Float64() < e.cfg.SpecIssueProb {
+		e.specPrefetch(spec)
+	}
+	level := e.Load(addr)
+	if correctNext != 0 || wrongNext != 0 {
+		if correct {
+			e.stats.SpecCorrect++
+		} else {
+			e.Mispredict()
+		}
+	}
+	return level
+}
+
+// specPrefetch issues a speculative line fill without blocking on
+// translation (the speculative µops simply squash on a TLB miss rather
+// than stalling retirement) and without perturbing TLB state.
+func (e *Engine) specPrefetch(addr uint64) {
+	e.drainLFBs()
+	line := addr >> e.lineShift
+	if e.l1.lookup(line) || e.findLFB(line) >= 0 {
+		return
+	}
+	var cost int64
+	switch {
+	case e.l2.lookup(line):
+		cost = int64(e.cfg.StallL2)
+	case e.l3.lookup(line):
+		cost = int64(e.cfg.StallL3)
+	default:
+		cost = int64(e.cfg.StallDRAM)
+	}
+	// Speculative fills compete for LFBs like any other.
+	if e.allocLFB(line, e.now+cost) {
+		e.stats.PrefetchIssued++
+	} else {
+		e.stats.PrefetchDropped++
+	}
+}
+
+// Stream models a sequential, hardware-prefetched scan of n bytes
+// starting at addr: fills overlap StreamMLP-deep, so each line costs
+// StallDRAM/StreamMLP cycles of bandwidth-bound stall. Streamed lines
+// bypass the caches (non-temporal), so scans do not evict index state.
+// It returns the number of lines transferred.
+func (e *Engine) Stream(addr uint64, n int) int64 {
+	if n <= 0 {
+		return 0
+	}
+	first := addr >> e.lineShift
+	last := (addr + uint64(n) - 1) >> e.lineShift
+	lines := int64(last - first + 1)
+	perLine := int64(e.cfg.StallDRAM / e.cfg.StreamMLP)
+	if perLine < 1 {
+		perLine = 1
+	}
+	e.stats.Loads[LevelDRAM] += lines
+	e.stall(lines*perLine, tmam.Memory)
+	return lines
+}
+
+// Cached reports whether addr's line would hit in the L1 or an in-flight
+// fill, without perturbing any state or advancing time. It models the
+// hardware support proposed in the paper's Section 6 — "an instruction
+// [that] tells if a memory address is cached; with such an instruction,
+// we could avoid suspension when the data is cached" — which no shipping
+// ISA provides.
+func (e *Engine) Cached(addr uint64) bool {
+	line := addr >> e.lineShift
+	if e.l1.contains(line) {
+		return true
+	}
+	for i := range e.lfbs {
+		if e.lfbs[i].valid && e.lfbs[i].line == line {
+			return true
+		}
+	}
+	return false
+}
+
+// OutstandingFills reports the number of busy LFBs (for tests and the
+// Section 5.4.5 analysis).
+func (e *Engine) OutstandingFills() int {
+	n := 0
+	for i := range e.lfbs {
+		if e.lfbs[i].valid && e.lfbs[i].readyAt > e.now {
+			n++
+		}
+	}
+	return n
+}

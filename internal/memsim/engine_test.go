@@ -1,0 +1,385 @@
+package memsim
+
+import (
+	"testing"
+
+	"repro/internal/tmam"
+)
+
+// testEngine returns an engine with a tiny hierarchy and speculation off
+// (tests opt in explicitly).
+func testEngine() *Engine {
+	cfg := TinyConfig()
+	cfg.SpecPrefetch = false
+	return New(cfg)
+}
+
+func TestComputeChargesAtIPC(t *testing.T) {
+	e := testEngine() // IPC 2/1
+	e.Compute(10)
+	if e.Now() != 5 {
+		t.Fatalf("10 instructions at IPC 2 → 5 cycles, got %d", e.Now())
+	}
+	st := e.Stats()
+	if st.Breakdown.Instructions != 10 {
+		t.Fatalf("instructions = %d", st.Breakdown.Instructions)
+	}
+	if st.Breakdown.Cycles[tmam.Retiring] != 5 {
+		t.Fatalf("retiring cycles = %d", st.Breakdown.Cycles[tmam.Retiring])
+	}
+}
+
+func TestComputeCarryAccumulates(t *testing.T) {
+	e := testEngine()
+	// 3 instructions at IPC 2: 1 cycle + carry; next 1 instruction
+	// completes the pending half-cycle.
+	e.Compute(3)
+	if e.Now() != 1 {
+		t.Fatalf("after 3 instr: now = %d, want 1", e.Now())
+	}
+	e.Compute(1)
+	if e.Now() != 2 {
+		t.Fatalf("after 4 instr total: now = %d, want 2", e.Now())
+	}
+}
+
+func TestSwitchWorkTracked(t *testing.T) {
+	e := testEngine()
+	e.SwitchWork(8)
+	st := e.Stats()
+	if st.Breakdown.SwitchInstructions != 8 || st.Breakdown.Instructions != 8 {
+		t.Fatalf("switch accounting: %+v", st.Breakdown)
+	}
+}
+
+func TestColdLoadIsDRAMThenCached(t *testing.T) {
+	e := testEngine()
+	a := NewVirtualIntArray(e, 1024, 8, func(i int) uint64 { return uint64(i) })
+
+	_, lv := a.Read(e, 0)
+	if lv != LevelDRAM {
+		t.Fatalf("cold load level = %v, want DRAM", lv)
+	}
+	_, lv = a.Read(e, 1) // same line (64B line, 8B elems)
+	if lv != LevelL1 {
+		t.Fatalf("same-line reload level = %v, want L1", lv)
+	}
+	st := e.Stats()
+	if st.Loads[LevelDRAM] != 1 || st.Loads[LevelL1] != 1 {
+		t.Fatalf("load histogram: %v", st.Loads)
+	}
+}
+
+func TestLoadStallAttributedToMemory(t *testing.T) {
+	e := testEngine()
+	a := NewVirtualIntArray(e, 8, 8, func(i int) uint64 { return uint64(i) })
+	before := e.Stats().Breakdown.Cycles[tmam.Memory]
+	a.Read(e, 0)
+	after := e.Stats().Breakdown.Cycles[tmam.Memory]
+	// Cold access: page walk (PTE from DRAM) + data from DRAM.
+	wantMin := int64(e.Config().StallDRAM)
+	if after-before < wantMin {
+		t.Fatalf("memory cycles grew by %d, want ≥ %d", after-before, wantMin)
+	}
+}
+
+func TestPrefetchHidesLatency(t *testing.T) {
+	e := testEngine()
+	cfg := e.Config()
+	a := NewVirtualIntArray(e, 1<<16, 8, func(i int) uint64 { return uint64(i) })
+
+	// Cold prefetch, then enough compute to cover DRAM latency.
+	e.Prefetch(a.Addr(4096))
+	e.Compute(2 * cfg.StallDRAM * cfg.IPCNum)
+	start := e.Now()
+	_, lv := a.Read(e, 4096)
+	if lv != LevelL1 {
+		t.Fatalf("level after covered prefetch = %v, want L1 (fill complete)", lv)
+	}
+	if stall := e.Now() - start; stall != 0 {
+		t.Fatalf("stall after covered prefetch = %d, want 0", stall)
+	}
+}
+
+func TestPrefetchPartialOverlapWaitsResidual(t *testing.T) {
+	e := testEngine()
+	cfg := e.Config()
+	a := NewVirtualIntArray(e, 1<<16, 8, func(i int) uint64 { return uint64(i) })
+
+	// Warm the TLB entry for the target page so translation stall does not
+	// blur the measurement, and evict nothing else relevant.
+	a.Read(e, 4096)         // brings page + line in
+	target := 4096 + 8*64/8 // a different line, same page: 64 elems later
+	e.Prefetch(a.Addr(target))
+	e.Compute(20 * cfg.IPCNum) // 20 cycles < DRAM stall
+	start := e.Now()
+	_, lv := a.Read(e, target)
+	if lv != LevelLFB {
+		t.Fatalf("level = %v, want LFB hit", lv)
+	}
+	got := e.Now() - start
+	want := int64(cfg.StallDRAM - 20)
+	if got != want {
+		t.Fatalf("residual stall = %d, want %d", got, want)
+	}
+}
+
+func TestPrefetchDroppedWhenLFBsFull(t *testing.T) {
+	cfg := TinyConfig()
+	cfg.SpecPrefetch = false
+	cfg.NumLFB = 2
+	e := New(cfg)
+	a := NewVirtualIntArray(e, 1<<16, 8, func(i int) uint64 { return uint64(i) })
+
+	// Warm the page containing all three target lines so translation does
+	// not stall between prefetches (a stall would let earlier fills
+	// complete and free their LFBs).
+	a.Read(e, 0)
+	base := e.Stats()
+	e.Prefetch(a.Addr(40))  // line 5 of page 0
+	e.Prefetch(a.Addr(80))  // line 10
+	e.Prefetch(a.Addr(120)) // line 15: third concurrent fill, dropped
+	st := e.Stats().Sub(base)
+	if st.PrefetchIssued != 2 {
+		t.Fatalf("issued = %d, want 2", st.PrefetchIssued)
+	}
+	if st.PrefetchDropped != 1 {
+		t.Fatalf("dropped = %d, want 1", st.PrefetchDropped)
+	}
+	if e.OutstandingFills() != 2 {
+		t.Fatalf("outstanding = %d, want 2", e.OutstandingFills())
+	}
+}
+
+func TestPrefetchOnCachedLineIsNoop(t *testing.T) {
+	e := testEngine()
+	a := NewVirtualIntArray(e, 64, 8, func(i int) uint64 { return uint64(i) })
+	a.Read(e, 0)
+	base := e.Stats()
+	e.Prefetch(a.Addr(0))
+	st := e.Stats().Sub(base)
+	if st.PrefetchCached != 1 || st.PrefetchIssued != 0 {
+		t.Fatalf("cached=%d issued=%d", st.PrefetchCached, st.PrefetchIssued)
+	}
+}
+
+func TestTLBWalkThenHit(t *testing.T) {
+	e := testEngine()
+	a := NewVirtualIntArray(e, 1<<16, 8, func(i int) uint64 { return uint64(i) })
+
+	a.Read(e, 0)
+	st := e.Stats()
+	if st.PageWalks != 1 {
+		t.Fatalf("cold access walks = %d, want 1", st.PageWalks)
+	}
+	a.Read(e, 1)
+	st = e.Stats()
+	if st.DTLBHits != 1 {
+		t.Fatalf("warm access DTLB hits = %d, want 1", st.DTLBHits)
+	}
+}
+
+func TestTLBCapacityForcesWalks(t *testing.T) {
+	// Touch more pages than DTLB+STLB can hold, twice; second round must
+	// still walk (working set exceeds both TLBs).
+	cfg := TinyConfig() // DTLB 4, STLB 16, 1 KB pages
+	cfg.SpecPrefetch = false
+	e := New(cfg)
+	pages := 64
+	a := NewVirtualIntArray(e, pages*cfg.PageSize/8, 8, func(i int) uint64 { return uint64(i) })
+	for round := 0; round < 2; round++ {
+		for p := 0; p < pages; p++ {
+			a.Read(e, p*cfg.PageSize/8)
+		}
+	}
+	st := e.Stats()
+	if st.PageWalks < int64(pages)+1 {
+		t.Fatalf("walks = %d, want > %d (thrashing TLBs must keep walking)", st.PageWalks, pages)
+	}
+}
+
+func TestPageWalkClassification(t *testing.T) {
+	e := testEngine()
+	a := NewVirtualIntArray(e, 1<<16, 8, func(i int) uint64 { return uint64(i) })
+	a.Read(e, 0)
+	st := e.Stats()
+	if st.Walks[PWDRAM] != 1 {
+		t.Fatalf("cold PTE should come from DRAM: %v", st.Walks)
+	}
+}
+
+func TestSpecLoadHidesLatencyOnCorrectPaths(t *testing.T) {
+	run := func(spec bool) (int64, Stats) {
+		cfg := TinyConfig()
+		cfg.SpecPrefetch = spec
+		e := New(cfg)
+		a := NewVirtualIntArray(e, 1<<20, 8, func(i int) uint64 { return uint64(i) })
+		n := 400
+		// An odd stride so successive lines spread across cache sets; a
+		// power-of-two stride would alias every access into one set and
+		// conflict-evict the speculative fills before use.
+		stride := 1<<12 + 1
+		for i := 0; i < n; i++ {
+			addr := a.Addr(i * stride % a.Len())
+			next := a.Addr((i + 1) * stride % a.Len())
+			wrong := a.Addr((i + 7) * stride % a.Len())
+			e.SpecLoad(addr, next, wrong)
+		}
+		return e.Now(), e.Stats()
+	}
+	specCycles, st := run(true)
+	plainCycles, _ := run(false)
+
+	if st.Mispredicts == 0 || st.SpecCorrect == 0 {
+		t.Fatalf("speculation outcomes: correct=%d wrong=%d", st.SpecCorrect, st.Mispredicts)
+	}
+	total := st.Mispredicts + st.SpecCorrect
+	ratio := float64(st.SpecCorrect) / float64(total)
+	if ratio < 0.35 || ratio > 0.65 {
+		t.Fatalf("prediction accuracy = %.2f, want ≈ 0.5", ratio)
+	}
+	// Useful speculative fills complete during the current load's stall,
+	// so correct paths turn DRAM misses into cheap hits: with speculation
+	// the same access stream must be faster despite flush penalties.
+	if specCycles >= plainCycles {
+		t.Fatalf("spec on = %d cycles, off = %d: speculation should help a miss-dominated chain", specCycles, plainCycles)
+	}
+	if st.Breakdown.Cycles[tmam.BadSpeculation] == 0 {
+		t.Fatal("mispredictions must charge Bad Speculation cycles")
+	}
+	// The hidden accesses must show up as cheap hits (L1 or LFB).
+	if st.Loads[LevelL1]+st.Loads[LevelLFB] == 0 {
+		t.Fatal("no speculative fill ever became a hit")
+	}
+}
+
+func TestSpecLoadDisabledStillResolvesBranches(t *testing.T) {
+	cfg := TinyConfig()
+	cfg.SpecPrefetch = false
+	e := New(cfg)
+	a := NewVirtualIntArray(e, 1<<12, 8, func(i int) uint64 { return uint64(i) })
+	for i := 0; i < 100; i++ {
+		e.SpecLoad(a.Addr(i*8%a.Len()), a.Addr(0), a.Addr(8))
+	}
+	st := e.Stats()
+	if st.Mispredicts+st.SpecCorrect != 100 {
+		t.Fatalf("resolved = %d, want 100", st.Mispredicts+st.SpecCorrect)
+	}
+	if st.PrefetchIssued != 0 {
+		t.Fatal("no speculative fills when SpecPrefetch is off")
+	}
+}
+
+func TestStreamCostAndNonPollution(t *testing.T) {
+	e := testEngine()
+	cfg := e.Config()
+	a := NewVirtualIntArray(e, 1<<16, 8, func(i int) uint64 { return uint64(i) })
+
+	start := e.Now()
+	lines := e.Stream(a.Addr(0), 64*100)
+	if lines != 100 {
+		t.Fatalf("lines = %d, want 100", lines)
+	}
+	perLine := int64(cfg.StallDRAM / cfg.StreamMLP)
+	if got := e.Now() - start; got != 100*perLine {
+		t.Fatalf("stream cycles = %d, want %d", got, 100*perLine)
+	}
+	// Non-temporal: the streamed lines must not be cache-resident.
+	_, lv := a.Read(e, 0)
+	if lv == LevelL1 || lv == LevelL2 {
+		t.Fatalf("streamed line polluted caches: level %v", lv)
+	}
+}
+
+func TestStreamZeroBytes(t *testing.T) {
+	e := testEngine()
+	if e.Stream(4096, 0) != 0 {
+		t.Fatal("zero-byte stream should transfer nothing")
+	}
+}
+
+func TestMispredictCharges(t *testing.T) {
+	e := testEngine()
+	e.Mispredict()
+	st := e.Stats()
+	if st.Breakdown.Cycles[tmam.BadSpeculation] != int64(e.Config().MispredictPenalty) {
+		t.Fatalf("bad speculation cycles = %d", st.Breakdown.Cycles[tmam.BadSpeculation])
+	}
+	if st.Breakdown.Cycles[tmam.FrontEnd] != int64(e.Config().FrontEndBubble) {
+		t.Fatalf("front-end cycles = %d", st.Breakdown.Cycles[tmam.FrontEnd])
+	}
+	if st.Mispredicts != 1 {
+		t.Fatalf("mispredicts = %d", st.Mispredicts)
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func() (int64, Stats) {
+		cfg := TinyConfig()
+		cfg.SpecPrefetch = true
+		e := New(cfg)
+		a := NewVirtualIntArray(e, 1<<16, 8, func(i int) uint64 { return uint64(i) })
+		for i := 0; i < 500; i++ {
+			e.SpecLoad(a.Addr((i*7919)%a.Len()), a.Addr((i*13)%a.Len()), a.Addr((i*17)%a.Len()))
+			e.Compute(10)
+			if i%3 == 0 {
+				e.Prefetch(a.Addr((i * 31) % a.Len()))
+			}
+		}
+		return e.Now(), e.Stats()
+	}
+	n1, s1 := run()
+	n2, s2 := run()
+	if n1 != n2 || s1 != s2 {
+		t.Fatalf("nondeterministic engine: %d vs %d", n1, n2)
+	}
+}
+
+func TestAllocRegionsDisjoint(t *testing.T) {
+	e := testEngine()
+	a := e.Alloc(1000)
+	b := e.Alloc(1)
+	c := e.Alloc(1 << 20)
+	d := e.Alloc(4096)
+	if !(a+1000 <= b && b+1 <= c && c+(1<<20) <= d) {
+		t.Fatalf("overlapping allocations: %d %d %d %d", a, b, c, d)
+	}
+	if a%uint64(e.Config().PageSize) != 0 {
+		t.Fatal("allocations must be page-aligned")
+	}
+}
+
+func TestCachedQuery(t *testing.T) {
+	e := testEngine()
+	a := NewVirtualIntArray(e, 4096, 8, func(i int) uint64 { return uint64(i) })
+	if e.Cached(a.Addr(0)) {
+		t.Fatal("cold line reported cached")
+	}
+	a.Read(e, 0)
+	if !e.Cached(a.Addr(0)) {
+		t.Fatal("resident line not reported cached")
+	}
+	// An in-flight fill counts as cached (the load would hit the LFB).
+	e.Prefetch(a.Addr(1024))
+	if !e.Cached(a.Addr(1024)) {
+		t.Fatal("in-flight fill not reported cached")
+	}
+	// The query must not advance time or perturb stats.
+	before, now := e.Stats(), e.Now()
+	e.Cached(a.Addr(2048))
+	if e.Now() != now || e.Stats() != before {
+		t.Fatal("Cached() perturbed engine state")
+	}
+}
+
+func TestStatsSubIsolatesRegion(t *testing.T) {
+	e := testEngine()
+	a := NewVirtualIntArray(e, 4096, 8, func(i int) uint64 { return uint64(i) })
+	a.Read(e, 0)
+	base := e.Stats()
+	a.Read(e, 2048)
+	delta := e.Stats().Sub(base)
+	if got := delta.TotalLoads(); got != 1 {
+		t.Fatalf("region loads = %d, want 1", got)
+	}
+}

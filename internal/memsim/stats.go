@@ -1,0 +1,121 @@
+package memsim
+
+import "repro/internal/tmam"
+
+// Level identifies where a memory access was satisfied, in the
+// classification of Section 5.4.2 and Figure 6.
+type Level int
+
+// Hit levels, nearest first. LevelLFB means the load found an in-flight
+// fill started by an earlier prefetch (or speculative load) and waited
+// only for its residual latency.
+const (
+	LevelL1 Level = iota
+	LevelLFB
+	LevelL2
+	LevelL3
+	LevelDRAM
+	NumLevels
+)
+
+// String returns the paper's name for the level.
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1 hit"
+	case LevelLFB:
+		return "LFB hit"
+	case LevelL2:
+		return "L2 hit"
+	case LevelL3:
+		return "L3 hit"
+	case LevelDRAM:
+		return "DRAM access"
+	}
+	return "unknown"
+}
+
+// WalkLevel classifies where a page walk found its final page-table
+// entry (Section 5.4.3: PW-L1 … PW-DRAM).
+type WalkLevel int
+
+// Page-walk hit levels.
+const (
+	PWL1 WalkLevel = iota
+	PWL2
+	PWL3
+	PWDRAM
+	NumWalkLevels
+)
+
+// String returns the paper's name for the walk level.
+func (w WalkLevel) String() string {
+	switch w {
+	case PWL1:
+		return "PW-L1"
+	case PWL2:
+		return "PW-L2"
+	case PWL3:
+		return "PW-L3"
+	case PWDRAM:
+		return "PW-DRAM"
+	}
+	return "unknown"
+}
+
+// Stats is a snapshot of all engine counters.
+type Stats struct {
+	// Breakdown is the TMAM cycle/instruction attribution.
+	Breakdown tmam.Breakdown
+
+	// Loads histograms demand loads by the level that satisfied them.
+	Loads [NumLevels]int64
+
+	// DTLBHits/STLBHits/PageWalks count address translations by outcome;
+	// Walks histograms completed page walks by PTE location.
+	DTLBHits, STLBHits, PageWalks int64
+	Walks                         [NumWalkLevels]int64
+
+	// Prefetch bookkeeping: issued counts Prefetch calls that started a
+	// fill; dropped counts prefetches discarded because all LFBs were busy
+	// (the Section 5.4.5 bottleneck); cached counts prefetches that found
+	// the line already in L1 or in flight.
+	PrefetchIssued, PrefetchDropped, PrefetchCached int64
+
+	// Mispredicts and SpecCorrect count resolved speculative branches.
+	Mispredicts, SpecCorrect int64
+}
+
+// TotalLoads returns the number of demand loads across all levels.
+func (s Stats) TotalLoads() int64 {
+	var t int64
+	for _, n := range s.Loads {
+		t += n
+	}
+	return t
+}
+
+// L1Misses returns demand loads not satisfied by the L1 (the population
+// of Figure 6).
+func (s Stats) L1Misses() int64 { return s.TotalLoads() - s.Loads[LevelL1] }
+
+// Sub returns s minus o counter-wise, isolating a measured region.
+func (s Stats) Sub(o Stats) Stats {
+	r := s
+	r.Breakdown = s.Breakdown.Sub(o.Breakdown)
+	for i := range r.Loads {
+		r.Loads[i] -= o.Loads[i]
+	}
+	r.DTLBHits -= o.DTLBHits
+	r.STLBHits -= o.STLBHits
+	r.PageWalks -= o.PageWalks
+	for i := range r.Walks {
+		r.Walks[i] -= o.Walks[i]
+	}
+	r.PrefetchIssued -= o.PrefetchIssued
+	r.PrefetchDropped -= o.PrefetchDropped
+	r.PrefetchCached -= o.PrefetchCached
+	r.Mispredicts -= o.Mispredicts
+	r.SpecCorrect -= o.SpecCorrect
+	return r
+}

@@ -1,0 +1,72 @@
+package native
+
+import "time"
+
+// Measurement is one wall-clock data point on this machine.
+type Measurement struct {
+	Name     string
+	NsPerOp  float64
+	Correct  bool
+	GroupLen int
+}
+
+// MeasureInterleaving times sequential vs interleaved batched searches on
+// a real array of n elements (values = indices) with the given group
+// size. It is a directional measurement for the ablation tables — the
+// statistically careful numbers come from `go test -bench`.
+func MeasureInterleaving(n, lookups, group int, reps int) []Measurement {
+	table := make([]uint64, n)
+	for i := range table {
+		table[i] = uint64(i)
+	}
+	keys := make([]uint64, lookups)
+	// Golden-ratio stride gives a reproducible, TLB/cache-hostile probe
+	// sequence without pulling in a generator dependency.
+	x := uint64(0)
+	for i := range keys {
+		x += 0x9e3779b97f4a7c15
+		keys[i] = x % uint64(n)
+	}
+	want := make([]int, lookups)
+	RunSequential(table, keys, want)
+
+	variants := []struct {
+		name string
+		run  func(out []int)
+	}{
+		{"sequential", func(out []int) { RunSequential(table, keys, out) }},
+		{"GP", func(out []int) { RunGP(table, keys, group, out) }},
+		{"AMAC", func(out []int) { RunAMAC(table, keys, group, out) }},
+		{"coro/frame", func(out []int) { RunCoro(table, keys, group, out, Frame) }},
+		{"coro/frame-direct", func(out []int) { RunFrameDirect(table, keys, group, out) }},
+		{"coro/iter.Pull", func(out []int) { RunCoro(table, keys, group, out, Pull) }},
+		{"coro/goroutine", func(out []int) { RunCoro(table, keys, group, out, Goroutine) }},
+	}
+	results := make([]Measurement, 0, len(variants))
+	for _, v := range variants {
+		out := make([]int, lookups)
+		v.run(out) // warm
+		best := time.Duration(1<<62 - 1)
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			v.run(out)
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		correct := true
+		for i := range out {
+			if out[i] != want[i] {
+				correct = false
+				break
+			}
+		}
+		results = append(results, Measurement{
+			Name:     v.name,
+			NsPerOp:  float64(best.Nanoseconds()) / float64(lookups),
+			Correct:  correct,
+			GroupLen: group,
+		})
+	}
+	return results
+}

@@ -1,0 +1,227 @@
+package native
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func reference(table []uint64, key uint64) int {
+	idx := sort.Search(len(table), func(i int) bool { return table[i] > key }) - 1
+	if idx < 0 {
+		return 0
+	}
+	return idx
+}
+
+func TestBaselineMatchesReference(t *testing.T) {
+	f := func(raw []uint64, key uint64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		table := append([]uint64(nil), raw...)
+		sort.Slice(table, func(i, j int) bool { return table[i] < table[j] })
+		return Baseline(table, key) == reference(table, key)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllVariantsAgree(t *testing.T) {
+	n := 100000
+	table := make([]uint64, n)
+	for i := range table {
+		table[i] = uint64(i) * 3
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	keys := make([]uint64, 1000)
+	for i := range keys {
+		keys[i] = rng.Uint64N(uint64(n*3 + 10))
+	}
+	want := make([]int, len(keys))
+	RunSequential(table, keys, want)
+	for i, k := range keys {
+		if want[i] != reference(table, k) {
+			t.Fatalf("sequential disagrees with reference at %d", i)
+		}
+	}
+
+	for _, group := range []int{1, 4, 8, 32} {
+		check := func(name string, run func(out []int)) {
+			out := make([]int, len(keys))
+			run(out)
+			for i := range out {
+				if out[i] != want[i] {
+					t.Fatalf("%s group=%d: result %d = %d, want %d", name, group, i, out[i], want[i])
+				}
+			}
+		}
+		check("GP", func(out []int) { RunGP(table, keys, group, out) })
+		check("AMAC", func(out []int) { RunAMAC(table, keys, group, out) })
+		check("coro/frame", func(out []int) { RunCoro(table, keys, group, out, Frame) })
+		check("frame-direct", func(out []int) { RunFrameDirect(table, keys, group, out) })
+		check("coro/pull", func(out []int) { RunCoro(table, keys, group, out, Pull) })
+	}
+	// The goroutine backend is slow; verify once with a small group.
+	check := make([]int, len(keys))
+	RunCoro(table, keys[:100], 4, check[:100], Goroutine)
+	for i := 0; i < 100; i++ {
+		if check[i] != want[i] {
+			t.Fatalf("goroutine backend: result %d = %d, want %d", i, check[i], want[i])
+		}
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	if got := Baseline([]uint64{5}, 5); got != 0 {
+		t.Fatalf("single element: %d", got)
+	}
+	RunGP(nil, nil, 4, nil)
+	RunAMAC([]uint64{1}, nil, 4, nil)
+	out := make([]int, 2)
+	RunCoro([]uint64{1, 2, 3, 4}, []uint64{2, 9}, 64, out, Frame)
+	if out[0] != 1 || out[1] != 3 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestMeasureInterleavingRunsAndIsCorrect(t *testing.T) {
+	ms := MeasureInterleaving(1<<16, 500, 8, 1)
+	if len(ms) != 7 {
+		t.Fatalf("measurements: %d", len(ms))
+	}
+	for _, m := range ms {
+		if !m.Correct {
+			t.Fatalf("%s produced wrong results", m.Name)
+		}
+		if m.NsPerOp <= 0 {
+			t.Fatalf("%s: ns/op = %v", m.Name, m.NsPerOp)
+		}
+	}
+}
+
+// Benchmarks: the real-hardware counterpart of Figure 3 (A7 in
+// DESIGN.md). Run with -bench=Native to see interleaving work on this
+// machine.
+
+const benchN = 1 << 25 // 256 MB of uint64: beyond most LLCs
+
+func benchTable() ([]uint64, []uint64) {
+	table := make([]uint64, benchN)
+	for i := range table {
+		table[i] = uint64(i)
+	}
+	keys := make([]uint64, 4096)
+	x := uint64(0)
+	for i := range keys {
+		x += 0x9e3779b97f4a7c15
+		keys[i] = x % benchN
+	}
+	return table, keys
+}
+
+func BenchmarkNativeSequential(b *testing.B) {
+	table, keys := benchTable()
+	out := make([]int, len(keys))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunSequential(table, keys, out)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(keys)), "ns/lookup")
+}
+
+func BenchmarkNativeGP(b *testing.B) {
+	table, keys := benchTable()
+	out := make([]int, len(keys))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunGP(table, keys, 10, out)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(keys)), "ns/lookup")
+}
+
+func BenchmarkNativeAMAC(b *testing.B) {
+	table, keys := benchTable()
+	out := make([]int, len(keys))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunAMAC(table, keys, 10, out)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(keys)), "ns/lookup")
+}
+
+func BenchmarkNativeCoroFrame(b *testing.B) {
+	table, keys := benchTable()
+	out := make([]int, len(keys))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunCoro(table, keys, 10, out, Frame)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(keys)), "ns/lookup")
+}
+
+func BenchmarkNativeFrameDirect(b *testing.B) {
+	table, keys := benchTable()
+	out := make([]int, len(keys))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunFrameDirect(table, keys, 10, out)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(keys)), "ns/lookup")
+}
+
+func BenchmarkNativeCoroPull(b *testing.B) {
+	table, keys := benchTable()
+	out := make([]int, len(keys))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunCoro(table, keys, 10, out, Pull)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(keys)), "ns/lookup")
+}
+
+func BenchmarkNativeCoroGoroutine(b *testing.B) {
+	table, keys := benchTable()
+	// The goroutine backend is ~two orders slower; keep the batch small.
+	small := keys[:256]
+	out := make([]int, len(small))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunCoro(table, small, 10, out, Goroutine)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(small)), "ns/lookup")
+}
+
+// BenchmarkCoroResume* isolate the pure switch cost per backend.
+
+func BenchmarkCoroResumeFrame(b *testing.B) {
+	table := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	for i := 0; i < b.N; i++ {
+		h := CoroFrameLookup(table, 5)
+		for !h.Done() {
+			h.Resume()
+		}
+	}
+}
+
+func BenchmarkCoroResumePull(b *testing.B) {
+	table := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	for i := 0; i < b.N; i++ {
+		h := CoroPullLookup(table, 5)
+		for !h.Done() {
+			h.Resume()
+		}
+	}
+}
+
+func BenchmarkCoroResumeGoroutine(b *testing.B) {
+	table := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	for i := 0; i < b.N; i++ {
+		h := GoroLookup(table, 5)
+		for !h.Done() {
+			h.Resume()
+		}
+	}
+}

@@ -1,0 +1,305 @@
+// Package native contains non-simulated implementations that run on this
+// machine's real memory hierarchy. Go has no software-prefetch intrinsic
+// (the repro gap the calibration band flags), so the interleaved variants
+// issue the probing load *early* — into per-stream state, consumed one
+// scheduler round later — which an out-of-order core overlaps across the
+// group exactly like a prefetch. The package quantifies two things on
+// real silicon:
+//
+//   - interleaving works in pure Go: GP/AMAC/frame-coroutine batched
+//     searches beat the sequential baseline once the array outsizes the
+//     LLC (BenchmarkNative*);
+//   - stackful coroutines are too heavy for this purpose: the
+//     goroutine+channel backend's switch costs orders of magnitude more
+//     than a frame resume, and iter.Pull sits in between (the
+//     coroutine-backend ablation).
+package native
+
+import "repro/internal/coro"
+
+// Baseline is the branch-free sequential binary search over a real slice:
+// the largest index with table[idx] ≤ key, or 0 (Listing 2 semantics).
+func Baseline(table []uint64, key uint64) int {
+	size := len(table)
+	low := 0
+	for half := size / 2; half > 0; half = size / 2 {
+		probe := low + half
+		if table[probe] <= key {
+			low = probe
+		}
+		size -= half
+	}
+	return low
+}
+
+// RunSequential performs the lookups one after the other.
+func RunSequential(table []uint64, keys []uint64, out []int) {
+	for i, k := range keys {
+		out[i] = Baseline(table, k)
+	}
+}
+
+// RunGP is group prefetching on real memory: the shared loop touches
+// every stream's next probe (the early load) before the compare stage
+// consumes the values, giving the memory system G independent misses to
+// overlap.
+func RunGP(table []uint64, keys []uint64, group int, out []int) {
+	if group < 1 {
+		group = 1
+	}
+	lows := make([]int, group)
+	vals := make([]uint64, group)
+	for g0 := 0; g0 < len(keys); g0 += group {
+		gn := min(group, len(keys)-g0)
+		for s := 0; s < gn; s++ {
+			lows[s] = 0
+		}
+		size := len(table)
+		for half := size / 2; half > 0; half = size / 2 {
+			// Prefetch stage: issue all loads; the results are not needed
+			// until the next stage, so they overlap.
+			for s := 0; s < gn; s++ {
+				vals[s] = table[lows[s]+half]
+			}
+			// Compare stage.
+			for s := 0; s < gn; s++ {
+				if vals[s] <= keys[g0+s] {
+					lows[s] = lows[s] + half
+				}
+			}
+			size -= half
+		}
+		for s := 0; s < gn; s++ {
+			out[g0+s] = lows[s]
+		}
+	}
+}
+
+// amacState is the AMAC state-buffer entry: the early-loaded probe value
+// travels in val from the issue stage to the consume stage.
+type amacState struct {
+	key   uint64
+	val   uint64
+	low   int
+	size  int
+	probe int
+	owner int
+	stage uint8 // 0 = claim input, 1 = issue, 2 = consume, 3 = done
+}
+
+// RunAMAC is asynchronous memory access chaining on real memory.
+func RunAMAC(table []uint64, keys []uint64, group int, out []int) {
+	if group < 1 {
+		group = 1
+	}
+	if group > len(keys) {
+		group = len(keys)
+	}
+	if len(keys) == 0 {
+		return
+	}
+	states := make([]amacState, group)
+	next := 0
+	notDone := group
+	for notDone > 0 {
+		for s := range states {
+			st := &states[s]
+			switch st.stage {
+			case 0:
+				if next >= len(keys) {
+					st.stage = 3
+					notDone--
+					continue
+				}
+				st.key = keys[next]
+				st.owner = next
+				st.low = 0
+				st.size = len(table)
+				next++
+				st.stage = 1
+			case 1:
+				if half := st.size / 2; half > 0 {
+					st.probe = st.low + half
+					st.val = table[st.probe] // early load, consumed next visit
+					st.size -= half
+					st.stage = 2
+				} else {
+					out[st.owner] = st.low
+					st.stage = 0
+				}
+			case 2:
+				if st.val <= st.key {
+					st.low = st.probe
+				}
+				st.stage = 1
+			}
+		}
+	}
+}
+
+// frameLookup is the hand-written stackless coroutine frame (the paper's
+// CORO-S data point): all live state sits in one flat struct — what the
+// C++ compiler spills to its coroutine frame — so a resume is a single
+// method call with no per-variable boxing. (A closure capturing mutable
+// locals would box each of them and allocate per lookup, overheads large
+// enough to cancel the interleaving gain on real hardware.)
+//
+//loc:begin coro-frame-native
+type frameLookup struct {
+	table   []uint64
+	key     uint64
+	val     uint64
+	low     int
+	size    int
+	probe   int
+	pending bool
+}
+
+func (f *frameLookup) step() (int, bool) {
+	if f.pending {
+		if f.val <= f.key {
+			f.low = f.probe
+		}
+		f.pending = false
+	}
+	if half := f.size / 2; half > 0 {
+		f.probe = f.low + half
+		f.val = f.table[f.probe] // early load; consumed on the next resume
+		f.size -= half
+		f.pending = true
+		return 0, false
+	}
+	return f.low, true
+}
+
+// CoroFrameLookup builds the frame-backed coroutine handle.
+func CoroFrameLookup(table []uint64, key uint64) *coro.Frame[int] {
+	f := &frameLookup{table: table, key: key, size: len(table)}
+	return coro.NewFrame(f.step)
+}
+
+//loc:end coro-frame-native
+
+// CoroPullLookup is the straight-line coroutine over iter.Pull runtime
+// coroutines — the ergonomic equivalent of the paper's CORO-U on real
+// memory.
+func CoroPullLookup(table []uint64, key uint64) *coro.Pull[int] {
+	return coro.NewPull(func(suspend func()) int {
+		low := 0
+		size := len(table)
+		for half := size / 2; half > 0; half = size / 2 {
+			probe := low + half
+			val := table[probe] // early load
+			suspend()
+			if val <= key {
+				low = probe
+			}
+			size -= half
+		}
+		return low
+	})
+}
+
+// GoroLookup is the stackful (goroutine+channel) coroutine — the
+// construct the paper rules out for its switch cost.
+func GoroLookup(table []uint64, key uint64) *coro.Goro[int] {
+	return coro.NewGoro(func(suspend func()) int {
+		low := 0
+		size := len(table)
+		for half := size / 2; half > 0; half = size / 2 {
+			probe := low + half
+			val := table[probe]
+			suspend()
+			if val <= key {
+				low = probe
+			}
+			size -= half
+		}
+		return low
+	})
+}
+
+// RunFrameDirect drives the same coroutine frames without the generic
+// Handle scheduler: the frames live in a flat slice and resume through a
+// direct (devirtualizable) method call. Comparing this against
+// "coro/frame" isolates what the interface-based scheduling costs — the
+// indirection a C++ compiler eliminates when it lowers coroutines.
+func RunFrameDirect(table []uint64, keys []uint64, group int, out []int) {
+	if group < 1 {
+		group = 1
+	}
+	if group > len(keys) {
+		group = len(keys)
+	}
+	if len(keys) == 0 {
+		return
+	}
+	frames := make([]frameLookup, group)
+	owner := make([]int, group)
+	done := make([]bool, group)
+	for i := 0; i < group; i++ {
+		frames[i] = frameLookup{table: table, key: keys[i], size: len(table)}
+		owner[i] = i
+	}
+	next := group
+	notDone := group
+	for notDone > 0 {
+		for s := range frames {
+			if done[s] {
+				continue
+			}
+			r, fin := frames[s].step()
+			if !fin {
+				continue
+			}
+			out[owner[s]] = r
+			if next < len(keys) {
+				frames[s] = frameLookup{table: table, key: keys[next], size: len(table)}
+				owner[s] = next
+				next++
+			} else {
+				done[s] = true
+				notDone--
+			}
+		}
+	}
+}
+
+// Backend selects the coroutine implementation for RunCoro.
+type Backend int
+
+// The three coroutine backends.
+const (
+	Frame Backend = iota
+	Pull
+	Goroutine
+)
+
+// String names the backend.
+func (b Backend) String() string {
+	switch b {
+	case Frame:
+		return "frame"
+	case Pull:
+		return "iter.Pull"
+	case Goroutine:
+		return "goroutine"
+	}
+	return "unknown"
+}
+
+// RunCoro interleaves the lookups with the chosen coroutine backend under
+// the Listing 7 scheduler.
+func RunCoro(table []uint64, keys []uint64, group int, out []int, backend Backend) {
+	start := func(i int) coro.Handle[int] {
+		switch backend {
+		case Pull:
+			return CoroPullLookup(table, keys[i])
+		case Goroutine:
+			return GoroLookup(table, keys[i])
+		default:
+			return CoroFrameLookup(table, keys[i])
+		}
+	}
+	coro.RunInterleaved(len(keys), group, start, func(i, r int) { out[i] = r })
+}

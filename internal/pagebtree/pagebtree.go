@@ -1,0 +1,149 @@
+// Package pagebtree implements the TLB remedy sketched in the paper's
+// Section 6 ("Interleaving and TLB misses"): a static B+-tree with
+// page-sized nodes layered over a sorted array. Every binary search then
+// happens within one page, so its address translations hit the TLB,
+// whereas the flat binary search touches a different page per probe and
+// thrashes it. Both the sequential and coroutine-interleaved lookups are
+// provided; the ablation abl-pagetree compares the four combinations.
+package pagebtree
+
+import (
+	"repro/internal/coro"
+	"repro/internal/memsim"
+	"repro/internal/search"
+)
+
+// Index is the page-tree over a sorted integer array. Level 0 is the
+// array itself; level k+1 samples every fanout-th element of level k, so
+// positions translate by ×fanout and no child pointers are needed.
+type Index struct {
+	arr    *memsim.IntArray
+	fanout int
+	// levels[k] holds the sampled values of level k+1 (level 0 is arr),
+	// topmost last. Each is arena-backed: real separator bytes in
+	// simulated memory.
+	levels []*levelArray
+	costs  search.Costs
+}
+
+type levelArray struct {
+	arena *memsim.Arena
+	n     int
+}
+
+func (l *levelArray) at(i int) uint64     { return l.arena.U64(i * 8) }
+func (l *levelArray) addr(i int) uint64   { return l.arena.Addr(i * 8) }
+func (l *levelArray) set(i int, v uint64) { l.arena.PutU64(i*8, v) }
+
+// Build constructs the index over arr with page-sized nodes (fanout =
+// PageSize / 8 elements per node).
+func Build(e *memsim.Engine, arr *memsim.IntArray) *Index {
+	fanout := e.Config().PageSize / 8
+	if fanout < 2 {
+		fanout = 2
+	}
+	x := &Index{arr: arr, fanout: fanout, costs: search.DefaultCosts()}
+	// Sample upward until a level fits within one node.
+	lower := arr.Len()
+	at := arr.At
+	for lower > fanout {
+		n := (lower + fanout - 1) / fanout
+		lv := &levelArray{arena: memsim.NewArena(e, n*8+8), n: n}
+		for i := 0; i < n; i++ {
+			lv.set(i, at(i*fanout))
+		}
+		x.levels = append(x.levels, lv)
+		lower = n
+		lvl := lv
+		at = func(i int) uint64 { return lvl.at(i) }
+	}
+	return x
+}
+
+// Levels returns the number of sampled levels above the array.
+func (x *Index) Levels() int { return len(x.levels) }
+
+// window performs a charged branch-free binary search over [lo, hi) of an
+// addressable sequence, returning the largest i with at(i) <= key (or lo).
+// hook, when non-nil, suspends before each probing load.
+func (x *Index) window(e *memsim.Engine, key uint64, lo, hi int,
+	addr func(i int) uint64, at func(i int) uint64, hook func(a uint64)) int {
+	e.Compute(x.costs.Init)
+	low := lo
+	size := hi - lo
+	for half := size / 2; half > 0; half = size / 2 {
+		probe := low + half
+		if hook != nil {
+			hook(addr(probe))
+		}
+		e.Load(addr(probe))
+		e.Compute(x.costs.Iter)
+		if at(probe) <= key {
+			low = probe
+		}
+		size -= half
+	}
+	return low
+}
+
+// lookupCharged descends the page tree. Each level narrows the position
+// to one fanout-sized (page-sized) window of the level below.
+func (x *Index) lookupCharged(e *memsim.Engine, key uint64, hook func(a uint64)) int {
+	pos := 0
+	for k := len(x.levels) - 1; k >= 0; k-- {
+		lv := x.levels[k]
+		lo := pos * x.fanout
+		hi := min(lo+x.fanout, lv.n)
+		if k == len(x.levels)-1 {
+			lo, hi = 0, lv.n // the root level is searched whole
+		}
+		pos = x.window(e, key, lo, hi, lv.addr, lv.at, hook)
+	}
+	lo := pos * x.fanout
+	hi := min(lo+x.fanout, x.arr.Len())
+	if len(x.levels) == 0 {
+		lo, hi = 0, x.arr.Len()
+	}
+	return x.window(e, key, lo, hi, x.arr.Addr, x.arr.At, hook)
+}
+
+// Lookup performs one sequential lookup with flat-binary-search
+// semantics: the largest index with arr[idx] ≤ key (0 if none).
+func (x *Index) Lookup(e *memsim.Engine, key uint64) int {
+	return x.lookupCharged(e, key, nil)
+}
+
+// LookupCoro builds the interleavable lookup coroutine (prefetch +
+// suspension before every probing load).
+func (x *Index) LookupCoro(e *memsim.Engine, key uint64, interleave bool) coro.Handle[int] {
+	return coro.NewPull(func(suspend func()) int {
+		var hook func(a uint64)
+		if interleave {
+			hook = func(a uint64) {
+				e.Prefetch(a)
+				e.SwitchWork(x.costs.COROSuspend)
+				suspend()
+				e.SwitchWork(x.costs.COROResume)
+			}
+		}
+		return x.lookupCharged(e, key, hook)
+	})
+}
+
+// RunSequential looks up all keys one after the other.
+func (x *Index) RunSequential(e *memsim.Engine, keys []uint64, out []int) {
+	for i, k := range keys {
+		out[i] = x.lookupCharged(e, k, nil)
+		e.Compute(x.costs.Store)
+	}
+}
+
+// RunCORO interleaves the lookups in groups of `group`.
+func (x *Index) RunCORO(e *memsim.Engine, keys []uint64, group int, out []int) {
+	coro.RunInterleaved(len(keys), group,
+		func(i int) coro.Handle[int] { return x.LookupCoro(e, keys[i], true) },
+		func(i int, r int) {
+			out[i] = r
+			e.Compute(x.costs.Store)
+		})
+}

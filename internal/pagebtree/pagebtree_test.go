@@ -1,0 +1,117 @@
+package pagebtree
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/memsim"
+	"repro/internal/search"
+	"repro/internal/workload"
+)
+
+func newEngine() *memsim.Engine { return memsim.New(memsim.TinyConfig()) }
+
+// reference mirrors the flat-search semantics: largest i with vals[i] ≤
+// key, or 0.
+func reference(vals []uint64, key uint64) int {
+	idx := sort.Search(len(vals), func(i int) bool { return vals[i] > key }) - 1
+	if idx < 0 {
+		return 0
+	}
+	return idx
+}
+
+func TestLookupMatchesReference(t *testing.T) {
+	e := newEngine() // 1 KB pages → fanout 128
+	n := 100000
+	arr := memsim.NewVirtualIntArray(e, n, 8, func(i int) uint64 { return uint64(i) * 2 })
+	x := Build(e, arr)
+	if x.Levels() < 2 {
+		t.Fatalf("expected ≥2 sampled levels for n=%d, got %d", n, x.Levels())
+	}
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = uint64(i) * 2
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 2000; trial++ {
+		key := rng.Uint64N(uint64(n*2 + 10))
+		if got, want := x.Lookup(e, key), reference(vals, key); got != want {
+			t.Fatalf("Lookup(%d) = %d, want %d", key, got, want)
+		}
+	}
+}
+
+func TestLookupSmallArrays(t *testing.T) {
+	f := func(raw []uint32, probe uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		e := newEngine()
+		vals := make([]uint64, len(raw))
+		for i, r := range raw {
+			vals[i] = uint64(r)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		arr := memsim.NewBackedIntArray(e, vals, 8)
+		x := Build(e, arr)
+		return x.Lookup(e, uint64(probe)) == reference(vals, uint64(probe))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterleavedMatchesSequential(t *testing.T) {
+	e := newEngine()
+	n := 50000
+	arr := memsim.NewVirtualIntArray(e, n, 8, workload.IntValue)
+	x := Build(e, arr)
+	keys := workload.IntKeys(workload.UniformIndices(3, 500, n))
+	seq := make([]int, len(keys))
+	x.RunSequential(e, keys, seq)
+	for _, g := range []int{1, 6, 13} {
+		inter := make([]int, len(keys))
+		x.RunCORO(e, keys, g, inter)
+		for i := range keys {
+			if inter[i] != seq[i] {
+				t.Fatalf("group %d: result %d = %d, want %d", g, i, inter[i], seq[i])
+			}
+		}
+	}
+}
+
+func TestPageTreeReducesPageWalks(t *testing.T) {
+	// The point of Section 6's proposal: against a flat binary search over
+	// the same data, the paged tree performs far fewer page walks.
+	cfg := memsim.TinyConfig()
+	n := 1 << 17 // 1 MB of data, 1 KB pages → 1024 data pages vs 20 TLB entries
+	keys := workload.IntKeys(workload.UniformIndices(5, 400, n))
+
+	flatWalks := func() int64 {
+		e := memsim.New(cfg)
+		arr := memsim.NewVirtualIntArray(e, n, 8, workload.IntValue)
+		// A flat search is the degenerate index with no sampled levels.
+		x := &Index{arr: arr, fanout: e.Config().PageSize / 8, costs: search.DefaultCosts()}
+		out := make([]int, len(keys))
+		x.RunSequential(e, keys, out)
+		before := e.Stats()
+		x.RunSequential(e, keys, out)
+		return e.Stats().Sub(before).PageWalks
+	}()
+	treeWalks := func() int64 {
+		e := memsim.New(cfg)
+		arr := memsim.NewVirtualIntArray(e, n, 8, workload.IntValue)
+		x := Build(e, arr)
+		out := make([]int, len(keys))
+		x.RunSequential(e, keys, out)
+		before := e.Stats()
+		x.RunSequential(e, keys, out)
+		return e.Stats().Sub(before).PageWalks
+	}()
+	if treeWalks*2 >= flatWalks {
+		t.Fatalf("page walks: tree %d, flat %d — tree should cut walks at least in half", treeWalks, flatWalks)
+	}
+}

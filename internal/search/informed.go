@@ -1,0 +1,47 @@
+package search
+
+import (
+	"repro/internal/coro"
+	"repro/internal/memsim"
+)
+
+// CoroLookupInformed is the hardware-assisted coroutine sketched in the
+// paper's Section 6: with an instruction that reports whether an address
+// is cached, the lookup suspends *conditionally* — only when the probe
+// would actually miss — avoiding the switch overhead on cache-resident
+// probes. The ablation abl-hwsupport quantifies the gain.
+func CoroLookupInformed[K any](e *memsim.Engine, c Costs, t Table[K], key K) coro.Handle[int] {
+	return coro.NewPull(func(suspend func()) int {
+		e.Compute(c.Init)
+		size := t.Len()
+		low := 0
+		for half := size / 2; half > 0; half = size / 2 {
+			probe := low + half
+			// One instruction to test residency (Section 6's proposal).
+			e.Compute(1)
+			if !e.Cached(t.Addr(probe)) {
+				e.Prefetch(t.Addr(probe))
+				e.SwitchWork(c.COROSuspend)
+				suspend()
+				e.SwitchWork(c.COROResume)
+			}
+			e.Load(t.Addr(probe))
+			e.Compute(c.Iter + t.CmpInstr())
+			if t.Cmp(t.At(probe), key) <= 0 {
+				low = probe
+			}
+			size -= half
+		}
+		return low
+	})
+}
+
+// RunCOROInformed interleaves the lookups with conditional suspension.
+func RunCOROInformed[K any](e *memsim.Engine, c Costs, t Table[K], keys []K, group int, out []int) {
+	coro.RunInterleaved(len(keys), group,
+		func(i int) coro.Handle[int] { return CoroLookupInformed(e, c, t, keys[i]) },
+		func(i, r int) {
+			out[i] = r
+			e.Compute(c.Store)
+		})
+}

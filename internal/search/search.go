@@ -1,0 +1,215 @@
+// Package search implements the paper's five binary-search variants over
+// simulated memory (Section 5.1):
+//
+//   - Std — speculative, branch-based search (std::lower_bound);
+//   - Baseline — branch-free search using a conditional move (Listing 2);
+//   - GP — group prefetching, the shared-loop static interleaving of
+//     Listing 3;
+//   - AMAC — asynchronous memory access chaining, the explicit state
+//     machine of Listing 4;
+//   - CORO — the coroutine of Listing 5 driven by the schedulers of
+//     Listing 7.
+//
+// All variants implement the identical search loop — the largest index i
+// with table[i] <= key (0 if none) — and are property-tested against each
+// other and a reference. Instruction costs are charged through the engine;
+// the Costs defaults reproduce the paper's measured instruction-overhead
+// ratios of Section 5.4.4 (GP ≈ 1.8×, AMAC ≈ 4.4×, CORO ≈ 5.4× Baseline).
+package search
+
+import (
+	"repro/internal/coro"
+	"repro/internal/memsim"
+)
+
+// Table abstracts a sorted, simulated array of keys: the binary searches
+// work identically over integer and string tables.
+type Table[K any] interface {
+	// Len returns the element count.
+	Len() int
+	// Addr returns the simulated address of element i.
+	Addr(i int) uint64
+	// At returns element i without charging simulated time (the charge is
+	// issued separately via the engine so prefetch/load placement is
+	// explicit in each algorithm).
+	At(i int) K
+	// Cmp compares two keys (-1/0/1).
+	Cmp(a, b K) int
+	// CmpInstr returns the extra instructions of one comparison beyond the
+	// integer case (string comparisons are computationally heavier,
+	// Section 5.3).
+	CmpInstr() int
+}
+
+// Costs holds the per-operation instruction counts charged by each
+// variant. The defaults are calibrated so the total instruction ratios
+// match Section 5.4.4; see EXPERIMENTS.md for the calibration record.
+type Costs struct {
+	// Init/Iter/Store are the Baseline costs: loop setup, one iteration
+	// (probe arithmetic, compare, conditional move, size update), and the
+	// result store.
+	Init, Iter, Store int
+	// GPStage is GP's extra work per stream-iteration: the prefetch stage
+	// recomputes the probe and issues the prefetch, and the shared loop
+	// adds bookkeeping (Listing 3).
+	GPStage int
+	// SPPStage is the per-stage pipeline bookkeeping of software-pipelined
+	// prefetching (slightly cheaper than GP's two-pass stages: one pass,
+	// but per-slot state).
+	SPPStage int
+	// AMACSwitch is charged per state-machine visit (circular-buffer
+	// rotation, dispatch, state load/store); AMACInitBody and
+	// AMACPrefetchBody are the stage bodies of Listing 4's stages A and B
+	// (stage C's body is Iter).
+	AMACSwitch, AMACInitBody, AMACPrefetchBody int
+	// COROSuspend/COROResume are the frame spill/restore halves of one
+	// coroutine switch ("an overhead equivalent to two function calls",
+	// Section 4).
+	COROSuspend, COROResume int
+}
+
+// DefaultCosts returns the calibrated instruction costs.
+func DefaultCosts() Costs {
+	return Costs{
+		Init:             4,
+		Iter:             8,
+		Store:            2,
+		GPStage:          6,
+		SPPStage:         5,
+		AMACSwitch:       11,
+		AMACInitBody:     4,
+		AMACPrefetchBody: 5,
+		COROSuspend:      17,
+		COROResume:       18,
+	}
+}
+
+// Baseline performs one branch-free binary search (Listing 2 with a
+// conditional move): no speculation, every probe is a demand load.
+// The loc markers feed the Table 5 complexity metrics (internal/locmetric).
+//
+//loc:begin seq-original
+func Baseline[K any](e *memsim.Engine, c Costs, t Table[K], key K) int {
+	e.Compute(c.Init)
+	size := t.Len()
+	low := 0
+	for half := size / 2; half > 0; half = size / 2 {
+		probe := low + half
+		e.Load(t.Addr(probe))
+		e.Compute(c.Iter + t.CmpInstr())
+		if t.Cmp(t.At(probe), key) <= 0 {
+			low = probe
+		}
+		size -= half
+	}
+	return low
+}
+
+//loc:end seq-original
+
+// RunBaseline performs the lookups sequentially with Baseline.
+func RunBaseline[K any](e *memsim.Engine, c Costs, t Table[K], keys []K, out []int) {
+	for i, k := range keys {
+		out[i] = Baseline(e, c, t, k)
+		e.Compute(c.Store)
+	}
+}
+
+// Std performs one branch-predicted binary search (std::lower_bound). The
+// comparison drives a hard-to-predict branch: half the iterations flush
+// the pipeline (Bad Speculation, Table 2), but the speculated path issues
+// the predicted next probe's load, which partially hides DRAM latency
+// once the array outsizes the LLC (Section 5.4.1).
+func Std[K any](e *memsim.Engine, c Costs, t Table[K], key K) int {
+	e.Compute(c.Init)
+	size := t.Len()
+	low := 0
+	for half := size / 2; half > 0; half = size / 2 {
+		probe := low + half
+		nextSize := size - half
+		nextHalf := nextSize / 2
+		// The two candidate addresses of the next probe depend only on the
+		// branch direction, so the core can issue either speculatively
+		// while this probe's load is still outstanding.
+		var takenNext, notTakenNext uint64
+		if nextHalf > 0 {
+			takenNext = t.Addr(probe + nextHalf)
+			notTakenNext = t.Addr(low + nextHalf)
+		}
+		le := t.Cmp(t.At(probe), key) <= 0
+		correct, wrong := notTakenNext, takenNext
+		if le {
+			correct, wrong = takenNext, notTakenNext
+		}
+		e.SpecLoad(t.Addr(probe), correct, wrong)
+		e.Compute(c.Iter + t.CmpInstr())
+		if le {
+			low = probe
+		}
+		size = nextSize
+	}
+	return low
+}
+
+// RunStd performs the lookups sequentially with Std.
+func RunStd[K any](e *memsim.Engine, c Costs, t Table[K], keys []K, out []int) {
+	for i, k := range keys {
+		out[i] = Std(e, c, t, k)
+		e.Compute(c.Store)
+	}
+}
+
+// CoroLookup builds the Listing 5 coroutine: the Baseline code extended
+// with a prefetch and a suspension statement before the probing load,
+// guarded by interleave — a single implementation serving both execution
+// modes (CORO-U in Table 5).
+//
+//loc:begin coro-unified
+func CoroLookup[K any](e *memsim.Engine, c Costs, t Table[K], key K, interleave bool) coro.Handle[int] {
+	return coro.NewPull(func(suspend func()) int {
+		e.Compute(c.Init)
+		size := t.Len()
+		low := 0
+		for half := size / 2; half > 0; half = size / 2 {
+			probe := low + half
+			if interleave {
+				e.Prefetch(t.Addr(probe))
+				e.SwitchWork(c.COROSuspend)
+				suspend()
+				e.SwitchWork(c.COROResume)
+			}
+			e.Load(t.Addr(probe))
+			e.Compute(c.Iter + t.CmpInstr())
+			if t.Cmp(t.At(probe), key) <= 0 {
+				low = probe
+			}
+			size -= half
+		}
+		return low
+	})
+}
+
+//loc:end coro-unified
+
+// RunCORO interleaves the lookups in groups of `group` coroutines using
+// the runInterleaved scheduler of Listing 7.
+func RunCORO[K any](e *memsim.Engine, c Costs, t Table[K], keys []K, group int, out []int) {
+	coro.RunInterleaved(len(keys), group,
+		func(i int) coro.Handle[int] { return CoroLookup(e, c, t, keys[i], true) },
+		func(i, r int) {
+			out[i] = r
+			e.Compute(c.Store)
+		})
+}
+
+// RunCOROSequential drives the same coroutine without suspension
+// (interleave=false) under the runSequential scheduler — demonstrating
+// that one implementation supports both modes.
+func RunCOROSequential[K any](e *memsim.Engine, c Costs, t Table[K], keys []K, out []int) {
+	coro.RunSequential(len(keys),
+		func(i int) coro.Handle[int] { return CoroLookup(e, c, t, keys[i], false) },
+		func(i, r int) {
+			out[i] = r
+			e.Compute(c.Store)
+		})
+}

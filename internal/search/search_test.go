@@ -1,0 +1,420 @@
+package search
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/memsim"
+	"repro/internal/workload"
+)
+
+// reference computes the shared loop semantics directly: the largest index
+// i with t[i] <= key, or 0 when every element exceeds key.
+func reference(vals []uint64, key uint64) int {
+	idx := sort.Search(len(vals), func(i int) bool { return vals[i] > key }) - 1
+	if idx < 0 {
+		return 0
+	}
+	return idx
+}
+
+func newTestEngine() *memsim.Engine {
+	cfg := memsim.TinyConfig()
+	return memsim.New(cfg)
+}
+
+// sortedVals builds a sorted array (duplicates allowed) from raw values.
+func sortedVals(raw []uint64) []uint64 {
+	vals := make([]uint64, len(raw))
+	copy(vals, raw)
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// runAll executes every variant over the same table and keys, returning
+// results keyed by variant name. A fresh engine per variant keeps cache
+// state independent (results must not depend on cache state at all).
+func runAll(vals []uint64, keys []uint64, group int) map[string][]int {
+	c := DefaultCosts()
+	out := map[string][]int{}
+
+	mk := func() (*memsim.Engine, Table[uint64]) {
+		e := newTestEngine()
+		return e, IntTable{A: memsim.NewBackedIntArray(e, vals, 8)}
+	}
+
+	{
+		e, t := mk()
+		r := make([]int, len(keys))
+		RunStd(e, c, t, keys, r)
+		out["std"] = r
+	}
+	{
+		e, t := mk()
+		r := make([]int, len(keys))
+		RunBaseline(e, c, t, keys, r)
+		out["baseline"] = r
+	}
+	{
+		e, t := mk()
+		r := make([]int, len(keys))
+		RunGP(e, c, t, keys, group, r)
+		out["gp"] = r
+	}
+	{
+		e, t := mk()
+		r := make([]int, len(keys))
+		RunAMAC(e, c, t, keys, group, r)
+		out["amac"] = r
+	}
+	{
+		e, t := mk()
+		r := make([]int, len(keys))
+		RunCORO(e, c, t, keys, group, r)
+		out["coro"] = r
+	}
+	{
+		e, t := mk()
+		r := make([]int, len(keys))
+		RunCOROSequential(e, c, t, keys, r)
+		out["coro-seq"] = r
+	}
+	{
+		e, t := mk()
+		r := make([]int, len(keys))
+		RunSPP(e, c, t, keys, 0, r) // classic full-depth pipeline
+		out["spp-full"] = r
+	}
+	{
+		e, t := mk()
+		r := make([]int, len(keys))
+		RunSPP(e, c, t, keys, group, r)
+		out["spp-width"] = r
+	}
+	return out
+}
+
+func TestAllVariantsMatchReferenceSmall(t *testing.T) {
+	vals := []uint64{2, 4, 4, 8, 16, 16, 16, 32, 64}
+	keys := []uint64{0, 1, 2, 3, 4, 5, 8, 15, 16, 17, 32, 63, 64, 65, 1000}
+	for name, got := range runAll(vals, keys, 3) {
+		for i, k := range keys {
+			if want := reference(vals, k); got[i] != want {
+				t.Errorf("%s: key %d → %d, want %d", name, k, got[i], want)
+			}
+		}
+	}
+}
+
+func TestAllVariantsMatchReferenceProperty(t *testing.T) {
+	f := func(raw []uint64, rawKeys []uint64, g uint8) bool {
+		if len(raw) == 0 || len(rawKeys) == 0 {
+			return true
+		}
+		if len(raw) > 200 {
+			raw = raw[:200]
+		}
+		if len(rawKeys) > 50 {
+			rawKeys = rawKeys[:50]
+		}
+		vals := sortedVals(raw)
+		group := int(g%8) + 1
+		for name, got := range runAll(vals, rawKeys, group) {
+			for i, k := range rawKeys {
+				if want := reference(vals, k); got[i] != want {
+					t.Logf("%s mismatch: key=%d got=%d want=%d vals=%v", name, k, got[i], want, vals)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVariantsOnRealisticWorkload(t *testing.T) {
+	// Index-valued array, uniform lookups, all variants agree — the exact
+	// setting of the paper's microbenchmarks.
+	n := 4096
+	e := newTestEngine()
+	tab := IntTable{A: memsim.NewVirtualIntArray(e, n, 8, workload.IntValue)}
+	keys := workload.IntKeys(workload.UniformIndices(3, 500, n))
+	c := DefaultCosts()
+	base := make([]int, len(keys))
+	RunBaseline(e, c, tab, keys, base)
+	for i, k := range keys {
+		// Values are the indices, so the searched key is its own index.
+		if base[i] != int(k) {
+			t.Fatalf("baseline: key %d found at %d", k, base[i])
+		}
+	}
+	coroOut := make([]int, len(keys))
+	RunCORO(e, c, tab, keys, 6, coroOut)
+	for i := range keys {
+		if coroOut[i] != base[i] {
+			t.Fatalf("coro disagrees at %d", i)
+		}
+	}
+}
+
+func TestStringVariantsMatch(t *testing.T) {
+	n := 2048
+	group := 5
+	keysIdx := workload.UniformIndices(11, 300, n)
+
+	run := func(f func(e *memsim.Engine, tab StrTable, keys []memsim.StrVal, out []int)) []int {
+		e := newTestEngine()
+		tab := StrTable{A: memsim.NewVirtualStrArray(e, n, workload.StrValue)}
+		keys := workload.StrKeys(keysIdx)
+		out := make([]int, len(keys))
+		f(e, tab, keys, out)
+		return out
+	}
+	c := DefaultCosts()
+	base := run(func(e *memsim.Engine, tab StrTable, keys []memsim.StrVal, out []int) {
+		RunBaseline[memsim.StrVal](e, c, tab, keys, out)
+	})
+	for i, idx := range keysIdx {
+		if base[i] != idx {
+			t.Fatalf("string baseline: index %d found at %d", idx, base[i])
+		}
+	}
+	for name, f := range map[string]func(e *memsim.Engine, tab StrTable, keys []memsim.StrVal, out []int){
+		"std": func(e *memsim.Engine, tab StrTable, keys []memsim.StrVal, out []int) {
+			RunStd[memsim.StrVal](e, c, tab, keys, out)
+		},
+		"gp": func(e *memsim.Engine, tab StrTable, keys []memsim.StrVal, out []int) {
+			RunGP[memsim.StrVal](e, c, tab, keys, group, out)
+		},
+		"amac": func(e *memsim.Engine, tab StrTable, keys []memsim.StrVal, out []int) {
+			RunAMAC[memsim.StrVal](e, c, tab, keys, group, out)
+		},
+		"coro": func(e *memsim.Engine, tab StrTable, keys []memsim.StrVal, out []int) {
+			RunCORO[memsim.StrVal](e, c, tab, keys, group, out)
+		},
+	} {
+		got := run(f)
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("%s: result %d = %d, want %d", name, i, got[i], base[i])
+			}
+		}
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	c := DefaultCosts()
+	t.Run("empty keys", func(t *testing.T) {
+		e := newTestEngine()
+		tab := IntTable{A: memsim.NewBackedIntArray(e, []uint64{1, 2, 3}, 8)}
+		RunGP(e, c, tab, nil, 4, nil)
+		RunAMAC(e, c, tab, nil, 4, nil)
+		RunCORO(e, c, tab, nil, 4, nil)
+	})
+	t.Run("single element", func(t *testing.T) {
+		e := newTestEngine()
+		tab := IntTable{A: memsim.NewBackedIntArray(e, []uint64{5}, 8)}
+		if got := Baseline(e, c, tab, 5); got != 0 {
+			t.Fatalf("single-element search = %d", got)
+		}
+	})
+	t.Run("group larger than keys", func(t *testing.T) {
+		e := newTestEngine()
+		vals := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+		tab := IntTable{A: memsim.NewBackedIntArray(e, vals, 8)}
+		keys := []uint64{3, 7}
+		out := make([]int, 2)
+		RunAMAC(e, c, tab, keys, 64, out)
+		if out[0] != 2 || out[1] != 6 {
+			t.Fatalf("out = %v", out)
+		}
+	})
+	t.Run("zero group clamps to one", func(t *testing.T) {
+		e := newTestEngine()
+		tab := IntTable{A: memsim.NewBackedIntArray(e, []uint64{1, 2, 3, 4}, 8)}
+		out := make([]int, 1)
+		RunGP(e, c, tab, []uint64{3}, 0, out)
+		if out[0] != 2 {
+			t.Fatalf("out = %v", out)
+		}
+	})
+}
+
+func TestInterleavingReducesCyclesBeyondCache(t *testing.T) {
+	// On an array much larger than the tiny LLC, interleaved variants must
+	// beat sequential Baseline on simulated cycles — the paper's central
+	// claim (Figure 3).
+	cfg := memsim.TinyConfig()
+	n := 1 << 16 // 512 KB of 8-byte elements vs 8 KB LLC
+	keysIdx := workload.UniformIndices(5, 400, n)
+	keys := workload.IntKeys(keysIdx)
+	c := DefaultCosts()
+
+	cycles := func(run func(e *memsim.Engine, tab IntTable, out []int)) int64 {
+		e := memsim.New(cfg)
+		tab := IntTable{A: memsim.NewVirtualIntArray(e, n, 8, workload.IntValue)}
+		out := make([]int, len(keys))
+		// Warm-up pass, then measure.
+		run(e, tab, out)
+		start := e.Now()
+		run(e, tab, out)
+		return e.Now() - start
+	}
+
+	base := cycles(func(e *memsim.Engine, tab IntTable, out []int) { RunBaseline(e, c, tab, keys, out) })
+	gp := cycles(func(e *memsim.Engine, tab IntTable, out []int) { RunGP(e, c, tab, keys, 4, out) })
+	amac := cycles(func(e *memsim.Engine, tab IntTable, out []int) { RunAMAC(e, c, tab, keys, 4, out) })
+	co := cycles(func(e *memsim.Engine, tab IntTable, out []int) { RunCORO(e, c, tab, keys, 4, out) })
+
+	if gp >= base {
+		t.Errorf("GP %d ≥ Baseline %d", gp, base)
+	}
+	if amac >= base {
+		t.Errorf("AMAC %d ≥ Baseline %d", amac, base)
+	}
+	if co >= base {
+		t.Errorf("CORO %d ≥ Baseline %d", co, base)
+	}
+}
+
+func TestGroupSizeOneSlowerThanBaseline(t *testing.T) {
+	// "Interleaved execution with group size 1 makes no sense": the switch
+	// overhead is pure loss (Section 5.4.5).
+	cfg := memsim.TinyConfig()
+	n := 1 << 14
+	keys := workload.IntKeys(workload.UniformIndices(9, 200, n))
+	c := DefaultCosts()
+
+	cycles := func(run func(e *memsim.Engine, tab IntTable, out []int)) int64 {
+		e := memsim.New(cfg)
+		tab := IntTable{A: memsim.NewVirtualIntArray(e, n, 8, workload.IntValue)}
+		out := make([]int, len(keys))
+		run(e, tab, out)
+		start := e.Now()
+		run(e, tab, out)
+		return e.Now() - start
+	}
+	base := cycles(func(e *memsim.Engine, tab IntTable, out []int) { RunBaseline(e, c, tab, keys, out) })
+	coro1 := cycles(func(e *memsim.Engine, tab IntTable, out []int) { RunCORO(e, c, tab, keys, 1, out) })
+	if coro1 <= base {
+		t.Errorf("CORO group=1 (%d cycles) should be slower than Baseline (%d)", coro1, base)
+	}
+}
+
+func TestCoroSequentialCostsLikeBaseline(t *testing.T) {
+	// The unified implementation in sequential mode must not pay the
+	// suspension overhead: its instruction count should equal Baseline's.
+	e1 := newTestEngine()
+	tab1 := IntTable{A: memsim.NewVirtualIntArray(e1, 4096, 8, workload.IntValue)}
+	e2 := newTestEngine()
+	tab2 := IntTable{A: memsim.NewVirtualIntArray(e2, 4096, 8, workload.IntValue)}
+	keys := workload.IntKeys(workload.UniformIndices(2, 100, 4096))
+	out := make([]int, len(keys))
+	c := DefaultCosts()
+	RunBaseline(e1, c, tab1, keys, out)
+	RunCOROSequential(e2, c, tab2, keys, out)
+	i1 := e1.Stats().Breakdown.Instructions
+	i2 := e2.Stats().Breakdown.Instructions
+	if i1 != i2 {
+		t.Fatalf("sequential CORO instructions = %d, Baseline = %d", i2, i1)
+	}
+}
+
+func TestInstructionOverheadRatios(t *testing.T) {
+	// Section 5.4.4: GP, AMAC and CORO execute ≈1.8×, 4.4×, 5.4× the
+	// instructions of Baseline. Verify the calibration within tolerance.
+	n := 1 << 15
+	keys := workload.IntKeys(workload.UniformIndices(4, 512, n))
+	c := DefaultCosts()
+
+	instr := func(run func(e *memsim.Engine, tab IntTable, out []int)) float64 {
+		e := newTestEngine()
+		tab := IntTable{A: memsim.NewVirtualIntArray(e, n, 8, workload.IntValue)}
+		out := make([]int, len(keys))
+		run(e, tab, out)
+		return float64(e.Stats().Breakdown.Instructions)
+	}
+	base := instr(func(e *memsim.Engine, tab IntTable, out []int) { RunBaseline(e, c, tab, keys, out) })
+	ratios := map[string]struct {
+		got    float64
+		lo, hi float64
+	}{
+		"gp":   {instr(func(e *memsim.Engine, tab IntTable, out []int) { RunGP(e, c, tab, keys, 10, out) }) / base, 1.5, 2.1},
+		"amac": {instr(func(e *memsim.Engine, tab IntTable, out []int) { RunAMAC(e, c, tab, keys, 6, out) }) / base, 3.9, 4.9},
+		"coro": {instr(func(e *memsim.Engine, tab IntTable, out []int) { RunCORO(e, c, tab, keys, 6, out) }) / base, 4.9, 5.9},
+	}
+	for name, r := range ratios {
+		if r.got < r.lo || r.got > r.hi {
+			t.Errorf("%s instruction ratio = %.2f, want within [%.1f, %.1f] (paper: GP 1.8, AMAC 4.4, CORO 5.4)", name, r.got, r.lo, r.hi)
+		}
+	}
+}
+
+func TestInformedCoroMatchesAndSavesSwitches(t *testing.T) {
+	n := 1 << 14
+	keys := workload.IntKeys(workload.UniformIndices(8, 400, n))
+	c := DefaultCosts()
+
+	run := func(informed bool) ([]int, int64) {
+		e := newTestEngine()
+		tab := IntTable{A: memsim.NewVirtualIntArray(e, n, 8, workload.IntValue)}
+		out := make([]int, len(keys))
+		if informed {
+			RunCOROInformed[uint64](e, c, tab, keys, 6, out)
+		} else {
+			RunCORO[uint64](e, c, tab, keys, 6, out)
+		}
+		return out, e.Stats().Breakdown.SwitchInstructions
+	}
+	plain, plainSw := run(false)
+	informed, infSw := run(true)
+	for i := range plain {
+		if plain[i] != informed[i] {
+			t.Fatalf("informed CORO disagrees at %d", i)
+		}
+	}
+	// Conditional suspension must skip switches for resident probes (the
+	// upper levels of the search are always cached after the first few
+	// lookups).
+	if infSw >= plainSw {
+		t.Fatalf("informed switch instructions %d ≥ unconditional %d", infSw, plainSw)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() int64 {
+		e := memsim.New(memsim.TinyConfig())
+		tab := IntTable{A: memsim.NewVirtualIntArray(e, 1<<14, 8, workload.IntValue)}
+		keys := workload.IntKeys(workload.UniformIndices(6, 300, 1<<14))
+		out := make([]int, len(keys))
+		RunStd(e, DefaultCosts(), tab, keys, out)
+		return e.Now()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %d vs %d", a, b)
+	}
+}
+
+func TestRandomizedAgainstReferenceLargeDuplicates(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 43))
+	vals := make([]uint64, 5000)
+	for i := range vals {
+		vals[i] = rng.Uint64N(800) // heavy duplication
+	}
+	vals = sortedVals(vals)
+	keys := make([]uint64, 300)
+	for i := range keys {
+		keys[i] = rng.Uint64N(1000)
+	}
+	for name, got := range runAll(vals, keys, 6) {
+		for i, k := range keys {
+			if want := reference(vals, k); got[i] != want {
+				t.Fatalf("%s: key %d → %d, want %d", name, k, got[i], want)
+			}
+		}
+	}
+}

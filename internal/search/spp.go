@@ -1,0 +1,77 @@
+package search
+
+import "repro/internal/memsim"
+
+// RunSPP implements software-pipelined prefetching (Chen et al., the
+// second static technique of Section 3) — the one the paper does not
+// provide, noting "we have not yet investigated how to form a pipeline
+// with variable size". The binary-search loop's iteration count depends
+// only on the table length, never on the compared values, so the pipeline
+// depth is in fact fixed and SPP becomes implementable: the stage
+// schedule (the `half` sequence) is precomputed, lookups enter the
+// pipeline one per tick, and every active lookup advances one stage per
+// tick, consuming the probe it prefetched on the previous tick.
+//
+// width caps the number of in-flight lookups; 0 selects the classic
+// full-depth pipeline (one lookup per stage). Full depth keeps one
+// outstanding prefetch per stage — for deep searches that exceeds the 10
+// line-fill buffers, dropping prefetches. The abl-spp ablation shows this
+// is what makes vanilla SPP a poor match for index lookups, empirically
+// justifying the paper's omission.
+func RunSPP[K any](e *memsim.Engine, c Costs, t Table[K], keys []K, width int, out []int) {
+	n := t.Len()
+	var halves []int
+	for size := n; size/2 > 0; size -= size / 2 {
+		halves = append(halves, size/2)
+	}
+	depth := len(halves)
+	if width <= 0 || width > depth+1 {
+		width = depth + 1
+	}
+
+	type slot struct {
+		key   K
+		low   int
+		stage int
+		owner int
+	}
+	slots := make([]slot, 0, width)
+	next := 0
+	for len(slots) > 0 || next < len(keys) {
+		// Prologue/steady state: admit one lookup per tick while there is
+		// room, prefetching its first probe.
+		if next < len(keys) && len(slots) < width {
+			e.Compute(c.Init)
+			if depth == 0 {
+				out[next] = 0
+				e.Compute(c.Store)
+				next++
+				continue
+			}
+			e.SwitchWork(c.SPPStage)
+			e.Prefetch(t.Addr(halves[0]))
+			slots = append(slots, slot{key: keys[next], owner: next})
+			next++
+		}
+		// Advance every in-flight lookup by one stage.
+		for i := 0; i < len(slots); {
+			s := &slots[i]
+			probe := s.low + halves[s.stage]
+			e.Load(t.Addr(probe))
+			e.Compute(c.Iter + t.CmpInstr())
+			if t.Cmp(t.At(probe), s.key) <= 0 {
+				s.low = probe
+			}
+			s.stage++
+			if s.stage == depth {
+				out[s.owner] = s.low
+				e.Compute(c.Store)
+				slots = append(slots[:i], slots[i+1:]...)
+				continue
+			}
+			e.SwitchWork(c.SPPStage)
+			e.Prefetch(t.Addr(s.low + halves[s.stage]))
+			i++
+		}
+	}
+}

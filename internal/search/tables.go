@@ -1,0 +1,56 @@
+package search
+
+import "repro/internal/memsim"
+
+// IntTable adapts a simulated integer array (4- or 8-byte elements) to the
+// Table interface.
+type IntTable struct {
+	A *memsim.IntArray
+}
+
+// Len returns the element count.
+func (t IntTable) Len() int { return t.A.Len() }
+
+// Addr returns the simulated address of element i.
+func (t IntTable) Addr(i int) uint64 { return t.A.Addr(i) }
+
+// At returns element i without charging simulated time.
+func (t IntTable) At(i int) uint64 { return t.A.At(i) }
+
+// Cmp compares integer keys.
+func (t IntTable) Cmp(a, b uint64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// CmpInstr is zero: the integer compare is part of the base iteration
+// cost.
+func (t IntTable) CmpInstr() int { return 0 }
+
+// StrTable adapts a simulated array of 15-character string slots.
+type StrTable struct {
+	A *memsim.StrArray
+}
+
+// Len returns the element count.
+func (t StrTable) Len() int { return t.A.Len() }
+
+// Addr returns the simulated address of slot i.
+func (t StrTable) Addr(i int) uint64 { return t.A.Addr(i) }
+
+// At returns slot i without charging simulated time.
+func (t StrTable) At(i int) memsim.StrVal { return t.A.At(i) }
+
+// Cmp compares string keys lexicographically.
+func (t StrTable) Cmp(a, b memsim.StrVal) int { return a.Cmp(b) }
+
+// CmpInstr charges the extra work of a 15-byte comparison. The paper
+// observes string compares "seem to not differ significantly" from
+// integer compares (Section 5.4.5), so the increment is small.
+func (t StrTable) CmpInstr() int { return 6 }

@@ -1,0 +1,158 @@
+// Package tmam implements Top-down Microarchitecture Analysis Method
+// (TMAM) accounting for the simulated core, as used throughout the paper
+// (Sections 2.2, 5.4): execution cycles are attributed to five categories
+// and converted to pipeline-slot fractions assuming a 4-wide core.
+package tmam
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Category is a TMAM pipeline-slot category.
+type Category int
+
+// The five TMAM categories of the paper's Table 2 and Figure 5.
+const (
+	FrontEnd Category = iota
+	BadSpeculation
+	Memory
+	CoreStall // "Core" in the paper; renamed to avoid clashing with core concepts
+	Retiring
+	NumCategories
+)
+
+// SlotsPerCycle models a 4-wide out-of-order core: four pipeline slots are
+// available per cycle (paper Section 2.2).
+const SlotsPerCycle = 4
+
+// String returns the paper's name for the category.
+func (c Category) String() string {
+	switch c {
+	case FrontEnd:
+		return "Front-End"
+	case BadSpeculation:
+		return "Bad Speculation"
+	case Memory:
+		return "Memory"
+	case CoreStall:
+		return "Core"
+	case Retiring:
+		return "Retiring"
+	}
+	return fmt.Sprintf("Category(%d)", int(c))
+}
+
+// Breakdown accumulates cycles per TMAM category plus retired-instruction
+// and stream-switch counters. The zero value is ready to use.
+type Breakdown struct {
+	// Cycles holds, per category, the cycles during which the pipeline was
+	// limited by that category. Retiring cycles are cycles spent usefully
+	// executing instructions.
+	Cycles [NumCategories]int64
+	// Instructions counts retired instructions (µops in TMAM terms).
+	Instructions int64
+	// SwitchInstructions counts the subset of Instructions executed by the
+	// instruction-stream switching mechanism (state save/restore, handle
+	// dispatch). It is the basis of the Tswitch estimate in Section 5.4.5.
+	SwitchInstructions int64
+}
+
+// Add accumulates another breakdown into b.
+func (b *Breakdown) Add(o Breakdown) {
+	for c := Category(0); c < NumCategories; c++ {
+		b.Cycles[c] += o.Cycles[c]
+	}
+	b.Instructions += o.Instructions
+	b.SwitchInstructions += o.SwitchInstructions
+}
+
+// Sub returns b minus o, category-wise. It is used to isolate the cycles
+// of a measured region from surrounding work.
+func (b Breakdown) Sub(o Breakdown) Breakdown {
+	var r Breakdown
+	for c := Category(0); c < NumCategories; c++ {
+		r.Cycles[c] = b.Cycles[c] - o.Cycles[c]
+	}
+	r.Instructions = b.Instructions - o.Instructions
+	r.SwitchInstructions = b.SwitchInstructions - o.SwitchInstructions
+	return r
+}
+
+// TotalCycles returns the sum of cycles across all categories.
+func (b Breakdown) TotalCycles() int64 {
+	var t int64
+	for c := Category(0); c < NumCategories; c++ {
+		t += b.Cycles[c]
+	}
+	return t
+}
+
+// CPI returns cycles per retired instruction (paper Table 1). It returns 0
+// when no instructions retired.
+func (b Breakdown) CPI() float64 {
+	if b.Instructions == 0 {
+		return 0
+	}
+	return float64(b.TotalCycles()) / float64(b.Instructions)
+}
+
+// SlotShares converts the cycle breakdown into pipeline-slot fractions per
+// category, per the TMAM model: every cycle provides SlotsPerCycle slots;
+// a cycle stalled on category X contributes SlotsPerCycle slots to X;
+// retired instructions each fill one slot; and slots of non-stalled cycles
+// that did not retire an instruction are attributed to Core (unavailable
+// execution units), as in Section 2.2. Fractions sum to 1 (when any cycles
+// were recorded).
+func (b Breakdown) SlotShares() [NumCategories]float64 {
+	var shares [NumCategories]float64
+	total := b.TotalCycles() * SlotsPerCycle
+	if total == 0 {
+		return shares
+	}
+	var slots [NumCategories]int64
+	for _, c := range []Category{FrontEnd, BadSpeculation, Memory} {
+		slots[c] = b.Cycles[c] * SlotsPerCycle
+	}
+	slots[Retiring] = b.Instructions
+	// Slots of Retiring/Core cycles not filled with retired µops are Core.
+	used := slots[FrontEnd] + slots[BadSpeculation] + slots[Memory] + slots[Retiring]
+	slots[CoreStall] = total - used
+	if slots[CoreStall] < 0 {
+		// Retired more µops than the retiring cycles could hold (can only
+		// happen with inconsistent external accounting); clamp and absorb
+		// the excess into Retiring.
+		slots[CoreStall] = 0
+	}
+	for c := Category(0); c < NumCategories; c++ {
+		shares[c] = float64(slots[c]) / float64(total)
+	}
+	return shares
+}
+
+// CyclesOf returns the cycles attributed to category c.
+func (b Breakdown) CyclesOf(c Category) int64 { return b.Cycles[c] }
+
+// String renders a one-line summary, e.g. for test failures.
+func (b Breakdown) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cycles=%d instr=%d cpi=%.2f [", b.TotalCycles(), b.Instructions, b.CPI())
+	for c := Category(0); c < NumCategories; c++ {
+		if c > 0 {
+			sb.WriteString(" ")
+		}
+		fmt.Fprintf(&sb, "%s=%d", c, b.Cycles[c])
+	}
+	sb.WriteString("]")
+	return sb.String()
+}
+
+// FormatShares renders slot shares as the paper prints them (percentages,
+// one decimal), in category order.
+func FormatShares(shares [NumCategories]float64) string {
+	parts := make([]string, 0, NumCategories)
+	for c := Category(0); c < NumCategories; c++ {
+		parts = append(parts, fmt.Sprintf("%s %.1f%%", c, 100*shares[c]))
+	}
+	return strings.Join(parts, ", ")
+}

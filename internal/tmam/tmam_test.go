@@ -1,0 +1,152 @@
+package tmam
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCategoryString(t *testing.T) {
+	want := map[Category]string{
+		FrontEnd:       "Front-End",
+		BadSpeculation: "Bad Speculation",
+		Memory:         "Memory",
+		CoreStall:      "Core",
+		Retiring:       "Retiring",
+	}
+	for c, s := range want {
+		if got := c.String(); got != s {
+			t.Errorf("Category(%d).String() = %q, want %q", c, got, s)
+		}
+	}
+	if got := Category(99).String(); got != "Category(99)" {
+		t.Errorf("unknown category = %q", got)
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	var a Breakdown
+	a.Cycles[Memory] = 100
+	a.Cycles[Retiring] = 50
+	a.Instructions = 80
+	a.SwitchInstructions = 10
+
+	var b Breakdown
+	b.Cycles[Memory] = 40
+	b.Instructions = 20
+
+	sum := a
+	sum.Add(b)
+	if sum.Cycles[Memory] != 140 || sum.Instructions != 100 {
+		t.Fatalf("Add: got %v", sum)
+	}
+	diff := sum.Sub(b)
+	if diff != a {
+		t.Fatalf("Sub: got %v, want %v", diff, a)
+	}
+}
+
+func TestTotalAndCPI(t *testing.T) {
+	var b Breakdown
+	if b.CPI() != 0 {
+		t.Errorf("zero breakdown CPI = %v, want 0", b.CPI())
+	}
+	b.Cycles[Retiring] = 100
+	b.Cycles[Memory] = 100
+	b.Instructions = 200
+	if got := b.TotalCycles(); got != 200 {
+		t.Errorf("TotalCycles = %d, want 200", got)
+	}
+	if got := b.CPI(); got != 1.0 {
+		t.Errorf("CPI = %v, want 1.0", got)
+	}
+}
+
+func TestSlotSharesSumToOne(t *testing.T) {
+	f := func(fe, bs, mem, ret uint16, instr uint32) bool {
+		var b Breakdown
+		b.Cycles[FrontEnd] = int64(fe)
+		b.Cycles[BadSpeculation] = int64(bs)
+		b.Cycles[Memory] = int64(mem)
+		b.Cycles[Retiring] = int64(ret)
+		// Instructions cannot exceed what retiring cycles can hold; clamp
+		// the generated value into the legal range.
+		maxInstr := b.Cycles[Retiring] * SlotsPerCycle
+		b.Instructions = int64(instr) % (maxInstr + 1)
+		shares := b.SlotShares()
+		var sum float64
+		for _, s := range shares {
+			if s < 0 {
+				return false
+			}
+			sum += s
+		}
+		if b.TotalCycles() == 0 {
+			return sum == 0
+		}
+		return math.Abs(sum-1.0) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlotSharesKnownValues(t *testing.T) {
+	// 100 cycles memory-stalled, 100 cycles retiring at IPC 2:
+	// total slots = 800; memory = 400 (50%); retiring = 200 µops (25%);
+	// core absorbs the unfilled retiring slots = 200 (25%).
+	var b Breakdown
+	b.Cycles[Memory] = 100
+	b.Cycles[Retiring] = 100
+	b.Instructions = 200
+	s := b.SlotShares()
+	if math.Abs(s[Memory]-0.5) > 1e-12 {
+		t.Errorf("memory share = %v, want 0.5", s[Memory])
+	}
+	if math.Abs(s[Retiring]-0.25) > 1e-12 {
+		t.Errorf("retiring share = %v, want 0.25", s[Retiring])
+	}
+	if math.Abs(s[CoreStall]-0.25) > 1e-12 {
+		t.Errorf("core share = %v, want 0.25", s[CoreStall])
+	}
+}
+
+func TestSlotSharesClampOverRetire(t *testing.T) {
+	// Instructions exceeding 4×total cycles must not produce negative Core.
+	var b Breakdown
+	b.Cycles[Retiring] = 10
+	b.Instructions = 1000
+	s := b.SlotShares()
+	if s[CoreStall] != 0 {
+		t.Errorf("core share = %v, want 0 after clamping", s[CoreStall])
+	}
+}
+
+func TestStringContainsCategories(t *testing.T) {
+	var b Breakdown
+	b.Cycles[Memory] = 5
+	b.Instructions = 3
+	s := b.String()
+	for _, want := range []string{"Memory=5", "instr=3"} {
+		if !contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	fs := FormatShares(b.SlotShares())
+	if !contains(fs, "Memory") || !contains(fs, "%") {
+		t.Errorf("FormatShares = %q", fs)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,88 @@
+// Package workload generates the paper's microbenchmark data (Section
+// 5.3): sorted arrays whose values are derived from their indices, 15-
+// character string values, and seeded uniform lookup lists drawn from the
+// array contents. All generation is deterministic under a seed.
+package workload
+
+import (
+	"math/rand/v2"
+	"sort"
+
+	"repro/internal/memsim"
+)
+
+// IntValue is the integer value function of Section 5.3: "for integer
+// arrays, the values are the corresponding array indices".
+func IntValue(i int) uint64 { return uint64(i) }
+
+// StrValue converts an index to a 15-character string ("for string arrays
+// we convert the index to a string of 15 characters, suffixing characters
+// as necessary"). The encoding is a zero-padded decimal followed by 'x'
+// padding, which preserves order: i < j ⇒ StrValue(i) < StrValue(j).
+func StrValue(i int) memsim.StrVal {
+	var v memsim.StrVal
+	// 10 decimal digits cover indices beyond 2 GB arrays; pad to 15 chars.
+	const digits = 10
+	n := uint64(i)
+	for p := digits - 1; p >= 0; p-- {
+		v[p] = byte('0' + n%10)
+		n /= 10
+	}
+	for p := digits; p < memsim.StrSlot-1; p++ {
+		v[p] = 'x'
+	}
+	return v
+}
+
+// UniformIndices draws n independent uniform samples from [0, max) with a
+// deterministic generator (the paper seeds std::mt19937 with 0).
+func UniformIndices(seed uint64, n, max int) []int {
+	rng := rand.New(rand.NewPCG(seed, seed^0xda3e39cb94b95bdb))
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(rng.Uint64N(uint64(max)))
+	}
+	return out
+}
+
+// IntKeys maps indices to their integer lookup keys.
+func IntKeys(indices []int) []uint64 {
+	out := make([]uint64, len(indices))
+	for i, idx := range indices {
+		out[i] = IntValue(idx)
+	}
+	return out
+}
+
+// StrKeys maps indices to their string lookup keys.
+func StrKeys(indices []int) []memsim.StrVal {
+	out := make([]memsim.StrVal, len(indices))
+	for i, idx := range indices {
+		out[i] = StrValue(idx)
+	}
+	return out
+}
+
+// Sorted returns a sorted copy of indices (Figure 4: "the lookup values
+// are sorted before starting the binary searches").
+func Sorted(indices []int) []int {
+	out := make([]int, len(indices))
+	copy(out, indices)
+	sort.Ints(out)
+	return out
+}
+
+// SizesMB returns the paper's array-size sweep: powers of two from minMB
+// to maxMB megabytes (Figures 1, 3, 4, 8 use 1 MB through 2 GB).
+func SizesMB(minMB, maxMB int) []int64 {
+	var out []int64
+	for mb := int64(minMB); mb <= int64(maxMB); mb *= 2 {
+		out = append(out, mb<<20)
+	}
+	return out
+}
+
+// ElemsFor returns how many elements of elemSize bytes fill totalBytes.
+func ElemsFor(totalBytes int64, elemSize int) int {
+	return int(totalBytes / int64(elemSize))
+}

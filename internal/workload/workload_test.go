@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStrValueMonotone(t *testing.T) {
+	f := func(a, b uint32) bool {
+		i, j := int(a%(1<<28)), int(b%(1<<28))
+		si, sj := StrValue(i), StrValue(j)
+		switch {
+		case i < j:
+			return si.Cmp(sj) < 0
+		case i > j:
+			return si.Cmp(sj) > 0
+		default:
+			return si.Cmp(sj) == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrValueIs15Chars(t *testing.T) {
+	v := StrValue(12345)
+	if len(v.String()) != 15 {
+		t.Fatalf("string length = %d, want 15 (%q)", len(v.String()), v.String())
+	}
+	if v.String() != "0000012345xxxxx" {
+		t.Fatalf("StrValue(12345) = %q", v.String())
+	}
+	if v[15] != 0 {
+		t.Fatal("slot terminator must remain NUL")
+	}
+}
+
+func TestUniformIndicesDeterministicAndInRange(t *testing.T) {
+	a := UniformIndices(7, 1000, 500)
+	b := UniformIndices(7, 1000, 500)
+	c := UniformIndices(8, 1000, 500)
+	if len(a) != 1000 {
+		t.Fatalf("len = %d", len(a))
+	}
+	same := true
+	diff := false
+	for i := range a {
+		if a[i] < 0 || a[i] >= 500 {
+			t.Fatalf("out of range: %d", a[i])
+		}
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed produced different sequences")
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+func TestUniformIndicesCoverage(t *testing.T) {
+	// Sanity: samples should span the range reasonably uniformly.
+	idx := UniformIndices(1, 10000, 10)
+	var counts [10]int
+	for _, v := range idx {
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Fatalf("value %d drawn %d times out of 10000; not uniform", v, c)
+		}
+	}
+}
+
+func TestSortedDoesNotMutate(t *testing.T) {
+	in := []int{3, 1, 2}
+	out := Sorted(in)
+	if in[0] != 3 {
+		t.Fatal("input mutated")
+	}
+	if out[0] != 1 || out[1] != 2 || out[2] != 3 {
+		t.Fatalf("not sorted: %v", out)
+	}
+}
+
+func TestKeys(t *testing.T) {
+	idx := []int{0, 5, 9}
+	ik := IntKeys(idx)
+	if ik[1] != 5 {
+		t.Fatalf("IntKeys: %v", ik)
+	}
+	sk := StrKeys(idx)
+	if sk[2] != StrValue(9) {
+		t.Fatal("StrKeys mismatch")
+	}
+}
+
+func TestSizesMB(t *testing.T) {
+	s := SizesMB(1, 8)
+	want := []int64{1 << 20, 2 << 20, 4 << 20, 8 << 20}
+	if len(s) != len(want) {
+		t.Fatalf("sizes = %v", s)
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("sizes = %v", s)
+		}
+	}
+	if n := ElemsFor(1<<20, 8); n != 131072 {
+		t.Fatalf("ElemsFor = %d", n)
+	}
+}
