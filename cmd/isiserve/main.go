@@ -1,0 +1,160 @@
+// Command isiserve runs the sharded, batch-admission index-join service
+// of internal/serve under a built-in concurrent open-loop load generator,
+// and reports per-shard throughput, p50/p99 request latency, and the
+// adaptive group-size controller's trajectory.
+//
+// The domain holds even values only (value of code i is 2i), so a -miss
+// fraction of the generated keys is verifiably absent (odd keys). Keys
+// are drawn from a Zipf/uniform mix.
+//
+// Usage:
+//
+//	isiserve -shards 4 -duration 2s
+//	isiserve -index main -dict 4 -rate 20000 -duration 2s
+//	isiserve -adaptive=false -group 1      # the sequential baseline
+//
+// The memsim-backed kinds (-index main|tree) spend host time simulating
+// every probe, so drive them at far lower -dict and -rate than the
+// default native backend.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		shards   = flag.Int("shards", 4, "number of index shards (one goroutine each)")
+		index    = flag.String("index", "native", "shard index backend: native (real hardware), main (memsim sorted array), tree (memsim CSB+-tree)")
+		dictMB   = flag.Int("dict", 64, "domain size in MB of 8-byte keys")
+		duration = flag.Duration("duration", 2*time.Second, "load-generation window")
+		rate     = flag.Float64("rate", 200000, "aggregate arrival rate, requests/second (0 = unpaced)")
+		workers  = flag.Int("workers", 8, "load-generator goroutines")
+		batch    = flag.Int("batch", 256, "admission batch size bound")
+		wait     = flag.Duration("wait", 200*time.Microsecond, "admission batch time bound")
+		group    = flag.Int("group", 6, "initial interleaving group size per shard")
+		minGroup = flag.Int("mingroup", 1, "adaptive controller lower bound")
+		maxGroup = flag.Int("maxgroup", 32, "adaptive controller upper bound")
+		adaptive = flag.Bool("adaptive", true, "hill-climb the group size per shard")
+		epoch    = flag.Int("epoch", 8, "batches per controller epoch")
+		zipfFrac = flag.Float64("zipf", 0.5, "fraction of keys drawn from the Zipf hot set")
+		zipfS    = flag.Float64("theta", 1.2, "Zipf exponent (>1)")
+		miss     = flag.Float64("miss", 0.1, "fraction of generated keys that are absent")
+		seed     = flag.Uint64("seed", 7, "workload seed")
+	)
+	flag.Parse()
+
+	var kind serve.IndexKind
+	switch *index {
+	case "native":
+		kind = serve.NativeSorted
+	case "main":
+		kind = serve.SimMain
+	case "tree":
+		kind = serve.SimTree
+	default:
+		fmt.Fprintf(os.Stderr, "isiserve: unknown -index %q (native|main|tree)\n", *index)
+		os.Exit(2)
+	}
+
+	n := int(int64(*dictMB) << 20 / 8)
+	if kind == serve.SimTree && n > 1<<31 {
+		fmt.Fprintln(os.Stderr, "isiserve: -dict too large for the tree backend (uint32 keys)")
+		os.Exit(2)
+	}
+	values := make([]uint64, n)
+	for i := range values {
+		values[i] = uint64(i) * 2 // even values only: odd keys miss
+	}
+
+	cfg := serve.Config{
+		Shards:     *shards,
+		Kind:       kind,
+		MaxBatch:   *batch,
+		MaxWait:    *wait,
+		Group:      *group,
+		MinGroup:   *minGroup,
+		MaxGroup:   *maxGroup,
+		Adaptive:   *adaptive,
+		AdaptEvery: *epoch,
+		SimSeed:    *seed,
+	}
+	fmt.Printf("isiserve: index=%s shards=%d domain=%d keys (%d MB) batch=%d/%v group=%d adaptive=%v\n",
+		kind, *shards, n, *dictMB, *batch, *wait, *group, *adaptive)
+	svc, err := serve.New(values, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "isiserve:", err)
+		os.Exit(1)
+	}
+
+	gen := workload.OpenLoop{Rate: *rate, Workers: *workers, Duration: *duration, Seed: *seed}
+	start := time.Now()
+	submitted := gen.Run(
+		func(w int) func() uint64 {
+			mix := workload.NewKeyMix(*seed+uint64(w)*101, n, *zipfFrac, *zipfS)
+			missMix := workload.NewKeyMix(*seed^uint64(w)*977, 1<<20, 0, 0)
+			return func() uint64 {
+				key := uint64(mix.Next()) * 2
+				if *miss > 0 && float64(missMix.Next())/float64(1<<20) < *miss {
+					key++ // odd: verifiably absent
+				}
+				return key
+			}
+		},
+		func(key uint64) { svc.Go(key) })
+	genElapsed := time.Since(start)
+	svc.Close() // drains every submitted request
+	elapsed := time.Since(start)
+
+	st := svc.Stats()
+	fmt.Printf("submitted %d requests in %v; all drained after %v (%.0f req/s end-to-end)\n",
+		submitted, genElapsed.Round(time.Millisecond), elapsed.Round(time.Millisecond),
+		float64(st.Items)/elapsed.Seconds())
+	if uint64(submitted) != st.Items {
+		fmt.Fprintf(os.Stderr, "isiserve: BUG: submitted %d but drained %d\n", submitted, st.Items)
+		os.Exit(1)
+	}
+
+	fmt.Printf("\n%-6s %10s %8s %9s %6s %12s %10s %10s\n",
+		"shard", "items", "batches", "avg-batch", "group", "drain-rate/s", "p50", "p99")
+	for _, ss := range st.Shards {
+		fmt.Printf("%-6d %10d %8d %9.1f %6d %12.0f %10v %10v\n",
+			ss.Shard, ss.Items, ss.Batches, ss.AvgBatch, ss.Group, ss.Throughput,
+			ss.P50.Round(time.Microsecond), ss.P99.Round(time.Microsecond))
+	}
+	fmt.Printf("\ntotal: %d items, p50 %v, p99 %v\n",
+		st.Items, st.P50.Round(time.Microsecond), st.P99.Round(time.Microsecond))
+
+	if *adaptive {
+		fmt.Println("\nadaptive group trajectory (per shard, one entry per epoch):")
+		for _, ss := range st.Shards {
+			fmt.Printf("  shard %d: %s\n", ss.Shard, groupTrail(ss.GroupHistory))
+		}
+	}
+}
+
+// groupTrail renders a group-size history compactly, eliding the middle
+// of long trajectories.
+func groupTrail(hist []int) string {
+	if len(hist) == 0 {
+		return "(no epochs)"
+	}
+	render := func(gs []int) string {
+		parts := make([]string, len(gs))
+		for i, g := range gs {
+			parts[i] = fmt.Sprint(g)
+		}
+		return strings.Join(parts, " ")
+	}
+	if len(hist) <= 40 {
+		return render(hist)
+	}
+	return render(hist[:20]) + " ... " + render(hist[len(hist)-20:])
+}

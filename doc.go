@@ -15,7 +15,11 @@
 //     sequential, GP, AMAC, and CORO execution;
 //   - hashjoin, pagebtree, native: the paper's Section 6 extensions and
 //     real-hardware counterparts;
-//   - exp: one runner per paper table and figure.
+//   - exp: one runner per paper table and figure;
+//   - serve: a sharded, batch-admission index-join service over the
+//     interleaved kernels, with group-commit request batching and an
+//     adaptive per-shard interleaving group size (cmd/isiserve drives it
+//     under open-loop load).
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record. The benchmarks in bench_test.go regenerate

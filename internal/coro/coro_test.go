@@ -205,9 +205,18 @@ func TestRunInterleavedCompletesAll(t *testing.T) {
 func TestRunInterleavedZeroAndEmpty(t *testing.T) {
 	called := false
 	RunInterleaved(0, 4, func(i int) Handle[int] { called = true; return nil }, func(int, int) { called = true })
-	RunInterleaved(5, 0, func(i int) Handle[int] { called = true; return nil }, func(int, int) { called = true })
 	if called {
-		t.Fatal("no coroutine should start for empty input or zero group")
+		t.Fatal("no coroutine should start for empty input")
+	}
+	// A non-positive group degrades to sequential execution — lookups must
+	// not be dropped (see TestRunInterleavedNonPositiveGroup for the full
+	// delivery check).
+	got := make(map[int]int)
+	RunInterleaved(5, 0,
+		func(i int) Handle[int] { return suspendingLookup(i, i%3) },
+		func(i, r int) { got[i] = r })
+	if len(got) != 5 {
+		t.Fatalf("zero group delivered %d results, want 5", len(got))
 	}
 }
 

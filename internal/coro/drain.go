@@ -1,0 +1,54 @@
+package coro
+
+// Drainer is the batch-drain entry point for serving workloads. The
+// one-shot RunInterleaved allocates its handle and owner buffers per call,
+// which is fine for experiment runs but wasteful for a long-lived shard
+// draining an unbounded sequence of admission batches (internal/serve).
+// A Drainer owns those scheduler buffers and reuses them across batches;
+// the group size may differ per batch, which is exactly what an adaptive
+// group-size controller needs.
+//
+// A Drainer is not safe for concurrent use: each shard owns one.
+type Drainer[R any] struct {
+	handles []Handle[R]
+	owner   []int
+}
+
+// NewDrainer creates a drainer with buffers sized for the given group
+// (they grow on demand if a later batch asks for more).
+func NewDrainer[R any](group int) *Drainer[R] {
+	if group < 1 {
+		group = 1
+	}
+	return &Drainer[R]{
+		handles: make([]Handle[R], 0, group),
+		owner:   make([]int, 0, group),
+	}
+}
+
+// Drain runs one batch of n lookups at the given group size with the
+// RunInterleaved semantics (group is clamped to [1, n]; results arrive
+// through sink keyed by input index, in interleaved completion order).
+func (d *Drainer[R]) Drain(n, group int, start func(i int) Handle[R], sink func(i int, r R)) {
+	if n <= 0 {
+		return
+	}
+	if group > n {
+		group = n
+	}
+	if group < 1 {
+		group = 1
+	}
+	if cap(d.handles) < group {
+		d.handles = make([]Handle[R], group)
+		d.owner = make([]int, group)
+	}
+	d.handles = d.handles[:group]
+	d.owner = d.owner[:group]
+	drainInterleaved(d.handles, d.owner, n, start, sink)
+	// Drop handle references between batches so completed coroutines do
+	// not outlive their batch.
+	clear(d.handles)
+	d.handles = d.handles[:0]
+	d.owner = d.owner[:0]
+}

@@ -26,14 +26,25 @@ func RunSequential[R any](n int, start func(i int) Handle[R], sink func(i int, r
 // Results arrive through sink keyed by their input index (completion order
 // is interleaved, not sequential).
 func RunInterleaved[R any](n, group int, start func(i int) Handle[R], sink func(i int, r R)) {
+	if n <= 0 {
+		return
+	}
 	if group > n {
 		group = n
 	}
-	if group <= 0 {
-		return
+	if group < 1 {
+		// A non-positive group degrades to sequential execution (group 1)
+		// rather than silently dropping all n lookups.
+		group = 1
 	}
-	handles := make([]Handle[R], group)
-	owner := make([]int, group)
+	drainInterleaved(make([]Handle[R], group), make([]int, group), n, start, sink)
+}
+
+// drainInterleaved is the scheduler core shared by RunInterleaved and
+// Drainer: handles and owner must have equal length (the group size) and
+// are fully overwritten.
+func drainInterleaved[R any](handles []Handle[R], owner []int, n int, start func(i int) Handle[R], sink func(i int, r R)) {
+	group := len(handles)
 	for i := 0; i < group; i++ {
 		handles[i] = start(i)
 		owner[i] = i

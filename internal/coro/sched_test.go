@@ -1,0 +1,156 @@
+package coro
+
+import (
+	"slices"
+	"testing"
+)
+
+// countingStart builds a frame-backed lookup that suspends susp(i) times
+// and then returns 100+i, recording how often each index was started.
+func countingStart(t *testing.T, n int, susp func(i int) int, starts []int) func(i int) Handle[int] {
+	return func(i int) Handle[int] {
+		if i < 0 || i >= n {
+			t.Fatalf("start(%d) out of range [0,%d)", i, n)
+		}
+		starts[i]++
+		remaining := susp(i)
+		return NewFrame(func() (int, bool) {
+			if remaining > 0 {
+				remaining--
+				return 0, false
+			}
+			return 100 + i, true
+		})
+	}
+}
+
+// checkDelivery asserts every index was started and delivered exactly
+// once with its own result — the owner-bookkeeping invariant.
+func checkDelivery(t *testing.T, n int, starts []int, got map[int]int) {
+	t.Helper()
+	if len(got) != n {
+		t.Fatalf("delivered %d results, want %d", len(got), n)
+	}
+	for i := 0; i < n; i++ {
+		if starts[i] != 1 {
+			t.Errorf("index %d started %d times, want 1", i, starts[i])
+		}
+		if r, ok := got[i]; !ok || r != 100+i {
+			t.Errorf("result[%d] = %d (ok=%v), want %d", i, r, ok, 100+i)
+		}
+	}
+}
+
+func TestRunSequentialCompletionOrder(t *testing.T) {
+	const n = 8
+	starts := make([]int, n)
+	got := map[int]int{}
+	var order []int
+	RunSequential(n, countingStart(t, n, func(i int) int { return (i * 3) % 5 }, starts),
+		func(i, r int) {
+			order = append(order, i)
+			if _, dup := got[i]; dup {
+				t.Fatalf("index %d delivered twice", i)
+			}
+			got[i] = r
+		})
+	checkDelivery(t, n, starts, got)
+	for i, o := range order {
+		if o != i {
+			t.Fatalf("sequential completion order %v, want 0..%d in order", order, n-1)
+		}
+	}
+}
+
+// TestRunInterleavedOwnerRecycling drives the owner[] recycling path: with
+// group 2 and suspension counts [2,0,0], slot 1 finishes first, is
+// refilled with lookup 2, and every result must land at its own index.
+// The completion order is fully determined by the round-robin scheduler.
+func TestRunInterleavedOwnerRecycling(t *testing.T) {
+	susp := []int{2, 0, 0}
+	n := len(susp)
+	starts := make([]int, n)
+	got := map[int]int{}
+	var order []int
+	RunInterleaved(n, 2, countingStart(t, n, func(i int) int { return susp[i] }, starts),
+		func(i, r int) {
+			order = append(order, i)
+			got[i] = r
+		})
+	checkDelivery(t, n, starts, got)
+	if want := []int{1, 0, 2}; !slices.Equal(order, want) {
+		t.Fatalf("completion order = %v, want %v", order, want)
+	}
+}
+
+// TestRunInterleavedChurn stresses slot replacement with many lookups of
+// divergent suspension counts across several group sizes.
+func TestRunInterleavedChurn(t *testing.T) {
+	const n = 64
+	susp := func(i int) int { return (i * 7) % 11 }
+	for _, group := range []int{1, 2, 3, 6, 17, n} {
+		starts := make([]int, n)
+		got := map[int]int{}
+		RunInterleaved(n, group, countingStart(t, n, susp, starts),
+			func(i, r int) {
+				if _, dup := got[i]; dup {
+					t.Fatalf("group %d: index %d delivered twice", group, i)
+				}
+				got[i] = r
+			})
+		checkDelivery(t, n, starts, got)
+	}
+}
+
+func TestRunInterleavedGroupLargerThanN(t *testing.T) {
+	const n = 3
+	starts := make([]int, n)
+	got := map[int]int{}
+	RunInterleaved(n, 50, countingStart(t, n, func(i int) int { return i }, starts),
+		func(i, r int) { got[i] = r })
+	checkDelivery(t, n, starts, got)
+}
+
+func TestRunInterleavedZeroN(t *testing.T) {
+	for _, group := range []int{-1, 0, 1, 5} {
+		RunInterleaved(0, group,
+			func(i int) Handle[int] { t.Fatalf("group %d: start called for n=0", group); return nil },
+			func(i, r int) { t.Fatalf("group %d: sink called for n=0", group) })
+	}
+}
+
+// TestRunInterleavedNonPositiveGroup covers the regression where a
+// non-positive group silently dropped all lookups; it must degrade to
+// sequential execution instead.
+func TestRunInterleavedNonPositiveGroup(t *testing.T) {
+	const n = 5
+	for _, group := range []int{0, -3} {
+		starts := make([]int, n)
+		got := map[int]int{}
+		RunInterleaved(n, group, countingStart(t, n, func(i int) int { return i % 3 }, starts),
+			func(i, r int) { got[i] = r })
+		checkDelivery(t, n, starts, got)
+	}
+}
+
+// TestDrainerReuse runs several batches of different sizes and group
+// sizes through one Drainer, including group growth beyond the initial
+// capacity and the degenerate n=0 / group<=0 cases.
+func TestDrainerReuse(t *testing.T) {
+	d := NewDrainer[int](2)
+	batches := []struct{ n, group int }{
+		{5, 2}, {3, 8}, {12, 4}, {1, 1}, {0, 3}, {7, 0}, {4, -2},
+	}
+	for _, b := range batches {
+		starts := make([]int, b.n)
+		got := map[int]int{}
+		d.Drain(b.n, b.group, countingStart(t, b.n, func(i int) int { return (i * 5) % 7 }, starts),
+			func(i, r int) {
+				if _, dup := got[i]; dup {
+					t.Fatalf("batch %+v: index %d delivered twice", b, i)
+				}
+				got[i] = r
+			})
+		checkDelivery(t, b.n, starts, got)
+	}
+}

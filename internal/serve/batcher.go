@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// batcher is the group-commit admission gate: concurrent submitters append
+// to the open batch; the batch seals when it reaches maxSize requests or
+// when maxWait elapses after its first request, whichever comes first.
+// Sealing hands the batch to flush outside the lock, so admission stays
+// concurrent while a sealed batch is being partitioned (flush may block on
+// shard back-pressure).
+type batcher struct {
+	mu      sync.Mutex
+	cur     []*Future
+	gen     uint64 // increments per seal; stale timers no-op
+	maxSize int
+	maxWait time.Duration
+	flush   func([]*Future)
+	closed  bool
+	timer   *time.Timer // armed for the open batch's maxWait, nil if none
+	// flushing tracks sealed-but-not-yet-flushed batches (the flush runs
+	// outside the lock); close waits for them so a pending maxWait timer
+	// can never dispatch into an already-closed shard queue.
+	flushing sync.WaitGroup
+}
+
+func newBatcher(maxSize int, maxWait time.Duration, flush func([]*Future)) *batcher {
+	return &batcher{maxSize: maxSize, maxWait: maxWait, flush: flush}
+}
+
+// add admits one request. The first request of a fresh batch arms the
+// maxWait timer; the maxSize'th seals immediately.
+func (b *batcher) add(f *Future) {
+	b.mu.Lock()
+	if b.closed {
+		// Checked under the lock so an add racing close either lands in
+		// the final flushed batch or fails here — it can never strand a
+		// future or dispatch into a closed shard queue.
+		b.mu.Unlock()
+		panic("serve: Go after Close")
+	}
+	b.cur = append(b.cur, f)
+	var sealed []*Future
+	if len(b.cur) >= b.maxSize {
+		sealed = b.sealLocked()
+	} else if len(b.cur) == 1 && b.maxWait > 0 {
+		gen := b.gen
+		b.timer = time.AfterFunc(b.maxWait, func() { b.expire(gen) })
+	}
+	b.mu.Unlock()
+	b.dispatchSealed(sealed)
+}
+
+// expire seals the batch the timer was armed for, unless it already
+// sealed by size (the generation moved on).
+func (b *batcher) expire(gen uint64) {
+	b.mu.Lock()
+	var sealed []*Future
+	if gen == b.gen && len(b.cur) > 0 {
+		sealed = b.sealLocked()
+	}
+	b.mu.Unlock()
+	b.dispatchSealed(sealed)
+}
+
+// sealLocked detaches the open batch and opens a fresh one, registering
+// the pending flush with the flushing group while still under the lock
+// (so close cannot miss it).
+func (b *batcher) sealLocked() []*Future {
+	if b.timer != nil {
+		// Sealing by size or close: retire the open batch's timer rather
+		// than leaving a dead one per batch in the runtime timer heap.
+		// Stop may miss a concurrently firing timer; the gen bump below
+		// neutralizes that fire.
+		b.timer.Stop()
+		b.timer = nil
+	}
+	batch := b.cur
+	b.cur = nil
+	b.gen++
+	if len(batch) > 0 {
+		b.flushing.Add(1)
+	}
+	return batch
+}
+
+// dispatchSealed flushes a batch detached by sealLocked (outside the
+// lock) and retires its flushing registration.
+func (b *batcher) dispatchSealed(batch []*Future) {
+	if len(batch) == 0 {
+		return
+	}
+	b.flush(batch)
+	b.flushing.Done()
+}
+
+// close seals and flushes whatever is pending, then waits for any
+// concurrent timer flush to finish dispatching. The caller guarantees no
+// concurrent or subsequent add.
+func (b *batcher) close() {
+	b.mu.Lock()
+	b.closed = true
+	sealed := b.sealLocked()
+	b.mu.Unlock()
+	b.dispatchSealed(sealed)
+	b.flushing.Wait()
+}

@@ -1,0 +1,95 @@
+package serve
+
+import "sync"
+
+// controller hill-climbs one shard's interleaving group size. The paper
+// fixes the group at 6 for its hardware (Section 5.4.5), but the optimum
+// shifts with index size, index type, and batch shape; a serving system
+// should measure instead of hard-code. The controller accumulates batch
+// cost over an epoch of AdaptEvery batches, compares the epoch's cost per
+// item against the previous epoch, keeps walking while cost improves, and
+// reverses direction when it worsens — converging to a ±1 oscillation
+// around the local optimum (steepest-descent on a noisy 1-D surface).
+//
+// observe is called only from the owning shard's goroutine; Group and
+// History may be read concurrently (snapshots, reporting).
+type controller struct {
+	adaptive bool
+	min, max int
+	every    int // batches per epoch
+
+	// Epoch accumulators (shard goroutine only).
+	batches int
+	items   int
+	cost    float64
+	prev    float64 // previous epoch's cost per item; 0 = none yet
+
+	mu    sync.Mutex
+	group int
+	dir   int
+	hist  []int // group chosen at each epoch boundary (tail of histCap)
+}
+
+// histCap bounds the retained group history (the tail is what matters for
+// convergence reporting).
+const histCap = 128
+
+func newController(cfg Config) *controller {
+	return &controller{
+		adaptive: cfg.Adaptive,
+		min:      cfg.MinGroup,
+		max:      cfg.MaxGroup,
+		every:    cfg.AdaptEvery,
+		group:    cfg.Group,
+		dir:      +1,
+	}
+}
+
+// Group returns the group size to use for the next batch.
+func (c *controller) Group() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.group
+}
+
+// History returns the chronological tail of per-epoch group choices.
+func (c *controller) History() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]int(nil), c.hist...)
+}
+
+// observe feeds one batch's size and cost (backend units). At each epoch
+// boundary it takes one hill-climb step.
+func (c *controller) observe(items int, cost float64) {
+	if !c.adaptive || items <= 0 {
+		return
+	}
+	c.batches++
+	c.items += items
+	c.cost += cost
+	if c.batches < c.every {
+		return
+	}
+	per := c.cost / float64(c.items)
+	c.batches, c.items, c.cost = 0, 0, 0
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.prev > 0 && per > c.prev {
+		c.dir = -c.dir
+	}
+	c.prev = per
+	next := c.group + c.dir
+	if next < c.min || next > c.max {
+		c.dir = -c.dir
+		next = c.group + c.dir
+	}
+	if next >= c.min && next <= c.max {
+		c.group = next
+	}
+	if len(c.hist) == histCap {
+		c.hist = append(c.hist[:0], c.hist[1:]...)
+	}
+	c.hist = append(c.hist, c.group)
+}

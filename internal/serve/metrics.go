@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// latHist is a log-bucketed latency histogram: histSub sub-bucket bits per
+// power-of-two nanosecond octave, giving ≤ ~12.5% quantile error with 512
+// fixed buckets. Single writer (the owning shard), concurrent readers.
+const (
+	histSub     = 3
+	histBuckets = 512
+)
+
+type latHist struct {
+	counts [histBuckets]atomic.Uint64
+	total  atomic.Uint64
+}
+
+// histBucket maps nanoseconds to a bucket: values below 2^(histSub+1)
+// index directly; above, the top histSub+1 bits select the bucket.
+func histBucket(v uint64) int {
+	exp := bits.Len64(v)
+	shift := 0
+	if exp > histSub+1 {
+		shift = exp - histSub - 1
+	}
+	b := (shift << histSub) + int(v>>uint(shift))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// bucketFloor is the smallest nanosecond value mapping to bucket b.
+func bucketFloor(b int) uint64 {
+	if b < 1<<(histSub+1) {
+		return uint64(b)
+	}
+	shift := b>>histSub - 1
+	return uint64(b-(shift<<histSub)) << uint(shift)
+}
+
+func (h *latHist) record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[histBucket(uint64(d))].Add(1)
+	h.total.Add(1)
+}
+
+// addTo accumulates the histogram into a plain bucket array (for
+// cross-shard aggregation).
+func (h *latHist) addTo(into *[histBuckets]uint64) {
+	for i := range h.counts {
+		into[i] += h.counts[i].Load()
+	}
+}
+
+// quantileOf returns the q-quantile latency of an aggregated bucket
+// array.
+func quantileOf(counts *[histBuckets]uint64, q float64) time.Duration {
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for b, c := range counts {
+		seen += c
+		if seen > rank {
+			return time.Duration(bucketFloor(b))
+		}
+	}
+	return time.Duration(bucketFloor(histBuckets - 1))
+}
+
+// quantile returns the q-quantile of one histogram.
+func (h *latHist) quantile(q float64) time.Duration {
+	var counts [histBuckets]uint64
+	h.addTo(&counts)
+	return quantileOf(&counts, q)
+}
+
+// shardMetrics are one shard's counters. The shard goroutine writes;
+// snapshots read concurrently.
+type shardMetrics struct {
+	items   atomic.Uint64
+	batches atomic.Uint64
+	busyNS  atomic.Uint64
+	group   atomic.Int64 // group used for the most recent batch
+	hist    latHist
+}
+
+func (m *shardMetrics) recordBatch(items, group int, busy time.Duration) {
+	m.items.Add(uint64(items))
+	m.batches.Add(1)
+	m.busyNS.Add(uint64(busy))
+	m.group.Store(int64(group))
+}
+
+// ShardStats is one shard's snapshot.
+type ShardStats struct {
+	Shard   int
+	Items   uint64
+	Batches uint64
+	// AvgBatch is the mean sub-batch size the shard drained.
+	AvgBatch float64
+	// Group is the group size of the most recent batch; GroupHistory the
+	// controller's per-epoch choices (tail).
+	Group        int
+	GroupHistory []int
+	// Busy is time spent inside the lookup kernel; Throughput is
+	// Items/Busy — the shard's kernel-level drain rate.
+	Busy       time.Duration
+	Throughput float64
+	P50, P99   time.Duration
+}
+
+func (m *shardMetrics) snapshot(id int) ShardStats {
+	items := m.items.Load()
+	batches := m.batches.Load()
+	busy := time.Duration(m.busyNS.Load())
+	s := ShardStats{
+		Shard:   id,
+		Items:   items,
+		Batches: batches,
+		Group:   int(m.group.Load()),
+		Busy:    busy,
+		P50:     m.hist.quantile(0.50),
+		P99:     m.hist.quantile(0.99),
+	}
+	if batches > 0 {
+		s.AvgBatch = float64(items) / float64(batches)
+	}
+	if busy > 0 {
+		s.Throughput = float64(items) / busy.Seconds()
+	}
+	return s
+}
+
+// Stats is the service-wide snapshot.
+type Stats struct {
+	Shards   []ShardStats
+	Items    uint64
+	P50, P99 time.Duration
+}

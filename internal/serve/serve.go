@@ -1,0 +1,305 @@
+// Package serve turns the interleaved lookup kernels into a concurrent
+// index-join service — the paper's robustness argument operationalized as
+// a system rather than a one-shot experiment run.
+//
+// Requests (point lookups of an IN-predicate's values against a
+// dictionary) are admitted asynchronously, accumulated by a group-commit
+// style batcher bounded in both size and time, hash-partitioned across
+// per-core shards, and drained through the coroutine-interleaved kernels
+// (coro.Drainer over internal/native frames on real memory, or the
+// memsim-backed dict.Main / csbtree kernels on the simulated hierarchy).
+// Each shard's interleaving group size is tuned online by a hill-climbing
+// controller on measured per-batch cost, instead of hard-coding the
+// paper's group of 6: the optimal group shifts with index size, index
+// type, and batch shape, which is exactly the paper's point about
+// robustness.
+//
+// The unit of partitioning is the key: shard i owns the slice of the
+// (sorted, distinct) value domain whose keys hash to i, indexed
+// shard-locally but answering with global codes (positions in the full
+// sorted domain), so clients observe one logical dictionary.
+package serve
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// IndexKind selects the per-shard index backend.
+type IndexKind int
+
+const (
+	// NativeSorted probes a real sorted []uint64 with the frame-coroutine
+	// binary search of internal/native — the wall-clock serving backend.
+	NativeSorted IndexKind = iota
+	// SimMain probes a memsim-backed Main dictionary (sorted array); each
+	// shard owns a private simulated engine.
+	SimMain
+	// SimTree probes a memsim-backed CSB+-tree with value leaves; each
+	// shard owns a private simulated engine. Domain values must fit in
+	// uint32 (the tree's key type).
+	SimTree
+)
+
+// String names the backend.
+func (k IndexKind) String() string {
+	switch k {
+	case NativeSorted:
+		return "native"
+	case SimMain:
+		return "main"
+	case SimTree:
+		return "tree"
+	}
+	return "unknown"
+}
+
+// NotFound is the code reported for absent keys.
+const NotFound = ^uint32(0)
+
+// Result is the join result for one key: the key's global dictionary code
+// (its position in the sorted domain) if present.
+type Result struct {
+	Code  uint32
+	Found bool
+}
+
+// Future is one in-flight lookup. It is created by Service.Go and
+// completed by a shard; Wait blocks until the result is available.
+type Future struct {
+	key  uint64
+	enq  time.Time
+	res  Result
+	done chan struct{}
+}
+
+// Key returns the looked-up key.
+func (f *Future) Key() uint64 { return f.key }
+
+// Wait blocks until the lookup completes and returns its result.
+func (f *Future) Wait() Result {
+	<-f.done
+	return f.res
+}
+
+// Config tunes the service. Zero numeric fields take the DefaultConfig
+// value; booleans are taken as-is (a zero Config has Adaptive false, while
+// DefaultConfig enables it), so start from DefaultConfig() and override.
+type Config struct {
+	// Shards is the number of index partitions (one goroutine each).
+	Shards int
+	// Kind selects the per-shard index backend.
+	Kind IndexKind
+	// MaxBatch seals an admission batch when it reaches this many
+	// requests; MaxWait seals a non-empty batch after this long even if
+	// it is smaller (group-commit semantics).
+	MaxBatch int
+	MaxWait  time.Duration
+	// Group is the initial interleaving group size per shard; the
+	// adaptive controller explores within [MinGroup, MaxGroup].
+	Group    int
+	MinGroup int
+	MaxGroup int
+	// Adaptive enables the hill-climbing group-size controller (set
+	// explicitly — false is not treated as "unset"); AdaptEvery is the
+	// number of batches per controller epoch.
+	Adaptive   bool
+	AdaptEvery int
+	// QueueDepth is the per-shard sub-batch queue depth; a full queue
+	// back-pressures admission.
+	QueueDepth int
+	// SimSeed seeds the per-shard simulated engines (Sim* kinds); shard i
+	// uses SimSeed+i.
+	SimSeed uint64
+}
+
+// DefaultConfig returns the serving defaults: 4 shards over the native
+// backend, 256-request / 200µs admission batches, and an adaptive group
+// starting at the paper's 6.
+func DefaultConfig() Config {
+	return Config{
+		Shards:     4,
+		Kind:       NativeSorted,
+		MaxBatch:   256,
+		MaxWait:    200 * time.Microsecond,
+		Group:      6,
+		MinGroup:   1,
+		MaxGroup:   32,
+		Adaptive:   true,
+		AdaptEvery: 8,
+		QueueDepth: 8,
+		SimSeed:    1,
+	}
+}
+
+// withDefaults fills zero fields from DefaultConfig and normalizes bounds.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Shards <= 0 {
+		c.Shards = d.Shards
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = d.MaxBatch
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = d.MaxWait
+	}
+	if c.Group <= 0 {
+		c.Group = d.Group
+	}
+	if c.MinGroup <= 0 {
+		c.MinGroup = d.MinGroup
+	}
+	if c.MaxGroup <= 0 {
+		c.MaxGroup = d.MaxGroup
+	}
+	if c.MaxGroup < c.MinGroup {
+		c.MaxGroup = c.MinGroup
+	}
+	if c.Group < c.MinGroup {
+		c.Group = c.MinGroup
+	}
+	if c.Group > c.MaxGroup {
+		c.Group = c.MaxGroup
+	}
+	if c.AdaptEvery <= 0 {
+		c.AdaptEvery = d.AdaptEvery
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = d.QueueDepth
+	}
+	if c.SimSeed == 0 {
+		c.SimSeed = d.SimSeed
+	}
+	return c
+}
+
+// Service is the sharded, batch-admission index-join service.
+type Service struct {
+	cfg    Config
+	b      *batcher
+	shards []*shard
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+// shardOf routes a key to its shard: a Fibonacci-multiplicative hash so
+// dense integer domains still spread evenly.
+func shardOf(key uint64, shards int) int {
+	h := key * 0x9e3779b97f4a7c15
+	h ^= h >> 32
+	return int(h % uint64(shards))
+}
+
+// New builds a service over the given value domain. values need not be
+// sorted; duplicates are discarded. The global code of a value is its
+// position in the sorted, deduplicated domain.
+func New(values []uint64, cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	sorted := append([]uint64(nil), values...)
+	slices.Sort(sorted)
+	sorted = slices.Compact(sorted)
+	n := len(sorted)
+	// Codes are uint32 with NotFound as sentinel: the domain must leave
+	// every code below the sentinel.
+	if uint64(n) >= uint64(NotFound) {
+		return nil, fmt.Errorf("serve: domain of %d values does not fit uint32 codes", n)
+	}
+	if cfg.Kind == SimTree && n > 0 && sorted[n-1] > uint64(^uint32(0)) {
+		return nil, fmt.Errorf("serve: %s backend requires values < 2^32 (got %d)", cfg.Kind, sorted[n-1])
+	}
+
+	// Partition the sorted domain: local arrays stay sorted because the
+	// global order is preserved per shard.
+	locVals := make([][]uint64, cfg.Shards)
+	locCodes := make([][]uint32, cfg.Shards)
+	for code, v := range sorted {
+		i := shardOf(v, cfg.Shards)
+		locVals[i] = append(locVals[i], v)
+		locCodes[i] = append(locCodes[i], uint32(code))
+	}
+
+	s := &Service{cfg: cfg}
+	for i := 0; i < cfg.Shards; i++ {
+		idx, err := newShardIndex(cfg, i, locVals[i], locCodes[i])
+		if err != nil {
+			return nil, err
+		}
+		sh := &shard{
+			id:  i,
+			in:  make(chan []*Future, cfg.QueueDepth),
+			idx: idx,
+			ctl: newController(cfg),
+			met: &shardMetrics{},
+		}
+		sh.met.group.Store(int64(cfg.Group))
+		s.shards = append(s.shards, sh)
+		s.wg.Add(1)
+		go sh.run(&s.wg)
+	}
+	s.b = newBatcher(cfg.MaxBatch, cfg.MaxWait, s.dispatch)
+	return s, nil
+}
+
+// Go submits one asynchronous lookup. It must not be called after Close.
+func (s *Service) Go(key uint64) *Future {
+	if s.closed.Load() {
+		panic("serve: Go after Close")
+	}
+	f := &Future{key: key, enq: time.Now(), done: make(chan struct{})}
+	s.b.add(f)
+	return f
+}
+
+// Lookup is the synchronous convenience wrapper around Go.
+func (s *Service) Lookup(key uint64) Result { return s.Go(key).Wait() }
+
+// dispatch hash-partitions one sealed admission batch into per-shard
+// sub-batches. Sends block when a shard queue is full — admission
+// back-pressure.
+func (s *Service) dispatch(batch []*Future) {
+	subs := make([][]*Future, len(s.shards))
+	for _, f := range batch {
+		i := shardOf(f.key, len(s.shards))
+		subs[i] = append(subs[i], f)
+	}
+	for i, sub := range subs {
+		if len(sub) > 0 {
+			s.shards[i].in <- sub
+		}
+	}
+}
+
+// Close seals the pending admission batch, drains every shard, and stops
+// the shard goroutines. All futures submitted before Close complete.
+// Callers must ensure no Go is in flight or issued afterwards.
+func (s *Service) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	s.b.close()
+	for _, sh := range s.shards {
+		close(sh.in)
+	}
+	s.wg.Wait()
+}
+
+// Stats snapshots service metrics. Safe to call concurrently with
+// serving.
+func (s *Service) Stats() Stats {
+	var st Stats
+	var counts [histBuckets]uint64
+	for _, sh := range s.shards {
+		ss := sh.met.snapshot(sh.id)
+		ss.GroupHistory = sh.ctl.History()
+		st.Shards = append(st.Shards, ss)
+		st.Items += ss.Items
+		sh.met.hist.addTo(&counts)
+	}
+	st.P50 = quantileOf(&counts, 0.50)
+	st.P99 = quantileOf(&counts, 0.99)
+	return st
+}

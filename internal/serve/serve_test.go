@@ -1,0 +1,353 @@
+package serve
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testDomain builds a domain of n values spaced step apart, so keys not
+// divisible by step are verifiably absent.
+func testDomain(n int, step uint64) []uint64 {
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = uint64(i) * step
+	}
+	return vals
+}
+
+// TestServiceCorrectUnderConcurrency is the service-level acceptance
+// check: under concurrent submission from many goroutines, every
+// submitted key receives its correct join result, for every backend.
+func TestServiceCorrectUnderConcurrency(t *testing.T) {
+	const (
+		domainN = 4000
+		step    = 3
+		workers = 8
+		perW    = 400
+	)
+	vals := testDomain(domainN, step)
+	for _, kind := range []IndexKind{NativeSorted, SimMain, SimTree} {
+		t.Run(kind.String(), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Kind = kind
+			cfg.Shards = 4
+			cfg.MaxBatch = 64
+			cfg.MaxWait = 200 * time.Microsecond
+			s, err := New(vals, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			futs := make([][]*Future, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewPCG(uint64(w), 99))
+					for i := 0; i < perW; i++ {
+						// Mix of present keys, absent in-range keys, and
+						// out-of-range keys.
+						key := rng.Uint64N(domainN*step + 100)
+						futs[w] = append(futs[w], s.Go(key))
+					}
+				}(w)
+			}
+			wg.Wait()
+			for w := range futs {
+				for _, f := range futs[w] {
+					r := f.Wait()
+					key := f.Key()
+					wantFound := key%step == 0 && key/step < domainN
+					if r.Found != wantFound {
+						t.Fatalf("key %d: found=%v, want %v", key, r.Found, wantFound)
+					}
+					if wantFound && uint64(r.Code) != key/step {
+						t.Fatalf("key %d: code=%d, want %d", key, r.Code, key/step)
+					}
+					if !wantFound && r.Code != NotFound {
+						t.Fatalf("key %d: absent key code=%d, want NotFound", key, r.Code)
+					}
+				}
+			}
+			s.Close()
+			st := s.Stats()
+			if st.Items != workers*perW {
+				t.Fatalf("stats items=%d, want %d", st.Items, workers*perW)
+			}
+			perShard := map[int]uint64{}
+			for _, ss := range st.Shards {
+				perShard[ss.Shard] = ss.Items
+			}
+			// Every request must have been drained by the shard its key
+			// hashes to.
+			want := map[int]uint64{}
+			for w := range futs {
+				for _, f := range futs[w] {
+					want[shardOf(f.Key(), cfg.Shards)]++
+				}
+			}
+			for i := 0; i < cfg.Shards; i++ {
+				if perShard[i] != want[i] {
+					t.Fatalf("shard %d drained %d items, want %d", i, perShard[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestServiceTinyDomainEmptyShards: with fewer values than shards some
+// shards own nothing; lookups must still resolve correctly everywhere.
+func TestServiceTinyDomainEmptyShards(t *testing.T) {
+	for _, kind := range []IndexKind{NativeSorted, SimMain, SimTree} {
+		t.Run(kind.String(), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Kind = kind
+			cfg.Shards = 8
+			cfg.MaxWait = 50 * time.Microsecond
+			s, err := New([]uint64{10, 20}, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			for key, want := range map[uint64]Result{
+				10: {Code: 0, Found: true},
+				20: {Code: 1, Found: true},
+				15: {Code: NotFound},
+				0:  {Code: NotFound},
+			} {
+				if got := s.Lookup(key); got != want {
+					t.Fatalf("lookup(%d) = %+v, want %+v", key, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestServiceTreeRejectsWideDomain(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Kind = SimTree
+	if _, err := New([]uint64{1, 1 << 40}, cfg); err == nil {
+		t.Fatal("SimTree accepted a domain wider than uint32")
+	}
+}
+
+func TestServiceDedupAndUnsortedDomain(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxWait = 50 * time.Microsecond
+	s, err := New([]uint64{30, 10, 20, 10, 30}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for key, code := range map[uint64]uint32{10: 0, 20: 1, 30: 2} {
+		if got := s.Lookup(key); !got.Found || got.Code != code {
+			t.Fatalf("lookup(%d) = %+v, want code %d", key, got, code)
+		}
+	}
+}
+
+// TestServiceCloseRacesTimerFlush is the regression test for Close
+// racing a pending maxWait timer: the timer's dispatch must never send
+// into a closed shard queue, and the future must still complete. Run
+// with -race to exercise the window.
+func TestServiceCloseRacesTimerFlush(t *testing.T) {
+	vals := testDomain(64, 1)
+	for i := 0; i < 300; i++ {
+		cfg := DefaultConfig()
+		cfg.Shards = 2
+		cfg.MaxBatch = 1000                                      // force the timer path
+		cfg.MaxWait = time.Duration(i%5) * 10 * time.Microsecond // race the timer against Close
+		if cfg.MaxWait == 0 {
+			cfg.MaxWait = time.Microsecond
+		}
+		s, err := New(vals, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := s.Go(uint64(i % 64))
+		s.Close()
+		if r := f.Wait(); !r.Found || uint64(r.Code) != uint64(i%64) {
+			t.Fatalf("iter %d: future resolved %+v after Close race", i, r)
+		}
+	}
+}
+
+func TestServiceGoAfterClosePanics(t *testing.T) {
+	s, err := New(testDomain(10, 1), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Go after Close did not panic")
+		}
+	}()
+	s.Go(1)
+}
+
+func TestBatcherSizeBound(t *testing.T) {
+	var mu sync.Mutex
+	var batches [][]*Future
+	b := newBatcher(4, time.Hour, func(fs []*Future) {
+		mu.Lock()
+		batches = append(batches, fs)
+		mu.Unlock()
+	})
+	for i := 0; i < 10; i++ {
+		b.add(&Future{key: uint64(i)})
+	}
+	mu.Lock()
+	got := len(batches)
+	mu.Unlock()
+	if got != 2 {
+		t.Fatalf("sealed %d size-bound batches, want 2", got)
+	}
+	b.close()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(batches) != 3 || len(batches[2]) != 2 {
+		t.Fatalf("close flushed %d batches (last size %d), want 3 with trailing 2", len(batches), len(batches[len(batches)-1]))
+	}
+}
+
+func TestBatcherTimeBound(t *testing.T) {
+	done := make(chan []*Future, 1)
+	b := newBatcher(1000, 5*time.Millisecond, func(fs []*Future) { done <- fs })
+	b.add(&Future{key: 1})
+	select {
+	case fs := <-done:
+		if len(fs) != 1 {
+			t.Fatalf("timer flushed %d requests, want 1", len(fs))
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("maxWait timer never sealed the batch")
+	}
+}
+
+// TestControllerConvergesOnConvexCost drives the hill climber against a
+// synthetic convex cost surface with optimum at group 6 and checks it
+// settles in a tight band around it.
+func TestControllerConvergesOnConvexCost(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Group = 20
+	cfg.MinGroup = 1
+	cfg.MaxGroup = 32
+	cfg.AdaptEvery = 1
+	c := newController(cfg)
+	cost := func(g int) float64 { d := float64(g - 6); return d*d + 50 }
+	for i := 0; i < 120; i++ {
+		c.observe(10, 10*cost(c.Group()))
+	}
+	hist := c.History()
+	if len(hist) == 0 {
+		t.Fatal("controller recorded no epochs")
+	}
+	tail := hist[len(hist)-10:]
+	lo, hi := tail[0], tail[0]
+	for _, g := range tail {
+		lo, hi = min(lo, g), max(hi, g)
+	}
+	if lo < 4 || hi > 8 {
+		t.Fatalf("controller tail %v not settled near optimum 6 (history %v)", tail, hist)
+	}
+	if hi-lo > 2 {
+		t.Fatalf("controller still oscillating widely: tail %v", tail)
+	}
+}
+
+func TestControllerRespectsBounds(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Group = 2
+	cfg.MinGroup = 2
+	cfg.MaxGroup = 3
+	cfg.AdaptEvery = 1
+	c := newController(cfg)
+	for i := 0; i < 50; i++ {
+		c.observe(1, float64(1+i%7))
+		if g := c.Group(); g < 2 || g > 3 {
+			t.Fatalf("group %d escaped [2,3]", g)
+		}
+	}
+}
+
+func TestControllerDisabled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Adaptive = false
+	cfg.Group = 9
+	c := newController(cfg)
+	for i := 0; i < 30; i++ {
+		c.observe(5, float64(100-i))
+	}
+	if c.Group() != 9 || len(c.History()) != 0 {
+		t.Fatalf("disabled controller moved: group=%d hist=%v", c.Group(), c.History())
+	}
+}
+
+func TestLatHistQuantiles(t *testing.T) {
+	var h latHist
+	for i := 1; i <= 1000; i++ {
+		h.record(time.Duration(i) * time.Microsecond)
+	}
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{{0.50, 500 * time.Microsecond}, {0.99, 990 * time.Microsecond}}
+	for _, c := range checks {
+		got := h.quantile(c.q)
+		// Log-bucketed: allow one octave-sub-bucket (12.5%) of error.
+		lo := c.want - c.want/8
+		if got < lo || got > c.want {
+			t.Fatalf("q%.2f = %v, want within [%v, %v]", c.q, got, lo, c.want)
+		}
+	}
+}
+
+func TestHistBucketMonotoneInvertible(t *testing.T) {
+	prev := -1
+	for v := uint64(0); v < 1<<20; v += 97 {
+		b := histBucket(v)
+		if b < prev {
+			t.Fatalf("bucket(%d)=%d below previous %d", v, b, prev)
+		}
+		prev = b
+		if f := bucketFloor(b); f > v {
+			t.Fatalf("bucketFloor(%d)=%d exceeds value %d", b, f, v)
+		}
+	}
+}
+
+// TestServiceAdaptiveControllerRuns exercises the adaptive path
+// end-to-end on the native backend and checks the controller stayed in
+// bounds and recorded epochs.
+func TestServiceAdaptiveControllerRuns(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Shards = 2
+	cfg.MaxBatch = 128
+	cfg.MaxWait = 100 * time.Microsecond
+	cfg.AdaptEvery = 2
+	s, err := New(testDomain(1<<16, 1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var futs []*Future
+	for i := 0; i < 20000; i++ {
+		futs = append(futs, s.Go(uint64(i%(1<<17))))
+	}
+	for _, f := range futs {
+		f.Wait()
+	}
+	s.Close()
+	for _, ss := range s.Stats().Shards {
+		if len(ss.GroupHistory) == 0 {
+			t.Fatalf("shard %d: adaptive controller recorded no epochs (batches=%d)", ss.Shard, ss.Batches)
+		}
+		for _, g := range ss.GroupHistory {
+			if g < cfg.MinGroup || g > cfg.MaxGroup {
+				t.Fatalf("shard %d: group %d escaped [%d,%d]", ss.Shard, g, cfg.MinGroup, cfg.MaxGroup)
+			}
+		}
+	}
+}

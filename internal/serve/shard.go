@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/coro"
+	"repro/internal/csbtree"
+	"repro/internal/dict"
+	"repro/internal/memsim"
+	"repro/internal/native"
+)
+
+// shard owns one hash partition of the key domain: a shard-local index, a
+// sub-batch queue, an adaptive group-size controller, and metrics. One
+// goroutine per shard drains its queue through the interleaved kernels —
+// the multicore layout of Shahvarani & Jacobsen's index-based stream
+// join, with the paper's coroutine interleaving inside each core.
+type shard struct {
+	id  int
+	in  chan []*Future
+	idx shardIndex
+	ctl *controller
+	met *shardMetrics
+}
+
+// shardIndex resolves one batch of keys with the given interleaving group
+// size and returns the batch's cost in backend units — nanoseconds for
+// the native backend, simulated cycles for the memsim backends — which
+// feeds the controller's hill climb.
+type shardIndex interface {
+	lookupBatch(keys []uint64, group int, out []Result) float64
+}
+
+// run drains sub-batches until the queue closes. All per-batch scratch is
+// shard-local and reused.
+func (sh *shard) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	var keys []uint64
+	var out []Result
+	for sub := range sh.in {
+		n := len(sub)
+		if cap(keys) < n {
+			keys = make([]uint64, n)
+			out = make([]Result, n)
+		}
+		keys, out = keys[:n], out[:n]
+		for i, f := range sub {
+			keys[i] = f.key
+		}
+		g := sh.ctl.Group()
+		t0 := time.Now()
+		cost := sh.idx.lookupBatch(keys, g, out)
+		busy := time.Since(t0)
+		now := time.Now()
+		for i, f := range sub {
+			f.res = out[i]
+			close(f.done)
+			sh.met.hist.record(now.Sub(f.enq))
+		}
+		sh.met.recordBatch(n, g, busy)
+		sh.ctl.observe(n, cost)
+	}
+}
+
+// newShardIndex builds shard i's index over its local (sorted) values and
+// their global codes.
+func newShardIndex(cfg Config, i int, vals []uint64, codes []uint32) (shardIndex, error) {
+	switch cfg.Kind {
+	case NativeSorted:
+		return &nativeIndex{
+			table: vals,
+			codes: codes,
+			d:     coro.NewDrainer[int](cfg.MaxGroup),
+		}, nil
+	case SimMain:
+		simCfg := memsim.DefaultConfig()
+		simCfg.Seed = cfg.SimSeed + uint64(i)
+		e := memsim.New(simCfg)
+		return &simMainIndex{e: e, dict: dict.NewMain(e, vals), codes: codes}, nil
+	case SimTree:
+		simCfg := memsim.DefaultConfig()
+		simCfg.Seed = cfg.SimSeed + uint64(i)
+		e := memsim.New(simCfg)
+		keys32 := make([]uint32, len(vals))
+		for j, v := range vals {
+			keys32[j] = uint32(v)
+		}
+		tree := csbtree.BulkLoad(e, csbtree.ValueLeaves, keys32, codes, nil)
+		return &simTreeIndex{e: e, tree: tree, costs: csbtree.DefaultCosts()}, nil
+	}
+	return nil, errUnknownKind(cfg.Kind)
+}
+
+type errUnknownKind IndexKind
+
+func (e errUnknownKind) Error() string { return "serve: unknown index kind " + IndexKind(e).String() }
+
+// nativeIndex is the real-hardware backend: a sorted slice probed by the
+// frame-coroutine binary search of internal/native, drained through a
+// reusable coro.Drainer so per-batch scheduler state is recycled. The
+// cost unit is wall nanoseconds.
+type nativeIndex struct {
+	table []uint64
+	codes []uint32
+	d     *coro.Drainer[int]
+}
+
+func (x *nativeIndex) lookupBatch(keys []uint64, group int, out []Result) float64 {
+	t0 := time.Now()
+	if len(x.table) == 0 {
+		for i := range out {
+			out[i] = Result{Code: NotFound}
+		}
+		return float64(time.Since(t0))
+	}
+	x.d.Drain(len(keys), group,
+		func(i int) coro.Handle[int] { return native.CoroFrameLookup(x.table, keys[i]) },
+		func(i, low int) {
+			if x.table[low] == keys[i] {
+				out[i] = Result{Code: x.codes[low], Found: true}
+			} else {
+				out[i] = Result{Code: NotFound}
+			}
+		})
+	return float64(time.Since(t0))
+}
+
+// simMainIndex is the memsim-backed sorted-array dictionary. The cost
+// unit is simulated cycles, so the controller optimizes modeled memory
+// behaviour rather than host simulation overhead.
+type simMainIndex struct {
+	e     *memsim.Engine
+	dict  *dict.Main
+	codes []uint32 // local code → global code
+	local []uint32 // scratch
+}
+
+func (x *simMainIndex) lookupBatch(keys []uint64, group int, out []Result) float64 {
+	start := x.e.Now()
+	if cap(x.local) < len(keys) {
+		x.local = make([]uint32, len(keys))
+	}
+	x.local = x.local[:len(keys)]
+	x.dict.LocateAllInterleaved(x.e, keys, group, x.local)
+	for i, lc := range x.local {
+		if lc == dict.NotFound {
+			out[i] = Result{Code: NotFound}
+		} else {
+			out[i] = Result{Code: x.codes[lc], Found: true}
+		}
+	}
+	return float64(x.e.Now() - start)
+}
+
+// simTreeIndex is the memsim-backed CSB+-tree with value leaves holding
+// global codes directly. The cost unit is simulated cycles.
+type simTreeIndex struct {
+	e     *memsim.Engine
+	tree  *csbtree.Tree
+	costs csbtree.Costs
+	k32   []uint32         // scratch
+	res   []csbtree.Result // scratch
+}
+
+func (x *simTreeIndex) lookupBatch(keys []uint64, group int, out []Result) float64 {
+	start := x.e.Now()
+	n := len(keys)
+	if cap(x.k32) < n {
+		x.k32 = make([]uint32, n)
+		x.res = make([]csbtree.Result, n)
+	}
+	x.k32, x.res = x.k32[:n], x.res[:n]
+	for i, k := range keys {
+		x.k32[i] = uint32(k) // oversize keys are overridden below
+	}
+	x.tree.RunCORO(x.e, x.costs, x.k32, group, x.res)
+	for i, r := range x.res {
+		if keys[i] > uint64(^uint32(0)) || !r.Found {
+			out[i] = Result{Code: NotFound}
+		} else {
+			out[i] = Result{Code: r.Value, Found: true}
+		}
+	}
+	return float64(x.e.Now() - start)
+}

@@ -1,0 +1,121 @@
+package workload
+
+// This file extends the paper's one-shot microbenchmark workloads with the
+// serving workload of internal/serve: skewed key mixes and a concurrent
+// open-loop request generator. An open loop submits on its own clock,
+// independent of service completions — unlike a closed loop, it does not
+// self-throttle when the service slows down, which is the load model under
+// which batching and interleaving robustness actually matter.
+
+import (
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// KeyMix draws lookup indices in [0, Max): a ZipfFrac fraction from a
+// Zipf(S) distribution (the skewed hot set of real key traffic, after
+// Shahvarani & Jacobsen's stream-join workloads) and the remainder
+// uniform. Draws are deterministic under the seed. Not safe for
+// concurrent use; give each generator worker its own KeyMix.
+type KeyMix struct {
+	rng      *rand.Rand
+	zipf     *rand.Zipf
+	max      int
+	zipfFrac float64
+}
+
+// NewKeyMix builds a key mix over [0, max) drawing zipfFrac of the keys
+// from Zipf with exponent s (clamped to a valid s > 1) and the rest
+// uniformly.
+func NewKeyMix(seed uint64, max int, zipfFrac, s float64) *KeyMix {
+	if max < 1 {
+		max = 1
+	}
+	rng := rand.New(rand.NewPCG(seed, seed^0x2545f4914f6cdd1d))
+	var zipf *rand.Zipf
+	if zipfFrac > 0 {
+		if s <= 1 {
+			s = 1.01
+		}
+		zipf = rand.NewZipf(rng, s, 1, uint64(max-1))
+	}
+	return &KeyMix{rng: rng, zipf: zipf, max: max, zipfFrac: zipfFrac}
+}
+
+// Next returns the next index.
+func (m *KeyMix) Next() int {
+	if m.zipf != nil && m.rng.Float64() < m.zipfFrac {
+		return int(m.zipf.Uint64())
+	}
+	return int(m.rng.Uint64N(uint64(m.max)))
+}
+
+// OpenLoop is a concurrent open-loop request generator: Workers goroutines
+// submit at exponentially distributed inter-arrival times summing to Rate
+// requests per second for Duration. A Rate of 0 disables pacing — each
+// worker submits as fast as the service admits.
+type OpenLoop struct {
+	// Rate is the aggregate target arrival rate in requests/second
+	// (0 = unpaced).
+	Rate float64
+	// Workers is the number of submitting goroutines (minimum 1).
+	Workers int
+	// Duration is the generation window.
+	Duration time.Duration
+	// Seed derives each worker's deterministic arrival process.
+	Seed uint64
+}
+
+// Run drives submit from every worker until the window closes and returns
+// the total number of submitted requests. source builds worker-local key
+// streams (called once per worker, from that worker's goroutine only);
+// submit must be safe for concurrent use. Arrival times are tracked
+// against the wall clock, so a worker that falls behind (an oversleep or
+// a slow submit) bursts to catch up — open-loop semantics.
+func (o OpenLoop) Run(source func(worker int) func() uint64, submit func(key uint64)) int {
+	workers := o.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	perWorker := o.Rate / float64(workers)
+	start := time.Now()
+	deadline := start.Add(o.Duration)
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			next := source(w)
+			rng := rand.New(rand.NewPCG(o.Seed+uint64(w), o.Seed^0x9e3779b97f4a7c15))
+			due := start
+			n := int64(0)
+			for {
+				if perWorker > 0 {
+					gap := rng.ExpFloat64() / perWorker * float64(time.Second)
+					due = due.Add(time.Duration(gap))
+					if d := time.Until(due); d > 0 {
+						// Never sleep past the window: a long exponential
+						// gap near the deadline must not stall Run.
+						if w := time.Until(deadline); w < d {
+							d = w
+						}
+						if d > 0 {
+							time.Sleep(d)
+						}
+					}
+				}
+				if !time.Now().Before(deadline) {
+					break
+				}
+				submit(next())
+				n++
+			}
+			total.Add(n)
+		}(w)
+	}
+	wg.Wait()
+	return int(total.Load())
+}

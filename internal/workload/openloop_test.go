@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestKeyMixDeterministicAndBounded(t *testing.T) {
+	const max = 1000
+	a := NewKeyMix(7, max, 0.5, 1.2)
+	b := NewKeyMix(7, max, 0.5, 1.2)
+	for i := 0; i < 10000; i++ {
+		x, y := a.Next(), b.Next()
+		if x != y {
+			t.Fatalf("draw %d: same seed diverged (%d vs %d)", i, x, y)
+		}
+		if x < 0 || x >= max {
+			t.Fatalf("draw %d: index %d out of [0,%d)", i, x, max)
+		}
+	}
+}
+
+func TestKeyMixZipfSkew(t *testing.T) {
+	const max = 1 << 20
+	m := NewKeyMix(3, max, 1.0, 1.3)
+	const draws = 20000
+	low := 0
+	for i := 0; i < draws; i++ {
+		if m.Next() < max/100 {
+			low++
+		}
+	}
+	// Pure Zipf(1.3) concentrates most mass far below max/100; uniform
+	// would put ~1% there.
+	if low < draws/2 {
+		t.Fatalf("only %d/%d zipf draws in the bottom 1%% of the domain — not skewed", low, draws)
+	}
+}
+
+func TestKeyMixUniformSpread(t *testing.T) {
+	const max = 10
+	m := NewKeyMix(5, max, 0, 0)
+	seen := map[int]int{}
+	for i := 0; i < 5000; i++ {
+		seen[m.Next()]++
+	}
+	for v := 0; v < max; v++ {
+		if seen[v] == 0 {
+			t.Fatalf("uniform mix never drew %d: %v", v, seen)
+		}
+	}
+}
+
+func TestOpenLoopConcurrentSubmission(t *testing.T) {
+	var mu sync.Mutex
+	perWorker := map[uint64]int{}
+	o := OpenLoop{Rate: 0, Workers: 4, Duration: 50 * time.Millisecond, Seed: 1}
+	n := o.Run(
+		func(w int) func() uint64 {
+			// Tag keys with the worker id to verify every worker ran.
+			return func() uint64 { return uint64(w) }
+		},
+		func(key uint64) {
+			mu.Lock()
+			perWorker[key]++
+			mu.Unlock()
+			time.Sleep(100 * time.Microsecond) // make workers overlap
+		})
+	if n <= 0 {
+		t.Fatal("open loop submitted nothing")
+	}
+	total := 0
+	for w := 0; w < 4; w++ {
+		if perWorker[uint64(w)] == 0 {
+			t.Fatalf("worker %d never submitted: %v", w, perWorker)
+		}
+		total += perWorker[uint64(w)]
+	}
+	if total != n {
+		t.Fatalf("Run reported %d submissions, submit saw %d", n, total)
+	}
+}
+
+func TestOpenLoopPacedRate(t *testing.T) {
+	o := OpenLoop{Rate: 2000, Workers: 2, Duration: 100 * time.Millisecond, Seed: 2}
+	n := o.Run(
+		func(w int) func() uint64 { return func() uint64 { return 0 } },
+		func(uint64) {})
+	// ~200 expected; allow a wide band for scheduler jitter, but pacing
+	// must keep the count far below the unpaced millions.
+	if n == 0 || n > 2000 {
+		t.Fatalf("paced open loop submitted %d requests in 100ms at 2000/s", n)
+	}
+}
