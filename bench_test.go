@@ -16,6 +16,17 @@ import (
 // quick returns the reduced-scale parameters shared by all benches.
 func quick() exp.Params { return exp.Quick() }
 
+// skipShort keeps -short runs fast (the CI test/race gates run with
+// -short): each regeneration benchmark iteration costs simulator
+// seconds. The bench-smoke CI job runs without -short, so every
+// benchmark still executes at least once per pipeline.
+func skipShort(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("simulator-backed regeneration bench; skipped under -short")
+	}
+}
+
 // lastCell parses the numeric cell at (lastRow, col), stripping units.
 func lastCell(b *testing.B, t *exp.Table, col int) float64 {
 	b.Helper()
@@ -30,6 +41,7 @@ func lastCell(b *testing.B, t *exp.Table, col int) float64 {
 
 // BenchmarkFig1 regenerates Figure 1 (IN query response time, Main).
 func BenchmarkFig1(b *testing.B) {
+	skipShort(b)
 	for i := 0; i < b.N; i++ {
 		t := exp.Fig1(quick())
 		b.ReportMetric(lastCell(b, t, 3), "speedup@64MB")
@@ -38,6 +50,7 @@ func BenchmarkFig1(b *testing.B) {
 
 // BenchmarkTable1 regenerates Table 1 (locate runtime share and CPI).
 func BenchmarkTable1(b *testing.B) {
+	skipShort(b)
 	for i := 0; i < b.N; i++ {
 		t := exp.Table1(quick())
 		b.ReportMetric(lastCell(b, t, 2), "CPI@maxMain")
@@ -46,6 +59,7 @@ func BenchmarkTable1(b *testing.B) {
 
 // BenchmarkTable2 regenerates Table 2 (pipeline slot breakdown).
 func BenchmarkTable2(b *testing.B) {
+	skipShort(b)
 	for i := 0; i < b.N; i++ {
 		t := exp.Table2(quick())
 		// Memory share of Main at the largest size (row 2 = Memory).
@@ -57,6 +71,7 @@ func BenchmarkTable2(b *testing.B) {
 
 // BenchmarkTable5 regenerates Table 5 (code complexity metrics).
 func BenchmarkTable5(b *testing.B) {
+	skipShort(b)
 	for i := 0; i < b.N; i++ {
 		t := exp.Table5(quick())
 		if len(t.Rows) == 0 {
@@ -67,6 +82,7 @@ func BenchmarkTable5(b *testing.B) {
 
 // BenchmarkFig3Int regenerates Figure 3a (binary search, int arrays).
 func BenchmarkFig3Int(b *testing.B) {
+	skipShort(b)
 	for i := 0; i < b.N; i++ {
 		t := exp.Fig3(quick(), false, false)
 		base := lastCell(b, t, 2)
@@ -77,6 +93,7 @@ func BenchmarkFig3Int(b *testing.B) {
 
 // BenchmarkFig3Str regenerates Figure 3b (binary search, string arrays).
 func BenchmarkFig3Str(b *testing.B) {
+	skipShort(b)
 	for i := 0; i < b.N; i++ {
 		t := exp.Fig3(quick(), true, false)
 		b.ReportMetric(lastCell(b, t, 5), "coroCycles@64MB")
@@ -85,6 +102,7 @@ func BenchmarkFig3Str(b *testing.B) {
 
 // BenchmarkFig4Int regenerates Figure 4a (sorted lookup values, ints).
 func BenchmarkFig4Int(b *testing.B) {
+	skipShort(b)
 	for i := 0; i < b.N; i++ {
 		t := exp.Fig3(quick(), false, true)
 		b.ReportMetric(lastCell(b, t, 2), "baseCycles@64MB")
@@ -93,6 +111,7 @@ func BenchmarkFig4Int(b *testing.B) {
 
 // BenchmarkFig4Str regenerates Figure 4b (sorted lookup values, strings).
 func BenchmarkFig4Str(b *testing.B) {
+	skipShort(b)
 	p := quick()
 	p.Sizes = workload.SizesMB(1, 32) // strings are the slowest sweep
 	for i := 0; i < b.N; i++ {
@@ -103,6 +122,7 @@ func BenchmarkFig4Str(b *testing.B) {
 
 // BenchmarkFig5 regenerates Figure 5 (TMAM breakdown per variant).
 func BenchmarkFig5(b *testing.B) {
+	skipShort(b)
 	p := quick()
 	p.Sizes = workload.SizesMB(4, 64)
 	for i := 0; i < b.N; i++ {
@@ -115,6 +135,7 @@ func BenchmarkFig5(b *testing.B) {
 
 // BenchmarkFig6 regenerates Figure 6 (L1D miss breakdown).
 func BenchmarkFig6(b *testing.B) {
+	skipShort(b)
 	p := quick()
 	p.Sizes = workload.SizesMB(4, 64)
 	for i := 0; i < b.N; i++ {
@@ -127,6 +148,7 @@ func BenchmarkFig6(b *testing.B) {
 
 // BenchmarkFig7 regenerates Figure 7 (group-size sweep at 256 MB).
 func BenchmarkFig7(b *testing.B) {
+	skipShort(b)
 	p := quick()
 	p.Lookups = 1000
 	for i := 0; i < b.N; i++ {
@@ -139,6 +161,7 @@ func BenchmarkFig7(b *testing.B) {
 
 // BenchmarkFig8 regenerates Figure 8 (Main and Delta queries).
 func BenchmarkFig8(b *testing.B) {
+	skipShort(b)
 	for i := 0; i < b.N; i++ {
 		t := exp.Fig8(quick())
 		if len(t.Rows) == 0 {
@@ -149,6 +172,7 @@ func BenchmarkFig8(b *testing.B) {
 
 // BenchmarkAblationLFB regenerates the LFB-sensitivity ablation.
 func BenchmarkAblationLFB(b *testing.B) {
+	skipShort(b)
 	p := quick()
 	p.Lookups = 1000
 	for i := 0; i < b.N; i++ {
@@ -158,6 +182,7 @@ func BenchmarkAblationLFB(b *testing.B) {
 
 // BenchmarkAblationSwitchCost regenerates the switch-cost ablation.
 func BenchmarkAblationSwitchCost(b *testing.B) {
+	skipShort(b)
 	p := quick()
 	p.Lookups = 1000
 	for i := 0; i < b.N; i++ {
@@ -167,6 +192,7 @@ func BenchmarkAblationSwitchCost(b *testing.B) {
 
 // BenchmarkAblationSpeculation regenerates the speculation ablation.
 func BenchmarkAblationSpeculation(b *testing.B) {
+	skipShort(b)
 	for i := 0; i < b.N; i++ {
 		exp.AblSpeculation(quick())
 	}
@@ -174,6 +200,7 @@ func BenchmarkAblationSpeculation(b *testing.B) {
 
 // BenchmarkAblationHashJoin regenerates the hash-probe ablation.
 func BenchmarkAblationHashJoin(b *testing.B) {
+	skipShort(b)
 	p := quick()
 	p.Lookups = 1000
 	for i := 0; i < b.N; i++ {
@@ -183,6 +210,7 @@ func BenchmarkAblationHashJoin(b *testing.B) {
 
 // BenchmarkAblationPageTree regenerates the paged-B+-tree ablation.
 func BenchmarkAblationPageTree(b *testing.B) {
+	skipShort(b)
 	p := quick()
 	p.Lookups = 1000
 	for i := 0; i < b.N; i++ {
@@ -193,6 +221,7 @@ func BenchmarkAblationPageTree(b *testing.B) {
 // BenchmarkAblationCoroBackends measures the coroutine backends on this
 // machine (wall clock).
 func BenchmarkAblationCoroBackends(b *testing.B) {
+	skipShort(b)
 	p := quick()
 	p.Lookups = 1024
 	for i := 0; i < b.N; i++ {
@@ -203,6 +232,7 @@ func BenchmarkAblationCoroBackends(b *testing.B) {
 // BenchmarkAblationHWSupport regenerates the conditional-suspension
 // ablation (Section 6 hardware support).
 func BenchmarkAblationHWSupport(b *testing.B) {
+	skipShort(b)
 	p := quick()
 	p.Lookups = 1000
 	for i := 0; i < b.N; i++ {
@@ -212,6 +242,7 @@ func BenchmarkAblationHWSupport(b *testing.B) {
 
 // BenchmarkAblationNUMA regenerates the remote-memory ablation.
 func BenchmarkAblationNUMA(b *testing.B) {
+	skipShort(b)
 	p := quick()
 	p.Lookups = 1000
 	for i := 0; i < b.N; i++ {

@@ -7,11 +7,23 @@
 // fraction of the generated keys is verifiably absent (odd keys). Keys
 // are drawn from a Zipf/uniform mix.
 //
+// In -mode join the service carries a build-side relation next to the
+// dictionary: -build MB of 16-byte (key, payload) tuples drawn from the
+// domain, uniformly by default or Zipf-skewed via -buildzipf/-buildtheta
+// (skewed multiplicities = skewed chain lengths in the per-shard hash
+// tables; the build hot set coincides with the -zipf probe hot set, so
+// combining both is the deliberately adversarial hot-probes-walk-hot-
+// chains regime). Every request is a join probe — dictionary resolve
+// piped into an interleaved hash-probe pass — and the report adds probe
+// hit counts. Join mode requires the native backend.
+//
 // Usage:
 //
 //	isiserve -shards 4 -duration 2s
 //	isiserve -index main -dict 4 -rate 20000 -duration 2s
 //	isiserve -adaptive=false -group 1      # the sequential baseline
+//	isiserve -mode join -dict 64 -build 256 -rate 0
+//	isiserve -mode join -adaptive=false -group 1 -rate 0   # sequential probe baseline
 //
 // The memsim-backed kinds (-index main|tree) spend host time simulating
 // every probe, so drive them at far lower -dict and -rate than the
@@ -33,6 +45,10 @@ func main() {
 	var (
 		shards   = flag.Int("shards", 4, "number of index shards (one goroutine each)")
 		index    = flag.String("index", "native", "shard index backend: native (real hardware), main (memsim sorted array), tree (memsim CSB+-tree)")
+		mode     = flag.String("mode", "lookup", "request type: lookup (point lookups) or join (dictionary resolve piped into a hash-probe pass; native backend only)")
+		buildMB  = flag.Int("build", 256, "join mode: build-side size in MB of 16-byte tuples")
+		bZipf    = flag.Float64("buildzipf", 0, "join mode: fraction of build tuples on the Zipf hot set (chain-length skew; 0 = uniform multiplicities). Compounds with -zipf probe skew: both hot sets share key 0, so hot probes walk hot chains — dial deliberately")
+		bTheta   = flag.Float64("buildtheta", 1.1, "join mode: build-side Zipf exponent (>1)")
 		dictMB   = flag.Int("dict", 64, "domain size in MB of 8-byte keys")
 		duration = flag.Duration("duration", 2*time.Second, "load-generation window")
 		rate     = flag.Float64("rate", 200000, "aggregate arrival rate, requests/second (0 = unpaced)")
@@ -86,9 +102,39 @@ func main() {
 		AdaptEvery: *epoch,
 		SimSeed:    *seed,
 	}
-	fmt.Printf("isiserve: index=%s shards=%d domain=%d keys (%d MB) batch=%d/%v group=%d adaptive=%v\n",
-		kind, *shards, n, *dictMB, *batch, *wait, *group, *adaptive)
-	svc, err := serve.New(values, cfg)
+	join := false
+	switch *mode {
+	case "lookup":
+	case "join":
+		join = true
+		// Fail before generating a multi-GB build side that NewJoin would
+		// reject anyway.
+		if kind != serve.NativeSorted {
+			fmt.Fprintf(os.Stderr, "isiserve: -mode join requires -index native (got %s)\n", kind)
+			os.Exit(2)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "isiserve: unknown -mode %q (lookup|join)\n", *mode)
+		os.Exit(2)
+	}
+	fmt.Printf("isiserve: mode=%s index=%s shards=%d domain=%d keys (%d MB) batch=%d/%v group=%d adaptive=%v\n",
+		*mode, kind, *shards, n, *dictMB, *batch, *wait, *group, *adaptive)
+
+	var svc *serve.Service
+	var err error
+	if join {
+		nTuples := int(int64(*buildMB) << 20 / 16)
+		idx := workload.JoinBuildIndices(*seed*31+7, n, nTuples, *bZipf, *bTheta)
+		build := make([]serve.BuildTuple, nTuples)
+		for i, k := range idx {
+			build[i] = serve.BuildTuple{Key: uint64(k) * 2, Payload: uint32(i)}
+		}
+		fmt.Printf("build side: %d tuples (%d MB), zipf %.2f/%.2f over the domain\n",
+			nTuples, *buildMB, *bZipf, *bTheta)
+		svc, err = serve.NewJoin(values, build, cfg)
+	} else {
+		svc, err = serve.New(values, cfg)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "isiserve:", err)
 		os.Exit(1)
@@ -108,7 +154,13 @@ func main() {
 				return key
 			}
 		},
-		func(key uint64) { svc.Go(key) })
+		func(key uint64) {
+			if join {
+				svc.GoJoin(key)
+			} else {
+				svc.Go(key)
+			}
+		})
 	genElapsed := time.Since(start)
 	svc.Close() // drains every submitted request
 	elapsed := time.Since(start)
@@ -122,15 +174,28 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("\n%-6s %10s %8s %9s %6s %12s %10s %10s\n",
-		"shard", "items", "batches", "avg-batch", "group", "drain-rate/s", "p50", "p99")
-	for _, ss := range st.Shards {
-		fmt.Printf("%-6d %10d %8d %9.1f %6d %12.0f %10v %10v\n",
-			ss.Shard, ss.Items, ss.Batches, ss.AvgBatch, ss.Group, ss.Throughput,
-			ss.P50.Round(time.Microsecond), ss.P99.Round(time.Microsecond))
+	if join {
+		fmt.Printf("\n%-6s %10s %8s %9s %6s %12s %12s %10s %10s\n",
+			"shard", "probes", "batches", "avg-batch", "group", "probe-rate/s", "hits", "p50", "p99")
+		for _, ss := range st.Shards {
+			fmt.Printf("%-6d %10d %8d %9.1f %6d %12.0f %12d %10v %10v\n",
+				ss.Shard, ss.Items, ss.Batches, ss.AvgBatch, ss.Group, ss.Throughput,
+				ss.JoinHits, ss.P50.Round(time.Microsecond), ss.P99.Round(time.Microsecond))
+		}
+		fmt.Printf("\ntotal: %d probes, %d build matches (%.2f hits/probe), p50 %v, p99 %v\n",
+			st.Joins, st.JoinHits, float64(st.JoinHits)/float64(max(st.Joins, 1)),
+			st.P50.Round(time.Microsecond), st.P99.Round(time.Microsecond))
+	} else {
+		fmt.Printf("\n%-6s %10s %8s %9s %6s %12s %10s %10s\n",
+			"shard", "items", "batches", "avg-batch", "group", "drain-rate/s", "p50", "p99")
+		for _, ss := range st.Shards {
+			fmt.Printf("%-6d %10d %8d %9.1f %6d %12.0f %10v %10v\n",
+				ss.Shard, ss.Items, ss.Batches, ss.AvgBatch, ss.Group, ss.Throughput,
+				ss.P50.Round(time.Microsecond), ss.P99.Round(time.Microsecond))
+		}
+		fmt.Printf("\ntotal: %d items, p50 %v, p99 %v\n",
+			st.Items, st.P50.Round(time.Microsecond), st.P99.Round(time.Microsecond))
 	}
-	fmt.Printf("\ntotal: %d items, p50 %v, p99 %v\n",
-		st.Items, st.P50.Round(time.Microsecond), st.P99.Round(time.Microsecond))
 
 	if *adaptive {
 		fmt.Println("\nadaptive group trajectory (per shard, one entry per epoch):")

@@ -15,11 +15,16 @@
 //     sequential, GP, AMAC, and CORO execution;
 //   - hashjoin, pagebtree, native: the paper's Section 6 extensions and
 //     real-hardware counterparts;
+//   - nativejoin: the hash-join probe on real memory — a bucket-chained
+//     hash table with sequential, AMAC, and frame-coroutine interleaved
+//     probe kernels;
 //   - exp: one runner per paper table and figure;
 //   - serve: a sharded, batch-admission index-join service over the
-//     interleaved kernels, with group-commit request batching and an
-//     adaptive per-shard interleaving group size (cmd/isiserve drives it
-//     under open-loop load).
+//     interleaved kernels, with group-commit request batching, an
+//     adaptive per-shard interleaving group size, and end-to-end join
+//     execution — per-shard build-side hash-table partitions probed by
+//     composite dictionary→probe coroutines (cmd/isiserve drives both
+//     modes under open-loop load; -mode join for joins).
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record. The benchmarks in bench_test.go regenerate

@@ -30,6 +30,15 @@ func NewDrainer[R any](group int) *Drainer[R] {
 // RunInterleaved semantics (group is clamped to [1, n]; results arrive
 // through sink keyed by input index, in interleaved completion order).
 func (d *Drainer[R]) Drain(n, group int, start func(i int) Handle[R], sink func(i int, r R)) {
+	d.DrainSlots(n, group, func(_, i int) Handle[R] { return start(i) }, sink)
+}
+
+// DrainSlots is Drain with slot-aware starts (RunInterleavedSlots
+// semantics): start receives the scheduler slot its lookup occupies, so
+// a shard can keep one reusable frame per slot — reset in place and
+// rearmed per lookup — and drain an unbounded request sequence with no
+// per-lookup allocation at all.
+func (d *Drainer[R]) DrainSlots(n, group int, start func(slot, i int) Handle[R], sink func(i int, r R)) {
 	if n <= 0 {
 		return
 	}

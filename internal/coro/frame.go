@@ -45,3 +45,14 @@ func (f *Frame[R]) Reset(step func() (R, bool)) {
 	f.result = zero
 	f.done = false
 }
+
+// Rearm clears completion state while keeping the existing step function
+// — for callers that reset the step's underlying frame struct in place
+// (slot-recycled frames under Drainer.DrainSlots). Unlike Reset, Rearm
+// allocates nothing: the step closure, bound once to the recycled
+// struct, is reused as-is.
+func (f *Frame[R]) Rearm() {
+	var zero R
+	f.result = zero
+	f.done = false
+}

@@ -1,0 +1,43 @@
+package coro
+
+// SlotPool recycles one frame struct S and one Frame handle per
+// scheduler slot for RunInterleavedSlots / Drainer.DrainSlots starts.
+// It encodes the recycling invariant in one place: each handle's step
+// closure is bound exactly once to its slot's frame struct, structs are
+// individually allocated so growing the pool never moves them out from
+// under a bound closure, and reuse goes through Rearm (no per-lookup
+// allocation).
+//
+// A SlotPool is not safe for concurrent use: like a Drainer, each shard
+// owns one.
+type SlotPool[S, R any] struct {
+	frames  []*S
+	handles []*Frame[R]
+	bind    func(*S) func() (R, bool)
+}
+
+// NewSlotPool creates a pool. bind is called once per slot to produce
+// the step function bound to that slot's frame struct (typically the
+// struct's method value: func(f *S) func() (R, bool) { return f.step }).
+func NewSlotPool[S, R any](bind func(*S) func() (R, bool)) *SlotPool[S, R] {
+	return &SlotPool[S, R]{bind: bind}
+}
+
+// Slot returns slot's frame struct and rearmed handle, creating both on
+// first use. The caller reinitializes *S in place before handing the
+// handle to the scheduler.
+func (p *SlotPool[S, R]) Slot(slot int) (*S, *Frame[R]) {
+	for len(p.frames) <= slot {
+		p.frames = append(p.frames, new(S))
+		p.handles = append(p.handles, nil)
+	}
+	f := p.frames[slot]
+	h := p.handles[slot]
+	if h == nil {
+		h = NewFrame(p.bind(f))
+		p.handles[slot] = h
+	} else {
+		h.Rearm()
+	}
+	return f, h
+}

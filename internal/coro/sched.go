@@ -26,6 +26,17 @@ func RunSequential[R any](n int, start func(i int) Handle[R], sink func(i int, r
 // Results arrive through sink keyed by their input index (completion order
 // is interleaved, not sequential).
 func RunInterleaved[R any](n, group int, start func(i int) Handle[R], sink func(i int, r R)) {
+	RunInterleavedSlots(n, group, func(_, i int) Handle[R] { return start(i) }, sink)
+}
+
+// RunInterleavedSlots is RunInterleaved with slot-aware starts: start
+// receives the scheduler slot (in [0, group)) the lookup will occupy in
+// addition to its input index. A lookup's live state can therefore be
+// recycled per slot — reset a per-slot frame struct in place and Rearm
+// its coro.Frame — instead of allocated per lookup, which matters for
+// short coroutines (hash-probe chains) whose per-lookup setup would
+// otherwise rival the interleaving gain.
+func RunInterleavedSlots[R any](n, group int, start func(slot, i int) Handle[R], sink func(i int, r R)) {
 	if n <= 0 {
 		return
 	}
@@ -40,13 +51,13 @@ func RunInterleaved[R any](n, group int, start func(i int) Handle[R], sink func(
 	drainInterleaved(make([]Handle[R], group), make([]int, group), n, start, sink)
 }
 
-// drainInterleaved is the scheduler core shared by RunInterleaved and
-// Drainer: handles and owner must have equal length (the group size) and
-// are fully overwritten.
-func drainInterleaved[R any](handles []Handle[R], owner []int, n int, start func(i int) Handle[R], sink func(i int, r R)) {
+// drainInterleaved is the scheduler core shared by RunInterleavedSlots
+// and Drainer: handles and owner must have equal length (the group size)
+// and are fully overwritten.
+func drainInterleaved[R any](handles []Handle[R], owner []int, n int, start func(slot, i int) Handle[R], sink func(i int, r R)) {
 	group := len(handles)
 	for i := 0; i < group; i++ {
-		handles[i] = start(i)
+		handles[i] = start(i, i)
 		owner[i] = i
 	}
 	next := group
@@ -63,7 +74,7 @@ func drainInterleaved[R any](handles []Handle[R], owner []int, n int, start func
 			}
 			sink(owner[s], h.Result())
 			if next < n {
-				handles[s] = start(next)
+				handles[s] = start(s, next)
 				owner[s] = next
 				next++
 			} else {

@@ -161,6 +161,9 @@ func TestFig7OptimaOrdering(t *testing.T) {
 }
 
 func TestFig8DeltaCapped(t *testing.T) {
+	if testing.Short() {
+		t.Skip("the 64 MB Fig 8 sweep dominates this package's -short time")
+	}
 	// The Delta win needs a tree larger than the LLC (25 MB): sweep to
 	// 64 MB with the Delta capped at 32 MB so the dash behaviour is also
 	// exercised.

@@ -123,6 +123,9 @@ func benchTable() ([]uint64, []uint64) {
 }
 
 func BenchmarkNativeSequential(b *testing.B) {
+	if testing.Short() {
+		b.Skip("256 MB bench table; skipped under -short")
+	}
 	table, keys := benchTable()
 	out := make([]int, len(keys))
 	b.ResetTimer()
@@ -133,6 +136,9 @@ func BenchmarkNativeSequential(b *testing.B) {
 }
 
 func BenchmarkNativeGP(b *testing.B) {
+	if testing.Short() {
+		b.Skip("256 MB bench table; skipped under -short")
+	}
 	table, keys := benchTable()
 	out := make([]int, len(keys))
 	b.ResetTimer()
@@ -143,6 +149,9 @@ func BenchmarkNativeGP(b *testing.B) {
 }
 
 func BenchmarkNativeAMAC(b *testing.B) {
+	if testing.Short() {
+		b.Skip("256 MB bench table; skipped under -short")
+	}
 	table, keys := benchTable()
 	out := make([]int, len(keys))
 	b.ResetTimer()
@@ -153,6 +162,9 @@ func BenchmarkNativeAMAC(b *testing.B) {
 }
 
 func BenchmarkNativeCoroFrame(b *testing.B) {
+	if testing.Short() {
+		b.Skip("256 MB bench table; skipped under -short")
+	}
 	table, keys := benchTable()
 	out := make([]int, len(keys))
 	b.ResetTimer()
@@ -163,6 +175,9 @@ func BenchmarkNativeCoroFrame(b *testing.B) {
 }
 
 func BenchmarkNativeFrameDirect(b *testing.B) {
+	if testing.Short() {
+		b.Skip("256 MB bench table; skipped under -short")
+	}
 	table, keys := benchTable()
 	out := make([]int, len(keys))
 	b.ResetTimer()
@@ -173,6 +188,9 @@ func BenchmarkNativeFrameDirect(b *testing.B) {
 }
 
 func BenchmarkNativeCoroPull(b *testing.B) {
+	if testing.Short() {
+		b.Skip("256 MB bench table; skipped under -short")
+	}
 	table, keys := benchTable()
 	out := make([]int, len(keys))
 	b.ResetTimer()
@@ -183,6 +201,9 @@ func BenchmarkNativeCoroPull(b *testing.B) {
 }
 
 func BenchmarkNativeCoroGoroutine(b *testing.B) {
+	if testing.Short() {
+		b.Skip("256 MB bench table; skipped under -short")
+	}
 	table, keys := benchTable()
 	// The goroutine backend is ~two orders slower; keep the batch small.
 	small := keys[:256]

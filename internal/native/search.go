@@ -137,15 +137,18 @@ func RunAMAC(table []uint64, keys []uint64, group int, out []int) {
 	}
 }
 
-// frameLookup is the hand-written stackless coroutine frame (the paper's
-// CORO-S data point): all live state sits in one flat struct — what the
-// C++ compiler spills to its coroutine frame — so a resume is a single
-// method call with no per-variable boxing. (A closure capturing mutable
-// locals would box each of them and allocate per lookup, overheads large
-// enough to cancel the interleaving gain on real hardware.)
+// SearchCursor is the hand-written stackless coroutine frame (the
+// paper's CORO-S data point): all live state sits in one flat struct —
+// what the C++ compiler spills to its coroutine frame — so a resume is a
+// single method call with no per-variable boxing. (A closure capturing
+// mutable locals would box each of them and allocate per lookup,
+// overheads large enough to cancel the interleaving gain on real
+// hardware.) It is exported so composite frames (internal/serve's
+// dictionary→probe pipeline) can embed the search between their own
+// suspension points; the caller suspends after every done=false Step.
 //
 //loc:begin coro-frame-native
-type frameLookup struct {
+type SearchCursor struct {
 	table   []uint64
 	key     uint64
 	val     uint64
@@ -155,27 +158,35 @@ type frameLookup struct {
 	pending bool
 }
 
-func (f *frameLookup) step() (int, bool) {
-	if f.pending {
-		if f.val <= f.key {
-			f.low = f.probe
+// StartSearch begins a Baseline search for key over the sorted table.
+func StartSearch(table []uint64, key uint64) SearchCursor {
+	return SearchCursor{table: table, key: key, size: len(table)}
+}
+
+// Step advances by one early-load round: it consumes the probe value
+// loaded on the previous round and issues the next one. done=true
+// delivers the final index (Listing 2 semantics, as Baseline).
+func (c *SearchCursor) Step() (int, bool) {
+	if c.pending {
+		if c.val <= c.key {
+			c.low = c.probe
 		}
-		f.pending = false
+		c.pending = false
 	}
-	if half := f.size / 2; half > 0 {
-		f.probe = f.low + half
-		f.val = f.table[f.probe] // early load; consumed on the next resume
-		f.size -= half
-		f.pending = true
+	if half := c.size / 2; half > 0 {
+		c.probe = c.low + half
+		c.val = c.table[c.probe] // early load; consumed on the next resume
+		c.size -= half
+		c.pending = true
 		return 0, false
 	}
-	return f.low, true
+	return c.low, true
 }
 
 // CoroFrameLookup builds the frame-backed coroutine handle.
 func CoroFrameLookup(table []uint64, key uint64) *coro.Frame[int] {
-	f := &frameLookup{table: table, key: key, size: len(table)}
-	return coro.NewFrame(f.step)
+	f := StartSearch(table, key)
+	return coro.NewFrame(f.Step)
 }
 
 //loc:end coro-frame-native
@@ -234,11 +245,11 @@ func RunFrameDirect(table []uint64, keys []uint64, group int, out []int) {
 	if len(keys) == 0 {
 		return
 	}
-	frames := make([]frameLookup, group)
+	frames := make([]SearchCursor, group)
 	owner := make([]int, group)
 	done := make([]bool, group)
 	for i := 0; i < group; i++ {
-		frames[i] = frameLookup{table: table, key: keys[i], size: len(table)}
+		frames[i] = StartSearch(table, keys[i])
 		owner[i] = i
 	}
 	next := group
@@ -248,13 +259,13 @@ func RunFrameDirect(table []uint64, keys []uint64, group int, out []int) {
 			if done[s] {
 				continue
 			}
-			r, fin := frames[s].step()
+			r, fin := frames[s].Step()
 			if !fin {
 				continue
 			}
 			out[owner[s]] = r
 			if next < len(keys) {
-				frames[s] = frameLookup{table: table, key: keys[next], size: len(table)}
+				frames[s] = StartSearch(table, keys[next])
 				owner[s] = next
 				next++
 			} else {

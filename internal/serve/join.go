@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"time"
+
+	"repro/internal/coro"
+	"repro/internal/native"
+	"repro/internal/nativejoin"
+)
+
+// This file is the join execution path: the service's build side and the
+// composite dictionary→probe coroutine it drains join batches through.
+//
+// A join service (NewJoin) gives every shard, next to its dictionary
+// partition, a build-side partition: a real-memory bucket-chained hash
+// table (internal/nativejoin) keyed by the build tuples' *global
+// dictionary codes*. Build tuples are partitioned by the same key hash
+// as the dictionary, so the shard that resolves a probe key to its code
+// also owns every build tuple with that key — the dictionary lookup can
+// pipe its code straight into the hash probe without leaving the shard.
+//
+// One joinFrame is the whole per-key pipeline as a single hand-written
+// coroutine frame: binary-search the shard's dictionary partition
+// (early-load interleaving, as internal/native), then — within the same
+// drain — walk the hash-table chain for the resulting code via
+// nativejoin.Cursor. Chains diverge per key, so batch streams fall out
+// of lockstep; the round-robin Drainer absorbs that, which is exactly
+// the decoupled-control-flow case the paper builds coroutines for.
+
+// BuildTuple is one build-side row: a join key from the value domain and
+// an opaque payload aggregated by probes.
+type BuildTuple struct {
+	Key     uint64
+	Payload uint32
+}
+
+// JoinResult is the outcome of one join probe.
+type JoinResult struct {
+	// Code is the key's global dictionary code, NotFound if the key is
+	// absent from the value domain.
+	Code uint32
+	// Hits is the number of matching build tuples; Agg the sum of their
+	// payloads.
+	Hits uint32
+	Agg  uint64
+}
+
+// Found reports whether the probe matched at least one build tuple.
+func (r JoinResult) Found() bool { return r.Hits > 0 }
+
+// joinOut is the drain-internal result of a composite lookup/join frame.
+type joinOut struct {
+	code  uint32
+	hits  uint32
+	agg   uint64
+	found bool // key present in the dictionary
+}
+
+// joinFrame is the composite coroutine frame: dictionary binary search
+// piped into the hash-table chain walk, all live state hand-spilled into
+// one flat struct (see internal/native's frameLookup for why closures
+// won't do). Frames are recycled per scheduler slot — init resets the
+// struct in place, the bound step closure and coro.Frame are reused —
+// so a shard drains an unbounded request sequence with no per-request
+// allocation.
+type joinFrame struct {
+	idx  *nativeJoinIndex
+	key  uint64
+	join bool
+	// Dictionary stage: the early-load binary search, embedded by value
+	// from internal/native (one state machine, shared with the lookup
+	// kernels).
+	search native.SearchCursor
+	// Probe stage: the chain walk.
+	cur   nativejoin.Cursor
+	out   joinOut
+	stage uint8 // 0 = dictionary search, 1 = chain walk
+}
+
+func (f *joinFrame) init(x *nativeJoinIndex, key uint64, join bool) {
+	*f = joinFrame{idx: x, key: key, join: join, search: native.StartSearch(x.table, key)}
+}
+
+func (f *joinFrame) step() (joinOut, bool) {
+	switch f.stage {
+	case 0:
+		low, done := f.search.Step()
+		if !done {
+			return joinOut{}, false
+		}
+		if f.idx.table[low] != f.key {
+			return joinOut{code: NotFound}, true
+		}
+		code := f.idx.codes[low]
+		f.out = joinOut{code: code, found: true}
+		if !f.join {
+			return f.out, true
+		}
+		// Pipe the code into the hash probe within the same drain: Start
+		// issues the bucket-head early load, then suspend.
+		f.cur = f.idx.jt.Start(uint64(code))
+		f.stage = 1
+		return joinOut{}, false
+	default:
+		r, done := f.cur.Step(f.idx.jt)
+		if !done {
+			return joinOut{}, false
+		}
+		f.out.hits = r.Hits
+		f.out.agg = r.Agg
+		return f.out, true
+	}
+}
+
+// nativeJoinIndex is a shard's join backend: the dictionary partition
+// (sorted values + global codes, as nativeIndex) plus the build-side
+// hash-table partition, drained together through slot-recycled composite
+// frames. The cost unit is wall nanoseconds.
+type nativeJoinIndex struct {
+	table []uint64
+	codes []uint32
+	jt    *nativejoin.Table
+	d     *coro.Drainer[joinOut]
+	// pool recycles one composite frame and handle per scheduler slot
+	// across every batch the shard ever drains.
+	pool *coro.SlotPool[joinFrame, joinOut]
+}
+
+func newNativeJoinIndex(cfg Config, vals []uint64, codes []uint32, jt *nativejoin.Table) *nativeJoinIndex {
+	return &nativeJoinIndex{
+		table: vals,
+		codes: codes,
+		jt:    jt,
+		d:     coro.NewDrainer[joinOut](cfg.MaxGroup),
+		pool:  coro.NewSlotPool(func(f *joinFrame) func() (joinOut, bool) { return f.step }),
+	}
+}
+
+// drainBatch resolves one sub-batch of mixed lookup/join futures and
+// completes their result fields (not their done channels — the shard
+// closes those after recording latency). Returns the batch cost in
+// nanoseconds for the controller.
+func (x *nativeJoinIndex) drainBatch(sub []*Future, group int) float64 {
+	t0 := time.Now()
+	if len(x.table) == 0 {
+		for _, f := range sub {
+			f.res = Result{Code: NotFound}
+			if f.op == opJoin {
+				f.jres = JoinResult{Code: NotFound}
+			}
+		}
+		return float64(time.Since(t0))
+	}
+	x.d.DrainSlots(len(sub), group,
+		func(slot, i int) coro.Handle[joinOut] {
+			f, h := x.pool.Slot(slot)
+			f.init(x, sub[i].key, sub[i].op == opJoin)
+			return h
+		},
+		func(i int, r joinOut) {
+			f := sub[i]
+			f.res = Result{Code: r.code, Found: r.found}
+			if f.op == opJoin {
+				f.jres = JoinResult{Code: r.code, Hits: r.hits, Agg: r.agg}
+			}
+		})
+	return float64(time.Since(t0))
+}

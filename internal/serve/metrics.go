@@ -93,11 +93,13 @@ func (h *latHist) quantile(q float64) time.Duration {
 // shardMetrics are one shard's counters. The shard goroutine writes;
 // snapshots read concurrently.
 type shardMetrics struct {
-	items   atomic.Uint64
-	batches atomic.Uint64
-	busyNS  atomic.Uint64
-	group   atomic.Int64 // group used for the most recent batch
-	hist    latHist
+	items    atomic.Uint64
+	batches  atomic.Uint64
+	busyNS   atomic.Uint64
+	joins    atomic.Uint64
+	joinHits atomic.Uint64
+	group    atomic.Int64 // group used for the most recent batch
+	hist     latHist
 }
 
 func (m *shardMetrics) recordBatch(items, group int, busy time.Duration) {
@@ -105,6 +107,14 @@ func (m *shardMetrics) recordBatch(items, group int, busy time.Duration) {
 	m.batches.Add(1)
 	m.busyNS.Add(uint64(busy))
 	m.group.Store(int64(group))
+}
+
+func (m *shardMetrics) recordJoins(joins, hits uint64) {
+	if joins == 0 {
+		return
+	}
+	m.joins.Add(joins)
+	m.joinHits.Add(hits)
 }
 
 // ShardStats is one shard's snapshot.
@@ -122,7 +132,11 @@ type ShardStats struct {
 	// Items/Busy — the shard's kernel-level drain rate.
 	Busy       time.Duration
 	Throughput float64
-	P50, P99   time.Duration
+	// Joins counts join probes drained by this shard; JoinHits the build
+	// tuples they matched in total.
+	Joins    uint64
+	JoinHits uint64
+	P50, P99 time.Duration
 }
 
 func (m *shardMetrics) snapshot(id int) ShardStats {
@@ -130,13 +144,15 @@ func (m *shardMetrics) snapshot(id int) ShardStats {
 	batches := m.batches.Load()
 	busy := time.Duration(m.busyNS.Load())
 	s := ShardStats{
-		Shard:   id,
-		Items:   items,
-		Batches: batches,
-		Group:   int(m.group.Load()),
-		Busy:    busy,
-		P50:     m.hist.quantile(0.50),
-		P99:     m.hist.quantile(0.99),
+		Shard:    id,
+		Items:    items,
+		Batches:  batches,
+		Group:    int(m.group.Load()),
+		Busy:     busy,
+		Joins:    m.joins.Load(),
+		JoinHits: m.joinHits.Load(),
+		P50:      m.hist.quantile(0.50),
+		P99:      m.hist.quantile(0.99),
 	}
 	if batches > 0 {
 		s.AvgBatch = float64(items) / float64(batches)
@@ -151,5 +167,7 @@ func (m *shardMetrics) snapshot(id int) ShardStats {
 type Stats struct {
 	Shards   []ShardStats
 	Items    uint64
+	Joins    uint64
+	JoinHits uint64
 	P50, P99 time.Duration
 }

@@ -26,6 +26,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/nativejoin"
 )
 
 // IndexKind selects the per-shard index backend.
@@ -67,22 +69,41 @@ type Result struct {
 	Found bool
 }
 
-// Future is one in-flight lookup. It is created by Service.Go and
-// completed by a shard; Wait blocks until the result is available.
+// opKind is a future's request type.
+type opKind uint8
+
+const (
+	opLookup opKind = iota
+	opJoin
+)
+
+// Future is one in-flight request — a point lookup (Service.Go) or a
+// join probe (Service.GoJoin) — completed by a shard; Wait/WaitJoin
+// block until the result is available.
 type Future struct {
 	key  uint64
 	enq  time.Time
+	op   opKind
 	res  Result
+	jres JoinResult
 	done chan struct{}
 }
 
 // Key returns the looked-up key.
 func (f *Future) Key() uint64 { return f.key }
 
-// Wait blocks until the lookup completes and returns its result.
+// Wait blocks until the request completes and returns its dictionary
+// result (for a join probe, the code-resolution part of the outcome).
 func (f *Future) Wait() Result {
 	<-f.done
 	return f.res
+}
+
+// WaitJoin blocks until the request completes and returns the full join
+// outcome. Only meaningful for futures created by GoJoin.
+func (f *Future) WaitJoin() JoinResult {
+	<-f.done
+	return f.jres
 }
 
 // Config tunes the service. Zero numeric fields take the DefaultConfig
@@ -179,11 +200,12 @@ func (c Config) withDefaults() Config {
 
 // Service is the sharded, batch-admission index-join service.
 type Service struct {
-	cfg    Config
-	b      *batcher
-	shards []*shard
-	wg     sync.WaitGroup
-	closed atomic.Bool
+	cfg      Config
+	b        *batcher
+	shards   []*shard
+	wg       sync.WaitGroup
+	closed   atomic.Bool
+	hasBuild bool
 }
 
 // shardOf routes a key to its shard: a Fibonacci-multiplicative hash so
@@ -194,10 +216,36 @@ func shardOf(key uint64, shards int) int {
 	return int(h % uint64(shards))
 }
 
-// New builds a service over the given value domain. values need not be
-// sorted; duplicates are discarded. The global code of a value is its
-// position in the sorted, deduplicated domain.
+// New builds a lookup service over the given value domain. values need
+// not be sorted; duplicates are discarded. The global code of a value is
+// its position in the sorted, deduplicated domain.
 func New(values []uint64, cfg Config) (*Service, error) {
+	return newService(values, nil, cfg)
+}
+
+// NewJoin builds a join service: the value-domain dictionary of New plus
+// a build-side relation. Each shard owns, next to its dictionary
+// partition, a real-memory hash table over the build tuples whose keys
+// hash to it, keyed by global dictionary code; GoJoin probes resolve
+// their key against the dictionary and pipe the code into the hash
+// probe within the same interleaved drain. Build tuples whose key is
+// absent from the value domain are dropped — a dictionary-encoded probe
+// can never reach them. Join execution requires the NativeSorted
+// backend.
+func NewJoin(values []uint64, build []BuildTuple, cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Kind != NativeSorted {
+		return nil, fmt.Errorf("serve: join execution requires the %s backend (got %s)", NativeSorted, cfg.Kind)
+	}
+	if build == nil {
+		build = []BuildTuple{}
+	}
+	return newService(values, build, cfg)
+}
+
+// newService is the shared constructor; a non-nil build side (possibly
+// empty) makes this a join service.
+func newService(values []uint64, build []BuildTuple, cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
 	sorted := append([]uint64(nil), values...)
 	slices.Sort(sorted)
@@ -222,18 +270,54 @@ func New(values []uint64, cfg Config) (*Service, error) {
 		locCodes[i] = append(locCodes[i], uint32(code))
 	}
 
-	s := &Service{cfg: cfg}
-	for i := 0; i < cfg.Shards; i++ {
-		idx, err := newShardIndex(cfg, i, locVals[i], locCodes[i])
-		if err != nil {
-			return nil, err
+	// Partition the build side by the same key hash, resolving each
+	// tuple's key to its global code (a tuple's key and its dictionary
+	// entry land on the same shard, so the dictionary→probe pipeline
+	// never crosses shards). Keys outside the domain are dropped.
+	var joinTabs []*nativejoin.Table
+	if build != nil {
+		// Resolve each tuple's key to (shard, code) once; the second pass
+		// inserts from the resolved slice so large build sides pay one
+		// binary search per tuple, not two.
+		type resolved struct {
+			shard   int
+			code    uint32
+			payload uint32
 		}
+		res := make([]resolved, 0, len(build))
+		counts := make([]int, cfg.Shards)
+		for _, t := range build {
+			if code, ok := slices.BinarySearch(sorted, t.Key); ok {
+				sh := shardOf(t.Key, cfg.Shards)
+				res = append(res, resolved{shard: sh, code: uint32(code), payload: t.Payload})
+				counts[sh]++
+			}
+		}
+		joinTabs = make([]*nativejoin.Table, cfg.Shards)
+		for i := range joinTabs {
+			joinTabs[i] = nativejoin.New(counts[i])
+		}
+		for _, r := range res {
+			joinTabs[r.shard].Insert(uint64(r.code), r.payload)
+		}
+	}
+
+	s := &Service{cfg: cfg, hasBuild: build != nil}
+	for i := 0; i < cfg.Shards; i++ {
 		sh := &shard{
 			id:  i,
 			in:  make(chan []*Future, cfg.QueueDepth),
-			idx: idx,
 			ctl: newController(cfg),
 			met: &shardMetrics{},
+		}
+		if joinTabs != nil {
+			sh.joinIdx = newNativeJoinIndex(cfg, locVals[i], locCodes[i], joinTabs[i])
+		} else {
+			idx, err := newShardIndex(cfg, i, locVals[i], locCodes[i])
+			if err != nil {
+				return nil, err
+			}
+			sh.idx = idx
 		}
 		sh.met.group.Store(int64(cfg.Group))
 		s.shards = append(s.shards, sh)
@@ -256,6 +340,25 @@ func (s *Service) Go(key uint64) *Future {
 
 // Lookup is the synchronous convenience wrapper around Go.
 func (s *Service) Lookup(key uint64) Result { return s.Go(key).Wait() }
+
+// GoJoin submits one asynchronous join probe: resolve key against the
+// dictionary, then aggregate over every matching build tuple. It must
+// not be called after Close, nor on a service built without a build
+// side (use NewJoin).
+func (s *Service) GoJoin(key uint64) *Future {
+	if !s.hasBuild {
+		panic("serve: GoJoin on a service without a build side")
+	}
+	if s.closed.Load() {
+		panic("serve: GoJoin after Close")
+	}
+	f := &Future{key: key, op: opJoin, enq: time.Now(), done: make(chan struct{})}
+	s.b.add(f)
+	return f
+}
+
+// Join is the synchronous convenience wrapper around GoJoin.
+func (s *Service) Join(key uint64) JoinResult { return s.GoJoin(key).WaitJoin() }
 
 // dispatch hash-partitions one sealed admission batch into per-shard
 // sub-batches. Sends block when a shard queue is full — admission
@@ -297,6 +400,8 @@ func (s *Service) Stats() Stats {
 		ss.GroupHistory = sh.ctl.History()
 		st.Shards = append(st.Shards, ss)
 		st.Items += ss.Items
+		st.Joins += ss.Joins
+		st.JoinHits += ss.JoinHits
 		sh.met.hist.addTo(&counts)
 	}
 	st.P50 = quantileOf(&counts, 0.50)

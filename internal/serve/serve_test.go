@@ -174,6 +174,209 @@ func TestServiceCloseRacesTimerFlush(t *testing.T) {
 	}
 }
 
+// TestJoinServiceCorrectUnderConcurrency is the join acceptance check:
+// concurrent mixed lookup/join submission, every join probe aggregates
+// exactly its key's build tuples (skewed multiplicities), and the join
+// metrics add up.
+func TestJoinServiceCorrectUnderConcurrency(t *testing.T) {
+	const (
+		domainN = 3000
+		step    = 3
+		workers = 8
+		perW    = 300
+	)
+	vals := testDomain(domainN, step)
+	// Build side: key i*step appears i%7 times with payloads i, i+1, ...
+	// (multiplicities 0..6 — empty chains included); plus tuples outside
+	// the domain, which must be dropped.
+	var build []BuildTuple
+	wantHits := make(map[uint64]uint32)
+	wantAgg := make(map[uint64]uint64)
+	for i := 0; i < domainN; i++ {
+		key := uint64(i) * step
+		for j := 0; j < i%7; j++ {
+			build = append(build, BuildTuple{Key: key, Payload: uint32(i + j)})
+			wantHits[key]++
+			wantAgg[key] += uint64(i + j)
+		}
+	}
+	build = append(build, BuildTuple{Key: domainN*step + 1, Payload: 9}) // not in domain
+	cfg := DefaultConfig()
+	cfg.Shards = 4
+	cfg.MaxBatch = 64
+	cfg.MaxWait = 100 * time.Microsecond
+	s, err := NewJoin(vals, build, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	joinFuts := make([][]*Future, workers)
+	lookFuts := make([][]*Future, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(w), 42))
+			for i := 0; i < perW; i++ {
+				key := rng.Uint64N(domainN*step + 50)
+				joinFuts[w] = append(joinFuts[w], s.GoJoin(key))
+				// A join service still answers plain lookups in the same
+				// batches.
+				lookFuts[w] = append(lookFuts[w], s.Go(key))
+			}
+		}(w)
+	}
+	wg.Wait()
+	var wantJoinHits uint64
+	for w := range joinFuts {
+		for _, f := range joinFuts[w] {
+			r := f.WaitJoin()
+			key := f.Key()
+			inDomain := key%step == 0 && key/step < domainN
+			if !inDomain {
+				if r.Code != NotFound || r.Hits != 0 {
+					t.Fatalf("join(%d) out of domain = %+v", key, r)
+				}
+				continue
+			}
+			if uint64(r.Code) != key/step {
+				t.Fatalf("join(%d) code = %d, want %d", key, r.Code, key/step)
+			}
+			if r.Hits != wantHits[key] || r.Agg != wantAgg[key] {
+				t.Fatalf("join(%d) = %+v, want hits %d agg %d", key, r, wantHits[key], wantAgg[key])
+			}
+			wantJoinHits += uint64(r.Hits)
+		}
+		for _, f := range lookFuts[w] {
+			r := f.Wait()
+			key := f.Key()
+			wantFound := key%step == 0 && key/step < domainN
+			if r.Found != wantFound || (wantFound && uint64(r.Code) != key/step) {
+				t.Fatalf("lookup(%d) on join service = %+v", key, r)
+			}
+		}
+	}
+	s.Close()
+	st := s.Stats()
+	if st.Items != 2*workers*perW {
+		t.Fatalf("stats items = %d, want %d", st.Items, 2*workers*perW)
+	}
+	if st.Joins != workers*perW {
+		t.Fatalf("stats joins = %d, want %d", st.Joins, workers*perW)
+	}
+	if st.JoinHits != wantJoinHits {
+		t.Fatalf("stats join hits = %d, want %d", st.JoinHits, wantJoinHits)
+	}
+}
+
+// TestJoinServiceTinyDomain exercises empty shard partitions (both
+// dictionary and build side) on a join service.
+func TestJoinServiceTinyDomain(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Shards = 8
+	cfg.MaxWait = 50 * time.Microsecond
+	s, err := NewJoin([]uint64{10, 20, 30},
+		[]BuildTuple{{Key: 10, Payload: 1}, {Key: 10, Payload: 2}, {Key: 30, Payload: 7}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for key, want := range map[uint64]JoinResult{
+		10: {Code: 0, Hits: 2, Agg: 3},
+		20: {Code: 1},
+		30: {Code: 2, Hits: 1, Agg: 7},
+		15: {Code: NotFound},
+	} {
+		if got := s.Join(key); got != want {
+			t.Fatalf("join(%d) = %+v, want %+v", key, got, want)
+		}
+	}
+	if got := s.Lookup(20); !got.Found || got.Code != 1 {
+		t.Fatalf("lookup(20) = %+v", got)
+	}
+}
+
+func TestJoinServiceEmptyBuild(t *testing.T) {
+	s, err := NewJoin(testDomain(100, 1), nil, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if r := s.Join(5); r.Code != 5 || r.Found() || r.Hits != 0 {
+		t.Fatalf("join on empty build side = %+v", r)
+	}
+}
+
+func TestJoinRequiresNativeBackend(t *testing.T) {
+	for _, kind := range []IndexKind{SimMain, SimTree} {
+		cfg := DefaultConfig()
+		cfg.Kind = kind
+		if _, err := NewJoin(testDomain(10, 1), nil, cfg); err == nil {
+			t.Fatalf("NewJoin accepted the %s backend", kind)
+		}
+	}
+}
+
+func TestGoJoinOnLookupServicePanics(t *testing.T) {
+	s, err := New(testDomain(10, 1), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GoJoin on a lookup-only service did not panic")
+		}
+	}()
+	s.GoJoin(1)
+}
+
+// TestJoinServiceAdaptiveControllerRuns drives the adaptive controller
+// over the join drain (probe chains, not binary search, dominate) and
+// checks it records in-bounds epochs.
+func TestJoinServiceAdaptiveControllerRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("join controller soak is slow")
+	}
+	const domainN = 1 << 14
+	vals := testDomain(domainN, 1)
+	rng := rand.New(rand.NewPCG(5, 6))
+	build := make([]BuildTuple, 1<<16)
+	for i := range build {
+		build[i] = BuildTuple{Key: rng.Uint64N(domainN), Payload: uint32(i)}
+	}
+	cfg := DefaultConfig()
+	cfg.Shards = 2
+	cfg.MaxBatch = 128
+	cfg.MaxWait = 100 * time.Microsecond
+	cfg.AdaptEvery = 2
+	s, err := NewJoin(vals, build, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var futs []*Future
+	for i := 0; i < 20000; i++ {
+		futs = append(futs, s.GoJoin(rng.Uint64N(domainN+100)))
+	}
+	for _, f := range futs {
+		f.WaitJoin()
+	}
+	s.Close()
+	for _, ss := range s.Stats().Shards {
+		if len(ss.GroupHistory) == 0 {
+			t.Fatalf("shard %d: no controller epochs (batches=%d)", ss.Shard, ss.Batches)
+		}
+		for _, g := range ss.GroupHistory {
+			if g < cfg.MinGroup || g > cfg.MaxGroup {
+				t.Fatalf("shard %d: group %d escaped [%d,%d]", ss.Shard, g, cfg.MinGroup, cfg.MaxGroup)
+			}
+		}
+		if ss.Joins == 0 {
+			t.Fatalf("shard %d drained no joins", ss.Shard)
+		}
+	}
+}
+
 func TestServiceGoAfterClosePanics(t *testing.T) {
 	s, err := New(testDomain(10, 1), DefaultConfig())
 	if err != nil {

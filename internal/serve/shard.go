@@ -17,11 +17,15 @@ import (
 // the multicore layout of Shahvarani & Jacobsen's index-based stream
 // join, with the paper's coroutine interleaving inside each core.
 type shard struct {
-	id  int
-	in  chan []*Future
-	idx shardIndex
-	ctl *controller
-	met *shardMetrics
+	id int
+	in chan []*Future
+	// idx serves lookup-only services; joinIdx (non-nil on a join
+	// service) drains mixed lookup/join batches through the composite
+	// dictionary→probe frames.
+	idx     shardIndex
+	joinIdx *nativeJoinIndex
+	ctl     *controller
+	met     *shardMetrics
 }
 
 // shardIndex resolves one batch of keys with the given interleaving group
@@ -40,25 +44,38 @@ func (sh *shard) run(wg *sync.WaitGroup) {
 	var out []Result
 	for sub := range sh.in {
 		n := len(sub)
-		if cap(keys) < n {
-			keys = make([]uint64, n)
-			out = make([]Result, n)
-		}
-		keys, out = keys[:n], out[:n]
-		for i, f := range sub {
-			keys[i] = f.key
-		}
 		g := sh.ctl.Group()
 		t0 := time.Now()
-		cost := sh.idx.lookupBatch(keys, g, out)
+		var cost float64
+		if sh.joinIdx != nil {
+			cost = sh.joinIdx.drainBatch(sub, g)
+		} else {
+			if cap(keys) < n {
+				keys = make([]uint64, n)
+				out = make([]Result, n)
+			}
+			keys, out = keys[:n], out[:n]
+			for i, f := range sub {
+				keys[i] = f.key
+			}
+			cost = sh.idx.lookupBatch(keys, g, out)
+			for i, f := range sub {
+				f.res = out[i]
+			}
+		}
 		busy := time.Since(t0)
 		now := time.Now()
-		for i, f := range sub {
-			f.res = out[i]
+		var joins, hits uint64
+		for _, f := range sub {
+			if f.op == opJoin {
+				joins++
+				hits += uint64(f.jres.Hits)
+			}
 			close(f.done)
 			sh.met.hist.record(now.Sub(f.enq))
 		}
 		sh.met.recordBatch(n, g, busy)
+		sh.met.recordJoins(joins, hits)
 		sh.ctl.observe(n, cost)
 	}
 }

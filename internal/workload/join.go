@@ -1,0 +1,18 @@
+package workload
+
+// JoinBuildIndices draws the build side of an index-join workload: the
+// key index (in [0, domain)) of each of tuples build tuples. A zipfFrac
+// fraction of the tuples concentrates on the Zipf(s) hot set, so hot
+// keys carry high multiplicity — after hashing into a bucket-chained
+// build table, chain lengths are skewed the way a real join build side
+// skews them (Shahvarani & Jacobsen's stream-join relations), which is
+// what makes per-key probe control flow diverge. Deterministic under
+// seed.
+func JoinBuildIndices(seed uint64, domain, tuples int, zipfFrac, s float64) []int {
+	m := NewKeyMix(seed, domain, zipfFrac, s)
+	idx := make([]int, tuples)
+	for i := range idx {
+		idx[i] = m.Next()
+	}
+	return idx
+}

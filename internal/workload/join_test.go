@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestJoinBuildIndicesDeterministicInRange(t *testing.T) {
+	const domain, tuples = 500, 10000
+	a := JoinBuildIndices(9, domain, tuples, 0.5, 1.2)
+	b := JoinBuildIndices(9, domain, tuples, 0.5, 1.2)
+	if len(a) != tuples {
+		t.Fatalf("len = %d, want %d", len(a), tuples)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+		if a[i] < 0 || a[i] >= domain {
+			t.Fatalf("index %d out of [0,%d)", a[i], domain)
+		}
+	}
+}
+
+// TestJoinBuildIndicesSkew: with a Zipf component the multiplicity
+// distribution must be skewed — the hottest key's chain is far longer
+// than the median key's — while the uniform remainder keeps the long
+// tail populated.
+func TestJoinBuildIndicesSkew(t *testing.T) {
+	const domain, tuples = 1 << 12, 1 << 16
+	idx := JoinBuildIndices(3, domain, tuples, 0.6, 1.3)
+	mult := make([]int, domain)
+	for _, i := range idx {
+		mult[i]++
+	}
+	sorted := append([]int(nil), mult...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	avg := float64(tuples) / float64(domain) // 16
+	if float64(sorted[0]) < 10*avg {
+		t.Fatalf("hottest multiplicity %d not skewed (avg %.1f)", sorted[0], avg)
+	}
+	// The uniform fraction must keep most of the domain populated.
+	populated := 0
+	for _, m := range mult {
+		if m > 0 {
+			populated++
+		}
+	}
+	if populated < domain/2 {
+		t.Fatalf("only %d/%d keys populated", populated, domain)
+	}
+	// Without skew, multiplicities concentrate near the average.
+	flat := JoinBuildIndices(3, domain, tuples, 0, 0)
+	fmax := 0
+	fmult := make([]int, domain)
+	for _, i := range flat {
+		fmult[i]++
+	}
+	for _, m := range fmult {
+		fmax = max(fmax, m)
+	}
+	if float64(fmax) >= 10*avg {
+		t.Fatalf("uniform build side came out skewed: max %d (avg %.1f)", fmax, avg)
+	}
+}
