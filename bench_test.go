@@ -5,11 +5,14 @@
 package repro_test
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/exp"
+	"repro/internal/serve"
 	"repro/internal/workload"
 )
 
@@ -37,6 +40,66 @@ func lastCell(b *testing.B, t *exp.Table, col int) float64 {
 		b.Fatalf("cell %q: %v", row[col], err)
 	}
 	return v
+}
+
+// BenchmarkServeBatchVsPoint compares the two admission paths of
+// internal/serve at equal configuration on the native backend: one
+// vectorized GoBatch submission of an N-key probe column versus N
+// point Go futures (each allocating a future and a channel, and paying
+// the group-commit batcher per key). Reports per-key cost for both
+// paths and their ratio; the vectorized path's acceptance bar is
+// ≥1.5×. Runs on real hardware (no simulator), so it is cheap enough
+// for the CI bench smoke.
+func BenchmarkServeBatchVsPoint(b *testing.B) {
+	const (
+		domainN = 1 << 18
+		batchN  = 4096
+	)
+	vals := make([]uint64, domainN)
+	for i := range vals {
+		vals[i] = uint64(i) * 2
+	}
+	cfg := serve.DefaultConfig()
+	cfg.Shards = 4
+	cfg.Adaptive = false
+	s, err := serve.New(vals, serve.WithConfig(cfg))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	ctx := context.Background()
+	keys := make([]uint64, batchN)
+	mix := workload.NewKeyMix(11, domainN, 0.5, 1.2)
+	for i := range keys {
+		keys[i] = uint64(mix.Next()) * 2
+	}
+	s.GoBatch(ctx, keys).Wait() // warm slot pools and shard scratch
+	futs := make([]*serve.Future, batchN)
+
+	var pointNS, batchNS time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		for j, k := range keys {
+			futs[j] = s.Go(ctx, k)
+		}
+		for _, f := range futs {
+			f.Wait()
+		}
+		pointNS += time.Since(t0)
+
+		// The batch path reuses the same (by now partitioned) key slice:
+		// the multiset of keys is identical to the point path's.
+		t0 = time.Now()
+		s.GoBatch(ctx, keys).Wait()
+		batchNS += time.Since(t0)
+	}
+	b.StopTimer()
+	perKeyPoint := float64(pointNS.Nanoseconds()) / float64(b.N*batchN)
+	perKeyBatch := float64(batchNS.Nanoseconds()) / float64(b.N*batchN)
+	b.ReportMetric(perKeyPoint, "ns/key-point")
+	b.ReportMetric(perKeyBatch, "ns/key-batch")
+	b.ReportMetric(perKeyPoint/perKeyBatch, "batchSpeedup")
 }
 
 // BenchmarkFig1 regenerates Figure 1 (IN query response time, Main).

@@ -1,7 +1,7 @@
 // Command isiserve runs the sharded, batch-admission index-join service
 // of internal/serve under a built-in concurrent open-loop load generator,
-// and reports per-shard throughput, p50/p99 request latency, and the
-// adaptive group-size controller's trajectory.
+// and reports per-shard throughput, p50/p99 request latency, dropped
+// request counts, and the adaptive group-size controller's trajectory.
 //
 // The domain holds even values only (value of code i is 2i), so a -miss
 // fraction of the generated keys is verifiably absent (odd keys). Keys
@@ -17,13 +17,22 @@
 // piped into an interleaved hash-probe pass — and the report adds probe
 // hit counts. Join mode requires the native backend.
 //
+// -vector N switches from point admission (one serve.Go/GoJoin future
+// per key, group-commit batched) to vectorized admission: each generator
+// worker fills an N-key probe column and submits it whole through
+// serve.GoBatch / serve.JoinBatch — the paper's column-operator shape,
+// O(1) allocations per batch. In vector mode, -deadline arms a
+// per-batch context deadline; batches whose deadline passes before a
+// shard drains them are dropped unprobed and show up in the report.
+//
 // Usage:
 //
 //	isiserve -shards 4 -duration 2s
 //	isiserve -index main -dict 4 -rate 20000 -duration 2s
 //	isiserve -adaptive=false -group 1      # the sequential baseline
+//	isiserve -vector 4096 -rate 0          # vectorized column admission
 //	isiserve -mode join -dict 64 -build 256 -rate 0
-//	isiserve -mode join -adaptive=false -group 1 -rate 0   # sequential probe baseline
+//	isiserve -mode join -vector 4096 -deadline 2ms -rate 0
 //
 // The memsim-backed kinds (-index main|tree) spend host time simulating
 // every probe, so drive them at far lower -dict and -rate than the
@@ -31,6 +40,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -46,15 +56,17 @@ func main() {
 		shards   = flag.Int("shards", 4, "number of index shards (one goroutine each)")
 		index    = flag.String("index", "native", "shard index backend: native (real hardware), main (memsim sorted array), tree (memsim CSB+-tree)")
 		mode     = flag.String("mode", "lookup", "request type: lookup (point lookups) or join (dictionary resolve piped into a hash-probe pass; native backend only)")
+		vector   = flag.Int("vector", 0, "vectorized admission: submit whole N-key probe columns via GoBatch/JoinBatch instead of per-key point ops (0 = point mode)")
+		deadline = flag.Duration("deadline", 0, "vector mode: per-batch context deadline; expired batches are dropped before drain (0 = none)")
 		buildMB  = flag.Int("build", 256, "join mode: build-side size in MB of 16-byte tuples")
 		bZipf    = flag.Float64("buildzipf", 0, "join mode: fraction of build tuples on the Zipf hot set (chain-length skew; 0 = uniform multiplicities). Compounds with -zipf probe skew: both hot sets share key 0, so hot probes walk hot chains — dial deliberately")
 		bTheta   = flag.Float64("buildtheta", 1.1, "join mode: build-side Zipf exponent (>1)")
 		dictMB   = flag.Int("dict", 64, "domain size in MB of 8-byte keys")
 		duration = flag.Duration("duration", 2*time.Second, "load-generation window")
-		rate     = flag.Float64("rate", 200000, "aggregate arrival rate, requests/second (0 = unpaced)")
+		rate     = flag.Float64("rate", 200000, "aggregate arrival rate, keys/second (0 = unpaced)")
 		workers  = flag.Int("workers", 8, "load-generator goroutines")
-		batch    = flag.Int("batch", 256, "admission batch size bound")
-		wait     = flag.Duration("wait", 200*time.Microsecond, "admission batch time bound")
+		batch    = flag.Int("batch", 256, "point-mode admission batch size bound")
+		wait     = flag.Duration("wait", 200*time.Microsecond, "point-mode admission batch time bound")
 		group    = flag.Int("group", 6, "initial interleaving group size per shard")
 		minGroup = flag.Int("mingroup", 1, "adaptive controller lower bound")
 		maxGroup = flag.Int("maxgroup", 32, "adaptive controller upper bound")
@@ -107,8 +119,8 @@ func main() {
 	case "lookup":
 	case "join":
 		join = true
-		// Fail before generating a multi-GB build side that NewJoin would
-		// reject anyway.
+		// Fail before generating a multi-GB build side that WithBuild
+		// would reject anyway.
 		if kind != serve.NativeSorted {
 			fmt.Fprintf(os.Stderr, "isiserve: -mode join requires -index native (got %s)\n", kind)
 			os.Exit(2)
@@ -117,11 +129,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "isiserve: unknown -mode %q (lookup|join)\n", *mode)
 		os.Exit(2)
 	}
-	fmt.Printf("isiserve: mode=%s index=%s shards=%d domain=%d keys (%d MB) batch=%d/%v group=%d adaptive=%v\n",
-		*mode, kind, *shards, n, *dictMB, *batch, *wait, *group, *adaptive)
+	if *deadline > 0 && *vector <= 0 {
+		fmt.Fprintln(os.Stderr, "isiserve: -deadline requires -vector")
+		os.Exit(2)
+	}
+	admission := "point"
+	if *vector > 0 {
+		admission = fmt.Sprintf("vector/%d", *vector)
+	}
+	fmt.Printf("isiserve: mode=%s admission=%s index=%s shards=%d domain=%d keys (%d MB) batch=%d/%v group=%d adaptive=%v\n",
+		*mode, admission, kind, *shards, n, *dictMB, *batch, *wait, *group, *adaptive)
 
-	var svc *serve.Service
-	var err error
+	opts := []serve.Option{serve.WithConfig(cfg)}
 	if join {
 		nTuples := int(int64(*buildMB) << 20 / 16)
 		idx := workload.JoinBuildIndices(*seed*31+7, n, nTuples, *bZipf, *bTheta)
@@ -131,36 +150,58 @@ func main() {
 		}
 		fmt.Printf("build side: %d tuples (%d MB), zipf %.2f/%.2f over the domain\n",
 			nTuples, *buildMB, *bZipf, *bTheta)
-		svc, err = serve.NewJoin(values, build, cfg)
-	} else {
-		svc, err = serve.New(values, cfg)
+		opts = append(opts, serve.WithBuild(build))
 	}
+	svc, err := serve.New(values, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "isiserve:", err)
 		os.Exit(1)
 	}
 
 	gen := workload.OpenLoop{Rate: *rate, Workers: *workers, Duration: *duration, Seed: *seed}
-	start := time.Now()
-	submitted := gen.Run(
-		func(w int) func() uint64 {
-			mix := workload.NewKeyMix(*seed+uint64(w)*101, n, *zipfFrac, *zipfS)
-			missMix := workload.NewKeyMix(*seed^uint64(w)*977, 1<<20, 0, 0)
-			return func() uint64 {
-				key := uint64(mix.Next()) * 2
-				if *miss > 0 && float64(missMix.Next())/float64(1<<20) < *miss {
-					key++ // odd: verifiably absent
-				}
-				return key
+	source := func(w int) func() uint64 {
+		mix := workload.NewKeyMix(*seed+uint64(w)*101, n, *zipfFrac, *zipfS)
+		missMix := workload.NewKeyMix(*seed^uint64(w)*977, 1<<20, 0, 0)
+		return func() uint64 {
+			key := uint64(mix.Next()) * 2
+			if *miss > 0 && float64(missMix.Next())/float64(1<<20) < *miss {
+				key++ // odd: verifiably absent
 			}
-		},
-		func(key uint64) {
+			return key
+		}
+	}
+	ctx := context.Background()
+	start := time.Now()
+	var submitted int
+	if *vector > 0 {
+		// Vectorized column admission: the worker's buffer is partitioned
+		// in place by the service, so each submit waits for its batch
+		// before the buffer is refilled.
+		submitted = gen.RunBatches(*vector, source, func(keys []uint64) {
+			bctx, cancel := ctx, context.CancelFunc(nil)
+			if *deadline > 0 {
+				bctx, cancel = context.WithTimeout(ctx, *deadline)
+			}
+			var bf *serve.BatchFuture
 			if join {
-				svc.GoJoin(key)
+				bf = svc.JoinBatch(bctx, keys)
 			} else {
-				svc.Go(key)
+				bf = svc.GoBatch(bctx, keys)
+			}
+			bf.Wait()
+			if cancel != nil {
+				cancel()
 			}
 		})
+	} else {
+		submitted = gen.Run(source, func(key uint64) {
+			if join {
+				svc.GoJoin(ctx, key)
+			} else {
+				svc.Go(ctx, key)
+			}
+		})
+	}
 	genElapsed := time.Since(start)
 	svc.Close() // drains every submitted request
 	elapsed := time.Since(start)
@@ -169,32 +210,37 @@ func main() {
 	fmt.Printf("submitted %d requests in %v; all drained after %v (%.0f req/s end-to-end)\n",
 		submitted, genElapsed.Round(time.Millisecond), elapsed.Round(time.Millisecond),
 		float64(st.Items)/elapsed.Seconds())
-	if uint64(submitted) != st.Items {
-		fmt.Fprintf(os.Stderr, "isiserve: BUG: submitted %d but drained %d\n", submitted, st.Items)
+	if st.Dropped > 0 {
+		fmt.Printf("dropped before drain (context deadline/cancel): %d of %d (%.2f%%)\n",
+			st.Dropped, submitted, 100*float64(st.Dropped)/float64(submitted))
+	}
+	if uint64(submitted) != st.Items+st.Dropped {
+		fmt.Fprintf(os.Stderr, "isiserve: BUG: submitted %d but drained %d + dropped %d\n",
+			submitted, st.Items, st.Dropped)
 		os.Exit(1)
 	}
 
 	if join {
-		fmt.Printf("\n%-6s %10s %8s %9s %6s %12s %12s %10s %10s\n",
-			"shard", "probes", "batches", "avg-batch", "group", "probe-rate/s", "hits", "p50", "p99")
+		fmt.Printf("\n%-6s %10s %8s %9s %6s %12s %12s %8s %10s %10s\n",
+			"shard", "probes", "batches", "avg-batch", "group", "probe-rate/s", "hits", "dropped", "p50", "p99")
 		for _, ss := range st.Shards {
-			fmt.Printf("%-6d %10d %8d %9.1f %6d %12.0f %12d %10v %10v\n",
+			fmt.Printf("%-6d %10d %8d %9.1f %6d %12.0f %12d %8d %10v %10v\n",
 				ss.Shard, ss.Items, ss.Batches, ss.AvgBatch, ss.Group, ss.Throughput,
-				ss.JoinHits, ss.P50.Round(time.Microsecond), ss.P99.Round(time.Microsecond))
+				ss.JoinHits, ss.Dropped, ss.P50.Round(time.Microsecond), ss.P99.Round(time.Microsecond))
 		}
-		fmt.Printf("\ntotal: %d probes, %d build matches (%.2f hits/probe), p50 %v, p99 %v\n",
+		fmt.Printf("\ntotal: %d probes, %d build matches (%.2f hits/probe), %d dropped, p50 %v, p99 %v\n",
 			st.Joins, st.JoinHits, float64(st.JoinHits)/float64(max(st.Joins, 1)),
-			st.P50.Round(time.Microsecond), st.P99.Round(time.Microsecond))
+			st.Dropped, st.P50.Round(time.Microsecond), st.P99.Round(time.Microsecond))
 	} else {
-		fmt.Printf("\n%-6s %10s %8s %9s %6s %12s %10s %10s\n",
-			"shard", "items", "batches", "avg-batch", "group", "drain-rate/s", "p50", "p99")
+		fmt.Printf("\n%-6s %10s %8s %9s %6s %12s %8s %10s %10s\n",
+			"shard", "items", "batches", "avg-batch", "group", "drain-rate/s", "dropped", "p50", "p99")
 		for _, ss := range st.Shards {
-			fmt.Printf("%-6d %10d %8d %9.1f %6d %12.0f %10v %10v\n",
+			fmt.Printf("%-6d %10d %8d %9.1f %6d %12.0f %8d %10v %10v\n",
 				ss.Shard, ss.Items, ss.Batches, ss.AvgBatch, ss.Group, ss.Throughput,
-				ss.P50.Round(time.Microsecond), ss.P99.Round(time.Microsecond))
+				ss.Dropped, ss.P50.Round(time.Microsecond), ss.P99.Round(time.Microsecond))
 		}
-		fmt.Printf("\ntotal: %d items, p50 %v, p99 %v\n",
-			st.Items, st.P50.Round(time.Microsecond), st.P99.Round(time.Microsecond))
+		fmt.Printf("\ntotal: %d items, %d dropped, p50 %v, p99 %v\n",
+			st.Items, st.Dropped, st.P50.Round(time.Microsecond), st.P99.Round(time.Microsecond))
 	}
 
 	if *adaptive {

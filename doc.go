@@ -20,11 +20,16 @@
 //     probe kernels;
 //   - exp: one runner per paper table and figure;
 //   - serve: a sharded, batch-admission index-join service over the
-//     interleaved kernels, with group-commit request batching, an
-//     adaptive per-shard interleaving group size, and end-to-end join
-//     execution — per-shard build-side hash-table partitions probed by
-//     composite dictionary→probe coroutines (cmd/isiserve drives both
-//     modes under open-loop load; -mode join for joins).
+//     interleaved kernels, with a typed-operation request surface (Op:
+//     lookup/join), two admission paths — point futures under a
+//     group-commit batcher, and vectorized whole-column submission
+//     (GoBatch/JoinBatch, O(1) allocations, in-place shard
+//     partitioning) — context-aware drops counted in Stats, streaming
+//     join matches via iter.Seq[Match], an adaptive per-shard
+//     interleaving group size, and end-to-end join execution: per-shard
+//     build-side hash-table partitions probed by composite
+//     dictionary→probe coroutines (cmd/isiserve drives all modes under
+//     open-loop load; -mode join for joins, -vector for columns).
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record. The benchmarks in bench_test.go regenerate

@@ -2,11 +2,96 @@ package repro_test
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"repro/internal/exp"
+	"repro/internal/nativejoin"
+	"repro/internal/serve"
 	"repro/internal/workload"
 )
+
+// TestServeColumnJoin is the cross-package integration test for the
+// serving path: a workload-generated build side (Zipf multiplicities),
+// a probe column submitted whole through the vectorized serve API, and
+// every outcome — per-key join aggregates, streamed matches, point-op
+// equivalence — verified against a sequential nativejoin reference
+// table. Fast (native backend, no simulator), so it runs under -short.
+func TestServeColumnJoin(t *testing.T) {
+	const (
+		domainN = 5000
+		tuples  = 20000
+		probeN  = 3000
+	)
+	vals := make([]uint64, domainN)
+	for i := range vals {
+		vals[i] = uint64(i) * 3 // keys not divisible by 3 miss
+	}
+	idx := workload.JoinBuildIndices(17, domainN, tuples, 0.6, 1.2)
+	build := make([]serve.BuildTuple, tuples)
+	// Reference: a single sequential hash table keyed by global code,
+	// which for this domain is key/3.
+	ref := nativejoin.New(tuples)
+	for i, k := range idx {
+		build[i] = serve.BuildTuple{Key: uint64(k) * 3, Payload: uint32(i)}
+		ref.Insert(uint64(k), uint32(i))
+	}
+	s, err := serve.New(vals, serve.WithShards(4), serve.WithBuild(build))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	mix := workload.NewKeyMix(23, domainN*3+30, 0.5, 1.2)
+	probe := make([]uint64, probeN)
+	for i := range probe {
+		probe[i] = uint64(mix.Next())
+	}
+	ctx := context.Background()
+	bf := s.JoinBatch(ctx, probe)
+	jres := bf.WaitJoin()
+	keys := bf.Keys()
+	if len(jres) != probeN || len(keys) != probeN {
+		t.Fatalf("batch returned %d results over %d keys, want %d", len(jres), len(keys), probeN)
+	}
+
+	var wantStreamed uint64
+	for i, k := range keys {
+		r := jres[i]
+		if k%3 != 0 || k/3 >= domainN {
+			if r.Code != serve.NotFound || r.Hits != 0 {
+				t.Fatalf("miss key %d = %+v", k, r)
+			}
+			continue
+		}
+		code := k / 3
+		if uint64(r.Code) != code {
+			t.Fatalf("key %d resolved to code %d, want %d", k, r.Code, code)
+		}
+		want := ref.Probe(code)
+		if r.Hits != want.Hits || r.Agg != want.Agg {
+			t.Fatalf("key %d join = %+v, want %+v", k, r, want)
+		}
+		wantStreamed += uint64(want.Hits)
+		// Point-op equivalence on a sampled subset (each is a full
+		// admission round trip).
+		if i%97 == 0 {
+			if pr := s.Join(ctx, k); pr.Hits != want.Hits || pr.Agg != want.Agg || pr.Code != r.Code {
+				t.Fatalf("point join(%d) = %+v, batch %+v", k, pr, r)
+			}
+		}
+	}
+	var streamed uint64
+	for m := range bf.Matches() {
+		if m.Key != keys[m.Probe] || m.Code != jres[m.Probe].Code {
+			t.Fatalf("streamed match %+v inconsistent with probe %d", m, m.Probe)
+		}
+		streamed++
+	}
+	if streamed != wantStreamed {
+		t.Fatalf("streamed %d matches, want %d", streamed, wantStreamed)
+	}
+}
 
 // TestEveryExperimentRuns drives every registered experiment end to end
 // at a reduced scale: the cross-package integration test for the whole

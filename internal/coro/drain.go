@@ -37,7 +37,9 @@ func (d *Drainer[R]) Drain(n, group int, start func(i int) Handle[R], sink func(
 // semantics): start receives the scheduler slot its lookup occupies, so
 // a shard can keep one reusable frame per slot — reset in place and
 // rearmed per lookup — and drain an unbounded request sequence with no
-// per-lookup allocation at all.
+// per-lookup allocation at all. As with RunInterleavedSlots, start may
+// return nil to skip an input (a dropped request): no slot is occupied
+// and sink is never called for that index.
 func (d *Drainer[R]) DrainSlots(n, group int, start func(slot, i int) Handle[R], sink func(i int, r R)) {
 	if n <= 0 {
 		return

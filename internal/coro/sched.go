@@ -36,6 +36,13 @@ func RunInterleaved[R any](n, group int, start func(i int) Handle[R], sink func(
 // its coro.Frame — instead of allocated per lookup, which matters for
 // short coroutines (hash-probe chains) whose per-lookup setup would
 // otherwise rival the interleaving gain.
+//
+// start may return nil to decline an input: the scheduler skips it —
+// no slot is occupied, no resume happens, and sink is never called for
+// that index — and immediately offers the slot the next pending input.
+// This is how a serving shard drops context-cancelled requests from a
+// mixed batch without restructuring it (internal/serve); the caller is
+// responsible for completing skipped inputs through its own channel.
 func RunInterleavedSlots[R any](n, group int, start func(slot, i int) Handle[R], sink func(i int, r R)) {
 	if n <= 0 {
 		return
@@ -53,15 +60,27 @@ func RunInterleavedSlots[R any](n, group int, start func(slot, i int) Handle[R],
 
 // drainInterleaved is the scheduler core shared by RunInterleavedSlots
 // and Drainer: handles and owner must have equal length (the group size)
-// and are fully overwritten.
+// and are fully overwritten. A nil handle from start skips that input
+// (see RunInterleavedSlots); the slot keeps claiming pending inputs
+// until one starts or the input sequence is exhausted.
 func drainInterleaved[R any](handles []Handle[R], owner []int, n int, start func(slot, i int) Handle[R], sink func(i int, r R)) {
 	group := len(handles)
-	for i := 0; i < group; i++ {
-		handles[i] = start(i, i)
-		owner[i] = i
+	next := 0
+	notDone := 0
+	for s := 0; s < group; s++ {
+		handles[s] = nil
+		for next < n {
+			h := start(s, next)
+			o := next
+			next++
+			if h != nil {
+				handles[s] = h
+				owner[s] = o
+				notDone++
+				break
+			}
+		}
 	}
-	next := group
-	notDone := group
 	for notDone > 0 {
 		for s := 0; s < group; s++ {
 			h := handles[s]
@@ -73,13 +92,18 @@ func drainInterleaved[R any](handles []Handle[R], owner []int, n int, start func
 				continue
 			}
 			sink(owner[s], h.Result())
-			if next < n {
-				handles[s] = start(s, next)
-				owner[s] = next
+			handles[s] = nil
+			notDone--
+			for next < n {
+				nh := start(s, next)
+				o := next
 				next++
-			} else {
-				handles[s] = nil
-				notDone--
+				if nh != nil {
+					handles[s] = nh
+					owner[s] = o
+					notDone++
+					break
+				}
 			}
 		}
 	}

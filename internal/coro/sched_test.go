@@ -185,6 +185,62 @@ func TestRunInterleavedSlotsRecycling(t *testing.T) {
 	}
 }
 
+// TestRunInterleavedSlotsNilSkip drives the skip contract: start
+// returning nil must drop that input — no slot occupied, sink never
+// called for it — while every other input is still started and
+// delivered exactly once. Skips are exercised at the head of the
+// sequence (initial fill), mid-stream (refill), at the tail, and for
+// every input at once.
+func TestRunInterleavedSlotsNilSkip(t *testing.T) {
+	const n = 24
+	for _, tc := range []struct {
+		name string
+		skip func(i int) bool
+	}{
+		{"head", func(i int) bool { return i < 5 }},
+		{"mid", func(i int) bool { return i%3 == 1 }},
+		{"tail", func(i int) bool { return i >= n-4 }},
+		{"all", func(i int) bool { return true }},
+		{"none", func(i int) bool { return false }},
+	} {
+		for _, group := range []int{1, 2, 4, n} {
+			starts := make([]int, n)
+			got := map[int]int{}
+			inner := countingStart(t, n, func(i int) int { return (i * 5) % 4 }, starts)
+			RunInterleavedSlots(n, group,
+				func(slot, i int) Handle[int] {
+					if tc.skip(i) {
+						return nil
+					}
+					return inner(i)
+				},
+				func(i, r int) {
+					if tc.skip(i) {
+						t.Fatalf("%s/group %d: sink called for skipped index %d", tc.name, group, i)
+					}
+					if _, dup := got[i]; dup {
+						t.Fatalf("%s/group %d: index %d delivered twice", tc.name, group, i)
+					}
+					got[i] = r
+				})
+			for i := 0; i < n; i++ {
+				if tc.skip(i) {
+					if starts[i] != 0 {
+						t.Errorf("%s/group %d: skipped index %d started %d times", tc.name, group, i, starts[i])
+					}
+					continue
+				}
+				if starts[i] != 1 {
+					t.Errorf("%s/group %d: index %d started %d times, want 1", tc.name, group, i, starts[i])
+				}
+				if r, ok := got[i]; !ok || r != 100+i {
+					t.Errorf("%s/group %d: result[%d] = %d (ok=%v), want %d", tc.name, group, i, r, ok, 100+i)
+				}
+			}
+		}
+	}
+}
+
 // TestFrameRearm: a completed frame rearmed after its state struct is
 // reset must run the new lookup through the same step closure.
 func TestFrameRearm(t *testing.T) {

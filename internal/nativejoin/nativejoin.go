@@ -95,6 +95,25 @@ func (t *Table) Probe(key uint64) Result {
 	return r
 }
 
+// ProbeEach walks key's chain sequentially, emitting every matching
+// build tuple's payload in chain order (most recently inserted first)
+// in addition to the aggregate — the sequential reference for streaming
+// join-match emission (the interleaved counterpart is Cursor.Matched).
+func (t *Table) ProbeEach(key uint64, emit func(payload uint32)) Result {
+	var r Result
+	next := t.buckets[t.hash(key)]
+	for next != 0 {
+		n := &t.nodes[next-1]
+		if n.key == key {
+			r.Hits++
+			r.Agg += uint64(n.val)
+			emit(n.val)
+		}
+		next = n.next
+	}
+	return r
+}
+
 // RunSequential probes all keys one after the other.
 func (t *Table) RunSequential(keys []uint64, out []Result) {
 	for i, k := range keys {
@@ -115,6 +134,8 @@ type Cursor struct {
 	n      node   // early-loaded chain node, consumed on the next Step
 	next   uint32 // early-loaded head (before the first node load lands)
 	loaded bool
+	mHit   bool   // the most recent Step consumed a matching node
+	mVal   uint32 // that node's payload
 }
 
 // Start begins a probe for key: it performs the bucket-head load (the
@@ -128,6 +149,7 @@ func (t *Table) Start(key uint64) Cursor {
 // load. done=true delivers the final Result; the caller suspends after
 // every done=false return.
 func (c *Cursor) Step(t *Table) (Result, bool) {
+	c.mHit = false
 	if !c.loaded {
 		if c.next == 0 {
 			return c.res, true // empty bucket
@@ -139,6 +161,7 @@ func (c *Cursor) Step(t *Table) (Result, bool) {
 	if c.n.key == c.key {
 		c.res.Hits++
 		c.res.Agg += uint64(c.n.val)
+		c.mHit, c.mVal = true, c.n.val
 	}
 	c.next = c.n.next
 	if c.next == 0 {
@@ -147,6 +170,14 @@ func (c *Cursor) Step(t *Table) (Result, bool) {
 	c.n = t.nodes[c.next-1] // early load of the next chain node
 	return c.res, false
 }
+
+// Matched reports whether the most recent Step consumed a matching
+// build tuple and, if so, that tuple's payload. Polling it after every
+// Step yields each match exactly once, in chain order — streaming
+// match emission without a per-probe callback, so a larger coroutine
+// frame (internal/serve's dictionary→probe pipeline) can forward
+// matches with no closure allocation.
+func (c *Cursor) Matched() (uint32, bool) { return c.mVal, c.mHit }
 
 // frameProbe is the flat coroutine frame for one probe (the hand-spilled
 // state a C++ compiler would generate — see internal/native's

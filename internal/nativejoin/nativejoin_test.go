@@ -154,6 +154,68 @@ func TestCursorEmbedding(t *testing.T) {
 	}
 }
 
+// TestMatchEmissionAgree checks the two match-emission paths — the
+// sequential ProbeEach and polling Cursor.Matched after every Step —
+// yield exactly the matching payloads, in the same chain order, on
+// randomized tables with duplicates, misses, and collisions.
+func TestMatchEmissionAgree(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 11))
+	for round := 0; round < 20; round++ {
+		nTuples := rng.IntN(2000)
+		domain := 1 + rng.IntN(300)
+		tab := New(nTuples)
+		bKeys := make([]uint64, nTuples)
+		bVals := make([]uint32, nTuples)
+		for i := range bKeys {
+			bKeys[i] = rng.Uint64N(uint64(domain))
+			bVals[i] = rng.Uint32N(1000)
+			tab.Insert(bKeys[i], bVals[i])
+		}
+		for probe := uint64(0); probe < uint64(domain)+20; probe++ {
+			var seq []uint32
+			sr := tab.ProbeEach(probe, func(v uint32) { seq = append(seq, v) })
+			if want := tab.Probe(probe); sr != want {
+				t.Fatalf("ProbeEach(%d) aggregate = %+v, want %+v", probe, sr, want)
+			}
+			if uint32(len(seq)) != sr.Hits {
+				t.Fatalf("ProbeEach(%d) emitted %d payloads for %d hits", probe, len(seq), sr.Hits)
+			}
+			var sum uint64
+			for _, v := range seq {
+				sum += uint64(v)
+			}
+			if sum != sr.Agg {
+				t.Fatalf("ProbeEach(%d) payload sum %d != agg %d", probe, sum, sr.Agg)
+			}
+			var cur []uint32
+			c := tab.Start(probe)
+			if _, hit := c.Matched(); hit {
+				t.Fatalf("fresh cursor for %d reports a match before any Step", probe)
+			}
+			for {
+				r, done := c.Step(tab)
+				if v, hit := c.Matched(); hit {
+					cur = append(cur, v)
+				}
+				if done {
+					if r != sr {
+						t.Fatalf("cursor aggregate for %d = %+v, want %+v", probe, r, sr)
+					}
+					break
+				}
+			}
+			if len(cur) != len(seq) {
+				t.Fatalf("cursor emitted %d matches for %d, ProbeEach %d", len(cur), probe, len(seq))
+			}
+			for i := range cur {
+				if cur[i] != seq[i] {
+					t.Fatalf("match %d of probe %d: cursor %d, ProbeEach %d", i, probe, cur[i], seq[i])
+				}
+			}
+		}
+	}
+}
+
 func TestSkewedChains(t *testing.T) {
 	// A hot key with multiplicity 500 next to singleton keys: the probe
 	// must aggregate the whole chain for the hot key and stay exact for

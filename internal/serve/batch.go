@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"context"
+	"iter"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the vectorized admission path. The paper's index join is
+// a column operator — Section 6 drains an entire probe column through
+// the interleaved kernels — so a client that already holds the probe
+// vector should not pay a Future allocation per key only for the
+// group-commit batcher to re-assemble the batch it started with.
+// SubmitBatch admits the whole column in O(1) allocations: the caller's
+// key slice is partitioned in place by shard (an in-place counting-sort
+// permutation), each shard receives a contiguous segment descriptor by
+// value, and results are written into slices the caller reads directly
+// off the BatchFuture — zero per-key futures, zero per-key channels.
+
+// Match is one streamed join match: build tuple Payload matched probe
+// key Key (global dictionary code Code), which sits at index Probe of
+// the batch's partitioned Keys()/Results() vectors.
+type Match struct {
+	Probe   int
+	Key     uint64
+	Code    uint32
+	Payload uint32
+}
+
+// BatchFuture is one in-flight vectorized submission. The submitted key
+// slice is owned by the service until the batch completes and is
+// reordered in place by shard partitioning: after Wait, Results()[i] is
+// the outcome for Keys()[i], where Keys() is the caller's slice in its
+// partitioned order.
+type BatchFuture struct {
+	ctx  context.Context
+	kind OpKind
+	enq  time.Time
+	keys []uint64
+	res  []Result
+	jres []JoinResult // join batches only
+	// matches collects streamed join matches, one independently appended
+	// slice per shard (each written only by its owning shard goroutine).
+	matches [][]Match
+	// bounds[i]..bounds[i+1] is shard i's segment of keys.
+	bounds  []int
+	pending atomic.Int32
+	dropped atomic.Uint64
+	done    chan struct{}
+}
+
+// Done returns a channel closed when every shard segment has completed.
+func (bf *BatchFuture) Done() <-chan struct{} { return bf.done }
+
+// Keys returns the submitted keys in partitioned order. Valid after the
+// batch completes; the slice aliases the caller's submission.
+func (bf *BatchFuture) Keys() []uint64 { return bf.keys }
+
+// Wait blocks until the batch completes and returns the per-key
+// dictionary results, aligned with Keys().
+func (bf *BatchFuture) Wait() []Result {
+	<-bf.done
+	return bf.res
+}
+
+// WaitJoin blocks until the batch completes and returns the per-key
+// join outcomes, aligned with Keys(). Only meaningful for JoinBatch
+// submissions (nil otherwise).
+func (bf *BatchFuture) WaitJoin() []JoinResult {
+	<-bf.done
+	return bf.jres
+}
+
+// Dropped reports how many of the batch's keys were dropped before
+// their shard drained them (context cancelled or deadline expired).
+// Valid after the batch completes.
+func (bf *BatchFuture) Dropped() int { return int(bf.dropped.Load()) }
+
+// Matches streams the batch's join matches: one Match per (probe,
+// build tuple) pair, with per-match payloads rather than the
+// aggregates of WaitJoin. The sequence may be ranged repeatedly, each
+// pass from the start; iteration blocks until the batch completes. Matches are grouped by shard and, within a probe, in
+// build-chain order; use Probe to correlate with Keys(). Empty for
+// lookup batches.
+func (bf *BatchFuture) Matches() iter.Seq[Match] {
+	return func(yield func(Match) bool) {
+		<-bf.done
+		for _, seg := range bf.matches {
+			for _, m := range seg {
+				if !yield(m) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// segDone retires one shard segment, accumulating its dropped count;
+// the last segment completes the batch.
+func (bf *BatchFuture) segDone(dropped uint64) {
+	if dropped > 0 {
+		bf.dropped.Add(dropped)
+	}
+	if bf.pending.Add(-1) == 0 {
+		close(bf.done)
+	}
+}
+
+// SubmitBatch admits one vectorized operation over a whole key column.
+// It takes ownership of keys until the batch completes and reorders it
+// in place (shard partitioning); the caller must not touch the slice
+// until Wait/WaitJoin/Done report completion, and reads results aligned
+// with the reordered Keys(). Admission itself performs O(1) allocations
+// regardless of len(keys) and bypasses the group-commit batcher — the
+// column already is a batch. A nil ctx never cancels; a ctx cancelled
+// before a shard drains its segment drops that segment unprobed. Like
+// Submit, it must not be called after Close; OpJoin requires WithBuild.
+func (s *Service) SubmitBatch(ctx context.Context, kind OpKind, keys []uint64) *BatchFuture {
+	if kind >= nOpKinds {
+		panic("serve: unknown op kind " + kind.String())
+	}
+	if kind == OpJoin && !s.hasBuild {
+		panic("serve: OpJoin on a service without a build side")
+	}
+	if s.closed.Load() {
+		panic("serve: SubmitBatch after Close")
+	}
+	bf := &BatchFuture{
+		ctx:  ctx,
+		kind: kind,
+		enq:  time.Now(),
+		keys: keys,
+		done: make(chan struct{}),
+	}
+	n := len(keys)
+	if n == 0 {
+		close(bf.done)
+		return bf
+	}
+	bf.res = make([]Result, n)
+	if kind == OpJoin {
+		bf.jres = make([]JoinResult, n)
+		bf.matches = make([][]Match, len(s.shards))
+	}
+	bf.bounds = s.partitionInPlace(keys)
+	nseg := int32(0)
+	for i := range s.shards {
+		if bf.bounds[i+1] > bf.bounds[i] {
+			nseg++
+		}
+	}
+	bf.pending.Store(nseg)
+	for i, sh := range s.shards {
+		if lo, hi := bf.bounds[i], bf.bounds[i+1]; hi > lo {
+			sh.in <- shardMsg{bf: bf, lo: lo, hi: hi}
+		}
+	}
+	return bf
+}
+
+// GoBatch submits a whole probe column of point lookups:
+// SubmitBatch(ctx, OpLookup, keys).
+func (s *Service) GoBatch(ctx context.Context, keys []uint64) *BatchFuture {
+	return s.SubmitBatch(ctx, OpLookup, keys)
+}
+
+// JoinBatch submits a whole probe column of join probes, with streamed
+// per-match payloads available through Matches.
+func (s *Service) JoinBatch(ctx context.Context, keys []uint64) *BatchFuture {
+	return s.SubmitBatch(ctx, OpJoin, keys)
+}
+
+// partitionInPlace groups keys by owning shard with an in-place
+// counting-sort permutation (American-flag style: one counting pass,
+// then cycle swaps within each shard's region) and returns the segment
+// bounds: shard i owns keys[bounds[i]:bounds[i+1]]. Two O(Shards)
+// allocations, none proportional to len(keys).
+func (s *Service) partitionInPlace(keys []uint64) []int {
+	nsh := len(s.shards)
+	bounds := make([]int, nsh+1)
+	for _, k := range keys {
+		bounds[shardOf(k, nsh)+1]++
+	}
+	for i := 1; i <= nsh; i++ {
+		bounds[i] += bounds[i-1]
+	}
+	cur := make([]int, nsh)
+	copy(cur, bounds[:nsh])
+	for b := 0; b < nsh; b++ {
+		for i := cur[b]; i < bounds[b+1]; i = cur[b] {
+			sh := shardOf(keys[i], nsh)
+			if sh == b {
+				cur[b] = i + 1
+				continue
+			}
+			keys[i], keys[cur[sh]] = keys[cur[sh]], keys[i]
+			cur[sh]++
+		}
+	}
+	return bounds
+}

@@ -39,7 +39,7 @@ func (b *batcher) add(f *Future) {
 		// the final flushed batch or fails here — it can never strand a
 		// future or dispatch into a closed shard queue.
 		b.mu.Unlock()
-		panic("serve: Go after Close")
+		panic("serve: Submit after Close")
 	}
 	b.cur = append(b.cur, f)
 	var sealed []*Future

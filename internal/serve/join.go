@@ -11,13 +11,14 @@ import (
 // This file is the join execution path: the service's build side and the
 // composite dictionary→probe coroutine it drains join batches through.
 //
-// A join service (NewJoin) gives every shard, next to its dictionary
-// partition, a build-side partition: a real-memory bucket-chained hash
-// table (internal/nativejoin) keyed by the build tuples' *global
-// dictionary codes*. Build tuples are partitioned by the same key hash
-// as the dictionary, so the shard that resolves a probe key to its code
-// also owns every build tuple with that key — the dictionary lookup can
-// pipe its code straight into the hash probe without leaving the shard.
+// A join service (New with WithBuild) gives every shard, next to its
+// dictionary partition, a build-side partition: a real-memory
+// bucket-chained hash table (internal/nativejoin) keyed by the build
+// tuples' *global dictionary codes*. Build tuples are partitioned by the
+// same key hash as the dictionary, so the shard that resolves a probe
+// key to its code also owns every build tuple with that key — the
+// dictionary lookup can pipe its code straight into the hash probe
+// without leaving the shard.
 //
 // One joinFrame is the whole per-key pipeline as a single hand-written
 // coroutine frame: binary-search the shard's dictionary partition
@@ -43,6 +44,9 @@ type JoinResult struct {
 	// payloads.
 	Hits uint32
 	Agg  uint64
+	// Dropped marks a probe whose context was cancelled before its shard
+	// drained it; the key was never probed.
+	Dropped bool
 }
 
 // Found reports whether the probe matched at least one build tuple.
@@ -67,6 +71,11 @@ type joinFrame struct {
 	idx  *nativeJoinIndex
 	key  uint64
 	join bool
+	// msink, when non-nil, streams each build-tuple match (payload plus
+	// the probe's identity) into the owning batch's per-shard match
+	// buffer; probe is the key's index in the partitioned column.
+	msink *[]Match
+	probe int
 	// Dictionary stage: the early-load binary search, embedded by value
 	// from internal/native (one state machine, shared with the lookup
 	// kernels).
@@ -77,8 +86,9 @@ type joinFrame struct {
 	stage uint8 // 0 = dictionary search, 1 = chain walk
 }
 
-func (f *joinFrame) init(x *nativeJoinIndex, key uint64, join bool) {
-	*f = joinFrame{idx: x, key: key, join: join, search: native.StartSearch(x.table, key)}
+func (f *joinFrame) init(x *nativeJoinIndex, key uint64, join bool, msink *[]Match, probe int) {
+	*f = joinFrame{idx: x, key: key, join: join, msink: msink, probe: probe,
+		search: native.StartSearch(x.table, key)}
 }
 
 func (f *joinFrame) step() (joinOut, bool) {
@@ -103,6 +113,11 @@ func (f *joinFrame) step() (joinOut, bool) {
 		return joinOut{}, false
 	default:
 		r, done := f.cur.Step(f.idx.jt)
+		if f.msink != nil {
+			if payload, hit := f.cur.Matched(); hit {
+				*f.msink = append(*f.msink, Match{Probe: f.probe, Key: f.key, Code: f.out.code, Payload: payload})
+			}
+		}
 		if !done {
 			return joinOut{}, false
 		}
@@ -136,16 +151,21 @@ func newNativeJoinIndex(cfg Config, vals []uint64, codes []uint32, jt *nativejoi
 	}
 }
 
-// drainBatch resolves one sub-batch of mixed lookup/join futures and
-// completes their result fields (not their done channels — the shard
-// closes those after recording latency). Returns the batch cost in
+// drainBatch resolves one point sub-batch of mixed lookup/join futures
+// and completes their result fields (not their done channels — the
+// shard closes those after recording latency). Futures pre-marked
+// dropped are skipped through the scheduler's nil-start contract: they
+// never occupy a slot and are never probed. Returns the batch cost in
 // nanoseconds for the controller.
 func (x *nativeJoinIndex) drainBatch(sub []*Future, group int) float64 {
 	t0 := time.Now()
 	if len(x.table) == 0 {
 		for _, f := range sub {
+			if f.dropped {
+				continue
+			}
 			f.res = Result{Code: NotFound}
-			if f.op == opJoin {
+			if f.op.Kind == OpJoin {
 				f.jres = JoinResult{Code: NotFound}
 			}
 		}
@@ -153,15 +173,55 @@ func (x *nativeJoinIndex) drainBatch(sub []*Future, group int) float64 {
 	}
 	x.d.DrainSlots(len(sub), group,
 		func(slot, i int) coro.Handle[joinOut] {
-			f, h := x.pool.Slot(slot)
-			f.init(x, sub[i].key, sub[i].op == opJoin)
+			f := sub[i]
+			if f.dropped {
+				return nil
+			}
+			fr, h := x.pool.Slot(slot)
+			fr.init(x, f.op.Key, f.op.Kind == OpJoin, nil, i)
 			return h
 		},
 		func(i int, r joinOut) {
 			f := sub[i]
 			f.res = Result{Code: r.code, Found: r.found}
-			if f.op == opJoin {
+			if f.op.Kind == OpJoin {
 				f.jres = JoinResult{Code: r.code, Hits: r.hits, Agg: r.agg}
+			}
+		})
+	return float64(time.Since(t0))
+}
+
+// drainSegment resolves one shard segment [lo, hi) of a vectorized
+// batch, writing into the batch's caller-visible slices; join segments
+// additionally stream every build-tuple match into the batch's
+// per-shard match buffer. Returns the segment cost in nanoseconds.
+func (x *nativeJoinIndex) drainSegment(bf *BatchFuture, shardID, lo, hi, group int) float64 {
+	t0 := time.Now()
+	join := bf.kind == OpJoin
+	if len(x.table) == 0 {
+		for i := lo; i < hi; i++ {
+			bf.res[i] = Result{Code: NotFound}
+			if join {
+				bf.jres[i] = JoinResult{Code: NotFound}
+			}
+		}
+		return float64(time.Since(t0))
+	}
+	var msink *[]Match
+	if join {
+		msink = &bf.matches[shardID]
+	}
+	keys := bf.keys[lo:hi]
+	x.d.DrainSlots(len(keys), group,
+		func(slot, i int) coro.Handle[joinOut] {
+			fr, h := x.pool.Slot(slot)
+			fr.init(x, keys[i], join, msink, lo+i)
+			return h
+		},
+		func(i int, r joinOut) {
+			bf.res[lo+i] = Result{Code: r.code, Found: r.found}
+			if join {
+				bf.jres[lo+i] = JoinResult{Code: r.code, Hits: r.hits, Agg: r.agg}
 			}
 		})
 	return float64(time.Since(t0))

@@ -43,12 +43,19 @@ func bucketFloor(b int) uint64 {
 	return uint64(b-(shift<<histSub)) << uint(shift)
 }
 
-func (h *latHist) record(d time.Duration) {
+func (h *latHist) record(d time.Duration) { h.recordN(d, 1) }
+
+// recordN records n observations of the same latency — a vectorized
+// batch segment completes all its keys at once.
+func (h *latHist) recordN(d time.Duration, n uint64) {
+	if n == 0 {
+		return
+	}
 	if d < 0 {
 		d = 0
 	}
-	h.counts[histBucket(uint64(d))].Add(1)
-	h.total.Add(1)
+	h.counts[histBucket(uint64(d))].Add(n)
+	h.total.Add(n)
 }
 
 // addTo accumulates the histogram into a plain bucket array (for
@@ -98,6 +105,7 @@ type shardMetrics struct {
 	busyNS   atomic.Uint64
 	joins    atomic.Uint64
 	joinHits atomic.Uint64
+	dropped  atomic.Uint64
 	group    atomic.Int64 // group used for the most recent batch
 	hist     latHist
 }
@@ -115,6 +123,15 @@ func (m *shardMetrics) recordJoins(joins, hits uint64) {
 	}
 	m.joins.Add(joins)
 	m.joinHits.Add(hits)
+}
+
+// recordDropped counts requests dropped before drain (context cancelled
+// or deadline expired by the time their shard dequeued them).
+func (m *shardMetrics) recordDropped(n uint64) {
+	if n == 0 {
+		return
+	}
+	m.dropped.Add(n)
 }
 
 // ShardStats is one shard's snapshot.
@@ -136,6 +153,9 @@ type ShardStats struct {
 	// tuples they matched in total.
 	Joins    uint64
 	JoinHits uint64
+	// Dropped counts requests whose context was cancelled before this
+	// shard drained them; they were never probed and are not in Items.
+	Dropped  uint64
 	P50, P99 time.Duration
 }
 
@@ -151,6 +171,7 @@ func (m *shardMetrics) snapshot(id int) ShardStats {
 		Busy:     busy,
 		Joins:    m.joins.Load(),
 		JoinHits: m.joinHits.Load(),
+		Dropped:  m.dropped.Load(),
 		P50:      m.hist.quantile(0.50),
 		P99:      m.hist.quantile(0.99),
 	}
@@ -169,5 +190,8 @@ type Stats struct {
 	Items    uint64
 	Joins    uint64
 	JoinHits uint64
+	// Dropped counts requests dropped before drain service-wide (context
+	// cancelled or deadline expired); Items excludes them.
+	Dropped  uint64
 	P50, P99 time.Duration
 }

@@ -2,17 +2,31 @@
 // index-join service — the paper's robustness argument operationalized as
 // a system rather than a one-shot experiment run.
 //
-// Requests (point lookups of an IN-predicate's values against a
-// dictionary) are admitted asynchronously, accumulated by a group-commit
-// style batcher bounded in both size and time, hash-partitioned across
-// per-core shards, and drained through the coroutine-interleaved kernels
-// (coro.Drainer over internal/native frames on real memory, or the
-// memsim-backed dict.Main / csbtree kernels on the simulated hierarchy).
-// Each shard's interleaving group size is tuned online by a hill-climbing
-// controller on measured per-batch cost, instead of hard-coding the
-// paper's group of 6: the optimal group shifts with index size, index
-// type, and batch shape, which is exactly the paper's point about
-// robustness.
+// Requests are typed operations (Op: a point lookup or a join probe of an
+// IN-predicate's values against a dictionary) and arrive two ways:
+//
+//   - Point admission (Submit/Go/GoJoin): one key per call, accumulated by
+//     a group-commit style batcher bounded in both size and time.
+//   - Vectorized admission (SubmitBatch/GoBatch/JoinBatch): a whole probe
+//     column per call — the paper's index join is a column operator, so a
+//     client that already holds the probe vector submits it in one O(1)-
+//     allocation call instead of paying a Future per key and making the
+//     batcher re-assemble a batch it already had.
+//
+// Either way, requests are hash-partitioned across per-core shards
+// (vectorized batches are partitioned in place) and drained through the
+// coroutine-interleaved kernels (coro.Drainer over internal/native frames
+// on real memory, or the memsim-backed dict.Main / csbtree kernels on the
+// simulated hierarchy). Each shard's interleaving group size is tuned
+// online by a hill-climbing controller on measured per-batch cost,
+// instead of hard-coding the paper's group of 6: the optimal group shifts
+// with index size, index type, and batch shape, which is exactly the
+// paper's point about robustness.
+//
+// Admission is context-aware: every submission carries a context.Context,
+// and a request whose context is cancelled or past its deadline by the
+// time its shard would drain it is dropped before the kernel runs —
+// never probed — completed with a Dropped result and counted in Stats.
 //
 // The unit of partitioning is the key: shard i owns the slice of the
 // (sorted, distinct) value domain whose keys hash to i, indexed
@@ -21,6 +35,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"sync"
@@ -62,35 +77,64 @@ func (k IndexKind) String() string {
 // NotFound is the code reported for absent keys.
 const NotFound = ^uint32(0)
 
-// Result is the join result for one key: the key's global dictionary code
-// (its position in the sorted domain) if present.
-type Result struct {
-	Code  uint32
-	Found bool
-}
-
-// opKind is a future's request type.
-type opKind uint8
+// OpKind is a request's operation type. The service dispatches on it in
+// one place per layer; adding a kind (a range scan, an upsert) extends
+// the enum rather than forking the admission or drain paths.
+type OpKind uint8
 
 const (
-	opLookup opKind = iota
-	opJoin
+	// OpLookup resolves a key to its global dictionary code.
+	OpLookup OpKind = iota
+	// OpJoin resolves a key and aggregates over its matching build-side
+	// tuples (services constructed WithBuild only).
+	OpJoin
+	nOpKinds // sentinel for validation
 )
 
-// Future is one in-flight request — a point lookup (Service.Go) or a
-// join probe (Service.GoJoin) — completed by a shard; Wait/WaitJoin
-// block until the result is available.
-type Future struct {
-	key  uint64
-	enq  time.Time
-	op   opKind
-	res  Result
-	jres JoinResult
-	done chan struct{}
+// String names the operation.
+func (k OpKind) String() string {
+	switch k {
+	case OpLookup:
+		return "lookup"
+	case OpJoin:
+		return "join"
+	}
+	return "unknown"
 }
 
+// Op is one typed request: an operation kind applied to a key.
+type Op struct {
+	Kind OpKind
+	Key  uint64
+}
+
+// Result is the dictionary outcome for one key: the key's global code
+// (its position in the sorted domain) if present. Dropped marks a
+// request whose context was cancelled before its shard drained it; the
+// key was never probed.
+type Result struct {
+	Code    uint32
+	Found   bool
+	Dropped bool
+}
+
+// Future is one in-flight point request — completed by a shard;
+// Wait/WaitJoin block until the result is available.
+type Future struct {
+	op      Op
+	ctx     context.Context
+	enq     time.Time
+	res     Result
+	jres    JoinResult
+	done    chan struct{}
+	dropped bool // set by the owning shard before done closes
+}
+
+// Op returns the submitted operation.
+func (f *Future) Op() Op { return f.op }
+
 // Key returns the looked-up key.
-func (f *Future) Key() uint64 { return f.key }
+func (f *Future) Key() uint64 { return f.op.Key }
 
 // Wait blocks until the request completes and returns its dictionary
 // result (for a join probe, the code-resolution part of the outcome).
@@ -108,7 +152,8 @@ func (f *Future) WaitJoin() JoinResult {
 
 // Config tunes the service. Zero numeric fields take the DefaultConfig
 // value; booleans are taken as-is (a zero Config has Adaptive false, while
-// DefaultConfig enables it), so start from DefaultConfig() and override.
+// DefaultConfig enables it), so start from DefaultConfig() and override —
+// or compose the With* options over the defaults.
 type Config struct {
 	// Shards is the number of index partitions (one goroutine each).
 	Shards int
@@ -116,7 +161,8 @@ type Config struct {
 	Kind IndexKind
 	// MaxBatch seals an admission batch when it reaches this many
 	// requests; MaxWait seals a non-empty batch after this long even if
-	// it is smaller (group-commit semantics).
+	// it is smaller (group-commit semantics). Vectorized submissions
+	// bypass the batcher entirely.
 	MaxBatch int
 	MaxWait  time.Duration
 	// Group is the initial interleaving group size per shard; the
@@ -198,14 +244,78 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Option configures New. Options apply in order over DefaultConfig, so a
+// later option overrides an earlier one (WithConfig replaces the whole
+// numeric configuration and is best placed first).
+type Option func(*options)
+
+type options struct {
+	cfg      Config
+	build    []BuildTuple
+	hasBuild bool
+}
+
+// WithConfig replaces the service configuration wholesale (zero fields
+// still default as in Config).
+func WithConfig(cfg Config) Option { return func(o *options) { o.cfg = cfg } }
+
+// WithShards sets the number of index partitions.
+func WithShards(n int) Option { return func(o *options) { o.cfg.Shards = n } }
+
+// WithBackend selects the per-shard index backend.
+func WithBackend(k IndexKind) Option { return func(o *options) { o.cfg.Kind = k } }
+
+// WithAdmission bounds the point-op group-commit batcher: a batch seals
+// at maxBatch requests or maxWait after its first, whichever comes first.
+func WithAdmission(maxBatch int, maxWait time.Duration) Option {
+	return func(o *options) { o.cfg.MaxBatch, o.cfg.MaxWait = maxBatch, maxWait }
+}
+
+// WithGroup sets the initial interleaving group size and the bounds the
+// adaptive controller explores within.
+func WithGroup(initial, min, max int) Option {
+	return func(o *options) { o.cfg.Group, o.cfg.MinGroup, o.cfg.MaxGroup = initial, min, max }
+}
+
+// WithAdaptive enables or disables the per-shard hill-climbing group
+// controller; every is the number of batches per controller epoch (0
+// keeps the default).
+func WithAdaptive(on bool, every int) Option {
+	return func(o *options) { o.cfg.Adaptive, o.cfg.AdaptEvery = on, every }
+}
+
+// WithQueueDepth sets the per-shard sub-batch queue depth.
+func WithQueueDepth(d int) Option { return func(o *options) { o.cfg.QueueDepth = d } }
+
+// WithSimSeed seeds the per-shard simulated engines (Sim* backends).
+func WithSimSeed(s uint64) Option { return func(o *options) { o.cfg.SimSeed = s } }
+
+// WithBuild declares a build-side relation (possibly empty), making this
+// a join service: each shard owns, next to its dictionary partition, a
+// real-memory hash table over the build tuples whose keys hash to it,
+// keyed by global dictionary code; OpJoin probes resolve their key
+// against the dictionary and pipe the code into the hash probe within
+// the same interleaved drain. Build tuples whose key is absent from the
+// value domain are dropped — a dictionary-encoded probe can never reach
+// them. Join execution requires the NativeSorted backend.
+func WithBuild(build []BuildTuple) Option {
+	return func(o *options) {
+		if build == nil {
+			build = []BuildTuple{}
+		}
+		o.build, o.hasBuild = build, true
+	}
+}
+
 // Service is the sharded, batch-admission index-join service.
 type Service struct {
-	cfg      Config
-	b        *batcher
-	shards   []*shard
-	wg       sync.WaitGroup
-	closed   atomic.Bool
-	hasBuild bool
+	cfg       Config
+	b         *batcher
+	shards    []*shard
+	wg        sync.WaitGroup
+	closed    atomic.Bool
+	closeOnce sync.Once
+	hasBuild  bool
 }
 
 // shardOf routes a key to its shard: a Fibonacci-multiplicative hash so
@@ -216,37 +326,19 @@ func shardOf(key uint64, shards int) int {
 	return int(h % uint64(shards))
 }
 
-// New builds a lookup service over the given value domain. values need
-// not be sorted; duplicates are discarded. The global code of a value is
-// its position in the sorted, deduplicated domain.
-func New(values []uint64, cfg Config) (*Service, error) {
-	return newService(values, nil, cfg)
-}
-
-// NewJoin builds a join service: the value-domain dictionary of New plus
-// a build-side relation. Each shard owns, next to its dictionary
-// partition, a real-memory hash table over the build tuples whose keys
-// hash to it, keyed by global dictionary code; GoJoin probes resolve
-// their key against the dictionary and pipe the code into the hash
-// probe within the same interleaved drain. Build tuples whose key is
-// absent from the value domain are dropped — a dictionary-encoded probe
-// can never reach them. Join execution requires the NativeSorted
-// backend.
-func NewJoin(values []uint64, build []BuildTuple, cfg Config) (*Service, error) {
-	cfg = cfg.withDefaults()
-	if cfg.Kind != NativeSorted {
+// New builds a service over the given value domain. values need not be
+// sorted; duplicates are discarded. The global code of a value is its
+// position in the sorted, deduplicated domain. Options compose over
+// DefaultConfig; WithBuild adds a build side and enables OpJoin.
+func New(values []uint64, opts ...Option) (*Service, error) {
+	o := options{cfg: DefaultConfig()}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	cfg := o.cfg.withDefaults()
+	if o.hasBuild && cfg.Kind != NativeSorted {
 		return nil, fmt.Errorf("serve: join execution requires the %s backend (got %s)", NativeSorted, cfg.Kind)
 	}
-	if build == nil {
-		build = []BuildTuple{}
-	}
-	return newService(values, build, cfg)
-}
-
-// newService is the shared constructor; a non-nil build side (possibly
-// empty) makes this a join service.
-func newService(values []uint64, build []BuildTuple, cfg Config) (*Service, error) {
-	cfg = cfg.withDefaults()
 	sorted := append([]uint64(nil), values...)
 	slices.Sort(sorted)
 	sorted = slices.Compact(sorted)
@@ -275,7 +367,7 @@ func newService(values []uint64, build []BuildTuple, cfg Config) (*Service, erro
 	// entry land on the same shard, so the dictionary→probe pipeline
 	// never crosses shards). Keys outside the domain are dropped.
 	var joinTabs []*nativejoin.Table
-	if build != nil {
+	if o.hasBuild {
 		// Resolve each tuple's key to (shard, code) once; the second pass
 		// inserts from the resolved slice so large build sides pay one
 		// binary search per tuple, not two.
@@ -284,9 +376,9 @@ func newService(values []uint64, build []BuildTuple, cfg Config) (*Service, erro
 			code    uint32
 			payload uint32
 		}
-		res := make([]resolved, 0, len(build))
+		res := make([]resolved, 0, len(o.build))
 		counts := make([]int, cfg.Shards)
-		for _, t := range build {
+		for _, t := range o.build {
 			if code, ok := slices.BinarySearch(sorted, t.Key); ok {
 				sh := shardOf(t.Key, cfg.Shards)
 				res = append(res, resolved{shard: sh, code: uint32(code), payload: t.Payload})
@@ -302,11 +394,11 @@ func newService(values []uint64, build []BuildTuple, cfg Config) (*Service, erro
 		}
 	}
 
-	s := &Service{cfg: cfg, hasBuild: build != nil}
+	s := &Service{cfg: cfg, hasBuild: o.hasBuild}
 	for i := 0; i < cfg.Shards; i++ {
 		sh := &shard{
 			id:  i,
-			in:  make(chan []*Future, cfg.QueueDepth),
+			in:  make(chan shardMsg, cfg.QueueDepth),
 			ctl: newController(cfg),
 			met: &shardMetrics{},
 		}
@@ -328,37 +420,43 @@ func newService(values []uint64, build []BuildTuple, cfg Config) (*Service, erro
 	return s, nil
 }
 
-// Go submits one asynchronous lookup. It must not be called after Close.
-func (s *Service) Go(key uint64) *Future {
-	if s.closed.Load() {
-		panic("serve: Go after Close")
+// Submit admits one asynchronous typed operation. A nil ctx never
+// cancels; a ctx cancelled before the owning shard drains the request
+// drops it (the key is never probed) with a Dropped result. Submit must
+// not be called after Close; OpJoin requires a service built WithBuild.
+func (s *Service) Submit(ctx context.Context, op Op) *Future {
+	if op.Kind >= nOpKinds {
+		panic("serve: unknown op kind " + op.Kind.String())
 	}
-	f := &Future{key: key, enq: time.Now(), done: make(chan struct{})}
+	if op.Kind == OpJoin && !s.hasBuild {
+		panic("serve: OpJoin on a service without a build side")
+	}
+	if s.closed.Load() {
+		panic("serve: Submit after Close")
+	}
+	f := &Future{op: op, ctx: ctx, enq: time.Now(), done: make(chan struct{})}
 	s.b.add(f)
 	return f
+}
+
+// Go submits one asynchronous lookup: Submit(ctx, Op{OpLookup, key}).
+func (s *Service) Go(ctx context.Context, key uint64) *Future {
+	return s.Submit(ctx, Op{Kind: OpLookup, Key: key})
 }
 
 // Lookup is the synchronous convenience wrapper around Go.
-func (s *Service) Lookup(key uint64) Result { return s.Go(key).Wait() }
+func (s *Service) Lookup(ctx context.Context, key uint64) Result { return s.Go(ctx, key).Wait() }
 
 // GoJoin submits one asynchronous join probe: resolve key against the
-// dictionary, then aggregate over every matching build tuple. It must
-// not be called after Close, nor on a service built without a build
-// side (use NewJoin).
-func (s *Service) GoJoin(key uint64) *Future {
-	if !s.hasBuild {
-		panic("serve: GoJoin on a service without a build side")
-	}
-	if s.closed.Load() {
-		panic("serve: GoJoin after Close")
-	}
-	f := &Future{key: key, op: opJoin, enq: time.Now(), done: make(chan struct{})}
-	s.b.add(f)
-	return f
+// dictionary, then aggregate over every matching build tuple.
+func (s *Service) GoJoin(ctx context.Context, key uint64) *Future {
+	return s.Submit(ctx, Op{Kind: OpJoin, Key: key})
 }
 
 // Join is the synchronous convenience wrapper around GoJoin.
-func (s *Service) Join(key uint64) JoinResult { return s.GoJoin(key).WaitJoin() }
+func (s *Service) Join(ctx context.Context, key uint64) JoinResult {
+	return s.GoJoin(ctx, key).WaitJoin()
+}
 
 // dispatch hash-partitions one sealed admission batch into per-shard
 // sub-batches. Sends block when a shard queue is full — admission
@@ -366,28 +464,30 @@ func (s *Service) Join(key uint64) JoinResult { return s.GoJoin(key).WaitJoin() 
 func (s *Service) dispatch(batch []*Future) {
 	subs := make([][]*Future, len(s.shards))
 	for _, f := range batch {
-		i := shardOf(f.key, len(s.shards))
+		i := shardOf(f.op.Key, len(s.shards))
 		subs[i] = append(subs[i], f)
 	}
 	for i, sub := range subs {
 		if len(sub) > 0 {
-			s.shards[i].in <- sub
+			s.shards[i].in <- shardMsg{sub: sub}
 		}
 	}
 }
 
 // Close seals the pending admission batch, drains every shard, and stops
-// the shard goroutines. All futures submitted before Close complete.
-// Callers must ensure no Go is in flight or issued afterwards.
+// the shard goroutines. All requests submitted before Close complete.
+// Close is idempotent and safe to call concurrently (every call waits
+// for the shutdown to finish); callers must still ensure no submission
+// is in flight or issued afterwards.
 func (s *Service) Close() {
-	if s.closed.Swap(true) {
-		return
-	}
-	s.b.close()
-	for _, sh := range s.shards {
-		close(sh.in)
-	}
-	s.wg.Wait()
+	s.closeOnce.Do(func() {
+		s.closed.Store(true)
+		s.b.close()
+		for _, sh := range s.shards {
+			close(sh.in)
+		}
+		s.wg.Wait()
+	})
 }
 
 // Stats snapshots service metrics. Safe to call concurrently with
@@ -400,6 +500,7 @@ func (s *Service) Stats() Stats {
 		ss.GroupHistory = sh.ctl.History()
 		st.Shards = append(st.Shards, ss)
 		st.Items += ss.Items
+		st.Dropped += ss.Dropped
 		st.Joins += ss.Joins
 		st.JoinHits += ss.JoinHits
 		sh.met.hist.addTo(&counts)

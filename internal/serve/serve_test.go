@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"math/rand/v2"
 	"sync"
 	"testing"
@@ -35,10 +36,11 @@ func TestServiceCorrectUnderConcurrency(t *testing.T) {
 			cfg.Shards = 4
 			cfg.MaxBatch = 64
 			cfg.MaxWait = 200 * time.Microsecond
-			s, err := New(vals, cfg)
+			s, err := New(vals, WithConfig(cfg))
 			if err != nil {
 				t.Fatal(err)
 			}
+			ctx := context.Background()
 			var wg sync.WaitGroup
 			futs := make([][]*Future, workers)
 			for w := 0; w < workers; w++ {
@@ -50,7 +52,7 @@ func TestServiceCorrectUnderConcurrency(t *testing.T) {
 						// Mix of present keys, absent in-range keys, and
 						// out-of-range keys.
 						key := rng.Uint64N(domainN*step + 100)
-						futs[w] = append(futs[w], s.Go(key))
+						futs[w] = append(futs[w], s.Go(ctx, key))
 					}
 				}(w)
 			}
@@ -75,6 +77,9 @@ func TestServiceCorrectUnderConcurrency(t *testing.T) {
 			st := s.Stats()
 			if st.Items != workers*perW {
 				t.Fatalf("stats items=%d, want %d", st.Items, workers*perW)
+			}
+			if st.Dropped != 0 {
+				t.Fatalf("stats dropped=%d with no cancellations", st.Dropped)
 			}
 			perShard := map[int]uint64{}
 			for _, ss := range st.Shards {
@@ -102,11 +107,8 @@ func TestServiceCorrectUnderConcurrency(t *testing.T) {
 func TestServiceTinyDomainEmptyShards(t *testing.T) {
 	for _, kind := range []IndexKind{NativeSorted, SimMain, SimTree} {
 		t.Run(kind.String(), func(t *testing.T) {
-			cfg := DefaultConfig()
-			cfg.Kind = kind
-			cfg.Shards = 8
-			cfg.MaxWait = 50 * time.Microsecond
-			s, err := New([]uint64{10, 20}, cfg)
+			s, err := New([]uint64{10, 20},
+				WithBackend(kind), WithShards(8), WithAdmission(0, 50*time.Microsecond))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -117,7 +119,7 @@ func TestServiceTinyDomainEmptyShards(t *testing.T) {
 				15: {Code: NotFound},
 				0:  {Code: NotFound},
 			} {
-				if got := s.Lookup(key); got != want {
+				if got := s.Lookup(context.Background(), key); got != want {
 					t.Fatalf("lookup(%d) = %+v, want %+v", key, got, want)
 				}
 			}
@@ -126,23 +128,19 @@ func TestServiceTinyDomainEmptyShards(t *testing.T) {
 }
 
 func TestServiceTreeRejectsWideDomain(t *testing.T) {
-	cfg := DefaultConfig()
-	cfg.Kind = SimTree
-	if _, err := New([]uint64{1, 1 << 40}, cfg); err == nil {
+	if _, err := New([]uint64{1, 1 << 40}, WithBackend(SimTree)); err == nil {
 		t.Fatal("SimTree accepted a domain wider than uint32")
 	}
 }
 
 func TestServiceDedupAndUnsortedDomain(t *testing.T) {
-	cfg := DefaultConfig()
-	cfg.MaxWait = 50 * time.Microsecond
-	s, err := New([]uint64{30, 10, 20, 10, 30}, cfg)
+	s, err := New([]uint64{30, 10, 20, 10, 30}, WithAdmission(0, 50*time.Microsecond))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer s.Close()
 	for key, code := range map[uint64]uint32{10: 0, 20: 1, 30: 2} {
-		if got := s.Lookup(key); !got.Found || got.Code != code {
+		if got := s.Lookup(context.Background(), key); !got.Found || got.Code != code {
 			t.Fatalf("lookup(%d) = %+v, want code %d", key, got, code)
 		}
 	}
@@ -162,16 +160,48 @@ func TestServiceCloseRacesTimerFlush(t *testing.T) {
 		if cfg.MaxWait == 0 {
 			cfg.MaxWait = time.Microsecond
 		}
-		s, err := New(vals, cfg)
+		s, err := New(vals, WithConfig(cfg))
 		if err != nil {
 			t.Fatal(err)
 		}
-		f := s.Go(uint64(i % 64))
+		f := s.Go(context.Background(), uint64(i%64))
 		s.Close()
 		if r := f.Wait(); !r.Found || uint64(r.Code) != uint64(i%64) {
 			t.Fatalf("iter %d: future resolved %+v after Close race", i, r)
 		}
 	}
+}
+
+// TestServiceCloseIdempotent is the regression test for repeated and
+// concurrent Close calls: every call must return (after the shutdown
+// finishes) without panicking, and futures submitted before the first
+// Close must still complete.
+func TestServiceCloseIdempotent(t *testing.T) {
+	s, err := New(testDomain(64, 1), WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := s.Go(context.Background(), 7)
+	s.Close()
+	s.Close() // second sequential Close: must be a no-op
+	if r := f.Wait(); !r.Found || r.Code != 7 {
+		t.Fatalf("future after double Close = %+v", r)
+	}
+
+	s2, err := New(testDomain(8, 1), WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s2.Close() // concurrent Closes: all must return, none panic
+		}()
+	}
+	wg.Wait()
+	s2.Close()
 }
 
 // TestJoinServiceCorrectUnderConcurrency is the join acceptance check:
@@ -205,10 +235,11 @@ func TestJoinServiceCorrectUnderConcurrency(t *testing.T) {
 	cfg.Shards = 4
 	cfg.MaxBatch = 64
 	cfg.MaxWait = 100 * time.Microsecond
-	s, err := NewJoin(vals, build, cfg)
+	s, err := New(vals, WithConfig(cfg), WithBuild(build))
 	if err != nil {
 		t.Fatal(err)
 	}
+	ctx := context.Background()
 	var wg sync.WaitGroup
 	joinFuts := make([][]*Future, workers)
 	lookFuts := make([][]*Future, workers)
@@ -219,10 +250,10 @@ func TestJoinServiceCorrectUnderConcurrency(t *testing.T) {
 			rng := rand.New(rand.NewPCG(uint64(w), 42))
 			for i := 0; i < perW; i++ {
 				key := rng.Uint64N(domainN*step + 50)
-				joinFuts[w] = append(joinFuts[w], s.GoJoin(key))
+				joinFuts[w] = append(joinFuts[w], s.GoJoin(ctx, key))
 				// A join service still answers plain lookups in the same
 				// batches.
-				lookFuts[w] = append(lookFuts[w], s.Go(key))
+				lookFuts[w] = append(lookFuts[w], s.Go(ctx, key))
 			}
 		}(w)
 	}
@@ -272,53 +303,50 @@ func TestJoinServiceCorrectUnderConcurrency(t *testing.T) {
 // TestJoinServiceTinyDomain exercises empty shard partitions (both
 // dictionary and build side) on a join service.
 func TestJoinServiceTinyDomain(t *testing.T) {
-	cfg := DefaultConfig()
-	cfg.Shards = 8
-	cfg.MaxWait = 50 * time.Microsecond
-	s, err := NewJoin([]uint64{10, 20, 30},
-		[]BuildTuple{{Key: 10, Payload: 1}, {Key: 10, Payload: 2}, {Key: 30, Payload: 7}}, cfg)
+	s, err := New([]uint64{10, 20, 30},
+		WithShards(8), WithAdmission(0, 50*time.Microsecond),
+		WithBuild([]BuildTuple{{Key: 10, Payload: 1}, {Key: 10, Payload: 2}, {Key: 30, Payload: 7}}))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer s.Close()
+	ctx := context.Background()
 	for key, want := range map[uint64]JoinResult{
 		10: {Code: 0, Hits: 2, Agg: 3},
 		20: {Code: 1},
 		30: {Code: 2, Hits: 1, Agg: 7},
 		15: {Code: NotFound},
 	} {
-		if got := s.Join(key); got != want {
+		if got := s.Join(ctx, key); got != want {
 			t.Fatalf("join(%d) = %+v, want %+v", key, got, want)
 		}
 	}
-	if got := s.Lookup(20); !got.Found || got.Code != 1 {
+	if got := s.Lookup(ctx, 20); !got.Found || got.Code != 1 {
 		t.Fatalf("lookup(20) = %+v", got)
 	}
 }
 
 func TestJoinServiceEmptyBuild(t *testing.T) {
-	s, err := NewJoin(testDomain(100, 1), nil, DefaultConfig())
+	s, err := New(testDomain(100, 1), WithBuild(nil))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer s.Close()
-	if r := s.Join(5); r.Code != 5 || r.Found() || r.Hits != 0 {
+	if r := s.Join(context.Background(), 5); r.Code != 5 || r.Found() || r.Hits != 0 {
 		t.Fatalf("join on empty build side = %+v", r)
 	}
 }
 
 func TestJoinRequiresNativeBackend(t *testing.T) {
 	for _, kind := range []IndexKind{SimMain, SimTree} {
-		cfg := DefaultConfig()
-		cfg.Kind = kind
-		if _, err := NewJoin(testDomain(10, 1), nil, cfg); err == nil {
-			t.Fatalf("NewJoin accepted the %s backend", kind)
+		if _, err := New(testDomain(10, 1), WithBackend(kind), WithBuild(nil)); err == nil {
+			t.Fatalf("WithBuild accepted the %s backend", kind)
 		}
 	}
 }
 
 func TestGoJoinOnLookupServicePanics(t *testing.T) {
-	s, err := New(testDomain(10, 1), DefaultConfig())
+	s, err := New(testDomain(10, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +356,7 @@ func TestGoJoinOnLookupServicePanics(t *testing.T) {
 			t.Fatal("GoJoin on a lookup-only service did not panic")
 		}
 	}()
-	s.GoJoin(1)
+	s.GoJoin(context.Background(), 1)
 }
 
 // TestJoinServiceAdaptiveControllerRuns drives the adaptive controller
@@ -350,13 +378,14 @@ func TestJoinServiceAdaptiveControllerRuns(t *testing.T) {
 	cfg.MaxBatch = 128
 	cfg.MaxWait = 100 * time.Microsecond
 	cfg.AdaptEvery = 2
-	s, err := NewJoin(vals, build, cfg)
+	s, err := New(vals, WithConfig(cfg), WithBuild(build))
 	if err != nil {
 		t.Fatal(err)
 	}
+	ctx := context.Background()
 	var futs []*Future
 	for i := 0; i < 20000; i++ {
-		futs = append(futs, s.GoJoin(rng.Uint64N(domainN+100)))
+		futs = append(futs, s.GoJoin(ctx, rng.Uint64N(domainN+100)))
 	}
 	for _, f := range futs {
 		f.WaitJoin()
@@ -378,7 +407,7 @@ func TestJoinServiceAdaptiveControllerRuns(t *testing.T) {
 }
 
 func TestServiceGoAfterClosePanics(t *testing.T) {
-	s, err := New(testDomain(10, 1), DefaultConfig())
+	s, err := New(testDomain(10, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -388,7 +417,21 @@ func TestServiceGoAfterClosePanics(t *testing.T) {
 			t.Fatal("Go after Close did not panic")
 		}
 	}()
-	s.Go(1)
+	s.Go(context.Background(), 1)
+}
+
+func TestSubmitUnknownOpKindPanics(t *testing.T) {
+	s, err := New(testDomain(10, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Submit of an unknown op kind did not panic")
+		}
+	}()
+	s.Submit(context.Background(), Op{Kind: nOpKinds + 3, Key: 1})
 }
 
 func TestBatcherSizeBound(t *testing.T) {
@@ -400,7 +443,7 @@ func TestBatcherSizeBound(t *testing.T) {
 		mu.Unlock()
 	})
 	for i := 0; i < 10; i++ {
-		b.add(&Future{key: uint64(i)})
+		b.add(&Future{op: Op{Key: uint64(i)}})
 	}
 	mu.Lock()
 	got := len(batches)
@@ -419,7 +462,7 @@ func TestBatcherSizeBound(t *testing.T) {
 func TestBatcherTimeBound(t *testing.T) {
 	done := make(chan []*Future, 1)
 	b := newBatcher(1000, 5*time.Millisecond, func(fs []*Future) { done <- fs })
-	b.add(&Future{key: 1})
+	b.add(&Future{op: Op{Key: 1}})
 	select {
 	case fs := <-done:
 		if len(fs) != 1 {
@@ -531,13 +574,14 @@ func TestServiceAdaptiveControllerRuns(t *testing.T) {
 	cfg.MaxBatch = 128
 	cfg.MaxWait = 100 * time.Microsecond
 	cfg.AdaptEvery = 2
-	s, err := New(testDomain(1<<16, 1), cfg)
+	s, err := New(testDomain(1<<16, 1), WithConfig(cfg))
 	if err != nil {
 		t.Fatal(err)
 	}
+	ctx := context.Background()
 	var futs []*Future
 	for i := 0; i < 20000; i++ {
-		futs = append(futs, s.Go(uint64(i%(1<<17))))
+		futs = append(futs, s.Go(ctx, uint64(i%(1<<17))))
 	}
 	for _, f := range futs {
 		f.Wait()

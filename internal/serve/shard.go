@@ -18,7 +18,7 @@ import (
 // join, with the paper's coroutine interleaving inside each core.
 type shard struct {
 	id int
-	in chan []*Future
+	in chan shardMsg
 	// idx serves lookup-only services; joinIdx (non-nil on a join
 	// service) drains mixed lookup/join batches through the composite
 	// dictionary→probe frames.
@@ -26,6 +26,21 @@ type shard struct {
 	joinIdx *nativeJoinIndex
 	ctl     *controller
 	met     *shardMetrics
+
+	// Point-path scratch, reused across sub-batches (shard-local).
+	keys []uint64
+	out  []Result
+	live []*Future
+}
+
+// shardMsg is one unit of shard work: either a point sub-batch (sub) or
+// a contiguous segment [lo, hi) of a vectorized batch's partitioned key
+// column (bf). Sent by value, so vectorized dispatch allocates nothing
+// per shard.
+type shardMsg struct {
+	sub    []*Future
+	bf     *BatchFuture
+	lo, hi int
 }
 
 // shardIndex resolves one batch of keys with the given interleaving group
@@ -36,48 +51,123 @@ type shardIndex interface {
 	lookupBatch(keys []uint64, group int, out []Result) float64
 }
 
-// run drains sub-batches until the queue closes. All per-batch scratch is
-// shard-local and reused.
+// run drains point sub-batches and vectorized segments until the queue
+// closes.
 func (sh *shard) run(wg *sync.WaitGroup) {
 	defer wg.Done()
-	var keys []uint64
-	var out []Result
-	for sub := range sh.in {
-		n := len(sub)
-		g := sh.ctl.Group()
-		t0 := time.Now()
-		var cost float64
-		if sh.joinIdx != nil {
-			cost = sh.joinIdx.drainBatch(sub, g)
+	for msg := range sh.in {
+		if msg.bf != nil {
+			sh.drainSegment(msg.bf, msg.lo, msg.hi)
 		} else {
-			if cap(keys) < n {
-				keys = make([]uint64, n)
-				out = make([]Result, n)
-			}
-			keys, out = keys[:n], out[:n]
-			for i, f := range sub {
-				keys[i] = f.key
-			}
-			cost = sh.idx.lookupBatch(keys, g, out)
-			for i, f := range sub {
-				f.res = out[i]
+			sh.drainPoint(msg.sub)
+		}
+	}
+}
+
+// drainPoint resolves one point sub-batch. Requests whose context is
+// already cancelled are dropped before the kernel runs — marked, never
+// probed, counted — and complete with a Dropped result.
+func (sh *shard) drainPoint(sub []*Future) {
+	var dropped uint64
+	for _, f := range sub {
+		if f.ctx != nil && f.ctx.Err() != nil {
+			f.dropped = true
+			dropped++
+		}
+	}
+	n := len(sub) - int(dropped)
+	g := sh.ctl.Group()
+	t0 := time.Now()
+	var cost float64
+	if sh.joinIdx != nil {
+		// The composite drain skips dropped futures through the nil-start
+		// contract of coro.Drainer.DrainSlots.
+		cost = sh.joinIdx.drainBatch(sub, g)
+	} else if n > 0 {
+		if cap(sh.keys) < n {
+			sh.keys = make([]uint64, n)
+			sh.out = make([]Result, n)
+			sh.live = make([]*Future, n)
+		}
+		keys, out, live := sh.keys[:0], sh.out[:n], sh.live[:0]
+		for _, f := range sub {
+			if !f.dropped {
+				keys = append(keys, f.op.Key)
+				live = append(live, f)
 			}
 		}
-		busy := time.Since(t0)
-		now := time.Now()
-		var joins, hits uint64
-		for _, f := range sub {
-			if f.op == opJoin {
+		cost = sh.idx.lookupBatch(keys, g, out)
+		for i, f := range live {
+			f.res = out[i]
+		}
+		clear(sh.live[:len(live)]) // drop future references between batches
+	}
+	busy := time.Since(t0)
+	now := time.Now()
+	var joins, hits uint64
+	for _, f := range sub {
+		if f.dropped {
+			f.res = Result{Code: NotFound, Dropped: true}
+			if f.op.Kind == OpJoin {
+				f.jres = JoinResult{Code: NotFound, Dropped: true}
+			}
+		} else {
+			if f.op.Kind == OpJoin {
 				joins++
 				hits += uint64(f.jres.Hits)
 			}
-			close(f.done)
 			sh.met.hist.record(now.Sub(f.enq))
 		}
+		close(f.done)
+	}
+	if n > 0 {
 		sh.met.recordBatch(n, g, busy)
 		sh.met.recordJoins(joins, hits)
 		sh.ctl.observe(n, cost)
 	}
+	sh.met.recordDropped(dropped)
+}
+
+// drainSegment resolves one shard segment of a vectorized batch,
+// writing results (and join outcomes and streamed matches) straight
+// into the batch's caller-visible slices. A segment whose context is
+// already cancelled is dropped whole: it never reaches the kernel.
+func (sh *shard) drainSegment(bf *BatchFuture, lo, hi int) {
+	n := hi - lo
+	if bf.ctx != nil && bf.ctx.Err() != nil {
+		for i := lo; i < hi; i++ {
+			bf.res[i] = Result{Code: NotFound, Dropped: true}
+		}
+		if bf.jres != nil {
+			for i := lo; i < hi; i++ {
+				bf.jres[i] = JoinResult{Code: NotFound, Dropped: true}
+			}
+		}
+		sh.met.recordDropped(uint64(n))
+		bf.segDone(uint64(n))
+		return
+	}
+	g := sh.ctl.Group()
+	t0 := time.Now()
+	var cost float64
+	var joins, hits uint64
+	if sh.joinIdx != nil {
+		cost = sh.joinIdx.drainSegment(bf, sh.id, lo, hi, g)
+		if bf.kind == OpJoin {
+			joins = uint64(n)
+			for i := lo; i < hi; i++ {
+				hits += uint64(bf.jres[i].Hits)
+			}
+		}
+	} else {
+		cost = sh.idx.lookupBatch(bf.keys[lo:hi], g, bf.res[lo:hi])
+	}
+	busy := time.Since(t0)
+	sh.met.hist.recordN(time.Since(bf.enq), uint64(n))
+	sh.met.recordBatch(n, g, busy)
+	sh.met.recordJoins(joins, hits)
+	sh.ctl.observe(n, cost)
+	bf.segDone(0)
 }
 
 // newShardIndex builds shard i's index over its local (sorted) values and
@@ -89,6 +179,7 @@ func newShardIndex(cfg Config, i int, vals []uint64, codes []uint32) (shardIndex
 			table: vals,
 			codes: codes,
 			d:     coro.NewDrainer[int](cfg.MaxGroup),
+			pool:  coro.NewSlotPool(func(c *native.SearchCursor) func() (int, bool) { return c.Step }),
 		}, nil
 	case SimMain:
 		simCfg := memsim.DefaultConfig()
@@ -115,12 +206,14 @@ func (e errUnknownKind) Error() string { return "serve: unknown index kind " + I
 
 // nativeIndex is the real-hardware backend: a sorted slice probed by the
 // frame-coroutine binary search of internal/native, drained through a
-// reusable coro.Drainer so per-batch scheduler state is recycled. The
-// cost unit is wall nanoseconds.
+// reusable coro.Drainer with one slot-recycled SearchCursor per
+// scheduler slot — the steady-state drain allocates nothing per key.
+// The cost unit is wall nanoseconds.
 type nativeIndex struct {
 	table []uint64
 	codes []uint32
 	d     *coro.Drainer[int]
+	pool  *coro.SlotPool[native.SearchCursor, int]
 }
 
 func (x *nativeIndex) lookupBatch(keys []uint64, group int, out []Result) float64 {
@@ -131,8 +224,12 @@ func (x *nativeIndex) lookupBatch(keys []uint64, group int, out []Result) float6
 		}
 		return float64(time.Since(t0))
 	}
-	x.d.Drain(len(keys), group,
-		func(i int) coro.Handle[int] { return native.CoroFrameLookup(x.table, keys[i]) },
+	x.d.DrainSlots(len(keys), group,
+		func(slot, i int) coro.Handle[int] {
+			c, h := x.pool.Slot(slot)
+			*c = native.StartSearch(x.table, keys[i])
+			return h
+		},
 		func(i, low int) {
 			if x.table[low] == keys[i] {
 				out[i] = Result{Code: x.codes[low], Found: true}

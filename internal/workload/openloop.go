@@ -75,11 +75,35 @@ type OpenLoop struct {
 // against the wall clock, so a worker that falls behind (an oversleep or
 // a slow submit) bursts to catch up — open-loop semantics.
 func (o OpenLoop) Run(source func(worker int) func() uint64, submit func(key uint64)) int {
+	return o.run(1, source, func(keys []uint64) { submit(keys[0]) })
+}
+
+// RunBatches is Run for vectorized submission: each worker fills a
+// reusable batch-sized key buffer from its source and submits the whole
+// vector in one call — the load shape of a client that drains probe
+// columns through serve.SubmitBatch rather than point ops. Pacing
+// charges one arrival per *batch* at an aggregate rate of Rate/batch
+// batches per second, so the key rate matches Run's at equal Rate.
+// submit must be finished with the buffer when it returns (the worker
+// refills it in place for the next batch); a submit handing the buffer
+// to an asynchronous consumer — serve.SubmitBatch partitions it in
+// place and owns it until completion — must wait for that consumer.
+// Returns total keys submitted.
+func (o OpenLoop) RunBatches(batch int, source func(worker int) func() uint64, submit func(keys []uint64)) int {
+	if batch < 1 {
+		batch = 1
+	}
+	return o.run(batch, source, submit)
+}
+
+// run is the shared generator loop: batch keys per arrival, Rate keys
+// per second in aggregate across workers.
+func (o OpenLoop) run(batch int, source func(worker int) func() uint64, submit func(keys []uint64)) int {
 	workers := o.Workers
 	if workers < 1 {
 		workers = 1
 	}
-	perWorker := o.Rate / float64(workers)
+	perWorker := o.Rate / float64(workers) / float64(batch)
 	start := time.Now()
 	deadline := start.Add(o.Duration)
 	var total atomic.Int64
@@ -90,6 +114,7 @@ func (o OpenLoop) Run(source func(worker int) func() uint64, submit func(key uin
 			defer wg.Done()
 			next := source(w)
 			rng := rand.New(rand.NewPCG(o.Seed+uint64(w), o.Seed^0x9e3779b97f4a7c15))
+			buf := make([]uint64, batch)
 			due := start
 			n := int64(0)
 			for {
@@ -110,8 +135,11 @@ func (o OpenLoop) Run(source func(worker int) func() uint64, submit func(key uin
 				if !time.Now().Before(deadline) {
 					break
 				}
-				submit(next())
-				n++
+				for i := range buf {
+					buf[i] = next()
+				}
+				submit(buf)
+				n += int64(batch)
 			}
 			total.Add(n)
 		}(w)
