@@ -25,6 +25,14 @@
 // per-batch context deadline; batches whose deadline passes before a
 // shard drains them are dropped unprobed and show up in the report.
 //
+// -writes F turns a fraction F of the point-mode stream into dictionary
+// writes (workload.OpMix): inserts (half of them fresh keys above the
+// domain by default, tune with -fresh) and deletes (-deletes fraction of
+// the writes). Writes land in per-shard deltas and are folded into the
+// shard index by background epoch rebuilds every -rebuild writes; the
+// report adds applied-write counts, per-shard epochs, and the rebuild
+// pauses (total and max) the installs cost the serving goroutines.
+//
 // Usage:
 //
 //	isiserve -shards 4 -duration 2s
@@ -33,6 +41,7 @@
 //	isiserve -vector 4096 -rate 0          # vectorized column admission
 //	isiserve -mode join -dict 64 -build 256 -rate 0
 //	isiserve -mode join -vector 4096 -deadline 2ms -rate 0
+//	isiserve -writes 0.2 -rebuild 4096 -rate 0   # read-write serving
 //
 // The memsim-backed kinds (-index main|tree) spend host time simulating
 // every probe, so drive them at far lower -dict and -rate than the
@@ -75,6 +84,10 @@ func main() {
 		zipfFrac = flag.Float64("zipf", 0.5, "fraction of keys drawn from the Zipf hot set")
 		zipfS    = flag.Float64("theta", 1.2, "Zipf exponent (>1)")
 		miss     = flag.Float64("miss", 0.1, "fraction of generated keys that are absent")
+		writes   = flag.Float64("writes", 0, "fraction of point-mode requests that are dictionary writes (0 = read-only)")
+		deletes  = flag.Float64("deletes", 0.25, "fraction of writes that are deletes (rest are inserts)")
+		freshIns = flag.Float64("fresh", 0.5, "fraction of inserts targeting fresh keys above the domain")
+		rebuild  = flag.Int("rebuild", 0, "per-shard delta size triggering a background epoch rebuild (0 = default 4096, <0 disables)")
 		seed     = flag.Uint64("seed", 7, "workload seed")
 	)
 	flag.Parse()
@@ -103,16 +116,17 @@ func main() {
 	}
 
 	cfg := serve.Config{
-		Shards:     *shards,
-		Kind:       kind,
-		MaxBatch:   *batch,
-		MaxWait:    *wait,
-		Group:      *group,
-		MinGroup:   *minGroup,
-		MaxGroup:   *maxGroup,
-		Adaptive:   *adaptive,
-		AdaptEvery: *epoch,
-		SimSeed:    *seed,
+		Shards:           *shards,
+		Kind:             kind,
+		MaxBatch:         *batch,
+		MaxWait:          *wait,
+		Group:            *group,
+		MinGroup:         *minGroup,
+		MaxGroup:         *maxGroup,
+		Adaptive:         *adaptive,
+		AdaptEvery:       *epoch,
+		SimSeed:          *seed,
+		RebuildThreshold: *rebuild,
 	}
 	join := false
 	switch *mode {
@@ -131,6 +145,14 @@ func main() {
 	}
 	if *deadline > 0 && *vector <= 0 {
 		fmt.Fprintln(os.Stderr, "isiserve: -deadline requires -vector")
+		os.Exit(2)
+	}
+	if *writes > 0 && *vector > 0 {
+		fmt.Fprintln(os.Stderr, "isiserve: -writes is a point-mode feature (drop -vector)")
+		os.Exit(2)
+	}
+	if *writes > 0 && kind == serve.SimTree && uint64(2*n)*2 > uint64(^uint32(0)) {
+		fmt.Fprintln(os.Stderr, "isiserve: -writes with -index tree needs a domain whose fresh keys fit uint32 (shrink -dict)")
 		os.Exit(2)
 	}
 	admission := "point"
@@ -170,6 +192,22 @@ func main() {
 			return key
 		}
 	}
+	// Read/write point mode: OpMix streams encode the op kind in the top
+	// two key bits (the domain keys sit far below 2^62), so the shared
+	// open-loop generator needs no op-aware plumbing.
+	const opShift = 62
+	opSource := func(w int) func() uint64 {
+		mix := workload.NewOpMix(*seed+uint64(w)*101, n, *zipfFrac, *zipfS, *writes, *deletes, *freshIns)
+		missMix := workload.NewKeyMix(*seed^uint64(w)*977, 1<<20, 0, 0)
+		return func() uint64 {
+			op, idx, _ := mix.Next()
+			key := uint64(idx) * 2
+			if op == workload.MixRead && *miss > 0 && float64(missMix.Next())/float64(1<<20) < *miss {
+				key++ // odd: verifiably absent
+			}
+			return key | uint64(op)<<opShift
+		}
+	}
 	ctx := context.Background()
 	start := time.Now()
 	var submitted int
@@ -191,6 +229,24 @@ func main() {
 			bf.Wait()
 			if cancel != nil {
 				cancel()
+			}
+		})
+	} else if *writes > 0 {
+		submitted = gen.Run(opSource, func(enc uint64) {
+			key := enc &^ (3 << opShift)
+			switch workload.MixOp(enc >> opShift) {
+			case workload.MixInsert:
+				// The load value is derived from the key; the service only
+				// cares that it is a valid (non-sentinel) code.
+				svc.Insert(ctx, key, uint32(key/2))
+			case workload.MixDelete:
+				svc.Delete(ctx, key)
+			default:
+				if join {
+					svc.GoJoin(ctx, key)
+				} else {
+					svc.Go(ctx, key)
+				}
 			}
 		})
 	} else {
@@ -241,6 +297,20 @@ func main() {
 		}
 		fmt.Printf("\ntotal: %d items, %d dropped, p50 %v, p99 %v\n",
 			st.Items, st.Dropped, st.P50.Round(time.Microsecond), st.P99.Round(time.Microsecond))
+	}
+
+	if *writes > 0 {
+		fmt.Printf("\nwrites: %d inserts, %d deletes applied; epoch rebuilds per shard:\n",
+			st.Inserts, st.Deletes)
+		fmt.Printf("%-6s %8s %9s %8s %12s %12s\n",
+			"shard", "epoch", "rebuilds", "delta", "pause-total", "pause-max")
+		for _, ss := range st.Shards {
+			fmt.Printf("%-6d %8d %9d %8d %12v %12v\n",
+				ss.Shard, ss.Epoch, ss.Rebuilds, ss.DeltaLen,
+				ss.RebuildPause.Round(time.Microsecond), ss.MaxRebuildPause.Round(time.Microsecond))
+		}
+		fmt.Printf("total: %d rebuilds, pause total %v, worst single pause %v\n",
+			st.Rebuilds, st.RebuildPause.Round(time.Microsecond), st.MaxRebuildPause.Round(time.Microsecond))
 	}
 
 	if *adaptive {

@@ -1,0 +1,88 @@
+// Online writes: serve lookups and joins from internal/serve while the
+// dictionary mutates underneath them. Inserts and deletes land in
+// per-shard sorted deltas (probed delta-then-main by the same coroutine
+// drains that serve reads), and a background epoch manager bulk-merges
+// each full delta into the shard's index, publishing the merged snapshot
+// through an atomic epoch pointer — reads never block on writes, writes
+// never block on reads, and the report at the end shows the rebuild
+// pauses the installs actually cost.
+package main
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	// A small domain of even values: value 2i has code i, odd keys miss.
+	values := make([]uint64, 1<<16)
+	for i := range values {
+		values[i] = uint64(i) * 2
+	}
+	// Build side on the first few codes, to show joins tracking writes.
+	build := []serve.BuildTuple{
+		{Key: 0, Payload: 100}, {Key: 0, Payload: 150}, // code 0
+		{Key: 2, Payload: 9}, // code 1
+	}
+	svc, err := serve.New(values,
+		serve.WithShards(4),
+		serve.WithBuild(build),
+		serve.WithRebuildThreshold(256), // small, to force visible rebuilds
+	)
+	if err != nil {
+		panic(err)
+	}
+	defer svc.Close()
+	ctx := context.Background()
+
+	fmt.Println("== before any write ==")
+	fmt.Printf("lookup(4)  = %+v   (code 2)\n", svc.Lookup(ctx, 4))
+	fmt.Printf("join(0)    = %+v   (two build tuples on code 0)\n", svc.Join(ctx, 0))
+	fmt.Printf("lookup(99) = %+v  (odd: absent)\n", svc.Lookup(ctx, 99))
+
+	fmt.Println("\n== point writes: upsert, fresh insert, delete ==")
+	svc.Insert(ctx, 99, 7).Wait() // fresh key
+	svc.Delete(ctx, 4).Wait()     // mask a domain key
+	fmt.Printf("lookup(99) = %+v   (inserted)\n", svc.Lookup(ctx, 99))
+	fmt.Printf("lookup(4)  = %+v  (deleted)\n", svc.Lookup(ctx, 4))
+	// Re-inserting a key with its original code restores its join chain.
+	svc.Delete(ctx, 0).Wait()
+	fmt.Printf("join(0)    = %+v  (deleted: no matches)\n", svc.Join(ctx, 0))
+	svc.Insert(ctx, 0, 0).Wait()
+	fmt.Printf("join(0)    = %+v   (restored)\n", svc.Join(ctx, 0))
+
+	fmt.Println("\n== vectorized writes + reads while epochs rebuild ==")
+	start := time.Now()
+	const rounds, batch = 40, 512
+	ops := make([]serve.Op, batch)
+	probe := make([]uint64, batch)
+	for r := 0; r < rounds; r++ {
+		for i := range ops {
+			k := uint64(1<<20 + r*batch + i) // fresh keys, growing the domain
+			ops[i] = serve.Op{Kind: serve.OpInsert, Key: k, Val: uint32(k % 1000)}
+		}
+		svc.ApplyBatch(ctx, ops).Wait()
+		for i := range probe {
+			probe[i] = uint64(1<<20 + r*batch + i)
+		}
+		res := svc.GoBatch(ctx, probe).Wait()
+		for i, r := range res {
+			if !r.Found || r.Code != uint32(probe[i]%1000) {
+				panic(fmt.Sprintf("read-your-writes violated at key %d: %+v", probe[i], r))
+			}
+		}
+	}
+	elapsed := time.Since(start)
+
+	st := svc.Stats()
+	fmt.Printf("applied %d inserts + %d deletes in %v alongside reads\n",
+		st.Inserts, st.Deletes, elapsed.Round(time.Millisecond))
+	fmt.Printf("epoch rebuilds: %d installs, total pause %v, worst single pause %v\n",
+		st.Rebuilds, st.RebuildPause.Round(time.Microsecond), st.MaxRebuildPause.Round(time.Microsecond))
+	for _, ss := range st.Shards {
+		fmt.Printf("  shard %d: epoch %d, delta %d pending writes\n", ss.Shard, ss.Epoch, ss.DeltaLen)
+	}
+}

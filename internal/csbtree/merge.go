@@ -1,0 +1,85 @@
+package csbtree
+
+import "repro/internal/memsim"
+
+// This file is the incremental bulk-merge entry point for epoch rebuilds
+// (internal/serve): rather than re-sorting the whole domain, a rebuild
+// walks the existing tree's entries in key order, merges them with a
+// sorted write batch, and bulk-loads the result bottom-up. Like BulkLoad,
+// the merge is host-time work — building the index is not part of any
+// measured region — so only the resulting tree's probes are charged
+// through the simulated hierarchy.
+
+// Entries returns the tree's (key, value) pairs in ascending key order,
+// read host-side (no engine charges). For CodeLeaves the value is the
+// dictionary code.
+func (t *Tree) Entries() (keys, vals []uint32) {
+	if t.count == 0 {
+		return nil, nil
+	}
+	keys = make([]uint32, 0, t.count)
+	vals = make([]uint32, 0, t.count)
+	var walk func(node, lvl int)
+	walk = func(node, lvl int) {
+		if lvl == 0 {
+			for k := 0; k < t.lfNKeys(node); k++ {
+				keys = append(keys, t.lfKey(node, k))
+				vals = append(vals, t.lfVal(node, k))
+			}
+			return
+		}
+		fc := t.inChild(node)
+		for ci := 0; ci <= t.inNKeys(node); ci++ {
+			walk(fc+ci, lvl-1)
+		}
+	}
+	walk(t.root, t.height)
+	return keys, vals
+}
+
+// BulkMerge builds a new tree holding t's entries merged with a sorted
+// write batch: upKeys must be strictly increasing, upVals their values,
+// and del[i] marks upKeys[i] as a delete (dropping the key; deleting an
+// absent key is a no-op). An upsert of a present key replaces its value.
+// t is left untouched — the caller publishes the returned tree and may
+// keep probing the old one until then — and the new tree is built on e
+// (normally t's engine) with t's kind and (for CodeLeaves) dictionary.
+func BulkMerge(e *memsim.Engine, t *Tree, upKeys, upVals []uint32, del []bool) *Tree {
+	if len(upKeys) != len(upVals) || len(upKeys) != len(del) {
+		panic("csbtree: BulkMerge upKeys/upVals/del length mismatch")
+	}
+	keys, vals := t.Entries()
+	mergedK := make([]uint32, 0, len(keys)+len(upKeys))
+	mergedV := make([]uint32, 0, len(keys)+len(upKeys))
+	i, j := 0, 0
+	for i < len(keys) && j < len(upKeys) {
+		switch {
+		case keys[i] < upKeys[j]:
+			mergedK = append(mergedK, keys[i])
+			mergedV = append(mergedV, vals[i])
+			i++
+		case keys[i] > upKeys[j]:
+			if !del[j] {
+				mergedK = append(mergedK, upKeys[j])
+				mergedV = append(mergedV, upVals[j])
+			}
+			j++
+		default:
+			if !del[j] {
+				mergedK = append(mergedK, upKeys[j])
+				mergedV = append(mergedV, upVals[j])
+			}
+			i++
+			j++
+		}
+	}
+	mergedK = append(mergedK, keys[i:]...)
+	mergedV = append(mergedV, vals[i:]...)
+	for ; j < len(upKeys); j++ {
+		if !del[j] {
+			mergedK = append(mergedK, upKeys[j])
+			mergedV = append(mergedV, upVals[j])
+		}
+	}
+	return BulkLoad(e, t.kind, mergedK, mergedV, t.dict)
+}

@@ -1,0 +1,123 @@
+package csbtree
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+)
+
+func TestEntriesInOrder(t *testing.T) {
+	e := newEngine()
+	keys := seqKeys(500, 3)
+	tr := buildValueTree(e, keys)
+	// Inserts (with splits) must not disturb the in-order walk.
+	for _, k := range []uint32{1, 700, 44, 1600} {
+		tr.Insert(k, k*2)
+	}
+	gotK, gotV := tr.Entries()
+	wantK := append(slices.Clone(keys), 1, 700, 44, 1600)
+	slices.Sort(wantK)
+	if !slices.Equal(gotK, wantK) {
+		t.Fatalf("Entries keys diverge: got %d keys, want %d", len(gotK), len(wantK))
+	}
+	for i, k := range gotK {
+		if gotV[i] != k*2 {
+			t.Fatalf("Entries val for key %d = %d, want %d", k, gotV[i], k*2)
+		}
+	}
+	ek, ev := New(e, ValueLeaves, 0, nil).Entries()
+	if len(ek) != 0 || len(ev) != 0 {
+		t.Fatalf("empty tree Entries = %d/%d entries", len(ek), len(ev))
+	}
+}
+
+// TestBulkMergeVsMap drives BulkMerge over several generations of random
+// upsert/delete batches and checks the merged tree against a map
+// reference: exact contents (via Entries), structural integrity (Check),
+// and point lookups through the charged path.
+func TestBulkMergeVsMap(t *testing.T) {
+	e := newEngine()
+	costs := DefaultCosts()
+	rng := rand.New(rand.NewPCG(11, 13))
+	ref := map[uint32]uint32{}
+	keys := seqKeys(300, 2)
+	vals := make([]uint32, len(keys))
+	for i, k := range keys {
+		vals[i] = k + 7
+		ref[k] = k + 7
+	}
+	tr := BulkLoad(e, ValueLeaves, keys, vals, nil)
+	for gen := 0; gen < 10; gen++ {
+		n := 1 + int(rng.Uint64N(80))
+		batch := map[uint32]struct {
+			val uint32
+			del bool
+		}{}
+		for i := 0; i < n; i++ {
+			k := uint32(rng.Uint64N(900))
+			batch[k] = struct {
+				val uint32
+				del bool
+			}{val: rng.Uint32(), del: rng.Uint64N(4) == 0}
+		}
+		upKeys := make([]uint32, 0, len(batch))
+		for k := range batch {
+			upKeys = append(upKeys, k)
+		}
+		slices.Sort(upKeys)
+		upVals := make([]uint32, len(upKeys))
+		del := make([]bool, len(upKeys))
+		for i, k := range upKeys {
+			upVals[i] = batch[k].val
+			del[i] = batch[k].del
+			if batch[k].del {
+				delete(ref, k)
+			} else {
+				ref[k] = batch[k].val
+			}
+		}
+		tr = BulkMerge(e, tr, upKeys, upVals, del)
+		if err := tr.Check(); err != nil {
+			t.Fatalf("gen %d: merged tree invalid: %v", gen, err)
+		}
+		gotK, gotV := tr.Entries()
+		if len(gotK) != len(ref) {
+			t.Fatalf("gen %d: merged tree has %d keys, reference %d", gen, len(gotK), len(ref))
+		}
+		for i, k := range gotK {
+			if want, ok := ref[k]; !ok || gotV[i] != want {
+				t.Fatalf("gen %d: key %d = %d, reference %d (present %v)", gen, k, gotV[i], want, ok)
+			}
+		}
+		// Probe a sample through the charged lookup path.
+		for i := 0; i < 50; i++ {
+			k := uint32(rng.Uint64N(900))
+			v, found := tr.Lookup(e, costs, k)
+			want, ok := ref[k]
+			if found != ok || (ok && v != want) {
+				t.Fatalf("gen %d: lookup(%d) = %d/%v, reference %d (present %v)", gen, k, v, found, want, ok)
+			}
+		}
+	}
+}
+
+// TestBulkMergeEmptyBatchAndEmptyTree covers the degenerate merges: an
+// empty batch copies the tree; merging into an empty tree bulk-loads the
+// batch alone.
+func TestBulkMergeEmptyBatchAndEmptyTree(t *testing.T) {
+	e := newEngine()
+	tr := buildValueTree(e, seqKeys(50, 5))
+	copied := BulkMerge(e, tr, nil, nil, nil)
+	k1, v1 := tr.Entries()
+	k2, v2 := copied.Entries()
+	if !slices.Equal(k1, k2) || !slices.Equal(v1, v2) {
+		t.Fatal("empty-batch merge diverged from source tree")
+	}
+
+	empty := New(e, ValueLeaves, 0, nil)
+	loaded := BulkMerge(e, empty, []uint32{3, 9}, []uint32{30, 90}, []bool{false, false})
+	gk, gv := loaded.Entries()
+	if !slices.Equal(gk, []uint32{3, 9}) || !slices.Equal(gv, []uint32{30, 90}) {
+		t.Fatalf("merge into empty tree = %v/%v", gk, gv)
+	}
+}

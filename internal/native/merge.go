@@ -1,0 +1,55 @@
+package native
+
+// MergeSorted is the bulk-merge entry point for epoch rebuilds
+// (internal/serve): it merges a sorted dictionary column — keys with a
+// parallel value column — with a sorted write batch of upserts and
+// deletes into fresh slices, leaving both inputs untouched. The inputs
+// therefore stay live for concurrent readers while the merge runs on a
+// background goroutine, which is what lets a serving shard keep probing
+// its published snapshot until the merged one is installed.
+//
+// keys and upKeys must each be strictly increasing; del[i] marks upKeys[i]
+// as a delete (the key is dropped from the output; deleting an absent key
+// is a no-op). An upsert of an existing key replaces its value in place —
+// the output key multiset is keys ∪ upKeys minus the deleted keys.
+func MergeSorted(keys []uint64, vals []uint32, upKeys []uint64, upVals []uint32, del []bool) ([]uint64, []uint32) {
+	if len(keys) != len(vals) {
+		panic("native: MergeSorted keys/vals length mismatch")
+	}
+	if len(upKeys) != len(upVals) || len(upKeys) != len(del) {
+		panic("native: MergeSorted upKeys/upVals/del length mismatch")
+	}
+	outK := make([]uint64, 0, len(keys)+len(upKeys))
+	outV := make([]uint32, 0, len(keys)+len(upKeys))
+	i, j := 0, 0
+	for i < len(keys) && j < len(upKeys) {
+		switch {
+		case keys[i] < upKeys[j]:
+			outK = append(outK, keys[i])
+			outV = append(outV, vals[i])
+			i++
+		case keys[i] > upKeys[j]:
+			if !del[j] {
+				outK = append(outK, upKeys[j])
+				outV = append(outV, upVals[j])
+			}
+			j++
+		default: // the write batch overrides the main column
+			if !del[j] {
+				outK = append(outK, upKeys[j])
+				outV = append(outV, upVals[j])
+			}
+			i++
+			j++
+		}
+	}
+	outK = append(outK, keys[i:]...)
+	outV = append(outV, vals[i:]...)
+	for ; j < len(upKeys); j++ {
+		if !del[j] {
+			outK = append(outK, upKeys[j])
+			outV = append(outV, upVals[j])
+		}
+	}
+	return outK, outV
+}

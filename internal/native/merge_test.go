@@ -1,0 +1,113 @@
+package native
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+)
+
+func TestMergeSortedBasic(t *testing.T) {
+	cases := []struct {
+		name   string
+		keys   []uint64
+		vals   []uint32
+		upKeys []uint64
+		upVals []uint32
+		del    []bool
+		wantK  []uint64
+		wantV  []uint32
+	}{
+		{name: "empty both"},
+		{
+			name:   "inserts only into empty",
+			upKeys: []uint64{2, 5}, upVals: []uint32{20, 50}, del: []bool{false, false},
+			wantK: []uint64{2, 5}, wantV: []uint32{20, 50},
+		},
+		{
+			name: "interleaved inserts",
+			keys: []uint64{1, 4, 9}, vals: []uint32{10, 40, 90},
+			upKeys: []uint64{0, 4, 12}, upVals: []uint32{5, 44, 120}, del: []bool{false, false, false},
+			wantK: []uint64{0, 1, 4, 9, 12}, wantV: []uint32{5, 10, 44, 90, 120},
+		},
+		{
+			name: "deletes, including absent key",
+			keys: []uint64{1, 4, 9}, vals: []uint32{10, 40, 90},
+			upKeys: []uint64{4, 7}, upVals: []uint32{0, 0}, del: []bool{true, true},
+			wantK: []uint64{1, 9}, wantV: []uint32{10, 90},
+		},
+		{
+			name: "delete everything",
+			keys: []uint64{3}, vals: []uint32{30},
+			upKeys: []uint64{3}, upVals: []uint32{0}, del: []bool{true},
+			wantK: []uint64{}, wantV: []uint32{},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			gotK, gotV := MergeSorted(c.keys, c.vals, c.upKeys, c.upVals, c.del)
+			if !slices.Equal(gotK, c.wantK) && !(len(gotK) == 0 && len(c.wantK) == 0) {
+				t.Fatalf("keys = %v, want %v", gotK, c.wantK)
+			}
+			if !slices.Equal(gotV, c.wantV) && !(len(gotV) == 0 && len(c.wantV) == 0) {
+				t.Fatalf("vals = %v, want %v", gotV, c.wantV)
+			}
+		})
+	}
+}
+
+// TestMergeSortedRandomizedVsMap replays random upsert/delete batches
+// against a map reference and checks the merged column matches the map's
+// sorted contents exactly, across several merge generations.
+func TestMergeSortedRandomizedVsMap(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 7))
+	ref := map[uint64]uint32{}
+	var keys []uint64
+	var vals []uint32
+	for i := 0; i < 100; i++ {
+		keys = append(keys, uint64(i)*3)
+		vals = append(vals, uint32(i))
+		ref[uint64(i)*3] = uint32(i)
+	}
+	for gen := 0; gen < 30; gen++ {
+		n := 1 + int(rng.Uint64N(40))
+		batch := map[uint64]struct {
+			val uint32
+			del bool
+		}{}
+		for i := 0; i < n; i++ {
+			k := rng.Uint64N(400)
+			batch[k] = struct {
+				val uint32
+				del bool
+			}{val: rng.Uint32(), del: rng.Uint64N(3) == 0}
+		}
+		upKeys := make([]uint64, 0, len(batch))
+		for k := range batch {
+			upKeys = append(upKeys, k)
+		}
+		slices.Sort(upKeys)
+		upVals := make([]uint32, len(upKeys))
+		del := make([]bool, len(upKeys))
+		for i, k := range upKeys {
+			upVals[i] = batch[k].val
+			del[i] = batch[k].del
+			if batch[k].del {
+				delete(ref, k)
+			} else {
+				ref[k] = batch[k].val
+			}
+		}
+		keys, vals = MergeSorted(keys, vals, upKeys, upVals, del)
+		if len(keys) != len(ref) {
+			t.Fatalf("gen %d: %d keys, reference has %d", gen, len(keys), len(ref))
+		}
+		for i, k := range keys {
+			if i > 0 && keys[i-1] >= k {
+				t.Fatalf("gen %d: output not strictly increasing at %d", gen, i)
+			}
+			if want, ok := ref[k]; !ok || vals[i] != want {
+				t.Fatalf("gen %d: key %d = %d, reference %d (present %v)", gen, k, vals[i], want, ok)
+			}
+		}
+	}
+}

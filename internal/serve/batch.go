@@ -29,15 +29,16 @@ type Match struct {
 }
 
 // BatchFuture is one in-flight vectorized submission. The submitted key
-// slice is owned by the service until the batch completes and is
+// (or op) slice is owned by the service until the batch completes and is
 // reordered in place by shard partitioning: after Wait, Results()[i] is
-// the outcome for Keys()[i], where Keys() is the caller's slice in its
-// partitioned order.
+// the outcome for Keys()[i] (Ops()[i] for a write batch), where Keys()
+// is the caller's slice in its partitioned order.
 type BatchFuture struct {
 	ctx  context.Context
 	kind OpKind
 	enq  time.Time
 	keys []uint64
+	ops  []Op // write batches (ApplyBatch) only
 	res  []Result
 	jres []JoinResult // join batches only
 	// matches collects streamed join matches, one independently appended
@@ -54,8 +55,14 @@ type BatchFuture struct {
 func (bf *BatchFuture) Done() <-chan struct{} { return bf.done }
 
 // Keys returns the submitted keys in partitioned order. Valid after the
-// batch completes; the slice aliases the caller's submission.
+// batch completes; the slice aliases the caller's submission. Nil for
+// write batches — use Ops.
 func (bf *BatchFuture) Keys() []uint64 { return bf.keys }
+
+// Ops returns a write batch's operations in partitioned order. Valid
+// after the batch completes; the slice aliases the caller's submission.
+// Nil for read batches.
+func (bf *BatchFuture) Ops() []Op { return bf.ops }
 
 // Wait blocks until the batch completes and returns the per-key
 // dictionary results, aligned with Keys().
@@ -117,12 +124,10 @@ func (bf *BatchFuture) segDone(dropped uint64) {
 // before a shard drains its segment drops that segment unprobed. Like
 // Submit, it must not be called after Close; OpJoin requires WithBuild.
 func (s *Service) SubmitBatch(ctx context.Context, kind OpKind, keys []uint64) *BatchFuture {
-	if kind >= nOpKinds {
-		panic("serve: unknown op kind " + kind.String())
+	if kind.IsWrite() {
+		panic("serve: SubmitBatch of write kind " + kind.String() + " (use ApplyBatch)")
 	}
-	if kind == OpJoin && !s.hasBuild {
-		panic("serve: OpJoin on a service without a build side")
-	}
+	s.checkOp(Op{Kind: kind})
 	if s.closed.Load() {
 		panic("serve: SubmitBatch after Close")
 	}
@@ -143,7 +148,14 @@ func (s *Service) SubmitBatch(ctx context.Context, kind OpKind, keys []uint64) *
 		bf.jres = make([]JoinResult, n)
 		bf.matches = make([][]Match, len(s.shards))
 	}
-	bf.bounds = s.partitionInPlace(keys)
+	bf.bounds = partitionByShard(keys, len(s.shards), func(k uint64) uint64 { return k })
+	s.dispatchSegments(bf)
+	return bf
+}
+
+// dispatchSegments hands a partitioned batch's non-empty segments to
+// their shards (blocking on shard back-pressure, like point dispatch).
+func (s *Service) dispatchSegments(bf *BatchFuture) {
 	nseg := int32(0)
 	for i := range s.shards {
 		if bf.bounds[i+1] > bf.bounds[i] {
@@ -156,6 +168,42 @@ func (s *Service) SubmitBatch(ctx context.Context, kind OpKind, keys []uint64) *
 			sh.in <- shardMsg{bf: bf, lo: lo, hi: hi}
 		}
 	}
+}
+
+// ApplyBatch admits one vectorized write batch: a column of OpInsert/
+// OpDelete operations partitioned in place by shard and applied by each
+// shard in op order. Ownership, blocking, and context semantics match
+// SubmitBatch; results are the per-op acknowledgements, aligned with
+// Ops(). A shard applies its whole segment between drains, so other
+// batches on that shard observe all of the segment's writes or none —
+// the per-shard atomicity the snapshot-consistency tests lean on (no
+// ordering is promised across shards). Read kinds panic: mixed
+// read/write columns go through point admission, which preserves
+// submission order.
+func (s *Service) ApplyBatch(ctx context.Context, ops []Op) *BatchFuture {
+	for _, op := range ops {
+		if !op.Kind.IsWrite() {
+			panic("serve: ApplyBatch of read kind " + op.Kind.String())
+		}
+		s.checkOp(op)
+	}
+	if s.closed.Load() {
+		panic("serve: ApplyBatch after Close")
+	}
+	bf := &BatchFuture{
+		ctx:  ctx,
+		kind: OpInsert,
+		enq:  time.Now(),
+		ops:  ops,
+		done: make(chan struct{}),
+	}
+	if len(ops) == 0 {
+		close(bf.done)
+		return bf
+	}
+	bf.res = make([]Result, len(ops))
+	bf.bounds = partitionByShard(ops, len(s.shards), func(o Op) uint64 { return o.Key })
+	s.dispatchSegments(bf)
 	return bf
 }
 
@@ -171,16 +219,16 @@ func (s *Service) JoinBatch(ctx context.Context, keys []uint64) *BatchFuture {
 	return s.SubmitBatch(ctx, OpJoin, keys)
 }
 
-// partitionInPlace groups keys by owning shard with an in-place
+// partitionByShard groups items by owning shard with an in-place
 // counting-sort permutation (American-flag style: one counting pass,
 // then cycle swaps within each shard's region) and returns the segment
-// bounds: shard i owns keys[bounds[i]:bounds[i+1]]. Two O(Shards)
-// allocations, none proportional to len(keys).
-func (s *Service) partitionInPlace(keys []uint64) []int {
-	nsh := len(s.shards)
+// bounds: shard i owns items[bounds[i]:bounds[i+1]]. keyOf extracts the
+// routing key (the identity for a key column, Op.Key for a write
+// column). Two O(Shards) allocations, none proportional to len(items).
+func partitionByShard[E any](items []E, nsh int, keyOf func(E) uint64) []int {
 	bounds := make([]int, nsh+1)
-	for _, k := range keys {
-		bounds[shardOf(k, nsh)+1]++
+	for _, it := range items {
+		bounds[shardOf(keyOf(it), nsh)+1]++
 	}
 	for i := 1; i <= nsh; i++ {
 		bounds[i] += bounds[i-1]
@@ -189,12 +237,12 @@ func (s *Service) partitionInPlace(keys []uint64) []int {
 	copy(cur, bounds[:nsh])
 	for b := 0; b < nsh; b++ {
 		for i := cur[b]; i < bounds[b+1]; i = cur[b] {
-			sh := shardOf(keys[i], nsh)
+			sh := shardOf(keyOf(items[i]), nsh)
 			if sh == b {
 				cur[b] = i + 1
 				continue
 			}
-			keys[i], keys[cur[sh]] = keys[cur[sh]], keys[i]
+			items[i], items[cur[sh]] = items[cur[sh]], items[i]
 			cur[sh]++
 		}
 	}

@@ -26,7 +26,7 @@ func TestBatchPartitionInPlace(t *testing.T) {
 				keys[i] = rng.Uint64N(200)
 				freq[keys[i]]++
 			}
-			bounds := s.partitionInPlace(keys)
+			bounds := partitionByShard(keys, shards, func(k uint64) uint64 { return k })
 			if len(bounds) != shards+1 || bounds[0] != 0 || bounds[shards] != n {
 				t.Fatalf("shards=%d n=%d: bounds %v do not tile [0,%d]", shards, n, bounds, n)
 			}

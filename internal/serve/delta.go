@@ -1,0 +1,100 @@
+package serve
+
+import "slices"
+
+// This file is the shard-local write buffer: a small sorted delta of
+// upserts and tombstones, probed in front of the epoch snapshot by every
+// drain (the delta-then-main composite of HANA-style dictionary
+// encoding, which the paper's Section 5.5 CSB+ experiments model). The
+// delta is deliberately tiny — it is bounded by the rebuild threshold,
+// so it stays cache-resident and a host-side binary search over it costs
+// less than one main-index suspension point. When it fills, the shard
+// freezes it and hands it to the epoch manager for a background
+// bulk-merge into the next snapshot (epoch.go); the frozen batch keeps
+// being probed (behind the live delta, in front of main) until the
+// merged snapshot installs.
+
+// writeEntry is one delta entry: the latest write to key — an upsert
+// carrying its value, or a tombstone (del) masking the key until the
+// next rebuild drops it from the merged domain.
+type writeEntry struct {
+	key uint64
+	val uint32
+	del bool
+}
+
+// cmpWriteEntry orders entries by key for the sorted delta.
+func cmpWriteEntry(e writeEntry, key uint64) int {
+	switch {
+	case e.key < key:
+		return -1
+	case e.key > key:
+		return 1
+	}
+	return 0
+}
+
+// applyWriteEntry upserts or tombstones key in the sorted delta,
+// returning the updated slice. Later writes to the same key overwrite in
+// place, so the delta holds at most one entry per key.
+func applyWriteEntry(delta []writeEntry, key uint64, val uint32, del bool) []writeEntry {
+	i, ok := slices.BinarySearchFunc(delta, key, cmpWriteEntry)
+	if ok {
+		delta[i] = writeEntry{key: key, val: val, del: del}
+		return delta
+	}
+	return slices.Insert(delta, i, writeEntry{key: key, val: val, del: del})
+}
+
+// deltaOutcome classifies a delta probe.
+type deltaOutcome uint8
+
+const (
+	// deltaMiss: the key has no delta entry; probe the main index.
+	deltaMiss deltaOutcome = iota
+	// deltaHit: the key was upserted; the carried value answers the probe.
+	deltaHit
+	// deltaDel: the key is tombstoned; it is absent regardless of main.
+	deltaDel
+)
+
+// deltaView is the write-buffer snapshot one drain probes: the live
+// delta first (newest writes win), then the frozen batch a rebuild is
+// merging in the background. Both slices are immutable for the duration
+// of the drain (the shard goroutine only mutates the live delta between
+// drains, and freezing moves the slice wholesale).
+type deltaView struct {
+	live, frozen []writeEntry
+}
+
+// empty reports whether the view holds no writes — the read-only fast
+// path, where drains skip delta probing entirely.
+func (dv deltaView) empty() bool { return len(dv.live) == 0 && len(dv.frozen) == 0 }
+
+// lookup probes the view for key.
+func (dv deltaView) lookup(key uint64) (uint32, deltaOutcome) {
+	for _, part := range [2][]writeEntry{dv.live, dv.frozen} {
+		if len(part) == 0 {
+			continue
+		}
+		if i, ok := slices.BinarySearchFunc(part, key, cmpWriteEntry); ok {
+			if part[i].del {
+				return NotFound, deltaDel
+			}
+			return part[i].val, deltaHit
+		}
+	}
+	return NotFound, deltaMiss
+}
+
+// columns splits a frozen delta into the parallel slices the bulk-merge
+// entry points (native.MergeSorted, csbtree.BulkMerge) consume.
+func deltaColumns(frozen []writeEntry) (keys []uint64, vals []uint32, del []bool) {
+	keys = make([]uint64, len(frozen))
+	vals = make([]uint32, len(frozen))
+	del = make([]bool, len(frozen))
+	for i, e := range frozen {
+		keys[i], vals[i], del[i] = e.key, e.val, e.del
+	}
+	return keys, vals, del
+}

@@ -1,0 +1,268 @@
+package serve
+
+import (
+	"context"
+	"math/rand/v2"
+	"testing"
+	"time"
+)
+
+// This file is the cross-backend differential harness: the same seeded
+// randomized op stream — lookups, joins, inserts, deletes, and
+// cancellations — replayed against every index backend and a plain
+// map[uint64]uint32 oracle, asserting identical results per future. The
+// backends share nothing but the serve API (a real-memory sorted array,
+// a simulated sorted array, and a simulated CSB+-tree, each with its own
+// delta/epoch machinery exercised by a tiny rebuild threshold), so any
+// divergence in write visibility, tombstone handling, epoch merges, or
+// cancellation accounting shows up as a three-way disagreement with a
+// trivially correct reference.
+
+// diffOp is one replayed operation. cancel submits it under an already-
+// cancelled context: every backend must drop it without applying it.
+type diffOp struct {
+	kind   OpKind
+	key    uint64
+	val    uint32
+	cancel bool
+}
+
+// genStream draws a seeded op stream over keys in [0, keySpace): ~55%
+// lookups, ~20% inserts, ~15% deletes, ~10% cancelled ops (split between
+// reads and writes). Key reuse is high by construction so upserts,
+// re-inserts, and delete-then-lookup sequences occur constantly.
+func genStream(seed uint64, n int, keySpace uint64) []diffOp {
+	rng := rand.New(rand.NewPCG(seed, seed^0xabcdef12345))
+	ops := make([]diffOp, n)
+	for i := range ops {
+		op := diffOp{key: rng.Uint64N(keySpace)}
+		switch p := rng.Uint64N(100); {
+		case p < 55:
+			op.kind = OpLookup
+		case p < 75:
+			op.kind = OpInsert
+			op.val = rng.Uint32N(1 << 30)
+		case p < 90:
+			op.kind = OpDelete
+		default:
+			op.cancel = true
+			if p < 95 {
+				op.kind = OpLookup
+			} else {
+				op.kind = OpInsert
+				op.val = rng.Uint32N(1 << 30)
+			}
+		}
+		ops[i] = op
+	}
+	return ops
+}
+
+// replayBackend runs the stream sequentially (submit, wait, record)
+// against one backend and returns the per-op results plus a final
+// vectorized sweep of the whole key space through GoBatch.
+func replayBackend(t *testing.T, kind IndexKind, domain []uint64, stream []diffOp, keySpace uint64) (perOp []Result, sweep map[uint64]Result) {
+	t.Helper()
+	s, err := New(domain,
+		WithBackend(kind), WithShards(3),
+		WithAdmission(1, 50*time.Microsecond),
+		WithRebuildThreshold(16), WithSimSeed(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx := context.Background()
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	perOp = make([]Result, len(stream))
+	for i, op := range stream {
+		octx := ctx
+		if op.cancel {
+			octx = cancelled
+		}
+		perOp[i] = s.Submit(octx, Op{Kind: op.kind, Key: op.key, Val: op.val}).Wait()
+	}
+	keys := make([]uint64, keySpace)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	bf := s.GoBatch(ctx, keys)
+	res := bf.Wait()
+	sweep = make(map[uint64]Result, keySpace)
+	for i, k := range bf.Keys() {
+		sweep[k] = res[i]
+	}
+	if st := s.Stats(); st.Rebuilds == 0 {
+		t.Fatalf("%s: differential replay forced no epoch rebuilds", kind)
+	}
+	return perOp, sweep
+}
+
+// replayOracle runs the stream against the map oracle.
+func replayOracle(domain []uint64, stream []diffOp, keySpace uint64) (perOp []Result, sweep map[uint64]Result) {
+	m := make(map[uint64]uint32, len(domain))
+	for code, v := range domain {
+		m[v] = uint32(code)
+	}
+	perOp = make([]Result, len(stream))
+	for i, op := range stream {
+		if op.cancel {
+			perOp[i] = Result{Code: NotFound, Dropped: true}
+			continue
+		}
+		switch op.kind {
+		case OpLookup:
+			if v, ok := m[op.key]; ok {
+				perOp[i] = Result{Code: v, Found: true}
+			} else {
+				perOp[i] = Result{Code: NotFound}
+			}
+		case OpInsert:
+			m[op.key] = op.val
+			perOp[i] = Result{Code: op.val, Found: true}
+		case OpDelete:
+			delete(m, op.key)
+			perOp[i] = Result{Code: NotFound}
+		}
+	}
+	sweep = make(map[uint64]Result, keySpace)
+	for k := uint64(0); k < keySpace; k++ {
+		if v, ok := m[k]; ok {
+			sweep[k] = Result{Code: v, Found: true}
+		} else {
+			sweep[k] = Result{Code: NotFound}
+		}
+	}
+	return perOp, sweep
+}
+
+// TestDifferentialBackendsVsOracle is the cross-backend harness proper.
+// In -short it replays 2 seeds × 700 ops per backend; without -short it
+// goes deeper (4 seeds × 1500 ops).
+func TestDifferentialBackendsVsOracle(t *testing.T) {
+	seeds, nOps := []uint64{1, 2}, 700
+	if !testing.Short() {
+		seeds, nOps = []uint64{1, 2, 3, 4}, 1500
+	}
+	const keySpace = 400
+	// Domain: every third key in the lower half of the key space, so the
+	// stream hits present keys, absent-in-range keys, and fresh inserts.
+	var domain []uint64
+	for k := uint64(0); k < keySpace/2; k += 3 {
+		domain = append(domain, k)
+	}
+	backends := []IndexKind{NativeSorted, SimMain, SimTree}
+	for _, seed := range seeds {
+		stream := genStream(seed, nOps, keySpace)
+		wantOps, wantSweep := replayOracle(domain, stream, keySpace)
+		for _, kind := range backends {
+			gotOps, gotSweep := replayBackend(t, kind, domain, stream, keySpace)
+			for i := range stream {
+				if gotOps[i] != wantOps[i] {
+					t.Fatalf("seed %d %s op %d (%+v): got %+v, oracle %+v",
+						seed, kind, i, stream[i], gotOps[i], wantOps[i])
+				}
+			}
+			for k, want := range wantSweep {
+				if gotSweep[k] != want {
+					t.Fatalf("seed %d %s sweep key %d: got %+v, oracle %+v",
+						seed, kind, k, gotSweep[k], want)
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialJoinVsOracle replays a mixed lookup/join/write stream
+// on a join service (joins require the native backend) against an
+// oracle that models the documented write/join contract exactly: the
+// build side is immutable, keyed by epoch-0 codes, and partitioned by
+// build-key hash, so a probe matches its resolved code's tuples in its
+// own shard's partition.
+func TestDifferentialJoinVsOracle(t *testing.T) {
+	const (
+		shards   = 3
+		keySpace = 300
+		domainN  = 100
+	)
+	seeds, nOps := []uint64{5, 6}, 600
+	if !testing.Short() {
+		seeds, nOps = []uint64{5, 6, 7, 8}, 1200
+	}
+	domain := testDomain(domainN, 2) // codes: key 2i → i
+	// Build side: skewed multiplicities over the domain.
+	brng := rand.New(rand.NewPCG(77, 78))
+	var build []BuildTuple
+	for i := 0; i < 500; i++ {
+		k := uint64(brng.Uint64N(domainN)) * 2
+		build = append(build, BuildTuple{Key: k, Payload: brng.Uint32N(1000)})
+	}
+	// Oracle model: per-shard aggregate per code.
+	type agg struct {
+		hits uint32
+		sum  uint64
+	}
+	byShardCode := make([]map[uint32]agg, shards)
+	for i := range byShardCode {
+		byShardCode[i] = map[uint32]agg{}
+	}
+	for _, bt := range build {
+		code := uint32(bt.Key / 2)
+		sh := shardOf(bt.Key, shards)
+		a := byShardCode[sh][code]
+		a.hits++
+		a.sum += uint64(bt.Payload)
+		byShardCode[sh][code] = a
+	}
+	for _, seed := range seeds {
+		rng := rand.New(rand.NewPCG(seed, seed*31+7))
+		s, err := New(domain, WithShards(shards),
+			WithAdmission(1, 50*time.Microsecond),
+			WithRebuildThreshold(16), WithBuild(build))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		m := make(map[uint64]uint32, domainN)
+		for code, v := range domain {
+			m[v] = uint32(code)
+		}
+		for i := 0; i < nOps; i++ {
+			key := rng.Uint64N(keySpace)
+			switch p := rng.Uint64N(100); {
+			case p < 40: // join probe
+				got := s.Join(ctx, key)
+				var want JoinResult
+				if code, ok := m[key]; ok {
+					a := byShardCode[shardOf(key, shards)][code]
+					want = JoinResult{Code: code, Hits: a.hits, Agg: a.sum}
+				} else {
+					want = JoinResult{Code: NotFound}
+				}
+				if got != want {
+					t.Fatalf("seed %d op %d: join(%d) = %+v, oracle %+v", seed, i, key, got, want)
+				}
+			case p < 60: // lookup
+				got := s.Lookup(ctx, key)
+				want := Result{Code: NotFound}
+				if code, ok := m[key]; ok {
+					want = Result{Code: code, Found: true}
+				}
+				if got != want {
+					t.Fatalf("seed %d op %d: lookup(%d) = %+v, oracle %+v", seed, i, key, got, want)
+				}
+			case p < 85: // insert: bias toward re-mapping onto live codes
+				val := rng.Uint32N(domainN)
+				s.Insert(ctx, key, val).Wait()
+				m[key] = val
+			default: // delete
+				s.Delete(ctx, key).Wait()
+				delete(m, key)
+			}
+		}
+		if st := s.Stats(); st.Rebuilds == 0 {
+			t.Fatal("join differential replay forced no epoch rebuilds")
+		}
+		s.Close()
+	}
+}

@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/native"
+)
+
+// This file is the epoch machinery that makes the service read-write
+// without ever blocking the probe hot path on a write: shards accumulate
+// writes in their sorted delta (delta.go), and when a shard's delta
+// reaches the rebuild threshold it freezes the batch and hands it to the
+// service's background epoch manager. The manager bulk-merges the frozen
+// writes into the shard's dictionary column off the hot path
+// (native.MergeSorted — pure host CPU, no shared mutable state) and
+// parks the merged column in the shard's pending slot. The shard installs
+// it between batches: it constructs the next backend index over the
+// merged column (for the memsim backends this is the only part that must
+// run on the shard goroutine, because the simulated engine is
+// single-threaded) and publishes it through an atomic epoch-snapshot
+// pointer. Every drain loads that pointer exactly once, so a batch
+// segment always probes one consistent (snapshot, delta) pair — readers
+// never observe a half-installed rebuild.
+
+// epochState is one published snapshot: the merged dictionary column and
+// the backend index built over it. Immutable after publication; the
+// shard goroutine replaces the whole struct at install time and
+// concurrent readers (Stats) only load the pointer.
+type epochState struct {
+	// seq increments per install; seq 0 is the domain New was built over.
+	seq uint64
+	// vals/codes are the merged sorted key column and its parallel value
+	// column — the merge input for the next rebuild, and the probe table
+	// of the native backends.
+	vals  []uint64
+	codes []uint32
+	// idx serves lookup-only services; joinIdx (non-nil on a join
+	// service) serves mixed lookup/join batches.
+	idx     shardIndex
+	joinIdx *nativeJoinIndex
+}
+
+// rebuildJob is one frozen delta awaiting merge, tagged with the epoch
+// snapshot it merges into.
+type rebuildJob struct {
+	sh     *shard
+	seq    uint64
+	vals   []uint64
+	codes  []uint32
+	frozen []writeEntry
+}
+
+// installMsg is a completed merge parked for the owning shard: the
+// merged column plus the frozen delta it absorbed (the tree backend
+// replays the latter through csbtree.BulkMerge at install).
+type installMsg struct {
+	seq    uint64
+	vals   []uint64
+	codes  []uint32
+	frozen []writeEntry
+}
+
+// epochManager is the service-wide background rebuilder: one goroutine
+// draining rebuild jobs in arrival order, so concurrent shard rebuilds
+// serialize and background merge work is bounded to one core. Each shard
+// has at most one job outstanding (it only freezes when no rebuild is in
+// flight), so a jobs buffer of Shards makes enqueue non-blocking.
+type epochManager struct {
+	jobs chan rebuildJob
+	wg   sync.WaitGroup
+}
+
+func newEpochManager(shards int) *epochManager {
+	em := &epochManager{jobs: make(chan rebuildJob, shards)}
+	em.wg.Add(1)
+	go em.run()
+	return em
+}
+
+func (em *epochManager) run() {
+	defer em.wg.Done()
+	for j := range em.jobs {
+		keys, vals, del := deltaColumns(j.frozen)
+		mergedVals, mergedCodes := native.MergeSorted(j.vals, j.codes, keys, vals, del)
+		// Park the result; the shard installs it between batches. A shard
+		// never has two rebuilds in flight, so the slot cannot clobber an
+		// unconsumed install.
+		j.sh.pendingInstall.Store(&installMsg{seq: j.seq, vals: mergedVals, codes: mergedCodes, frozen: j.frozen})
+	}
+}
+
+// close stops the manager after in-flight jobs finish. Results parked
+// after the shards exited are simply never installed — their writes
+// remain visible through the frozen deltas the shards probed to the end.
+func (em *epochManager) close() {
+	close(em.jobs)
+	em.wg.Wait()
+}
+
+// maybeRebuild freezes the live delta and enqueues a rebuild when it has
+// reached the threshold and no rebuild is in flight. If the live delta
+// refills to the threshold again while a rebuild is still in flight, the
+// write path stalls until that merge lands and installs it — the
+// LSM-style backpressure that bounds the delta at ~2× the threshold no
+// matter how the manager goroutine is scheduled (on a saturated single
+// core, continuous channel hand-offs between submitters and shards can
+// otherwise starve it indefinitely). Shard goroutine only.
+func (sh *shard) maybeRebuild() {
+	if sh.rebuildAt <= 0 || len(sh.delta) < sh.rebuildAt {
+		return
+	}
+	if sh.frozen != nil {
+		// Write stall: yield until the in-flight merge parks (blocking
+		// hands the CPU to the manager), then install it. The freeze
+		// below then picks up the refilled delta.
+		for sh.pendingInstall.Load() == nil {
+			runtime.Gosched()
+		}
+		sh.installPending()
+		return
+	}
+	ep := sh.epoch.Load()
+	sh.frozen = sh.delta
+	sh.delta = nil
+	sh.em.jobs <- rebuildJob{sh: sh, seq: ep.seq + 1, vals: ep.vals, codes: ep.codes, frozen: sh.frozen}
+}
+
+// installPending publishes a completed rebuild, if one is parked:
+// construct the backend index over the merged column (the rebuild pause
+// — the only index work that runs on the serving goroutine), swap the
+// epoch pointer, and retire the frozen delta the merge absorbed. Shard
+// goroutine only, between batches.
+func (sh *shard) installPending() {
+	im := sh.pendingInstall.Swap(nil)
+	if im == nil {
+		return
+	}
+	pause := sh.met.beginRebuild()
+	old := sh.epoch.Load()
+	ep := &epochState{seq: im.seq, vals: im.vals, codes: im.codes}
+	if old.joinIdx != nil {
+		ep.joinIdx = old.joinIdx.rebuild(im.vals, im.codes)
+	} else {
+		ep.idx = old.idx.rebuild(im.vals, im.codes, im.frozen)
+	}
+	sh.epoch.Store(ep)
+	sh.frozen = nil
+	sh.met.endRebuild(pause, im.seq, len(sh.delta))
+	// The live delta may have crossed the threshold while the merge ran.
+	sh.maybeRebuild()
+}

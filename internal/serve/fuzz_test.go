@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzBatchPartition fuzzes the American-flag batch partitioner of
+// batch.go: for arbitrary key columns and shard counts, permuting a
+// batch in place must preserve the key multiset, the returned bounds
+// must tile [0, n] monotonically, and every key must land in the
+// segment of the shard it hashes to — the same shard the equivalent
+// point op would route to. The seed corpus covers the regression-prone
+// shapes: duplicates, already-sorted input, single-shard, and empty.
+func FuzzBatchPartition(f *testing.F) {
+	enc := func(keys ...uint64) []byte {
+		b := make([]byte, 8*len(keys))
+		for i, k := range keys {
+			binary.LittleEndian.PutUint64(b[8*i:], k)
+		}
+		return b
+	}
+	f.Add(enc(), uint8(1))                                   // empty, one shard
+	f.Add(enc(5), uint8(4))                                  // single key
+	f.Add(enc(7, 7, 7, 7, 7), uint8(3))                      // all duplicates
+	f.Add(enc(1, 2, 3, 4, 5, 6, 7, 8), uint8(4))             // already sorted
+	f.Add(enc(8, 7, 6, 5, 4, 3, 2, 1), uint8(2))             // reverse sorted
+	f.Add(enc(0, 1<<63, 42, 42, 0, ^uint64(0)), uint8(7))    // extremes + dups
+	f.Add(enc(3, 1, 3, 1, 3, 1, 3, 1, 3, 1, 3, 1), uint8(5)) // alternating dups
+	f.Fuzz(func(t *testing.T, data []byte, nshRaw uint8) {
+		nsh := int(nshRaw%16) + 1
+		keys := make([]uint64, len(data)/8)
+		freq := map[uint64]int{}
+		for i := range keys {
+			keys[i] = binary.LittleEndian.Uint64(data[8*i:])
+			freq[keys[i]]++
+		}
+		n := len(keys)
+		bounds := partitionByShard(keys, nsh, func(k uint64) uint64 { return k })
+		if len(bounds) != nsh+1 || bounds[0] != 0 || bounds[nsh] != n {
+			t.Fatalf("nsh=%d n=%d: bounds %v do not tile [0,%d]", nsh, n, bounds, n)
+		}
+		for sh := 0; sh < nsh; sh++ {
+			if bounds[sh+1] < bounds[sh] {
+				t.Fatalf("nsh=%d: bounds %v not monotone", nsh, bounds)
+			}
+			for i := bounds[sh]; i < bounds[sh+1]; i++ {
+				if got := shardOf(keys[i], nsh); got != sh {
+					t.Fatalf("nsh=%d: keys[%d]=%d in segment %d, hashes to shard %d",
+						nsh, i, keys[i], sh, got)
+				}
+			}
+		}
+		for _, k := range keys {
+			freq[k]--
+		}
+		for k, c := range freq {
+			if c != 0 {
+				t.Fatalf("nsh=%d: key %d count off by %d after permutation", nsh, k, c)
+			}
+		}
+	})
+}
+
+// FuzzOpBatchPartition is the same fuzz over the Op-column instantiation
+// ApplyBatch uses: routing must agree with the key column's for equal
+// keys, and the (key, val, kind) triples must travel together.
+func FuzzOpBatchPartition(f *testing.F) {
+	f.Add([]byte{1, 0, 2, 0, 3, 0, 1, 1}, uint8(3))
+	f.Add([]byte{9, 9, 9, 9}, uint8(1))
+	f.Add([]byte{}, uint8(5))
+	f.Fuzz(func(t *testing.T, data []byte, nshRaw uint8) {
+		nsh := int(nshRaw%8) + 1
+		n := len(data) / 2
+		ops := make([]Op, n)
+		type sig struct {
+			key  uint64
+			val  uint32
+			kind OpKind
+		}
+		freq := map[sig]int{}
+		for i := 0; i < n; i++ {
+			ops[i] = Op{Kind: OpInsert, Key: uint64(data[2*i]), Val: uint32(data[2*i+1])}
+			if data[2*i+1]%3 == 0 {
+				ops[i].Kind = OpDelete
+			}
+			freq[sig{ops[i].Key, ops[i].Val, ops[i].Kind}]++
+		}
+		bounds := partitionByShard(ops, nsh, func(o Op) uint64 { return o.Key })
+		if len(bounds) != nsh+1 || bounds[0] != 0 || bounds[nsh] != n {
+			t.Fatalf("nsh=%d n=%d: bounds %v do not tile", nsh, n, bounds)
+		}
+		for sh := 0; sh < nsh; sh++ {
+			for i := bounds[sh]; i < bounds[sh+1]; i++ {
+				if got := shardOf(ops[i].Key, nsh); got != sh {
+					t.Fatalf("nsh=%d: ops[%d] key %d in segment %d, hashes to %d",
+						nsh, i, ops[i].Key, sh, got)
+				}
+				freq[sig{ops[i].Key, ops[i].Val, ops[i].Kind}]--
+			}
+		}
+		for s, c := range freq {
+			if c != 0 {
+				t.Fatalf("nsh=%d: op %+v count off by %d after permutation", nsh, s, c)
+			}
+		}
+	})
+}

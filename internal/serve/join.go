@@ -21,12 +21,17 @@ import (
 // without leaving the shard.
 //
 // One joinFrame is the whole per-key pipeline as a single hand-written
-// coroutine frame: binary-search the shard's dictionary partition
-// (early-load interleaving, as internal/native), then — within the same
-// drain — walk the hash-table chain for the resulting code via
-// nativejoin.Cursor. Chains diverge per key, so batch streams fall out
-// of lockstep; the round-robin Drainer absorbs that, which is exactly
-// the decoupled-control-flow case the paper builds coroutines for.
+// coroutine frame: probe the shard's write delta (host-side — the delta
+// is a small cache-resident buffer, delta.go), then binary-search the
+// dictionary partition (early-load interleaving, as internal/native),
+// then — within the same drain — walk the hash-table chain for the
+// resulting code via nativejoin.Cursor. A delta-resolved key skips the
+// search stage and enters the chain walk directly with its delta code;
+// on a service whose dictionary mutates, joins stay consistent with
+// lookups because both go through the same delta-then-main composite.
+// Chains diverge per key, so batch streams fall out of lockstep; the
+// round-robin Drainer absorbs that, which is exactly the decoupled-
+// control-flow case the paper builds coroutines for.
 
 // BuildTuple is one build-side row: a join key from the value domain and
 // an opaque payload aggregated by probes.
@@ -60,13 +65,13 @@ type joinOut struct {
 	found bool // key present in the dictionary
 }
 
-// joinFrame is the composite coroutine frame: dictionary binary search
-// piped into the hash-table chain walk, all live state hand-spilled into
-// one flat struct (see internal/native's frameLookup for why closures
-// won't do). Frames are recycled per scheduler slot — init resets the
-// struct in place, the bound step closure and coro.Frame are reused —
-// so a shard drains an unbounded request sequence with no per-request
-// allocation.
+// joinFrame is the composite coroutine frame: delta probe, dictionary
+// binary search, and hash-table chain walk, all live state hand-spilled
+// into one flat struct (see internal/native's frameLookup for why
+// closures won't do). Frames are recycled per scheduler slot — init
+// resets the struct in place, the bound step closure and coro.Frame are
+// reused — so a shard drains an unbounded request sequence with no
+// per-request allocation.
 type joinFrame struct {
 	idx  *nativeJoinIndex
 	key  uint64
@@ -83,12 +88,39 @@ type joinFrame struct {
 	// Probe stage: the chain walk.
 	cur   nativejoin.Cursor
 	out   joinOut
-	stage uint8 // 0 = dictionary search, 1 = chain walk
+	stage uint8 // 0 = dictionary search, 1 = chain walk, 2 = resolved
 }
 
-func (f *joinFrame) init(x *nativeJoinIndex, key uint64, join bool, msink *[]Match, probe int) {
-	*f = joinFrame{idx: x, key: key, join: join, msink: msink, probe: probe,
-		search: native.StartSearch(x.table, key)}
+// init resets the frame for one key. The delta probe happens here, at
+// frame start: a delta-resolved lookup completes on its first Step
+// (stage 2) without touching the main index, and a delta-resolved join
+// enters the chain walk (stage 1) with its delta code — issuing the
+// bucket-head early load immediately, like the search stage would have.
+func (f *joinFrame) init(x *nativeJoinIndex, dv deltaView, key uint64, join bool, msink *[]Match, probe int) {
+	*f = joinFrame{idx: x, key: key, join: join, msink: msink, probe: probe}
+	if !dv.empty() {
+		if v, oc := dv.lookup(key); oc != deltaMiss {
+			if oc == deltaDel {
+				f.out = joinOut{code: NotFound}
+				f.stage = 2
+				return
+			}
+			f.out = joinOut{code: v, found: true}
+			if !join {
+				f.stage = 2
+				return
+			}
+			f.cur = x.jt.Start(uint64(v))
+			f.stage = 1
+			return
+		}
+	}
+	if len(x.table) == 0 {
+		f.out = joinOut{code: NotFound}
+		f.stage = 2
+		return
+	}
+	f.search = native.StartSearch(x.table, key)
 }
 
 func (f *joinFrame) step() (joinOut, bool) {
@@ -111,7 +143,7 @@ func (f *joinFrame) step() (joinOut, bool) {
 		f.cur = f.idx.jt.Start(uint64(code))
 		f.stage = 1
 		return joinOut{}, false
-	default:
+	case 1:
 		r, done := f.cur.Step(f.idx.jt)
 		if f.msink != nil {
 			if payload, hit := f.cur.Matched(); hit {
@@ -123,6 +155,8 @@ func (f *joinFrame) step() (joinOut, bool) {
 		}
 		f.out.hits = r.Hits
 		f.out.agg = r.Agg
+		return f.out, true
+	default: // resolved at init (delta hit/tombstone, or empty partition)
 		return f.out, true
 	}
 }
@@ -151,26 +185,22 @@ func newNativeJoinIndex(cfg Config, vals []uint64, codes []uint32, jt *nativejoi
 	}
 }
 
+// rebuild constructs the next-epoch join backend over the merged
+// dictionary column. The build-side table is keyed by code, which writes
+// edit only through the dictionary mapping, so the table, drainer, and
+// slot pool carry over — a join install is a pointer swap.
+func (x *nativeJoinIndex) rebuild(vals []uint64, codes []uint32) *nativeJoinIndex {
+	return &nativeJoinIndex{table: vals, codes: codes, jt: x.jt, d: x.d, pool: x.pool}
+}
+
 // drainBatch resolves one point sub-batch of mixed lookup/join futures
-// and completes their result fields (not their done channels — the
-// shard closes those after recording latency). Futures pre-marked
-// dropped are skipped through the scheduler's nil-start contract: they
-// never occupy a slot and are never probed. Returns the batch cost in
-// nanoseconds for the controller.
-func (x *nativeJoinIndex) drainBatch(sub []*Future, group int) float64 {
+// against the given delta view and completes their result fields (not
+// their done channels — the shard closes those after recording latency).
+// Futures pre-marked dropped are skipped through the scheduler's
+// nil-start contract: they never occupy a slot and are never probed.
+// Returns the batch cost in nanoseconds for the controller.
+func (x *nativeJoinIndex) drainBatch(dv deltaView, sub []*Future, group int) float64 {
 	t0 := time.Now()
-	if len(x.table) == 0 {
-		for _, f := range sub {
-			if f.dropped {
-				continue
-			}
-			f.res = Result{Code: NotFound}
-			if f.op.Kind == OpJoin {
-				f.jres = JoinResult{Code: NotFound}
-			}
-		}
-		return float64(time.Since(t0))
-	}
 	x.d.DrainSlots(len(sub), group,
 		func(slot, i int) coro.Handle[joinOut] {
 			f := sub[i]
@@ -178,7 +208,7 @@ func (x *nativeJoinIndex) drainBatch(sub []*Future, group int) float64 {
 				return nil
 			}
 			fr, h := x.pool.Slot(slot)
-			fr.init(x, f.op.Key, f.op.Kind == OpJoin, nil, i)
+			fr.init(x, dv, f.op.Key, f.op.Kind == OpJoin, nil, i)
 			return h
 		},
 		func(i int, r joinOut) {
@@ -192,21 +222,13 @@ func (x *nativeJoinIndex) drainBatch(sub []*Future, group int) float64 {
 }
 
 // drainSegment resolves one shard segment [lo, hi) of a vectorized
-// batch, writing into the batch's caller-visible slices; join segments
-// additionally stream every build-tuple match into the batch's
-// per-shard match buffer. Returns the segment cost in nanoseconds.
-func (x *nativeJoinIndex) drainSegment(bf *BatchFuture, shardID, lo, hi, group int) float64 {
+// batch against the given delta view, writing into the batch's
+// caller-visible slices; join segments additionally stream every
+// build-tuple match into the batch's per-shard match buffer. Returns the
+// segment cost in nanoseconds.
+func (x *nativeJoinIndex) drainSegment(dv deltaView, bf *BatchFuture, shardID, lo, hi, group int) float64 {
 	t0 := time.Now()
 	join := bf.kind == OpJoin
-	if len(x.table) == 0 {
-		for i := lo; i < hi; i++ {
-			bf.res[i] = Result{Code: NotFound}
-			if join {
-				bf.jres[i] = JoinResult{Code: NotFound}
-			}
-		}
-		return float64(time.Since(t0))
-	}
 	var msink *[]Match
 	if join {
 		msink = &bf.matches[shardID]
@@ -215,7 +237,7 @@ func (x *nativeJoinIndex) drainSegment(bf *BatchFuture, shardID, lo, hi, group i
 	x.d.DrainSlots(len(keys), group,
 		func(slot, i int) coro.Handle[joinOut] {
 			fr, h := x.pool.Slot(slot)
-			fr.init(x, keys[i], join, msink, lo+i)
+			fr.init(x, dv, keys[i], join, msink, lo+i)
 			return h
 		},
 		func(i int, r joinOut) {

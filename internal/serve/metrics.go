@@ -108,6 +108,16 @@ type shardMetrics struct {
 	dropped  atomic.Uint64
 	group    atomic.Int64 // group used for the most recent batch
 	hist     latHist
+
+	// Write-path counters: applied writes, the delta-size gauge, and the
+	// epoch rebuilds with their install pauses.
+	inserts      atomic.Uint64
+	deletes      atomic.Uint64
+	deltaLen     atomic.Int64
+	epoch        atomic.Uint64
+	rebuilds     atomic.Uint64
+	rebuildNS    atomic.Uint64
+	rebuildMaxNS atomic.Uint64
 }
 
 func (m *shardMetrics) recordBatch(items, group int, busy time.Duration) {
@@ -134,6 +144,34 @@ func (m *shardMetrics) recordDropped(n uint64) {
 	m.dropped.Add(n)
 }
 
+// recordInsert / recordDelete count one applied write and refresh the
+// delta-size gauge.
+func (m *shardMetrics) recordInsert(deltaLen int) {
+	m.inserts.Add(1)
+	m.deltaLen.Store(int64(deltaLen))
+}
+
+func (m *shardMetrics) recordDelete(deltaLen int) {
+	m.deletes.Add(1)
+	m.deltaLen.Store(int64(deltaLen))
+}
+
+// beginRebuild/endRebuild bracket one epoch install (the on-shard index
+// construction — the rebuild pause), recording the published epoch
+// sequence and the post-install delta size.
+func (m *shardMetrics) beginRebuild() time.Time { return time.Now() }
+
+func (m *shardMetrics) endRebuild(start time.Time, seq uint64, deltaLen int) {
+	pause := uint64(time.Since(start))
+	m.rebuilds.Add(1)
+	m.rebuildNS.Add(pause)
+	if pause > m.rebuildMaxNS.Load() {
+		m.rebuildMaxNS.Store(pause)
+	}
+	m.epoch.Store(seq)
+	m.deltaLen.Store(int64(deltaLen))
+}
+
 // ShardStats is one shard's snapshot.
 type ShardStats struct {
 	Shard   int
@@ -157,6 +195,20 @@ type ShardStats struct {
 	// shard drained them; they were never probed and are not in Items.
 	Dropped  uint64
 	P50, P99 time.Duration
+	// Inserts and Deletes count applied writes (included in Items);
+	// DeltaLen is the live write-delta size after the most recent write
+	// or install.
+	Inserts  uint64
+	Deletes  uint64
+	DeltaLen int
+	// Epoch is the published snapshot sequence (0 = the domain New was
+	// built over); Rebuilds counts installed epoch rebuilds, with
+	// RebuildPause the total and MaxRebuildPause the worst single
+	// on-shard install pause.
+	Epoch           uint64
+	Rebuilds        uint64
+	RebuildPause    time.Duration
+	MaxRebuildPause time.Duration
 }
 
 func (m *shardMetrics) snapshot(id int) ShardStats {
@@ -164,16 +216,23 @@ func (m *shardMetrics) snapshot(id int) ShardStats {
 	batches := m.batches.Load()
 	busy := time.Duration(m.busyNS.Load())
 	s := ShardStats{
-		Shard:    id,
-		Items:    items,
-		Batches:  batches,
-		Group:    int(m.group.Load()),
-		Busy:     busy,
-		Joins:    m.joins.Load(),
-		JoinHits: m.joinHits.Load(),
-		Dropped:  m.dropped.Load(),
-		P50:      m.hist.quantile(0.50),
-		P99:      m.hist.quantile(0.99),
+		Shard:           id,
+		Items:           items,
+		Batches:         batches,
+		Group:           int(m.group.Load()),
+		Busy:            busy,
+		Joins:           m.joins.Load(),
+		JoinHits:        m.joinHits.Load(),
+		Dropped:         m.dropped.Load(),
+		P50:             m.hist.quantile(0.50),
+		P99:             m.hist.quantile(0.99),
+		Inserts:         m.inserts.Load(),
+		Deletes:         m.deletes.Load(),
+		DeltaLen:        int(m.deltaLen.Load()),
+		Epoch:           m.epoch.Load(),
+		Rebuilds:        m.rebuilds.Load(),
+		RebuildPause:    time.Duration(m.rebuildNS.Load()),
+		MaxRebuildPause: time.Duration(m.rebuildMaxNS.Load()),
 	}
 	if batches > 0 {
 		s.AvgBatch = float64(items) / float64(batches)
@@ -194,4 +253,12 @@ type Stats struct {
 	// cancelled or deadline expired); Items excludes them.
 	Dropped  uint64
 	P50, P99 time.Duration
+	// Inserts/Deletes count applied writes service-wide; Rebuilds the
+	// installed epoch rebuilds, RebuildPause their total install pause
+	// and MaxRebuildPause the worst single pause on any shard.
+	Inserts         uint64
+	Deletes         uint64
+	Rebuilds        uint64
+	RebuildPause    time.Duration
+	MaxRebuildPause time.Duration
 }

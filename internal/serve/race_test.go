@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSnapshotConsistencyUnderRebuilds is the torn-view race test:
+// readers spin on GoBatch while a writer forces continuous epoch
+// rebuilds (tiny threshold) by re-versioning a key set that lives
+// entirely on one shard. Two invariants must hold for every read batch:
+//
+//   - atomicity: an ApplyBatch's per-shard segment applies as one unit
+//     between drains, and a drain probes exactly one (epoch snapshot,
+//     delta) pair — so a batch must never observe a mix of versions,
+//     whether the versions sit in the delta, the frozen delta, or a
+//     freshly installed epoch;
+//   - monotonicity: versions are applied in order on the one shard, so
+//     a reader's observed version must never go backwards.
+//
+// Run under -race (the CI race job) this also exercises the pointer
+// hand-offs between shard, epoch manager, and Stats readers.
+func TestSnapshotConsistencyUnderRebuilds(t *testing.T) {
+	const (
+		shards  = 4
+		nKeys   = 24
+		readers = 2
+	)
+	versions := uint32(150)
+	if testing.Short() {
+		versions = 60
+	}
+	// Keys that all hash to shard 0, none in the initial domain.
+	keys := make([]uint64, 0, nKeys)
+	for k := uint64(1000); len(keys) < nKeys; k++ {
+		if shardOf(k, shards) == 0 {
+			keys = append(keys, k)
+		}
+	}
+	s, err := New(testDomain(200, 1), WithShards(shards), WithRebuildThreshold(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Seed version 0 so readers never see an absent key.
+	ops := make([]Op, nKeys)
+	for i, k := range keys {
+		ops[i] = Op{Kind: OpInsert, Key: k, Val: 0}
+	}
+	s.ApplyBatch(ctx, ops).Wait()
+
+	var done atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan string, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			buf := make([]uint64, nKeys)
+			last := uint32(0)
+			for !done.Load() {
+				copy(buf, keys)
+				bf := s.GoBatch(ctx, buf)
+				res := bf.Wait()
+				v := res[0].Code
+				for i := range res {
+					if !res[i].Found {
+						errs <- "reader observed an absent key"
+						return
+					}
+					if res[i].Code != v {
+						errs <- "torn view: mixed versions inside one batch"
+						return
+					}
+				}
+				if v < last {
+					errs <- "version went backwards across batches"
+					return
+				}
+				last = v
+			}
+		}(r)
+	}
+	for v := uint32(1); v <= versions; v++ {
+		for i, k := range keys {
+			ops[i] = Op{Kind: OpInsert, Key: k, Val: v}
+		}
+		s.ApplyBatch(ctx, ops).Wait()
+		if v%10 == 0 {
+			time.Sleep(100 * time.Microsecond) // let readers interleave mid-epoch
+		}
+	}
+	done.Store(true)
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+	s.Close()
+	st := s.Stats()
+	if st.Rebuilds == 0 {
+		t.Fatalf("writer forced no epoch rebuilds (%d writes applied)", st.Inserts)
+	}
+	if r := s.Stats().Shards[0]; r.Epoch == 0 {
+		t.Fatal("shard 0 never advanced past epoch 0")
+	}
+}
+
+// TestStatsDuringWriteStorm hammers Stats from a side goroutine while
+// writes force rebuilds — the epoch pointer, delta gauge, and rebuild
+// counters must stay readable (and race-clean) mid-install.
+func TestStatsDuringWriteStorm(t *testing.T) {
+	s, err := New(testDomain(100, 1), WithShards(2), WithRebuildThreshold(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var done atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !done.Load() {
+			st := s.Stats()
+			for _, ss := range st.Shards {
+				if ss.DeltaLen < 0 {
+					panic("negative delta gauge")
+				}
+			}
+			runtime.Gosched() // don't starve the single-core write path
+		}
+	}()
+	for i := 0; i < 300; i++ {
+		s.Insert(ctx, uint64(5000+i%60), uint32(i)).Wait()
+	}
+	done.Store(true)
+	wg.Wait()
+	s.Close()
+	if st := s.Stats(); st.Rebuilds == 0 || st.MaxRebuildPause == 0 {
+		t.Fatalf("write storm recorded no rebuild pauses: %+v", st)
+	}
+}

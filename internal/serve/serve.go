@@ -2,16 +2,26 @@
 // index-join service — the paper's robustness argument operationalized as
 // a system rather than a one-shot experiment run.
 //
-// Requests are typed operations (Op: a point lookup or a join probe of an
-// IN-predicate's values against a dictionary) and arrive two ways:
+// Requests are typed operations (Op: a point lookup, a join probe of an
+// IN-predicate's values against a dictionary, or a dictionary write —
+// insert or delete) and arrive two ways:
 //
-//   - Point admission (Submit/Go/GoJoin): one key per call, accumulated by
-//     a group-commit style batcher bounded in both size and time.
-//   - Vectorized admission (SubmitBatch/GoBatch/JoinBatch): a whole probe
-//     column per call — the paper's index join is a column operator, so a
-//     client that already holds the probe vector submits it in one O(1)-
-//     allocation call instead of paying a Future per key and making the
-//     batcher re-assemble a batch it already had.
+//   - Point admission (Submit/Go/GoJoin/Insert/Delete): one key per
+//     call, accumulated by a group-commit style batcher bounded in both
+//     size and time.
+//   - Vectorized admission (SubmitBatch/GoBatch/JoinBatch/ApplyBatch): a
+//     whole probe (or write) column per call — the paper's index join is
+//     a column operator, so a client that already holds the probe vector
+//     submits it in one O(1)-allocation call instead of paying a Future
+//     per key and making the batcher re-assemble a batch it already had.
+//
+// The service is read-write: each shard buffers writes in a small sorted
+// delta probed delta-then-main by the same coroutine drains that serve
+// reads, and a background epoch manager bulk-merges full deltas into the
+// shard's index, publishing merged snapshots through an atomic epoch
+// pointer (delta.go, epoch.go). Reads never block on writes; a write
+// stalls only when its shard's delta refills before the previous rebuild
+// installs.
 //
 // Either way, requests are hash-partitioned across per-core shards
 // (vectorized batches are partitioned in place) and drained through the
@@ -88,6 +98,14 @@ const (
 	// OpJoin resolves a key and aggregates over its matching build-side
 	// tuples (services constructed WithBuild only).
 	OpJoin
+	// OpInsert upserts the mapping key → Val: subsequent lookups of Key
+	// resolve to Val (and join probes walk Val's build chain). The write
+	// lands in the owning shard's delta and is folded into the shard's
+	// index at the next epoch rebuild.
+	OpInsert
+	// OpDelete removes Key from the dictionary: subsequent lookups miss.
+	// Deleting an absent key is a no-op.
+	OpDelete
 	nOpKinds // sentinel for validation
 )
 
@@ -98,20 +116,33 @@ func (k OpKind) String() string {
 		return "lookup"
 	case OpJoin:
 		return "join"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
 	}
 	return "unknown"
 }
 
-// Op is one typed request: an operation kind applied to a key.
+// IsWrite reports whether the kind mutates the dictionary.
+func (k OpKind) IsWrite() bool { return k == OpInsert || k == OpDelete }
+
+// Op is one typed request: an operation kind applied to a key. Val is
+// the value carried by OpInsert (the code lookups of Key will resolve
+// to) and ignored by the other kinds.
 type Op struct {
 	Kind OpKind
 	Key  uint64
+	Val  uint32
 }
 
 // Result is the dictionary outcome for one key: the key's global code
-// (its position in the sorted domain) if present. Dropped marks a
-// request whose context was cancelled before its shard drained it; the
-// key was never probed.
+// if present — its position in the sorted domain New was built over, or
+// the value a later OpInsert upserted. For a write it is the
+// acknowledgement: an insert completes {Code: Val, Found: true}, a
+// delete {Code: NotFound}. Dropped marks a request whose context was
+// cancelled before its shard drained it; the key was never probed (and
+// a dropped write was never applied).
 type Result struct {
 	Code    uint32
 	Found   bool
@@ -181,6 +212,12 @@ type Config struct {
 	// SimSeed seeds the per-shard simulated engines (Sim* kinds); shard i
 	// uses SimSeed+i.
 	SimSeed uint64
+	// RebuildThreshold is the per-shard write-delta size that triggers a
+	// background epoch rebuild (bulk-merging the delta into the shard's
+	// index and publishing the merged snapshot). 0 takes the default; a
+	// negative value disables rebuilds, leaving writes in the delta
+	// indefinitely.
+	RebuildThreshold int
 }
 
 // DefaultConfig returns the serving defaults: 4 shards over the native
@@ -199,6 +236,9 @@ func DefaultConfig() Config {
 		AdaptEvery: 8,
 		QueueDepth: 8,
 		SimSeed:    1,
+		// 4096 writes keep the delta well inside L1/L2 while amortizing
+		// the install pause over thousands of writes.
+		RebuildThreshold: 4096,
 	}
 }
 
@@ -240,6 +280,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SimSeed == 0 {
 		c.SimSeed = d.SimSeed
+	}
+	if c.RebuildThreshold == 0 {
+		c.RebuildThreshold = d.RebuildThreshold
 	}
 	return c
 }
@@ -290,6 +333,13 @@ func WithQueueDepth(d int) Option { return func(o *options) { o.cfg.QueueDepth =
 // WithSimSeed seeds the per-shard simulated engines (Sim* backends).
 func WithSimSeed(s uint64) Option { return func(o *options) { o.cfg.SimSeed = s } }
 
+// WithRebuildThreshold sets the per-shard write-delta size that triggers
+// a background epoch rebuild (n < 0 disables rebuilds; 0 keeps the
+// default).
+func WithRebuildThreshold(n int) Option {
+	return func(o *options) { o.cfg.RebuildThreshold = n }
+}
+
 // WithBuild declares a build-side relation (possibly empty), making this
 // a join service: each shard owns, next to its dictionary partition, a
 // real-memory hash table over the build tuples whose keys hash to it,
@@ -298,6 +348,15 @@ func WithSimSeed(s uint64) Option { return func(o *options) { o.cfg.SimSeed = s 
 // the same interleaved drain. Build tuples whose key is absent from the
 // value domain are dropped — a dictionary-encoded probe can never reach
 // them. Join execution requires the NativeSorted backend.
+//
+// Writes and joins: the build side is immutable and keyed by the codes
+// of the domain it was loaded against, partitioned by build-key hash.
+// Dictionary writes edit only the key → code mapping, so a join probe
+// matches the build tuples carrying its resolved code in its own
+// shard's partition: deleting a key removes its matches, re-inserting
+// it with its original code restores them, and aliasing a key onto
+// another key's code reaches that chain exactly when both keys hash to
+// the same shard (a probe never leaves its shard).
 func WithBuild(build []BuildTuple) Option {
 	return func(o *options) {
 		if build == nil {
@@ -312,6 +371,7 @@ type Service struct {
 	cfg       Config
 	b         *batcher
 	shards    []*shard
+	em        *epochManager
 	wg        sync.WaitGroup
 	closed    atomic.Bool
 	closeOnce sync.Once
@@ -394,25 +454,35 @@ func New(values []uint64, opts ...Option) (*Service, error) {
 		}
 	}
 
+	// Construct every shard's index before starting any goroutine, so a
+	// backend construction error returns without leaking the epoch
+	// manager or half a shard fleet.
 	s := &Service{cfg: cfg, hasBuild: o.hasBuild}
 	for i := 0; i < cfg.Shards; i++ {
 		sh := &shard{
-			id:  i,
-			in:  make(chan shardMsg, cfg.QueueDepth),
-			ctl: newController(cfg),
-			met: &shardMetrics{},
+			id:        i,
+			in:        make(chan shardMsg, cfg.QueueDepth),
+			ctl:       newController(cfg),
+			met:       &shardMetrics{},
+			rebuildAt: cfg.RebuildThreshold,
 		}
+		ep := &epochState{vals: locVals[i], codes: locCodes[i]}
 		if joinTabs != nil {
-			sh.joinIdx = newNativeJoinIndex(cfg, locVals[i], locCodes[i], joinTabs[i])
+			ep.joinIdx = newNativeJoinIndex(cfg, locVals[i], locCodes[i], joinTabs[i])
 		} else {
 			idx, err := newShardIndex(cfg, i, locVals[i], locCodes[i])
 			if err != nil {
 				return nil, err
 			}
-			sh.idx = idx
+			ep.idx = idx
 		}
+		sh.epoch.Store(ep)
 		sh.met.group.Store(int64(cfg.Group))
 		s.shards = append(s.shards, sh)
+	}
+	s.em = newEpochManager(cfg.Shards)
+	for _, sh := range s.shards {
+		sh.em = s.em
 		s.wg.Add(1)
 		go sh.run(&s.wg)
 	}
@@ -422,21 +492,43 @@ func New(values []uint64, opts ...Option) (*Service, error) {
 
 // Submit admits one asynchronous typed operation. A nil ctx never
 // cancels; a ctx cancelled before the owning shard drains the request
-// drops it (the key is never probed) with a Dropped result. Submit must
-// not be called after Close; OpJoin requires a service built WithBuild.
+// drops it (the key is never probed, a write never applied) with a
+// Dropped result. Submit must not be called after Close; OpJoin requires
+// a service built WithBuild.
+//
+// Ordering: a shard executes its requests in admission-batch order, and
+// in submission order within a batch, so a single client that waits for
+// a write before issuing a read observes the write (read-your-writes per
+// key); concurrent clients race at admission as usual.
 func (s *Service) Submit(ctx context.Context, op Op) *Future {
-	if op.Kind >= nOpKinds {
-		panic("serve: unknown op kind " + op.Kind.String())
-	}
-	if op.Kind == OpJoin && !s.hasBuild {
-		panic("serve: OpJoin on a service without a build side")
-	}
+	s.checkOp(op)
 	if s.closed.Load() {
 		panic("serve: Submit after Close")
 	}
 	f := &Future{op: op, ctx: ctx, enq: time.Now(), done: make(chan struct{})}
 	s.b.add(f)
 	return f
+}
+
+// checkOp validates an operation at admission, panicking on misuse (as
+// Submit always has for unknown kinds): OpJoin requires a build side,
+// OpInsert must not carry the NotFound sentinel as its value, and the
+// SimTree backend only indexes keys that fit its uint32 key type — a
+// wider insert would silently vanish at the next rebuild, so it is
+// rejected up front.
+func (s *Service) checkOp(op Op) {
+	if op.Kind >= nOpKinds {
+		panic("serve: unknown op kind " + op.Kind.String())
+	}
+	if op.Kind == OpJoin && !s.hasBuild {
+		panic("serve: OpJoin on a service without a build side")
+	}
+	if op.Kind == OpInsert && op.Val == NotFound {
+		panic("serve: OpInsert value collides with the NotFound sentinel")
+	}
+	if op.Kind.IsWrite() && s.cfg.Kind == SimTree && op.Key > uint64(^uint32(0)) {
+		panic("serve: write key exceeds the tree backend's uint32 key range")
+	}
 }
 
 // Go submits one asynchronous lookup: Submit(ctx, Op{OpLookup, key}).
@@ -456,6 +548,22 @@ func (s *Service) GoJoin(ctx context.Context, key uint64) *Future {
 // Join is the synchronous convenience wrapper around GoJoin.
 func (s *Service) Join(ctx context.Context, key uint64) JoinResult {
 	return s.GoJoin(ctx, key).WaitJoin()
+}
+
+// Insert submits one asynchronous upsert: after it completes, lookups of
+// key resolve to val (Submit(ctx, Op{OpInsert, key, val})). The write
+// lands in the owning shard's sorted delta — probed in front of the
+// index by every subsequent drain — and is bulk-merged into the shard's
+// index by a background epoch rebuild once the delta reaches the
+// rebuild threshold. val must not be the NotFound sentinel.
+func (s *Service) Insert(ctx context.Context, key uint64, val uint32) *Future {
+	return s.Submit(ctx, Op{Kind: OpInsert, Key: key, Val: val})
+}
+
+// Delete submits one asynchronous delete: after it completes, lookups of
+// key miss. Deleting an absent key is a no-op that still completes.
+func (s *Service) Delete(ctx context.Context, key uint64) *Future {
+	return s.Submit(ctx, Op{Kind: OpDelete, Key: key})
 }
 
 // dispatch hash-partitions one sealed admission batch into per-shard
@@ -487,6 +595,7 @@ func (s *Service) Close() {
 			close(sh.in)
 		}
 		s.wg.Wait()
+		s.em.close()
 	})
 }
 
@@ -503,6 +612,13 @@ func (s *Service) Stats() Stats {
 		st.Dropped += ss.Dropped
 		st.Joins += ss.Joins
 		st.JoinHits += ss.JoinHits
+		st.Inserts += ss.Inserts
+		st.Deletes += ss.Deletes
+		st.Rebuilds += ss.Rebuilds
+		st.RebuildPause += ss.RebuildPause
+		if ss.MaxRebuildPause > st.MaxRebuildPause {
+			st.MaxRebuildPause = ss.MaxRebuildPause
+		}
 		sh.met.hist.addTo(&counts)
 	}
 	st.P50 = quantileOf(&counts, 0.50)

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/coro"
@@ -11,21 +12,32 @@ import (
 	"repro/internal/native"
 )
 
-// shard owns one hash partition of the key domain: a shard-local index, a
-// sub-batch queue, an adaptive group-size controller, and metrics. One
-// goroutine per shard drains its queue through the interleaved kernels —
-// the multicore layout of Shahvarani & Jacobsen's index-based stream
-// join, with the paper's coroutine interleaving inside each core.
+// shard owns one hash partition of the key domain: an epoch-snapshot
+// index, a sorted write delta, a sub-batch queue, an adaptive group-size
+// controller, and metrics. One goroutine per shard drains its queue
+// through the interleaved kernels — the multicore layout of Shahvarani &
+// Jacobsen's index-based stream join, with the paper's coroutine
+// interleaving inside each core — and is the only writer of the shard's
+// delta and epoch pointer, so reads and writes serve from one scheduler
+// without locks on the probe path (the CoroBase argument).
 type shard struct {
 	id int
 	in chan shardMsg
-	// idx serves lookup-only services; joinIdx (non-nil on a join
-	// service) drains mixed lookup/join batches through the composite
-	// dictionary→probe frames.
-	idx     shardIndex
-	joinIdx *nativeJoinIndex
-	ctl     *controller
-	met     *shardMetrics
+	// epoch is the published snapshot: loaded once per drained message,
+	// swapped only by this shard's goroutine at install time, read
+	// concurrently by Stats. A message therefore probes exactly one
+	// (snapshot, delta) pair — no torn views inside a batch segment.
+	epoch atomic.Pointer[epochState]
+	ctl   *controller
+	met   *shardMetrics
+
+	// Write state (shard goroutine only, except the pendingInstall slot
+	// the epoch manager fills).
+	delta          []writeEntry // live sorted write buffer
+	frozen         []writeEntry // delta snapshot being merged, nil when idle
+	rebuildAt      int          // freeze threshold; <= 0 disables rebuilds
+	em             *epochManager
+	pendingInstall atomic.Pointer[installMsg]
 
 	// Point-path scratch, reused across sub-batches (shard-local).
 	keys []uint64
@@ -35,27 +47,33 @@ type shard struct {
 
 // shardMsg is one unit of shard work: either a point sub-batch (sub) or
 // a contiguous segment [lo, hi) of a vectorized batch's partitioned key
-// column (bf). Sent by value, so vectorized dispatch allocates nothing
-// per shard.
+// (or op) column (bf). Sent by value, so vectorized dispatch allocates
+// nothing per shard.
 type shardMsg struct {
 	sub    []*Future
 	bf     *BatchFuture
 	lo, hi int
 }
 
-// shardIndex resolves one batch of keys with the given interleaving group
-// size and returns the batch's cost in backend units — nanoseconds for
-// the native backend, simulated cycles for the memsim backends — which
-// feeds the controller's hill climb.
+// shardIndex resolves one batch of keys — each probed delta-then-main
+// against the given write-buffer view — with the given interleaving
+// group size, and returns the batch's cost in backend units (nanoseconds
+// for the native backend, simulated cycles for the memsim backends),
+// which feeds the controller's hill climb. rebuild constructs the
+// next-epoch index over a merged column, reusing the engine, drainer,
+// and slot-pool resources of the current one; it runs on the shard
+// goroutine between batches and its duration is the rebuild pause.
 type shardIndex interface {
-	lookupBatch(keys []uint64, group int, out []Result) float64
+	lookupBatch(dv deltaView, keys []uint64, group int, out []Result) float64
+	rebuild(vals []uint64, codes []uint32, frozen []writeEntry) shardIndex
 }
 
 // run drains point sub-batches and vectorized segments until the queue
-// closes.
+// closes, installing any completed rebuild between messages.
 func (sh *shard) run(wg *sync.WaitGroup) {
 	defer wg.Done()
 	for msg := range sh.in {
+		sh.installPending()
 		if msg.bf != nil {
 			sh.drainSegment(msg.bf, msg.lo, msg.hi)
 		} else {
@@ -64,9 +82,30 @@ func (sh *shard) run(wg *sync.WaitGroup) {
 	}
 }
 
+// applyOp applies one write to the live delta and returns its
+// acknowledgement result. Shard goroutine only.
+func (sh *shard) applyOp(op Op) Result {
+	switch op.Kind {
+	case OpInsert:
+		sh.delta = applyWriteEntry(sh.delta, op.Key, op.Val, false)
+		sh.met.recordInsert(len(sh.delta))
+		sh.maybeRebuild()
+		return Result{Code: op.Val, Found: true}
+	default: // OpDelete
+		sh.delta = applyWriteEntry(sh.delta, op.Key, 0, true)
+		sh.met.recordDelete(len(sh.delta))
+		sh.maybeRebuild()
+		return Result{Code: NotFound}
+	}
+}
+
 // drainPoint resolves one point sub-batch. Requests whose context is
-// already cancelled are dropped before the kernel runs — marked, never
-// probed, counted — and complete with a Dropped result.
+// already cancelled are dropped before the kernel runs (reads) or the
+// delta is touched (writes) — marked, never applied, counted — and
+// complete with a Dropped result. Live ops execute in submission order:
+// maximal runs of reads drain interleaved through the kernels, and each
+// write applies to the delta at its position between runs, so a lookup
+// submitted after an insert in the same sub-batch observes it.
 func (sh *shard) drainPoint(sub []*Future) {
 	var dropped uint64
 	for _, f := range sub {
@@ -75,32 +114,32 @@ func (sh *shard) drainPoint(sub []*Future) {
 			dropped++
 		}
 	}
-	n := len(sub) - int(dropped)
 	g := sh.ctl.Group()
 	t0 := time.Now()
 	var cost float64
-	if sh.joinIdx != nil {
-		// The composite drain skips dropped futures through the nil-start
-		// contract of coro.Drainer.DrainSlots.
-		cost = sh.joinIdx.drainBatch(sub, g)
-	} else if n > 0 {
-		if cap(sh.keys) < n {
-			sh.keys = make([]uint64, n)
-			sh.out = make([]Result, n)
-			sh.live = make([]*Future, n)
+	var reads, writes int
+	for i := 0; i < len(sub); {
+		f := sub[i]
+		if f.dropped {
+			i++
+			continue
 		}
-		keys, out, live := sh.keys[:0], sh.out[:n], sh.live[:0]
-		for _, f := range sub {
-			if !f.dropped {
-				keys = append(keys, f.op.Key)
-				live = append(live, f)
-			}
+		if f.op.Kind.IsWrite() {
+			f.res = sh.applyOp(f.op)
+			writes++
+			i++
+			continue
 		}
-		cost = sh.idx.lookupBatch(keys, g, out)
-		for i, f := range live {
-			f.res = out[i]
+		// Maximal run of live reads: delta state is frozen for the run's
+		// drain (writes only apply between runs).
+		j := i + 1
+		for j < len(sub) && (sub[j].dropped || !sub[j].op.Kind.IsWrite()) {
+			j++
 		}
-		clear(sh.live[:len(live)]) // drop future references between batches
+		n := 0
+		cost += sh.drainReadRun(sub[i:j], g, &n)
+		reads += n
+		i = j
 	}
 	busy := time.Since(t0)
 	now := time.Now()
@@ -120,18 +159,71 @@ func (sh *shard) drainPoint(sub []*Future) {
 		}
 		close(f.done)
 	}
-	if n > 0 {
+	if n := reads + writes; n > 0 {
 		sh.met.recordBatch(n, g, busy)
 		sh.met.recordJoins(joins, hits)
-		sh.ctl.observe(n, cost)
+	}
+	if reads > 0 {
+		sh.ctl.observe(reads, cost)
 	}
 	sh.met.recordDropped(dropped)
 }
 
-// drainSegment resolves one shard segment of a vectorized batch,
-// writing results (and join outcomes and streamed matches) straight
-// into the batch's caller-visible slices. A segment whose context is
-// already cancelled is dropped whole: it never reaches the kernel.
+// drainReadRun drains one run of point reads (dropped futures in the
+// run are skipped through the schedulers' nil-start contract) against
+// the current epoch snapshot and delta view, completing their result
+// fields. Both are loaded per run, not per sub-batch: a write between
+// runs can install a pending epoch (the write-stall path), and a read
+// after it must probe the post-install pair or it would miss the writes
+// the merge just retired from the delta. It returns the run's kernel
+// cost and counts the live reads into n.
+func (sh *shard) drainReadRun(run []*Future, g int, n *int) float64 {
+	ep := sh.epoch.Load()
+	dv := deltaView{live: sh.delta, frozen: sh.frozen}
+	if ep.joinIdx != nil {
+		for _, f := range run {
+			if !f.dropped {
+				*n++
+			}
+		}
+		return ep.joinIdx.drainBatch(dv, run, g)
+	}
+	live := 0
+	for _, f := range run {
+		if !f.dropped {
+			live++
+		}
+	}
+	if live == 0 {
+		return 0
+	}
+	*n += live
+	if cap(sh.keys) < live {
+		sh.keys = make([]uint64, live)
+		sh.out = make([]Result, live)
+		sh.live = make([]*Future, live)
+	}
+	keys, out, lf := sh.keys[:0], sh.out[:live], sh.live[:0]
+	for _, f := range run {
+		if !f.dropped {
+			keys = append(keys, f.op.Key)
+			lf = append(lf, f)
+		}
+	}
+	cost := ep.idx.lookupBatch(dv, keys, g, out)
+	for i, f := range lf {
+		f.res = out[i]
+	}
+	clear(sh.live[:len(lf)]) // drop future references between batches
+	return cost
+}
+
+// drainSegment resolves one shard segment of a vectorized batch, writing
+// results (and join outcomes and streamed matches) straight into the
+// batch's caller-visible slices. A segment whose context is already
+// cancelled is dropped whole: it never reaches the kernel or the delta.
+// Write segments (ApplyBatch) apply in op order as one unit — other
+// batches on this shard observe all of the segment's writes or none.
 func (sh *shard) drainSegment(bf *BatchFuture, lo, hi int) {
 	n := hi - lo
 	if bf.ctx != nil && bf.ctx.Err() != nil {
@@ -147,31 +239,41 @@ func (sh *shard) drainSegment(bf *BatchFuture, lo, hi int) {
 		bf.segDone(uint64(n))
 		return
 	}
+	ep := sh.epoch.Load()
 	g := sh.ctl.Group()
 	t0 := time.Now()
 	var cost float64
 	var joins, hits uint64
-	if sh.joinIdx != nil {
-		cost = sh.joinIdx.drainSegment(bf, sh.id, lo, hi, g)
+	switch {
+	case bf.ops != nil:
+		for i := lo; i < hi; i++ {
+			bf.res[i] = sh.applyOp(bf.ops[i])
+		}
+	case ep.joinIdx != nil:
+		dv := deltaView{live: sh.delta, frozen: sh.frozen}
+		cost = ep.joinIdx.drainSegment(dv, bf, sh.id, lo, hi, g)
 		if bf.kind == OpJoin {
 			joins = uint64(n)
 			for i := lo; i < hi; i++ {
 				hits += uint64(bf.jres[i].Hits)
 			}
 		}
-	} else {
-		cost = sh.idx.lookupBatch(bf.keys[lo:hi], g, bf.res[lo:hi])
+	default:
+		dv := deltaView{live: sh.delta, frozen: sh.frozen}
+		cost = ep.idx.lookupBatch(dv, bf.keys[lo:hi], g, bf.res[lo:hi])
 	}
 	busy := time.Since(t0)
 	sh.met.hist.recordN(time.Since(bf.enq), uint64(n))
 	sh.met.recordBatch(n, g, busy)
 	sh.met.recordJoins(joins, hits)
-	sh.ctl.observe(n, cost)
+	if bf.ops == nil {
+		sh.ctl.observe(n, cost)
+	}
 	bf.segDone(0)
 }
 
-// newShardIndex builds shard i's index over its local (sorted) values and
-// their global codes.
+// newShardIndex builds shard i's epoch-0 index over its local (sorted)
+// values and their global codes.
 func newShardIndex(cfg Config, i int, vals []uint64, codes []uint32) (shardIndex, error) {
 	switch cfg.Kind {
 	case NativeSorted:
@@ -208,7 +310,10 @@ func (e errUnknownKind) Error() string { return "serve: unknown index kind " + I
 // frame-coroutine binary search of internal/native, drained through a
 // reusable coro.Drainer with one slot-recycled SearchCursor per
 // scheduler slot — the steady-state drain allocates nothing per key.
-// The cost unit is wall nanoseconds.
+// Delta-resolved keys complete at start time through the scheduler's
+// nil-start contract, so they never occupy a slot; everything else falls
+// through to the main search — the delta-then-main composite. The cost
+// unit is wall nanoseconds.
 type nativeIndex struct {
 	table []uint64
 	codes []uint32
@@ -216,9 +321,9 @@ type nativeIndex struct {
 	pool  *coro.SlotPool[native.SearchCursor, int]
 }
 
-func (x *nativeIndex) lookupBatch(keys []uint64, group int, out []Result) float64 {
+func (x *nativeIndex) lookupBatch(dv deltaView, keys []uint64, group int, out []Result) float64 {
 	t0 := time.Now()
-	if len(x.table) == 0 {
+	if len(x.table) == 0 && dv.empty() {
 		for i := range out {
 			out[i] = Result{Code: NotFound}
 		}
@@ -226,6 +331,20 @@ func (x *nativeIndex) lookupBatch(keys []uint64, group int, out []Result) float6
 	}
 	x.d.DrainSlots(len(keys), group,
 		func(slot, i int) coro.Handle[int] {
+			if !dv.empty() {
+				if v, oc := dv.lookup(keys[i]); oc != deltaMiss {
+					if oc == deltaHit {
+						out[i] = Result{Code: v, Found: true}
+					} else {
+						out[i] = Result{Code: NotFound}
+					}
+					return nil
+				}
+			}
+			if len(x.table) == 0 {
+				out[i] = Result{Code: NotFound}
+				return nil
+			}
 			c, h := x.pool.Slot(slot)
 			*c = native.StartSearch(x.table, keys[i])
 			return h
@@ -240,61 +359,132 @@ func (x *nativeIndex) lookupBatch(keys []uint64, group int, out []Result) float6
 	return float64(time.Since(t0))
 }
 
+func (x *nativeIndex) rebuild(vals []uint64, codes []uint32, _ []writeEntry) shardIndex {
+	// The merged column is the index; the drainer and slot pool carry
+	// over, so a native install is a pointer swap — near-zero pause.
+	return &nativeIndex{table: vals, codes: codes, d: x.d, pool: x.pool}
+}
+
+// resolveDelta answers the delta-resolved keys of a batch host-side (the
+// delta is a small cache-resident write buffer; the simulated engine
+// models the main index only) and compacts the unresolved ones into
+// pendKeys/pendIdx for the simulated drain. Shared by the sim backends.
+func resolveDelta(dv deltaView, keys []uint64, out []Result, pendKeys []uint64, pendIdx []int) ([]uint64, []int) {
+	for i, k := range keys {
+		switch v, oc := dv.lookup(k); oc {
+		case deltaHit:
+			out[i] = Result{Code: v, Found: true}
+		case deltaDel:
+			out[i] = Result{Code: NotFound}
+		default:
+			pendKeys = append(pendKeys, k)
+			pendIdx = append(pendIdx, i)
+		}
+	}
+	return pendKeys, pendIdx
+}
+
 // simMainIndex is the memsim-backed sorted-array dictionary. The cost
 // unit is simulated cycles, so the controller optimizes modeled memory
 // behaviour rather than host simulation overhead.
 type simMainIndex struct {
-	e     *memsim.Engine
-	dict  *dict.Main
-	codes []uint32 // local code → global code
-	local []uint32 // scratch
+	e       *memsim.Engine
+	dict    *dict.Main
+	codes   []uint32 // local code → value (global code)
+	local   []uint32 // scratch
+	pendK   []uint64 // scratch: delta-missed keys
+	pendIdx []int    // scratch: their positions
 }
 
-func (x *simMainIndex) lookupBatch(keys []uint64, group int, out []Result) float64 {
+func (x *simMainIndex) lookupBatch(dv deltaView, keys []uint64, group int, out []Result) float64 {
 	start := x.e.Now()
-	if cap(x.local) < len(keys) {
-		x.local = make([]uint32, len(keys))
+	probe := keys
+	scatter := []int(nil)
+	if !dv.empty() {
+		x.pendK, x.pendIdx = resolveDelta(dv, keys, out, x.pendK[:0], x.pendIdx[:0])
+		probe, scatter = x.pendK, x.pendIdx
 	}
-	x.local = x.local[:len(keys)]
-	x.dict.LocateAllInterleaved(x.e, keys, group, x.local)
+	if cap(x.local) < len(probe) {
+		x.local = make([]uint32, len(probe))
+	}
+	x.local = x.local[:len(probe)]
+	x.dict.LocateAllInterleaved(x.e, probe, group, x.local)
 	for i, lc := range x.local {
+		o := i
+		if scatter != nil {
+			o = scatter[i]
+		}
 		if lc == dict.NotFound {
-			out[i] = Result{Code: NotFound}
+			out[o] = Result{Code: NotFound}
 		} else {
-			out[i] = Result{Code: x.codes[lc], Found: true}
+			out[o] = Result{Code: x.codes[lc], Found: true}
 		}
 	}
 	return float64(x.e.Now() - start)
 }
 
-// simTreeIndex is the memsim-backed CSB+-tree with value leaves holding
-// global codes directly. The cost unit is simulated cycles.
-type simTreeIndex struct {
-	e     *memsim.Engine
-	tree  *csbtree.Tree
-	costs csbtree.Costs
-	k32   []uint32         // scratch
-	res   []csbtree.Result // scratch
+func (x *simMainIndex) rebuild(vals []uint64, codes []uint32, _ []writeEntry) shardIndex {
+	// Rebuilding the simulated sorted array is the install pause for this
+	// backend; the engine is shard-owned, so construction must run here.
+	return &simMainIndex{e: x.e, dict: dict.NewMain(x.e, vals), codes: codes}
 }
 
-func (x *simTreeIndex) lookupBatch(keys []uint64, group int, out []Result) float64 {
+// simTreeIndex is the memsim-backed CSB+-tree with value leaves holding
+// the key's value (global code) directly. The cost unit is simulated
+// cycles.
+type simTreeIndex struct {
+	e       *memsim.Engine
+	tree    *csbtree.Tree
+	costs   csbtree.Costs
+	k32     []uint32         // scratch
+	res     []csbtree.Result // scratch
+	pendK   []uint64         // scratch: delta-missed keys
+	pendIdx []int            // scratch: their positions
+}
+
+func (x *simTreeIndex) lookupBatch(dv deltaView, keys []uint64, group int, out []Result) float64 {
 	start := x.e.Now()
-	n := len(keys)
+	probe := keys
+	scatter := []int(nil)
+	if !dv.empty() {
+		x.pendK, x.pendIdx = resolveDelta(dv, keys, out, x.pendK[:0], x.pendIdx[:0])
+		probe, scatter = x.pendK, x.pendIdx
+	}
+	n := len(probe)
 	if cap(x.k32) < n {
 		x.k32 = make([]uint32, n)
 		x.res = make([]csbtree.Result, n)
 	}
 	x.k32, x.res = x.k32[:n], x.res[:n]
-	for i, k := range keys {
+	for i, k := range probe {
 		x.k32[i] = uint32(k) // oversize keys are overridden below
 	}
 	x.tree.RunCORO(x.e, x.costs, x.k32, group, x.res)
 	for i, r := range x.res {
-		if keys[i] > uint64(^uint32(0)) || !r.Found {
-			out[i] = Result{Code: NotFound}
+		o := i
+		if scatter != nil {
+			o = scatter[i]
+		}
+		if probe[i] > uint64(^uint32(0)) || !r.Found {
+			out[o] = Result{Code: NotFound}
 		} else {
-			out[i] = Result{Code: r.Value, Found: true}
+			out[o] = Result{Code: r.Value, Found: true}
 		}
 	}
 	return float64(x.e.Now() - start)
+}
+
+func (x *simTreeIndex) rebuild(_ []uint64, _ []uint32, frozen []writeEntry) shardIndex {
+	// The tree rebuild goes through the incremental bulk-merge entry
+	// point: walk the current tree's entries in order and merge the
+	// frozen delta in, rather than reloading the merged column wholesale.
+	// New-style admission guarantees tree keys fit uint32.
+	upKeys := make([]uint32, len(frozen))
+	upVals := make([]uint32, len(frozen))
+	del := make([]bool, len(frozen))
+	for i, e := range frozen {
+		upKeys[i], upVals[i], del[i] = uint32(e.key), e.val, e.del
+	}
+	merged := csbtree.BulkMerge(x.e, x.tree, upKeys, upVals, del)
+	return &simTreeIndex{e: x.e, tree: merged, costs: x.costs}
 }

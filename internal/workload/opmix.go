@@ -1,0 +1,97 @@
+package workload
+
+// This file extends the serving workloads with a read/write request mix:
+// the op-stream shape of a dictionary that mutates while it serves
+// (internal/serve's OpInsert/OpDelete path). Reads keep the skewed
+// KeyMix shape; a configurable fraction of the stream is writes, split
+// between inserts (drawing fresh keys from above the read range as well
+// as overwrites inside it) and deletes.
+
+import "math/rand/v2"
+
+// MixOp classifies one generated operation.
+type MixOp uint8
+
+const (
+	// MixRead is a lookup (or join probe — the consumer decides).
+	MixRead MixOp = iota
+	// MixInsert upserts Key → Val.
+	MixInsert
+	// MixDelete removes Key.
+	MixDelete
+)
+
+// String names the operation class.
+func (o MixOp) String() string {
+	switch o {
+	case MixRead:
+		return "read"
+	case MixInsert:
+		return "insert"
+	case MixDelete:
+		return "delete"
+	}
+	return "unknown"
+}
+
+// OpMix draws a seeded read/write op stream over indices in [0, Max):
+// reads come from an embedded KeyMix (Zipf/uniform), a WriteFrac
+// fraction of draws are writes, and of those a DeleteFrac fraction are
+// deletes. Inserted values are sequence numbers, so replayers can check
+// freshness. A FreshFrac fraction of inserts targets indices in
+// [Max, 2·Max) — keys outside the initial domain, growing it — while
+// the rest overwrite the read range. Not safe for concurrent use; give
+// each generator worker its own OpMix.
+type OpMix struct {
+	rng        *rand.Rand
+	keys       *KeyMix
+	max        int
+	writeFrac  float64
+	deleteFrac float64
+	freshFrac  float64
+	seq        uint32
+}
+
+// NewOpMix builds an op mix over [0, max): writeFrac of the draws are
+// writes (clamped to [0, 1]), deleteFrac of the writes are deletes,
+// freshFrac of the inserts target fresh indices in [max, 2·max), and
+// reads draw zipfFrac of their indices from Zipf(s) as NewKeyMix.
+func NewOpMix(seed uint64, max int, zipfFrac, s, writeFrac, deleteFrac, freshFrac float64) *OpMix {
+	clamp := func(f float64) float64 {
+		if f < 0 {
+			return 0
+		}
+		if f > 1 {
+			return 1
+		}
+		return f
+	}
+	if max < 1 {
+		max = 1
+	}
+	return &OpMix{
+		rng:        rand.New(rand.NewPCG(seed^0x5851f42d4c957f2d, seed+0x14057b7ef767814f)),
+		keys:       NewKeyMix(seed, max, zipfFrac, s),
+		max:        max,
+		writeFrac:  clamp(writeFrac),
+		deleteFrac: clamp(deleteFrac),
+		freshFrac:  clamp(freshFrac),
+	}
+}
+
+// Next returns the next operation: its class, target index, and (for
+// inserts) its value — a stream-unique sequence number.
+func (m *OpMix) Next() (op MixOp, index int, val uint32) {
+	if m.writeFrac > 0 && m.rng.Float64() < m.writeFrac {
+		if m.rng.Float64() < m.deleteFrac {
+			return MixDelete, m.keys.Next(), 0
+		}
+		m.seq++
+		idx := m.keys.Next()
+		if m.freshFrac > 0 && m.rng.Float64() < m.freshFrac {
+			idx = m.max + int(m.rng.Uint64N(uint64(m.max)))
+		}
+		return MixInsert, idx, m.seq
+	}
+	return MixRead, m.keys.Next(), 0
+}

@@ -1,0 +1,74 @@
+package workload
+
+import "testing"
+
+func TestOpMixFractions(t *testing.T) {
+	const n = 50000
+	m := NewOpMix(42, 1000, 0.5, 1.2, 0.3, 0.4, 0.5)
+	var reads, inserts, deletes, fresh int
+	seen := map[uint32]bool{}
+	for i := 0; i < n; i++ {
+		op, idx, val := m.Next()
+		switch op {
+		case MixRead:
+			reads++
+			if idx < 0 || idx >= 1000 {
+				t.Fatalf("read index %d outside [0,1000)", idx)
+			}
+		case MixInsert:
+			inserts++
+			if idx < 0 || idx >= 2000 {
+				t.Fatalf("insert index %d outside [0,2000)", idx)
+			}
+			if idx >= 1000 {
+				fresh++
+			}
+			if seen[val] {
+				t.Fatalf("insert value %d repeated", val)
+			}
+			seen[val] = true
+		case MixDelete:
+			deletes++
+			if idx < 0 || idx >= 1000 {
+				t.Fatalf("delete index %d outside [0,1000)", idx)
+			}
+		}
+	}
+	frac := func(c int) float64 { return float64(c) / n }
+	if f := frac(inserts + deletes); f < 0.27 || f > 0.33 {
+		t.Fatalf("write fraction %.3f, want ~0.30", f)
+	}
+	writes := inserts + deletes
+	if f := float64(deletes) / float64(writes); f < 0.35 || f > 0.45 {
+		t.Fatalf("delete fraction of writes %.3f, want ~0.40", f)
+	}
+	if f := float64(fresh) / float64(inserts); f < 0.44 || f > 0.56 {
+		t.Fatalf("fresh fraction of inserts %.3f, want ~0.50", f)
+	}
+}
+
+func TestOpMixDeterministicAndClamped(t *testing.T) {
+	a := NewOpMix(7, 100, 0, 0, 0.5, 0.5, 0.25)
+	b := NewOpMix(7, 100, 0, 0, 0.5, 0.5, 0.25)
+	for i := 0; i < 1000; i++ {
+		o1, i1, v1 := a.Next()
+		o2, i2, v2 := b.Next()
+		if o1 != o2 || i1 != i2 || v1 != v2 {
+			t.Fatalf("draw %d diverged: (%v,%d,%d) vs (%v,%d,%d)", i, o1, i1, v1, o2, i2, v2)
+		}
+	}
+
+	// writeFrac 0 never writes; writeFrac > 1 clamps to always-write.
+	ro := NewOpMix(9, 10, 0, 0, 0, 1, 0)
+	for i := 0; i < 200; i++ {
+		if op, _, _ := ro.Next(); op != MixRead {
+			t.Fatalf("writeFrac 0 produced %v", op)
+		}
+	}
+	wo := NewOpMix(9, 10, 0, 0, 2, 0, 0)
+	for i := 0; i < 200; i++ {
+		if op, _, _ := wo.Next(); op != MixInsert {
+			t.Fatalf("writeFrac 2, deleteFrac 0 produced %v", op)
+		}
+	}
+}
