@@ -11,7 +11,9 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/coro"
 	"repro/internal/exp"
+	"repro/internal/native"
 	"repro/internal/serve"
 	"repro/internal/workload"
 )
@@ -100,6 +102,96 @@ func BenchmarkServeBatchVsPoint(b *testing.B) {
 	b.ReportMetric(perKeyPoint, "ns/key-point")
 	b.ReportMetric(perKeyBatch, "ns/key-batch")
 	b.ReportMetric(perKeyPoint/perKeyBatch, "batchSpeedup")
+}
+
+// BenchmarkNativeRangeSeek compares sequential and interleaved range
+// scans on a beyond-LLC sorted column (256 MB of keys + 128 MB of
+// codes, the scale of the BenchmarkNative* searches), with short ranges
+// so the lower-bound seek — the paper's dependent-miss binary search —
+// dominates and the sequential scan tail stays small. The interleaved
+// path drains native.RangeCursor frames through the same slot-recycled
+// Drainer the serve shards use; the bar is interleaved beating
+// sequential (coroSpeedup > 1) at the serving steady state (a fixed
+// batch-sized query set over the huge column, per the native-bench
+// methodology — on fully TLB-cold virtualized hosts both kernels
+// converge on the translation-walk floor instead). Real hardware, no
+// simulator — cheap enough for the CI bench smoke.
+func BenchmarkNativeRangeSeek(b *testing.B) {
+	const (
+		tableN  = 1 << 25 // 256 MB of keys: beyond most LLCs (as the native benches)
+		queries = 4096
+		width   = 8  // seek-dominated: the scan tail stays a cache line or two
+		group   = 10 // the LFB-bound sweet spot the native search benches use
+	)
+	table := make([]uint64, tableN)
+	codes := make([]uint32, tableN)
+	for i := range table {
+		table[i] = uint64(i) * 2
+		codes[i] = uint32(i)
+	}
+	// One fixed query set, one timing loop per kernel (the structure of
+	// the internal/native search benches): alternating the two kernels
+	// inside one loop makes each pass start on the other's evictions and
+	// measures the cold-refill floor for both, hiding the seek overlap
+	// this benchmark exists to show. Each sub-benchmark warms up with
+	// one untimed pass so the CI bench smoke's single iteration measures
+	// the kernels, not first-touch page walks.
+	mix := workload.NewRangeMix(17, tableN, 0, 0, width)
+	los := make([]uint64, queries)
+	his := make([]uint64, queries)
+	for i := range los {
+		start, w := mix.Next()
+		los[i] = uint64(start) * 2
+		his[i] = los[i] + uint64(max(w-1, 0))*2
+	}
+	outs := make([][]native.Pair, queries)
+	reset := func() {
+		for q := range outs {
+			outs[q] = outs[q][:0]
+		}
+	}
+	var perSeq float64
+	b.Run("sequential", func(b *testing.B) {
+		run := func() {
+			reset()
+			for q := range los {
+				native.RangeSeekScan(table, codes, los[q], his[q], 0, &outs[q])
+			}
+		}
+		run() // warmup
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run()
+		}
+		perSeq = float64(b.Elapsed().Nanoseconds()) / float64(b.N*queries)
+		b.ReportMetric(perSeq, "ns/range")
+	})
+	b.Run("interleaved", func(b *testing.B) {
+		d := coro.NewDrainer[int](group)
+		pool := coro.NewSlotPool(func(c *native.RangeCursor) func() (int, bool) { return c.Step })
+		run := func() {
+			reset()
+			d.DrainSlots(queries, group,
+				func(slot, q int) coro.Handle[int] {
+					c, h := pool.Slot(slot)
+					*c = native.StartRangeScan(table, codes, los[q], his[q], 0, &outs[q])
+					return h
+				},
+				func(int, int) {})
+		}
+		run() // warmup
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run()
+		}
+		perCoro := float64(b.Elapsed().Nanoseconds()) / float64(b.N*queries)
+		b.ReportMetric(perCoro, "ns/range")
+		if perSeq > 0 {
+			// Sub-benchmarks run in declaration order, so the sequential
+			// cost is in hand; the bar is speedup > 1 beyond the LLC.
+			b.ReportMetric(perSeq/perCoro, "coroSpeedup")
+		}
+	})
 }
 
 // BenchmarkFig1 regenerates Figure 1 (IN query response time, Main).

@@ -33,6 +33,21 @@
 // report adds applied-write counts, per-shard epochs, and the rebuild
 // pauses (total and max) the installs cost the serving goroutines.
 //
+// In -mode range every request is an ordered range scan fanned out to
+// all shards (workload.RangeMix: Zipf-clustered starts, widths around
+// -width domain entries; -rangelimit caps each result). Range admission
+// is always vectorized — workers submit -vector-sized RangeBatch
+// columns (default 256), because a shard interleaves the seeks *within*
+// one column, so single-range submissions would drain group-of-1
+// regardless of the controller. Ranges run on every backend — the
+// interleaved lower-bound seek plus sequential scan on native, the
+// simulated sorted-array scan on main, the CSB+-tree leaf walk on tree
+// — and the report adds segment and merged-entry counts. -width 1 is
+// seek-dominated (a range is a binary search), large -width
+// scan-dominated; the adaptive controller finds a different optimal
+// group for each, which is the robustness argument on a third
+// operation shape.
+//
 // Usage:
 //
 //	isiserve -shards 4 -duration 2s
@@ -42,6 +57,8 @@
 //	isiserve -mode join -dict 64 -build 256 -rate 0
 //	isiserve -mode join -vector 4096 -deadline 2ms -rate 0
 //	isiserve -writes 0.2 -rebuild 4096 -rate 0   # read-write serving
+//	isiserve -mode range -width 64 -rate 0       # ordered range scans
+//	isiserve -mode range -index tree -dict 4 -width 8 -rate 20000
 //
 // The memsim-backed kinds (-index main|tree) spend host time simulating
 // every probe, so drive them at far lower -dict and -rate than the
@@ -64,7 +81,9 @@ func main() {
 	var (
 		shards   = flag.Int("shards", 4, "number of index shards (one goroutine each)")
 		index    = flag.String("index", "native", "shard index backend: native (real hardware), main (memsim sorted array), tree (memsim CSB+-tree)")
-		mode     = flag.String("mode", "lookup", "request type: lookup (point lookups) or join (dictionary resolve piped into a hash-probe pass; native backend only)")
+		mode     = flag.String("mode", "lookup", "request type: lookup (point lookups), join (dictionary resolve piped into a hash-probe pass; native backend only), or range (interleaved seek + ordered scan, fanned out to every shard; any backend)")
+		width    = flag.Int("width", 16, "range mode: mean domain entries per range (1 = seek-only; large = scan-dominated)")
+		rngLimit = flag.Int("rangelimit", 0, "range mode: per-range result cap (0 = unbounded)")
 		vector   = flag.Int("vector", 0, "vectorized admission: submit whole N-key probe columns via GoBatch/JoinBatch instead of per-key point ops (0 = point mode)")
 		deadline = flag.Duration("deadline", 0, "vector mode: per-batch context deadline; expired batches are dropped before drain (0 = none)")
 		buildMB  = flag.Int("build", 256, "join mode: build-side size in MB of 16-byte tuples")
@@ -128,7 +147,7 @@ func main() {
 		SimSeed:          *seed,
 		RebuildThreshold: *rebuild,
 	}
-	join := false
+	join, ranges := false, false
 	switch *mode {
 	case "lookup":
 	case "join":
@@ -139,8 +158,25 @@ func main() {
 			fmt.Fprintf(os.Stderr, "isiserve: -mode join requires -index native (got %s)\n", kind)
 			os.Exit(2)
 		}
+	case "range":
+		ranges = true
+		if *writes > 0 {
+			fmt.Fprintln(os.Stderr, "isiserve: -mode range drives its own request stream (drop -writes)")
+			os.Exit(2)
+		}
+		if *width < 1 || *width > 1<<14 {
+			fmt.Fprintln(os.Stderr, "isiserve: -width must be in [1, 16384]")
+			os.Exit(2)
+		}
+		// Range admission is always vectorized: a shard interleaves the
+		// seeks *within* one RangeBatch column, so single-range
+		// submissions would drain group-of-1 no matter the controller
+		// setting and the group sweep would be meaningless.
+		if *vector <= 0 {
+			*vector = 256
+		}
 	default:
-		fmt.Fprintf(os.Stderr, "isiserve: unknown -mode %q (lookup|join)\n", *mode)
+		fmt.Fprintf(os.Stderr, "isiserve: unknown -mode %q (lookup|join|range)\n", *mode)
 		os.Exit(2)
 	}
 	if *deadline > 0 && *vector <= 0 {
@@ -208,10 +244,47 @@ func main() {
 			return key | uint64(op)<<opShift
 		}
 	}
+	// Range mode: RangeMix streams encode (start, width) in one uint64 —
+	// the width rides in the top 16 bits (domains are far below 2^48
+	// entries) — so the shared open-loop generator needs no range-aware
+	// plumbing. Every request fans out to all shards.
+	const widthShift = 48
+	rangeSource := func(w int) func() uint64 {
+		mix := workload.NewRangeMix(*seed+uint64(w)*101, n, *zipfFrac, *zipfS, *width)
+		return func() uint64 {
+			start, wd := mix.Next()
+			return uint64(start)*2 | uint64(wd)<<widthShift
+		}
+	}
 	ctx := context.Background()
 	start := time.Now()
 	var submitted int
-	if *vector > 0 {
+	if ranges {
+		// Each worker fills a -vector-sized column of encoded ranges and
+		// submits it whole: the shards drain the column's seeks
+		// interleaved at their controller's group size. (One column
+		// allocation per batch — noise for a load driver.)
+		submitted = gen.RunBatches(*vector, rangeSource, func(encs []uint64) {
+			col := make([]serve.Op, len(encs))
+			for i, enc := range encs {
+				lo := enc & (1<<widthShift - 1)
+				wd := enc >> widthShift
+				hi := lo
+				if wd > 0 {
+					hi = lo + (wd-1)*2 // cover wd domain entries (even keys)
+				}
+				col[i] = serve.RangeOp(lo, hi, *rngLimit)
+			}
+			bctx, cancel := ctx, context.CancelFunc(nil)
+			if *deadline > 0 {
+				bctx, cancel = context.WithTimeout(ctx, *deadline)
+			}
+			svc.RangeBatch(bctx, col).Wait()
+			if cancel != nil {
+				cancel()
+			}
+		})
+	} else if *vector > 0 {
 		// Vectorized column admission: the worker's buffer is partitioned
 		// in place by the service, so each submit waits for its batch
 		// before the buffer is refilled.
@@ -263,16 +336,28 @@ func main() {
 	elapsed := time.Since(start)
 
 	st := svc.Stats()
+	// st.Items counts per-shard work: in range mode every query fans out
+	// into one segment per shard, so the per-request rate divides back.
+	drainedReqs := float64(st.Items)
+	if ranges {
+		drainedReqs /= float64(*shards)
+	}
 	fmt.Printf("submitted %d requests in %v; all drained after %v (%.0f req/s end-to-end)\n",
 		submitted, genElapsed.Round(time.Millisecond), elapsed.Round(time.Millisecond),
-		float64(st.Items)/elapsed.Seconds())
+		drainedReqs/elapsed.Seconds())
+	// Every point request drains (or drops) exactly once; a range fans
+	// out into one segment per shard, so segments are the drop unit too.
+	expected := uint64(submitted)
+	if ranges {
+		expected *= uint64(*shards)
+	}
 	if st.Dropped > 0 {
 		fmt.Printf("dropped before drain (context deadline/cancel): %d of %d (%.2f%%)\n",
-			st.Dropped, submitted, 100*float64(st.Dropped)/float64(submitted))
+			st.Dropped, expected, 100*float64(st.Dropped)/float64(expected))
 	}
-	if uint64(submitted) != st.Items+st.Dropped {
-		fmt.Fprintf(os.Stderr, "isiserve: BUG: submitted %d but drained %d + dropped %d\n",
-			submitted, st.Items, st.Dropped)
+	if expected != st.Items+st.Dropped {
+		fmt.Fprintf(os.Stderr, "isiserve: BUG: expected %d drained but got %d + dropped %d\n",
+			expected, st.Items, st.Dropped)
 		os.Exit(1)
 	}
 
@@ -297,6 +382,12 @@ func main() {
 		}
 		fmt.Printf("\ntotal: %d items, %d dropped, p50 %v, p99 %v\n",
 			st.Items, st.Dropped, st.P50.Round(time.Microsecond), st.P99.Round(time.Microsecond))
+	}
+
+	if ranges {
+		fmt.Printf("ranges: %d queries fanned into %d shard segments, %d merged entries (%.1f entries/query)\n",
+			submitted, st.Ranges, st.RangeEntries,
+			float64(st.RangeEntries)/float64(max(uint64(submitted), 1)))
 	}
 
 	if *writes > 0 {

@@ -46,9 +46,18 @@ type BatchFuture struct {
 	matches [][]Match
 	// bounds[i]..bounds[i+1] is shard i's segment of keys.
 	bounds  []int
+	err     error // ErrClosed when the submission never entered the service
 	pending atomic.Int32
 	dropped atomic.Uint64
 	done    chan struct{}
+}
+
+// Err blocks until the batch completes and reports whether it entered
+// the service: ErrClosed if the submission observed a closed service
+// (nothing was partitioned or probed, Results is nil), nil otherwise.
+func (bf *BatchFuture) Err() error {
+	<-bf.done
+	return bf.err
 }
 
 // Done returns a channel closed when every shard segment has completed.
@@ -121,22 +130,27 @@ func (bf *BatchFuture) segDone(dropped uint64) {
 // with the reordered Keys(). Admission itself performs O(1) allocations
 // regardless of len(keys) and bypasses the group-commit batcher — the
 // column already is a batch. A nil ctx never cancels; a ctx cancelled
-// before a shard drains its segment drops that segment unprobed. Like
-// Submit, it must not be called after Close; OpJoin requires WithBuild.
+// before a shard drains its segment drops that segment unprobed. A
+// submission observing a closed service completes immediately with
+// Err() == ErrClosed and nil Results, but unlike the point path the
+// caller must still not race SubmitBatch against Close (see Close);
+// OpJoin requires WithBuild.
 func (s *Service) SubmitBatch(ctx context.Context, kind OpKind, keys []uint64) *BatchFuture {
 	if kind.IsWrite() {
 		panic("serve: SubmitBatch of write kind " + kind.String() + " (use ApplyBatch)")
 	}
 	s.checkOp(Op{Kind: kind})
-	if s.closed.Load() {
-		panic("serve: SubmitBatch after Close")
-	}
 	bf := &BatchFuture{
 		ctx:  ctx,
 		kind: kind,
 		enq:  time.Now(),
 		keys: keys,
 		done: make(chan struct{}),
+	}
+	if s.closed.Load() {
+		bf.err = ErrClosed
+		close(bf.done)
+		return bf
 	}
 	n := len(keys)
 	if n == 0 {
@@ -187,15 +201,17 @@ func (s *Service) ApplyBatch(ctx context.Context, ops []Op) *BatchFuture {
 		}
 		s.checkOp(op)
 	}
-	if s.closed.Load() {
-		panic("serve: ApplyBatch after Close")
-	}
 	bf := &BatchFuture{
 		ctx:  ctx,
 		kind: OpInsert,
 		enq:  time.Now(),
 		ops:  ops,
 		done: make(chan struct{}),
+	}
+	if s.closed.Load() {
+		bf.err = ErrClosed
+		close(bf.done)
+		return bf
 	}
 	if len(ops) == 0 {
 		close(bf.done)

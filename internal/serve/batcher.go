@@ -30,16 +30,19 @@ func newBatcher(maxSize int, maxWait time.Duration, flush func([]*Future)) *batc
 	return &batcher{maxSize: maxSize, maxWait: maxWait, flush: flush}
 }
 
-// add admits one request. The first request of a fresh batch arms the
-// maxWait timer; the maxSize'th seals immediately.
-func (b *batcher) add(f *Future) {
+// add admits one request, reporting whether it was accepted. The first
+// request of a fresh batch arms the maxWait timer; the maxSize'th seals
+// immediately. An add racing close returns false instead of panicking:
+// checked under the lock, it either lands in the final flushed batch or
+// is refused here — it can never strand a future or dispatch into a
+// closed shard queue — and the caller completes the refused future with
+// ErrClosed (a service draining live traffic at shutdown must hand
+// producers an error, not a crash).
+func (b *batcher) add(f *Future) bool {
 	b.mu.Lock()
 	if b.closed {
-		// Checked under the lock so an add racing close either lands in
-		// the final flushed batch or fails here — it can never strand a
-		// future or dispatch into a closed shard queue.
 		b.mu.Unlock()
-		panic("serve: Submit after Close")
+		return false
 	}
 	b.cur = append(b.cur, f)
 	var sealed []*Future
@@ -51,6 +54,7 @@ func (b *batcher) add(f *Future) {
 	}
 	b.mu.Unlock()
 	b.dispatchSealed(sealed)
+	return true
 }
 
 // expire seals the batch the timer was armed for, unless it already
@@ -97,8 +101,8 @@ func (b *batcher) dispatchSealed(batch []*Future) {
 }
 
 // close seals and flushes whatever is pending, then waits for any
-// concurrent timer flush to finish dispatching. The caller guarantees no
-// concurrent or subsequent add.
+// concurrent timer flush to finish dispatching. Adds may race close:
+// losers are refused (add returns false) before the shard queues shut.
 func (b *batcher) close() {
 	b.mu.Lock()
 	b.closed = true

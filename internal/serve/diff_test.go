@@ -3,42 +3,58 @@ package serve
 import (
 	"context"
 	"math/rand/v2"
+	"slices"
 	"testing"
 	"time"
 )
 
 // This file is the cross-backend differential harness: the same seeded
-// randomized op stream — lookups, joins, inserts, deletes, and
-// cancellations — replayed against every index backend and a plain
-// map[uint64]uint32 oracle, asserting identical results per future. The
-// backends share nothing but the serve API (a real-memory sorted array,
-// a simulated sorted array, and a simulated CSB+-tree, each with its own
-// delta/epoch machinery exercised by a tiny rebuild threshold), so any
-// divergence in write visibility, tombstone handling, epoch merges, or
+// randomized op stream — lookups, range scans, joins, inserts, deletes,
+// and cancellations — replayed against every index backend and a plain
+// map[uint64]uint32 oracle, asserting identical results per future and
+// identical ordered range results. The backends share nothing but the
+// serve API (a real-memory sorted array, a simulated sorted array, and
+// a simulated CSB+-tree, each with its own delta/epoch machinery
+// exercised by a tiny rebuild threshold), so any divergence in write
+// visibility, tombstone handling, epoch merges, range-scan ordering, or
 // cancellation accounting shows up as a three-way disagreement with a
 // trivially correct reference.
 
 // diffOp is one replayed operation. cancel submits it under an already-
 // cancelled context: every backend must drop it without applying it.
+// For kind OpRange, key is the lower bound and hi/limit complete the
+// query.
 type diffOp struct {
 	kind   OpKind
 	key    uint64
 	val    uint32
+	hi     uint64
+	limit  int
 	cancel bool
 }
 
-// genStream draws a seeded op stream over keys in [0, keySpace): ~55%
-// lookups, ~20% inserts, ~15% deletes, ~10% cancelled ops (split between
-// reads and writes). Key reuse is high by construction so upserts,
-// re-inserts, and delete-then-lookup sequences occur constantly.
+// genStream draws a seeded op stream over keys in [0, keySpace): ~45%
+// lookups, ~12% range scans (a third of them limited), ~18% inserts,
+// ~15% deletes, ~10% cancelled ops (split between reads, ranges, and
+// writes). Key reuse is high by construction so upserts, re-inserts,
+// and delete-then-lookup sequences occur constantly.
 func genStream(seed uint64, n int, keySpace uint64) []diffOp {
 	rng := rand.New(rand.NewPCG(seed, seed^0xabcdef12345))
+	mkRange := func(op *diffOp) {
+		op.kind = OpRange
+		op.hi = op.key + rng.Uint64N(keySpace/4)
+		if rng.Uint64N(3) == 0 {
+			op.limit = 1 + int(rng.Uint64N(8))
+		}
+	}
 	ops := make([]diffOp, n)
 	for i := range ops {
 		op := diffOp{key: rng.Uint64N(keySpace)}
 		switch p := rng.Uint64N(100); {
-		case p < 55:
+		case p < 45:
 			op.kind = OpLookup
+		case p < 57:
+			mkRange(&op)
 		case p < 75:
 			op.kind = OpInsert
 			op.val = rng.Uint32N(1 << 30)
@@ -46,9 +62,12 @@ func genStream(seed uint64, n int, keySpace uint64) []diffOp {
 			op.kind = OpDelete
 		default:
 			op.cancel = true
-			if p < 95 {
+			switch {
+			case p < 94:
 				op.kind = OpLookup
-			} else {
+			case p < 97:
+				mkRange(&op)
+			default:
 				op.kind = OpInsert
 				op.val = rng.Uint32N(1 << 30)
 			}
@@ -59,9 +78,11 @@ func genStream(seed uint64, n int, keySpace uint64) []diffOp {
 }
 
 // replayBackend runs the stream sequentially (submit, wait, record)
-// against one backend and returns the per-op results plus a final
-// vectorized sweep of the whole key space through GoBatch.
-func replayBackend(t *testing.T, kind IndexKind, domain []uint64, stream []diffOp, keySpace uint64) (perOp []Result, sweep map[uint64]Result) {
+// against one backend and returns the per-op results, the ordered
+// entries of every range op (nil for dropped ranges, keyed by stream
+// index), a final vectorized sweep of the whole key space through
+// GoBatch, and a final ordered full-domain range sweep.
+func replayBackend(t *testing.T, kind IndexKind, domain []uint64, stream []diffOp, keySpace uint64) (perOp []Result, perRange [][]RangeEntry, sweep map[uint64]Result, ordered []RangeEntry) {
 	t.Helper()
 	s, err := New(domain,
 		WithBackend(kind), WithShards(3),
@@ -75,10 +96,21 @@ func replayBackend(t *testing.T, kind IndexKind, domain []uint64, stream []diffO
 	cancelled, cancel := context.WithCancel(ctx)
 	cancel()
 	perOp = make([]Result, len(stream))
+	perRange = make([][]RangeEntry, len(stream))
 	for i, op := range stream {
 		octx := ctx
 		if op.cancel {
 			octx = cancelled
+		}
+		if op.kind == OpRange {
+			rf := s.Range(octx, op.key, op.hi, op.limit)
+			if rf.Dropped() {
+				perOp[i] = Result{Code: NotFound, Dropped: true}
+			} else {
+				perRange[i] = rf.Collect(0)
+				perOp[i] = Result{Code: uint32(len(perRange[i])), Found: true}
+			}
+			continue
 		}
 		perOp[i] = s.Submit(octx, Op{Kind: op.kind, Key: op.key, Val: op.val}).Wait()
 	}
@@ -92,19 +124,21 @@ func replayBackend(t *testing.T, kind IndexKind, domain []uint64, stream []diffO
 	for i, k := range bf.Keys() {
 		sweep[k] = res[i]
 	}
+	ordered = s.Range(ctx, 0, ^uint64(0), 0).Collect(0)
 	if st := s.Stats(); st.Rebuilds == 0 {
 		t.Fatalf("%s: differential replay forced no epoch rebuilds", kind)
 	}
-	return perOp, sweep
+	return perOp, perRange, sweep, ordered
 }
 
 // replayOracle runs the stream against the map oracle.
-func replayOracle(domain []uint64, stream []diffOp, keySpace uint64) (perOp []Result, sweep map[uint64]Result) {
+func replayOracle(domain []uint64, stream []diffOp, keySpace uint64) (perOp []Result, perRange [][]RangeEntry, sweep map[uint64]Result, ordered []RangeEntry) {
 	m := make(map[uint64]uint32, len(domain))
 	for code, v := range domain {
 		m[v] = uint32(code)
 	}
 	perOp = make([]Result, len(stream))
+	perRange = make([][]RangeEntry, len(stream))
 	for i, op := range stream {
 		if op.cancel {
 			perOp[i] = Result{Code: NotFound, Dropped: true}
@@ -117,6 +151,9 @@ func replayOracle(domain []uint64, stream []diffOp, keySpace uint64) (perOp []Re
 			} else {
 				perOp[i] = Result{Code: NotFound}
 			}
+		case OpRange:
+			perRange[i] = sortedRange(m, op.key, op.hi, op.limit)
+			perOp[i] = Result{Code: uint32(len(perRange[i])), Found: true}
 		case OpInsert:
 			m[op.key] = op.val
 			perOp[i] = Result{Code: op.val, Found: true}
@@ -133,12 +170,16 @@ func replayOracle(domain []uint64, stream []diffOp, keySpace uint64) (perOp []Re
 			sweep[k] = Result{Code: NotFound}
 		}
 	}
-	return perOp, sweep
+	ordered = sortedRange(m, 0, ^uint64(0), 0)
+	return perOp, perRange, sweep, ordered
 }
 
 // TestDifferentialBackendsVsOracle is the cross-backend harness proper.
 // In -short it replays 2 seeds × 700 ops per backend; without -short it
-// goes deeper (4 seeds × 1500 ops).
+// goes deeper (4 seeds × 1500 ops). Streams include OpRange, so the
+// harness asserts identical *ordered* range results (per query and on a
+// final full-domain ordered sweep) across epoch churn, next to the
+// per-future point results.
 func TestDifferentialBackendsVsOracle(t *testing.T) {
 	seeds, nOps := []uint64{1, 2}, 700
 	if !testing.Short() {
@@ -154,13 +195,18 @@ func TestDifferentialBackendsVsOracle(t *testing.T) {
 	backends := []IndexKind{NativeSorted, SimMain, SimTree}
 	for _, seed := range seeds {
 		stream := genStream(seed, nOps, keySpace)
-		wantOps, wantSweep := replayOracle(domain, stream, keySpace)
+		wantOps, wantRanges, wantSweep, wantOrdered := replayOracle(domain, stream, keySpace)
 		for _, kind := range backends {
-			gotOps, gotSweep := replayBackend(t, kind, domain, stream, keySpace)
+			gotOps, gotRanges, gotSweep, gotOrdered := replayBackend(t, kind, domain, stream, keySpace)
 			for i := range stream {
 				if gotOps[i] != wantOps[i] {
 					t.Fatalf("seed %d %s op %d (%+v): got %+v, oracle %+v",
 						seed, kind, i, stream[i], gotOps[i], wantOps[i])
+				}
+				if !slices.Equal(gotRanges[i], wantRanges[i]) {
+					t.Fatalf("seed %d %s op %d: range [%d,%d] limit %d: got %v, oracle %v",
+						seed, kind, i, stream[i].key, stream[i].hi, stream[i].limit,
+						gotRanges[i], wantRanges[i])
 				}
 			}
 			for k, want := range wantSweep {
@@ -168,6 +214,10 @@ func TestDifferentialBackendsVsOracle(t *testing.T) {
 					t.Fatalf("seed %d %s sweep key %d: got %+v, oracle %+v",
 						seed, kind, k, gotSweep[k], want)
 				}
+			}
+			if !slices.Equal(gotOrdered, wantOrdered) {
+				t.Fatalf("seed %d %s: ordered full-range sweep diverged (%d entries vs %d)",
+					seed, kind, len(gotOrdered), len(wantOrdered))
 			}
 		}
 	}

@@ -1,8 +1,8 @@
 package serve
 
 import (
-	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/native"
 )
@@ -87,6 +87,15 @@ func (em *epochManager) run() {
 		// never has two rebuilds in flight, so the slot cannot clobber an
 		// unconsumed install.
 		j.sh.pendingInstall.Store(&installMsg{seq: j.seq, vals: mergedVals, codes: mergedCodes, frozen: j.frozen})
+		// Wake a shard parked in the write-stall path. Non-blocking into
+		// the 1-buffered channel: after every Store at least one token is
+		// present, and a stale token (from an install the shard consumed
+		// through its run loop instead) only costs the stalled shard one
+		// extra pointer re-check.
+		select {
+		case j.sh.installed <- struct{}{}:
+		default:
+		}
 	}
 }
 
@@ -111,11 +120,21 @@ func (sh *shard) maybeRebuild() {
 		return
 	}
 	if sh.frozen != nil {
-		// Write stall: yield until the in-flight merge parks (blocking
-		// hands the CPU to the manager), then install it. The freeze
-		// below then picks up the refilled delta.
-		for sh.pendingInstall.Load() == nil {
-			runtime.Gosched()
+		// Write stall: park on the manager's install notification instead
+		// of spinning — a Gosched poll here burns a full core against the
+		// very merge it is waiting for. The channel carries one token per
+		// parked install; a stale token (install consumed through the run
+		// loop) just re-checks the pointer and parks again. The stall is
+		// bounded by the in-flight merge, whose job is already queued.
+		// Only actual parked time is recorded — the install itself is
+		// already accounted as the rebuild pause — and a merge that has
+		// landed by the time the write arrives is not a stall at all.
+		if sh.pendingInstall.Load() == nil {
+			t0 := time.Now()
+			for sh.pendingInstall.Load() == nil {
+				<-sh.installed
+			}
+			sh.met.recordWriteStall(time.Since(t0))
 		}
 		sh.installPending()
 		return

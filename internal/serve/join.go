@@ -173,6 +173,10 @@ type nativeJoinIndex struct {
 	// pool recycles one composite frame and handle per scheduler slot
 	// across every batch the shard ever drains.
 	pool *coro.SlotPool[joinFrame, joinOut]
+	// rs drains OpRange scans over the dictionary column (ranges are a
+	// dictionary operation; the build side is keyed by code and plays no
+	// part in them).
+	rs *rangeScanner
 }
 
 func newNativeJoinIndex(cfg Config, vals []uint64, codes []uint32, jt *nativejoin.Table) *nativeJoinIndex {
@@ -182,7 +186,13 @@ func newNativeJoinIndex(cfg Config, vals []uint64, codes []uint32, jt *nativejoi
 		jt:    jt,
 		d:     coro.NewDrainer[joinOut](cfg.MaxGroup),
 		pool:  coro.NewSlotPool(func(f *joinFrame) func() (joinOut, bool) { return f.step }),
+		rs:    newRangeScanner(cfg),
 	}
+}
+
+// scanRanges scans the dictionary column, exactly as the lookup backend.
+func (x *nativeJoinIndex) scanRanges(ops []Op, limits []int, group int, pairs [][]native.Pair) float64 {
+	return x.rs.scan(x.table, x.codes, ops, limits, group, pairs)
 }
 
 // rebuild constructs the next-epoch join backend over the merged
@@ -190,7 +200,7 @@ func newNativeJoinIndex(cfg Config, vals []uint64, codes []uint32, jt *nativejoi
 // edit only through the dictionary mapping, so the table, drainer, and
 // slot pool carry over — a join install is a pointer swap.
 func (x *nativeJoinIndex) rebuild(vals []uint64, codes []uint32) *nativeJoinIndex {
-	return &nativeJoinIndex{table: vals, codes: codes, jt: x.jt, d: x.d, pool: x.pool}
+	return &nativeJoinIndex{table: vals, codes: codes, jt: x.jt, d: x.d, pool: x.pool, rs: x.rs}
 }
 
 // drainBatch resolves one point sub-batch of mixed lookup/join futures

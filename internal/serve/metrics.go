@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"math"
 	"math/bits"
 	"sync/atomic"
 	"time"
@@ -34,13 +35,20 @@ func histBucket(v uint64) int {
 	return b
 }
 
-// bucketFloor is the smallest nanosecond value mapping to bucket b.
+// bucketFloor is the smallest nanosecond value mapping to bucket b,
+// clamped to math.MaxInt64: top-octave buckets (shift ≥ 60) otherwise
+// shift their mantissa past 2^63 and wrap — a tail quantile landing
+// there would come back as a negative time.Duration.
 func bucketFloor(b int) uint64 {
 	if b < 1<<(histSub+1) {
 		return uint64(b)
 	}
 	shift := b>>histSub - 1
-	return uint64(b-(shift<<histSub)) << uint(shift)
+	mant := uint64(b - shift<<histSub)
+	if shift >= 63 || mant > math.MaxInt64>>uint(shift) {
+		return math.MaxInt64
+	}
+	return mant << uint(shift)
 }
 
 func (h *latHist) record(d time.Duration) { h.recordN(d, 1) }
@@ -98,21 +106,31 @@ func (h *latHist) quantile(q float64) time.Duration {
 }
 
 // shardMetrics are one shard's counters. The shard goroutine writes;
-// snapshots read concurrently.
+// snapshots read concurrently. The items/batches/busy triple counts
+// kernel drains only (lookups, joins, range scans — work that went
+// through an interleaved kernel at a group size); applied writes are
+// counted by the write-path counters below, so Group/AvgBatch/
+// Throughput are never diluted by write runs that used no kernel.
 type shardMetrics struct {
 	items    atomic.Uint64
 	batches  atomic.Uint64
 	busyNS   atomic.Uint64
 	joins    atomic.Uint64
 	joinHits atomic.Uint64
+	ranges   atomic.Uint64
+	rangeEnt atomic.Uint64
 	dropped  atomic.Uint64
-	group    atomic.Int64 // group used for the most recent batch
+	group    atomic.Int64 // group used for the most recent kernel batch
 	hist     latHist
 
-	// Write-path counters: applied writes, the delta-size gauge, and the
-	// epoch rebuilds with their install pauses.
+	// Write-path counters: applied writes, time spent applying them, the
+	// delta-size gauge, write stalls (waits for an in-flight merge), and
+	// the epoch rebuilds with their install pauses.
 	inserts      atomic.Uint64
 	deletes      atomic.Uint64
+	wBusyNS      atomic.Uint64
+	stalls       atomic.Uint64
+	stallNS      atomic.Uint64
 	deltaLen     atomic.Int64
 	epoch        atomic.Uint64
 	rebuilds     atomic.Uint64
@@ -125,6 +143,29 @@ func (m *shardMetrics) recordBatch(items, group int, busy time.Duration) {
 	m.batches.Add(1)
 	m.busyNS.Add(uint64(busy))
 	m.group.Store(int64(group))
+}
+
+// recordRanges counts drained range scans (segments of fanned-out range
+// batches) and the entries they emitted after the delta merge.
+func (m *shardMetrics) recordRanges(ranges, entries uint64) {
+	if ranges == 0 {
+		return
+	}
+	m.ranges.Add(ranges)
+	m.rangeEnt.Add(entries)
+}
+
+// recordWriteBusy accounts time spent applying writes to the delta —
+// outside the kernel drain-rate metrics.
+func (m *shardMetrics) recordWriteBusy(busy time.Duration) {
+	m.wBusyNS.Add(uint64(busy))
+}
+
+// recordWriteStall counts one write stall: the write path parked until
+// an in-flight background merge landed.
+func (m *shardMetrics) recordWriteStall(d time.Duration) {
+	m.stalls.Add(1)
+	m.stallNS.Add(uint64(d))
 }
 
 func (m *shardMetrics) recordJoins(joins, hits uint64) {
@@ -174,33 +215,50 @@ func (m *shardMetrics) endRebuild(start time.Time, seq uint64, deltaLen int) {
 
 // ShardStats is one shard's snapshot.
 type ShardStats struct {
-	Shard   int
+	Shard int
+	// Items counts everything this shard drained: kernel items (lookups,
+	// joins, and range segments — a fanned-out range counts one item on
+	// every shard) plus applied writes. Batches counts kernel drains
+	// only.
 	Items   uint64
 	Batches uint64
-	// AvgBatch is the mean sub-batch size the shard drained.
+	// AvgBatch is the mean kernel sub-batch size the shard drained
+	// (write runs excluded — they use no kernel).
 	AvgBatch float64
-	// Group is the group size of the most recent batch; GroupHistory the
-	// controller's per-epoch choices (tail).
+	// Group is the group size of the most recent kernel batch;
+	// GroupHistory the controller's per-epoch choices (tail).
 	Group        int
 	GroupHistory []int
-	// Busy is time spent inside the lookup kernel; Throughput is
-	// Items/Busy — the shard's kernel-level drain rate.
+	// Busy is time spent inside the interleaved kernels; Throughput is
+	// kernel items/Busy — the shard's kernel-level drain rate. Write
+	// apply time is WriteBusy, counted separately so drain-rate metrics
+	// reflect only kernel drains.
 	Busy       time.Duration
 	Throughput float64
 	// Joins counts join probes drained by this shard; JoinHits the build
 	// tuples they matched in total.
 	Joins    uint64
 	JoinHits uint64
+	// Ranges counts range segments this shard drained (each OpRange
+	// visits every shard); RangeEntries the merged entries they emitted.
+	Ranges       uint64
+	RangeEntries uint64
 	// Dropped counts requests whose context was cancelled before this
 	// shard drained them; they were never probed and are not in Items.
 	Dropped  uint64
 	P50, P99 time.Duration
 	// Inserts and Deletes count applied writes (included in Items);
-	// DeltaLen is the live write-delta size after the most recent write
-	// or install.
-	Inserts  uint64
-	Deletes  uint64
-	DeltaLen int
+	// WriteBusy the time spent applying them (including stalls and any
+	// piggybacked installs); DeltaLen is the live write-delta size after
+	// the most recent write or install. WriteStalls counts writes that
+	// parked for an in-flight background merge (the ~2×-threshold
+	// LSM-style backpressure), WriteStall their total parked time.
+	Inserts     uint64
+	Deletes     uint64
+	WriteBusy   time.Duration
+	WriteStalls uint64
+	WriteStall  time.Duration
+	DeltaLen    int
 	// Epoch is the published snapshot sequence (0 = the domain New was
 	// built over); Rebuilds counts installed epoch rebuilds, with
 	// RebuildPause the total and MaxRebuildPause the worst single
@@ -212,22 +270,27 @@ type ShardStats struct {
 }
 
 func (m *shardMetrics) snapshot(id int) ShardStats {
-	items := m.items.Load()
+	kernelItems := m.items.Load()
 	batches := m.batches.Load()
 	busy := time.Duration(m.busyNS.Load())
 	s := ShardStats{
 		Shard:           id,
-		Items:           items,
+		Items:           kernelItems + m.inserts.Load() + m.deletes.Load(),
 		Batches:         batches,
 		Group:           int(m.group.Load()),
 		Busy:            busy,
 		Joins:           m.joins.Load(),
 		JoinHits:        m.joinHits.Load(),
+		Ranges:          m.ranges.Load(),
+		RangeEntries:    m.rangeEnt.Load(),
 		Dropped:         m.dropped.Load(),
 		P50:             m.hist.quantile(0.50),
 		P99:             m.hist.quantile(0.99),
 		Inserts:         m.inserts.Load(),
 		Deletes:         m.deletes.Load(),
+		WriteBusy:       time.Duration(m.wBusyNS.Load()),
+		WriteStalls:     m.stalls.Load(),
+		WriteStall:      time.Duration(m.stallNS.Load()),
 		DeltaLen:        int(m.deltaLen.Load()),
 		Epoch:           m.epoch.Load(),
 		Rebuilds:        m.rebuilds.Load(),
@@ -235,10 +298,10 @@ func (m *shardMetrics) snapshot(id int) ShardStats {
 		MaxRebuildPause: time.Duration(m.rebuildMaxNS.Load()),
 	}
 	if batches > 0 {
-		s.AvgBatch = float64(items) / float64(batches)
+		s.AvgBatch = float64(kernelItems) / float64(batches)
 	}
 	if busy > 0 {
-		s.Throughput = float64(items) / busy.Seconds()
+		s.Throughput = float64(kernelItems) / busy.Seconds()
 	}
 	return s
 }
@@ -249,15 +312,25 @@ type Stats struct {
 	Items    uint64
 	Joins    uint64
 	JoinHits uint64
+	// Ranges counts drained range segments service-wide (each OpRange
+	// contributes one segment per shard); RangeEntries the merged
+	// entries they emitted.
+	Ranges       uint64
+	RangeEntries uint64
 	// Dropped counts requests dropped before drain service-wide (context
 	// cancelled or deadline expired); Items excludes them.
 	Dropped  uint64
 	P50, P99 time.Duration
-	// Inserts/Deletes count applied writes service-wide; Rebuilds the
-	// installed epoch rebuilds, RebuildPause their total install pause
-	// and MaxRebuildPause the worst single pause on any shard.
+	// Inserts/Deletes count applied writes service-wide, WriteBusy their
+	// total apply time; WriteStalls/WriteStall the write-path stalls for
+	// in-flight merges; Rebuilds the installed epoch rebuilds,
+	// RebuildPause their total install pause and MaxRebuildPause the
+	// worst single pause on any shard.
 	Inserts         uint64
 	Deletes         uint64
+	WriteBusy       time.Duration
+	WriteStalls     uint64
+	WriteStall      time.Duration
 	Rebuilds        uint64
 	RebuildPause    time.Duration
 	MaxRebuildPause time.Duration

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestHistBucketFloorRoundTrip pins the bucket mapping: every value
+// maps to a bucket whose floor maps back to the same bucket, and the
+// floor is never above the value (it is the bucket's smallest member).
+func TestHistBucketFloorRoundTrip(t *testing.T) {
+	checks := []uint64{0, 1, 2, 3, 15, 16, 17, 31, 32, 33, 255, 256, 1 << 20, 1<<20 + 1}
+	for e := 0; e < 64; e++ {
+		v := uint64(1) << e
+		checks = append(checks, v-1, v, v+1)
+	}
+	checks = append(checks, math.MaxInt64-1, math.MaxInt64, math.MaxInt64+1, math.MaxUint64)
+	for _, v := range checks {
+		b := histBucket(v)
+		if b < 0 || b >= histBuckets {
+			t.Fatalf("histBucket(%d) = %d out of range", v, b)
+		}
+		floor := bucketFloor(b)
+		if floor > v {
+			t.Fatalf("bucketFloor(%d) = %d above its member %d", b, floor, v)
+		}
+		if v > math.MaxInt64 {
+			// Recorded latencies are time.Durations, so buckets past
+			// MaxInt64 are unreachable from real samples; their floors
+			// clamp to MaxInt64 and need not round-trip.
+			continue
+		}
+		if got := histBucket(floor); got != b {
+			t.Fatalf("round trip: histBucket(%d)=%d but histBucket(bucketFloor)=%d", v, b, got)
+		}
+	}
+}
+
+// TestBucketFloorOverflowClamp is the regression test for the top-octave
+// int64 overflow: bucketFloor of high buckets used to shift its mantissa
+// past 2^63 and wrap (15<<62 and friends), so a tail quantile landing
+// there returned a negative time.Duration. Every floor must now be a
+// valid non-negative Duration.
+func TestBucketFloorOverflowClamp(t *testing.T) {
+	for b := 0; b < histBuckets; b++ {
+		floor := bucketFloor(b)
+		if floor > math.MaxInt64 {
+			t.Fatalf("bucketFloor(%d) = %d exceeds MaxInt64", b, floor)
+		}
+		if d := time.Duration(floor); d < 0 {
+			t.Fatalf("bucketFloor(%d) yields negative duration %v", b, d)
+		}
+	}
+	// Floors are monotonically non-decreasing, so the quantile scan can
+	// never report a smaller latency for a higher bucket.
+	for b := 1; b < histBuckets; b++ {
+		if bucketFloor(b) < bucketFloor(b-1) {
+			t.Fatalf("bucketFloor(%d)=%d < bucketFloor(%d)=%d",
+				b, bucketFloor(b), b-1, bucketFloor(b-1))
+		}
+	}
+	// A histogram holding only an enormous latency must report an
+	// enormous (positive) quantile, not a wrapped negative one.
+	var h latHist
+	h.record(time.Duration(math.MaxInt64))
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.quantile(q); got <= 0 {
+			t.Fatalf("quantile(%v) of a MaxInt64 sample = %v", q, got)
+		}
+	}
+}
+
+// TestQuantileEdges pins the nearest-rank convention at the edges:
+// rank = floor(q·total) clamped to total-1, so q=0 is the smallest
+// sample's bucket, q=1 the largest's, a single sample answers every
+// quantile, and with two samples the midpoint belongs to the upper one.
+func TestQuantileEdges(t *testing.T) {
+	bucketOf := func(d time.Duration) time.Duration {
+		return time.Duration(bucketFloor(histBucket(uint64(d))))
+	}
+	t.Run("empty", func(t *testing.T) {
+		var h latHist
+		if got := h.quantile(0.5); got != 0 {
+			t.Fatalf("quantile of empty histogram = %v", got)
+		}
+	})
+	t.Run("total=1", func(t *testing.T) {
+		var h latHist
+		h.record(100 * time.Nanosecond)
+		want := bucketOf(100)
+		for _, q := range []float64{0, 0.5, 0.99, 1} {
+			if got := h.quantile(q); got != want {
+				t.Fatalf("quantile(%v) = %v, want %v", q, got, want)
+			}
+		}
+	})
+	t.Run("total=2", func(t *testing.T) {
+		var h latHist
+		lo, hi := 100*time.Nanosecond, 100*time.Microsecond
+		h.record(lo)
+		h.record(hi)
+		if got := h.quantile(0); got != bucketOf(lo) {
+			t.Fatalf("q=0 = %v, want %v", got, bucketOf(lo))
+		}
+		// rank = floor(0.5·2) = 1: the upper sample, by convention.
+		if got := h.quantile(0.5); got != bucketOf(hi) {
+			t.Fatalf("q=0.5 = %v, want %v", got, bucketOf(hi))
+		}
+		if got := h.quantile(1); got != bucketOf(hi) {
+			t.Fatalf("q=1 = %v, want %v", got, bucketOf(hi))
+		}
+		// Just below the midpoint still ranks into the lower sample.
+		if got := h.quantile(0.49); got != bucketOf(lo) {
+			t.Fatalf("q=0.49 = %v, want %v", got, bucketOf(lo))
+		}
+	})
+	t.Run("negative-clamped", func(t *testing.T) {
+		var h latHist
+		h.record(-5 * time.Nanosecond) // clock skew: recorded as 0
+		if got := h.quantile(1); got != 0 {
+			t.Fatalf("negative latency quantile = %v, want 0", got)
+		}
+	})
+}

@@ -3,8 +3,8 @@
 // a system rather than a one-shot experiment run.
 //
 // Requests are typed operations (Op: a point lookup, a join probe of an
-// IN-predicate's values against a dictionary, or a dictionary write —
-// insert or delete) and arrive two ways:
+// IN-predicate's values against a dictionary, an ordered range scan, or
+// a dictionary write — insert or delete) and arrive three ways:
 //
 //   - Point admission (Submit/Go/GoJoin/Insert/Delete): one key per
 //     call, accumulated by a group-commit style batcher bounded in both
@@ -14,6 +14,10 @@
 //     a column operator, so a client that already holds the probe vector
 //     submits it in one O(1)-allocation call instead of paying a Future
 //     per key and making the batcher re-assemble a batch it already had.
+//   - Range admission (Range/RangeBatch): ordered scans of [lo, hi]
+//     fanned out to every shard (a range cannot be hash-routed), seeked
+//     through the interleaved kernels, merged with the write deltas, and
+//     streamed back in global key order (range.go).
 //
 // The service is read-write: each shard buffers writes in a small sorted
 // delta probed delta-then-main by the same coroutine drains that serve
@@ -46,6 +50,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"slices"
 	"sync"
@@ -54,6 +59,13 @@ import (
 
 	"repro/internal/nativejoin"
 )
+
+// ErrClosed reports a submission that raced or followed Close: the
+// request never entered the service (the key was never probed, a write
+// never applied). Point futures carry it through Future.Err with a
+// Dropped result, so a producer draining live traffic at shutdown
+// observes a clean refusal instead of a panic.
+var ErrClosed = errors.New("serve: service closed")
 
 // IndexKind selects the per-shard index backend.
 type IndexKind int
@@ -106,6 +118,12 @@ const (
 	// OpDelete removes Key from the dictionary: subsequent lookups miss.
 	// Deleting an absent key is a no-op.
 	OpDelete
+	// OpRange scans the dictionary for every key in [Key, Hi] (Key is the
+	// range's lower bound), emitting (key, code) pairs in ascending key
+	// order, at most Limit of them when Limit > 0. A range cannot be
+	// routed to one shard, so it is admitted through Range/RangeBatch
+	// (which fan out to every shard) rather than Submit/SubmitBatch.
+	OpRange
 	nOpKinds // sentinel for validation
 )
 
@@ -120,6 +138,8 @@ func (k OpKind) String() string {
 		return "insert"
 	case OpDelete:
 		return "delete"
+	case OpRange:
+		return "range"
 	}
 	return "unknown"
 }
@@ -129,11 +149,21 @@ func (k OpKind) IsWrite() bool { return k == OpInsert || k == OpDelete }
 
 // Op is one typed request: an operation kind applied to a key. Val is
 // the value carried by OpInsert (the code lookups of Key will resolve
-// to) and ignored by the other kinds.
+// to). Hi and Limit belong to OpRange — the range's inclusive upper
+// bound (Key is the lower bound) and result cap (0 = unbounded) — and
+// are ignored by the point kinds.
 type Op struct {
-	Kind OpKind
-	Key  uint64
-	Val  uint32
+	Kind  OpKind
+	Key   uint64
+	Val   uint32
+	Hi    uint64
+	Limit int
+}
+
+// RangeOp builds the OpRange request scanning [lo, hi] with at most
+// limit entries (limit <= 0 scans the whole range).
+func RangeOp(lo, hi uint64, limit int) Op {
+	return Op{Kind: OpRange, Key: lo, Hi: hi, Limit: limit}
 }
 
 // Result is the dictionary outcome for one key: the key's global code
@@ -157,6 +187,7 @@ type Future struct {
 	enq     time.Time
 	res     Result
 	jres    JoinResult
+	err     error // ErrClosed when the submission never entered the service
 	done    chan struct{}
 	dropped bool // set by the owning shard before done closes
 }
@@ -179,6 +210,27 @@ func (f *Future) Wait() Result {
 func (f *Future) WaitJoin() JoinResult {
 	<-f.done
 	return f.jres
+}
+
+// Err blocks until the request completes and reports whether the
+// submission entered the service: ErrClosed if it raced or followed
+// Close (the request was never admitted), nil otherwise. A request
+// dropped by its own context completes with a Dropped result, not an
+// error.
+func (f *Future) Err() error {
+	<-f.done
+	return f.err
+}
+
+// fail completes the future admission-side with err and a Dropped
+// result; the request never reached a shard.
+func (f *Future) fail(err error) {
+	f.err = err
+	f.res = Result{Code: NotFound, Dropped: true}
+	if f.op.Kind == OpJoin {
+		f.jres = JoinResult{Code: NotFound, Dropped: true}
+	}
+	close(f.done)
 }
 
 // Config tunes the service. Zero numeric fields take the DefaultConfig
@@ -465,6 +517,7 @@ func New(values []uint64, opts ...Option) (*Service, error) {
 			ctl:       newController(cfg),
 			met:       &shardMetrics{},
 			rebuildAt: cfg.RebuildThreshold,
+			installed: make(chan struct{}, 1),
 		}
 		ep := &epochState{vals: locVals[i], codes: locCodes[i]}
 		if joinTabs != nil {
@@ -493,8 +546,12 @@ func New(values []uint64, opts ...Option) (*Service, error) {
 // Submit admits one asynchronous typed operation. A nil ctx never
 // cancels; a ctx cancelled before the owning shard drains the request
 // drops it (the key is never probed, a write never applied) with a
-// Dropped result. Submit must not be called after Close; OpJoin requires
-// a service built WithBuild.
+// Dropped result. A Submit that races or follows Close completes
+// immediately with Future.Err() == ErrClosed and a Dropped result — a
+// producer draining live traffic at shutdown gets a refusal, never a
+// panic. OpJoin requires a service built WithBuild; OpRange requires
+// Range/RangeBatch (a range fans out to every shard and cannot be
+// routed by key).
 //
 // Ordering: a shard executes its requests in admission-batch order, and
 // in submission order within a batch, so a single client that waits for
@@ -502,23 +559,26 @@ func New(values []uint64, opts ...Option) (*Service, error) {
 // key); concurrent clients race at admission as usual.
 func (s *Service) Submit(ctx context.Context, op Op) *Future {
 	s.checkOp(op)
-	if s.closed.Load() {
-		panic("serve: Submit after Close")
-	}
 	f := &Future{op: op, ctx: ctx, enq: time.Now(), done: make(chan struct{})}
-	s.b.add(f)
+	if s.closed.Load() || !s.b.add(f) {
+		f.fail(ErrClosed)
+	}
 	return f
 }
 
-// checkOp validates an operation at admission, panicking on misuse (as
-// Submit always has for unknown kinds): OpJoin requires a build side,
-// OpInsert must not carry the NotFound sentinel as its value, and the
-// SimTree backend only indexes keys that fit its uint32 key type — a
-// wider insert would silently vanish at the next rebuild, so it is
-// rejected up front.
+// checkOp validates an operation at point/vector admission, panicking
+// on misuse (as Submit always has for unknown kinds): OpJoin requires a
+// build side, OpRange cannot be routed by key hash and must go through
+// Range/RangeBatch, OpInsert must not carry the NotFound sentinel as
+// its value, and the SimTree backend only indexes keys that fit its
+// uint32 key type — a wider insert would silently vanish at the next
+// rebuild, so it is rejected up front.
 func (s *Service) checkOp(op Op) {
 	if op.Kind >= nOpKinds {
 		panic("serve: unknown op kind " + op.Kind.String())
+	}
+	if op.Kind == OpRange {
+		panic("serve: OpRange requires Range/RangeBatch admission")
 	}
 	if op.Kind == OpJoin && !s.hasBuild {
 		panic("serve: OpJoin on a service without a build side")
@@ -583,10 +643,14 @@ func (s *Service) dispatch(batch []*Future) {
 }
 
 // Close seals the pending admission batch, drains every shard, and stops
-// the shard goroutines. All requests submitted before Close complete.
+// the shard goroutines. All requests admitted before Close complete.
 // Close is idempotent and safe to call concurrently (every call waits
-// for the shutdown to finish); callers must still ensure no submission
-// is in flight or issued afterwards.
+// for the shutdown to finish). Point submissions (Submit/Go/GoJoin/
+// Insert/Delete) may race Close freely: a loser is refused with
+// ErrClosed instead of being admitted. The vectorized and range paths
+// (SubmitBatch/ApplyBatch/RangeBatch) refuse with ErrClosed once Close
+// has been observed, but callers must still not race them against Close
+// — they dispatch straight into the shard queues the shutdown closes.
 func (s *Service) Close() {
 	s.closeOnce.Do(func() {
 		s.closed.Store(true)
@@ -612,8 +676,13 @@ func (s *Service) Stats() Stats {
 		st.Dropped += ss.Dropped
 		st.Joins += ss.Joins
 		st.JoinHits += ss.JoinHits
+		st.Ranges += ss.Ranges
+		st.RangeEntries += ss.RangeEntries
 		st.Inserts += ss.Inserts
 		st.Deletes += ss.Deletes
+		st.WriteBusy += ss.WriteBusy
+		st.WriteStalls += ss.WriteStalls
+		st.WriteStall += ss.WriteStall
 		st.Rebuilds += ss.Rebuilds
 		st.RebuildPause += ss.RebuildPause
 		if ss.MaxRebuildPause > st.MaxRebuildPause {

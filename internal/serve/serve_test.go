@@ -406,18 +406,38 @@ func TestJoinServiceAdaptiveControllerRuns(t *testing.T) {
 	}
 }
 
-func TestServiceGoAfterClosePanics(t *testing.T) {
+// TestServiceSubmitAfterCloseErrClosed pins the shutdown contract: point
+// submissions after (or racing) Close are refused with ErrClosed and a
+// Dropped result instead of panicking — a producer draining live
+// traffic at shutdown must get an error, not a crash.
+func TestServiceSubmitAfterCloseErrClosed(t *testing.T) {
 	s, err := New(testDomain(10, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	s.Close()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Go after Close did not panic")
-		}
-	}()
-	s.Go(context.Background(), 1)
+	f := s.Go(context.Background(), 1)
+	if got := f.Err(); got != ErrClosed {
+		t.Fatalf("Go after Close: Err() = %v, want ErrClosed", got)
+	}
+	if r := f.Wait(); !r.Dropped {
+		t.Fatalf("Go after Close: result %+v, want Dropped", r)
+	}
+	if f := s.Insert(context.Background(), 5, 1); f.Err() != ErrClosed {
+		t.Fatal("Insert after Close did not report ErrClosed")
+	}
+	if f := s.Delete(context.Background(), 5); f.Err() != ErrClosed {
+		t.Fatal("Delete after Close did not report ErrClosed")
+	}
+	if bf := s.GoBatch(context.Background(), []uint64{1, 2}); bf.Err() != ErrClosed || bf.Wait() != nil {
+		t.Fatal("GoBatch after Close did not report ErrClosed with nil results")
+	}
+	if bf := s.ApplyBatch(context.Background(), []Op{{Kind: OpInsert, Key: 1, Val: 2}}); bf.Err() != ErrClosed {
+		t.Fatal("ApplyBatch after Close did not report ErrClosed")
+	}
+	if rf := s.Range(context.Background(), 0, 9, 0); rf.Err() != ErrClosed || !rf.Dropped() {
+		t.Fatal("Range after Close did not report ErrClosed")
+	}
 }
 
 func TestSubmitUnknownOpKindPanics(t *testing.T) {

@@ -32,26 +32,36 @@ type shard struct {
 	met   *shardMetrics
 
 	// Write state (shard goroutine only, except the pendingInstall slot
-	// the epoch manager fills).
+	// the epoch manager fills and the installed channel it signals).
 	delta          []writeEntry // live sorted write buffer
 	frozen         []writeEntry // delta snapshot being merged, nil when idle
 	rebuildAt      int          // freeze threshold; <= 0 disables rebuilds
 	em             *epochManager
 	pendingInstall atomic.Pointer[installMsg]
+	// installed carries one token per parked install: the write-stall
+	// path parks on it instead of burning a core polling pendingInstall.
+	installed chan struct{}
 
 	// Point-path scratch, reused across sub-batches (shard-local).
 	keys []uint64
 	out  []Result
 	live []*Future
+
+	// Range-path scratch: per-range snapshot pairs and kernel limits,
+	// reused across range batches.
+	rangePairs  [][]native.Pair
+	rangeLimits []int
 }
 
-// shardMsg is one unit of shard work: either a point sub-batch (sub) or
-// a contiguous segment [lo, hi) of a vectorized batch's partitioned key
-// (or op) column (bf). Sent by value, so vectorized dispatch allocates
-// nothing per shard.
+// shardMsg is one unit of shard work: a point sub-batch (sub), a
+// contiguous segment [lo, hi) of a vectorized batch's partitioned key
+// (or op) column (bf), or a whole range batch (rf — every shard scans
+// every range, so range messages carry no segment bounds). Sent by
+// value, so vectorized dispatch allocates nothing per shard.
 type shardMsg struct {
 	sub    []*Future
 	bf     *BatchFuture
+	rf     *RangeFuture
 	lo, hi int
 }
 
@@ -59,24 +69,33 @@ type shardMsg struct {
 // against the given write-buffer view — with the given interleaving
 // group size, and returns the batch's cost in backend units (nanoseconds
 // for the native backend, simulated cycles for the memsim backends),
-// which feeds the controller's hill climb. rebuild constructs the
-// next-epoch index over a merged column, reusing the engine, drainer,
-// and slot-pool resources of the current one; it runs on the shard
-// goroutine between batches and its duration is the rebuild pause.
+// which feeds the controller's hill climb. scanRanges scans the epoch
+// snapshot for each range op (ops[i] covers [Key, Hi]), appending up to
+// limits[i] in-range (key, code) pairs in ascending key order to
+// pairs[i] (limits[i] <= 0 is unbounded) — the delta merge happens
+// outside, in mergeRange. rebuild constructs the next-epoch index over
+// a merged column, reusing the engine, drainer, and slot-pool resources
+// of the current one; it runs on the shard goroutine between batches
+// and its duration is the rebuild pause.
 type shardIndex interface {
 	lookupBatch(dv deltaView, keys []uint64, group int, out []Result) float64
+	scanRanges(ops []Op, limits []int, group int, pairs [][]native.Pair) float64
 	rebuild(vals []uint64, codes []uint32, frozen []writeEntry) shardIndex
 }
 
-// run drains point sub-batches and vectorized segments until the queue
-// closes, installing any completed rebuild between messages.
+// run drains point sub-batches, vectorized segments, and range batches
+// until the queue closes, installing any completed rebuild between
+// messages.
 func (sh *shard) run(wg *sync.WaitGroup) {
 	defer wg.Done()
 	for msg := range sh.in {
 		sh.installPending()
-		if msg.bf != nil {
+		switch {
+		case msg.rf != nil:
+			sh.drainRange(msg.rf)
+		case msg.bf != nil:
 			sh.drainSegment(msg.bf, msg.lo, msg.hi)
-		} else {
+		default:
 			sh.drainPoint(msg.sub)
 		}
 	}
@@ -115,8 +134,8 @@ func (sh *shard) drainPoint(sub []*Future) {
 		}
 	}
 	g := sh.ctl.Group()
-	t0 := time.Now()
 	var cost float64
+	var kernelBusy, writeBusy time.Duration
 	var reads, writes int
 	for i := 0; i < len(sub); {
 		f := sub[i]
@@ -125,7 +144,9 @@ func (sh *shard) drainPoint(sub []*Future) {
 			continue
 		}
 		if f.op.Kind.IsWrite() {
+			t0 := time.Now()
 			f.res = sh.applyOp(f.op)
+			writeBusy += time.Since(t0)
 			writes++
 			i++
 			continue
@@ -137,11 +158,12 @@ func (sh *shard) drainPoint(sub []*Future) {
 			j++
 		}
 		n := 0
+		t0 := time.Now()
 		cost += sh.drainReadRun(sub[i:j], g, &n)
+		kernelBusy += time.Since(t0)
 		reads += n
 		i = j
 	}
-	busy := time.Since(t0)
 	now := time.Now()
 	var joins, hits uint64
 	for _, f := range sub {
@@ -159,12 +181,17 @@ func (sh *shard) drainPoint(sub []*Future) {
 		}
 		close(f.done)
 	}
-	if n := reads + writes; n > 0 {
-		sh.met.recordBatch(n, g, busy)
-		sh.met.recordJoins(joins, hits)
-	}
+	// Kernel metrics (batch size, group, busy, drain rate) count only
+	// kernel drains: a write run never entered the lookup kernel, so it
+	// is recorded on the write side and must not dilute Group/AvgBatch/
+	// Throughput with a group size it never used.
 	if reads > 0 {
+		sh.met.recordBatch(reads, g, kernelBusy)
+		sh.met.recordJoins(joins, hits)
 		sh.ctl.observe(reads, cost)
+	}
+	if writes > 0 {
+		sh.met.recordWriteBusy(writeBusy)
 	}
 	sh.met.recordDropped(dropped)
 }
@@ -264,12 +291,114 @@ func (sh *shard) drainSegment(bf *BatchFuture, lo, hi int) {
 	}
 	busy := time.Since(t0)
 	sh.met.hist.recordN(time.Since(bf.enq), uint64(n))
-	sh.met.recordBatch(n, g, busy)
-	sh.met.recordJoins(joins, hits)
-	if bf.ops == nil {
+	if bf.ops != nil {
+		// A pure write segment never touched the lookup kernel: its time
+		// is write-apply time, not kernel drain time, and it must not be
+		// attributed to a group size it never used.
+		sh.met.recordWriteBusy(busy)
+	} else {
+		sh.met.recordBatch(n, g, busy)
+		sh.met.recordJoins(joins, hits)
 		sh.ctl.observe(n, cost)
 	}
 	bf.segDone(0)
+}
+
+// drainRange scans every range of one fanned-out range batch against
+// this shard's (snapshot, delta) pair: the backend kernel collects the
+// snapshot's in-range pairs (interleaved seeks), mergeRange folds the
+// write deltas in (newest wins, tombstones mask), and the sorted
+// per-range entries park on the future for the caller's k-way merge. A
+// batch whose context is already cancelled is dropped whole, like a
+// vectorized segment.
+func (sh *shard) drainRange(rf *RangeFuture) {
+	nops := len(rf.ops)
+	if rf.ctx != nil && rf.ctx.Err() != nil {
+		sh.met.recordDropped(uint64(nops))
+		rf.segDone(uint64(nops))
+		return
+	}
+	ep := sh.epoch.Load()
+	dv := deltaView{live: sh.delta, frozen: sh.frozen}
+	g := sh.ctl.Group()
+	if cap(sh.rangePairs) < nops {
+		// Grow with carry-over: the old headers hold the per-range pair
+		// buffers earlier batches already grew, which is the whole point
+		// of the scratch.
+		grown := make([][]native.Pair, nops)
+		copy(grown, sh.rangePairs)
+		sh.rangePairs = grown
+		sh.rangeLimits = make([]int, nops)
+	}
+	pairs, limits := sh.rangePairs[:nops], sh.rangeLimits[:nops]
+	for r, op := range rf.ops {
+		pairs[r] = pairs[r][:0]
+		limits[r] = 0
+		if op.Limit > 0 {
+			// Every in-range delta entry may mask one snapshot entry, so
+			// the kernel must over-fetch by that bound for the merged
+			// result to still reach Limit.
+			limits[r] = op.Limit + dv.countInRange(op.Key, op.Hi)
+		}
+	}
+	t0 := time.Now()
+	var cost float64
+	if ep.joinIdx != nil {
+		cost = ep.joinIdx.scanRanges(rf.ops, limits, g, pairs)
+	} else {
+		cost = ep.idx.scanRanges(rf.ops, limits, g, pairs)
+	}
+	// Busy is kernel time only: the host-side delta merge below is
+	// O(emitted entries) and would dilute the drain-rate metrics on wide
+	// scans, exactly like the write-apply time recordBatch now excludes.
+	busy := time.Since(t0)
+	res := make([][]RangeEntry, nops)
+	var entries uint64
+	for r, op := range rf.ops {
+		res[r] = mergeRange(dv, pairs[r], op.Key, op.Hi, op.Limit, nil)
+		entries += uint64(len(res[r]))
+	}
+	rf.ents[sh.id] = res
+	sh.met.hist.recordN(time.Since(rf.enq), uint64(nops))
+	sh.met.recordBatch(nops, g, busy)
+	sh.met.recordRanges(uint64(nops), entries)
+	sh.ctl.observe(nops, cost)
+	rf.segDone(0)
+}
+
+// rangeScanner drains interleaved range scans over a real sorted column:
+// one slot-recycled native.RangeCursor per scheduler slot, seeks
+// suspending per early-load round, each scan completing in its final
+// resume. Shared by the lookup and join native backends (the scan side
+// is identical); carried across rebuilds like the other drain resources.
+type rangeScanner struct {
+	d    *coro.Drainer[int]
+	pool *coro.SlotPool[native.RangeCursor, int]
+}
+
+func newRangeScanner(cfg Config) *rangeScanner {
+	return &rangeScanner{
+		d:    coro.NewDrainer[int](cfg.MaxGroup),
+		pool: coro.NewSlotPool(func(c *native.RangeCursor) func() (int, bool) { return c.Step }),
+	}
+}
+
+// scan fills pairs[i] with up to limits[i] snapshot entries of ops[i]'s
+// range, seeks interleaved at group; returns wall nanoseconds.
+func (rs *rangeScanner) scan(table []uint64, codes []uint32, ops []Op, limits []int, group int, pairs [][]native.Pair) float64 {
+	t0 := time.Now()
+	rs.d.DrainSlots(len(ops), group,
+		func(slot, i int) coro.Handle[int] {
+			op := ops[i]
+			if len(table) == 0 || op.Key > op.Hi {
+				return nil
+			}
+			c, h := rs.pool.Slot(slot)
+			*c = native.StartRangeScan(table, codes, op.Key, op.Hi, limits[i], &pairs[i])
+			return h
+		},
+		func(int, int) {})
+	return float64(time.Since(t0))
 }
 
 // newShardIndex builds shard i's epoch-0 index over its local (sorted)
@@ -282,6 +411,7 @@ func newShardIndex(cfg Config, i int, vals []uint64, codes []uint32) (shardIndex
 			codes: codes,
 			d:     coro.NewDrainer[int](cfg.MaxGroup),
 			pool:  coro.NewSlotPool(func(c *native.SearchCursor) func() (int, bool) { return c.Step }),
+			rs:    newRangeScanner(cfg),
 		}, nil
 	case SimMain:
 		simCfg := memsim.DefaultConfig()
@@ -319,6 +449,7 @@ type nativeIndex struct {
 	codes []uint32
 	d     *coro.Drainer[int]
 	pool  *coro.SlotPool[native.SearchCursor, int]
+	rs    *rangeScanner
 }
 
 func (x *nativeIndex) lookupBatch(dv deltaView, keys []uint64, group int, out []Result) float64 {
@@ -359,10 +490,14 @@ func (x *nativeIndex) lookupBatch(dv deltaView, keys []uint64, group int, out []
 	return float64(time.Since(t0))
 }
 
+func (x *nativeIndex) scanRanges(ops []Op, limits []int, group int, pairs [][]native.Pair) float64 {
+	return x.rs.scan(x.table, x.codes, ops, limits, group, pairs)
+}
+
 func (x *nativeIndex) rebuild(vals []uint64, codes []uint32, _ []writeEntry) shardIndex {
 	// The merged column is the index; the drainer and slot pool carry
 	// over, so a native install is a pointer swap — near-zero pause.
-	return &nativeIndex{table: vals, codes: codes, d: x.d, pool: x.pool}
+	return &nativeIndex{table: vals, codes: codes, d: x.d, pool: x.pool, rs: x.rs}
 }
 
 // resolveDelta answers the delta-resolved keys of a batch host-side (the
@@ -394,6 +529,8 @@ type simMainIndex struct {
 	local   []uint32 // scratch
 	pendK   []uint64 // scratch: delta-missed keys
 	pendIdx []int    // scratch: their positions
+	seekLo  []uint64 // scratch: range lower bounds
+	seekPos []int    // scratch: their seek positions
 }
 
 func (x *simMainIndex) lookupBatch(dv deltaView, keys []uint64, group int, out []Result) float64 {
@@ -423,6 +560,43 @@ func (x *simMainIndex) lookupBatch(dv deltaView, keys []uint64, group int, out [
 	return float64(x.e.Now() - start)
 }
 
+// scanRanges seeks every range's lower bound with the interleaved
+// CORO search (the suspension-heavy part, charged through the engine),
+// then walks each range sequentially — the simulated mirror of the
+// native seek-then-scan split. Costs are simulated cycles.
+func (x *simMainIndex) scanRanges(ops []Op, limits []int, group int, pairs [][]native.Pair) float64 {
+	start := x.e.Now()
+	n := x.dict.Len()
+	if n == 0 {
+		return 0
+	}
+	if cap(x.seekLo) < len(ops) {
+		x.seekLo = make([]uint64, len(ops))
+		x.seekPos = make([]int, len(ops))
+	}
+	los, pos := x.seekLo[:len(ops)], x.seekPos[:len(ops)]
+	for i, op := range ops {
+		los[i] = op.Key
+	}
+	x.dict.LowerBoundAllInterleaved(x.e, los, group, pos)
+	for i, op := range ops {
+		if op.Key > op.Hi {
+			continue
+		}
+		for p := pos[i]; p < n; p++ {
+			v := x.dict.Extract(x.e, uint32(p))
+			if v > op.Hi {
+				break
+			}
+			pairs[i] = append(pairs[i], native.Pair{Key: v, Code: x.codes[p]})
+			if limits[i] > 0 && len(pairs[i]) >= limits[i] {
+				break
+			}
+		}
+	}
+	return float64(x.e.Now() - start)
+}
+
 func (x *simMainIndex) rebuild(vals []uint64, codes []uint32, _ []writeEntry) shardIndex {
 	// Rebuilding the simulated sorted array is the install pause for this
 	// backend; the engine is shard-owned, so construction must run here.
@@ -444,12 +618,31 @@ type simTreeIndex struct {
 
 func (x *simTreeIndex) lookupBatch(dv deltaView, keys []uint64, group int, out []Result) float64 {
 	start := x.e.Now()
-	probe := keys
-	scatter := []int(nil)
-	if !dv.empty() {
-		x.pendK, x.pendIdx = resolveDelta(dv, keys, out, x.pendK[:0], x.pendIdx[:0])
-		probe, scatter = x.pendK, x.pendIdx
+	// Compact the batch to the keys that can actually live in the tree:
+	// delta hits answer host-side, and a key wider than the tree's
+	// uint32 key type is a definite miss — routing it into the simulated
+	// probe (truncated) would charge cycles for a phantom descent whose
+	// result is discarded anyway.
+	x.pendK, x.pendIdx = x.pendK[:0], x.pendIdx[:0]
+	for i, k := range keys {
+		if k > uint64(^uint32(0)) {
+			out[i] = Result{Code: NotFound}
+			continue
+		}
+		if !dv.empty() {
+			if v, oc := dv.lookup(k); oc != deltaMiss {
+				if oc == deltaHit {
+					out[i] = Result{Code: v, Found: true}
+				} else {
+					out[i] = Result{Code: NotFound}
+				}
+				continue
+			}
+		}
+		x.pendK = append(x.pendK, k)
+		x.pendIdx = append(x.pendIdx, i)
 	}
+	probe, scatter := x.pendK, x.pendIdx
 	n := len(probe)
 	if cap(x.k32) < n {
 		x.k32 = make([]uint32, n)
@@ -457,19 +650,37 @@ func (x *simTreeIndex) lookupBatch(dv deltaView, keys []uint64, group int, out [
 	}
 	x.k32, x.res = x.k32[:n], x.res[:n]
 	for i, k := range probe {
-		x.k32[i] = uint32(k) // oversize keys are overridden below
+		x.k32[i] = uint32(k)
 	}
 	x.tree.RunCORO(x.e, x.costs, x.k32, group, x.res)
 	for i, r := range x.res {
-		o := i
-		if scatter != nil {
-			o = scatter[i]
-		}
-		if probe[i] > uint64(^uint32(0)) || !r.Found {
-			out[o] = Result{Code: NotFound}
+		if !r.Found {
+			out[scatter[i]] = Result{Code: NotFound}
 		} else {
-			out[o] = Result{Code: r.Value, Found: true}
+			out[scatter[i]] = Result{Code: r.Value, Found: true}
 		}
+	}
+	return float64(x.e.Now() - start)
+}
+
+// scanRanges reuses the CSB+-tree's in-order leaf walk (csbtree.Scan):
+// one descent per range, then leaves through their parents, pruned by
+// the separators — value leaves hold the global code directly. The tree
+// keys are uint32, so the range is clamped to the key type (keys beyond
+// it cannot be in the tree). Costs are simulated cycles.
+func (x *simTreeIndex) scanRanges(ops []Op, limits []int, _ int, pairs [][]native.Pair) float64 {
+	start := x.e.Now()
+	const max32 = uint64(^uint32(0))
+	for i, op := range ops {
+		if op.Key > op.Hi || op.Key > max32 {
+			continue
+		}
+		hi := min(op.Hi, max32)
+		lim := limits[i]
+		x.tree.Scan(x.e, x.costs, uint32(op.Key), uint32(hi), func(k, v uint32) bool {
+			pairs[i] = append(pairs[i], native.Pair{Key: uint64(k), Code: v})
+			return lim <= 0 || len(pairs[i]) < lim
+		})
 	}
 	return float64(x.e.Now() - start)
 }

@@ -1,0 +1,65 @@
+package workload
+
+// This file extends the serving workloads with range queries: the
+// op-stream shape of a sliding-window or scan-after-seek consumer
+// (Shahvarani & Jacobsen's index-based stream join issues exactly these
+// sorted-window range probes; CoroBase interleaves the same
+// seek-then-scan pattern). Range starts keep the skewed KeyMix shape —
+// hot ranges cluster like hot keys — and widths draw uniformly around a
+// configurable mean, so a workload can be dialed from seek-dominated
+// (width 1: a range query is a binary search) to scan-dominated (wide
+// windows whose sequential tail swamps the seek).
+
+import "math/rand/v2"
+
+// RangeMix draws a seeded range-query stream over indices in [0, Max):
+// the start index comes from an embedded KeyMix (Zipf/uniform), the
+// width uniformly from [1, 2·meanWidth-1] (mean ≈ meanWidth). Not safe
+// for concurrent use; give each generator worker its own RangeMix.
+type RangeMix struct {
+	rng   *rand.Rand
+	keys  *KeyMix
+	span  uint64
+	max   int
+	fixed int // non-zero: constant width
+}
+
+// NewRangeMix builds a range mix over [0, max): starts draw zipfFrac of
+// their indices from Zipf(s) as NewKeyMix, widths are uniform in
+// [1, 2·meanWidth-1] (meanWidth < 1 is clamped to 1; meanWidth 1 yields
+// constant width 1, the seek-only degenerate case).
+func NewRangeMix(seed uint64, max int, zipfFrac, s float64, meanWidth int) *RangeMix {
+	if max < 1 {
+		max = 1
+	}
+	if meanWidth < 1 {
+		meanWidth = 1
+	}
+	m := &RangeMix{
+		rng:  rand.New(rand.NewPCG(seed^0x9e3779b97f4a7c15, seed+0x2545f4914f6cdd1d)),
+		keys: NewKeyMix(seed, max, zipfFrac, s),
+		max:  max,
+	}
+	if meanWidth == 1 {
+		m.fixed = 1
+	} else {
+		m.span = uint64(2*meanWidth - 1)
+	}
+	return m
+}
+
+// Next returns the next range query as a start index and a width in
+// index units: the query covers indices [start, start+width), clipped
+// to the domain end.
+func (m *RangeMix) Next() (start, width int) {
+	start = m.keys.Next()
+	if m.fixed != 0 {
+		width = m.fixed
+	} else {
+		width = 1 + int(m.rng.Uint64N(m.span))
+	}
+	if start+width > m.max {
+		width = m.max - start
+	}
+	return start, width
+}

@@ -1,0 +1,56 @@
+package workload
+
+import "testing"
+
+func TestRangeMixBoundsAndMean(t *testing.T) {
+	const max = 10000
+	const meanWidth = 16
+	m := NewRangeMix(7, max, 0.5, 1.2, meanWidth)
+	var widthSum, n int
+	for i := 0; i < 20000; i++ {
+		start, width := m.Next()
+		if start < 0 || start >= max {
+			t.Fatalf("start %d outside [0,%d)", start, max)
+		}
+		if width < 0 || start+width > max {
+			t.Fatalf("range [%d,%d) escapes the domain", start, start+width)
+		}
+		if start+meanWidth*2 <= max { // unclipped draw
+			widthSum += width
+			n++
+		}
+	}
+	mean := float64(widthSum) / float64(n)
+	if mean < 0.8*meanWidth || mean > 1.2*meanWidth {
+		t.Fatalf("mean width %.1f far from %d", mean, meanWidth)
+	}
+}
+
+func TestRangeMixDeterministic(t *testing.T) {
+	a := NewRangeMix(9, 1000, 0.3, 1.1, 8)
+	b := NewRangeMix(9, 1000, 0.3, 1.1, 8)
+	for i := 0; i < 1000; i++ {
+		as, aw := a.Next()
+		bs, bw := b.Next()
+		if as != bs || aw != bw {
+			t.Fatalf("draw %d diverged: (%d,%d) vs (%d,%d)", i, as, aw, bs, bw)
+		}
+	}
+}
+
+func TestRangeMixDegenerate(t *testing.T) {
+	m := NewRangeMix(1, 1, 0, 0, 0) // max and meanWidth clamp to 1
+	for i := 0; i < 10; i++ {
+		start, width := m.Next()
+		if start != 0 || width != 1 {
+			t.Fatalf("degenerate draw = (%d,%d), want (0,1)", start, width)
+		}
+	}
+	// meanWidth 1 is the seek-only case: constant width 1.
+	seek := NewRangeMix(2, 100, 0, 0, 1)
+	for i := 0; i < 100; i++ {
+		if _, w := seek.Next(); w != 1 && w != 0 {
+			t.Fatalf("seek-only width = %d", w)
+		}
+	}
+}
