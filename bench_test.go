@@ -14,6 +14,7 @@ import (
 	"repro/internal/coro"
 	"repro/internal/exp"
 	"repro/internal/native"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/workload"
 )
@@ -50,9 +51,19 @@ func lastCell(b *testing.B, t *exp.Table, col int) float64 {
 // point Go futures (each allocating a future and a channel, and paying
 // the group-commit batcher per key). Reports per-key cost for both
 // paths and their ratio; the vectorized path's acceptance bar is
-// ≥1.5×. Runs on real hardware (no simulator), so it is cheap enough
-// for the CI bench smoke.
+// ≥1.5×. The observed variant attaches a live obs.Observer (span
+// rings, registry metrics, pprof labels); its acceptance bar is
+// staying within ~5% of unobserved on both paths, pinning the gated
+// instrumentation's hot-path cost near zero. Runs on real hardware
+// (no simulator), so it is cheap enough for the CI bench smoke.
 func BenchmarkServeBatchVsPoint(b *testing.B) {
+	b.Run("unobserved", func(b *testing.B) { benchServeBatchVsPoint(b) })
+	b.Run("observed", func(b *testing.B) {
+		benchServeBatchVsPoint(b, serve.WithObserver(obs.New()))
+	})
+}
+
+func benchServeBatchVsPoint(b *testing.B, extra ...serve.Option) {
 	const (
 		domainN = 1 << 18
 		batchN  = 4096
@@ -64,7 +75,7 @@ func BenchmarkServeBatchVsPoint(b *testing.B) {
 	cfg := serve.DefaultConfig()
 	cfg.Shards = 4
 	cfg.Adaptive = false
-	s, err := serve.New(vals, serve.WithConfig(cfg))
+	s, err := serve.New(vals, append([]serve.Option{serve.WithConfig(cfg)}, extra...)...)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -1,0 +1,141 @@
+// Command benchcmp diffs two isiserve JSON run reports (see cmd/isiserve
+// -json) and fails when the candidate's host-normalized score regresses
+// beyond a threshold. CI runs it against the committed BENCH_serve.json
+// baseline:
+//
+//	isiserve -smoke -json candidate.json
+//	benchcmp -baseline BENCH_serve.json -candidate candidate.json
+//
+// The score already folds in the calibration microbenchmark (throughput ×
+// calibration_ns), so baseline and candidate may come from machines of
+// different speeds. benchcmp refuses to diff reports whose schema or
+// workload-shaping config differ: a config drift would make the
+// regression gate compare different experiments and silently pass (or
+// fail) on noise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+)
+
+// report mirrors the subset of cmd/isiserve's RunReport the comparator
+// needs. Config is held as raw JSON and compared structurally, so any
+// new workload knob added to the report schema is automatically part of
+// the mismatch check without touching this file.
+type report struct {
+	Schema  string          `json:"schema"`
+	Config  json.RawMessage `json:"config"`
+	Results struct {
+		ThroughputRPS float64 `json:"throughput_rps"`
+		Score         float64 `json:"score"`
+		Dropped       uint64  `json:"dropped"`
+		P99NS         int64   `json:"p99_ns"`
+	} `json:"results"`
+	Host struct {
+		CalibrationNS float64 `json:"calibration_ns"`
+	} `json:"host"`
+}
+
+func load(path string) (report, error) {
+	var r report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema == "" {
+		return r, fmt.Errorf("%s: missing schema field", path)
+	}
+	if r.Results.Score <= 0 {
+		return r, fmt.Errorf("%s: non-positive score %v", path, r.Results.Score)
+	}
+	return r, nil
+}
+
+// sameConfig compares the two config objects structurally (decoded, so
+// formatting and key order do not matter).
+func sameConfig(a, b json.RawMessage) (bool, error) {
+	var ca, cb map[string]any
+	if err := json.Unmarshal(a, &ca); err != nil {
+		return false, err
+	}
+	if err := json.Unmarshal(b, &cb); err != nil {
+		return false, err
+	}
+	return reflect.DeepEqual(ca, cb), nil
+}
+
+// comparable refuses apples-to-oranges diffs: the reports must share a
+// schema version and an identical workload config.
+func comparable(base, cand report) error {
+	if base.Schema != cand.Schema {
+		return fmt.Errorf("schema mismatch: baseline %q vs candidate %q — regenerate the baseline",
+			base.Schema, cand.Schema)
+	}
+	same, err := sameConfig(base.Config, cand.Config)
+	if err != nil {
+		return err
+	}
+	if !same {
+		return fmt.Errorf("workload config mismatch — the reports measure different experiments; regenerate the baseline with the current smoke preset\n  baseline:  %s\n  candidate: %s",
+			base.Config, cand.Config)
+	}
+	return nil
+}
+
+// scoreDelta is the candidate's fractional change in normalized score
+// (-0.25 = a 25% regression).
+func scoreDelta(base, cand report) float64 {
+	return cand.Results.Score/base.Results.Score - 1
+}
+
+func main() {
+	var (
+		basePath = flag.String("baseline", "BENCH_serve.json", "committed baseline report")
+		candPath = flag.String("candidate", "", "candidate report to gate (required)")
+		maxDrop  = flag.Float64("maxdrop", 0.20, "maximum tolerated fractional drop in normalized score")
+	)
+	flag.Parse()
+	if *candPath == "" {
+		fmt.Fprintln(os.Stderr, "benchcmp: -candidate is required")
+		os.Exit(2)
+	}
+
+	base, err := load(*basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	cand, err := load(*candPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	if err := comparable(base, cand); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+
+	delta := scoreDelta(base, cand)
+	fmt.Printf("baseline:  score %.1f (%.0f req/s × %.2f ns)\n",
+		base.Results.Score, base.Results.ThroughputRPS, base.Host.CalibrationNS)
+	fmt.Printf("candidate: score %.1f (%.0f req/s × %.2f ns)\n",
+		cand.Results.Score, cand.Results.ThroughputRPS, cand.Host.CalibrationNS)
+	fmt.Printf("delta:     %+.1f%% (gate: -%.0f%%)\n", delta*100, *maxDrop*100)
+	if cand.Results.Dropped > 0 {
+		fmt.Printf("note: candidate dropped %d requests\n", cand.Results.Dropped)
+	}
+
+	if delta < -*maxDrop {
+		fmt.Fprintf(os.Stderr, "benchcmp: FAIL: normalized score regressed %.1f%% (threshold %.0f%%)\n",
+			-delta*100, *maxDrop*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchcmp: OK")
+}

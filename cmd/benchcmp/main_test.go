@@ -1,0 +1,97 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mkReport(t *testing.T, schema string, config string, score float64) report {
+	t.Helper()
+	var r report
+	raw := `{"schema":` + strconv(schema) + `,"config":` + config +
+		`,"results":{"score":` + fmtFloat(score) + `,"throughput_rps":1000},"host":{"calibration_ns":2}}`
+	if err := json.Unmarshal([]byte(raw), &r); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func strconv(s string) string   { b, _ := json.Marshal(s); return string(b) }
+func fmtFloat(f float64) string { b, _ := json.Marshal(f); return string(b) }
+
+func TestComparableRefusals(t *testing.T) {
+	base := mkReport(t, "isiserve-report/v1", `{"mode":"lookup","shards":4}`, 100)
+
+	if err := comparable(base, mkReport(t, "isiserve-report/v2", `{"mode":"lookup","shards":4}`, 100)); err == nil {
+		t.Fatal("schema mismatch not refused")
+	} else if !strings.Contains(err.Error(), "schema mismatch") {
+		t.Fatalf("wrong refusal: %v", err)
+	}
+
+	if err := comparable(base, mkReport(t, "isiserve-report/v1", `{"mode":"lookup","shards":8}`, 100)); err == nil {
+		t.Fatal("config mismatch not refused")
+	} else if !strings.Contains(err.Error(), "config mismatch") {
+		t.Fatalf("wrong refusal: %v", err)
+	}
+
+	// Key order and whitespace must not matter: same experiment, different
+	// serialization.
+	if err := comparable(base, mkReport(t, "isiserve-report/v1", `{ "shards": 4, "mode": "lookup" }`, 50)); err != nil {
+		t.Fatalf("structurally equal configs refused: %v", err)
+	}
+}
+
+func TestScoreDelta(t *testing.T) {
+	base := mkReport(t, "isiserve-report/v1", `{}`, 100)
+	cases := []struct {
+		cand float64
+		want float64
+	}{
+		{100, 0},
+		{75, -0.25}, // beyond the default 20% gate
+		{85, -0.15}, // within it
+		{130, 0.30}, // improvements always pass
+	}
+	for _, c := range cases {
+		got := scoreDelta(base, mkReport(t, "isiserve-report/v1", `{}`, c.cand))
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("scoreDelta(base=100, cand=%v) = %v, want %v", c.cand, got, c.want)
+		}
+	}
+}
+
+func TestLoadValidation(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	if _, err := load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file not reported")
+	}
+	if _, err := load(write("garbage.json", "not json")); err == nil {
+		t.Fatal("malformed JSON not reported")
+	}
+	if _, err := load(write("noschema.json", `{"results":{"score":5}}`)); err == nil {
+		t.Fatal("missing schema not reported")
+	}
+	if _, err := load(write("zeroscore.json", `{"schema":"s","results":{"score":0}}`)); err == nil {
+		t.Fatal("zero score not reported")
+	}
+	r, err := load(write("ok.json", `{"schema":"s","config":{"a":1},"results":{"score":12.5}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Results.Score != 12.5 || r.Schema != "s" {
+		t.Fatalf("loaded report mangled: %+v", r)
+	}
+}

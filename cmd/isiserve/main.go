@@ -73,6 +73,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/workload"
 )
@@ -108,8 +109,27 @@ func main() {
 		freshIns = flag.Float64("fresh", 0.5, "fraction of inserts targeting fresh keys above the domain")
 		rebuild  = flag.Int("rebuild", 0, "per-shard delta size triggering a background epoch rebuild (0 = default 4096, <0 disables)")
 		seed     = flag.Uint64("seed", 7, "workload seed")
+		jsonOut  = flag.String("json", "", "write a structured JSON run report to this path ('-' = stdout) — the BENCH_*.json trajectory writer")
+		smoke    = flag.Bool("smoke", false, "pin the canonical smoke-bench parameters (overrides the workload flags) so the report compares against the committed BENCH_serve.json baseline")
+		obsAddr  = flag.String("obs", "", "serve observability HTTP on this address (e.g. localhost:6060): /obs (full snapshot), /metrics (registry), /debug/pprof/* (profiles carrying shard/backend/op labels)")
 	)
 	flag.Parse()
+
+	if *smoke {
+		// The smoke preset pins everything that shapes the workload: the
+		// committed baseline and a CI candidate must measure the same
+		// thing for the regression gate to mean anything. Observation is
+		// attached (below), so the smoke score also guards the
+		// observation-on hot path.
+		*mode, *index = "lookup", "native"
+		*shards, *dictMB = 4, 8
+		*vector, *workers = 4096, 4
+		*rate, *duration = 0, time.Second
+		*adaptive, *group = false, 6
+		*zipfFrac, *zipfS, *miss = 0.5, 1.2, 0.1
+		*writes, *deadline = 0, 0
+		*seed = 7
+	}
 
 	var kind serve.IndexKind
 	switch *index {
@@ -199,6 +219,19 @@ func main() {
 		*mode, admission, kind, *shards, n, *dictMB, *batch, *wait, *group, *adaptive)
 
 	opts := []serve.Option{serve.WithConfig(cfg)}
+	var observer *obs.Observer
+	if *obsAddr != "" || *smoke {
+		observer = obs.New()
+		opts = append(opts, serve.WithObserver(observer))
+	}
+	if *obsAddr != "" {
+		bound, err := serveObs(*obsAddr, observer)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "isiserve:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("observability: http://%s/obs | /metrics | /debug/pprof/\n", bound)
+	}
 	if join {
 		nTuples := int(int64(*buildMB) << 20 / 16)
 		idx := workload.JoinBuildIndices(*seed*31+7, n, nTuples, *bZipf, *bTheta)
@@ -408,6 +441,30 @@ func main() {
 		fmt.Println("\nadaptive group trajectory (per shard, one entry per epoch):")
 		for _, ss := range st.Shards {
 			fmt.Printf("  shard %d: %s\n", ss.Shard, groupTrail(ss.GroupHistory))
+		}
+	}
+
+	if *jsonOut != "" {
+		calNS := calibrate()
+		rcfg := RunConfig{
+			Mode: *mode, Index: *index, Shards: *shards, DomainKeys: n,
+			Vector: *vector, Batch: *batch,
+			Group: *group, MinGroup: *minGroup, MaxGroup: *maxGroup, Adaptive: *adaptive,
+			Workers: *workers, RateRPS: *rate, DurationMS: duration.Milliseconds(),
+			ZipfFrac: *zipfFrac, ZipfTheta: *zipfS, MissFrac: *miss,
+			Writes: *writes, Width: 0, Seed: *seed,
+		}
+		if ranges {
+			rcfg.Width = *width
+		}
+		rep := buildReport(rcfg, st, submitted, genElapsed, elapsed, calNS)
+		if err := writeReport(*jsonOut, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "isiserve: report:", err)
+			os.Exit(1)
+		}
+		if *jsonOut != "-" {
+			fmt.Printf("\nreport: %s (throughput %.0f req/s, calibration %.2f ns, score %.1f)\n",
+				*jsonOut, rep.Results.ThroughputRPS, calNS, rep.Results.Score)
 		}
 	}
 }

@@ -1,0 +1,275 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// This file is the machine-readable side of isiserve: the structured
+// run report (-json, and the committed BENCH_serve.json trajectory
+// point CI replays), the calibration microbenchmark that makes scores
+// comparable across machines, and the optional observability HTTP
+// listener (-obs) exposing the live obs registry/span/decision snapshot
+// plus net/http/pprof.
+
+// reportSchema versions the JSON layout; the comparator refuses to diff
+// reports of different schemas.
+const reportSchema = "isiserve-report/v1"
+
+// RunReport is one benchmark run, serialized to -json and to the
+// repo-root BENCH_serve.json trajectory. Config pins everything that
+// shapes the workload, so a comparator can refuse apples-to-oranges
+// diffs; Calibration carries the host-speed normalization.
+type RunReport struct {
+	Schema    string     `json:"schema"`
+	Timestamp string     `json:"timestamp"`
+	GoVersion string     `json:"go"`
+	Host      HostInfo   `json:"host"`
+	Config    RunConfig  `json:"config"`
+	Results   RunResults `json:"results"`
+}
+
+// HostInfo identifies the machine shape and its measured speed.
+// CalibrationNS is the ns/op of a fixed dependent-load microbenchmark
+// (see calibrate): a slower machine has a proportionally larger value,
+// so Score = ThroughputRPS × CalibrationNS is a dimensionless,
+// host-normalized figure a CI runner can compare against a baseline
+// committed from a different machine.
+type HostInfo struct {
+	GOOS          string  `json:"goos"`
+	GOARCH        string  `json:"goarch"`
+	CPUs          int     `json:"cpus"`
+	CalibrationNS float64 `json:"calibration_ns"`
+}
+
+// RunConfig pins the workload-shaping parameters of the run.
+type RunConfig struct {
+	Mode       string  `json:"mode"`
+	Index      string  `json:"index"`
+	Shards     int     `json:"shards"`
+	DomainKeys int     `json:"domain_keys"`
+	Vector     int     `json:"vector"` // 0 = point admission
+	Batch      int     `json:"batch"`
+	Group      int     `json:"group"`
+	MinGroup   int     `json:"min_group"`
+	MaxGroup   int     `json:"max_group"`
+	Adaptive   bool    `json:"adaptive"`
+	Workers    int     `json:"workers"`
+	RateRPS    float64 `json:"rate_rps"` // 0 = unpaced
+	DurationMS int64   `json:"duration_ms"`
+	ZipfFrac   float64 `json:"zipf_frac"`
+	ZipfTheta  float64 `json:"zipf_theta"`
+	MissFrac   float64 `json:"miss_frac"`
+	Writes     float64 `json:"writes_frac"`
+	Width      int     `json:"range_width"`
+	Seed       uint64  `json:"seed"`
+}
+
+// OpLatencyJSON is one op class's latency summary in nanoseconds.
+type OpLatencyJSON struct {
+	Count uint64 `json:"count"`
+	P50NS int64  `json:"p50_ns"`
+	P99NS int64  `json:"p99_ns"`
+}
+
+// ShardReport is one shard's slice of the run.
+type ShardReport struct {
+	Shard      int     `json:"shard"`
+	Items      uint64  `json:"items"`
+	Batches    uint64  `json:"batches"`
+	AvgBatch   float64 `json:"avg_batch"`
+	Group      int     `json:"group"` // final group size
+	Throughput float64 `json:"drain_rate_ips"`
+	Dropped    uint64  `json:"dropped"`
+	P50NS      int64   `json:"p50_ns"`
+	P99NS      int64   `json:"p99_ns"`
+	Epoch      uint64  `json:"epoch"`
+	Rebuilds   uint64  `json:"rebuilds"`
+}
+
+// RunResults is the run's outcome. Score is the host-normalized
+// throughput (ThroughputRPS × CalibrationNS) the CI regression gate
+// compares.
+type RunResults struct {
+	Submitted     int                      `json:"submitted"`
+	Drained       uint64                   `json:"drained"`
+	Dropped       uint64                   `json:"dropped"`
+	GenSeconds    float64                  `json:"gen_seconds"`
+	TotalSeconds  float64                  `json:"total_seconds"`
+	ThroughputRPS float64                  `json:"throughput_rps"`
+	Score         float64                  `json:"score"`
+	P50NS         int64                    `json:"p50_ns"`
+	P99NS         int64                    `json:"p99_ns"`
+	PerOp         map[string]OpLatencyJSON `json:"per_op"`
+	Inserts       uint64                   `json:"inserts,omitempty"`
+	Deletes       uint64                   `json:"deletes,omitempty"`
+	Rebuilds      uint64                   `json:"rebuilds,omitempty"`
+	RangeQueries  uint64                   `json:"range_queries,omitempty"`
+	RangeEntries  uint64                   `json:"range_entries,omitempty"`
+	FinalGroups   []int                    `json:"final_groups"`
+	Shards        []ShardReport            `json:"shards"`
+}
+
+// calibrate measures the host's dependent-load latency: a pointer-chase
+// over a 1 MiB permutation ring, the shape the interleaved kernels
+// hide. The product throughput × calibration_ns cancels host speed to
+// first order, so trajectory points from different machines compare.
+// Deterministic layout (fixed LCG permutation), ~10 ms total.
+func calibrate() float64 {
+	const n = 1 << 17 // 2^17 × 8 B = 1 MiB: past L2 on common parts
+	ring := make([]uint64, n)
+	// Sattolo's algorithm over a fixed LCG: one cycle visiting every slot,
+	// so the chase cannot settle into a short hot loop.
+	perm := make([]uint64, n)
+	for i := range perm {
+		perm[i] = uint64(i)
+	}
+	rng := uint64(0x9e3779b97f4a7c15)
+	for i := n - 1; i > 0; i-- {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		j := rng % uint64(i)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	for i := 0; i < n-1; i++ {
+		ring[perm[i]] = perm[i+1]
+	}
+	ring[perm[n-1]] = perm[0]
+
+	// Best of several passes: scheduler preemption and cold caches only
+	// ever slow a fixed-work chase down, so the minimum is the stable
+	// estimate of the machine's dependent-load latency.
+	const steps = 1 << 21
+	var idx uint64
+	best := math.MaxFloat64
+	for pass := 0; pass < 5; pass++ {
+		t0 := time.Now()
+		for s := 0; s < steps; s++ {
+			idx = ring[idx]
+		}
+		if ns := float64(time.Since(t0)) / steps; ns < best {
+			best = ns
+		}
+	}
+	if idx == ^uint64(0) {
+		panic("unreachable") // keep the chase observable
+	}
+	return best
+}
+
+// buildReport assembles the report from the run's stats.
+func buildReport(cfg RunConfig, st serve.Stats, submitted int, gen, total time.Duration, calNS float64) RunReport {
+	drainedReqs := float64(st.Items)
+	if cfg.Mode == "range" {
+		drainedReqs /= float64(cfg.Shards)
+	}
+	rps := drainedReqs / total.Seconds()
+	res := RunResults{
+		Submitted:     submitted,
+		Drained:       st.Items,
+		Dropped:       st.Dropped,
+		GenSeconds:    gen.Seconds(),
+		TotalSeconds:  total.Seconds(),
+		ThroughputRPS: rps,
+		Score:         rps * calNS,
+		P50NS:         int64(st.P50),
+		P99NS:         int64(st.P99),
+		PerOp: map[string]OpLatencyJSON{
+			"lookup": opLatJSON(st.PerOp.Lookup),
+			"join":   opLatJSON(st.PerOp.Join),
+			"range":  opLatJSON(st.PerOp.Range),
+			"write":  opLatJSON(st.PerOp.Write),
+		},
+		Inserts:      st.Inserts,
+		Deletes:      st.Deletes,
+		Rebuilds:     st.Rebuilds,
+		RangeEntries: st.RangeEntries,
+	}
+	if cfg.Mode == "range" {
+		res.RangeQueries = st.Ranges / uint64(max(cfg.Shards, 1))
+	}
+	for _, ss := range st.Shards {
+		res.FinalGroups = append(res.FinalGroups, ss.Group)
+		res.Shards = append(res.Shards, ShardReport{
+			Shard: ss.Shard, Items: ss.Items, Batches: ss.Batches, AvgBatch: ss.AvgBatch,
+			Group: ss.Group, Throughput: ss.Throughput, Dropped: ss.Dropped,
+			P50NS: int64(ss.P50), P99NS: int64(ss.P99), Epoch: ss.Epoch, Rebuilds: ss.Rebuilds,
+		})
+	}
+	return RunReport{
+		Schema:    reportSchema,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Host: HostInfo{
+			GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+			CPUs: runtime.NumCPU(), CalibrationNS: calNS,
+		},
+		Config:  cfg,
+		Results: res,
+	}
+}
+
+func opLatJSON(l serve.OpLatency) OpLatencyJSON {
+	return OpLatencyJSON{Count: l.Count, P50NS: int64(l.P50), P99NS: int64(l.P99)}
+}
+
+// writeReport writes the report as indented JSON to path ("-" = stdout).
+func writeReport(path string, r RunReport) error {
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// serveObs starts the observability HTTP listener: GET /obs streams the
+// observer's full JSON snapshot (metrics + spans + decisions), GET
+// /metrics the registry alone (expvar-style flat object), and
+// /debug/pprof/* the standard profiles — whose samples carry the
+// shard/backend/op goroutine labels the service sets. Returns the bound
+// address (addr may use port 0).
+func serveObs(addr string, o *obs.Observer) (string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/obs", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := o.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := o.Registry().WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs listener: %w", err)
+	}
+	go func() {
+		srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+		_ = srv.Serve(ln) // lives for the process; errors only at teardown
+	}()
+	return ln.Addr().String(), nil
+}

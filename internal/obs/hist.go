@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram is a log-bucketed value histogram: histSub sub-bucket bits
+// per power-of-two octave, giving ≤ ~12.5% bucket width (≤ ~6.25%
+// midpoint quantile error) with NumBuckets fixed buckets. It is the
+// generalization of the latency histogram the serve shards grew: values
+// are plain int64s (nanoseconds, bytes, simulated cycles — the unit is
+// the caller's), recording is one atomic add, and any number of readers
+// may aggregate or take quantiles concurrently with a writer. The zero
+// value is ready to use.
+const (
+	histSub = 3
+	// NumBuckets is the fixed bucket count of every Histogram.
+	NumBuckets = 512
+)
+
+// Histogram counts observations into log-spaced buckets. Writers call
+// Observe/ObserveN (allocation-free); readers call AddTo/Quantile/Total.
+type Histogram struct {
+	counts [NumBuckets]atomic.Uint64
+	total  atomic.Uint64
+}
+
+// Bucket maps a non-negative value to its bucket: values below
+// 2^(histSub+1) index directly; above, the top histSub+1 bits select
+// the bucket.
+func Bucket(v uint64) int {
+	exp := bits.Len64(v)
+	shift := 0
+	if exp > histSub+1 {
+		shift = exp - histSub - 1
+	}
+	b := (shift << histSub) + int(v>>uint(shift))
+	if b >= NumBuckets {
+		b = NumBuckets - 1
+	}
+	return b
+}
+
+// BucketFloor is the smallest value mapping to bucket b, clamped to
+// math.MaxInt64: top-octave buckets (shift ≥ 60) otherwise shift their
+// mantissa past 2^63 and wrap — a tail quantile landing there would
+// come back negative after the caller's int64 conversion.
+func BucketFloor(b int) uint64 {
+	if b < 1<<(histSub+1) {
+		return uint64(b)
+	}
+	shift := b>>histSub - 1
+	mant := uint64(b - shift<<histSub)
+	if shift >= 63 || mant > math.MaxInt64>>uint(shift) {
+		return math.MaxInt64
+	}
+	return mant << uint(shift)
+}
+
+// BucketMid is the midpoint of bucket b, clamped to math.MaxInt64 like
+// BucketFloor. Quantiles answer with the midpoint rather than the floor:
+// the floor systematically underestimates (every member of the bucket is
+// ≥ it, by up to one bucket width ≈ 12.5%), while the midpoint's error
+// is at most half a bucket width in either direction. The exact-value
+// buckets (below 2^(histSub+1), width 1) answer with their single
+// member.
+func BucketMid(b int) uint64 {
+	if b < 1<<(histSub+1) {
+		return uint64(b)
+	}
+	lo := BucketFloor(b)
+	if lo == math.MaxInt64 {
+		return math.MaxInt64
+	}
+	// A bucket in the shift octave spans exactly 2^shift values.
+	shift := b>>histSub - 1
+	mid := lo + uint64(1)<<uint(shift)/2
+	if mid > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return mid
+}
+
+// Observe records one value; negative values clamp to zero (the
+// histogram exists for durations and sizes, where a negative sample is
+// clock skew, not signal).
+func (h *Histogram) Observe(v int64) { h.ObserveN(v, 1) }
+
+// ObserveN records n observations of the same value — a vectorized
+// batch segment completes all its items at once.
+func (h *Histogram) ObserveN(v int64, n uint64) {
+	if n == 0 {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.counts[Bucket(uint64(v))].Add(n)
+	h.total.Add(n)
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() uint64 { return h.total.Load() }
+
+// AddTo accumulates the histogram into a plain bucket array (for
+// cross-instance aggregation).
+func (h *Histogram) AddTo(into *[NumBuckets]uint64) {
+	for i := range h.counts {
+		into[i] += h.counts[i].Load()
+	}
+}
+
+// QuantileOf returns the q-quantile of an aggregated bucket array:
+// nearest-rank over the bucket counts, answering with the selected
+// bucket's midpoint (see BucketMid). An empty array answers 0.
+func QuantileOf(counts *[NumBuckets]uint64, q float64) int64 {
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for b, c := range counts {
+		seen += c
+		if seen > rank {
+			return int64(BucketMid(b))
+		}
+	}
+	return int64(BucketMid(NumBuckets - 1))
+}
+
+// Quantile returns the q-quantile of one histogram.
+func (h *Histogram) Quantile(q float64) int64 {
+	var counts [NumBuckets]uint64
+	h.AddTo(&counts)
+	return QuantileOf(&counts, q)
+}
+
+// HistSnapshot is a histogram's JSON-able summary: the observation count
+// and the standard quantile ladder.
+type HistSnapshot struct {
+	Total uint64 `json:"total"`
+	P50   int64  `json:"p50"`
+	P90   int64  `json:"p90"`
+	P99   int64  `json:"p99"`
+	Max   int64  `json:"max"`
+}
+
+// Snapshot summarizes the histogram. Max is the midpoint of the highest
+// non-empty bucket (the true maximum is within half a bucket of it).
+func (h *Histogram) Snapshot() HistSnapshot {
+	var counts [NumBuckets]uint64
+	h.AddTo(&counts)
+	s := HistSnapshot{
+		P50: QuantileOf(&counts, 0.50),
+		P90: QuantileOf(&counts, 0.90),
+		P99: QuantileOf(&counts, 0.99),
+	}
+	for b, c := range counts {
+		if c > 0 {
+			s.Total += c
+			s.Max = int64(BucketMid(b))
+		}
+	}
+	return s
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBucketFloorRoundTrip pins the bucket mapping: every value maps to
+// a bucket whose floor maps back to the same bucket, and the floor is
+// never above the value (it is the bucket's smallest member).
+func TestBucketFloorRoundTrip(t *testing.T) {
+	checks := []uint64{0, 1, 2, 3, 15, 16, 17, 31, 32, 33, 255, 256, 1 << 20, 1<<20 + 1}
+	for e := 0; e < 64; e++ {
+		v := uint64(1) << e
+		checks = append(checks, v-1, v, v+1)
+	}
+	checks = append(checks, math.MaxInt64-1, math.MaxInt64, math.MaxInt64+1, math.MaxUint64)
+	for _, v := range checks {
+		b := Bucket(v)
+		if b < 0 || b >= NumBuckets {
+			t.Fatalf("Bucket(%d) = %d out of range", v, b)
+		}
+		floor := BucketFloor(b)
+		if floor > v {
+			t.Fatalf("BucketFloor(%d) = %d above its member %d", b, floor, v)
+		}
+		if v > math.MaxInt64 {
+			continue // floors clamp past MaxInt64; no round trip promised
+		}
+		if got := Bucket(floor); got != b {
+			t.Fatalf("round trip: Bucket(%d)=%d but Bucket(BucketFloor)=%d", v, b, got)
+		}
+	}
+}
+
+// TestBucketMidBounds: the midpoint sits inside its bucket — at or above
+// the floor, below the next bucket's floor (when that floor is not
+// clamped), still mapping back to the same bucket — and never exceeds
+// MaxInt64.
+func TestBucketMidBounds(t *testing.T) {
+	for b := 0; b < NumBuckets; b++ {
+		floor, mid := BucketFloor(b), BucketMid(b)
+		if mid < floor {
+			t.Fatalf("BucketMid(%d) = %d below floor %d", b, mid, floor)
+		}
+		if mid > math.MaxInt64 {
+			t.Fatalf("BucketMid(%d) = %d exceeds MaxInt64", b, mid)
+		}
+		if b+1 < NumBuckets {
+			if next := BucketFloor(b + 1); next < math.MaxInt64 && mid >= next {
+				t.Fatalf("BucketMid(%d) = %d reaches next floor %d", b, mid, next)
+			}
+		}
+		if mid < math.MaxInt64 {
+			if got := Bucket(mid); got != b {
+				t.Fatalf("BucketMid(%d) = %d maps to bucket %d", b, mid, got)
+			}
+		}
+	}
+	// Exact-value buckets answer their single member.
+	for b := 0; b < 1<<(histSub+1); b++ {
+		if BucketMid(b) != uint64(b) {
+			t.Fatalf("exact bucket %d: mid = %d", b, BucketMid(b))
+		}
+	}
+}
+
+// TestQuantileMidpointBias: answering with the midpoint bounds the
+// relative quantile error at half a bucket width (≤ 1/16 ≈ 6.25% for
+// histSub=3), where the old floor answer was biased low by up to a full
+// width (~12.5%).
+func TestQuantileMidpointBias(t *testing.T) {
+	for e := 4; e < 62; e++ {
+		for _, v := range []int64{1<<e + 1, 1<<e + 1<<(e-1), 1<<(e+1) - 1} {
+			var h Histogram
+			h.Observe(v)
+			got := h.Quantile(0.5)
+			diff := got - v
+			if diff < 0 {
+				diff = -diff
+			}
+			if limit := v/16 + 1; diff > limit {
+				t.Fatalf("quantile of single sample %d = %d (error %d > %d)", v, got, diff, limit)
+			}
+		}
+	}
+}
+
+// TestHistogramObserveN: vectorized recording counts into total and the
+// quantile ladder like N scalar observations.
+func TestHistogramObserveN(t *testing.T) {
+	var h Histogram
+	h.ObserveN(100, 99)
+	h.Observe(1 << 30)
+	if h.Total() != 100 {
+		t.Fatalf("total = %d, want 100", h.Total())
+	}
+	if p50 := h.Quantile(0.5); p50 != int64(BucketMid(Bucket(100))) {
+		t.Fatalf("p50 = %d, want bucket mid of 100", p50)
+	}
+	if p99 := h.Quantile(0.999); p99 != int64(BucketMid(Bucket(1<<30))) {
+		t.Fatalf("p99.9 = %d, want bucket mid of 2^30", p99)
+	}
+	h.Observe(-7) // clamps to 0
+	if h.Quantile(0) != 0 {
+		t.Fatalf("q0 after negative sample = %d, want 0", h.Quantile(0))
+	}
+	s := h.Snapshot()
+	if s.Total != 101 || s.Max != int64(BucketMid(Bucket(1<<30))) {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+// TestQuantileEmpty: an empty histogram answers 0 everywhere.
+func TestQuantileEmpty(t *testing.T) {
+	var h Histogram
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("quantile(%v) of empty = %d", q, got)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Package obs is the repo's dependency-free observability substrate:
+// a labeled registry of counters, gauges, and log-bucketed histograms
+// (the generalization of the latency histogram internal/serve grew), a
+// span recorder stamping batch lifecycles into per-shard ring buffers
+// readable without stopping the world, and a decision log recording
+// every adaptive-controller move with its cost evidence.
+//
+// Everything here is stdlib-only and hot-path honest: metric updates
+// are single atomic ops, span and decision recording are one struct
+// copy into a pre-sized ring, and every recorder is nil-safe so a
+// system with observation disabled pays one pointer check per record
+// site — the paper's robustness claim is a performance claim, and the
+// instrumentation must not perturb what it measures.
+//
+// An Observer bundles one registry plus the named span rings and
+// decision logs of a subsystem, and snapshots the whole thing as one
+// JSON document for expvar-style HTTP exposition or machine-readable
+// run reports (the BENCH_*.json perf trajectory).
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Observer bundles a registry with named span rings and decision logs.
+// Rings and logs are get-or-create by name, so the observed subsystem
+// wires itself without central bookkeeping.
+type Observer struct {
+	reg     *Registry
+	spanCap int
+	decCap  int
+
+	mu    sync.Mutex
+	rings map[string]*SpanRing
+	logs  map[string]*DecisionLog
+}
+
+// Option configures New.
+type Option func(*Observer)
+
+// WithSpanCapacity sets the per-ring span retention (default 1024).
+func WithSpanCapacity(n int) Option { return func(o *Observer) { o.spanCap = n } }
+
+// WithDecisionCapacity sets the per-log decision retention (default 256).
+func WithDecisionCapacity(n int) Option { return func(o *Observer) { o.decCap = n } }
+
+// New returns an empty observer.
+func New(opts ...Option) *Observer {
+	o := &Observer{
+		reg:     NewRegistry(),
+		spanCap: 1024,
+		decCap:  256,
+		rings:   make(map[string]*SpanRing),
+		logs:    make(map[string]*DecisionLog),
+	}
+	for _, opt := range opts {
+		opt(o)
+	}
+	return o
+}
+
+// Registry returns the observer's metric registry.
+func (o *Observer) Registry() *Registry { return o.reg }
+
+// Ring returns the named span ring, creating it if absent.
+func (o *Observer) Ring(name string) *SpanRing {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	r, ok := o.rings[name]
+	if !ok {
+		r = NewSpanRing(o.spanCap)
+		o.rings[name] = r
+	}
+	return r
+}
+
+// DecisionLog returns the named decision log, creating it if absent.
+func (o *Observer) DecisionLog(name string) *DecisionLog {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	l, ok := o.logs[name]
+	if !ok {
+		l = NewDecisionLog(o.decCap)
+		o.logs[name] = l
+	}
+	return l
+}
+
+// Snapshot is the observer's one-document view: every metric, every
+// ring's retained spans, every log's retained decisions.
+type Snapshot struct {
+	Metrics   map[string]any        `json:"metrics"`
+	Spans     map[string][]Span     `json:"spans"`
+	Decisions map[string][]Decision `json:"decisions"`
+}
+
+// Snapshot reads the whole observer. Safe concurrently with recording;
+// each ring is copied under its own lock, so writers are never blocked
+// for longer than one ring memcpy.
+func (o *Observer) Snapshot() Snapshot {
+	o.mu.Lock()
+	rings := make(map[string]*SpanRing, len(o.rings))
+	for name, r := range o.rings {
+		rings[name] = r
+	}
+	logs := make(map[string]*DecisionLog, len(o.logs))
+	for name, l := range o.logs {
+		logs[name] = l
+	}
+	o.mu.Unlock()
+
+	s := Snapshot{
+		Metrics:   o.reg.Snapshot(),
+		Spans:     make(map[string][]Span, len(rings)),
+		Decisions: make(map[string][]Decision, len(logs)),
+	}
+	for name, r := range rings {
+		s.Spans[name] = r.Snapshot(nil)
+	}
+	for name, l := range logs {
+		s.Decisions[name] = l.Snapshot(nil)
+	}
+	return s
+}
+
+// WriteJSON writes the full snapshot as one indented JSON document.
+func (o *Observer) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(o.Snapshot())
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestRegistryGetOrCreate: the registry hands back the same metric for
+// the same name, and adopted metrics are read live.
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits")
+	c.Add(3)
+	if again := r.Counter("hits"); again != c {
+		t.Fatal("Counter(hits) returned a different instance")
+	}
+	var owned Counter
+	owned.Add(7)
+	r.RegisterCounter(Name("items", "shard", "2"), &owned)
+	owned.Inc()
+	g := r.Gauge("depth")
+	g.Set(-4)
+	g.SetMax(9)
+	g.SetMax(5) // lower: no-op
+	h := r.Histogram("lat")
+	h.Observe(1000)
+
+	snap := r.Snapshot()
+	if snap["hits"] != uint64(3) {
+		t.Fatalf("hits = %v", snap["hits"])
+	}
+	if snap["items{shard=2}"] != uint64(8) {
+		t.Fatalf("adopted counter = %v", snap["items{shard=2}"])
+	}
+	if snap["depth"] != int64(9) {
+		t.Fatalf("depth = %v", snap["depth"])
+	}
+	hs, ok := snap["lat"].(HistSnapshot)
+	if !ok || hs.Total != 1 {
+		t.Fatalf("lat = %#v", snap["lat"])
+	}
+}
+
+// TestNameLabels pins the label flattening format.
+func TestNameLabels(t *testing.T) {
+	if got := Name("x"); got != "x" {
+		t.Fatalf("Name(x) = %q", got)
+	}
+	if got := Name("x", "a", "1", "b", "2"); got != "x{a=1,b=2}" {
+		t.Fatalf("labeled = %q", got)
+	}
+	if got := Name("x", "odd"); got != "x" {
+		t.Fatalf("odd labels = %q", got)
+	}
+}
+
+// TestSpanRingWrap: a ring past capacity retains the newest events in
+// oldest-first order with contiguous sequence numbers, and nil rings
+// no-op everywhere.
+func TestSpanRingWrap(t *testing.T) {
+	r := NewSpanRing(16)
+	for i := 0; i < 40; i++ {
+		r.Record(SpanDrainStart, 1, uint64(i), i, int64(2*i))
+	}
+	if r.Recorded() != 40 {
+		t.Fatalf("recorded = %d", r.Recorded())
+	}
+	spans := r.Snapshot(nil)
+	if len(spans) != 16 {
+		t.Fatalf("snapshot len = %d, want 16", len(spans))
+	}
+	for i, s := range spans {
+		wantSeq := uint64(24 + i)
+		if s.Seq != wantSeq || s.Batch != wantSeq || s.Arg != int64(2*wantSeq) {
+			t.Fatalf("span %d = %+v, want seq %d", i, s, wantSeq)
+		}
+		if i > 0 && spans[i].T < spans[i-1].T {
+			t.Fatalf("timestamps not monotone at %d", i)
+		}
+	}
+	// Reuse the caller's buffer: no growth when capacity suffices.
+	again := r.Snapshot(spans)
+	if &again[0] != &spans[0] {
+		t.Fatal("snapshot reallocated despite sufficient capacity")
+	}
+
+	var nilRing *SpanRing
+	nilRing.Record(SpanAdmit, 0, 0, 0, 0)
+	if nilRing.Snapshot(nil) != nil || nilRing.Recorded() != 0 {
+		t.Fatal("nil ring not inert")
+	}
+}
+
+// TestSpanKindJSON: kinds marshal as their names.
+func TestSpanKindJSON(t *testing.T) {
+	b, err := json.Marshal(Span{Kind: SpanKernelDone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(b, []byte(`"kind":"kernel-done"`)) {
+		t.Fatalf("marshal = %s", b)
+	}
+	if SpanKind(200).String() != "unknown" {
+		t.Fatal("out-of-range kind name")
+	}
+}
+
+// TestDecisionLog: decisions keep their payload, gain Seq/T, wrap at
+// capacity, and nil logs no-op.
+func TestDecisionLog(t *testing.T) {
+	l := NewDecisionLog(16)
+	for i := 0; i < 20; i++ {
+		l.Record(Decision{Epoch: uint64(i), From: i, To: i + 1, Cost: float64(i), Reversed: i%2 == 0})
+	}
+	if l.Recorded() != 20 {
+		t.Fatalf("recorded = %d", l.Recorded())
+	}
+	ds := l.Snapshot(nil)
+	if len(ds) != 16 {
+		t.Fatalf("snapshot len = %d", len(ds))
+	}
+	for i, d := range ds {
+		want := 4 + i
+		if d.Seq != uint64(want) || d.Epoch != uint64(want) || d.From != want || d.To != want+1 || d.T == 0 {
+			t.Fatalf("decision %d = %+v", i, d)
+		}
+	}
+	var nilLog *DecisionLog
+	nilLog.Record(Decision{})
+	if nilLog.Snapshot(nil) != nil || nilLog.Recorded() != 0 {
+		t.Fatal("nil log not inert")
+	}
+}
+
+// TestObserverSnapshotJSON: the bundled snapshot carries metrics, spans,
+// and decisions, and round-trips through JSON.
+func TestObserverSnapshotJSON(t *testing.T) {
+	o := New(WithSpanCapacity(32), WithDecisionCapacity(32))
+	o.Registry().Counter("drained").Add(5)
+	if o.Ring("shard0") != o.Ring("shard0") {
+		t.Fatal("Ring not get-or-create")
+	}
+	if o.DecisionLog("ctl0") != o.DecisionLog("ctl0") {
+		t.Fatal("DecisionLog not get-or-create")
+	}
+	o.Ring("shard0").Record(SpanComplete, 0, 9, 128, 0)
+	o.DecisionLog("ctl0").Record(Decision{Epoch: 1, From: 6, To: 7})
+
+	var buf bytes.Buffer
+	if err := o.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Metrics   map[string]any               `json:"metrics"`
+		Spans     map[string][]map[string]any  `json:"spans"`
+		Decisions map[string][]json.RawMessage `json:"decisions"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if decoded.Metrics["drained"] != float64(5) {
+		t.Fatalf("metrics = %v", decoded.Metrics)
+	}
+	if len(decoded.Spans["shard0"]) != 1 || decoded.Spans["shard0"][0]["kind"] != "complete" {
+		t.Fatalf("spans = %v", decoded.Spans)
+	}
+	if len(decoded.Decisions["ctl0"]) != 1 {
+		t.Fatalf("decisions = %v", decoded.Decisions)
+	}
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSnapshotVsWriters is the obs half of the satellite race
+// requirement: live writers hammering every recorder type while readers
+// snapshot continuously. Run under -race (the CI race job includes this
+// package); correctness here is "no race, no torn ring reads" — each
+// snapshotted ring must come back oldest-first with contiguous sequence
+// numbers.
+func TestConcurrentSnapshotVsWriters(t *testing.T) {
+	o := New(WithSpanCapacity(64), WithDecisionCapacity(64))
+	const (
+		writers = 4
+		iters   = 2000
+	)
+	shardName := func(w int) string { return Name("items", "shard", strconv.Itoa(w)) }
+
+	var writerWG, readerWG sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Writers: one per shard identity, each updating a counter, a gauge,
+	// a histogram, a span ring, and a decision log — the shapes the serve
+	// shards record on the hot path.
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			c := o.Registry().Counter(shardName(w))
+			g := o.Registry().Gauge(Name("depth", "shard", strconv.Itoa(w)))
+			h := o.Registry().Histogram(Name("lat", "shard", strconv.Itoa(w)))
+			ring := o.Ring(shardName(w))
+			dlog := o.DecisionLog(shardName(w))
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Set(int64(i))
+				g.SetMax(int64(i - 1))
+				h.Observe(int64(i) * 100)
+				ring.Record(SpanDrainStart, w, uint64(i), i, 0)
+				ring.Record(SpanComplete, w, uint64(i), i, 0)
+				if i%64 == 0 {
+					dlog.Record(Decision{Epoch: uint64(i / 64), From: 6, To: 7, Cost: float64(i)})
+				}
+			}
+		}(w)
+	}
+
+	// Readers: full-observer snapshots plus targeted ring reads into a
+	// reused scratch buffer, until the writers finish.
+	for r := 0; r < 2; r++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			var scratch []Span
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := o.Snapshot()
+				for name, spans := range snap.Spans {
+					for i := 1; i < len(spans); i++ {
+						if spans[i].Seq != spans[i-1].Seq+1 {
+							t.Errorf("ring %s: torn snapshot (seq %d after %d)",
+								name, spans[i].Seq, spans[i-1].Seq)
+							return
+						}
+					}
+				}
+				for w := 0; w < writers; w++ {
+					scratch = o.Ring(shardName(w)).Snapshot(scratch)
+				}
+				if err := o.WriteJSON(io.Discard); err != nil {
+					t.Errorf("WriteJSON: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	for w := 0; w < writers; w++ {
+		if got := o.Registry().Counter(shardName(w)).Load(); got != iters {
+			t.Fatalf("%s = %d, want %d", shardName(w), got, iters)
+		}
+		if got := o.Ring(shardName(w)).Recorded(); got != 2*iters {
+			t.Fatalf("ring %s recorded %d, want %d", shardName(w), got, 2*iters)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the metric registry: a flat namespace of counters,
+// gauges, and histograms, each a plain struct of atomics so the hot
+// path pays one atomic op per update and nothing else. Metrics can be
+// created through the registry (get-or-create by name) or live inside
+// another struct and be adopted by Register* — the serve shards keep
+// their metrics embedded in shardMetrics exactly as before and register
+// pointers, so exposition reads the live values with no copying or
+// double accounting.
+
+// Counter is a monotonically increasing uint64. The zero value is ready.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is a settable int64. The zero value is ready.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// SetMax raises the gauge to v if v is larger (CAS loop, safe for
+// concurrent writers).
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Name composes a labeled metric name: Name("items", "shard", "0")
+// is "items{shard=0}". Labels are literal key, value pairs; an odd
+// trailing key is ignored. Call it at construction time, not on the
+// hot path — it allocates the composed string.
+func Name(base string, labels ...string) string {
+	if len(labels) < 2 {
+		return base
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labels[i])
+		b.WriteByte('=')
+		b.WriteString(labels[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Registry is a named collection of metrics. Registration and snapshot
+// take a lock; metric updates never do (they go straight to the atomic
+// through the pointer the caller holds).
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it if absent.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if absent.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it if absent.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// RegisterCounter adopts an externally-owned counter under name (the
+// owner keeps updating it in place; snapshots read it live). A later
+// registration under the same name replaces the earlier one.
+func (r *Registry) RegisterCounter(name string, c *Counter) {
+	r.mu.Lock()
+	r.counters[name] = c
+	r.mu.Unlock()
+}
+
+// RegisterGauge adopts an externally-owned gauge under name.
+func (r *Registry) RegisterGauge(name string, g *Gauge) {
+	r.mu.Lock()
+	r.gauges[name] = g
+	r.mu.Unlock()
+}
+
+// RegisterHistogram adopts an externally-owned histogram under name.
+func (r *Registry) RegisterHistogram(name string, h *Histogram) {
+	r.mu.Lock()
+	r.hists[name] = h
+	r.mu.Unlock()
+}
+
+// Snapshot reads every metric into a JSON-able map: counters as uint64,
+// gauges as int64, histograms as HistSnapshot. Keys are the registered
+// names; encoding/json sorts them on marshal, so the exposition is
+// stable.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		out[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Load()
+	}
+	for name, h := range r.hists {
+		out[name] = h.Snapshot()
+	}
+	return out
+}
+
+// WriteJSON writes the expvar-style snapshot (one JSON object, sorted
+// keys, indented) to w.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

@@ -5,6 +5,8 @@ import (
 	"iter"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // This file is the vectorized admission path. The paper's index join is
@@ -163,13 +165,14 @@ func (s *Service) SubmitBatch(ctx context.Context, kind OpKind, keys []uint64) *
 		bf.matches = make([][]Match, len(s.shards))
 	}
 	bf.bounds = partitionByShard(keys, len(s.shards), func(k uint64) uint64 { return k })
-	s.dispatchSegments(bf)
+	s.dispatchSegments(bf, s.nextBatch(n))
 	return bf
 }
 
 // dispatchSegments hands a partitioned batch's non-empty segments to
-// their shards (blocking on shard back-pressure, like point dispatch).
-func (s *Service) dispatchSegments(bf *BatchFuture) {
+// their shards (blocking on shard back-pressure, like point dispatch),
+// stamping each segment's enqueue under the batch correlation id.
+func (s *Service) dispatchSegments(bf *BatchFuture, id uint64) {
 	nseg := int32(0)
 	for i := range s.shards {
 		if bf.bounds[i+1] > bf.bounds[i] {
@@ -179,7 +182,8 @@ func (s *Service) dispatchSegments(bf *BatchFuture) {
 	bf.pending.Store(nseg)
 	for i, sh := range s.shards {
 		if lo, hi := bf.bounds[i], bf.bounds[i+1]; hi > lo {
-			sh.in <- shardMsg{bf: bf, lo: lo, hi: hi}
+			sh.ring.Record(obs.SpanEnqueue, i, id, hi-lo, 0)
+			sh.in <- shardMsg{bf: bf, lo: lo, hi: hi, id: id}
 		}
 	}
 }
@@ -219,7 +223,7 @@ func (s *Service) ApplyBatch(ctx context.Context, ops []Op) *BatchFuture {
 	}
 	bf.res = make([]Result, len(ops))
 	bf.bounds = partitionByShard(ops, len(s.shards), func(o Op) uint64 { return o.Key })
-	s.dispatchSegments(bf)
+	s.dispatchSegments(bf, s.nextBatch(len(ops)))
 	return bf
 }
 

@@ -1,6 +1,10 @@
 package serve
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
 
 // controller hill-climbs one shard's interleaving group size. The paper
 // fixes the group at 6 for its hardware (Section 5.4.5), but the optimum
@@ -24,10 +28,15 @@ type controller struct {
 	cost    float64
 	prev    float64 // previous epoch's cost per item; 0 = none yet
 
-	mu    sync.Mutex
-	group int
-	dir   int
-	hist  []int // group chosen at each epoch boundary (tail of histCap)
+	mu     sync.Mutex
+	group  int
+	dir    int
+	epochs uint64 // completed controller epochs
+	hist   []int  // group chosen at each epoch boundary (tail of histCap)
+
+	// dlog records every hill-climb move with its cost evidence; nil (a
+	// no-op recorder) unless an observer is attached.
+	dlog *obs.DecisionLog
 }
 
 // histCap bounds the retained group history (the tail is what matters for
@@ -72,14 +81,19 @@ func (c *controller) observe(items int, cost float64) {
 		return
 	}
 	per := c.cost / float64(c.items)
+	epochItems := c.items
 	c.batches, c.items, c.cost = 0, 0, 0
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	reversed := false
 	if c.prev > 0 && per > c.prev {
 		c.dir = -c.dir
+		reversed = true
 	}
+	prev := c.prev
 	c.prev = per
+	from := c.group
 	next := c.group + c.dir
 	if next < c.min || next > c.max {
 		c.dir = -c.dir
@@ -92,4 +106,11 @@ func (c *controller) observe(items int, cost float64) {
 		c.hist = append(c.hist[:0], c.hist[1:]...)
 	}
 	c.hist = append(c.hist, c.group)
+	c.epochs++
+	// The decision log's mutex nests strictly inside c.mu here and is
+	// never taken the other way around.
+	c.dlog.Record(obs.Decision{
+		Epoch: c.epochs, From: from, To: c.group,
+		Items: epochItems, Cost: per, PrevCost: prev, Reversed: reversed,
+	})
 }

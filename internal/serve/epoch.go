@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/native"
+	"repro/internal/obs"
 )
 
 // This file is the epoch machinery that makes the service read-write
@@ -83,6 +84,9 @@ func (em *epochManager) run() {
 	for j := range em.jobs {
 		keys, vals, del := deltaColumns(j.frozen)
 		mergedVals, mergedCodes := native.MergeSorted(j.vals, j.codes, keys, vals, del)
+		// Stamped into the owning shard's ring from this goroutine — the
+		// ring's mutex exists exactly for this cross-goroutine writer.
+		j.sh.ring.Record(obs.SpanMergeDone, j.sh.id, j.seq, len(j.frozen), int64(len(mergedVals)))
 		// Park the result; the shard installs it between batches. A shard
 		// never has two rebuilds in flight, so the slot cannot clobber an
 		// unconsumed install.
@@ -130,11 +134,14 @@ func (sh *shard) maybeRebuild() {
 		// already accounted as the rebuild pause — and a merge that has
 		// landed by the time the write arrives is not a stall at all.
 		if sh.pendingInstall.Load() == nil {
+			sh.ring.Record(obs.SpanStallPark, sh.id, 0, len(sh.delta), 0)
 			t0 := time.Now()
 			for sh.pendingInstall.Load() == nil {
 				<-sh.installed
 			}
-			sh.met.recordWriteStall(time.Since(t0))
+			parked := time.Since(t0)
+			sh.met.recordWriteStall(parked)
+			sh.ring.Record(obs.SpanStallUnpark, sh.id, 0, len(sh.delta), int64(parked))
 		}
 		sh.installPending()
 		return
@@ -142,6 +149,7 @@ func (sh *shard) maybeRebuild() {
 	ep := sh.epoch.Load()
 	sh.frozen = sh.delta
 	sh.delta = nil
+	sh.ring.Record(obs.SpanMergeStart, sh.id, ep.seq+1, len(sh.frozen), 0)
 	sh.em.jobs <- rebuildJob{sh: sh, seq: ep.seq + 1, vals: ep.vals, codes: ep.codes, frozen: sh.frozen}
 }
 
@@ -166,6 +174,7 @@ func (sh *shard) installPending() {
 	sh.epoch.Store(ep)
 	sh.frozen = nil
 	sh.met.endRebuild(pause, im.seq, len(sh.delta))
+	sh.ring.Record(obs.SpanInstall, sh.id, im.seq, len(sh.delta), int64(time.Since(pause)))
 	// The live delta may have crossed the threshold while the merge ran.
 	sh.maybeRebuild()
 }

@@ -1,108 +1,70 @@
 package serve
 
 import (
-	"math"
-	"math/bits"
-	"sync/atomic"
+	"strconv"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// latHist is a log-bucketed latency histogram: histSub sub-bucket bits per
-// power-of-two nanosecond octave, giving ≤ ~12.5% quantile error with 512
-// fixed buckets. Single writer (the owning shard), concurrent readers.
-const (
-	histSub     = 3
-	histBuckets = 512
-)
+// This file is the serve metrics layer over the obs primitives. The
+// log-bucketed latency histogram the shards originally grew here was
+// lifted into internal/obs (obs.Histogram — same bucket layout, now with
+// midpoint quantiles); what remains is the serve-specific shape: one
+// shardMetrics struct of counters/gauges/histograms per shard, written
+// lock-free by the owning shard goroutine, snapshotted concurrently by
+// Stats, and — when the service carries an obs.Observer — registered by
+// name into the observer's registry so exposition reads the live atomics.
+const histBuckets = obs.NumBuckets
 
-type latHist struct {
-	counts [histBuckets]atomic.Uint64
-	total  atomic.Uint64
-}
-
-// histBucket maps nanoseconds to a bucket: values below 2^(histSub+1)
-// index directly; above, the top histSub+1 bits select the bucket.
-func histBucket(v uint64) int {
-	exp := bits.Len64(v)
-	shift := 0
-	if exp > histSub+1 {
-		shift = exp - histSub - 1
-	}
-	b := (shift << histSub) + int(v>>uint(shift))
-	if b >= histBuckets {
-		b = histBuckets - 1
-	}
-	return b
-}
-
-// bucketFloor is the smallest nanosecond value mapping to bucket b,
-// clamped to math.MaxInt64: top-octave buckets (shift ≥ 60) otherwise
-// shift their mantissa past 2^63 and wrap — a tail quantile landing
-// there would come back as a negative time.Duration.
-func bucketFloor(b int) uint64 {
-	if b < 1<<(histSub+1) {
-		return uint64(b)
-	}
-	shift := b>>histSub - 1
-	mant := uint64(b - shift<<histSub)
-	if shift >= 63 || mant > math.MaxInt64>>uint(shift) {
-		return math.MaxInt64
-	}
-	return mant << uint(shift)
-}
-
-func (h *latHist) record(d time.Duration) { h.recordN(d, 1) }
-
-// recordN records n observations of the same latency — a vectorized
-// batch segment completes all its keys at once.
-func (h *latHist) recordN(d time.Duration, n uint64) {
-	if n == 0 {
-		return
-	}
-	if d < 0 {
-		d = 0
-	}
-	h.counts[histBucket(uint64(d))].Add(n)
-	h.total.Add(n)
-}
-
-// addTo accumulates the histogram into a plain bucket array (for
-// cross-shard aggregation).
-func (h *latHist) addTo(into *[histBuckets]uint64) {
-	for i := range h.counts {
-		into[i] += h.counts[i].Load()
-	}
-}
-
-// quantileOf returns the q-quantile latency of an aggregated bucket
-// array.
+// histBucket, bucketFloor, and quantileOf keep the historical serve
+// names as thin wrappers over the obs mapping (the metrics tests pin the
+// bucket semantics here, where latencies are time.Durations).
+func histBucket(v uint64) int  { return obs.Bucket(v) }
+func bucketFloor(b int) uint64 { return obs.BucketFloor(b) }
+func bucketMid(b int) uint64   { return obs.BucketMid(b) }
 func quantileOf(counts *[histBuckets]uint64, q float64) time.Duration {
-	var total uint64
-	for _, c := range counts {
-		total += c
-	}
-	if total == 0 {
-		return 0
-	}
-	rank := uint64(q * float64(total))
-	if rank >= total {
-		rank = total - 1
-	}
-	var seen uint64
-	for b, c := range counts {
-		seen += c
-		if seen > rank {
-			return time.Duration(bucketFloor(b))
-		}
-	}
-	return time.Duration(bucketFloor(histBuckets - 1))
+	return time.Duration(obs.QuantileOf(counts, q))
 }
 
-// quantile returns the q-quantile of one histogram.
-func (h *latHist) quantile(q float64) time.Duration {
-	var counts [histBuckets]uint64
-	h.addTo(&counts)
-	return quantileOf(&counts, q)
+// opClass folds the request kinds into the four latency populations
+// worth separating: point/vector lookups, join probes, range scans, and
+// write acknowledgements. Separating them keeps an op-mix shift from
+// masquerading as a latency regression — a workload drifting from
+// lookups toward wide ranges moves the blended quantiles with no
+// per-request change at all.
+type opClass uint8
+
+const (
+	classLookup opClass = iota
+	classJoin
+	classRange
+	classWrite
+	nOpClasses
+)
+
+func classOf(k OpKind) opClass {
+	switch k {
+	case OpJoin:
+		return classJoin
+	case OpRange:
+		return classRange
+	case OpInsert, OpDelete:
+		return classWrite
+	}
+	return classLookup
+}
+
+func (c opClass) String() string {
+	switch c {
+	case classJoin:
+		return "join"
+	case classRange:
+		return "range"
+	case classWrite:
+		return "write"
+	}
+	return "lookup"
 }
 
 // shardMetrics are one shard's counters. The shard goroutine writes;
@@ -112,37 +74,81 @@ func (h *latHist) quantile(q float64) time.Duration {
 // counted by the write-path counters below, so Group/AvgBatch/
 // Throughput are never diluted by write runs that used no kernel.
 type shardMetrics struct {
-	items    atomic.Uint64
-	batches  atomic.Uint64
-	busyNS   atomic.Uint64
-	joins    atomic.Uint64
-	joinHits atomic.Uint64
-	ranges   atomic.Uint64
-	rangeEnt atomic.Uint64
-	dropped  atomic.Uint64
-	group    atomic.Int64 // group used for the most recent kernel batch
-	hist     latHist
+	items    obs.Counter
+	batches  obs.Counter
+	busyNS   obs.Counter
+	joins    obs.Counter
+	joinHits obs.Counter
+	ranges   obs.Counter
+	rangeEnt obs.Counter
+	dropped  obs.Counter
+	group    obs.Gauge // group used for the most recent kernel batch
+	// lat holds one request-latency histogram per op class (lookup, join,
+	// range, write-ack), replacing the old blended histogram; blended
+	// quantiles are still reported, computed from the summed buckets.
+	lat [nOpClasses]obs.Histogram
 
 	// Write-path counters: applied writes, time spent applying them, the
 	// delta-size gauge, write stalls (waits for an in-flight merge), and
 	// the epoch rebuilds with their install pauses.
-	inserts      atomic.Uint64
-	deletes      atomic.Uint64
-	wBusyNS      atomic.Uint64
-	stalls       atomic.Uint64
-	stallNS      atomic.Uint64
-	deltaLen     atomic.Int64
-	epoch        atomic.Uint64
-	rebuilds     atomic.Uint64
-	rebuildNS    atomic.Uint64
-	rebuildMaxNS atomic.Uint64
+	inserts      obs.Counter
+	deletes      obs.Counter
+	wBusyNS      obs.Counter
+	stalls       obs.Counter
+	stallNS      obs.Counter
+	deltaLen     obs.Gauge
+	epoch        obs.Gauge
+	rebuilds     obs.Counter
+	rebuildNS    obs.Counter
+	rebuildMaxNS obs.Gauge
+}
+
+// register adopts the shard's live metrics into the observer's registry
+// under serve_* names labeled by shard, so the HTTP/JSON exposition
+// reads the same atomics the hot path writes. Construction-time only.
+func (m *shardMetrics) register(reg *obs.Registry, shard int) {
+	s := strconv.Itoa(shard)
+	reg.RegisterCounter(obs.Name("serve_items", "shard", s), &m.items)
+	reg.RegisterCounter(obs.Name("serve_batches", "shard", s), &m.batches)
+	reg.RegisterCounter(obs.Name("serve_busy_ns", "shard", s), &m.busyNS)
+	reg.RegisterCounter(obs.Name("serve_joins", "shard", s), &m.joins)
+	reg.RegisterCounter(obs.Name("serve_join_hits", "shard", s), &m.joinHits)
+	reg.RegisterCounter(obs.Name("serve_ranges", "shard", s), &m.ranges)
+	reg.RegisterCounter(obs.Name("serve_range_entries", "shard", s), &m.rangeEnt)
+	reg.RegisterCounter(obs.Name("serve_dropped", "shard", s), &m.dropped)
+	reg.RegisterGauge(obs.Name("serve_group", "shard", s), &m.group)
+	for c := opClass(0); c < nOpClasses; c++ {
+		reg.RegisterHistogram(obs.Name("serve_latency_ns", "shard", s, "op", c.String()), &m.lat[c])
+	}
+	reg.RegisterCounter(obs.Name("serve_inserts", "shard", s), &m.inserts)
+	reg.RegisterCounter(obs.Name("serve_deletes", "shard", s), &m.deletes)
+	reg.RegisterCounter(obs.Name("serve_write_busy_ns", "shard", s), &m.wBusyNS)
+	reg.RegisterCounter(obs.Name("serve_write_stalls", "shard", s), &m.stalls)
+	reg.RegisterCounter(obs.Name("serve_write_stall_ns", "shard", s), &m.stallNS)
+	reg.RegisterGauge(obs.Name("serve_delta_len", "shard", s), &m.deltaLen)
+	reg.RegisterGauge(obs.Name("serve_epoch", "shard", s), &m.epoch)
+	reg.RegisterCounter(obs.Name("serve_rebuilds", "shard", s), &m.rebuilds)
+	reg.RegisterCounter(obs.Name("serve_rebuild_ns", "shard", s), &m.rebuildNS)
+	reg.RegisterGauge(obs.Name("serve_rebuild_max_ns", "shard", s), &m.rebuildMaxNS)
+}
+
+// recordLatency records one request's queue-to-complete latency into its
+// op class histogram.
+func (m *shardMetrics) recordLatency(c opClass, d time.Duration) {
+	m.lat[c].Observe(int64(d))
+}
+
+// recordLatencyN records n same-latency observations (a vectorized
+// segment completes all its items at once).
+func (m *shardMetrics) recordLatencyN(c opClass, d time.Duration, n uint64) {
+	m.lat[c].ObserveN(int64(d), n)
 }
 
 func (m *shardMetrics) recordBatch(items, group int, busy time.Duration) {
 	m.items.Add(uint64(items))
 	m.batches.Add(1)
 	m.busyNS.Add(uint64(busy))
-	m.group.Store(int64(group))
+	m.group.Set(int64(group))
 }
 
 // recordRanges counts drained range scans (segments of fanned-out range
@@ -189,12 +195,12 @@ func (m *shardMetrics) recordDropped(n uint64) {
 // delta-size gauge.
 func (m *shardMetrics) recordInsert(deltaLen int) {
 	m.inserts.Add(1)
-	m.deltaLen.Store(int64(deltaLen))
+	m.deltaLen.Set(int64(deltaLen))
 }
 
 func (m *shardMetrics) recordDelete(deltaLen int) {
 	m.deletes.Add(1)
-	m.deltaLen.Store(int64(deltaLen))
+	m.deltaLen.Set(int64(deltaLen))
 }
 
 // beginRebuild/endRebuild bracket one epoch install (the on-shard index
@@ -206,11 +212,36 @@ func (m *shardMetrics) endRebuild(start time.Time, seq uint64, deltaLen int) {
 	pause := uint64(time.Since(start))
 	m.rebuilds.Add(1)
 	m.rebuildNS.Add(pause)
-	if pause > m.rebuildMaxNS.Load() {
-		m.rebuildMaxNS.Store(pause)
+	m.rebuildMaxNS.SetMax(int64(pause))
+	m.epoch.Set(int64(seq))
+	m.deltaLen.Set(int64(deltaLen))
+}
+
+// OpLatency is one op class's latency summary: how many requests of the
+// class completed and their quantiles.
+type OpLatency struct {
+	Count    uint64
+	P50, P99 time.Duration
+}
+
+// OpLatencies splits request latency by operation class, so an op-mix
+// shift (say, lookups giving way to wide ranges) cannot masquerade as a
+// per-request regression in a blended histogram. Write is the write-ack
+// latency (submission to applied acknowledgement).
+type OpLatencies struct {
+	Lookup, Join, Range, Write OpLatency
+}
+
+func (l *OpLatencies) byClass(c opClass) *OpLatency {
+	switch c {
+	case classJoin:
+		return &l.Join
+	case classRange:
+		return &l.Range
+	case classWrite:
+		return &l.Write
 	}
-	m.epoch.Store(seq)
-	m.deltaLen.Store(int64(deltaLen))
+	return &l.Lookup
 }
 
 // ShardStats is one shard's snapshot.
@@ -245,8 +276,11 @@ type ShardStats struct {
 	RangeEntries uint64
 	// Dropped counts requests whose context was cancelled before this
 	// shard drained them; they were never probed and are not in Items.
-	Dropped  uint64
+	Dropped uint64
+	// P50/P99 blend every op class (computed from the summed per-class
+	// buckets); PerOp separates the classes.
 	P50, P99 time.Duration
+	PerOp    OpLatencies
 	// Inserts and Deletes count applied writes (included in Items);
 	// WriteBusy the time spent applying them (including stalls and any
 	// piggybacked installs); DeltaLen is the live write-delta size after
@@ -284,19 +318,31 @@ func (m *shardMetrics) snapshot(id int) ShardStats {
 		Ranges:          m.ranges.Load(),
 		RangeEntries:    m.rangeEnt.Load(),
 		Dropped:         m.dropped.Load(),
-		P50:             m.hist.quantile(0.50),
-		P99:             m.hist.quantile(0.99),
 		Inserts:         m.inserts.Load(),
 		Deletes:         m.deletes.Load(),
 		WriteBusy:       time.Duration(m.wBusyNS.Load()),
 		WriteStalls:     m.stalls.Load(),
 		WriteStall:      time.Duration(m.stallNS.Load()),
 		DeltaLen:        int(m.deltaLen.Load()),
-		Epoch:           m.epoch.Load(),
+		Epoch:           uint64(m.epoch.Load()),
 		Rebuilds:        m.rebuilds.Load(),
 		RebuildPause:    time.Duration(m.rebuildNS.Load()),
 		MaxRebuildPause: time.Duration(m.rebuildMaxNS.Load()),
 	}
+	var blended [histBuckets]uint64
+	for c := opClass(0); c < nOpClasses; c++ {
+		var counts [histBuckets]uint64
+		m.lat[c].AddTo(&counts)
+		ol := s.PerOp.byClass(c)
+		ol.Count = m.lat[c].Total()
+		ol.P50 = quantileOf(&counts, 0.50)
+		ol.P99 = quantileOf(&counts, 0.99)
+		for b, n := range counts {
+			blended[b] += n
+		}
+	}
+	s.P50 = quantileOf(&blended, 0.50)
+	s.P99 = quantileOf(&blended, 0.99)
 	if batches > 0 {
 		s.AvgBatch = float64(kernelItems) / float64(batches)
 	}
@@ -319,8 +365,11 @@ type Stats struct {
 	RangeEntries uint64
 	// Dropped counts requests dropped before drain service-wide (context
 	// cancelled or deadline expired); Items excludes them.
-	Dropped  uint64
+	Dropped uint64
+	// P50/P99 blend every op class service-wide; PerOp separates
+	// lookup/join/range/write-ack latency populations.
 	P50, P99 time.Duration
+	PerOp    OpLatencies
 	// Inserts/Deletes count applied writes service-wide, WriteBusy their
 	// total apply time; WriteStalls/WriteStall the write-path stalls for
 	// in-flight merges; Rebuilds the installed epoch rebuilds,

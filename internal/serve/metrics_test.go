@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // TestHistBucketFloorRoundTrip pins the bucket mapping: every value
@@ -40,16 +42,23 @@ func TestHistBucketFloorRoundTrip(t *testing.T) {
 // TestBucketFloorOverflowClamp is the regression test for the top-octave
 // int64 overflow: bucketFloor of high buckets used to shift its mantissa
 // past 2^63 and wrap (15<<62 and friends), so a tail quantile landing
-// there returned a negative time.Duration. Every floor must now be a
+// there returned a negative time.Duration. Every floor — and every
+// midpoint, now that quantiles answer with bucket midpoints — must be a
 // valid non-negative Duration.
 func TestBucketFloorOverflowClamp(t *testing.T) {
 	for b := 0; b < histBuckets; b++ {
-		floor := bucketFloor(b)
+		floor, mid := bucketFloor(b), bucketMid(b)
 		if floor > math.MaxInt64 {
 			t.Fatalf("bucketFloor(%d) = %d exceeds MaxInt64", b, floor)
 		}
-		if d := time.Duration(floor); d < 0 {
-			t.Fatalf("bucketFloor(%d) yields negative duration %v", b, d)
+		if mid > math.MaxInt64 {
+			t.Fatalf("bucketMid(%d) = %d exceeds MaxInt64", b, mid)
+		}
+		if mid < floor {
+			t.Fatalf("bucketMid(%d) = %d below its floor %d", b, mid, floor)
+		}
+		if d := time.Duration(mid); d < 0 {
+			t.Fatalf("bucketMid(%d) yields negative duration %v", b, d)
 		}
 	}
 	// Floors are monotonically non-decreasing, so the quantile scan can
@@ -62,31 +71,48 @@ func TestBucketFloorOverflowClamp(t *testing.T) {
 	}
 	// A histogram holding only an enormous latency must report an
 	// enormous (positive) quantile, not a wrapped negative one.
-	var h latHist
-	h.record(time.Duration(math.MaxInt64))
+	var h obs.Histogram
+	h.Observe(math.MaxInt64)
+	var counts [histBuckets]uint64
+	h.AddTo(&counts)
 	for _, q := range []float64{0, 0.5, 0.99, 1} {
-		if got := h.quantile(q); got <= 0 {
+		if got := quantileOf(&counts, q); got <= 0 {
 			t.Fatalf("quantile(%v) of a MaxInt64 sample = %v", q, got)
 		}
 	}
+}
+
+// quantileTestHist records durations into one op-class histogram and
+// answers quantiles through the serve-side wrapper, mirroring how
+// snapshot computes them.
+type quantileTestHist struct{ h obs.Histogram }
+
+func (q *quantileTestHist) record(d time.Duration) { q.h.Observe(int64(d)) }
+
+func (q *quantileTestHist) quantile(p float64) time.Duration {
+	var counts [histBuckets]uint64
+	q.h.AddTo(&counts)
+	return quantileOf(&counts, p)
 }
 
 // TestQuantileEdges pins the nearest-rank convention at the edges:
 // rank = floor(q·total) clamped to total-1, so q=0 is the smallest
 // sample's bucket, q=1 the largest's, a single sample answers every
 // quantile, and with two samples the midpoint belongs to the upper one.
+// Quantiles answer the selected bucket's midpoint (halving the old
+// floor answer's worst-case low bias to half a bucket width).
 func TestQuantileEdges(t *testing.T) {
 	bucketOf := func(d time.Duration) time.Duration {
-		return time.Duration(bucketFloor(histBucket(uint64(d))))
+		return time.Duration(bucketMid(histBucket(uint64(d))))
 	}
 	t.Run("empty", func(t *testing.T) {
-		var h latHist
+		var h quantileTestHist
 		if got := h.quantile(0.5); got != 0 {
 			t.Fatalf("quantile of empty histogram = %v", got)
 		}
 	})
 	t.Run("total=1", func(t *testing.T) {
-		var h latHist
+		var h quantileTestHist
 		h.record(100 * time.Nanosecond)
 		want := bucketOf(100)
 		for _, q := range []float64{0, 0.5, 0.99, 1} {
@@ -96,7 +122,7 @@ func TestQuantileEdges(t *testing.T) {
 		}
 	})
 	t.Run("total=2", func(t *testing.T) {
-		var h latHist
+		var h quantileTestHist
 		lo, hi := 100*time.Nanosecond, 100*time.Microsecond
 		h.record(lo)
 		h.record(hi)
@@ -116,10 +142,26 @@ func TestQuantileEdges(t *testing.T) {
 		}
 	})
 	t.Run("negative-clamped", func(t *testing.T) {
-		var h latHist
+		var h quantileTestHist
 		h.record(-5 * time.Nanosecond) // clock skew: recorded as 0
 		if got := h.quantile(1); got != 0 {
 			t.Fatalf("negative latency quantile = %v, want 0", got)
+		}
+	})
+	t.Run("midpoint-above-floor", func(t *testing.T) {
+		// The old quantileOf answered bucketFloor, biased low by up to a
+		// full bucket width; the midpoint answer must sit strictly above
+		// the floor for every log bucket (exact low buckets have width 1
+		// and answer the value itself).
+		var h quantileTestHist
+		h.record(100 * time.Microsecond)
+		b := histBucket(uint64(100 * time.Microsecond))
+		got := h.quantile(0.5)
+		if got <= time.Duration(bucketFloor(b)) {
+			t.Fatalf("midpoint quantile %v not above bucket floor %v", got, time.Duration(bucketFloor(b)))
+		}
+		if next := bucketFloor(b + 1); uint64(got) >= next {
+			t.Fatalf("midpoint quantile %v reaches next bucket floor %d", got, next)
 		}
 	})
 }

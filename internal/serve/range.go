@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/native"
+	"repro/internal/obs"
 )
 
 // This file is the range-scan execution path: OpRange served through the
@@ -166,8 +167,10 @@ func (s *Service) RangeBatch(ctx context.Context, ops []Op) *RangeFuture {
 	}
 	rf.ents = make([][][]RangeEntry, len(s.shards))
 	rf.pending.Store(int32(len(s.shards)))
+	id := s.nextBatch(len(ops))
 	for _, sh := range s.shards {
-		sh.in <- shardMsg{rf: rf}
+		sh.ring.Record(obs.SpanEnqueue, sh.id, id, len(ops), 0)
+		sh.in <- shardMsg{rf: rf, id: id}
 	}
 	return rf
 }

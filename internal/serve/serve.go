@@ -58,6 +58,7 @@ import (
 	"time"
 
 	"repro/internal/nativejoin"
+	"repro/internal/obs"
 )
 
 // ErrClosed reports a submission that raced or followed Close: the
@@ -348,6 +349,7 @@ type options struct {
 	cfg      Config
 	build    []BuildTuple
 	hasBuild bool
+	obsv     *obs.Observer
 }
 
 // WithConfig replaces the service configuration wholesale (zero fields
@@ -428,6 +430,13 @@ type Service struct {
 	closed    atomic.Bool
 	closeOnce sync.Once
 	hasBuild  bool
+
+	// Observer wiring (observe.go): nil when no observer is attached.
+	// admit is the service-level span ring stamping batch admissions;
+	// batchSeq mints the service-wide batch correlation ids.
+	obsv     *obs.Observer
+	admit    *obs.SpanRing
+	batchSeq atomic.Uint64
 }
 
 // shardOf routes a key to its shard: a Fibonacci-multiplicative hash so
@@ -509,7 +518,10 @@ func New(values []uint64, opts ...Option) (*Service, error) {
 	// Construct every shard's index before starting any goroutine, so a
 	// backend construction error returns without leaking the epoch
 	// manager or half a shard fleet.
-	s := &Service{cfg: cfg, hasBuild: o.hasBuild}
+	s := &Service{cfg: cfg, hasBuild: o.hasBuild, obsv: o.obsv}
+	if o.obsv != nil {
+		s.admit = o.obsv.Ring("admit")
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		sh := &shard{
 			id:        i,
@@ -518,6 +530,9 @@ func New(values []uint64, opts ...Option) (*Service, error) {
 			met:       &shardMetrics{},
 			rebuildAt: cfg.RebuildThreshold,
 			installed: make(chan struct{}, 1),
+		}
+		if o.obsv != nil {
+			sh.attachObserver(o.obsv, cfg.Kind.String())
 		}
 		ep := &epochState{vals: locVals[i], codes: locCodes[i]}
 		if joinTabs != nil {
@@ -530,7 +545,7 @@ func New(values []uint64, opts ...Option) (*Service, error) {
 			ep.idx = idx
 		}
 		sh.epoch.Store(ep)
-		sh.met.group.Store(int64(cfg.Group))
+		sh.met.group.Set(int64(cfg.Group))
 		s.shards = append(s.shards, sh)
 	}
 	s.em = newEpochManager(cfg.Shards)
@@ -630,6 +645,7 @@ func (s *Service) Delete(ctx context.Context, key uint64) *Future {
 // sub-batches. Sends block when a shard queue is full — admission
 // back-pressure.
 func (s *Service) dispatch(batch []*Future) {
+	id := s.nextBatch(len(batch))
 	subs := make([][]*Future, len(s.shards))
 	for _, f := range batch {
 		i := shardOf(f.op.Key, len(s.shards))
@@ -637,7 +653,8 @@ func (s *Service) dispatch(batch []*Future) {
 	}
 	for i, sub := range subs {
 		if len(sub) > 0 {
-			s.shards[i].in <- shardMsg{sub: sub}
+			s.shards[i].ring.Record(obs.SpanEnqueue, i, id, len(sub), 0)
+			s.shards[i].in <- shardMsg{sub: sub, id: id}
 		}
 	}
 }
@@ -667,7 +684,7 @@ func (s *Service) Close() {
 // serving.
 func (s *Service) Stats() Stats {
 	var st Stats
-	var counts [histBuckets]uint64
+	var perClass [nOpClasses][histBuckets]uint64
 	for _, sh := range s.shards {
 		ss := sh.met.snapshot(sh.id)
 		ss.GroupHistory = sh.ctl.History()
@@ -688,9 +705,21 @@ func (s *Service) Stats() Stats {
 		if ss.MaxRebuildPause > st.MaxRebuildPause {
 			st.MaxRebuildPause = ss.MaxRebuildPause
 		}
-		sh.met.hist.addTo(&counts)
+		for c := opClass(0); c < nOpClasses; c++ {
+			sh.met.lat[c].AddTo(&perClass[c])
+		}
 	}
-	st.P50 = quantileOf(&counts, 0.50)
-	st.P99 = quantileOf(&counts, 0.99)
+	var blended [histBuckets]uint64
+	for c := opClass(0); c < nOpClasses; c++ {
+		ol := st.PerOp.byClass(c)
+		for b, n := range perClass[c] {
+			ol.Count += n
+			blended[b] += n
+		}
+		ol.P50 = quantileOf(&perClass[c], 0.50)
+		ol.P99 = quantileOf(&perClass[c], 0.99)
+	}
+	st.P50 = quantileOf(&blended, 0.50)
+	st.P99 = quantileOf(&blended, 0.99)
 	return st
 }

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"context"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -10,6 +12,7 @@ import (
 	"repro/internal/dict"
 	"repro/internal/memsim"
 	"repro/internal/native"
+	"repro/internal/obs"
 )
 
 // shard owns one hash partition of the key domain: an epoch-snapshot
@@ -51,18 +54,31 @@ type shard struct {
 	// reused across range batches.
 	rangePairs  [][]native.Pair
 	rangeLimits []int
+
+	// Observer wiring (observe.go); all nil when observation is off, so
+	// every recording site costs one pointer check. ring is this shard's
+	// lifecycle span ring; baseCtx/opCtx are the precomputed pprof label
+	// contexts the run loop swaps between (base = shard+backend, opCtx =
+	// base plus the op class).
+	ring    *obs.SpanRing
+	baseCtx context.Context
+	opCtx   [nOpClasses]context.Context
 }
 
 // shardMsg is one unit of shard work: a point sub-batch (sub), a
 // contiguous segment [lo, hi) of a vectorized batch's partitioned key
 // (or op) column (bf), or a whole range batch (rf — every shard scans
 // every range, so range messages carry no segment bounds). Sent by
-// value, so vectorized dispatch allocates nothing per shard.
+// value, so vectorized dispatch allocates nothing per shard. id is the
+// service-wide batch correlation id stamped into the span rings (0 when
+// observation is off).
+
 type shardMsg struct {
 	sub    []*Future
 	bf     *BatchFuture
 	rf     *RangeFuture
 	lo, hi int
+	id     uint64
 }
 
 // shardIndex resolves one batch of keys — each probed delta-then-main
@@ -88,15 +104,28 @@ type shardIndex interface {
 // messages.
 func (sh *shard) run(wg *sync.WaitGroup) {
 	defer wg.Done()
+	if sh.baseCtx != nil {
+		pprof.SetGoroutineLabels(sh.baseCtx)
+		defer pprof.SetGoroutineLabels(context.Background())
+	}
 	for msg := range sh.in {
 		sh.installPending()
 		switch {
 		case msg.rf != nil:
-			sh.drainRange(msg.rf)
+			sh.setLabels(sh.opCtx[classRange])
+			sh.drainRange(msg.rf, msg.id)
 		case msg.bf != nil:
-			sh.drainSegment(msg.bf, msg.lo, msg.hi)
+			cls := classOf(msg.bf.kind)
+			if msg.bf.ops != nil {
+				cls = classWrite
+			}
+			sh.setLabels(sh.opCtx[cls])
+			sh.drainSegment(msg.bf, msg.lo, msg.hi, msg.id)
 		default:
-			sh.drainPoint(msg.sub)
+			// Point sub-batches mix op kinds; attribute them to the base
+			// (shard, backend) label set.
+			sh.setLabels(sh.baseCtx)
+			sh.drainPoint(msg.sub, msg.id)
 		}
 	}
 }
@@ -125,7 +154,8 @@ func (sh *shard) applyOp(op Op) Result {
 // maximal runs of reads drain interleaved through the kernels, and each
 // write applies to the delta at its position between runs, so a lookup
 // submitted after an insert in the same sub-batch observes it.
-func (sh *shard) drainPoint(sub []*Future) {
+func (sh *shard) drainPoint(sub []*Future, id uint64) {
+	sh.ring.Record(obs.SpanDrainStart, sh.id, id, len(sub), 0)
 	var dropped uint64
 	for _, f := range sub {
 		if f.ctx != nil && f.ctx.Err() != nil {
@@ -164,6 +194,7 @@ func (sh *shard) drainPoint(sub []*Future) {
 		reads += n
 		i = j
 	}
+	sh.ring.Record(obs.SpanKernelDone, sh.id, id, reads, int64(kernelBusy))
 	now := time.Now()
 	var joins, hits uint64
 	for _, f := range sub {
@@ -177,10 +208,11 @@ func (sh *shard) drainPoint(sub []*Future) {
 				joins++
 				hits += uint64(f.jres.Hits)
 			}
-			sh.met.hist.record(now.Sub(f.enq))
+			sh.met.recordLatency(classOf(f.op.Kind), now.Sub(f.enq))
 		}
 		close(f.done)
 	}
+	sh.ring.Record(obs.SpanComplete, sh.id, id, len(sub), int64(dropped))
 	// Kernel metrics (batch size, group, busy, drain rate) count only
 	// kernel drains: a write run never entered the lookup kernel, so it
 	// is recorded on the write side and must not dilute Group/AvgBatch/
@@ -251,8 +283,9 @@ func (sh *shard) drainReadRun(run []*Future, g int, n *int) float64 {
 // cancelled is dropped whole: it never reaches the kernel or the delta.
 // Write segments (ApplyBatch) apply in op order as one unit — other
 // batches on this shard observe all of the segment's writes or none.
-func (sh *shard) drainSegment(bf *BatchFuture, lo, hi int) {
+func (sh *shard) drainSegment(bf *BatchFuture, lo, hi int, id uint64) {
 	n := hi - lo
+	sh.ring.Record(obs.SpanDrainStart, sh.id, id, n, 0)
 	if bf.ctx != nil && bf.ctx.Err() != nil {
 		for i := lo; i < hi; i++ {
 			bf.res[i] = Result{Code: NotFound, Dropped: true}
@@ -263,6 +296,7 @@ func (sh *shard) drainSegment(bf *BatchFuture, lo, hi int) {
 			}
 		}
 		sh.met.recordDropped(uint64(n))
+		sh.ring.Record(obs.SpanComplete, sh.id, id, n, int64(n))
 		bf.segDone(uint64(n))
 		return
 	}
@@ -290,17 +324,20 @@ func (sh *shard) drainSegment(bf *BatchFuture, lo, hi int) {
 		cost = ep.idx.lookupBatch(dv, bf.keys[lo:hi], g, bf.res[lo:hi])
 	}
 	busy := time.Since(t0)
-	sh.met.hist.recordN(time.Since(bf.enq), uint64(n))
+	sh.ring.Record(obs.SpanKernelDone, sh.id, id, n, int64(busy))
 	if bf.ops != nil {
 		// A pure write segment never touched the lookup kernel: its time
 		// is write-apply time, not kernel drain time, and it must not be
 		// attributed to a group size it never used.
+		sh.met.recordLatencyN(classWrite, time.Since(bf.enq), uint64(n))
 		sh.met.recordWriteBusy(busy)
 	} else {
+		sh.met.recordLatencyN(classOf(bf.kind), time.Since(bf.enq), uint64(n))
 		sh.met.recordBatch(n, g, busy)
 		sh.met.recordJoins(joins, hits)
 		sh.ctl.observe(n, cost)
 	}
+	sh.ring.Record(obs.SpanComplete, sh.id, id, n, 0)
 	bf.segDone(0)
 }
 
@@ -311,10 +348,12 @@ func (sh *shard) drainSegment(bf *BatchFuture, lo, hi int) {
 // per-range entries park on the future for the caller's k-way merge. A
 // batch whose context is already cancelled is dropped whole, like a
 // vectorized segment.
-func (sh *shard) drainRange(rf *RangeFuture) {
+func (sh *shard) drainRange(rf *RangeFuture, id uint64) {
 	nops := len(rf.ops)
+	sh.ring.Record(obs.SpanDrainStart, sh.id, id, nops, 0)
 	if rf.ctx != nil && rf.ctx.Err() != nil {
 		sh.met.recordDropped(uint64(nops))
+		sh.ring.Record(obs.SpanComplete, sh.id, id, nops, int64(nops))
 		rf.segDone(uint64(nops))
 		return
 	}
@@ -352,6 +391,7 @@ func (sh *shard) drainRange(rf *RangeFuture) {
 	// O(emitted entries) and would dilute the drain-rate metrics on wide
 	// scans, exactly like the write-apply time recordBatch now excludes.
 	busy := time.Since(t0)
+	sh.ring.Record(obs.SpanKernelDone, sh.id, id, nops, int64(busy))
 	res := make([][]RangeEntry, nops)
 	var entries uint64
 	for r, op := range rf.ops {
@@ -359,10 +399,11 @@ func (sh *shard) drainRange(rf *RangeFuture) {
 		entries += uint64(len(res[r]))
 	}
 	rf.ents[sh.id] = res
-	sh.met.hist.recordN(time.Since(rf.enq), uint64(nops))
+	sh.met.recordLatencyN(classRange, time.Since(rf.enq), uint64(nops))
 	sh.met.recordBatch(nops, g, busy)
 	sh.met.recordRanges(uint64(nops), entries)
 	sh.ctl.observe(nops, cost)
+	sh.ring.Record(obs.SpanComplete, sh.id, id, nops, 0)
 	rf.segDone(0)
 }
 
