@@ -16,8 +16,10 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
 	"reflect"
 )
@@ -71,12 +73,26 @@ func sameConfig(a, b json.RawMessage) (bool, error) {
 	return reflect.DeepEqual(ca, cb), nil
 }
 
-// comparable refuses apples-to-oranges diffs: the reports must share a
-// schema version and an identical workload config.
+// knownSchemas are the report versions this comparator understands.
+// Reports of the same version must agree on the full config; across
+// known versions only the keys both configs carry are compared, so a v1
+// baseline keeps gating a v2 candidate (whose config is a strict
+// superset) until the baseline is regenerated.
+var knownSchemas = map[string]bool{
+	"isiserve-report/v1": true,
+	"isiserve-report/v2": true,
+}
+
+// comparable refuses apples-to-oranges diffs: the reports must describe
+// the same experiment. Same schema version demands an identical config;
+// two different known versions demand agreement on every shared key.
 func comparable(base, cand report) error {
 	if base.Schema != cand.Schema {
-		return fmt.Errorf("schema mismatch: baseline %q vs candidate %q — regenerate the baseline",
-			base.Schema, cand.Schema)
+		if !knownSchemas[base.Schema] || !knownSchemas[cand.Schema] {
+			return fmt.Errorf("schema mismatch: baseline %q vs candidate %q — regenerate the baseline",
+				base.Schema, cand.Schema)
+		}
+		return sharedConfigEqual(base.Config, cand.Config)
 	}
 	same, err := sameConfig(base.Config, cand.Config)
 	if err != nil {
@@ -89,6 +105,46 @@ func comparable(base, cand report) error {
 	return nil
 }
 
+// sharedConfigEqual compares only the config keys present in both
+// reports — the cross-version relaxation of sameConfig. A knob one side
+// does not know about cannot have shaped its run, but any key both
+// emitted must agree or the runs measured different experiments.
+func sharedConfigEqual(a, b json.RawMessage) error {
+	var ca, cb map[string]any
+	if err := json.Unmarshal(a, &ca); err != nil {
+		return err
+	}
+	if err := json.Unmarshal(b, &cb); err != nil {
+		return err
+	}
+	for k, va := range ca {
+		vb, ok := cb[k]
+		if !ok {
+			continue
+		}
+		if !reflect.DeepEqual(va, vb) {
+			return fmt.Errorf("workload config mismatch on shared key %q: baseline %v vs candidate %v — the reports measure different experiments; regenerate the baseline",
+				k, va, vb)
+		}
+	}
+	return nil
+}
+
+// bootstrapBaseline adopts the candidate as the initial baseline. The
+// candidate must itself load cleanly (schema present, positive score);
+// its bytes are then copied verbatim so the adopted baseline is
+// byte-identical to the artifact CI archived for the bootstrap run.
+func bootstrapBaseline(basePath, candPath string) error {
+	if _, err := load(candPath); err != nil {
+		return err
+	}
+	data, err := os.ReadFile(candPath)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(basePath, data, 0o644)
+}
+
 // scoreDelta is the candidate's fractional change in normalized score
 // (-0.25 = a 25% regression).
 func scoreDelta(base, cand report) float64 {
@@ -97,9 +153,10 @@ func scoreDelta(base, cand report) float64 {
 
 func main() {
 	var (
-		basePath = flag.String("baseline", "BENCH_serve.json", "committed baseline report")
-		candPath = flag.String("candidate", "", "candidate report to gate (required)")
-		maxDrop  = flag.Float64("maxdrop", 0.20, "maximum tolerated fractional drop in normalized score")
+		basePath  = flag.String("baseline", "BENCH_serve.json", "committed baseline report")
+		candPath  = flag.String("candidate", "", "candidate report to gate (required)")
+		maxDrop   = flag.Float64("maxdrop", 0.20, "maximum tolerated fractional drop in normalized score")
+		bootstrap = flag.Bool("bootstrap", false, "when the baseline file is missing, adopt the candidate as the new baseline and exit 0 instead of failing")
 	)
 	flag.Parse()
 	if *candPath == "" {
@@ -109,6 +166,15 @@ func main() {
 
 	base, err := load(*basePath)
 	if err != nil {
+		if *bootstrap && errors.Is(err, fs.ErrNotExist) {
+			if berr := bootstrapBaseline(*basePath, *candPath); berr != nil {
+				fmt.Fprintln(os.Stderr, "benchcmp:", berr)
+				os.Exit(2)
+			}
+			fmt.Printf("benchcmp: no baseline at %s — bootstrapped from candidate %s (commit it to start gating)\n",
+				*basePath, *candPath)
+			return
+		}
 		fmt.Fprintln(os.Stderr, "benchcmp:", err)
 		os.Exit(2)
 	}

@@ -26,7 +26,7 @@ func fmtFloat(f float64) string { b, _ := json.Marshal(f); return string(b) }
 func TestComparableRefusals(t *testing.T) {
 	base := mkReport(t, "isiserve-report/v1", `{"mode":"lookup","shards":4}`, 100)
 
-	if err := comparable(base, mkReport(t, "isiserve-report/v2", `{"mode":"lookup","shards":4}`, 100)); err == nil {
+	if err := comparable(base, mkReport(t, "isiserve-report/v99", `{"mode":"lookup","shards":4}`, 100)); err == nil {
 		t.Fatal("schema mismatch not refused")
 	} else if !strings.Contains(err.Error(), "schema mismatch") {
 		t.Fatalf("wrong refusal: %v", err)
@@ -42,6 +42,78 @@ func TestComparableRefusals(t *testing.T) {
 	// serialization.
 	if err := comparable(base, mkReport(t, "isiserve-report/v1", `{ "shards": 4, "mode": "lookup" }`, 50)); err != nil {
 		t.Fatalf("structurally equal configs refused: %v", err)
+	}
+}
+
+func TestComparableAcrossVersions(t *testing.T) {
+	v1 := mkReport(t, "isiserve-report/v1", `{"mode":"lookup","shards":4,"zipf_frac":0.5}`, 100)
+
+	// A v2 candidate carries a superset config; the shared keys agree, so
+	// the v1 baseline keeps gating it until regenerated.
+	v2 := mkReport(t, "isiserve-report/v2", `{"mode":"lookup","shards":4,"zipf_frac":0.5,"scenario":"smoke","pacing":"none"}`, 90)
+	if err := comparable(v1, v2); err != nil {
+		t.Fatalf("v1 baseline vs v2 candidate with matching shared keys refused: %v", err)
+	}
+
+	// A shared key that disagrees is a real drift even across versions.
+	drift := mkReport(t, "isiserve-report/v2", `{"mode":"lookup","shards":8,"scenario":"smoke"}`, 90)
+	if err := comparable(v1, drift); err == nil {
+		t.Fatal("shared-key drift across versions not refused")
+	} else if !strings.Contains(err.Error(), "shards") {
+		t.Fatalf("drift refusal does not name the key: %v", err)
+	}
+
+	// An unknown version never gets the relaxed comparison.
+	v3 := mkReport(t, "isiserve-report/v3", `{"mode":"lookup","shards":4}`, 90)
+	if err := comparable(v1, v3); err == nil {
+		t.Fatal("unknown schema version not refused")
+	} else if !strings.Contains(err.Error(), "schema mismatch") {
+		t.Fatalf("wrong refusal for unknown version: %v", err)
+	}
+
+	// Same-version comparisons stay strict: a key present on one side
+	// only is an exact-config mismatch, not a shared-key pass.
+	extra := mkReport(t, "isiserve-report/v1", `{"mode":"lookup","shards":4,"zipf_frac":0.5,"new_knob":1}`, 90)
+	if err := comparable(v1, extra); err == nil {
+		t.Fatal("same-version superset config not refused")
+	}
+}
+
+func TestBootstrapBaseline(t *testing.T) {
+	dir := t.TempDir()
+	candBody := `{"schema":"isiserve-report/v2","config":{"shards":4},"results":{"score":42}}`
+	cand := filepath.Join(dir, "candidate.json")
+	if err := os.WriteFile(cand, []byte(candBody), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Missing baseline: the candidate is adopted byte-for-byte.
+	basePath := filepath.Join(dir, "BENCH_new.json")
+	if err := bootstrapBaseline(basePath, cand); err != nil {
+		t.Fatalf("bootstrap with valid candidate failed: %v", err)
+	}
+	got, err := os.ReadFile(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != candBody {
+		t.Fatalf("bootstrapped baseline not byte-identical to candidate:\n%s", got)
+	}
+	if _, err := load(basePath); err != nil {
+		t.Fatalf("bootstrapped baseline does not load: %v", err)
+	}
+
+	// A candidate that would not pass load() must not become a baseline.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"results":{"score":42}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	badBase := filepath.Join(dir, "BENCH_bad.json")
+	if err := bootstrapBaseline(badBase, bad); err == nil {
+		t.Fatal("bootstrap from schema-less candidate not refused")
+	}
+	if _, err := os.Stat(badBase); err == nil {
+		t.Fatal("refused bootstrap still wrote a baseline file")
 	}
 }
 

@@ -1,68 +1,46 @@
 // Command isiserve runs the sharded, batch-admission index-join service
-// of internal/serve under a built-in concurrent open-loop load generator,
-// and reports per-shard throughput, p50/p99 request latency, dropped
-// request counts, and the adaptive group-size controller's trajectory.
+// of internal/serve under a built-in concurrent load generator and
+// reports per-shard throughput, p50/p99 request latency by op class,
+// dropped request counts, and the adaptive group-size controller's
+// trajectory.
 //
-// The domain holds even values only (value of code i is 2i), so a -miss
-// fraction of the generated keys is verifiably absent (odd keys). Keys
-// are drawn from a Zipf/uniform mix.
+// Workloads are named scenarios from the internal/workload registry
+// (YCSB-style: analogues of core workloads A–F plus the repo-native
+// join-heavy and range-wide mixes):
 //
-// In -mode join the service carries a build-side relation next to the
-// dictionary: -build MB of 16-byte (key, payload) tuples drawn from the
-// domain, uniformly by default or Zipf-skewed via -buildzipf/-buildtheta
-// (skewed multiplicities = skewed chain lengths in the per-shard hash
-// tables; the build hot set coincides with the -zipf probe hot set, so
-// combining both is the deliberately adversarial hot-probes-walk-hot-
-// chains regime). Every request is a join probe — dictionary resolve
-// piped into an interleaved hash-probe pass — and the report adds probe
-// hit counts. Join mode requires the native backend.
+//	isiserve -scenario ycsb-a            # update-heavy 50/50, zipfian
+//	isiserve -scenario ycsb-e            # 95% short scans / 5% inserts
+//	isiserve -scenario join-heavy        # vectorized join probes
+//	isiserve -scenario ycsb-b:dist=hotspot,hotset=0.1,hotopn=0.9
+//	isiserve -scenario ycsb-c:rate=500000   # closed-loop at 500k ops/s
+//	isiserve -listscenarios              # what is registered
 //
-// -vector N switches from point admission (one serve.Go/GoJoin future
-// per key, group-commit batched) to vectorized admission: each generator
-// worker fills an N-key probe column and submits it whole through
-// serve.GoBatch / serve.JoinBatch — the paper's column-operator shape,
-// O(1) allocations per batch. In vector mode, -deadline arms a
-// per-batch context deadline; batches whose deadline passes before a
-// shard drains them are dropped unprobed and show up in the report.
+// A scenario names an operation mix (reads, inserts, deletes,
+// read-modify-write pairs, range scans, join probes) and a key
+// distribution (zipfian, uniform, hotspot, latest, exponential);
+// overrides ride after a colon as key=val pairs. Single-kind scenarios
+// (pure lookup/join/range) admit vectorized columns via
+// GoBatch/JoinBatch/RangeBatch at the scenario's vector width; mixed
+// streams run point admission. A scenario rate > 0 paces workers
+// closed-loop against a shared token bucket (workload.Throttle) — the
+// latency-under-load operating mode.
 //
-// -writes F turns a fraction F of the point-mode stream into dictionary
-// writes (workload.OpMix): inserts (half of them fresh keys above the
-// domain by default, tune with -fresh) and deletes (-deletes fraction of
-// the writes). Writes land in per-shard deltas and are folded into the
-// shard index by background epoch rebuilds every -rebuild writes; the
-// report adds applied-write counts, per-shard epochs, and the rebuild
-// pauses (total and max) the installs cost the serving goroutines.
+// The domain holds even values only (value of code i is 2i), so miss
+// fractions generate verifiably absent (odd) keys.
 //
-// In -mode range every request is an ordered range scan fanned out to
-// all shards (workload.RangeMix: Zipf-clustered starts, widths around
-// -width domain entries; -rangelimit caps each result). Range admission
-// is always vectorized — workers submit -vector-sized RangeBatch
-// columns (default 256), because a shard interleaves the seeks *within*
-// one column, so single-range submissions would drain group-of-1
-// regardless of the controller. Ranges run on every backend — the
-// interleaved lower-bound seek plus sequential scan on native, the
-// simulated sorted-array scan on main, the CSB+-tree leaf walk on tree
-// — and the report adds segment and merged-entry counts. -width 1 is
-// seek-dominated (a range is a binary search), large -width
-// scan-dominated; the adaptive controller finds a different optimal
-// group for each, which is the robustness argument on a third
-// operation shape.
+// The pre-registry flags are kept as aliases: -mode lookup|join|range
+// with -writes/-zipf/-width and friends assemble an ad-hoc scenario
+// through the same engine (with the historical open-loop
+// exponential-gap pacing for -rate). -smoke pins the canonical
+// CI sizing — with -scenario it sizes that scenario's committed
+// BENCH_serve_*.json trajectory; alone it is shorthand for
+// "-scenario smoke" (the read-only lookup scenario behind
+// BENCH_serve.json).
 //
-// Usage:
-//
-//	isiserve -shards 4 -duration 2s
-//	isiserve -index main -dict 4 -rate 20000 -duration 2s
-//	isiserve -adaptive=false -group 1      # the sequential baseline
-//	isiserve -vector 4096 -rate 0          # vectorized column admission
-//	isiserve -mode join -dict 64 -build 256 -rate 0
-//	isiserve -mode join -vector 4096 -deadline 2ms -rate 0
-//	isiserve -writes 0.2 -rebuild 4096 -rate 0   # read-write serving
-//	isiserve -mode range -width 64 -rate 0       # ordered range scans
-//	isiserve -mode range -index tree -dict 4 -width 8 -rate 20000
-//
-// The memsim-backed kinds (-index main|tree) spend host time simulating
-// every probe, so drive them at far lower -dict and -rate than the
-// default native backend.
+// -json writes the structured isiserve-report/v2 run report: full
+// config, host calibration, per-op quantiles, a per-op latency time
+// series sampled every -tsinterval, per-shard stats, and the
+// host-normalized score CI gates with cmd/benchcmp.
 package main
 
 import (
@@ -71,6 +49,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -80,19 +59,21 @@ import (
 
 func main() {
 	var (
+		scenario = flag.String("scenario", "", "named workload scenario, optionally with overrides: name[:key=val,...] (see -listscenarios); replaces the -mode flag family")
+		list     = flag.Bool("listscenarios", false, "list registered scenarios and aliases, then exit")
 		shards   = flag.Int("shards", 4, "number of index shards (one goroutine each)")
 		index    = flag.String("index", "native", "shard index backend: native (real hardware), main (memsim sorted array), tree (memsim CSB+-tree)")
-		mode     = flag.String("mode", "lookup", "request type: lookup (point lookups), join (dictionary resolve piped into a hash-probe pass; native backend only), or range (interleaved seek + ordered scan, fanned out to every shard; any backend)")
-		width    = flag.Int("width", 16, "range mode: mean domain entries per range (1 = seek-only; large = scan-dominated)")
-		rngLimit = flag.Int("rangelimit", 0, "range mode: per-range result cap (0 = unbounded)")
-		vector   = flag.Int("vector", 0, "vectorized admission: submit whole N-key probe columns via GoBatch/JoinBatch instead of per-key point ops (0 = point mode)")
+		mode     = flag.String("mode", "lookup", "legacy request type: lookup, join, or range — assembles an ad-hoc scenario; ignored when -scenario is set")
+		width    = flag.Int("width", 16, "mean domain entries per range (1 = seek-only; large = scan-dominated)")
+		rngLimit = flag.Int("rangelimit", 0, "per-range result cap (0 = unbounded)")
+		vector   = flag.Int("vector", 0, "vectorized admission: submit whole N-key columns via GoBatch/JoinBatch instead of per-key point ops (0 = point mode); single-kind scenarios only")
 		deadline = flag.Duration("deadline", 0, "vector mode: per-batch context deadline; expired batches are dropped before drain (0 = none)")
-		buildMB  = flag.Int("build", 256, "join mode: build-side size in MB of 16-byte tuples")
-		bZipf    = flag.Float64("buildzipf", 0, "join mode: fraction of build tuples on the Zipf hot set (chain-length skew; 0 = uniform multiplicities). Compounds with -zipf probe skew: both hot sets share key 0, so hot probes walk hot chains — dial deliberately")
-		bTheta   = flag.Float64("buildtheta", 1.1, "join mode: build-side Zipf exponent (>1)")
+		buildMB  = flag.Int("build", 256, "join scenarios: build-side size in MB of 16-byte tuples")
+		bZipf    = flag.Float64("buildzipf", 0, "join scenarios: fraction of build tuples on the Zipf hot set (chain-length skew; 0 = uniform multiplicities)")
+		bTheta   = flag.Float64("buildtheta", 1.1, "join scenarios: build-side Zipf exponent (>1)")
 		dictMB   = flag.Int("dict", 64, "domain size in MB of 8-byte keys")
 		duration = flag.Duration("duration", 2*time.Second, "load-generation window")
-		rate     = flag.Float64("rate", 200000, "aggregate arrival rate, keys/second (0 = unpaced)")
+		rate     = flag.Float64("rate", 200000, "target ops/second: token-paced closed loop for scenarios, exponential-gap open loop for legacy -mode runs (0 = unpaced)")
 		workers  = flag.Int("workers", 8, "load-generator goroutines")
 		batch    = flag.Int("batch", 256, "point-mode admission batch size bound")
 		wait     = flag.Duration("wait", 200*time.Microsecond, "point-mode admission batch time bound")
@@ -103,32 +84,108 @@ func main() {
 		epoch    = flag.Int("epoch", 8, "batches per controller epoch")
 		zipfFrac = flag.Float64("zipf", 0.5, "fraction of keys drawn from the Zipf hot set")
 		zipfS    = flag.Float64("theta", 1.2, "Zipf exponent (>1)")
-		miss     = flag.Float64("miss", 0.1, "fraction of generated keys that are absent")
-		writes   = flag.Float64("writes", 0, "fraction of point-mode requests that are dictionary writes (0 = read-only)")
-		deletes  = flag.Float64("deletes", 0.25, "fraction of writes that are deletes (rest are inserts)")
+		miss     = flag.Float64("miss", 0.1, "fraction of reads probing verifiably absent keys")
+		writes   = flag.Float64("writes", 0, "legacy: fraction of point-mode requests that are dictionary writes (0 = read-only)")
+		deletes  = flag.Float64("deletes", 0.25, "legacy: fraction of writes that are deletes (rest are inserts)")
 		freshIns = flag.Float64("fresh", 0.5, "fraction of inserts targeting fresh keys above the domain")
 		rebuild  = flag.Int("rebuild", 0, "per-shard delta size triggering a background epoch rebuild (0 = default 4096, <0 disables)")
 		seed     = flag.Uint64("seed", 7, "workload seed")
 		jsonOut  = flag.String("json", "", "write a structured JSON run report to this path ('-' = stdout) — the BENCH_*.json trajectory writer")
-		smoke    = flag.Bool("smoke", false, "pin the canonical smoke-bench parameters (overrides the workload flags) so the report compares against the committed BENCH_serve.json baseline")
+		tsEvery  = flag.Duration("tsinterval", 100*time.Millisecond, "per-op latency time-series sampling interval for the -json report (0 = no time series)")
+		smoke    = flag.Bool("smoke", false, "pin the canonical CI sizing (shards/domain/workers/duration/seed) so the report compares against the scenario's committed BENCH_serve*.json baseline; alone it implies -scenario smoke")
 		obsAddr  = flag.String("obs", "", "serve observability HTTP on this address (e.g. localhost:6060): /obs (full snapshot), /metrics (registry), /debug/pprof/* (profiles carrying shard/backend/op labels)")
 	)
 	flag.Parse()
 
+	if *list {
+		for _, n := range workload.Names() {
+			s, _ := workload.Get(n)
+			fmt.Printf("%-12s %s\n", n, s.Describe())
+		}
+		fmt.Printf("aliases:     %s\n", strings.Join(workload.Aliases(), " "))
+		return
+	}
+
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
 	if *smoke {
-		// The smoke preset pins everything that shapes the workload: the
-		// committed baseline and a CI candidate must measure the same
-		// thing for the regression gate to mean anything. Observation is
-		// attached (below), so the smoke score also guards the
-		// observation-on hot path.
-		*mode, *index = "lookup", "native"
-		*shards, *dictMB = 4, 8
-		*vector, *workers = 4096, 4
-		*rate, *duration = 0, time.Second
+		// The smoke preset pins everything that sizes the run: a committed
+		// baseline and a CI candidate must measure the same experiment for
+		// the regression gate to mean anything. The scenario supplies the
+		// mix and distribution; observation is attached (below), so smoke
+		// scores also guard the observation-on hot path.
+		*index = "native"
+		*shards, *dictMB, *buildMB = 4, 8, 32
+		*workers = 4
+		*duration = time.Second
 		*adaptive, *group = false, 6
-		*zipfFrac, *zipfS, *miss = 0.5, 1.2, 0.1
-		*writes, *deadline = 0, 0
+		*deadline, *rebuild = 0, 0
 		*seed = 7
+		if *scenario == "" {
+			*scenario = "smoke"
+		}
+		// Sizing pins beat any explicit flag except the scenario itself.
+		for _, f := range []string{"index", "shards", "dict", "build", "workers",
+			"duration", "adaptive", "group", "deadline", "rebuild", "seed", "rate"} {
+			delete(explicit, f)
+		}
+	}
+
+	// Resolve the workload: a registered scenario (possibly with
+	// overrides), or the legacy -mode flag family assembled into an
+	// ad-hoc scenario running through the same engine.
+	var (
+		scn     workload.Scenario
+		cfg     workload.ScenarioConfig
+		scnName string // "" = ad-hoc legacy flags
+		err     error
+	)
+	if *scenario != "" {
+		scn, cfg, err = workload.ParseScenario(*scenario)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "isiserve:", err)
+			os.Exit(2)
+		}
+		scnName = scn.Name()
+		// The pre-registry flags act as aliases for scenario overrides —
+		// but only when given explicitly, so scenario defaults survive.
+		if explicit["zipf"] {
+			cfg.ZipfFrac = *zipfFrac
+		}
+		if explicit["theta"] {
+			cfg.Theta = *zipfS
+		}
+		if explicit["miss"] {
+			cfg.MissFrac = *miss
+		}
+		if explicit["width"] {
+			cfg.MeanWidth = *width
+		}
+		if explicit["vector"] {
+			cfg.Vector = *vector
+		}
+		if explicit["fresh"] {
+			cfg.FreshFrac = *freshIns
+		}
+		if explicit["rate"] {
+			cfg.Rate = *rate
+		}
+		if explicit["writes"] || explicit["deletes"] {
+			cfg.InsertFrac = *writes * (1 - *deletes)
+			cfg.DeleteFrac = *writes * *deletes
+		}
+		if err := cfg.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, "isiserve:", err)
+			os.Exit(2)
+		}
+	} else {
+		cfg, err = legacyConfig(*mode, *writes, *deletes, *freshIns, *zipfFrac, *zipfS, *miss, *width, *vector, *rate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "isiserve:", err)
+			os.Exit(2)
+		}
+		scn = workload.AdHoc("legacy-"+*mode, cfg)
 	}
 
 	var kind serve.IndexKind
@@ -149,12 +206,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, "isiserve: -dict too large for the tree backend (uint32 keys)")
 		os.Exit(2)
 	}
+	cfg.Domain, cfg.Workers, cfg.Seed = n, *workers, *seed
+	setup := scn.Setup(cfg)
+	if setup.NeedsBuild && kind != serve.NativeSorted {
+		fmt.Fprintf(os.Stderr, "isiserve: join scenarios require -index native (got %s)\n", kind)
+		os.Exit(2)
+	}
+	if setup.GrowsDomain && kind == serve.SimTree && uint64(2*n)*2 > uint64(^uint32(0)) {
+		fmt.Fprintln(os.Stderr, "isiserve: fresh-insert scenarios with -index tree need a domain whose fresh keys fit uint32 (shrink -dict)")
+		os.Exit(2)
+	}
+	if cfg.Mixed() && cfg.Vector > 0 {
+		fmt.Fprintln(os.Stderr, "isiserve: mixed op streams run point admission (drop -vector)")
+		os.Exit(2)
+	}
+	if cfg.RangeFrac == 1 && cfg.Vector <= 0 {
+		// Range admission is always vectorized for pure-range streams: a
+		// shard interleaves the seeks *within* one RangeBatch column, so
+		// single-range submissions would drain group-of-1 no matter the
+		// controller setting and the group sweep would be meaningless.
+		cfg.Vector = 256
+	}
+	if *deadline > 0 && cfg.Vector <= 0 {
+		fmt.Fprintln(os.Stderr, "isiserve: -deadline requires vectorized admission")
+		os.Exit(2)
+	}
+
 	values := make([]uint64, n)
 	for i := range values {
 		values[i] = uint64(i) * 2 // even values only: odd keys miss
 	}
 
-	cfg := serve.Config{
+	scfg := serve.Config{
 		Shards:           *shards,
 		Kind:             kind,
 		MaxBatch:         *batch,
@@ -167,58 +250,20 @@ func main() {
 		SimSeed:          *seed,
 		RebuildThreshold: *rebuild,
 	}
-	join, ranges := false, false
-	switch *mode {
-	case "lookup":
-	case "join":
-		join = true
-		// Fail before generating a multi-GB build side that WithBuild
-		// would reject anyway.
-		if kind != serve.NativeSorted {
-			fmt.Fprintf(os.Stderr, "isiserve: -mode join requires -index native (got %s)\n", kind)
-			os.Exit(2)
-		}
-	case "range":
-		ranges = true
-		if *writes > 0 {
-			fmt.Fprintln(os.Stderr, "isiserve: -mode range drives its own request stream (drop -writes)")
-			os.Exit(2)
-		}
-		if *width < 1 || *width > 1<<14 {
-			fmt.Fprintln(os.Stderr, "isiserve: -width must be in [1, 16384]")
-			os.Exit(2)
-		}
-		// Range admission is always vectorized: a shard interleaves the
-		// seeks *within* one RangeBatch column, so single-range
-		// submissions would drain group-of-1 no matter the controller
-		// setting and the group sweep would be meaningless.
-		if *vector <= 0 {
-			*vector = 256
-		}
-	default:
-		fmt.Fprintf(os.Stderr, "isiserve: unknown -mode %q (lookup|join|range)\n", *mode)
-		os.Exit(2)
-	}
-	if *deadline > 0 && *vector <= 0 {
-		fmt.Fprintln(os.Stderr, "isiserve: -deadline requires -vector")
-		os.Exit(2)
-	}
-	if *writes > 0 && *vector > 0 {
-		fmt.Fprintln(os.Stderr, "isiserve: -writes is a point-mode feature (drop -vector)")
-		os.Exit(2)
-	}
-	if *writes > 0 && kind == serve.SimTree && uint64(2*n)*2 > uint64(^uint32(0)) {
-		fmt.Fprintln(os.Stderr, "isiserve: -writes with -index tree needs a domain whose fresh keys fit uint32 (shrink -dict)")
-		os.Exit(2)
-	}
-	admission := "point"
-	if *vector > 0 {
-		admission = fmt.Sprintf("vector/%d", *vector)
-	}
-	fmt.Printf("isiserve: mode=%s admission=%s index=%s shards=%d domain=%d keys (%d MB) batch=%d/%v group=%d adaptive=%v\n",
-		*mode, admission, kind, *shards, n, *dictMB, *batch, *wait, *group, *adaptive)
 
-	opts := []serve.Option{serve.WithConfig(cfg)}
+	runMode := modeOf(cfg)
+	admission := "point"
+	if cfg.Vector > 0 {
+		admission = fmt.Sprintf("vector/%d", cfg.Vector)
+	}
+	scnLabel := scnName
+	if scnLabel == "" {
+		scnLabel = "(legacy flags)"
+	}
+	fmt.Printf("isiserve: scenario=%s mode=%s admission=%s index=%s shards=%d domain=%d keys (%d MB) batch=%d/%v group=%d adaptive=%v pacing=%s\n",
+		scnLabel, runMode, admission, kind, *shards, n, *dictMB, *batch, *wait, *group, *adaptive, pacingOf(cfg, scnName != ""))
+
+	opts := []serve.Option{serve.WithConfig(scfg)}
 	var observer *obs.Observer
 	if *obsAddr != "" || *smoke {
 		observer = obs.New()
@@ -232,7 +277,7 @@ func main() {
 		}
 		fmt.Printf("observability: http://%s/obs | /metrics | /debug/pprof/\n", bound)
 	}
-	if join {
+	if setup.NeedsBuild {
 		nTuples := int(int64(*buildMB) << 20 / 16)
 		idx := workload.JoinBuildIndices(*seed*31+7, n, nTuples, *bZipf, *bTheta)
 		build := make([]serve.BuildTuple, nTuples)
@@ -249,141 +294,45 @@ func main() {
 		os.Exit(1)
 	}
 
-	gen := workload.OpenLoop{Rate: *rate, Workers: *workers, Duration: *duration, Seed: *seed}
-	source := func(w int) func() uint64 {
-		mix := workload.NewKeyMix(*seed+uint64(w)*101, n, *zipfFrac, *zipfS)
-		missMix := workload.NewKeyMix(*seed^uint64(w)*977, 1<<20, 0, 0)
-		return func() uint64 {
-			key := uint64(mix.Next()) * 2
-			if *miss > 0 && float64(missMix.Next())/float64(1<<20) < *miss {
-				key++ // odd: verifiably absent
+	// Pacing: scenarios run closed-loop (shared token bucket, workers
+	// blocked until tokens and completion); the legacy flag family keeps
+	// its historical open-loop exponential-gap arrivals.
+	gen := workload.OpenLoop{Workers: *workers, Duration: *duration, Seed: *seed}
+	if cfg.Rate > 0 {
+		if scnName != "" {
+			b := cfg.Vector
+			if b < 1 {
+				b = 1
 			}
-			return key
+			gen.Throttle = workload.NewThrottle(cfg.Rate, 2**workers*b)
+		} else {
+			gen.Rate = cfg.Rate
 		}
 	}
-	// Read/write point mode: OpMix streams encode the op kind in the top
-	// two key bits (the domain keys sit far below 2^62), so the shared
-	// open-loop generator needs no op-aware plumbing.
-	const opShift = 62
-	opSource := func(w int) func() uint64 {
-		mix := workload.NewOpMix(*seed+uint64(w)*101, n, *zipfFrac, *zipfS, *writes, *deletes, *freshIns)
-		missMix := workload.NewKeyMix(*seed^uint64(w)*977, 1<<20, 0, 0)
-		return func() uint64 {
-			op, idx, _ := mix.Next()
-			key := uint64(idx) * 2
-			if op == workload.MixRead && *miss > 0 && float64(missMix.Next())/float64(1<<20) < *miss {
-				key++ // odd: verifiably absent
-			}
-			return key | uint64(op)<<opShift
-		}
-	}
-	// Range mode: RangeMix streams encode (start, width) in one uint64 —
-	// the width rides in the top 16 bits (domains are far below 2^48
-	// entries) — so the shared open-loop generator needs no range-aware
-	// plumbing. Every request fans out to all shards.
-	const widthShift = 48
-	rangeSource := func(w int) func() uint64 {
-		mix := workload.NewRangeMix(*seed+uint64(w)*101, n, *zipfFrac, *zipfS, *width)
-		return func() uint64 {
-			start, wd := mix.Next()
-			return uint64(start)*2 | uint64(wd)<<widthShift
-		}
-	}
+
+	sampler := startSampler(svc, *tsEvery)
 	ctx := context.Background()
 	start := time.Now()
-	var submitted int
-	if ranges {
-		// Each worker fills a -vector-sized column of encoded ranges and
-		// submits it whole: the shards drain the column's seeks
-		// interleaved at their controller's group size. (One column
-		// allocation per batch — noise for a load driver.)
-		submitted = gen.RunBatches(*vector, rangeSource, func(encs []uint64) {
-			col := make([]serve.Op, len(encs))
-			for i, enc := range encs {
-				lo := enc & (1<<widthShift - 1)
-				wd := enc >> widthShift
-				hi := lo
-				if wd > 0 {
-					hi = lo + (wd-1)*2 // cover wd domain entries (even keys)
-				}
-				col[i] = serve.RangeOp(lo, hi, *rngLimit)
-			}
-			bctx, cancel := ctx, context.CancelFunc(nil)
-			if *deadline > 0 {
-				bctx, cancel = context.WithTimeout(ctx, *deadline)
-			}
-			svc.RangeBatch(bctx, col).Wait()
-			if cancel != nil {
-				cancel()
-			}
-		})
-	} else if *vector > 0 {
-		// Vectorized column admission: the worker's buffer is partitioned
-		// in place by the service, so each submit waits for its batch
-		// before the buffer is refilled.
-		submitted = gen.RunBatches(*vector, source, func(keys []uint64) {
-			bctx, cancel := ctx, context.CancelFunc(nil)
-			if *deadline > 0 {
-				bctx, cancel = context.WithTimeout(ctx, *deadline)
-			}
-			var bf *serve.BatchFuture
-			if join {
-				bf = svc.JoinBatch(bctx, keys)
-			} else {
-				bf = svc.GoBatch(bctx, keys)
-			}
-			bf.Wait()
-			if cancel != nil {
-				cancel()
-			}
-		})
-	} else if *writes > 0 {
-		submitted = gen.Run(opSource, func(enc uint64) {
-			key := enc &^ (3 << opShift)
-			switch workload.MixOp(enc >> opShift) {
-			case workload.MixInsert:
-				// The load value is derived from the key; the service only
-				// cares that it is a valid (non-sentinel) code.
-				svc.Insert(ctx, key, uint32(key/2))
-			case workload.MixDelete:
-				svc.Delete(ctx, key)
-			default:
-				if join {
-					svc.GoJoin(ctx, key)
-				} else {
-					svc.Go(ctx, key)
-				}
-			}
-		})
-	} else {
-		submitted = gen.Run(source, func(key uint64) {
-			if join {
-				svc.GoJoin(ctx, key)
-			} else {
-				svc.Go(ctx, key)
-			}
-		})
-	}
+	var counts opCounts
+	submitted := runLoad(ctx, svc, scn, cfg, gen, *deadline, *rngLimit, &counts)
 	genElapsed := time.Since(start)
 	svc.Close() // drains every submitted request
 	elapsed := time.Since(start)
+	series := sampler.stop()
 
 	st := svc.Stats()
-	// st.Items counts per-shard work: in range mode every query fans out
-	// into one segment per shard, so the per-request rate divides back.
+	// st.Items counts per-shard work: a range query fans out into one
+	// segment per shard, so both the expected-drain check and the
+	// per-request rate weight ranges by the shard count.
+	expected := counts.read.Load() + counts.insert.Load() + counts.del.Load() +
+		counts.join.Load() + counts.rng.Load()*uint64(*shards)
 	drainedReqs := float64(st.Items)
-	if ranges {
-		drainedReqs /= float64(*shards)
+	if r := counts.rng.Load(); r > 0 {
+		drainedReqs -= float64(r*uint64(*shards)) - float64(r) // count each range once
 	}
 	fmt.Printf("submitted %d requests in %v; all drained after %v (%.0f req/s end-to-end)\n",
 		submitted, genElapsed.Round(time.Millisecond), elapsed.Round(time.Millisecond),
 		drainedReqs/elapsed.Seconds())
-	// Every point request drains (or drops) exactly once; a range fans
-	// out into one segment per shard, so segments are the drop unit too.
-	expected := uint64(submitted)
-	if ranges {
-		expected *= uint64(*shards)
-	}
 	if st.Dropped > 0 {
 		fmt.Printf("dropped before drain (context deadline/cancel): %d of %d (%.2f%%)\n",
 			st.Dropped, expected, 100*float64(st.Dropped)/float64(expected))
@@ -394,36 +343,13 @@ func main() {
 		os.Exit(1)
 	}
 
-	if join {
-		fmt.Printf("\n%-6s %10s %8s %9s %6s %12s %12s %8s %10s %10s\n",
-			"shard", "probes", "batches", "avg-batch", "group", "probe-rate/s", "hits", "dropped", "p50", "p99")
-		for _, ss := range st.Shards {
-			fmt.Printf("%-6d %10d %8d %9.1f %6d %12.0f %12d %8d %10v %10v\n",
-				ss.Shard, ss.Items, ss.Batches, ss.AvgBatch, ss.Group, ss.Throughput,
-				ss.JoinHits, ss.Dropped, ss.P50.Round(time.Microsecond), ss.P99.Round(time.Microsecond))
-		}
-		fmt.Printf("\ntotal: %d probes, %d build matches (%.2f hits/probe), %d dropped, p50 %v, p99 %v\n",
-			st.Joins, st.JoinHits, float64(st.JoinHits)/float64(max(st.Joins, 1)),
-			st.Dropped, st.P50.Round(time.Microsecond), st.P99.Round(time.Microsecond))
-	} else {
-		fmt.Printf("\n%-6s %10s %8s %9s %6s %12s %8s %10s %10s\n",
-			"shard", "items", "batches", "avg-batch", "group", "drain-rate/s", "dropped", "p50", "p99")
-		for _, ss := range st.Shards {
-			fmt.Printf("%-6d %10d %8d %9.1f %6d %12.0f %8d %10v %10v\n",
-				ss.Shard, ss.Items, ss.Batches, ss.AvgBatch, ss.Group, ss.Throughput,
-				ss.Dropped, ss.P50.Round(time.Microsecond), ss.P99.Round(time.Microsecond))
-		}
-		fmt.Printf("\ntotal: %d items, %d dropped, p50 %v, p99 %v\n",
-			st.Items, st.Dropped, st.P50.Round(time.Microsecond), st.P99.Round(time.Microsecond))
-	}
+	printShardTable(st, setup.NeedsBuild)
 
-	if ranges {
+	if r := counts.rng.Load(); r > 0 {
 		fmt.Printf("ranges: %d queries fanned into %d shard segments, %d merged entries (%.1f entries/query)\n",
-			submitted, st.Ranges, st.RangeEntries,
-			float64(st.RangeEntries)/float64(max(uint64(submitted), 1)))
+			r, st.Ranges, st.RangeEntries, float64(st.RangeEntries)/float64(max(r, 1)))
 	}
-
-	if *writes > 0 {
+	if st.Inserts+st.Deletes > 0 {
 		fmt.Printf("\nwrites: %d inserts, %d deletes applied; epoch rebuilds per shard:\n",
 			st.Inserts, st.Deletes)
 		fmt.Printf("%-6s %8s %9s %8s %12s %12s\n",
@@ -447,17 +373,24 @@ func main() {
 	if *jsonOut != "" {
 		calNS := calibrate()
 		rcfg := RunConfig{
-			Mode: *mode, Index: *index, Shards: *shards, DomainKeys: n,
-			Vector: *vector, Batch: *batch,
+			Scenario: scnName, Mode: runMode, Index: *index, Shards: *shards, DomainKeys: n,
+			Vector: cfg.Vector, Batch: *batch,
 			Group: *group, MinGroup: *minGroup, MaxGroup: *maxGroup, Adaptive: *adaptive,
-			Workers: *workers, RateRPS: *rate, DurationMS: duration.Milliseconds(),
-			ZipfFrac: *zipfFrac, ZipfTheta: *zipfS, MissFrac: *miss,
-			Writes: *writes, Width: 0, Seed: *seed,
+			Workers: *workers, RateRPS: cfg.Rate, Pacing: pacingOf(cfg, scnName != ""),
+			DurationMS: duration.Milliseconds(),
+			Dist:       cfg.Dist, ZipfFrac: cfg.ZipfFrac, ZipfTheta: cfg.Theta,
+			HotSet: cfg.HotSet, HotOpn: cfg.HotOpn, ExpFrac: cfg.ExpFrac, ExpPct: cfg.ExpPct,
+			MissFrac: cfg.MissFrac, InsertFrac: cfg.InsertFrac, DeleteFrac: cfg.DeleteFrac,
+			RMWFrac: cfg.RMWFrac, RangeFrac: cfg.RangeFrac, JoinFrac: cfg.JoinFrac,
+			FreshFrac: cfg.FreshFrac,
+			Writes:    cfg.InsertFrac + cfg.DeleteFrac + cfg.RMWFrac,
+			Width:     0, Seed: *seed,
 		}
-		if ranges {
-			rcfg.Width = *width
+		if cfg.RangeFrac > 0 {
+			rcfg.Width = cfg.MeanWidth
 		}
 		rep := buildReport(rcfg, st, submitted, genElapsed, elapsed, calNS)
+		rep.Results.Series = series
 		if err := writeReport(*jsonOut, rep); err != nil {
 			fmt.Fprintln(os.Stderr, "isiserve: report:", err)
 			os.Exit(1)
@@ -467,6 +400,230 @@ func main() {
 				*jsonOut, rep.Results.ThroughputRPS, calNS, rep.Results.Score)
 		}
 	}
+}
+
+// legacyConfig assembles the pre-registry -mode flag family into an
+// ad-hoc scenario config, preserving the historical validations.
+func legacyConfig(mode string, writes, deletes, fresh, zipfFrac, theta, miss float64, width, vector int, rate float64) (workload.ScenarioConfig, error) {
+	cfg := workload.ScenarioConfig{
+		Dist: "zipfian", ZipfFrac: zipfFrac, Theta: theta,
+		HotSet: 0.2, HotOpn: 0.8, ExpFrac: 0.2, ExpPct: 0.95,
+		MissFrac: miss, MeanWidth: width, Vector: vector, Rate: rate,
+	}
+	switch mode {
+	case "lookup":
+		if writes > 0 {
+			if vector > 0 {
+				return cfg, fmt.Errorf("-writes is a point-mode feature (drop -vector)")
+			}
+			cfg.InsertFrac = writes * (1 - deletes)
+			cfg.DeleteFrac = writes * deletes
+			cfg.FreshFrac = fresh
+		}
+	case "join":
+		cfg.JoinFrac = 1
+		if writes > 0 {
+			return cfg, fmt.Errorf("-mode join drives its own request stream (drop -writes)")
+		}
+	case "range":
+		cfg.RangeFrac = 1
+		cfg.MissFrac = 0
+		if writes > 0 {
+			return cfg, fmt.Errorf("-mode range drives its own request stream (drop -writes)")
+		}
+		if width < 1 || width > 1<<14 {
+			return cfg, fmt.Errorf("-width must be in [1, 16384]")
+		}
+	default:
+		return cfg, fmt.Errorf("unknown -mode %q (lookup|join|range)", mode)
+	}
+	return cfg, cfg.Validate()
+}
+
+// modeOf names the run's dominant shape for reports and banners.
+func modeOf(cfg workload.ScenarioConfig) string {
+	switch {
+	case cfg.JoinFrac == 1:
+		return "join"
+	case cfg.RangeFrac == 1:
+		return "range"
+	case cfg.Mixed():
+		return "mixed"
+	}
+	return "lookup"
+}
+
+// pacingOf names the pacing regime: closed (token bucket) for scenario
+// runs with a rate, open (exponential-gap arrivals) for legacy runs
+// with a rate, none when unpaced.
+func pacingOf(cfg workload.ScenarioConfig, scenarioRun bool) string {
+	if cfg.Rate <= 0 {
+		return "none"
+	}
+	if scenarioRun {
+		return "closed"
+	}
+	return "open"
+}
+
+// opCounts tallies submissions by kind: the expected-drain check weighs
+// ranges by the shard fan-out, so the driver must know how many of each
+// it offered. Atomics — submit closures run on every worker.
+type opCounts struct {
+	read, insert, del, rng, join atomic.Uint64
+}
+
+// runLoad drives the generator against the service and returns the
+// total submitted requests. Single-kind streams use vectorized column
+// admission when the config carries a vector width; everything else
+// submits point ops.
+func runLoad(ctx context.Context, svc *serve.Service, scn workload.Scenario,
+	cfg workload.ScenarioConfig, gen workload.OpenLoop,
+	deadline time.Duration, rangeLimit int, counts *opCounts) int {
+
+	streams := scn.Streams(cfg)
+	// batchCtx arms the per-batch deadline for vectorized admission.
+	batchCtx := func() (context.Context, context.CancelFunc) {
+		if deadline > 0 {
+			return context.WithTimeout(ctx, deadline)
+		}
+		return ctx, nil
+	}
+	// keySource adapts a request stream to the key-encoded generator
+	// shape: even in-domain keys, odd = verifiably absent.
+	keySource := func(w int) func() uint64 {
+		st := streams(w)
+		return func() uint64 {
+			r := st.Next()
+			key := uint64(r.Index) * 2
+			if r.Miss {
+				key++
+			}
+			return key
+		}
+	}
+
+	switch {
+	case cfg.RangeFrac == 1:
+		// Pure ranges: workers fill a vector-sized column of encoded
+		// (start, width) pairs — width rides in the top 16 bits, domains
+		// sit far below 2^48 entries — and submit it whole, so the shards
+		// interleave the seeks at their controller's group size.
+		const widthShift = 48
+		src := func(w int) func() uint64 {
+			st := streams(w)
+			return func() uint64 {
+				r := st.Next()
+				return uint64(r.Index)*2 | uint64(r.Width)<<widthShift
+			}
+		}
+		n := gen.RunBatches(cfg.Vector, src, func(encs []uint64) {
+			col := make([]serve.Op, len(encs))
+			for i, enc := range encs {
+				lo := enc & (1<<widthShift - 1)
+				wd := enc >> widthShift
+				hi := lo
+				if wd > 0 {
+					hi = lo + (wd-1)*2 // cover wd domain entries (even keys)
+				}
+				col[i] = serve.RangeOp(lo, hi, rangeLimit)
+			}
+			bctx, cancel := batchCtx()
+			svc.RangeBatch(bctx, col).Wait()
+			if cancel != nil {
+				cancel()
+			}
+		})
+		counts.rng.Add(uint64(n))
+		return n
+
+	case cfg.JoinFrac == 1 && cfg.Vector > 0:
+		n := gen.RunBatches(cfg.Vector, keySource, func(keys []uint64) {
+			bctx, cancel := batchCtx()
+			svc.JoinBatch(bctx, keys).Wait()
+			if cancel != nil {
+				cancel()
+			}
+		})
+		counts.join.Add(uint64(n))
+		return n
+
+	case !cfg.Mixed() && cfg.JoinFrac == 0 && cfg.Vector > 0:
+		// Pure point lookups, vectorized: the worker's buffer is
+		// partitioned in place by the service, so each submit waits for
+		// its batch before the buffer is refilled.
+		n := gen.RunBatches(cfg.Vector, keySource, func(keys []uint64) {
+			bctx, cancel := batchCtx()
+			svc.GoBatch(bctx, keys).Wait()
+			if cancel != nil {
+				cancel()
+			}
+		})
+		counts.read.Add(uint64(n))
+		return n
+	}
+
+	// Point admission: one typed request per arrival — the only path
+	// that can interleave op kinds (and the historical point mode when
+	// vector is 0).
+	return gen.RunOps(streams, func(r workload.Req) {
+		switch r.Kind {
+		case workload.ReqInsert:
+			counts.insert.Add(1)
+			svc.Insert(ctx, uint64(r.Index)*2, r.Val)
+		case workload.ReqDelete:
+			counts.del.Add(1)
+			svc.Delete(ctx, uint64(r.Index)*2)
+		case workload.ReqRange:
+			counts.rng.Add(1)
+			lo := uint64(r.Index) * 2
+			hi := lo
+			if r.Width > 0 {
+				hi = lo + uint64(r.Width-1)*2
+			}
+			svc.Range(ctx, lo, hi, rangeLimit)
+		case workload.ReqJoin:
+			counts.join.Add(1)
+			key := uint64(r.Index) * 2
+			if r.Miss {
+				key++
+			}
+			svc.GoJoin(ctx, key)
+		default:
+			counts.read.Add(1)
+			key := uint64(r.Index) * 2
+			if r.Miss {
+				key++
+			}
+			svc.Go(ctx, key)
+		}
+	})
+}
+
+// printShardTable renders the per-shard drain statistics.
+func printShardTable(st serve.Stats, join bool) {
+	if join {
+		fmt.Printf("\n%-6s %10s %8s %9s %6s %12s %12s %8s %10s %10s\n",
+			"shard", "probes", "batches", "avg-batch", "group", "probe-rate/s", "hits", "dropped", "p50", "p99")
+		for _, ss := range st.Shards {
+			fmt.Printf("%-6d %10d %8d %9.1f %6d %12.0f %12d %8d %10v %10v\n",
+				ss.Shard, ss.Items, ss.Batches, ss.AvgBatch, ss.Group, ss.Throughput,
+				ss.JoinHits, ss.Dropped, ss.P50.Round(time.Microsecond), ss.P99.Round(time.Microsecond))
+		}
+		fmt.Printf("\ntotal: %d probes, %d build matches (%.2f hits/probe), %d dropped, p50 %v, p99 %v\n",
+			st.Joins, st.JoinHits, float64(st.JoinHits)/float64(max(st.Joins, 1)),
+			st.Dropped, st.P50.Round(time.Microsecond), st.P99.Round(time.Microsecond))
+		return
+	}
+	fmt.Printf("\n%-6s %10s %8s %9s %6s %12s %8s %10s %10s\n",
+		"shard", "items", "batches", "avg-batch", "group", "drain-rate/s", "dropped", "p50", "p99")
+	for _, ss := range st.Shards {
+		fmt.Printf("%-6d %10d %8d %9.1f %6d %12.0f %8d %10v %10v\n",
+			ss.Shard, ss.Items, ss.Batches, ss.AvgBatch, ss.Group, ss.Throughput,
+			ss.Dropped, ss.P50.Round(time.Microsecond), ss.P99.Round(time.Microsecond))
+	}
+	fmt.Printf("\ntotal: %d items, %d dropped, p50 %v, p99 %v\n",
+		st.Items, st.Dropped, st.P50.Round(time.Microsecond), st.P99.Round(time.Microsecond))
 }
 
 // groupTrail renders a group-size history compactly, eliding the middle

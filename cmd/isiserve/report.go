@@ -9,6 +9,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/obs"
@@ -16,18 +17,19 @@ import (
 )
 
 // This file is the machine-readable side of isiserve: the structured
-// run report (-json, and the committed BENCH_serve.json trajectory
-// point CI replays), the calibration microbenchmark that makes scores
-// comparable across machines, and the optional observability HTTP
-// listener (-obs) exposing the live obs registry/span/decision snapshot
-// plus net/http/pprof.
+// run report (-json, and the committed BENCH_serve*.json trajectories
+// CI replays), the per-op latency time-series sampler, the calibration
+// microbenchmark that makes scores comparable across machines, and the
+// optional observability HTTP listener (-obs) exposing the live obs
+// registry/span/decision snapshot plus net/http/pprof.
 
-// reportSchema versions the JSON layout; the comparator refuses to diff
-// reports of different schemas.
-const reportSchema = "isiserve-report/v1"
+// reportSchema versions the JSON layout; v2 added the scenario identity
+// (config.scenario, the mix/distribution fields) and the per-op latency
+// time series (results.series). cmd/benchcmp reads both v1 and v2.
+const reportSchema = "isiserve-report/v2"
 
 // RunReport is one benchmark run, serialized to -json and to the
-// repo-root BENCH_serve.json trajectory. Config pins everything that
+// repo-root BENCH_serve*.json trajectories. Config pins everything that
 // shapes the workload, so a comparator can refuse apples-to-oranges
 // diffs; Calibration carries the host-speed normalization.
 type RunReport struct {
@@ -52,9 +54,13 @@ type HostInfo struct {
 	CalibrationNS float64 `json:"calibration_ns"`
 }
 
-// RunConfig pins the workload-shaping parameters of the run.
+// RunConfig pins the workload-shaping parameters of the run: the
+// scenario identity, its operation mix and key distribution, and the
+// service shape. benchcmp compares it structurally, so every knob here
+// is part of the drift check.
 type RunConfig struct {
-	Mode       string  `json:"mode"`
+	Scenario   string  `json:"scenario"` // "" = ad-hoc legacy flags
+	Mode       string  `json:"mode"`     // lookup | join | range | mixed
 	Index      string  `json:"index"`
 	Shards     int     `json:"shards"`
 	DomainKeys int     `json:"domain_keys"`
@@ -66,11 +72,23 @@ type RunConfig struct {
 	Adaptive   bool    `json:"adaptive"`
 	Workers    int     `json:"workers"`
 	RateRPS    float64 `json:"rate_rps"` // 0 = unpaced
+	Pacing     string  `json:"pacing"`   // none | open | closed
 	DurationMS int64   `json:"duration_ms"`
+	Dist       string  `json:"key_dist"`
 	ZipfFrac   float64 `json:"zipf_frac"`
 	ZipfTheta  float64 `json:"zipf_theta"`
+	HotSet     float64 `json:"hot_set"`
+	HotOpn     float64 `json:"hot_opn"`
+	ExpFrac    float64 `json:"exp_frac"`
+	ExpPct     float64 `json:"exp_pct"`
 	MissFrac   float64 `json:"miss_frac"`
-	Writes     float64 `json:"writes_frac"`
+	InsertFrac float64 `json:"insert_frac"`
+	DeleteFrac float64 `json:"delete_frac"`
+	RMWFrac    float64 `json:"rmw_frac"`
+	RangeFrac  float64 `json:"range_frac"`
+	JoinFrac   float64 `json:"join_frac"`
+	FreshFrac  float64 `json:"fresh_frac"`
+	Writes     float64 `json:"writes_frac"` // insert+delete+rmw, the v1 aggregate
 	Width      int     `json:"range_width"`
 	Seed       uint64  `json:"seed"`
 }
@@ -80,6 +98,15 @@ type OpLatencyJSON struct {
 	Count uint64 `json:"count"`
 	P50NS int64  `json:"p50_ns"`
 	P99NS int64  `json:"p99_ns"`
+}
+
+// SeriesPoint is one time-series window: the per-op-class latency of
+// the requests that completed in the -tsinterval ending TMS
+// milliseconds after load start. Classes with no completions in the
+// window are omitted.
+type SeriesPoint struct {
+	TMS   int64                    `json:"t_ms"`
+	PerOp map[string]OpLatencyJSON `json:"per_op"`
 }
 
 // ShardReport is one shard's slice of the run.
@@ -99,7 +126,7 @@ type ShardReport struct {
 
 // RunResults is the run's outcome. Score is the host-normalized
 // throughput (ThroughputRPS × CalibrationNS) the CI regression gate
-// compares.
+// compares. Series is the per-op latency time series (v2).
 type RunResults struct {
 	Submitted     int                      `json:"submitted"`
 	Drained       uint64                   `json:"drained"`
@@ -111,6 +138,7 @@ type RunResults struct {
 	P50NS         int64                    `json:"p50_ns"`
 	P99NS         int64                    `json:"p99_ns"`
 	PerOp         map[string]OpLatencyJSON `json:"per_op"`
+	Series        []SeriesPoint            `json:"series,omitempty"`
 	Inserts       uint64                   `json:"inserts,omitempty"`
 	Deletes       uint64                   `json:"deletes,omitempty"`
 	Rebuilds      uint64                   `json:"rebuilds,omitempty"`
@@ -118,6 +146,79 @@ type RunResults struct {
 	RangeEntries  uint64                   `json:"range_entries,omitempty"`
 	FinalGroups   []int                    `json:"final_groups"`
 	Shards        []ShardReport            `json:"shards"`
+}
+
+// seriesSampler snapshots the service's per-op latency windows on a
+// fixed cadence from its own goroutine (the hot path is untouched: a
+// sample only reads the shards' histogram atomics). stop takes a final
+// flush window — the tail between the last tick and Close-drain — and
+// returns the collected points.
+type seriesSampler struct {
+	svc      *serve.Service
+	interval time.Duration
+	start    time.Time
+	win      serve.PerOpWindow
+	points   []SeriesPoint
+	quit     chan struct{}
+	done     sync.WaitGroup
+}
+
+// startSampler begins sampling; a zero interval (or nil service)
+// disables the series and stop returns nil.
+func startSampler(svc *serve.Service, interval time.Duration) *seriesSampler {
+	s := &seriesSampler{svc: svc, interval: interval, start: time.Now(), quit: make(chan struct{})}
+	if svc == nil || interval <= 0 {
+		return s
+	}
+	s.done.Add(1)
+	go func() {
+		defer s.done.Done()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				s.sample()
+			case <-s.quit:
+				return
+			}
+		}
+	}()
+	return s
+}
+
+// sample takes one window. Only the sampler goroutine (and stop, after
+// that goroutine exits) calls it.
+func (s *seriesSampler) sample() {
+	lat := s.svc.WindowPerOp(&s.win)
+	perOp := map[string]OpLatencyJSON{}
+	add := func(name string, l serve.OpLatency) {
+		if l.Count > 0 {
+			perOp[name] = opLatJSON(l)
+		}
+	}
+	add("lookup", lat.Lookup)
+	add("join", lat.Join)
+	add("range", lat.Range)
+	add("write", lat.Write)
+	if len(perOp) == 0 {
+		return // idle window (e.g. the run is still loading)
+	}
+	s.points = append(s.points, SeriesPoint{
+		TMS:   time.Since(s.start).Milliseconds(),
+		PerOp: perOp,
+	})
+}
+
+// stop ends sampling, flushes the tail window, and returns the series.
+func (s *seriesSampler) stop() []SeriesPoint {
+	if s.svc == nil || s.interval <= 0 {
+		return nil
+	}
+	close(s.quit)
+	s.done.Wait()
+	s.sample()
+	return s.points
 }
 
 // calibrate measures the host's dependent-load latency: a pointer-chase

@@ -159,16 +159,5 @@ type HistSnapshot struct {
 func (h *Histogram) Snapshot() HistSnapshot {
 	var counts [NumBuckets]uint64
 	h.AddTo(&counts)
-	s := HistSnapshot{
-		P50: QuantileOf(&counts, 0.50),
-		P90: QuantileOf(&counts, 0.90),
-		P99: QuantileOf(&counts, 0.99),
-	}
-	for b, c := range counts {
-		if c > 0 {
-			s.Total += c
-			s.Max = int64(BucketMid(b))
-		}
-	}
-	return s
+	return SnapshotOf(&counts)
 }

@@ -1,0 +1,58 @@
+package obs
+
+// Windowed (reset-on-read) histogram reads. A Histogram is cumulative —
+// counters only grow — which is right for lifetime quantiles but wrong
+// for a time series: a latency spike in second 9 is invisible inside
+// nine seconds of accumulated samples. A Window is one reader's cursor
+// over a histogram: each Take (or Delta) answers only the observations
+// recorded since that reader's previous call, without disturbing the
+// histogram or any other reader — many independent windows may watch the
+// same histogram at different cadences.
+
+// Window holds the reader's last-seen cumulative bucket counts. The zero
+// value starts the first window at the histogram's beginning.
+type Window struct {
+	prev [NumBuckets]uint64
+}
+
+// Delta accumulates the observations since the previous Delta/Take on
+// this window into `into` (adding — callers aggregate several histograms
+// into one array) and advances the window. Returns the number of new
+// observations.
+func (w *Window) Delta(h *Histogram, into *[NumBuckets]uint64) uint64 {
+	var now [NumBuckets]uint64
+	h.AddTo(&now)
+	var n uint64
+	for b := range now {
+		d := now[b] - w.prev[b]
+		into[b] += d
+		n += d
+	}
+	w.prev = now
+	return n
+}
+
+// Take summarizes the observations since the previous Delta/Take on this
+// window and advances it.
+func (w *Window) Take(h *Histogram) HistSnapshot {
+	var delta [NumBuckets]uint64
+	w.Delta(h, &delta)
+	return SnapshotOf(&delta)
+}
+
+// SnapshotOf summarizes an aggregated bucket array the way
+// Histogram.Snapshot summarizes a live histogram.
+func SnapshotOf(counts *[NumBuckets]uint64) HistSnapshot {
+	s := HistSnapshot{
+		P50: QuantileOf(counts, 0.50),
+		P90: QuantileOf(counts, 0.90),
+		P99: QuantileOf(counts, 0.99),
+	}
+	for b, c := range counts {
+		if c > 0 {
+			s.Total += c
+			s.Max = int64(BucketMid(b))
+		}
+	}
+	return s
+}

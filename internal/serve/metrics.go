@@ -352,6 +352,40 @@ func (m *shardMetrics) snapshot(id int) ShardStats {
 	return s
 }
 
+// PerOpWindow is a reader's cursor for windowed per-op-class latency
+// reads (one obs.Window per shard per class, created lazily on first
+// use). Each Service.WindowPerOp call with the same window answers only
+// the requests completed since the previous call — the sampling
+// substrate of the run report's latency time series. Windows are
+// reader-local: concurrent samplers each hold their own. Not safe for
+// concurrent use of one window.
+type PerOpWindow struct {
+	w [][nOpClasses]obs.Window // indexed [shard][class]
+}
+
+// WindowPerOp returns the per-op-class latencies of the requests
+// completed since the previous call on the same window (first call:
+// since service start). Safe to call concurrently with serving; the
+// shards' histograms are only read.
+func (s *Service) WindowPerOp(w *PerOpWindow) OpLatencies {
+	if w.w == nil {
+		w.w = make([][nOpClasses]obs.Window, len(s.shards))
+	}
+	var out OpLatencies
+	for c := opClass(0); c < nOpClasses; c++ {
+		var delta [histBuckets]uint64
+		var total uint64
+		for i, sh := range s.shards {
+			total += w.w[i][c].Delta(&sh.met.lat[c], &delta)
+		}
+		ol := out.byClass(c)
+		ol.Count = total
+		ol.P50 = quantileOf(&delta, 0.50)
+		ol.P99 = quantileOf(&delta, 0.99)
+	}
+	return out
+}
+
 // Stats is the service-wide snapshot.
 type Stats struct {
 	Shards   []ShardStats

@@ -1,0 +1,162 @@
+package workload
+
+// This file holds the scenario key generators beyond the Zipf/uniform
+// KeyMix: the YCSB-style hotspot, latest, and exponential distributions
+// (after yabf's generator package). All are deterministic under a seed
+// and, like KeyMix, not safe for concurrent use — give each generator
+// worker its own instance. Latest additionally reads a shared high-water
+// mark that insert streams advance, which is the one cross-worker piece
+// of state a read-latest scenario needs.
+
+import (
+	"math"
+	"math/rand/v2"
+	"sync/atomic"
+)
+
+// KeyGen is the common shape of the scenario key generators: Next draws
+// one key index. KeyMix, Hotspot, Latest, and Exponential all implement
+// it.
+type KeyGen interface {
+	Next() int
+}
+
+// Hotspot draws from [0, max) with a hot set: a hotOpnFrac fraction of
+// the draws land uniformly inside the first hotSetFrac fraction of the
+// domain, the rest uniformly over the remaining cold keys (the YCSB
+// HotspotIntegerGenerator shape, with the cold draws correctly confined
+// to the cold residue rather than the whole domain).
+type Hotspot struct {
+	rng     *rand.Rand
+	hot     int // first hot keys of the domain
+	max     int
+	opnFrac float64
+}
+
+// NewHotspot builds a hotspot generator over [0, max): hotSetFrac of the
+// domain is hot, hotOpnFrac of the operations hit it. Both fractions
+// clamp to [0, 1]; degenerate hot sets clamp to at least one key.
+func NewHotspot(seed uint64, max int, hotSetFrac, hotOpnFrac float64) *Hotspot {
+	if max < 1 {
+		max = 1
+	}
+	hot := int(clamp01(hotSetFrac) * float64(max))
+	if hot < 1 {
+		hot = 1
+	}
+	if hot > max {
+		hot = max
+	}
+	return &Hotspot{
+		rng:     rand.New(rand.NewPCG(seed^0x7f4a7c15a5a5a5a5, seed+0x9e3779b97f4a7c15)),
+		hot:     hot,
+		max:     max,
+		opnFrac: clamp01(hotOpnFrac),
+	}
+}
+
+// Next returns the next index.
+func (h *Hotspot) Next() int {
+	if h.hot >= h.max || h.rng.Float64() < h.opnFrac {
+		return int(h.rng.Uint64N(uint64(h.hot)))
+	}
+	return h.hot + int(h.rng.Uint64N(uint64(h.max-h.hot)))
+}
+
+// Latest skews draws toward the most recently inserted keys (the YCSB
+// SkewedLatestGenerator shape): the generator samples a Zipf-distributed
+// *distance* from the newest key and answers newest−distance. The newest
+// key is a shared high-water mark (see NewHighWater) that the scenario's
+// insert streams advance, so reads chase the insert frontier across
+// workers without locking.
+type Latest struct {
+	zipf *rand.Zipf
+	hw   *atomic.Int64
+}
+
+// NewHighWater returns a shared high-water mark primed so the newest key
+// is max-1 — the top of the initially loaded domain. Fresh inserts
+// advance it with Add.
+func NewHighWater(max int) *atomic.Int64 {
+	hw := new(atomic.Int64)
+	hw.Store(int64(max - 1))
+	return hw
+}
+
+// NewLatest builds a latest-skew generator: distances from the newest
+// key follow Zipf(s) over [0, max) (the distance profile is fixed at the
+// initial domain size; the frontier it is measured from moves). s ≤ 1
+// clamps to a valid exponent as NewKeyMix.
+func NewLatest(seed uint64, max int, s float64, hw *atomic.Int64) *Latest {
+	if max < 1 {
+		max = 1
+	}
+	if s <= 1 {
+		s = 1.01
+	}
+	rng := rand.New(rand.NewPCG(seed+0x632be59bd9b4e019, seed^0xd1342543de82ef95))
+	return &Latest{zipf: rand.NewZipf(rng, s, 1, uint64(max-1)), hw: hw}
+}
+
+// Next returns the next index: newest − Zipf distance, clamped to 0.
+func (l *Latest) Next() int {
+	h := l.hw.Load()
+	d := int64(l.zipf.Uint64())
+	if d > h {
+		d = h
+	}
+	return int(h - d)
+}
+
+// Exponential draws from [0, max) with exponentially decaying density:
+// an expPercentile fraction of the draws lands inside the first expFrac
+// fraction of the domain (the YCSB ExponentialGenerator
+// percentile/fraction parameterization). Samples past the domain end
+// clamp to the last key; with sane parameters that tail mass is
+// (1−expPercentile)^(1/expFrac) — negligible.
+type Exponential struct {
+	rng   *rand.Rand
+	gamma float64
+	max   int
+}
+
+// NewExponential builds an exponential generator over [0, max):
+// expPercentile (default 0.95 if out of (0,1)) of the mass inside the
+// first expFrac (default 0.2 if out of (0,1]) of the domain.
+func NewExponential(seed uint64, max int, expFrac, expPercentile float64) *Exponential {
+	if max < 1 {
+		max = 1
+	}
+	if expPercentile <= 0 || expPercentile >= 1 {
+		expPercentile = 0.95
+	}
+	if expFrac <= 0 || expFrac > 1 {
+		expFrac = 0.2
+	}
+	gamma := -math.Log(1-expPercentile) / (expFrac * float64(max))
+	return &Exponential{
+		rng:   rand.New(rand.NewPCG(seed^0xaf251af3b0f025b5, seed+0xb564ef22ec7aece8)),
+		gamma: gamma,
+		max:   max,
+	}
+}
+
+// Next returns the next index.
+func (e *Exponential) Next() int {
+	u := e.rng.Float64()
+	idx := int(-math.Log(1-u) / e.gamma)
+	if idx >= e.max {
+		idx = e.max - 1
+	}
+	return idx
+}
+
+func clamp01(f float64) float64 {
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}

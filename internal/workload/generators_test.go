@@ -1,0 +1,131 @@
+package workload
+
+import "testing"
+
+func TestGeneratorsDeterministicAndBounded(t *testing.T) {
+	const max = 1 << 16
+	mk := map[string]func(seed uint64) KeyGen{
+		"hotspot": func(seed uint64) KeyGen { return NewHotspot(seed, max, 0.2, 0.8) },
+		"latest": func(seed uint64) KeyGen {
+			// Each instance gets its own frontier so the pair stays in
+			// lockstep without cross-talk.
+			return NewLatest(seed, max, 1.2, NewHighWater(max))
+		},
+		"exponential": func(seed uint64) KeyGen { return NewExponential(seed, max, 0.2, 0.95) },
+	}
+	for name, make := range mk {
+		a, b := make(11), make(11)
+		other := make(12)
+		diverged := false
+		for i := 0; i < 10000; i++ {
+			x, y := a.Next(), b.Next()
+			if x != y {
+				t.Fatalf("%s draw %d: same seed diverged (%d vs %d)", name, i, x, y)
+			}
+			if x < 0 || x >= max {
+				t.Fatalf("%s draw %d: index %d out of [0,%d)", name, i, x, max)
+			}
+			if x != other.Next() {
+				diverged = true
+			}
+		}
+		if !diverged {
+			t.Fatalf("%s: seeds 11 and 12 produced identical sequences", name)
+		}
+	}
+}
+
+func TestHotspotHitRate(t *testing.T) {
+	const (
+		max   = 1 << 20
+		draws = 50000
+	)
+	h := NewHotspot(9, max, 0.2, 0.8)
+	hot := 0
+	for i := 0; i < draws; i++ {
+		if h.Next() < max/5 {
+			hot++
+		}
+	}
+	// 80% of draws land in the first 20% of the domain; 50k draws put the
+	// 3σ band well inside ±0.03.
+	got := float64(hot) / draws
+	if got < 0.77 || got > 0.83 {
+		t.Fatalf("hot-set hit rate %.3f, want ≈0.80", got)
+	}
+}
+
+func TestHotspotColdDrawsConfinedToResidue(t *testing.T) {
+	const max = 1000
+	// opnFrac 0: every draw is cold and must land in [hot, max) — the
+	// YCSB-shape bug this generator avoids is cold draws over the whole
+	// domain (which would double-count the hot set).
+	h := NewHotspot(4, max, 0.2, 0)
+	for i := 0; i < 5000; i++ {
+		if v := h.Next(); v < max/5 {
+			t.Fatalf("cold draw %d landed in the hot set: %d", i, v)
+		}
+	}
+}
+
+func TestLatestRecencySkew(t *testing.T) {
+	const (
+		max   = 1 << 20
+		draws = 20000
+	)
+	hw := NewHighWater(max)
+	l := NewLatest(6, max, 1.2, hw)
+	near := 0
+	for i := 0; i < draws; i++ {
+		if l.Next() >= max-max/100 {
+			near++
+		}
+	}
+	// Zipf(1.2) distances concentrate most draws within 1% of the
+	// frontier; uniform would put ~1% there.
+	if near < draws/2 {
+		t.Fatalf("only %d/%d latest draws within 1%% of the frontier — not recency-skewed", near, draws)
+	}
+}
+
+func TestLatestChasesFrontier(t *testing.T) {
+	const max = 1 << 16
+	hw := NewHighWater(max)
+	l := NewLatest(8, max, 1.2, hw)
+	// Advance the frontier as a fresh-insert stream would; the reads must
+	// follow it above the initial domain.
+	hw.Add(10000)
+	above := 0
+	for i := 0; i < 5000; i++ {
+		v := l.Next()
+		if v > int(hw.Load()) {
+			t.Fatalf("draw %d above the frontier: %d > %d", i, v, hw.Load())
+		}
+		if v >= max {
+			above++
+		}
+	}
+	if above == 0 {
+		t.Fatal("frontier advanced past the initial domain but no draw followed it")
+	}
+}
+
+func TestExponentialTailMass(t *testing.T) {
+	const (
+		max   = 1 << 20
+		draws = 50000
+	)
+	e := NewExponential(13, max, 0.2, 0.95)
+	head := 0
+	for i := 0; i < draws; i++ {
+		if e.Next() < max/5 {
+			head++
+		}
+	}
+	// 95% of the mass inside the first 20% of the domain, by
+	// construction of gamma; the remaining 5% is the exponential tail.
+	got := float64(head) / draws
+	if got < 0.93 || got > 0.97 {
+		t.Fatalf("head mass %.3f, want ≈0.95", got)
+	}
+}

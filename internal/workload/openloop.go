@@ -5,7 +5,11 @@ package workload
 // open-loop request generator. An open loop submits on its own clock,
 // independent of service completions — unlike a closed loop, it does not
 // self-throttle when the service slows down, which is the load model under
-// which batching and interleaving robustness actually matter.
+// which batching and interleaving robustness actually matter. Setting
+// Throttle switches the generator to closed-loop token pacing: workers
+// claim tokens before submitting and their (synchronous) submits bound
+// the offered load to the target — the load model of a
+// latency-under-load curve.
 
 import (
 	"math/rand/v2"
@@ -33,7 +37,7 @@ func NewKeyMix(seed uint64, max int, zipfFrac, s float64) *KeyMix {
 	if max < 1 {
 		max = 1
 	}
-	rng := rand.New(rand.NewPCG(seed, seed^0x2545f4914f6cdd1d))
+	rng := rand.New(rand.NewPCG(seed, seed^0xda3e39cb94b95bdb))
 	var zipf *rand.Zipf
 	if zipfFrac > 0 {
 		if s <= 1 {
@@ -55,10 +59,12 @@ func (m *KeyMix) Next() int {
 // OpenLoop is a concurrent open-loop request generator: Workers goroutines
 // submit at exponentially distributed inter-arrival times summing to Rate
 // requests per second for Duration. A Rate of 0 disables pacing — each
-// worker submits as fast as the service admits.
+// worker submits as fast as the service admits. A non-nil Throttle
+// replaces the exponential-gap pacing with closed-loop token pacing at
+// the throttle's rate (Rate is then ignored).
 type OpenLoop struct {
 	// Rate is the aggregate target arrival rate in requests/second
-	// (0 = unpaced).
+	// (0 = unpaced). Ignored when Throttle is set.
 	Rate float64
 	// Workers is the number of submitting goroutines (minimum 1).
 	Workers int
@@ -66,6 +72,9 @@ type OpenLoop struct {
 	Duration time.Duration
 	// Seed derives each worker's deterministic arrival process.
 	Seed uint64
+	// Throttle, when non-nil, paces every worker against one shared
+	// token bucket (closed-loop latency-under-load mode).
+	Throttle *Throttle
 }
 
 // Run drives submit from every worker until the window closes and returns
@@ -96,14 +105,52 @@ func (o OpenLoop) RunBatches(batch int, source func(worker int) func() uint64, s
 	return o.run(batch, source, submit)
 }
 
-// run is the shared generator loop: batch keys per arrival, Rate keys
-// per second in aggregate across workers.
+// RunOps drives typed scenario streams (see Scenario) point-wise: each
+// worker draws one Req per arrival from its own Stream and hands it to
+// submit. Pacing as Run. Returns total requests submitted.
+func (o OpenLoop) RunOps(source func(worker int) Stream, submit func(Req)) int {
+	return o.drive(1, func(w int, emit func()) func() {
+		st := source(w)
+		return func() {
+			submit(st.Next())
+			emit()
+		}
+	})
+}
+
+// run is the shared uint64-keyed generator loop: batch keys per arrival,
+// Rate keys per second in aggregate across workers.
 func (o OpenLoop) run(batch int, source func(worker int) func() uint64, submit func(keys []uint64)) int {
+	return o.drive(batch, func(w int, emit func()) func() {
+		next := source(w)
+		buf := make([]uint64, batch)
+		return func() {
+			for i := range buf {
+				buf[i] = next()
+			}
+			submit(buf)
+			for range batch {
+				emit()
+			}
+		}
+	})
+}
+
+// drive is the generator chassis shared by Run/RunBatches/RunOps: per
+// worker, an explicit private jitter rng stream (both PCG words mix the
+// worker id, so no two workers ever share generator state — the arrival
+// process needs no locking), wall-clock exponential-gap pacing (or
+// shared token pacing when Throttle is set), and a hard window deadline.
+// setup builds the worker's one-arrival body; emit counts submissions.
+func (o OpenLoop) drive(batch int, setup func(worker int, emit func()) func()) int {
 	workers := o.Workers
 	if workers < 1 {
 		workers = 1
 	}
 	perWorker := o.Rate / float64(workers) / float64(batch)
+	if o.Throttle != nil {
+		perWorker = 0 // token pacing replaces the arrival process
+	}
 	start := time.Now()
 	deadline := start.Add(o.Duration)
 	var total atomic.Int64
@@ -112,11 +159,16 @@ func (o OpenLoop) run(batch int, source func(worker int) func() uint64, submit f
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			next := source(w)
-			rng := rand.New(rand.NewPCG(o.Seed+uint64(w), o.Seed^0x9e3779b97f4a7c15))
-			buf := make([]uint64, batch)
-			due := start
 			n := int64(0)
+			body := setup(w, func() { n++ })
+			// Per-worker jitter stream: mixing w into *both* PCG words
+			// keeps worker streams fully disjoint — a shared or
+			// half-shared rng here would race (and correlate arrivals)
+			// once RunBatches drives many workers.
+			rng := rand.New(rand.NewPCG(
+				o.Seed+uint64(w)*0x9e3779b97f4a7c15,
+				o.Seed^(uint64(w)*0xbf58476d1ce4e5b9+0x94d049bb133111eb)))
+			due := start
 			for {
 				if perWorker > 0 {
 					gap := rng.ExpFloat64() / perWorker * float64(time.Second)
@@ -135,11 +187,11 @@ func (o OpenLoop) run(batch int, source func(worker int) func() uint64, submit f
 				if !time.Now().Before(deadline) {
 					break
 				}
-				for i := range buf {
-					buf[i] = next()
+				o.Throttle.Take(batch) // nil throttle admits immediately
+				if o.Throttle != nil && !time.Now().Before(deadline) {
+					break // the bucket outwaited the window
 				}
-				submit(buf)
-				n += int64(batch)
+				body()
 			}
 			total.Add(n)
 		}(w)

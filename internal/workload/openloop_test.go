@@ -140,6 +140,43 @@ func TestOpenLoopBatchedPacedKeyRate(t *testing.T) {
 	}
 }
 
+// TestOpenLoopRunOpsConcurrent drives the scenario op-stream path with
+// every concurrency hazard the generator owns live at once: per-worker
+// rng/stream state, the shared read-latest high-water mark and insert
+// sequence (ycsb-d), and a shared closed-loop throttle. Run under CI's
+// -race job, this is the regression test for the per-worker rng streams
+// being truly per-worker (both PCG words mix the worker id).
+func TestOpenLoopRunOpsConcurrent(t *testing.T) {
+	s, ok := Get("ycsb-d")
+	if !ok {
+		t.Fatal("ycsb-d not registered")
+	}
+	cfg := s.Defaults()
+	cfg.Domain, cfg.Workers, cfg.Seed = 1<<12, 4, 9
+	o := OpenLoop{Workers: cfg.Workers, Duration: 50 * time.Millisecond, Seed: cfg.Seed,
+		Throttle: NewThrottle(200000, 64)}
+	var mu sync.Mutex
+	perKind := map[ReqKind]int{}
+	n := o.RunOps(s.Streams(cfg), func(r Req) {
+		mu.Lock()
+		perKind[r.Kind]++
+		mu.Unlock()
+	})
+	if n <= 0 {
+		t.Fatal("RunOps submitted nothing")
+	}
+	total := 0
+	for _, c := range perKind {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("RunOps reported %d submissions, submit saw %d", n, total)
+	}
+	if perKind[ReqRead] == 0 || perKind[ReqInsert] == 0 {
+		t.Fatalf("ycsb-d stream missing a kind: %v", perKind)
+	}
+}
+
 func TestOpenLoopPacedRate(t *testing.T) {
 	o := OpenLoop{Rate: 2000, Workers: 2, Duration: 100 * time.Millisecond, Seed: 2}
 	n := o.Run(

@@ -1,0 +1,73 @@
+package workload
+
+// Throttle is the closed-loop pacing primitive: a token bucket refilled
+// at a target rate, shared by every generator worker. A worker Takes its
+// tokens *before* submitting and its submit blocks until the service
+// acknowledges, so the offered load never exceeds the target — the
+// closed-loop half of a latency-under-load curve. (Contrast OpenLoop's
+// exponential-gap pacing, which keeps submitting on its own clock even
+// when the service falls behind.) The burst capacity bounds catch-up
+// after a stall: a worker that slept through several refill intervals
+// may claim at most burst tokens at once.
+
+import (
+	"sync"
+	"time"
+)
+
+// Throttle paces token Takes at Rate tokens/second. Safe for concurrent
+// use by any number of workers.
+type Throttle struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+}
+
+// NewThrottle builds a token bucket refilled at rate tokens/second with
+// the given burst capacity (minimum 1; a burst below the largest Take
+// size would deadlock, so Take clamps its request to the capacity).
+// A rate ≤ 0 returns nil, which every method treats as "no throttle".
+func NewThrottle(rate float64, burst int) *Throttle {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &Throttle{rate: rate, burst: float64(burst), tokens: float64(burst), last: time.Now()}
+}
+
+// Take blocks until n tokens are available and claims them. n larger
+// than the burst capacity is clamped to it (the alternative is a
+// deadlock). A nil throttle admits immediately.
+func (t *Throttle) Take(n int) {
+	if t == nil || n <= 0 {
+		return
+	}
+	need := float64(n)
+	if need > t.burst {
+		need = t.burst
+	}
+	for {
+		t.mu.Lock()
+		now := time.Now()
+		t.tokens += now.Sub(t.last).Seconds() * t.rate
+		if t.tokens > t.burst {
+			t.tokens = t.burst
+		}
+		t.last = now
+		if t.tokens >= need {
+			t.tokens -= need
+			t.mu.Unlock()
+			return
+		}
+		wait := time.Duration((need - t.tokens) / t.rate * float64(time.Second))
+		t.mu.Unlock()
+		// Sleep outside the lock: other workers may drain refills that
+		// land meanwhile, so re-check on wake rather than assuming the
+		// tokens are ours.
+		time.Sleep(wait)
+	}
+}
