@@ -1,0 +1,921 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"iter"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/wire"
+)
+
+// call kinds: which response frames complete a request.
+const (
+	ckLookup = iota
+	ckJoin
+	ckWrite
+	ckRange
+)
+
+// call is one in-flight request frame: registered under its wire id
+// until the terminal response (Results / JoinResults / RangeDone /
+// Shed) closes done. Streamed frames (match and range chunks)
+// accumulate into it along the way; only the owning connection's read
+// loop writes these fields before done closes, so readers wait on done
+// and then read without locks.
+type call struct {
+	kind  int
+	start time.Time
+	n     int
+	point bool // a coalesced point frame: ops entered one by one
+
+	keys []uint64   // lookup/join batches: submitted key order
+	ops  []serve.Op // write/range batches: submitted op order
+
+	res     []serve.Result
+	jres    []serve.JoinResult
+	matches []serve.Match
+	ents    [][]serve.RangeEntry
+	dropped int
+	rdrop   bool // range batch incomplete
+	err     error
+	done    chan struct{}
+}
+
+func (c *call) complete() { close(c.done) }
+
+// failAll completes the call as refused: every result dropped, err set.
+func (c *call) failAll(err error) {
+	c.err = err
+	c.res = make([]serve.Result, c.n)
+	for i := range c.res {
+		c.res[i] = serve.Result{Code: serve.NotFound, Dropped: true}
+	}
+	if c.kind == ckJoin {
+		c.jres = make([]serve.JoinResult, c.n)
+		for i := range c.jres {
+			c.jres[i] = serve.JoinResult{Code: serve.NotFound, Dropped: true}
+		}
+	}
+	if c.kind == ckRange {
+		c.rdrop = true
+	}
+	c.dropped = c.n
+	c.complete()
+}
+
+// Future is one in-flight remote point request (the client twin of
+// serve.Future): an index into its coalesced frame's result column.
+type Future struct {
+	c   *call
+	idx int
+}
+
+// Wait blocks until the request completes and returns its result.
+func (f *Future) Wait() serve.Result {
+	<-f.c.done
+	return f.c.res[f.idx]
+}
+
+// WaitJoin blocks until the request completes and returns the join
+// outcome (GoJoin futures only).
+func (f *Future) WaitJoin() serve.JoinResult {
+	<-f.c.done
+	if f.c.jres == nil {
+		return serve.JoinResult{Code: serve.NotFound, Dropped: true}
+	}
+	return f.c.jres[f.idx]
+}
+
+// Err blocks until the request completes: serve.ErrClosed if the remote
+// (or the service behind it) is closed, a ShedError if the server
+// refused the frame, nil otherwise.
+func (f *Future) Err() error {
+	<-f.c.done
+	return f.c.err
+}
+
+// BatchFuture is one in-flight vectorized remote submission (the client
+// twin of serve.BatchFuture). Unlike in-process batches the submitted
+// slice is never reordered: Keys()[i] is the i-th submitted key and
+// results align with it.
+type BatchFuture struct{ c *call }
+
+// Wait blocks until the batch completes and returns per-key results,
+// aligned with Keys().
+func (bf *BatchFuture) Wait() []serve.Result {
+	<-bf.c.done
+	return bf.c.res
+}
+
+// WaitJoin blocks until the batch completes and returns per-key join
+// outcomes (JoinBatch only).
+func (bf *BatchFuture) WaitJoin() []serve.JoinResult {
+	<-bf.c.done
+	return bf.c.jres
+}
+
+// Err blocks until the batch completes; see Future.Err.
+func (bf *BatchFuture) Err() error {
+	<-bf.c.done
+	return bf.c.err
+}
+
+// Done returns a channel closed at completion.
+func (bf *BatchFuture) Done() <-chan struct{} { return bf.c.done }
+
+// Keys returns the submitted keys in submission order.
+func (bf *BatchFuture) Keys() []uint64 { return bf.c.keys }
+
+// Ops returns a write batch's ops in submission order.
+func (bf *BatchFuture) Ops() []serve.Op { return bf.c.ops }
+
+// Dropped reports how many of the batch's ops completed dropped.
+func (bf *BatchFuture) Dropped() int {
+	<-bf.c.done
+	return bf.c.dropped
+}
+
+// Matches streams the batch's join matches in arrival order (grouped as
+// the server's shards completed them). Iteration blocks until the batch
+// completes; Probe indexes Keys().
+func (bf *BatchFuture) Matches() iter.Seq[serve.Match] {
+	return func(yield func(serve.Match) bool) {
+		<-bf.c.done
+		for _, m := range bf.c.matches {
+			if !yield(m) {
+				return
+			}
+		}
+	}
+}
+
+// RangeFuture is one in-flight remote range batch (the client twin of
+// serve.RangeFuture).
+type RangeFuture struct{ c *call }
+
+// Wait blocks until the batch completes.
+func (rf *RangeFuture) Wait() { <-rf.c.done }
+
+// Done returns a channel closed at completion.
+func (rf *RangeFuture) Done() <-chan struct{} { return rf.c.done }
+
+// Err blocks until the batch completes; see Future.Err.
+func (rf *RangeFuture) Err() error {
+	<-rf.c.done
+	return rf.c.err
+}
+
+// Ops returns the submitted range ops in submission order.
+func (rf *RangeFuture) Ops() []serve.Op { return rf.c.ops }
+
+// Dropped blocks until the batch completes and reports whether any part
+// of it was dropped (the entry streams may be incomplete).
+func (rf *RangeFuture) Dropped() bool {
+	<-rf.c.done
+	return rf.c.rdrop
+}
+
+// Entries streams range r's entries in ascending key order. Iteration
+// blocks until the batch completes.
+func (rf *RangeFuture) Entries(r int) iter.Seq[serve.RangeEntry] {
+	return func(yield func(serve.RangeEntry) bool) {
+		<-rf.c.done
+		if r < 0 || r >= len(rf.c.ents) {
+			return
+		}
+		for _, e := range rf.c.ents[r] {
+			if !yield(e) {
+				return
+			}
+		}
+	}
+}
+
+// Collect gathers range r's entries into a slice.
+func (rf *RangeFuture) Collect(r int) []serve.RangeEntry {
+	var out []serve.RangeEntry
+	for e := range rf.Entries(r) {
+		out = append(out, e)
+	}
+	return out
+}
+
+// Remote is a client binding to one wire server, multiplexing requests
+// round-robin over its connections. See the package comment for the
+// semantics it shares with serve.Service.
+type Remote struct {
+	cfg    config
+	conns  []*cconn
+	rr     atomic.Uint64
+	shards int
+	closed atomic.Bool
+
+	ops, dropped, shed  atomic.Uint64
+	framesIn, framesOut atomic.Uint64
+	bytesIn, bytesOut   atomic.Uint64
+	wait                obs.Histogram
+}
+
+// Dial connects and handshakes every connection; any failure closes the
+// ones already up.
+func Dial(addr string, opts ...Option) (*Remote, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	r := &Remote{cfg: cfg}
+	for i := 0; i < cfg.conns; i++ {
+		c, err := r.dialConn(addr)
+		if err != nil {
+			r.Close()
+			return nil, err
+		}
+		r.conns = append(r.conns, c)
+	}
+	return r, nil
+}
+
+func (r *Remote) dialConn(addr string) (*cconn, error) {
+	nc, err := net.DialTimeout("tcp", addr, r.cfg.dialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &cconn{
+		r:       r,
+		nc:      nc,
+		bw:      bufio.NewWriterSize(nc, 64<<10),
+		pending: make(map[uint64]*call),
+	}
+	c.co.maxOps = r.cfg.coalesceMax
+	c.co.linger = r.cfg.coalesceLin
+
+	// Handshake synchronously before the read loop owns the stream.
+	nc.SetDeadline(time.Now().Add(r.cfg.dialTimeout))
+	if err := c.writeFrame(wire.MsgHello, wire.AppendHello(nil, wire.Hello{Version: wire.Version, Tenant: r.cfg.tenant})); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	fr := wire.NewFrameReader(bufio.NewReaderSize(nc, 64<<10), r.cfg.maxFrame)
+	t, p, err := fr.Next()
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("client: handshake read: %w", err)
+	}
+	switch t {
+	case wire.MsgHelloAck:
+		ack, err := wire.DecodeHelloAck(p)
+		if err != nil {
+			nc.Close()
+			return nil, err
+		}
+		r.shards = int(ack.Shards)
+	case wire.MsgErr:
+		msg, _ := wire.DecodeErr(p)
+		nc.Close()
+		return nil, fmt.Errorf("client: server refused handshake: %s", msg)
+	default:
+		nc.Close()
+		return nil, fmt.Errorf("client: unexpected handshake reply %v", t)
+	}
+	nc.SetDeadline(time.Time{})
+
+	c.fr = fr
+	go c.readLoop()
+	return c, nil
+}
+
+// Shards reports the server's partition count (from the handshake).
+func (r *Remote) Shards() int { return r.shards }
+
+// Close flushes buffered point ops, closes every connection, and fails
+// whatever is still in flight with serve.ErrClosed. Like
+// serve.Service.Close it is a shutdown, not a drain: callers wanting
+// every result wait on their futures first.
+func (r *Remote) Close() error {
+	if !r.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	for _, c := range r.conns {
+		c.co.flushAll(c)
+		c.nc.Close()
+	}
+	return nil
+}
+
+// Quiesce flushes buffered point ops and blocks until every in-flight
+// request completes (the remote analogue of serve.Close's drain — but
+// the Remote stays usable). Callers must have stopped submitting; a
+// concurrent submitter can keep the pending set non-empty forever.
+func (r *Remote) Quiesce(ctx context.Context) error {
+	for _, c := range r.conns {
+		c.co.flushAll(c)
+	}
+	for {
+		n := 0
+		for _, c := range r.conns {
+			c.pmu.Lock()
+			n += len(c.pending)
+			c.pmu.Unlock()
+		}
+		if n == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// Stats snapshots client-observed traffic.
+func (r *Remote) Stats() Stats {
+	return Stats{
+		Conns:     len(r.conns),
+		Ops:       r.ops.Load(),
+		Dropped:   r.dropped.Load(),
+		Shed:      r.shed.Load(),
+		FramesIn:  r.framesIn.Load(),
+		FramesOut: r.framesOut.Load(),
+		BytesIn:   r.bytesIn.Load(),
+		BytesOut:  r.bytesOut.Load(),
+		P50:       time.Duration(r.wait.Quantile(0.50)),
+		P99:       time.Duration(r.wait.Quantile(0.99)),
+	}
+}
+
+func (r *Remote) pick() *cconn {
+	return r.conns[int(r.rr.Add(1))%len(r.conns)]
+}
+
+// finish folds one completed call into the client stats.
+func (r *Remote) finish(c *call) {
+	if c.err != nil {
+		r.shed.Add(uint64(c.n))
+	} else {
+		r.ops.Add(uint64(c.n))
+		r.dropped.Add(uint64(c.dropped))
+	}
+	r.wait.ObserveN(time.Since(c.start).Nanoseconds(), uint64(max(c.n, 1)))
+	c.complete()
+}
+
+// localDrop completes a call client-side as all-dropped (an already-
+// cancelled ctx at submission — the in-process paths drop those at
+// drain with the same result shape, without an error).
+func (r *Remote) localDrop(c *call) {
+	if c.kind == ckLookup || c.kind == ckWrite {
+		c.res = make([]serve.Result, c.n)
+		for i := range c.res {
+			c.res[i] = serve.Result{Code: serve.NotFound, Dropped: true}
+		}
+	}
+	if c.kind == ckJoin {
+		c.res = make([]serve.Result, c.n)
+		c.jres = make([]serve.JoinResult, c.n)
+		for i := range c.res {
+			c.res[i] = serve.Result{Code: serve.NotFound, Dropped: true}
+			c.jres[i] = serve.JoinResult{Code: serve.NotFound, Dropped: true}
+		}
+	}
+	if c.kind == ckRange {
+		c.ents = make([][]serve.RangeEntry, c.n)
+		c.rdrop = true
+	}
+	c.dropped = c.n
+	r.finish(c)
+}
+
+// closedCall returns a completed call refused with serve.ErrClosed
+// (submission after Close — the same refusal serve gives).
+func closedCall(kind, n int) *call {
+	c := &call{kind: kind, n: n, start: time.Now(), done: make(chan struct{})}
+	c.failAll(serve.ErrClosed)
+	return c
+}
+
+// deadlineUS converts a ctx deadline to the wire header's relative
+// microseconds (0 = none). ok=false means the deadline already passed.
+func deadlineUS(ctx context.Context) (uint32, bool) {
+	if ctx == nil {
+		return 0, true
+	}
+	if ctx.Err() != nil {
+		return 0, false
+	}
+	dl, has := ctx.Deadline()
+	if !has {
+		return 0, true
+	}
+	us := time.Until(dl).Microseconds()
+	if us <= 0 {
+		return 0, false
+	}
+	if us > int64(^uint32(0)) {
+		return 0, true // effectively unbounded
+	}
+	return uint32(us), true
+}
+
+// --- point surface -------------------------------------------------
+
+// Submit admits one asynchronous typed point operation; see
+// serve.Service.Submit for semantics. The op joins the connection's
+// coalescing buffer and flies as part of a batched frame.
+func (r *Remote) Submit(ctx context.Context, op serve.Op) *Future {
+	switch op.Kind {
+	case serve.OpLookup, serve.OpJoin, serve.OpInsert, serve.OpDelete:
+	case serve.OpRange:
+		panic("client: OpRange requires Range/RangeBatch admission")
+	default:
+		panic("client: unknown op kind " + op.Kind.String())
+	}
+	if r.closed.Load() {
+		return &Future{c: closedCall(pointKind(op.Kind), 1)}
+	}
+	if ctx != nil && ctx.Err() != nil {
+		c := &call{kind: pointKind(op.Kind), n: 1, start: time.Now(), done: make(chan struct{})}
+		r.localDrop(c)
+		return &Future{c: c}
+	}
+	conn := r.pick()
+	return conn.co.enqueue(conn, op)
+}
+
+func pointKind(k serve.OpKind) int {
+	switch k {
+	case serve.OpJoin:
+		return ckJoin
+	case serve.OpInsert, serve.OpDelete:
+		return ckWrite
+	}
+	return ckLookup
+}
+
+// Go submits one asynchronous lookup.
+func (r *Remote) Go(ctx context.Context, key uint64) *Future {
+	return r.Submit(ctx, serve.Op{Kind: serve.OpLookup, Key: key})
+}
+
+// Lookup is the synchronous wrapper around Go.
+func (r *Remote) Lookup(ctx context.Context, key uint64) serve.Result {
+	return r.Go(ctx, key).Wait()
+}
+
+// GoJoin submits one asynchronous join probe.
+func (r *Remote) GoJoin(ctx context.Context, key uint64) *Future {
+	return r.Submit(ctx, serve.Op{Kind: serve.OpJoin, Key: key})
+}
+
+// Join is the synchronous wrapper around GoJoin.
+func (r *Remote) Join(ctx context.Context, key uint64) serve.JoinResult {
+	return r.GoJoin(ctx, key).WaitJoin()
+}
+
+// Insert submits one asynchronous upsert.
+func (r *Remote) Insert(ctx context.Context, key uint64, val uint32) *Future {
+	return r.Submit(ctx, serve.Op{Kind: serve.OpInsert, Key: key, Val: val})
+}
+
+// Delete submits one asynchronous delete.
+func (r *Remote) Delete(ctx context.Context, key uint64) *Future {
+	return r.Submit(ctx, serve.Op{Kind: serve.OpDelete, Key: key})
+}
+
+// --- vectorized surface --------------------------------------------
+
+// SubmitBatch admits one vectorized read column; see
+// serve.Service.SubmitBatch. The client never reorders keys: results
+// align with the submission order.
+func (r *Remote) SubmitBatch(ctx context.Context, kind serve.OpKind, keys []uint64) *BatchFuture {
+	if kind.IsWrite() {
+		panic("client: SubmitBatch of write kind " + kind.String() + " (use ApplyBatch)")
+	}
+	if kind != serve.OpLookup && kind != serve.OpJoin {
+		panic("client: SubmitBatch of kind " + kind.String())
+	}
+	ck, mt := ckLookup, wire.MsgLookupBatch
+	if kind == serve.OpJoin {
+		ck, mt = ckJoin, wire.MsgJoinBatch
+	}
+	c := &call{kind: ck, n: len(keys), start: time.Now(), keys: keys, done: make(chan struct{})}
+	if r.closed.Load() {
+		c.failAll(serve.ErrClosed)
+		return &BatchFuture{c: c}
+	}
+	us, ok := deadlineUS(ctx)
+	if !ok {
+		r.localDrop(c)
+		return &BatchFuture{c: c}
+	}
+	conn := r.pick()
+	id := conn.register(c)
+	payload := wire.AppendKeyBatch(nil, wire.KeyBatch{Hdr: wire.ReqHeader{ID: id, DeadlineUS: us}, Keys: keys})
+	conn.sendOrFail(c, id, mt, payload)
+	return &BatchFuture{c: c}
+}
+
+// GoBatch submits a whole lookup column.
+func (r *Remote) GoBatch(ctx context.Context, keys []uint64) *BatchFuture {
+	return r.SubmitBatch(ctx, serve.OpLookup, keys)
+}
+
+// JoinBatch submits a whole join-probe column, with streamed matches.
+func (r *Remote) JoinBatch(ctx context.Context, keys []uint64) *BatchFuture {
+	return r.SubmitBatch(ctx, serve.OpJoin, keys)
+}
+
+// ApplyBatch admits one vectorized write column; see
+// serve.Service.ApplyBatch. Results align with the submission order.
+func (r *Remote) ApplyBatch(ctx context.Context, ops []serve.Op) *BatchFuture {
+	wops := make([]wire.WriteOp, len(ops))
+	for i, op := range ops {
+		switch op.Kind {
+		case serve.OpInsert:
+			wops[i] = wire.WriteOp{Kind: wire.WriteInsert, Key: op.Key, Val: op.Val}
+		case serve.OpDelete:
+			wops[i] = wire.WriteOp{Kind: wire.WriteDelete, Key: op.Key}
+		default:
+			panic("client: ApplyBatch of read kind " + op.Kind.String())
+		}
+	}
+	c := &call{kind: ckWrite, n: len(ops), start: time.Now(), ops: ops, done: make(chan struct{})}
+	if r.closed.Load() {
+		c.failAll(serve.ErrClosed)
+		return &BatchFuture{c: c}
+	}
+	us, ok := deadlineUS(ctx)
+	if !ok {
+		r.localDrop(c)
+		return &BatchFuture{c: c}
+	}
+	conn := r.pick()
+	id := conn.register(c)
+	payload := wire.AppendWriteBatch(nil, wire.WriteBatch{Hdr: wire.ReqHeader{ID: id, DeadlineUS: us}, Ops: wops})
+	conn.sendOrFail(c, id, wire.MsgWriteBatch, payload)
+	return &BatchFuture{c: c}
+}
+
+// --- range surface -------------------------------------------------
+
+// Range submits one range scan; see serve.Service.Range.
+func (r *Remote) Range(ctx context.Context, lo, hi uint64, limit int) *RangeFuture {
+	return r.RangeBatch(ctx, []serve.Op{serve.RangeOp(lo, hi, limit)})
+}
+
+// RangeBatch submits a column of range scans; see
+// serve.Service.RangeBatch. Entries(i) streams the i-th submitted
+// range's entries.
+func (r *Remote) RangeBatch(ctx context.Context, ops []serve.Op) *RangeFuture {
+	reqs := make([]wire.RangeReq, len(ops))
+	for i, op := range ops {
+		if op.Kind != serve.OpRange {
+			panic("client: RangeBatch of kind " + op.Kind.String())
+		}
+		limit := op.Limit
+		if limit < 0 {
+			limit = 0
+		}
+		reqs[i] = wire.RangeReq{Lo: op.Key, Hi: op.Hi, Limit: uint32(limit)}
+	}
+	c := &call{
+		kind: ckRange, n: len(ops), start: time.Now(), ops: ops,
+		ents: make([][]serve.RangeEntry, len(ops)),
+		done: make(chan struct{}),
+	}
+	if r.closed.Load() {
+		c.failAll(serve.ErrClosed)
+		return &RangeFuture{c: c}
+	}
+	us, ok := deadlineUS(ctx)
+	if !ok {
+		r.localDrop(c)
+		return &RangeFuture{c: c}
+	}
+	conn := r.pick()
+	id := conn.register(c)
+	payload := wire.AppendRangeBatch(nil, wire.RangeBatch{Hdr: wire.ReqHeader{ID: id, DeadlineUS: us}, Ranges: reqs})
+	conn.sendOrFail(c, id, wire.MsgRangeBatch, payload)
+	return &RangeFuture{c: c}
+}
+
+// --- connection ----------------------------------------------------
+
+// cconn is one client connection: a synchronous write path (mutex +
+// buffered writer, flushed per frame), a read loop resolving responses
+// to pending calls, and a point-op coalescer.
+type cconn struct {
+	r  *Remote
+	nc net.Conn
+
+	wmu sync.Mutex
+	bw  *bufio.Writer
+
+	fr  *wire.FrameReader
+	seq atomic.Uint64
+
+	pmu     sync.Mutex
+	pending map[uint64]*call
+
+	co coalescer
+}
+
+func (c *cconn) register(cl *call) uint64 {
+	id := c.seq.Add(1)
+	c.pmu.Lock()
+	c.pending[id] = cl
+	c.pmu.Unlock()
+	return id
+}
+
+func (c *cconn) take(id uint64) *call {
+	c.pmu.Lock()
+	cl := c.pending[id]
+	delete(c.pending, id)
+	c.pmu.Unlock()
+	return cl
+}
+
+func (c *cconn) peek(id uint64) *call {
+	c.pmu.Lock()
+	cl := c.pending[id]
+	c.pmu.Unlock()
+	return cl
+}
+
+func (c *cconn) writeFrame(t wire.MsgType, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := wire.WriteFrame(c.bw, t, payload); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	c.r.framesOut.Add(1)
+	c.r.bytesOut.Add(uint64(5 + len(payload)))
+	return nil
+}
+
+// sendOrFail ships one registered request frame; a write failure
+// unregisters and fails the call immediately.
+func (c *cconn) sendOrFail(cl *call, id uint64, t wire.MsgType, payload []byte) {
+	if err := c.writeFrame(t, payload); err != nil {
+		if taken := c.take(id); taken != nil {
+			taken.failAll(serve.ErrClosed)
+			c.r.shed.Add(uint64(taken.n))
+		}
+	}
+}
+
+// readLoop resolves response frames until the stream dies, then fails
+// whatever is still pending.
+func (c *cconn) readLoop() {
+	for {
+		t, p, err := c.fr.Next()
+		if err != nil {
+			c.failPending()
+			return
+		}
+		c.r.framesIn.Add(1)
+		c.r.bytesIn.Add(uint64(5 + len(p)))
+		if !c.handle(t, p) {
+			c.nc.Close()
+			c.failPending()
+			return
+		}
+	}
+}
+
+func (c *cconn) failPending() {
+	c.pmu.Lock()
+	calls := make([]*call, 0, len(c.pending))
+	for id, cl := range c.pending {
+		calls = append(calls, cl)
+		delete(c.pending, id)
+	}
+	c.pmu.Unlock()
+	for _, cl := range calls {
+		cl.failAll(serve.ErrClosed)
+		c.r.shed.Add(uint64(cl.n))
+	}
+}
+
+// handle resolves one response frame; false kills the connection.
+func (c *cconn) handle(t wire.MsgType, p []byte) bool {
+	switch t {
+	case wire.MsgResults:
+		r, err := wire.DecodeResults(p)
+		if err != nil {
+			return false
+		}
+		cl := c.take(r.ID)
+		if cl == nil {
+			return true
+		}
+		cl.res = make([]serve.Result, len(r.Res))
+		for i, e := range r.Res {
+			cl.res[i] = fromWireResult(e)
+			if cl.res[i].Dropped {
+				cl.dropped++
+			}
+		}
+		c.r.finish(cl)
+	case wire.MsgJoinResults:
+		r, err := wire.DecodeJoinResults(p)
+		if err != nil {
+			return false
+		}
+		cl := c.take(r.ID)
+		if cl == nil {
+			return true
+		}
+		cl.res = make([]serve.Result, len(r.Res))
+		cl.jres = make([]serve.JoinResult, len(r.Res))
+		for i, e := range r.Res {
+			cl.jres[i] = serve.JoinResult{Code: e.Code, Hits: e.Hits, Agg: e.Agg, Dropped: e.Flags&wire.FlagDropped != 0}
+			cl.res[i] = serve.Result{Code: e.Code, Found: e.Code != serve.NotFound, Dropped: cl.jres[i].Dropped}
+			if cl.jres[i].Dropped {
+				cl.dropped++
+			}
+		}
+		c.r.finish(cl)
+	case wire.MsgMatchChunk:
+		ch, err := wire.DecodeMatchChunk(p)
+		if err != nil {
+			return false
+		}
+		if cl := c.peek(ch.ID); cl != nil && !cl.point {
+			for _, m := range ch.Matches {
+				cl.matches = append(cl.matches, serve.Match{Probe: int(m.Probe), Key: m.Key, Code: m.Code, Payload: m.Payload})
+			}
+		}
+	case wire.MsgRangeChunk:
+		ch, err := wire.DecodeRangeChunk(p)
+		if err != nil {
+			return false
+		}
+		if cl := c.peek(ch.ID); cl != nil && int(ch.Range) < len(cl.ents) {
+			for _, e := range ch.Ents {
+				cl.ents[ch.Range] = append(cl.ents[ch.Range], serve.RangeEntry{Key: e.Key, Code: e.Code})
+			}
+		}
+	case wire.MsgRangeDone:
+		d, err := wire.DecodeRangeDone(p)
+		if err != nil {
+			return false
+		}
+		cl := c.take(d.ID)
+		if cl == nil {
+			return true
+		}
+		cl.rdrop = d.Dropped
+		if d.Dropped {
+			cl.dropped = cl.n
+		}
+		c.r.finish(cl)
+	case wire.MsgShed:
+		s, err := wire.DecodeShed(p)
+		if err != nil {
+			return false
+		}
+		cl := c.take(s.ID)
+		if cl == nil {
+			return true
+		}
+		if s.Reason == wire.ShedClosed {
+			cl.err = serve.ErrClosed
+		} else {
+			cl.err = &ShedError{Reason: s.Reason}
+		}
+		err2 := cl.err
+		cl.err = nil // failAll sets it; keep a single assignment path
+		cl.failAll(err2)
+		c.r.shed.Add(uint64(cl.n))
+	case wire.MsgErr:
+		return false
+	default:
+		return false
+	}
+	return true
+}
+
+func fromWireResult(e wire.Result) serve.Result {
+	return serve.Result{
+		Code:    e.Code,
+		Found:   e.Flags&wire.FlagFound != 0,
+		Dropped: e.Flags&wire.FlagDropped != 0,
+	}
+}
+
+// --- point coalescing ----------------------------------------------
+
+// coalescer buffers point ops per connection and per class (lookups,
+// joins, writes fly as different frame types), flushing a class when it
+// reaches maxOps and everything pending when the linger timer fires.
+type coalescer struct {
+	maxOps int
+	linger time.Duration
+
+	mu    sync.Mutex
+	bufs  [3]openBuf // indexed by ckLookup/ckJoin/ckWrite
+	timer *time.Timer
+}
+
+// openBuf is one class's forming frame: the call its futures already
+// point at, plus the payload column gathered so far.
+type openBuf struct {
+	c    *call
+	keys []uint64
+	wops []wire.WriteOp
+}
+
+// enqueue adds one point op, returning its future; may flush inline.
+func (co *coalescer) enqueue(conn *cconn, op serve.Op) *Future {
+	ck := pointKind(op.Kind)
+	co.mu.Lock()
+	b := &co.bufs[ck]
+	if b.c == nil {
+		b.c = &call{kind: ck, start: time.Now(), point: true, done: make(chan struct{})}
+		if co.timer == nil {
+			co.timer = time.AfterFunc(co.linger, func() { co.flushAll(conn) })
+		} else {
+			co.timer.Reset(co.linger)
+		}
+	}
+	f := &Future{c: b.c, idx: b.c.n}
+	b.c.n++
+	if ck == ckWrite {
+		k := wire.WriteInsert
+		if op.Kind == serve.OpDelete {
+			k = wire.WriteDelete
+		}
+		b.wops = append(b.wops, wire.WriteOp{Kind: k, Key: op.Key, Val: op.Val})
+	} else {
+		b.keys = append(b.keys, op.Key)
+	}
+	var fl *flushed
+	if b.c.n >= co.maxOps {
+		fl = co.steal(ck)
+	}
+	co.mu.Unlock()
+	if fl != nil {
+		fl.send(conn)
+	}
+	return f
+}
+
+// flushed is one sealed frame ready to ship (built outside the lock).
+type flushed struct {
+	ck   int
+	c    *call
+	keys []uint64
+	wops []wire.WriteOp
+}
+
+// steal seals class ck's forming frame; caller holds co.mu.
+func (co *coalescer) steal(ck int) *flushed {
+	b := &co.bufs[ck]
+	if b.c == nil {
+		return nil
+	}
+	fl := &flushed{ck: ck, c: b.c, keys: b.keys, wops: b.wops}
+	*b = openBuf{}
+	return fl
+}
+
+// flushAll ships every forming frame (linger expiry and Close).
+func (co *coalescer) flushAll(conn *cconn) {
+	co.mu.Lock()
+	var fls []*flushed
+	for ck := range co.bufs {
+		if fl := co.steal(ck); fl != nil {
+			fls = append(fls, fl)
+		}
+	}
+	co.mu.Unlock()
+	for _, fl := range fls {
+		fl.send(conn)
+	}
+}
+
+func (fl *flushed) send(conn *cconn) {
+	fl.c.keys = fl.keys
+	id := conn.register(fl.c)
+	hdr := wire.ReqHeader{ID: id}
+	switch fl.ck {
+	case ckLookup:
+		conn.sendOrFail(fl.c, id, wire.MsgLookupBatch, wire.AppendKeyBatch(nil, wire.KeyBatch{Hdr: hdr, Keys: fl.keys}))
+	case ckJoin:
+		conn.sendOrFail(fl.c, id, wire.MsgJoinBatch, wire.AppendKeyBatch(nil, wire.KeyBatch{Hdr: hdr, Keys: fl.keys}))
+	default:
+		conn.sendOrFail(fl.c, id, wire.MsgWriteBatch, wire.AppendWriteBatch(nil, wire.WriteBatch{Hdr: hdr, Ops: fl.wops}))
+	}
+}

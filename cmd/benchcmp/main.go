@@ -81,6 +81,7 @@ func sameConfig(a, b json.RawMessage) (bool, error) {
 var knownSchemas = map[string]bool{
 	"isiserve-report/v1": true,
 	"isiserve-report/v2": true,
+	"isiserve-report/v3": true,
 }
 
 // comparable refuses apples-to-oranges diffs: the reports must describe

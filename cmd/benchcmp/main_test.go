@@ -63,9 +63,17 @@ func TestComparableAcrossVersions(t *testing.T) {
 		t.Fatalf("drift refusal does not name the key: %v", err)
 	}
 
+	// A v2 baseline keeps gating a v3 candidate (remote/conns are new
+	// keys, invisible to the shared-key comparison).
+	v3 := mkReport(t, "isiserve-report/v3",
+		`{"mode":"lookup","shards":4,"zipf_frac":0.5,"scenario":"smoke","pacing":"none","remote":false,"conns":0}`, 90)
+	if err := comparable(v2, v3); err != nil {
+		t.Fatalf("v2 baseline vs v3 candidate refused: %v", err)
+	}
+
 	// An unknown version never gets the relaxed comparison.
-	v3 := mkReport(t, "isiserve-report/v3", `{"mode":"lookup","shards":4}`, 90)
-	if err := comparable(v1, v3); err == nil {
+	v99 := mkReport(t, "isiserve-report/v99", `{"mode":"lookup","shards":4}`, 90)
+	if err := comparable(v1, v99); err == nil {
 		t.Fatal("unknown schema version not refused")
 	} else if !strings.Contains(err.Error(), "schema mismatch") {
 		t.Fatalf("wrong refusal for unknown version: %v", err)

@@ -94,6 +94,9 @@ func main() {
 		tsEvery  = flag.Duration("tsinterval", 100*time.Millisecond, "per-op latency time-series sampling interval for the -json report (0 = no time series)")
 		smoke    = flag.Bool("smoke", false, "pin the canonical CI sizing (shards/domain/workers/duration/seed) so the report compares against the scenario's committed BENCH_serve*.json baseline; alone it implies -scenario smoke")
 		obsAddr  = flag.String("obs", "", "serve observability HTTP on this address (e.g. localhost:6060): /obs (full snapshot), /metrics (registry), /debug/pprof/* (profiles carrying shard/backend/op labels)")
+		remote   = flag.String("remote", "", "drive a cmd/isiserved server at this address over the wire protocol instead of an in-process service; -dict/-seed must match the server's")
+		conns    = flag.Int("conns", 64, "remote mode: connections the client multiplexes over")
+		tenant   = flag.String("tenant", "default", "remote mode: tenant identity for the server's quota/shed accounting")
 	)
 	flag.Parse()
 
@@ -122,6 +125,11 @@ func main() {
 		*adaptive, *group = false, 6
 		*deadline, *rebuild = 0, 0
 		*seed = 7
+		if *remote != "" {
+			// The committed remote baseline (BENCH_serve_net.json) measures a
+			// 64-connection closed loop; pin the fan-out like the other sizing.
+			*workers, *conns = 64, 64
+		}
 		if *scenario == "" {
 			*scenario = "smoke"
 		}
@@ -230,6 +238,21 @@ func main() {
 	if *deadline > 0 && cfg.Vector <= 0 {
 		fmt.Fprintln(os.Stderr, "isiserve: -deadline requires vectorized admission")
 		os.Exit(2)
+	}
+
+	if *remote != "" {
+		// Remote mode: the same resolved scenario drives an isiserved
+		// process over the wire protocol. No local service is built — the
+		// -dict/-seed flags only size the generated key stream, which must
+		// match the server's domain.
+		os.Exit(runRemote(remoteParams{
+			addr: *remote, tenant: *tenant, conns: *conns,
+			scn: scn, cfg: cfg, scnName: scnName,
+			index: *index, domainKeys: n,
+			deadline: *deadline, rangeLimit: *rngLimit,
+			workers: *workers, duration: *duration, seed: *seed,
+			jsonOut: *jsonOut,
+		}))
 	}
 
 	values := make([]uint64, n)

@@ -2,11 +2,7 @@ package main
 
 import (
 	"encoding/json"
-	"fmt"
 	"math"
-	"net"
-	"net/http"
-	"net/http/pprof"
 	"os"
 	"runtime"
 	"sync"
@@ -25,8 +21,11 @@ import (
 
 // reportSchema versions the JSON layout; v2 added the scenario identity
 // (config.scenario, the mix/distribution fields) and the per-op latency
-// time series (results.series). cmd/benchcmp reads both v1 and v2.
-const reportSchema = "isiserve-report/v2"
+// time series (results.series); v3 added the remote-mode identity
+// (config.remote, config.conns — the network front-end runs) and the
+// dropped-by-reason breakdown (results.dropped_cancelled/_shed/_closed).
+// cmd/benchcmp reads v1 through v3.
+const reportSchema = "isiserve-report/v3"
 
 // RunReport is one benchmark run, serialized to -json and to the
 // repo-root BENCH_serve*.json trajectories. Config pins everything that
@@ -91,6 +90,12 @@ type RunConfig struct {
 	Writes     float64 `json:"writes_frac"` // insert+delete+rmw, the v1 aggregate
 	Width      int     `json:"range_width"`
 	Seed       uint64  `json:"seed"`
+	// Remote marks a run driven through the wire protocol against an
+	// isiserved process (the -remote flag); Conns is its connection
+	// fan-out. The server address itself is deliberately not part of the
+	// config — it would make every baseline host-specific.
+	Remote bool `json:"remote"`
+	Conns  int  `json:"conns"`
 }
 
 // OpLatencyJSON is one op class's latency summary in nanoseconds.
@@ -128,24 +133,30 @@ type ShardReport struct {
 // throughput (ThroughputRPS × CalibrationNS) the CI regression gate
 // compares. Series is the per-op latency time series (v2).
 type RunResults struct {
-	Submitted     int                      `json:"submitted"`
-	Drained       uint64                   `json:"drained"`
-	Dropped       uint64                   `json:"dropped"`
-	GenSeconds    float64                  `json:"gen_seconds"`
-	TotalSeconds  float64                  `json:"total_seconds"`
-	ThroughputRPS float64                  `json:"throughput_rps"`
-	Score         float64                  `json:"score"`
-	P50NS         int64                    `json:"p50_ns"`
-	P99NS         int64                    `json:"p99_ns"`
-	PerOp         map[string]OpLatencyJSON `json:"per_op"`
-	Series        []SeriesPoint            `json:"series,omitempty"`
-	Inserts       uint64                   `json:"inserts,omitempty"`
-	Deletes       uint64                   `json:"deletes,omitempty"`
-	Rebuilds      uint64                   `json:"rebuilds,omitempty"`
-	RangeQueries  uint64                   `json:"range_queries,omitempty"`
-	RangeEntries  uint64                   `json:"range_entries,omitempty"`
-	FinalGroups   []int                    `json:"final_groups"`
-	Shards        []ShardReport            `json:"shards"`
+	Submitted int    `json:"submitted"`
+	Drained   uint64 `json:"drained"`
+	// Dropped totals the requests that completed unserved; the by-reason
+	// split (v3) separates client cancellations from deliberate
+	// backpressure sheds and shutdown refusals.
+	Dropped          uint64                   `json:"dropped"`
+	DroppedCancelled uint64                   `json:"dropped_cancelled"`
+	DroppedShed      uint64                   `json:"dropped_shed"`
+	DroppedClosed    uint64                   `json:"dropped_closed"`
+	GenSeconds       float64                  `json:"gen_seconds"`
+	TotalSeconds     float64                  `json:"total_seconds"`
+	ThroughputRPS    float64                  `json:"throughput_rps"`
+	Score            float64                  `json:"score"`
+	P50NS            int64                    `json:"p50_ns"`
+	P99NS            int64                    `json:"p99_ns"`
+	PerOp            map[string]OpLatencyJSON `json:"per_op"`
+	Series           []SeriesPoint            `json:"series,omitempty"`
+	Inserts          uint64                   `json:"inserts,omitempty"`
+	Deletes          uint64                   `json:"deletes,omitempty"`
+	Rebuilds         uint64                   `json:"rebuilds,omitempty"`
+	RangeQueries     uint64                   `json:"range_queries,omitempty"`
+	RangeEntries     uint64                   `json:"range_entries,omitempty"`
+	FinalGroups      []int                    `json:"final_groups"`
+	Shards           []ShardReport            `json:"shards"`
 }
 
 // seriesSampler snapshots the service's per-op latency windows on a
@@ -275,15 +286,18 @@ func buildReport(cfg RunConfig, st serve.Stats, submitted int, gen, total time.D
 	}
 	rps := drainedReqs / total.Seconds()
 	res := RunResults{
-		Submitted:     submitted,
-		Drained:       st.Items,
-		Dropped:       st.Dropped,
-		GenSeconds:    gen.Seconds(),
-		TotalSeconds:  total.Seconds(),
-		ThroughputRPS: rps,
-		Score:         rps * calNS,
-		P50NS:         int64(st.P50),
-		P99NS:         int64(st.P99),
+		Submitted:        submitted,
+		Drained:          st.Items,
+		Dropped:          st.Dropped,
+		DroppedCancelled: st.DroppedCancelled,
+		DroppedShed:      st.DroppedShed,
+		DroppedClosed:    st.DroppedClosed,
+		GenSeconds:       gen.Seconds(),
+		TotalSeconds:     total.Seconds(),
+		ThroughputRPS:    rps,
+		Score:            rps * calNS,
+		P50NS:            int64(st.P50),
+		P99NS:            int64(st.P99),
 		PerOp: map[string]OpLatencyJSON{
 			"lookup": opLatJSON(st.PerOp.Lookup),
 			"join":   opLatJSON(st.PerOp.Join),
@@ -339,38 +353,9 @@ func writeReport(path string, r RunReport) error {
 	return enc.Encode(r)
 }
 
-// serveObs starts the observability HTTP listener: GET /obs streams the
-// observer's full JSON snapshot (metrics + spans + decisions), GET
-// /metrics the registry alone (expvar-style flat object), and
-// /debug/pprof/* the standard profiles — whose samples carry the
-// shard/backend/op goroutine labels the service sets. Returns the bound
-// address (addr may use port 0).
+// serveObs starts the observability HTTP listener (the shared
+// obs.Handler exposition: /obs, /metrics, /debug/pprof/*) and returns
+// the bound address (addr may use port 0).
 func serveObs(addr string, o *obs.Observer) (string, error) {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/obs", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		if err := o.WriteJSON(w); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		if err := o.Registry().WriteJSON(w); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	})
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", fmt.Errorf("obs listener: %w", err)
-	}
-	go func() {
-		srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-		_ = srv.Serve(ln) // lives for the process; errors only at teardown
-	}()
-	return ln.Addr().String(), nil
+	return obs.ListenAndServe(addr, o)
 }

@@ -1,0 +1,95 @@
+// Command remoteclient is the client-package quickstart: dial a
+// running cmd/isiserved, issue one of each request shape, and print
+// what comes back.
+//
+// Start a server, then run this against it:
+//
+//	go run ./cmd/isiserved -listen localhost:7070 -dict 1 -build 1
+//	go run ./examples/remoteclient -addr localhost:7070
+//
+// The server's domain holds even keys only (value of code i is 2i), so
+// even keys hit and odd keys miss — the misses below are deliberate.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/client"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:7070", "isiserved address")
+	tenant := flag.String("tenant", "quickstart", "tenant identity for the server's quota accounting")
+	flag.Parse()
+
+	// One Remote multiplexes everything; WithConns(4) fans requests over
+	// four connections round-robin. Point ops coalesce client-side into
+	// wire frames (flush at 64 ops or 200µs), and the server feeds small
+	// frames through the service's group-commit batcher, so point traffic
+	// still forms the dense admission batches the interleaved kernels
+	// want.
+	rm, err := client.Dial(*addr, client.WithConns(4), client.WithTenant(*tenant))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dial:", err)
+		os.Exit(1)
+	}
+	defer rm.Close()
+	ctx := context.Background()
+	fmt.Printf("connected: server has %d shards\n", rm.Shards())
+
+	// Point lookup: the same serve.Result an in-process caller gets.
+	for _, key := range []uint64{4, 5} {
+		r := rm.Lookup(ctx, key)
+		fmt.Printf("lookup(%d): found=%v code=%d\n", key, r.Found, r.Code)
+	}
+
+	// Writes: insert then read back, delete then miss.
+	rm.Insert(ctx, 5, 1234).Wait()
+	fmt.Printf("after insert(5): %+v\n", rm.Lookup(ctx, 5))
+	rm.Delete(ctx, 5).Wait()
+	fmt.Printf("after delete(5): %+v\n", rm.Lookup(ctx, 5))
+
+	// Vectorized lookup column with a deadline: the ctx deadline rides
+	// the request header and is enforced server-side — expired batches
+	// come back with Dropped results, exactly as in-process.
+	keys := []uint64{0, 2, 4, 6, 8, 7}
+	bctx, cancel := context.WithTimeout(ctx, time.Second)
+	bf := rm.GoBatch(bctx, keys)
+	res := bf.Wait()
+	cancel()
+	hits := 0
+	for _, r := range res {
+		if r.Found {
+			hits++
+		}
+	}
+	fmt.Printf("GoBatch(%v): %d/%d hits (dropped %d)\n", keys, hits, len(keys), bf.Dropped())
+
+	// Join probes stream their matches; the aggregate rides JoinResult.
+	jf := rm.JoinBatch(ctx, []uint64{2, 4, 6})
+	for _, jr := range jf.WaitJoin() {
+		fmt.Printf("join: code=%d hits=%d agg=%d\n", jr.Code, jr.Hits, jr.Agg)
+	}
+	n := 0
+	for range jf.Matches() {
+		n++
+	}
+	fmt.Printf("join matches streamed: %d\n", n)
+
+	// Range scan: ordered (key, code) entries, streamed in chunks.
+	rf := rm.RangeBatch(ctx, []serve.Op{serve.RangeOp(0, 20, 0)})
+	rf.Wait()
+	for _, e := range rf.Collect(0) {
+		fmt.Printf("range entry: key=%d code=%d\n", e.Key, e.Code)
+	}
+
+	// Client-observed traffic summary.
+	cs := rm.Stats()
+	fmt.Printf("stats: %d ops over %d conns, %d dropped, %d shed, p50 %v p99 %v\n",
+		cs.Ops, cs.Conns, cs.Dropped, cs.Shed, cs.P50, cs.P99)
+}

@@ -49,12 +49,22 @@ const (
 	// SpanStallUnpark: the parked write path resumed. Arg is the parked
 	// time in nanoseconds.
 	SpanStallUnpark
+	// SpanAccept: a network front-end accepted a connection. N is the
+	// live connection count after the accept.
+	SpanAccept
+	// SpanDecode: a request frame was decoded off a connection. N is the
+	// op count, Arg the frame's payload bytes.
+	SpanDecode
+	// SpanRespond: a response frame was handed to a connection's writer.
+	// N is the item count, Arg the frame's payload bytes.
+	SpanRespond
 	nSpanKinds
 )
 
 var spanKindNames = [nSpanKinds]string{
 	"admit", "enqueue", "drain-start", "kernel-done", "complete",
 	"merge-start", "merge-done", "install", "stall-park", "stall-unpark",
+	"accept", "decode", "respond",
 }
 
 // String names the event.

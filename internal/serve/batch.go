@@ -133,10 +133,9 @@ func (bf *BatchFuture) segDone(dropped uint64) {
 // regardless of len(keys) and bypasses the group-commit batcher — the
 // column already is a batch. A nil ctx never cancels; a ctx cancelled
 // before a shard drains its segment drops that segment unprobed. A
-// submission observing a closed service completes immediately with
-// Err() == ErrClosed and nil Results, but unlike the point path the
-// caller must still not race SubmitBatch against Close (see Close);
-// OpJoin requires WithBuild.
+// submission racing or following Close completes immediately with
+// Err() == ErrClosed and nil Results — the admission gate makes the
+// race safe, exactly like the point path. OpJoin requires WithBuild.
 func (s *Service) SubmitBatch(ctx context.Context, kind OpKind, keys []uint64) *BatchFuture {
 	if kind.IsWrite() {
 		panic("serve: SubmitBatch of write kind " + kind.String() + " (use ApplyBatch)")
@@ -149,12 +148,15 @@ func (s *Service) SubmitBatch(ctx context.Context, kind OpKind, keys []uint64) *
 		keys: keys,
 		done: make(chan struct{}),
 	}
+	n := len(keys)
+	s.admitGate.RLock()
+	defer s.admitGate.RUnlock()
 	if s.closed.Load() {
+		s.closedDrops.Add(uint64(n))
 		bf.err = ErrClosed
 		close(bf.done)
 		return bf
 	}
-	n := len(keys)
 	if n == 0 {
 		close(bf.done)
 		return bf
@@ -195,7 +197,8 @@ func (s *Service) dispatchSegments(bf *BatchFuture, id uint64) {
 // Ops(). A shard applies its whole segment between drains, so other
 // batches on that shard observe all of the segment's writes or none —
 // the per-shard atomicity the snapshot-consistency tests lean on (no
-// ordering is promised across shards). Read kinds panic: mixed
+// ordering is promised across shards). Like SubmitBatch, ApplyBatch may
+// race Close freely and refuses with ErrClosed. Read kinds panic: mixed
 // read/write columns go through point admission, which preserves
 // submission order.
 func (s *Service) ApplyBatch(ctx context.Context, ops []Op) *BatchFuture {
@@ -212,7 +215,10 @@ func (s *Service) ApplyBatch(ctx context.Context, ops []Op) *BatchFuture {
 		ops:  ops,
 		done: make(chan struct{}),
 	}
+	s.admitGate.RLock()
+	defer s.admitGate.RUnlock()
 	if s.closed.Load() {
+		s.closedDrops.Add(uint64(len(ops)))
 		bf.err = ErrClosed
 		close(bf.done)
 		return bf

@@ -397,9 +397,18 @@ type Stats struct {
 	// entries they emitted.
 	Ranges       uint64
 	RangeEntries uint64
-	// Dropped counts requests dropped before drain service-wide (context
-	// cancelled or deadline expired); Items excludes them.
-	Dropped uint64
+	// Dropped counts requests that completed without being served,
+	// service-wide and summed over every reason; Items excludes them.
+	// The per-reason split keeps deliberate backpressure distinguishable
+	// from client behavior: DroppedCancelled — context cancelled or
+	// deadline expired before the owning shard drained the request;
+	// DroppedShed — shed by an admission front-end (Service.Shed: tenant
+	// quota or queue-depth backpressure) before reaching the shards;
+	// DroppedClosed — refused with ErrClosed at or after Close.
+	Dropped          uint64
+	DroppedCancelled uint64
+	DroppedShed      uint64
+	DroppedClosed    uint64
 	// P50/P99 blend every op class service-wide; PerOp separates
 	// lookup/join/range/write-ack latency populations.
 	P50, P99 time.Duration

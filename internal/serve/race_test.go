@@ -164,6 +164,101 @@ func TestSubmitRacesClose(t *testing.T) {
 	}
 }
 
+// TestBatchAdmissionRacesClose is the vectorized/range counterpart of
+// TestSubmitRacesClose: producers hammer GoBatch, JoinBatch, ApplyBatch,
+// and RangeBatch while the main goroutine Closes the service. The
+// admission gate must turn every loser into a clean ErrClosed refusal —
+// never a send on a closed shard queue — and every winner must complete
+// normally. Run under -race (the CI race job) this also checks the gate
+// ordering against the queue closes and the refusal counters.
+func TestBatchAdmissionRacesClose(t *testing.T) {
+	domain := testDomain(100, 1)
+	build := make([]BuildTuple, 0, len(domain))
+	for _, v := range domain {
+		build = append(build, BuildTuple{Key: v, Payload: uint32(v)})
+	}
+	for iter := 0; iter < 20; iter++ {
+		s, err := New(domain, WithShards(2), WithBuild(build))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		const producers = 4
+		var wg sync.WaitGroup
+		var refused atomic.Uint64
+		start := make(chan struct{})
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				<-start
+				for k := uint64(0); ; k++ {
+					var err error
+					switch p % 4 {
+					case 0:
+						bf := s.GoBatch(ctx, []uint64{k % 100, (k + 7) % 100, k + 1000})
+						if err = bf.Err(); err == nil && len(bf.Wait()) != 3 {
+							t.Error("admitted lookup batch lost results")
+						}
+					case 1:
+						bf := s.JoinBatch(ctx, []uint64{k % 100, (k + 13) % 100})
+						if err = bf.Err(); err == nil && len(bf.WaitJoin()) != 2 {
+							t.Error("admitted join batch lost results")
+						}
+					case 2:
+						bf := s.ApplyBatch(ctx, []Op{
+							{Kind: OpInsert, Key: 2000 + k, Val: uint32(k + 1)},
+							{Kind: OpDelete, Key: 3000 + k},
+						})
+						if err = bf.Err(); err == nil && len(bf.Wait()) != 2 {
+							t.Error("admitted write batch lost acks")
+						}
+					case 3:
+						rf := s.RangeBatch(ctx, []Op{RangeOp(k%100, k%100+10, 4)})
+						err = rf.Err()
+					}
+					if err != nil {
+						if err != ErrClosed {
+							t.Errorf("refusal error = %v, want ErrClosed", err)
+						}
+						refused.Add(1)
+						return
+					}
+				}
+			}(p)
+		}
+		close(start)
+		time.Sleep(time.Duration(iter%5) * 50 * time.Microsecond)
+		s.Close()
+		wg.Wait()
+		if refused.Load() != producers {
+			t.Fatalf("iter %d: %d producers stopped on ErrClosed, want %d",
+				iter, refused.Load(), producers)
+		}
+		if st := s.Stats(); st.DroppedClosed == 0 || st.Dropped < st.DroppedClosed {
+			t.Fatalf("iter %d: refusals not counted: %+v", iter, st)
+		}
+	}
+}
+
+// TestShedAccounting pins the front-end shed hook: sheds land in
+// DroppedShed (and the Dropped total) without touching any shard
+// counter.
+func TestShedAccounting(t *testing.T) {
+	s, err := New(testDomain(10, 1), WithShards(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Shed(3)
+	s.Shed(0) // no-op
+	s.Shed(-1)
+	st := s.Stats()
+	if st.DroppedShed != 3 || st.Dropped != 3 || st.DroppedCancelled != 0 {
+		t.Fatalf("shed accounting: %+v", st)
+	}
+	s.Close()
+}
+
 // TestWriteStallParksAndCounts forces the LSM-style write stall — the
 // delta refilling to the threshold while a merge is in flight — through
 // a single-shard write storm and asserts the stall is (a) taken, (b)

@@ -145,10 +145,10 @@ func (s *Service) Range(ctx context.Context, lo, hi uint64, limit int) *RangeFut
 // range batch observes each shard's writes all-or-nothing, exactly like
 // a read segment. Results are ordered per range via Entries/Collect. A
 // nil ctx never cancels; a cancelled ctx drops the not-yet-drained
-// shards' scans (Dropped reports it). A submission observing a closed
-// service completes immediately with Err() == ErrClosed; like the other
-// vectorized paths, RangeBatch must not race Close. Non-range kinds
-// panic.
+// shards' scans (Dropped reports it). A submission racing or following
+// Close completes immediately with Err() == ErrClosed — the admission
+// gate makes the race safe, like the other vectorized paths. Non-range
+// kinds panic.
 func (s *Service) RangeBatch(ctx context.Context, ops []Op) *RangeFuture {
 	for _, op := range ops {
 		if op.Kind != OpRange {
@@ -156,7 +156,10 @@ func (s *Service) RangeBatch(ctx context.Context, ops []Op) *RangeFuture {
 		}
 	}
 	rf := &RangeFuture{ctx: ctx, enq: time.Now(), ops: ops, done: make(chan struct{})}
+	s.admitGate.RLock()
+	defer s.admitGate.RUnlock()
 	if s.closed.Load() {
+		s.closedDrops.Add(uint64(len(ops)))
 		rf.err = ErrClosed
 		close(rf.done)
 		return rf

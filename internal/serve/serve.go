@@ -431,6 +431,21 @@ type Service struct {
 	closeOnce sync.Once
 	hasBuild  bool
 
+	// admitGate serializes the vectorized and range admission paths
+	// against Close: SubmitBatch/ApplyBatch/RangeBatch dispatch straight
+	// into the shard queues, so they hold the read side across the
+	// closed-check and the queue sends, and Close takes the write side
+	// before closing those queues. Point admission needs no gate — the
+	// batcher's own close ordering covers it.
+	admitGate sync.RWMutex
+	// Admission-refusal accounting by reason, kept service-level because
+	// a refused request never reaches a shard: shedDrops counts requests
+	// a front-end dropped before admission (Shed — quota or queue-depth
+	// backpressure), closedDrops counts ErrClosed refusals. The shards'
+	// own dropped counters cover the third reason, context cancellation.
+	shedDrops   obs.Counter
+	closedDrops obs.Counter
+
 	// Observer wiring (observe.go): nil when no observer is attached.
 	// admit is the service-level span ring stamping batch admissions;
 	// batchSeq mints the service-wide batch correlation ids.
@@ -521,6 +536,8 @@ func New(values []uint64, opts ...Option) (*Service, error) {
 	s := &Service{cfg: cfg, hasBuild: o.hasBuild, obsv: o.obsv}
 	if o.obsv != nil {
 		s.admit = o.obsv.Ring("admit")
+		o.obsv.Registry().RegisterCounter("serve_dropped_shed", &s.shedDrops)
+		o.obsv.Registry().RegisterCounter("serve_dropped_closed", &s.closedDrops)
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		sh := &shard{
@@ -576,10 +593,35 @@ func (s *Service) Submit(ctx context.Context, op Op) *Future {
 	s.checkOp(op)
 	f := &Future{op: op, ctx: ctx, enq: time.Now(), done: make(chan struct{})}
 	if s.closed.Load() || !s.b.add(f) {
+		s.closedDrops.Inc()
 		f.fail(ErrClosed)
 	}
 	return f
 }
+
+// Shed records n requests dropped by an admission front-end before they
+// reached the service — a tenant quota or queue-depth backpressure in
+// the wire layer refusing work the shards never saw. The count surfaces
+// as Stats.DroppedShed next to the cancellation and ErrClosed reasons,
+// so deliberate load shedding is distinguishable from client
+// cancellations.
+func (s *Service) Shed(n int) {
+	if n > 0 {
+		s.shedDrops.Add(uint64(n))
+	}
+}
+
+// HasBuild reports whether the service carries a build side — whether
+// OpJoin is admissible. Front-ends validating remote requests check it
+// instead of tripping checkOp's panic.
+func (s *Service) HasBuild() bool { return s.hasBuild }
+
+// Backend reports the per-shard index backend the service was built
+// with.
+func (s *Service) Backend() IndexKind { return s.cfg.Kind }
+
+// Shards reports the service's partition count.
+func (s *Service) Shards() int { return len(s.shards) }
 
 // checkOp validates an operation at point/vector admission, panicking
 // on misuse (as Submit always has for unknown kinds): OpJoin requires a
@@ -662,19 +704,25 @@ func (s *Service) dispatch(batch []*Future) {
 // Close seals the pending admission batch, drains every shard, and stops
 // the shard goroutines. All requests admitted before Close complete.
 // Close is idempotent and safe to call concurrently (every call waits
-// for the shutdown to finish). Point submissions (Submit/Go/GoJoin/
-// Insert/Delete) may race Close freely: a loser is refused with
-// ErrClosed instead of being admitted. The vectorized and range paths
-// (SubmitBatch/ApplyBatch/RangeBatch) refuse with ErrClosed once Close
-// has been observed, but callers must still not race them against Close
-// — they dispatch straight into the shard queues the shutdown closes.
+// for the shutdown to finish). Every admission path may race Close
+// freely: a point submission losing the race is refused by the batcher,
+// and the vectorized/range paths (SubmitBatch/ApplyBatch/RangeBatch)
+// hold the admission gate across their dispatch, so Close waits for
+// in-flight dispatches before closing the shard queues and any later
+// submission completes immediately with Err() == ErrClosed.
 func (s *Service) Close() {
 	s.closeOnce.Do(func() {
 		s.closed.Store(true)
 		s.b.close()
+		// Taking the gate's write side flushes out any vectorized/range
+		// admission that won its read lock before closed was visible; the
+		// queues close only once no dispatch is in flight, and later
+		// admissions observe closed under their read lock and refuse.
+		s.admitGate.Lock()
 		for _, sh := range s.shards {
 			close(sh.in)
 		}
+		s.admitGate.Unlock()
 		s.wg.Wait()
 		s.em.close()
 	})
@@ -690,7 +738,7 @@ func (s *Service) Stats() Stats {
 		ss.GroupHistory = sh.ctl.History()
 		st.Shards = append(st.Shards, ss)
 		st.Items += ss.Items
-		st.Dropped += ss.Dropped
+		st.DroppedCancelled += ss.Dropped
 		st.Joins += ss.Joins
 		st.JoinHits += ss.JoinHits
 		st.Ranges += ss.Ranges
@@ -709,6 +757,9 @@ func (s *Service) Stats() Stats {
 			sh.met.lat[c].AddTo(&perClass[c])
 		}
 	}
+	st.DroppedShed = s.shedDrops.Load()
+	st.DroppedClosed = s.closedDrops.Load()
+	st.Dropped = st.DroppedCancelled + st.DroppedShed + st.DroppedClosed
 	var blended [histBuckets]uint64
 	for c := opClass(0); c < nOpClasses; c++ {
 		ol := st.PerOp.byClass(c)

@@ -1,0 +1,836 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// Server is the network front-end over one serve.Service: it accepts
+// many concurrent connections, validates and admits their request
+// frames into the service's existing admission paths, and streams
+// responses back per connection. Admission control happens here, before
+// the service sees the work: a per-tenant token bucket and a
+// server-wide in-flight cap refuse (shed) whole request frames with a
+// MsgShed rather than queueing unboundedly, and every shed is folded
+// into the service's Stats.DroppedShed via Service.Shed.
+//
+// Point-shaped frames (lookup and write batches below
+// Config.CoalesceBelow ops) are admitted through Service.Submit, so
+// small requests from many connections coalesce into the service's
+// group-commit batches — the cross-connection batching that makes the
+// interleaved probe kernels worth driving over a network. Larger frames
+// go through the vectorized paths (GoBatch/ApplyBatch), joins always
+// through JoinBatch (their matches stream back in MsgMatchChunk frames
+// as shard segments complete), ranges always through RangeBatch
+// (entries stream in MsgRangeChunk frames off the lazy k-way merge).
+type Server struct {
+	svc *serve.Service
+	cfg Config
+
+	ring *obs.SpanRing // "wire" ring; nil when the service has no observer
+
+	connsLive  obs.Gauge
+	connsTotal obs.Counter
+	framesIn   obs.Counter
+	framesOut  obs.Counter
+	bytesIn    obs.Counter
+	bytesOut   obs.Counter
+	decodeErrs obs.Counter
+
+	inflight atomic.Int64
+	connSeq  atomic.Uint64
+	closed   atomic.Bool
+
+	mu      sync.Mutex
+	lns     map[net.Listener]struct{}
+	conns   map[*conn]struct{}
+	tenants map[string]*tenant
+
+	wg sync.WaitGroup
+}
+
+// Config shapes the server's admission control and framing.
+type Config struct {
+	// MaxFrame caps an inbound frame's encoded length (default
+	// DefaultMaxFrame).
+	MaxFrame int
+	// CoalesceBelow routes lookup/write frames with fewer ops through
+	// point admission (Service.Submit), letting the group-commit batcher
+	// coalesce them across connections; frames at or above it use the
+	// vectorized batch paths. Default 64.
+	CoalesceBelow int
+	// MaxInflight caps admitted-but-unanswered ops server-wide; beyond it
+	// frames are shed with ShedOverload. Default 1<<20.
+	MaxInflight int
+	// TenantRate is each tenant's sustained admission rate in ops/sec
+	// (<= 0 disables quotas); TenantBurst the bucket depth (default
+	// max(TenantRate, 1024)).
+	TenantRate  float64
+	TenantBurst float64
+	// ChunkSize bounds streamed match/range-entry chunks (default 1024
+	// records per frame).
+	ChunkSize int
+	// OutboundQueue is the per-connection response queue depth (default
+	// 256 frames).
+	OutboundQueue int
+	// HandshakeTimeout bounds the wait for a connection's Hello (default
+	// 10s).
+	HandshakeTimeout time.Duration
+}
+
+func (c *Config) fill() {
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = DefaultMaxFrame
+	}
+	if c.CoalesceBelow <= 0 {
+		c.CoalesceBelow = 64
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 1 << 20
+	}
+	if c.TenantBurst <= 0 {
+		c.TenantBurst = max(c.TenantRate, 1024)
+	}
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = 1024
+	}
+	if c.OutboundQueue <= 0 {
+		c.OutboundQueue = 256
+	}
+	if c.HandshakeTimeout <= 0 {
+		c.HandshakeTimeout = 10 * time.Second
+	}
+}
+
+// tenant is one tenant's admission state: a token bucket refilled at
+// Config.TenantRate, plus its request/shed counters (registered as
+// wire_reqs{tenant=...} / wire_sheds{tenant=...} when the service
+// carries an observer).
+type tenant struct {
+	reqs  obs.Counter
+	sheds obs.Counter
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+}
+
+// take spends n tokens, refilling first; a bucket too dry for the whole
+// frame refuses it atomically (no partial admission).
+func (t *tenant) take(n int, rate, burst float64) bool {
+	if rate <= 0 {
+		return true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := time.Now()
+	t.tokens = min(burst, t.tokens+rate*now.Sub(t.last).Seconds())
+	t.last = now
+	if t.tokens < float64(n) {
+		return false
+	}
+	t.tokens -= float64(n)
+	return true
+}
+
+// NewServer builds a front-end over svc. Observability rides the
+// service's own observer (if any): wire metrics join the same registry
+// and the accept→decode→respond lifecycle lands in a "wire" span ring.
+func NewServer(svc *serve.Service, cfg Config) *Server {
+	cfg.fill()
+	s := &Server{
+		svc:     svc,
+		cfg:     cfg,
+		lns:     make(map[net.Listener]struct{}),
+		conns:   make(map[*conn]struct{}),
+		tenants: make(map[string]*tenant),
+	}
+	if o := svc.Observer(); o != nil {
+		r := o.Registry()
+		r.RegisterGauge("wire_conns", &s.connsLive)
+		r.RegisterCounter("wire_conns_total", &s.connsTotal)
+		r.RegisterCounter("wire_frames_in", &s.framesIn)
+		r.RegisterCounter("wire_frames_out", &s.framesOut)
+		r.RegisterCounter("wire_bytes_in", &s.bytesIn)
+		r.RegisterCounter("wire_bytes_out", &s.bytesOut)
+		r.RegisterCounter("wire_decode_errors", &s.decodeErrs)
+		s.ring = o.Ring("wire")
+	}
+	return s
+}
+
+// tenantFor interns one tenant's admission state.
+func (s *Server) tenantFor(name string) *tenant {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[name]
+	if !ok {
+		t = &tenant{tokens: s.cfg.TenantBurst, last: time.Now()}
+		if o := s.svc.Observer(); o != nil {
+			r := o.Registry()
+			r.RegisterCounter(obs.Name("wire_reqs", "tenant", name), &t.reqs)
+			r.RegisterCounter(obs.Name("wire_sheds", "tenant", name), &t.sheds)
+		}
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// Serve accepts connections on ln until the listener fails or the
+// server closes. Each connection gets a read loop and a writer
+// goroutine; Serve itself blocks.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed.Load() {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.lns[ln] = struct{}{}
+	s.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.startConn(nc)
+	}
+}
+
+// ErrServerClosed reports a Serve loop ended by Close.
+var ErrServerClosed = errors.New("wire: server closed")
+
+// Close stops accepting, closes every live connection, and waits for
+// their goroutines. The serve.Service is not closed — that is the
+// owner's call, after the front-end is quiet.
+func (s *Server) Close() {
+	if !s.closed.CompareAndSwap(false, true) {
+		s.wg.Wait()
+		return
+	}
+	s.mu.Lock()
+	for ln := range s.lns {
+		ln.Close()
+	}
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.nc.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) startConn(nc net.Conn) {
+	c := &conn{
+		srv:   s,
+		nc:    nc,
+		id:    s.connSeq.Add(1),
+		out:   make(chan frame, s.cfg.OutboundQueue),
+		wdone: make(chan struct{}),
+	}
+	s.mu.Lock()
+	if s.closed.Load() {
+		s.mu.Unlock()
+		nc.Close()
+		return
+	}
+	s.conns[c] = struct{}{}
+	live := int64(len(s.conns))
+	s.mu.Unlock()
+	s.connsTotal.Inc()
+	s.connsLive.Set(live)
+	s.ring.Record(obs.SpanAccept, -1, c.id, int(live), 0)
+	s.wg.Add(2)
+	go c.writeLoop()
+	go c.readLoop()
+}
+
+func (s *Server) dropConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	live := int64(len(s.conns))
+	s.mu.Unlock()
+	s.connsLive.Set(live)
+}
+
+// frame is one queued outbound frame.
+type frame struct {
+	t MsgType
+	p []byte
+}
+
+// conn is one client connection: a read loop decoding and admitting
+// request frames (spawning a responder goroutine per admitted request)
+// and a writer goroutine draining the outbound queue with batched
+// flushes.
+type conn struct {
+	srv    *Server
+	nc     net.Conn
+	id     uint64
+	tenant *tenant
+	out    chan frame
+	wdone  chan struct{} // writeLoop exited
+
+	resp sync.WaitGroup // responders in flight
+}
+
+// send queues one response frame. Encoders allocate per-frame payloads,
+// so queued frames never alias a shared buffer.
+func (c *conn) send(t MsgType, payload []byte) {
+	c.out <- frame{t: t, p: payload}
+}
+
+func (c *conn) writeLoop() {
+	defer c.srv.wg.Done()
+	defer close(c.wdone)
+	w := newCountingWriter(c.nc)
+	failed := false
+	write := func(f frame) {
+		if failed {
+			return
+		}
+		if err := WriteFrame(w, f.t, f.p); err != nil {
+			failed = true
+			return
+		}
+		c.srv.framesOut.Inc()
+	}
+	for f := range c.out {
+		write(f)
+		// Drain whatever else is queued before paying the flush: one
+		// syscall per burst, not per frame.
+	drain:
+		for {
+			select {
+			case f, ok := <-c.out:
+				if !ok {
+					break drain
+				}
+				write(f)
+			default:
+				break drain
+			}
+		}
+		if !failed {
+			if err := w.Flush(); err != nil {
+				failed = true
+			}
+		}
+		c.srv.bytesOut.Add(w.take())
+	}
+	c.srv.bytesOut.Add(w.take())
+}
+
+func (c *conn) readLoop() {
+	defer c.srv.wg.Done()
+	defer func() {
+		// Give in-flight responses a bounded chance to reach the peer —
+		// the final MsgErr of a protocol violation, the tail frames of a
+		// stream — then close. The write deadline caps how long a stuck
+		// peer can hold the teardown: once it fires, the writer flips to
+		// discard mode and drains the queue without blocking.
+		c.nc.SetWriteDeadline(time.Now().Add(5 * time.Second))
+		c.resp.Wait() // responders still hold c.out
+		close(c.out)
+		<-c.wdone // writer drained (or failed past the deadline)
+		c.nc.Close()
+		c.srv.dropConn(c)
+	}()
+
+	fr := NewFrameReader(newCountingReader(c.nc, &c.srv.bytesIn), c.srv.cfg.MaxFrame)
+	if !c.handshake(fr) {
+		return
+	}
+
+	for {
+		t, p, err := fr.Next()
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				c.srv.decodeErrs.Inc()
+			}
+			return
+		}
+		c.srv.framesIn.Inc()
+		if !c.dispatch(t, p) {
+			return
+		}
+	}
+}
+
+// handshake consumes the Hello and acks it. Any violation — wrong first
+// frame, bad magic, unknown version — gets a MsgErr and a closed
+// connection.
+func (c *conn) handshake(fr *FrameReader) bool {
+	c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.HandshakeTimeout))
+	t, p, err := fr.Next()
+	if err != nil {
+		return false
+	}
+	refuse := func(msg string) bool {
+		c.send(MsgErr, AppendErr(nil, msg))
+		return false
+	}
+	if t != MsgHello {
+		return refuse("expected hello, got " + t.String())
+	}
+	h, err := DecodeHello(p)
+	if err != nil {
+		c.srv.decodeErrs.Inc()
+		return refuse(err.Error())
+	}
+	if h.Version != Version {
+		return refuse(fmt.Sprintf("unsupported protocol version %d (server speaks %d)", h.Version, Version))
+	}
+	name := h.Tenant
+	if name == "" {
+		name = "default"
+	}
+	if len(name) > 64 {
+		return refuse("tenant name exceeds 64 bytes")
+	}
+	c.tenant = c.srv.tenantFor(name)
+	c.nc.SetReadDeadline(time.Time{})
+	c.send(MsgHelloAck, AppendHelloAck(nil, HelloAck{Version: Version, Shards: uint16(c.srv.svc.Shards())}))
+	return true
+}
+
+// dispatch decodes and admits one request frame, spawning its responder.
+// Returns false on a protocol violation (the connection dies).
+func (c *conn) dispatch(t MsgType, p []byte) bool {
+	switch t {
+	case MsgLookupBatch, MsgJoinBatch:
+		b, err := DecodeKeyBatch(p)
+		if err != nil {
+			return c.protoErr(err)
+		}
+		if t == MsgJoinBatch && !c.srv.svc.HasBuild() {
+			c.shed(b.Hdr.ID, ShedBadRequest, len(b.Keys))
+			return true
+		}
+		if len(b.Keys) == 0 {
+			if t == MsgLookupBatch {
+				c.respond(b.Hdr.ID, MsgResults, AppendResults(nil, Results{ID: b.Hdr.ID}), 0)
+			} else {
+				c.respond(b.Hdr.ID, MsgJoinResults, AppendJoinResults(nil, JoinResults{ID: b.Hdr.ID}), 0)
+			}
+			return true
+		}
+		if !c.admit(b.Hdr.ID, len(b.Keys), len(p)) {
+			return true
+		}
+		if t == MsgLookupBatch {
+			c.spawn(len(b.Keys), func(ctx context.Context) { c.respondLookup(ctx, b) })
+		} else {
+			c.spawnDeadline(b.Hdr.DeadlineUS, len(b.Keys), func(ctx context.Context) { c.respondJoin(ctx, b) })
+		}
+	case MsgWriteBatch:
+		b, err := DecodeWriteBatch(p)
+		if err != nil {
+			return c.protoErr(err)
+		}
+		if !c.validWrites(b.Ops) {
+			c.shed(b.Hdr.ID, ShedBadRequest, len(b.Ops))
+			return true
+		}
+		if len(b.Ops) == 0 {
+			c.respond(b.Hdr.ID, MsgResults, AppendResults(nil, Results{ID: b.Hdr.ID}), 0)
+			return true
+		}
+		if !c.admit(b.Hdr.ID, len(b.Ops), len(p)) {
+			return true
+		}
+		c.spawnDeadline(b.Hdr.DeadlineUS, len(b.Ops), func(ctx context.Context) { c.respondWrite(ctx, b) })
+	case MsgRangeBatch:
+		b, err := DecodeRangeBatch(p)
+		if err != nil {
+			return c.protoErr(err)
+		}
+		if len(b.Ranges) == 0 {
+			c.respond(b.Hdr.ID, MsgRangeDone, AppendRangeDone(nil, RangeDone{ID: b.Hdr.ID}), 0)
+			return true
+		}
+		if !c.admit(b.Hdr.ID, len(b.Ranges), len(p)) {
+			return true
+		}
+		c.spawnDeadline(b.Hdr.DeadlineUS, len(b.Ranges), func(ctx context.Context) { c.respondRange(ctx, b) })
+	default:
+		c.srv.decodeErrs.Inc()
+		c.send(MsgErr, AppendErr(nil, "unexpected frame type "+t.String()))
+		return false
+	}
+	return true
+}
+
+func (c *conn) protoErr(err error) bool {
+	c.srv.decodeErrs.Inc()
+	c.send(MsgErr, AppendErr(nil, err.Error()))
+	return false
+}
+
+// validWrites screens remote write ops so invalid input is refused with
+// ShedBadRequest instead of reaching serve's checkOp panics: unknown
+// kinds, inserts colliding with the NotFound sentinel, and keys beyond
+// the tree backend's uint32 key type.
+func (c *conn) validWrites(ops []WriteOp) bool {
+	tree := c.srv.svc.Backend() == serve.SimTree
+	for _, o := range ops {
+		if o.Kind > WriteDelete {
+			return false
+		}
+		if o.Kind == WriteInsert && o.Val == serve.NotFound {
+			return false
+		}
+		if tree && o.Key > uint64(^uint32(0)) {
+			return false
+		}
+	}
+	return true
+}
+
+// admit runs the tenant quota and the server-wide in-flight cap; a
+// refusal sheds the whole frame. On success the decode span is stamped
+// and the caller owes release(n).
+func (c *conn) admit(id uint64, n, payloadBytes int) bool {
+	if !c.tenant.take(n, c.srv.cfg.TenantRate, c.srv.cfg.TenantBurst) {
+		c.shed(id, ShedQuota, n)
+		return false
+	}
+	if c.srv.inflight.Add(int64(n)) > int64(c.srv.cfg.MaxInflight) {
+		c.srv.inflight.Add(-int64(n))
+		c.shed(id, ShedOverload, n)
+		return false
+	}
+	c.tenant.reqs.Add(uint64(n))
+	c.srv.ring.Record(obs.SpanDecode, -1, id, n, int64(payloadBytes))
+	return true
+}
+
+// shed refuses one request frame unserved: the tenant's shed counter,
+// the service's DroppedShed stat, and a MsgShed to the client.
+func (c *conn) shed(id uint64, reason uint8, n int) {
+	c.tenant.sheds.Add(uint64(max(n, 1)))
+	c.srv.svc.Shed(max(n, 1))
+	c.send(MsgShed, AppendShed(nil, Shed{ID: id, Reason: reason}))
+}
+
+func (c *conn) release(n int) { c.srv.inflight.Add(-int64(n)) }
+
+// spawn runs fn as a responder goroutine with a background context.
+func (c *conn) spawn(n int, fn func(context.Context)) {
+	c.resp.Add(1)
+	go func() {
+		defer c.resp.Done()
+		defer c.release(n)
+		fn(context.Background())
+	}()
+}
+
+// spawnDeadline is spawn with the request header's relative deadline
+// applied (0 = none).
+func (c *conn) spawnDeadline(deadlineUS uint32, n int, fn func(context.Context)) {
+	if deadlineUS == 0 {
+		c.spawn(n, fn)
+		return
+	}
+	c.resp.Add(1)
+	go func() {
+		defer c.resp.Done()
+		defer c.release(n)
+		ctx, cancel := context.WithTimeout(context.Background(), time.Duration(deadlineUS)*time.Microsecond)
+		defer cancel()
+		fn(ctx)
+	}()
+}
+
+// respond stamps the respond span and queues the frame.
+func (c *conn) respond(id uint64, t MsgType, payload []byte, items int) {
+	c.srv.ring.Record(obs.SpanRespond, -1, id, items, int64(len(payload)))
+	c.send(t, payload)
+}
+
+// respondLookup serves one lookup frame. Below the coalesce threshold
+// each key rides point admission — Submit feeds the group-commit
+// batcher, so keys from many connections share admission batches —
+// and results come back in submission order for free. At or above it
+// the vectorized path is cheaper; GoBatch partitions its key slice in
+// place, so results are realigned to wire order through a key→result
+// map (duplicate keys land in the same shard segment and resolve
+// identically, so the collapse is lossless).
+func (c *conn) respondLookup(ctx context.Context, b KeyBatch) {
+	// The wire deadline applies to point lookups too: a per-op ctx.
+	if b.Hdr.DeadlineUS != 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(b.Hdr.DeadlineUS)*time.Microsecond)
+		defer cancel()
+	}
+	out := make([]Result, len(b.Keys))
+	if len(b.Keys) < c.srv.cfg.CoalesceBelow {
+		futs := make([]*serve.Future, len(b.Keys))
+		for i, k := range b.Keys {
+			futs[i] = c.srv.svc.Go(ctx, k)
+		}
+		for i, f := range futs {
+			if f.Err() != nil {
+				c.shed(b.Hdr.ID, ShedClosed, 0)
+				return
+			}
+			out[i] = toWireResult(f.Wait())
+		}
+	} else {
+		orig := append([]uint64(nil), b.Keys...)
+		bf := c.srv.svc.GoBatch(ctx, b.Keys)
+		res := bf.Wait()
+		if bf.Err() != nil {
+			c.shed(b.Hdr.ID, ShedClosed, 0)
+			return
+		}
+		byKey := make(map[uint64]Result, len(res))
+		for j, k := range bf.Keys() {
+			byKey[k] = toWireResult(res[j])
+		}
+		for i, k := range orig {
+			out[i] = byKey[k]
+		}
+	}
+	c.respond(b.Hdr.ID, MsgResults, AppendResults(nil, Results{ID: b.Hdr.ID, Res: out}), len(out))
+}
+
+// respondJoin serves one join frame through JoinBatch, streaming
+// matches in chunks as shard segments complete, then the per-probe
+// aggregates. Match.Probe indexes the partitioned key order, so each
+// match is re-pointed at the first wire-order occurrence of its key;
+// per-key aggregates realign through the same key→result map as
+// lookups.
+func (c *conn) respondJoin(ctx context.Context, b KeyBatch) {
+	orig := append([]uint64(nil), b.Keys...)
+	firstIdx := make(map[uint64]uint32, len(orig))
+	for i, k := range orig {
+		if _, ok := firstIdx[k]; !ok {
+			firstIdx[k] = uint32(i)
+		}
+	}
+	bf := c.srv.svc.JoinBatch(ctx, b.Keys)
+	part := bf.Keys()
+	chunk := make([]MatchRec, 0, c.srv.cfg.ChunkSize)
+	flush := func() {
+		if len(chunk) == 0 {
+			return
+		}
+		c.respond(b.Hdr.ID, MsgMatchChunk,
+			AppendMatchChunk(nil, MatchChunk{ID: b.Hdr.ID, Matches: chunk}), len(chunk))
+		chunk = chunk[:0]
+	}
+	for m := range bf.Matches() {
+		chunk = append(chunk, MatchRec{
+			Probe:   firstIdx[part[m.Probe]],
+			Key:     m.Key,
+			Code:    m.Code,
+			Payload: m.Payload,
+		})
+		if len(chunk) >= c.srv.cfg.ChunkSize {
+			flush()
+		}
+	}
+	res := bf.WaitJoin()
+	if bf.Err() != nil {
+		c.shed(b.Hdr.ID, ShedClosed, 0)
+		return
+	}
+	flush()
+	byKey := make(map[uint64]JoinRes, len(res))
+	for j, k := range part {
+		byKey[k] = toWireJoinRes(res[j])
+	}
+	out := make([]JoinRes, len(orig))
+	for i, k := range orig {
+		out[i] = byKey[k]
+	}
+	c.respond(b.Hdr.ID, MsgJoinResults,
+		AppendJoinResults(nil, JoinResults{ID: b.Hdr.ID, Res: out}), len(out))
+}
+
+// respondWrite serves one write frame. Below the coalesce threshold
+// each op rides point admission in order, acked exactly. At or above
+// it the frame goes through ApplyBatch; write acks are deterministic
+// functions of the op (insert → {Val, found}, delete → {NotFound}), so
+// they are synthesized in wire order rather than realigned — with one
+// coarsening: ApplyBatch reports drops per batch, not per op, so a
+// partially dropped vectorized write frame acks every op as dropped
+// (the protocol's contract: remote writes must be idempotent to retry).
+func (c *conn) respondWrite(ctx context.Context, b WriteBatch) {
+	out := make([]Result, len(b.Ops))
+	if len(b.Ops) < c.srv.cfg.CoalesceBelow {
+		futs := make([]*serve.Future, len(b.Ops))
+		for i, o := range b.Ops {
+			if o.Kind == WriteInsert {
+				futs[i] = c.srv.svc.Insert(ctx, o.Key, o.Val)
+			} else {
+				futs[i] = c.srv.svc.Delete(ctx, o.Key)
+			}
+		}
+		for i, f := range futs {
+			if f.Err() != nil {
+				c.shed(b.Hdr.ID, ShedClosed, 0)
+				return
+			}
+			out[i] = toWireResult(f.Wait())
+		}
+	} else {
+		ops := make([]serve.Op, len(b.Ops))
+		for i, o := range b.Ops {
+			if o.Kind == WriteInsert {
+				ops[i] = serve.Op{Kind: serve.OpInsert, Key: o.Key, Val: o.Val}
+			} else {
+				ops[i] = serve.Op{Kind: serve.OpDelete, Key: o.Key}
+			}
+		}
+		bf := c.srv.svc.ApplyBatch(ctx, ops)
+		bf.Wait()
+		if bf.Err() != nil {
+			c.shed(b.Hdr.ID, ShedClosed, 0)
+			return
+		}
+		dropped := bf.Dropped() > 0
+		for i, o := range b.Ops {
+			switch {
+			case dropped:
+				out[i] = Result{Code: serve.NotFound, Flags: FlagDropped}
+			case o.Kind == WriteInsert:
+				out[i] = Result{Code: o.Val, Flags: FlagFound}
+			default:
+				out[i] = Result{Code: serve.NotFound}
+			}
+		}
+	}
+	c.respond(b.Hdr.ID, MsgResults, AppendResults(nil, Results{ID: b.Hdr.ID, Res: out}), len(out))
+}
+
+// respondRange serves one range frame through RangeBatch, streaming
+// each range's entries in ascending-key chunks off the lazy k-way
+// merge, then a RangeDone carrying the batch's dropped flag.
+func (c *conn) respondRange(ctx context.Context, b RangeBatch) {
+	ops := make([]serve.Op, len(b.Ranges))
+	for i, r := range b.Ranges {
+		ops[i] = serve.RangeOp(r.Lo, r.Hi, int(r.Limit))
+	}
+	rf := c.srv.svc.RangeBatch(ctx, ops)
+	chunk := make([]RangeEnt, 0, c.srv.cfg.ChunkSize)
+	for i := range ops {
+		for e := range rf.Entries(i) {
+			chunk = append(chunk, RangeEnt{Key: e.Key, Code: e.Code})
+			if len(chunk) >= c.srv.cfg.ChunkSize {
+				c.respond(b.Hdr.ID, MsgRangeChunk,
+					AppendRangeChunk(nil, RangeChunk{ID: b.Hdr.ID, Range: uint32(i), Ents: chunk}), len(chunk))
+				chunk = chunk[:0]
+			}
+		}
+		if len(chunk) > 0 {
+			c.respond(b.Hdr.ID, MsgRangeChunk,
+				AppendRangeChunk(nil, RangeChunk{ID: b.Hdr.ID, Range: uint32(i), Ents: chunk}), len(chunk))
+			chunk = chunk[:0]
+		}
+	}
+	rf.Wait()
+	if rf.Err() != nil {
+		c.shed(b.Hdr.ID, ShedClosed, 0)
+		return
+	}
+	c.respond(b.Hdr.ID, MsgRangeDone,
+		AppendRangeDone(nil, RangeDone{ID: b.Hdr.ID, Dropped: rf.Dropped()}), 1)
+}
+
+func toWireResult(r serve.Result) Result {
+	var f uint8
+	if r.Found {
+		f |= FlagFound
+	}
+	if r.Dropped {
+		f |= FlagDropped
+	}
+	return Result{Code: r.Code, Flags: f}
+}
+
+func toWireJoinRes(r serve.JoinResult) JoinRes {
+	var f uint8
+	if r.Dropped {
+		f |= FlagDropped
+	}
+	return JoinRes{Code: r.Code, Hits: r.Hits, Agg: r.Agg, Flags: f}
+}
+
+// countingWriter is a small buffered writer that tallies flushed bytes
+// (the server's wire_bytes_out).
+type countingWriter struct {
+	w   io.Writer
+	buf []byte
+	n   uint64
+}
+
+func newCountingWriter(w io.Writer) *countingWriter {
+	return &countingWriter{w: w, buf: make([]byte, 0, 64<<10)}
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	if len(cw.buf)+len(p) > cap(cw.buf) {
+		if err := cw.Flush(); err != nil {
+			return 0, err
+		}
+	}
+	if len(p) >= cap(cw.buf) {
+		n, err := cw.w.Write(p)
+		cw.n += uint64(n)
+		return n, err
+	}
+	cw.buf = append(cw.buf, p...)
+	return len(p), nil
+}
+
+func (cw *countingWriter) Flush() error {
+	if len(cw.buf) == 0 {
+		return nil
+	}
+	n, err := cw.w.Write(cw.buf)
+	cw.n += uint64(n)
+	cw.buf = cw.buf[:0]
+	return err
+}
+
+// take returns and resets the flushed-byte tally.
+func (cw *countingWriter) take() uint64 {
+	n := cw.n
+	cw.n = 0
+	return n
+}
+
+// countingReader tallies bytes read into a counter (wire_bytes_in).
+type countingReader struct {
+	r io.Reader
+	c *obs.Counter
+}
+
+func newCountingReader(r io.Reader, c *obs.Counter) *countingReader {
+	return &countingReader{r: r, c: c}
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	if n > 0 {
+		cr.c.Add(uint64(n))
+	}
+	return n, err
+}

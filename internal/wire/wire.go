@@ -1,0 +1,690 @@
+// Package wire is the network protocol between a remote client and the
+// serve service: a length-prefixed binary framing with a versioned
+// handshake, typed request frames for lookup/join/range/write batches
+// (tenant identity rides the handshake, a request id and optional
+// deadline ride every request header), and streaming response frames —
+// join matches and range entries flow back in chunks as they
+// materialize, ahead of the frame that completes the request.
+//
+// Layout (everything little-endian):
+//
+//	frame    := u32 length | u8 type | payload       (length = 1 + len(payload))
+//	hello    := u32 magic | u16 version | u16 n | n×tenant bytes
+//	helloack := u16 version | u16 shards
+//	header   := u64 id | u32 deadline_us              (0 = no deadline)
+//	keys     := header | u32 n | n×u64                (lookup and join batches)
+//	ranges   := header | u32 n | n×(u64 lo | u64 hi | u32 limit)
+//	writes   := header | u32 n | n×(u8 kind | u64 key | u32 val)
+//	results  := u64 id | u32 n | n×(u32 code | u8 flags)
+//	joinres  := u64 id | u32 n | n×(u32 code | u32 hits | u64 agg | u8 flags)
+//	matches  := u64 id | u32 n | n×(u32 probe | u64 key | u32 code | u32 payload)
+//	rchunk   := u64 id | u32 range | u32 n | n×(u64 key | u32 code)
+//	rdone    := u64 id | u8 dropped
+//	shed     := u64 id | u8 reason
+//	err      := u16 n | n×message bytes
+//
+// Decoders never trust a length or count they have not bounds-checked
+// against the remaining payload — a malformed or truncated frame is an
+// error, never a panic or an unbounded allocation (FuzzWireDecode pins
+// this).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Magic opens every Hello ("isiw" little-endian): a TCP client speaking
+// the wrong protocol is refused at the first frame.
+const Magic uint32 = 0x77697369
+
+// Version is the protocol revision this package speaks. The handshake
+// refuses a client whose version the server does not know.
+const Version uint16 = 1
+
+// DefaultMaxFrame bounds a frame's encoded length (16 MiB): the decoder
+// refuses anything longer before buffering it, so a corrupt length
+// prefix cannot make the server allocate arbitrarily.
+const DefaultMaxFrame = 1 << 24
+
+// MsgType tags a frame.
+type MsgType uint8
+
+const (
+	// MsgHello is the client's first frame; MsgHelloAck the server's
+	// acceptance (any other reply is a refusal).
+	MsgHello MsgType = iota + 1
+	MsgHelloAck
+	// MsgLookupBatch and MsgJoinBatch carry a key column; MsgRangeBatch a
+	// column of [lo, hi, limit] scans; MsgWriteBatch a column of
+	// insert/delete ops.
+	MsgLookupBatch
+	MsgJoinBatch
+	MsgRangeBatch
+	MsgWriteBatch
+	// MsgResults answers a lookup or write batch; MsgJoinResults a join
+	// batch (after its MsgMatchChunk stream); MsgRangeChunk/MsgRangeDone
+	// stream and then complete a range batch.
+	MsgResults
+	MsgJoinResults
+	MsgMatchChunk
+	MsgRangeChunk
+	MsgRangeDone
+	// MsgShed refuses one request without serving it (quota, overload,
+	// closed service, or an invalid request).
+	MsgShed
+	// MsgErr reports a fatal protocol error; the sender closes the
+	// connection after it.
+	MsgErr
+)
+
+// String names the frame type.
+func (t MsgType) String() string {
+	switch t {
+	case MsgHello:
+		return "hello"
+	case MsgHelloAck:
+		return "helloack"
+	case MsgLookupBatch:
+		return "lookup-batch"
+	case MsgJoinBatch:
+		return "join-batch"
+	case MsgRangeBatch:
+		return "range-batch"
+	case MsgWriteBatch:
+		return "write-batch"
+	case MsgResults:
+		return "results"
+	case MsgJoinResults:
+		return "join-results"
+	case MsgMatchChunk:
+		return "match-chunk"
+	case MsgRangeChunk:
+		return "range-chunk"
+	case MsgRangeDone:
+		return "range-done"
+	case MsgShed:
+		return "shed"
+	case MsgErr:
+		return "err"
+	}
+	return "unknown"
+}
+
+// Shed reasons: why a request was refused unserved.
+const (
+	// ShedQuota: the tenant's token bucket ran dry.
+	ShedQuota uint8 = iota + 1
+	// ShedOverload: the server-wide in-flight cap was reached.
+	ShedOverload
+	// ShedClosed: the service behind the server is closed.
+	ShedClosed
+	// ShedBadRequest: the request failed validation (unknown write kind,
+	// sentinel-colliding insert, join without a build side, out-of-range
+	// tree key).
+	ShedBadRequest
+)
+
+// Write-op kinds on the wire.
+const (
+	WriteInsert uint8 = iota
+	WriteDelete
+)
+
+// Result flag bits.
+const (
+	FlagFound   uint8 = 1 << 0
+	FlagDropped uint8 = 1 << 1
+)
+
+// ErrFrameTooLarge reports a length prefix beyond the reader's cap.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+
+// ErrMalformed reports a payload that does not decode as its type: a
+// truncated field, an element count beyond the remaining bytes, or
+// trailing garbage.
+var ErrMalformed = errors.New("wire: malformed frame")
+
+// Hello is the client's opening frame.
+type Hello struct {
+	Version uint16
+	Tenant  string
+}
+
+// HelloAck accepts a handshake; Shards is informational (the serving
+// fleet's partition count).
+type HelloAck struct {
+	Version uint16
+	Shards  uint16
+}
+
+// ReqHeader correlates a request with its responses (ID is
+// client-assigned, unique per connection) and carries the optional
+// relative deadline in microseconds (0 = none).
+type ReqHeader struct {
+	ID         uint64
+	DeadlineUS uint32
+}
+
+// KeyBatch is a lookup or join probe column (the MsgType distinguishes).
+type KeyBatch struct {
+	Hdr  ReqHeader
+	Keys []uint64
+}
+
+// RangeReq is one [Lo, Hi] scan emitting at most Limit entries (0 =
+// unbounded).
+type RangeReq struct {
+	Lo, Hi uint64
+	Limit  uint32
+}
+
+// RangeBatch is a column of range scans.
+type RangeBatch struct {
+	Hdr    ReqHeader
+	Ranges []RangeReq
+}
+
+// WriteOp is one wire-level write: Kind is WriteInsert or WriteDelete,
+// Val the inserted code (ignored for deletes).
+type WriteOp struct {
+	Kind uint8
+	Key  uint64
+	Val  uint32
+}
+
+// WriteBatch is a column of writes.
+type WriteBatch struct {
+	Hdr ReqHeader
+	Ops []WriteOp
+}
+
+// Result is one key's outcome: the resolved code plus FlagFound /
+// FlagDropped.
+type Result struct {
+	Code  uint32
+	Flags uint8
+}
+
+// Results answers a lookup or write batch, aligned with the request's
+// key (or op) order.
+type Results struct {
+	ID  uint64
+	Res []Result
+}
+
+// JoinRes is one join probe's aggregate outcome.
+type JoinRes struct {
+	Code  uint32
+	Hits  uint32
+	Agg   uint64
+	Flags uint8
+}
+
+// JoinResults completes a join batch, aligned with the request's key
+// order; per-match payloads streamed ahead of it in MsgMatchChunk
+// frames.
+type JoinResults struct {
+	ID  uint64
+	Res []JoinRes
+}
+
+// MatchRec is one streamed join match: build Payload matched probe
+// number Probe (an index into the request's key order) whose key
+// resolved to Code.
+type MatchRec struct {
+	Probe   uint32
+	Key     uint64
+	Code    uint32
+	Payload uint32
+}
+
+// MatchChunk streams part of a join batch's matches.
+type MatchChunk struct {
+	ID      uint64
+	Matches []MatchRec
+}
+
+// RangeEnt is one streamed range entry.
+type RangeEnt struct {
+	Key  uint64
+	Code uint32
+}
+
+// RangeChunk streams part of range number Range's entries (ascending
+// key order across the chunks of one range).
+type RangeChunk struct {
+	ID    uint64
+	Range uint32
+	Ents  []RangeEnt
+}
+
+// RangeDone completes a range batch; Dropped marks an incomplete stream
+// (some shard dropped its scans).
+type RangeDone struct {
+	ID      uint64
+	Dropped bool
+}
+
+// Shed refuses one request (see the Shed* reasons).
+type Shed struct {
+	ID     uint64
+	Reason uint8
+}
+
+// --- encoding ------------------------------------------------------
+//
+// Append* build a frame payload onto dst (append-style, so a caller
+// reuses one scratch buffer across frames); WriteFrame adds the length
+// prefix and type tag.
+
+// WriteFrame writes one complete frame.
+func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(1+len(payload)))
+	hdr[4] = byte(t)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// AppendHello encodes a Hello payload.
+func AppendHello(dst []byte, h Hello) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, Magic)
+	dst = binary.LittleEndian.AppendUint16(dst, h.Version)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(h.Tenant)))
+	return append(dst, h.Tenant...)
+}
+
+// AppendHelloAck encodes a HelloAck payload.
+func AppendHelloAck(dst []byte, a HelloAck) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, a.Version)
+	return binary.LittleEndian.AppendUint16(dst, a.Shards)
+}
+
+func appendHeader(dst []byte, h ReqHeader) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, h.ID)
+	return binary.LittleEndian.AppendUint32(dst, h.DeadlineUS)
+}
+
+// AppendKeyBatch encodes a KeyBatch payload (for MsgLookupBatch or
+// MsgJoinBatch).
+func AppendKeyBatch(dst []byte, b KeyBatch) []byte {
+	dst = appendHeader(dst, b.Hdr)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b.Keys)))
+	for _, k := range b.Keys {
+		dst = binary.LittleEndian.AppendUint64(dst, k)
+	}
+	return dst
+}
+
+// AppendRangeBatch encodes a RangeBatch payload.
+func AppendRangeBatch(dst []byte, b RangeBatch) []byte {
+	dst = appendHeader(dst, b.Hdr)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b.Ranges)))
+	for _, r := range b.Ranges {
+		dst = binary.LittleEndian.AppendUint64(dst, r.Lo)
+		dst = binary.LittleEndian.AppendUint64(dst, r.Hi)
+		dst = binary.LittleEndian.AppendUint32(dst, r.Limit)
+	}
+	return dst
+}
+
+// AppendWriteBatch encodes a WriteBatch payload.
+func AppendWriteBatch(dst []byte, b WriteBatch) []byte {
+	dst = appendHeader(dst, b.Hdr)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b.Ops)))
+	for _, o := range b.Ops {
+		dst = append(dst, o.Kind)
+		dst = binary.LittleEndian.AppendUint64(dst, o.Key)
+		dst = binary.LittleEndian.AppendUint32(dst, o.Val)
+	}
+	return dst
+}
+
+// AppendResults encodes a Results payload.
+func AppendResults(dst []byte, r Results) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, r.ID)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.Res)))
+	for _, e := range r.Res {
+		dst = binary.LittleEndian.AppendUint32(dst, e.Code)
+		dst = append(dst, e.Flags)
+	}
+	return dst
+}
+
+// AppendJoinResults encodes a JoinResults payload.
+func AppendJoinResults(dst []byte, r JoinResults) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, r.ID)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.Res)))
+	for _, e := range r.Res {
+		dst = binary.LittleEndian.AppendUint32(dst, e.Code)
+		dst = binary.LittleEndian.AppendUint32(dst, e.Hits)
+		dst = binary.LittleEndian.AppendUint64(dst, e.Agg)
+		dst = append(dst, e.Flags)
+	}
+	return dst
+}
+
+// AppendMatchChunk encodes a MatchChunk payload.
+func AppendMatchChunk(dst []byte, c MatchChunk) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, c.ID)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(c.Matches)))
+	for _, m := range c.Matches {
+		dst = binary.LittleEndian.AppendUint32(dst, m.Probe)
+		dst = binary.LittleEndian.AppendUint64(dst, m.Key)
+		dst = binary.LittleEndian.AppendUint32(dst, m.Code)
+		dst = binary.LittleEndian.AppendUint32(dst, m.Payload)
+	}
+	return dst
+}
+
+// AppendRangeChunk encodes a RangeChunk payload.
+func AppendRangeChunk(dst []byte, c RangeChunk) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, c.ID)
+	dst = binary.LittleEndian.AppendUint32(dst, c.Range)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(c.Ents)))
+	for _, e := range c.Ents {
+		dst = binary.LittleEndian.AppendUint64(dst, e.Key)
+		dst = binary.LittleEndian.AppendUint32(dst, e.Code)
+	}
+	return dst
+}
+
+// AppendRangeDone encodes a RangeDone payload.
+func AppendRangeDone(dst []byte, d RangeDone) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, d.ID)
+	b := byte(0)
+	if d.Dropped {
+		b = 1
+	}
+	return append(dst, b)
+}
+
+// AppendShed encodes a Shed payload.
+func AppendShed(dst []byte, s Shed) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, s.ID)
+	return append(dst, s.Reason)
+}
+
+// AppendErr encodes a MsgErr payload.
+func AppendErr(dst []byte, msg string) []byte {
+	if len(msg) > 1<<15 {
+		msg = msg[:1<<15]
+	}
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(msg)))
+	return append(dst, msg...)
+}
+
+// --- decoding ------------------------------------------------------
+
+// dec is an error-latched payload cursor: a read past the end sets bad
+// and returns zeros, so decoders bounds-check once at the end (fin)
+// instead of at every field.
+type dec struct {
+	p   []byte
+	off int
+	bad bool
+}
+
+func (d *dec) u8() uint8 {
+	if d.off+1 > len(d.p) {
+		d.bad = true
+		return 0
+	}
+	v := d.p[d.off]
+	d.off++
+	return v
+}
+
+func (d *dec) u16() uint16 {
+	if d.off+2 > len(d.p) {
+		d.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.p[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if d.off+4 > len(d.p) {
+		d.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.p[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if d.off+8 > len(d.p) {
+		d.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.p[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *dec) bytes(n int) []byte {
+	if n < 0 || d.off+n > len(d.p) {
+		d.bad = true
+		return nil
+	}
+	b := d.p[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// count validates an element count against the remaining bytes at
+// elemSize each — the allocation guard: a lying count can never make a
+// decoder allocate more than the frame actually carries.
+func (d *dec) count(n uint32, elemSize int) int {
+	if int(n) > (len(d.p)-d.off)/elemSize {
+		d.bad = true
+		return 0
+	}
+	return int(n)
+}
+
+// fin reports the latched error, treating trailing garbage as
+// malformed.
+func (d *dec) fin() error {
+	if d.bad || d.off != len(d.p) {
+		return ErrMalformed
+	}
+	return nil
+}
+
+func (d *dec) header() ReqHeader {
+	return ReqHeader{ID: d.u64(), DeadlineUS: d.u32()}
+}
+
+// DecodeHello decodes a MsgHello payload, checking the magic.
+func DecodeHello(p []byte) (Hello, error) {
+	d := dec{p: p}
+	if m := d.u32(); !d.bad && m != Magic {
+		return Hello{}, fmt.Errorf("%w: bad magic %#x", ErrMalformed, m)
+	}
+	h := Hello{Version: d.u16()}
+	h.Tenant = string(d.bytes(int(d.u16())))
+	return h, d.fin()
+}
+
+// DecodeHelloAck decodes a MsgHelloAck payload.
+func DecodeHelloAck(p []byte) (HelloAck, error) {
+	d := dec{p: p}
+	a := HelloAck{Version: d.u16(), Shards: d.u16()}
+	return a, d.fin()
+}
+
+// DecodeKeyBatch decodes a MsgLookupBatch or MsgJoinBatch payload.
+func DecodeKeyBatch(p []byte) (KeyBatch, error) {
+	d := dec{p: p}
+	b := KeyBatch{Hdr: d.header()}
+	n := d.count(d.u32(), 8)
+	if n > 0 {
+		b.Keys = make([]uint64, n)
+		for i := range b.Keys {
+			b.Keys[i] = d.u64()
+		}
+	}
+	return b, d.fin()
+}
+
+// DecodeRangeBatch decodes a MsgRangeBatch payload.
+func DecodeRangeBatch(p []byte) (RangeBatch, error) {
+	d := dec{p: p}
+	b := RangeBatch{Hdr: d.header()}
+	n := d.count(d.u32(), 20)
+	if n > 0 {
+		b.Ranges = make([]RangeReq, n)
+		for i := range b.Ranges {
+			b.Ranges[i] = RangeReq{Lo: d.u64(), Hi: d.u64(), Limit: d.u32()}
+		}
+	}
+	return b, d.fin()
+}
+
+// DecodeWriteBatch decodes a MsgWriteBatch payload.
+func DecodeWriteBatch(p []byte) (WriteBatch, error) {
+	d := dec{p: p}
+	b := WriteBatch{Hdr: d.header()}
+	n := d.count(d.u32(), 13)
+	if n > 0 {
+		b.Ops = make([]WriteOp, n)
+		for i := range b.Ops {
+			b.Ops[i] = WriteOp{Kind: d.u8(), Key: d.u64(), Val: d.u32()}
+		}
+	}
+	return b, d.fin()
+}
+
+// DecodeResults decodes a MsgResults payload.
+func DecodeResults(p []byte) (Results, error) {
+	d := dec{p: p}
+	r := Results{ID: d.u64()}
+	n := d.count(d.u32(), 5)
+	if n > 0 {
+		r.Res = make([]Result, n)
+		for i := range r.Res {
+			r.Res[i] = Result{Code: d.u32(), Flags: d.u8()}
+		}
+	}
+	return r, d.fin()
+}
+
+// DecodeJoinResults decodes a MsgJoinResults payload.
+func DecodeJoinResults(p []byte) (JoinResults, error) {
+	d := dec{p: p}
+	r := JoinResults{ID: d.u64()}
+	n := d.count(d.u32(), 17)
+	if n > 0 {
+		r.Res = make([]JoinRes, n)
+		for i := range r.Res {
+			r.Res[i] = JoinRes{Code: d.u32(), Hits: d.u32(), Agg: d.u64(), Flags: d.u8()}
+		}
+	}
+	return r, d.fin()
+}
+
+// DecodeMatchChunk decodes a MsgMatchChunk payload.
+func DecodeMatchChunk(p []byte) (MatchChunk, error) {
+	d := dec{p: p}
+	c := MatchChunk{ID: d.u64()}
+	n := d.count(d.u32(), 20)
+	if n > 0 {
+		c.Matches = make([]MatchRec, n)
+		for i := range c.Matches {
+			c.Matches[i] = MatchRec{Probe: d.u32(), Key: d.u64(), Code: d.u32(), Payload: d.u32()}
+		}
+	}
+	return c, d.fin()
+}
+
+// DecodeRangeChunk decodes a MsgRangeChunk payload.
+func DecodeRangeChunk(p []byte) (RangeChunk, error) {
+	d := dec{p: p}
+	c := RangeChunk{ID: d.u64(), Range: d.u32()}
+	n := d.count(d.u32(), 12)
+	if n > 0 {
+		c.Ents = make([]RangeEnt, n)
+		for i := range c.Ents {
+			c.Ents[i] = RangeEnt{Key: d.u64(), Code: d.u32()}
+		}
+	}
+	return c, d.fin()
+}
+
+// DecodeRangeDone decodes a MsgRangeDone payload.
+func DecodeRangeDone(p []byte) (RangeDone, error) {
+	d := dec{p: p}
+	r := RangeDone{ID: d.u64(), Dropped: d.u8() != 0}
+	return r, d.fin()
+}
+
+// DecodeShed decodes a MsgShed payload.
+func DecodeShed(p []byte) (Shed, error) {
+	d := dec{p: p}
+	s := Shed{ID: d.u64(), Reason: d.u8()}
+	return s, d.fin()
+}
+
+// DecodeErr decodes a MsgErr payload.
+func DecodeErr(p []byte) (string, error) {
+	d := dec{p: p}
+	msg := string(d.bytes(int(d.u16())))
+	return msg, d.fin()
+}
+
+// --- frame reading -------------------------------------------------
+
+// FrameReader reads frames off a stream, reusing one buffer: the
+// payload returned by Next is valid only until the following call.
+type FrameReader struct {
+	r   io.Reader
+	buf []byte
+	max int
+}
+
+// NewFrameReader wraps r (the caller supplies any buffering; max <= 0
+// takes DefaultMaxFrame).
+func NewFrameReader(r io.Reader, max int) *FrameReader {
+	if max <= 0 {
+		max = DefaultMaxFrame
+	}
+	return &FrameReader{r: r, max: max}
+}
+
+// Next reads one frame and returns its type and payload (aliasing the
+// reader's buffer). io.EOF at a frame boundary is a clean end of
+// stream; a partial frame is io.ErrUnexpectedEOF.
+func (fr *FrameReader) Next() (MsgType, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < 1 {
+		return 0, nil, ErrMalformed
+	}
+	if int64(n) > int64(fr.max) {
+		return 0, nil, ErrFrameTooLarge
+	}
+	if cap(fr.buf) < int(n) {
+		fr.buf = make([]byte, n)
+	}
+	fr.buf = fr.buf[:n]
+	if _, err := io.ReadFull(fr.r, fr.buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	return MsgType(fr.buf[0]), fr.buf[1:], nil
+}

@@ -1,0 +1,255 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"slices"
+	"testing"
+)
+
+// Round-trip every frame type through its Append/Decode pair: the
+// protocol has no reflection or code generation, so the pairs only stay
+// in sync because these tests hold them together.
+
+func TestHelloRoundTrip(t *testing.T) {
+	p := AppendHello(nil, Hello{Version: Version, Tenant: "team-a"})
+	h, err := DecodeHello(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Version != Version || h.Tenant != "team-a" {
+		t.Fatalf("got %+v", h)
+	}
+	if _, err := DecodeHello(AppendHello(nil, Hello{Version: 9, Tenant: ""})); err != nil {
+		t.Fatalf("empty tenant should round-trip: %v", err)
+	}
+	// Magic violation is ErrMalformed.
+	bad := slices.Clone(p)
+	bad[0] ^= 0xff
+	if _, err := DecodeHello(bad); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("bad magic: got %v", err)
+	}
+}
+
+func TestHelloAckRoundTrip(t *testing.T) {
+	a, err := DecodeHelloAck(AppendHelloAck(nil, HelloAck{Version: 3, Shards: 12}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Version != 3 || a.Shards != 12 {
+		t.Fatalf("got %+v", a)
+	}
+}
+
+func TestKeyBatchRoundTrip(t *testing.T) {
+	in := KeyBatch{
+		Hdr:  ReqHeader{ID: 42, DeadlineUS: 1500},
+		Keys: []uint64{0, 1, ^uint64(0), 7},
+	}
+	out, err := DecodeKeyBatch(AppendKeyBatch(nil, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Hdr != in.Hdr || !slices.Equal(out.Keys, in.Keys) {
+		t.Fatalf("got %+v want %+v", out, in)
+	}
+	// Zero keys is legal on the wire.
+	out, err = DecodeKeyBatch(AppendKeyBatch(nil, KeyBatch{Hdr: ReqHeader{ID: 1}}))
+	if err != nil || len(out.Keys) != 0 {
+		t.Fatalf("empty batch: %+v, %v", out, err)
+	}
+}
+
+func TestRangeBatchRoundTrip(t *testing.T) {
+	in := RangeBatch{
+		Hdr:    ReqHeader{ID: 9},
+		Ranges: []RangeReq{{Lo: 2, Hi: 100, Limit: 0}, {Lo: 0, Hi: ^uint64(0), Limit: 5}},
+	}
+	out, err := DecodeRangeBatch(AppendRangeBatch(nil, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Hdr != in.Hdr || !slices.Equal(out.Ranges, in.Ranges) {
+		t.Fatalf("got %+v want %+v", out, in)
+	}
+}
+
+func TestWriteBatchRoundTrip(t *testing.T) {
+	in := WriteBatch{
+		Hdr: ReqHeader{ID: 3, DeadlineUS: 10},
+		Ops: []WriteOp{
+			{Kind: WriteInsert, Key: 8, Val: 77},
+			{Kind: WriteDelete, Key: 9},
+		},
+	}
+	out, err := DecodeWriteBatch(AppendWriteBatch(nil, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Hdr != in.Hdr || !slices.Equal(out.Ops, in.Ops) {
+		t.Fatalf("got %+v want %+v", out, in)
+	}
+}
+
+func TestResultFramesRoundTrip(t *testing.T) {
+	res := Results{ID: 5, Res: []Result{{Code: 1, Flags: FlagFound}, {Code: ^uint32(0), Flags: FlagDropped}}}
+	gotR, err := DecodeResults(AppendResults(nil, res))
+	if err != nil || gotR.ID != 5 || !slices.Equal(gotR.Res, res.Res) {
+		t.Fatalf("results: %+v, %v", gotR, err)
+	}
+
+	jr := JoinResults{ID: 6, Res: []JoinRes{{Code: 2, Hits: 3, Agg: 1 << 40, Flags: FlagFound}}}
+	gotJ, err := DecodeJoinResults(AppendJoinResults(nil, jr))
+	if err != nil || gotJ.ID != 6 || !slices.Equal(gotJ.Res, jr.Res) {
+		t.Fatalf("join results: %+v, %v", gotJ, err)
+	}
+
+	mc := MatchChunk{ID: 7, Matches: []MatchRec{{Probe: 0, Key: 4, Code: 2, Payload: 9}}}
+	gotM, err := DecodeMatchChunk(AppendMatchChunk(nil, mc))
+	if err != nil || gotM.ID != 7 || !slices.Equal(gotM.Matches, mc.Matches) {
+		t.Fatalf("match chunk: %+v, %v", gotM, err)
+	}
+
+	rc := RangeChunk{ID: 8, Range: 2, Ents: []RangeEnt{{Key: 10, Code: 5}, {Key: 12, Code: 6}}}
+	gotC, err := DecodeRangeChunk(AppendRangeChunk(nil, rc))
+	if err != nil || gotC.ID != 8 || gotC.Range != 2 || !slices.Equal(gotC.Ents, rc.Ents) {
+		t.Fatalf("range chunk: %+v, %v", gotC, err)
+	}
+
+	rd, err := DecodeRangeDone(AppendRangeDone(nil, RangeDone{ID: 9, Dropped: true}))
+	if err != nil || rd.ID != 9 || !rd.Dropped {
+		t.Fatalf("range done: %+v, %v", rd, err)
+	}
+
+	sh, err := DecodeShed(AppendShed(nil, Shed{ID: 10, Reason: ShedQuota}))
+	if err != nil || sh.ID != 10 || sh.Reason != ShedQuota {
+		t.Fatalf("shed: %+v, %v", sh, err)
+	}
+
+	msg, err := DecodeErr(AppendErr(nil, "boom"))
+	if err != nil || msg != "boom" {
+		t.Fatalf("err frame: %q, %v", msg, err)
+	}
+}
+
+// TestDecodeRejectsTrailingGarbage pins the fin() check: a frame with
+// extra bytes after the advertised content is malformed, not silently
+// accepted — catching encoder/decoder drift.
+func TestDecodeRejectsTrailingGarbage(t *testing.T) {
+	p := AppendKeyBatch(nil, KeyBatch{Hdr: ReqHeader{ID: 1}, Keys: []uint64{2}})
+	p = append(p, 0xee)
+	if _, err := DecodeKeyBatch(p); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("trailing garbage: got %v", err)
+	}
+}
+
+// TestDecodeCountGuard pins the allocation guard: a frame whose count
+// field advertises more elements than its payload could hold must fail
+// before allocating, not after — a 4-byte frame claiming 2^31 keys
+// would otherwise ask for 16 GiB.
+func TestDecodeCountGuard(t *testing.T) {
+	var p []byte
+	p = append(p, 1, 0, 0, 0, 0, 0, 0, 0) // ID
+	p = append(p, 0, 0, 0, 0)             // deadline
+	p = append(p, 0xff, 0xff, 0xff, 0x7f) // count: ~2^31 keys, no key bytes
+	if _, err := DecodeKeyBatch(p); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("lying count: got %v", err)
+	}
+}
+
+func TestFrameReader(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, MsgResults, AppendResults(nil, Results{ID: 1})); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, MsgShed, AppendShed(nil, Shed{ID: 2, Reason: ShedOverload})); err != nil {
+		t.Fatal(err)
+	}
+	fr := NewFrameReader(&buf, 0)
+	tp, p, err := fr.Next()
+	if err != nil || tp != MsgResults {
+		t.Fatalf("frame 1: %v %v", tp, err)
+	}
+	if _, err := DecodeResults(p); err != nil {
+		t.Fatal(err)
+	}
+	tp, p, err = fr.Next()
+	if err != nil || tp != MsgShed {
+		t.Fatalf("frame 2: %v %v", tp, err)
+	}
+	if _, err := DecodeShed(p); err != nil {
+		t.Fatal(err)
+	}
+	// Clean EOF at a frame boundary.
+	if _, _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("eof: got %v", err)
+	}
+}
+
+func TestFrameReaderTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, MsgResults, AppendResults(nil, Results{ID: 1, Res: []Result{{Code: 9}}})); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	// Every proper prefix that isn't empty must yield ErrUnexpectedEOF,
+	// never a short frame or a hang.
+	for cut := 1; cut < len(whole); cut++ {
+		fr := NewFrameReader(bytes.NewReader(whole[:cut]), 0)
+		if _, _, err := fr.Next(); err != io.ErrUnexpectedEOF {
+			t.Fatalf("cut %d: got %v", cut, err)
+		}
+	}
+}
+
+func TestFrameReaderLimit(t *testing.T) {
+	var buf bytes.Buffer
+	payload := make([]byte, 128)
+	if err := WriteFrame(&buf, MsgResults, payload); err != nil {
+		t.Fatal(err)
+	}
+	fr := NewFrameReader(&buf, 64)
+	if _, _, err := fr.Next(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized frame: got %v", err)
+	}
+}
+
+// FuzzWireDecode throws arbitrary bytes at every decoder and at the
+// frame reader. The invariant is total: no panic, no runaway
+// allocation — a malformed frame is an error value, nothing else.
+func FuzzWireDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendHello(nil, Hello{Version: Version, Tenant: "t"}))
+	f.Add(AppendKeyBatch(nil, KeyBatch{Hdr: ReqHeader{ID: 1}, Keys: []uint64{1, 2, 3}}))
+	f.Add(AppendRangeBatch(nil, RangeBatch{Hdr: ReqHeader{ID: 2}, Ranges: []RangeReq{{Lo: 1, Hi: 2}}}))
+	f.Add(AppendWriteBatch(nil, WriteBatch{Hdr: ReqHeader{ID: 3}, Ops: []WriteOp{{Kind: WriteInsert, Key: 1, Val: 2}}}))
+	f.Add(AppendResults(nil, Results{ID: 4, Res: []Result{{Code: 5}}}))
+	f.Add(AppendJoinResults(nil, JoinResults{ID: 5, Res: []JoinRes{{Code: 1}}}))
+	f.Add(AppendMatchChunk(nil, MatchChunk{ID: 6, Matches: []MatchRec{{Key: 1}}}))
+	f.Add(AppendRangeChunk(nil, RangeChunk{ID: 7, Ents: []RangeEnt{{Key: 1}}}))
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, p []byte) {
+		DecodeHello(p)
+		DecodeHelloAck(p)
+		DecodeKeyBatch(p)
+		DecodeRangeBatch(p)
+		DecodeWriteBatch(p)
+		DecodeResults(p)
+		DecodeJoinResults(p)
+		DecodeMatchChunk(p)
+		DecodeRangeChunk(p)
+		DecodeRangeDone(p)
+		DecodeShed(p)
+		DecodeErr(p)
+		// The frame reader over the same bytes: must terminate with a
+		// frame, an error, or EOF — never hang or panic. Cap the frame
+		// size small so a lying length prefix cannot allocate big.
+		fr := NewFrameReader(bytes.NewReader(p), 1<<16)
+		for i := 0; i < 16; i++ {
+			if _, _, err := fr.Next(); err != nil {
+				break
+			}
+		}
+	})
+}

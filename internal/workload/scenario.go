@@ -164,6 +164,7 @@ var (
 		"write": "ycsb-a",
 		"range": "ycsb-e",
 		"join":  "join-heavy",
+		"net":   "net-smoke",
 	}
 )
 
@@ -519,6 +520,11 @@ func init() {
 		name:     "join-heavy",
 		describe: "100% join probes against a skewed build side, vectorized",
 		defaults: def(func(c *ScenarioConfig) { c.JoinFrac, c.Vector = 1, 4096 }),
+	})
+	Register(&coreScenario{
+		name:     "net-smoke",
+		describe: "network smoke: 100% point lookups, zipfian, per-connection wire columns (drive with isiserve -remote against isiserved)",
+		defaults: def(func(c *ScenarioConfig) { c.Vector = 1024 }),
 	})
 	Register(&coreScenario{
 		name:     "range-wide",

@@ -3,7 +3,7 @@ package workload
 import "testing"
 
 func TestRegistryNamesAndAliases(t *testing.T) {
-	want := []string{"join-heavy", "range-wide", "ycsb-a", "ycsb-b", "ycsb-c", "ycsb-d", "ycsb-e", "ycsb-f"}
+	want := []string{"join-heavy", "net-smoke", "range-wide", "ycsb-a", "ycsb-b", "ycsb-c", "ycsb-d", "ycsb-e", "ycsb-f"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("registered %v, want %v", got, want)
@@ -14,7 +14,7 @@ func TestRegistryNamesAndAliases(t *testing.T) {
 		}
 	}
 	for alias, canon := range map[string]string{
-		"smoke": "ycsb-c", "write": "ycsb-a", "range": "ycsb-e", "join": "join-heavy",
+		"smoke": "ycsb-c", "write": "ycsb-a", "range": "ycsb-e", "join": "join-heavy", "net": "net-smoke",
 	} {
 		s, ok := Get(alias)
 		if !ok || s.Name() != canon {
@@ -193,7 +193,7 @@ func TestMixedReportsAdmission(t *testing.T) {
 	}{
 		{"ycsb-a", true}, {"ycsb-b", true}, {"ycsb-c", false},
 		{"ycsb-d", true}, {"ycsb-e", true}, {"ycsb-f", true},
-		{"join-heavy", false}, {"range-wide", false},
+		{"join-heavy", false}, {"range-wide", false}, {"net-smoke", false},
 	}
 	for _, c := range cases {
 		s, _ := Get(c.name)
