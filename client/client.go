@@ -55,6 +55,7 @@ type config struct {
 	coalesceLin time.Duration
 	dialTimeout time.Duration
 	maxFrame    int
+	snapshot    bool
 }
 
 // WithConns sets how many connections the Remote multiplexes over
@@ -86,6 +87,15 @@ func WithCoalesce(maxOps int, linger time.Duration) Option {
 			c.coalesceLin = linger
 		}
 	}
+}
+
+// WithSnapshotReads makes every read this Remote submits (point and
+// vectorized lookups, joins, and ranges) fly with the wire snapshot
+// flag: the server pins each read batch to the atomic-write horizon at
+// admission, so a cross-shard ApplyBatchAtomic is observed all-or-none
+// (the remote twin of serve.WithSnapshotReads). Writes are unaffected.
+func WithSnapshotReads(on bool) Option {
+	return func(c *config) { c.snapshot = on }
 }
 
 // WithDialTimeout bounds each connection's dial+handshake (default 10s).

@@ -317,22 +317,17 @@ func (r *Remote) Quiesce(ctx context.Context) error {
 	for _, c := range r.conns {
 		c.co.flushAll(c)
 	}
-	for {
-		n := 0
-		for _, c := range r.conns {
-			c.pmu.Lock()
-			n += len(c.pending)
-			c.pmu.Unlock()
-		}
-		if n == 0 {
-			return nil
-		}
+	// Each connection's read loop closes drain waiters as its pending set
+	// empties, so the wait is a pure notification — no polling timers, no
+	// worst-case 1ms of added latency per spin.
+	for _, c := range r.conns {
 		select {
+		case <-c.drained():
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(time.Millisecond):
 		}
 	}
+	return nil
 }
 
 // Stats snapshots client-observed traffic.
@@ -353,6 +348,15 @@ func (r *Remote) Stats() Stats {
 
 func (r *Remote) pick() *cconn {
 	return r.conns[int(r.rr.Add(1))%len(r.conns)]
+}
+
+// readFlags returns the request-header flags for read frames
+// (ReqFlagSnapshot when the Remote was dialed WithSnapshotReads).
+func (r *Remote) readFlags() uint8 {
+	if r.cfg.snapshot {
+		return wire.ReqFlagSnapshot
+	}
+	return 0
 }
 
 // finish folds one completed call into the client stats.
@@ -517,7 +521,7 @@ func (r *Remote) SubmitBatch(ctx context.Context, kind serve.OpKind, keys []uint
 	}
 	conn := r.pick()
 	id := conn.register(c)
-	payload := wire.AppendKeyBatch(nil, wire.KeyBatch{Hdr: wire.ReqHeader{ID: id, DeadlineUS: us}, Keys: keys})
+	payload := wire.AppendKeyBatch(nil, wire.KeyBatch{Hdr: wire.ReqHeader{ID: id, DeadlineUS: us, Flags: r.readFlags()}, Keys: keys})
 	conn.sendOrFail(c, id, mt, payload)
 	return &BatchFuture{c: c}
 }
@@ -535,6 +539,19 @@ func (r *Remote) JoinBatch(ctx context.Context, keys []uint64) *BatchFuture {
 // ApplyBatch admits one vectorized write column; see
 // serve.Service.ApplyBatch. Results align with the submission order.
 func (r *Remote) ApplyBatch(ctx context.Context, ops []serve.Op) *BatchFuture {
+	return r.applyBatch(ctx, ops, 0)
+}
+
+// ApplyBatchAtomic admits one vectorized write column with cross-shard
+// atomicity; see serve.Service.ApplyBatchAtomic. The frame flies with
+// the wire atomic flag, so the server installs it as one all-or-none
+// batch regardless of its coalescing config, and snapshot-pinned
+// readers observe either every op or none.
+func (r *Remote) ApplyBatchAtomic(ctx context.Context, ops []serve.Op) *BatchFuture {
+	return r.applyBatch(ctx, ops, wire.ReqFlagAtomic)
+}
+
+func (r *Remote) applyBatch(ctx context.Context, ops []serve.Op, flags uint8) *BatchFuture {
 	wops := make([]wire.WriteOp, len(ops))
 	for i, op := range ops {
 		switch op.Kind {
@@ -558,7 +575,7 @@ func (r *Remote) ApplyBatch(ctx context.Context, ops []serve.Op) *BatchFuture {
 	}
 	conn := r.pick()
 	id := conn.register(c)
-	payload := wire.AppendWriteBatch(nil, wire.WriteBatch{Hdr: wire.ReqHeader{ID: id, DeadlineUS: us}, Ops: wops})
+	payload := wire.AppendWriteBatch(nil, wire.WriteBatch{Hdr: wire.ReqHeader{ID: id, DeadlineUS: us, Flags: flags}, Ops: wops})
 	conn.sendOrFail(c, id, wire.MsgWriteBatch, payload)
 	return &BatchFuture{c: c}
 }
@@ -601,7 +618,7 @@ func (r *Remote) RangeBatch(ctx context.Context, ops []serve.Op) *RangeFuture {
 	}
 	conn := r.pick()
 	id := conn.register(c)
-	payload := wire.AppendRangeBatch(nil, wire.RangeBatch{Hdr: wire.ReqHeader{ID: id, DeadlineUS: us}, Ranges: reqs})
+	payload := wire.AppendRangeBatch(nil, wire.RangeBatch{Hdr: wire.ReqHeader{ID: id, DeadlineUS: us, Flags: r.readFlags()}, Ranges: reqs})
 	conn.sendOrFail(c, id, wire.MsgRangeBatch, payload)
 	return &RangeFuture{c: c}
 }
@@ -623,8 +640,35 @@ type cconn struct {
 
 	pmu     sync.Mutex
 	pending map[uint64]*call
+	// waiters are Quiesce registrations: channels closed (and cleared)
+	// whenever the pending set drains to empty. Guarded by pmu.
+	waiters []chan struct{}
 
 	co coalescer
+}
+
+// drained returns a channel closed when the connection has no in-flight
+// requests (closed immediately if it already has none).
+func (c *cconn) drained() <-chan struct{} {
+	ch := make(chan struct{})
+	c.pmu.Lock()
+	if len(c.pending) == 0 {
+		c.pmu.Unlock()
+		close(ch)
+		return ch
+	}
+	c.waiters = append(c.waiters, ch)
+	c.pmu.Unlock()
+	return ch
+}
+
+// notifyDrained closes registered drain waiters; caller holds pmu with
+// an empty pending set.
+func (c *cconn) notifyDrained() {
+	for _, ch := range c.waiters {
+		close(ch)
+	}
+	c.waiters = nil
 }
 
 func (c *cconn) register(cl *call) uint64 {
@@ -639,6 +683,9 @@ func (c *cconn) take(id uint64) *call {
 	c.pmu.Lock()
 	cl := c.pending[id]
 	delete(c.pending, id)
+	if len(c.pending) == 0 {
+		c.notifyDrained()
+	}
 	c.pmu.Unlock()
 	return cl
 }
@@ -701,6 +748,7 @@ func (c *cconn) failPending() {
 		calls = append(calls, cl)
 		delete(c.pending, id)
 	}
+	c.notifyDrained()
 	c.pmu.Unlock()
 	for _, cl := range calls {
 		cl.failAll(serve.ErrClosed)
@@ -819,7 +867,18 @@ func fromWireResult(e wire.Result) serve.Result {
 
 // coalescer buffers point ops per connection and per class (lookups,
 // joins, writes fly as different frame types), flushing a class when it
-// reaches maxOps and everything pending when the linger timer fires.
+// reaches maxOps and when its linger expires.
+//
+// Timer discipline: each forming frame records its own linger deadline,
+// and at most one timer callback is outstanding (armed). Enqueue arms
+// the timer only when nothing is scheduled; the callback flushes the
+// frames whose deadlines have passed and re-arms for the earliest
+// remaining one. The old single shared Reset-per-frame timer raced its
+// own expiry: a callback already fired (or blocked on the mutex) would
+// steal a frame formed moments earlier, flushing it with ~zero linger,
+// and Reset on a fired AfterFunc timer left a stray second callback in
+// flight. Deadlines make expiry checks explicit, so a stale callback
+// observes a young frame and leaves it alone.
 type coalescer struct {
 	maxOps int
 	linger time.Duration
@@ -827,14 +886,16 @@ type coalescer struct {
 	mu    sync.Mutex
 	bufs  [3]openBuf // indexed by ckLookup/ckJoin/ckWrite
 	timer *time.Timer
+	armed bool // a linger callback is scheduled and has not yet run
 }
 
 // openBuf is one class's forming frame: the call its futures already
 // point at, plus the payload column gathered so far.
 type openBuf struct {
-	c    *call
-	keys []uint64
-	wops []wire.WriteOp
+	c        *call
+	keys     []uint64
+	wops     []wire.WriteOp
+	deadline time.Time // when this frame's linger expires
 }
 
 // enqueue adds one point op, returning its future; may flush inline.
@@ -844,10 +905,17 @@ func (co *coalescer) enqueue(conn *cconn, op serve.Op) *Future {
 	b := &co.bufs[ck]
 	if b.c == nil {
 		b.c = &call{kind: ck, start: time.Now(), point: true, done: make(chan struct{})}
-		if co.timer == nil {
-			co.timer = time.AfterFunc(co.linger, func() { co.flushAll(conn) })
-		} else {
-			co.timer.Reset(co.linger)
+		b.deadline = b.c.start.Add(co.linger)
+		// Deadlines are minted monotonically (always now+linger), so an
+		// already-armed timer fires no later than this frame needs; the
+		// callback re-arms for whatever remains.
+		if !co.armed {
+			if co.timer == nil {
+				co.timer = time.AfterFunc(co.linger, func() { co.onLinger(conn) })
+			} else {
+				co.timer.Reset(co.linger)
+			}
+			co.armed = true
 		}
 	}
 	f := &Future{c: b.c, idx: b.c.n}
@@ -891,7 +959,38 @@ func (co *coalescer) steal(ck int) *flushed {
 	return fl
 }
 
-// flushAll ships every forming frame (linger expiry and Close).
+// onLinger is the timer callback: it flushes every frame whose linger
+// deadline has passed and re-arms for the earliest still-young frame.
+// A frame formed after this callback was scheduled keeps its full
+// linger — its deadline is in the future, so it stays put.
+func (co *coalescer) onLinger(conn *cconn) {
+	now := time.Now()
+	co.mu.Lock()
+	co.armed = false
+	var fls []*flushed
+	var next time.Time
+	for ck := range co.bufs {
+		b := &co.bufs[ck]
+		if b.c == nil {
+			continue
+		}
+		if !b.deadline.After(now) {
+			fls = append(fls, co.steal(ck))
+		} else if next.IsZero() || b.deadline.Before(next) {
+			next = b.deadline
+		}
+	}
+	if !next.IsZero() {
+		co.timer.Reset(time.Until(next))
+		co.armed = true
+	}
+	co.mu.Unlock()
+	for _, fl := range fls {
+		fl.send(conn)
+	}
+}
+
+// flushAll ships every forming frame immediately (Quiesce and Close).
 func (co *coalescer) flushAll(conn *cconn) {
 	co.mu.Lock()
 	var fls []*flushed
@@ -899,6 +998,10 @@ func (co *coalescer) flushAll(conn *cconn) {
 		if fl := co.steal(ck); fl != nil {
 			fls = append(fls, fl)
 		}
+	}
+	if co.armed {
+		co.timer.Stop() // a lost Stop race is fine: the callback finds nothing
+		co.armed = false
 	}
 	co.mu.Unlock()
 	for _, fl := range fls {
@@ -910,6 +1013,9 @@ func (fl *flushed) send(conn *cconn) {
 	fl.c.keys = fl.keys
 	id := conn.register(fl.c)
 	hdr := wire.ReqHeader{ID: id}
+	if fl.ck != ckWrite {
+		hdr.Flags = conn.r.readFlags()
+	}
 	switch fl.ck {
 	case ckLookup:
 		conn.sendOrFail(fl.c, id, wire.MsgLookupBatch, wire.AppendKeyBatch(nil, wire.KeyBatch{Hdr: hdr, Keys: fl.keys}))

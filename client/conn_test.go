@@ -1,0 +1,237 @@
+package client
+
+// In-package race tests for the connection plumbing the e2e suite can't
+// reach deterministically: the point coalescer's add-vs-linger-expiry
+// race (the forming frame must never be flushed out from under a
+// concurrent enqueue, nor double-sent by a stale timer callback) and
+// Quiesce's drain notification (no polling, no lost wakeup). Run with
+// -race; the assertions are completeness — every future completes
+// exactly once with a coherent result.
+
+import (
+	"context"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/wire"
+)
+
+// dialTestRemote spins up a real wire server over a small service and
+// dials it with the given options. Cleanup tears down server then
+// service; the caller closes the Remote.
+func dialTestRemote(t *testing.T, opts ...Option) *Remote {
+	t.Helper()
+	const domainN = 128
+	domain := make([]uint64, domainN)
+	for i := range domain {
+		domain[i] = uint64(i) * 2
+	}
+	brng := rand.New(rand.NewPCG(7, 8))
+	var build []serve.BuildTuple
+	for i := 0; i < 200; i++ {
+		build = append(build, serve.BuildTuple{
+			Key:     uint64(brng.Uint64N(domainN)) * 2,
+			Payload: brng.Uint32N(1000),
+		})
+	}
+	svc, err := serve.New(domain,
+		serve.WithShards(2),
+		serve.WithAdmission(8, 50*time.Microsecond),
+		serve.WithRebuildThreshold(16),
+		serve.WithBuild(build),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := wire.NewServer(svc, wire.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Close()
+	})
+	rm, err := Dial(ln.Addr().String(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rm
+}
+
+// TestCoalescerAddVsLingerRace hammers point submission from several
+// goroutines against a linger short enough that expiry callbacks fire
+// constantly mid-enqueue. Every future must complete with a served
+// (non-dropped, non-shed) result: a frame stolen torn, double-sent, or
+// stranded in a buffer the timer no longer covers all fail here (the
+// stranded case as a hang, bounded by the deadline below).
+func TestCoalescerAddVsLingerRace(t *testing.T) {
+	rm := dialTestRemote(t, WithCoalesce(8, 20*time.Microsecond))
+	defer rm.Close()
+
+	const (
+		workers = 4
+		perW    = 300
+	)
+	futs := make([][]*Future, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(w), 99))
+			for i := 0; i < perW; i++ {
+				key := rng.Uint64N(256)
+				var f *Future
+				switch i % 3 {
+				case 0:
+					f = rm.Go(context.Background(), key)
+				case 1:
+					f = rm.Insert(context.Background(), key, uint32(i))
+				default:
+					f = rm.GoJoin(context.Background(), key)
+				}
+				futs[w] = append(futs[w], f)
+				if i%17 == 0 {
+					// Sit across the linger boundary so expiry callbacks
+					// interleave with fresh frames, not just full flushes.
+					time.Sleep(30 * time.Microsecond)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	deadline := time.After(30 * time.Second)
+	for w := range futs {
+		for i, f := range futs[w] {
+			select {
+			case <-f.c.done:
+			case <-deadline:
+				t.Fatalf("worker %d future %d never completed (frame stranded in coalescer)", w, i)
+			}
+			if err := f.Err(); err != nil {
+				t.Fatalf("worker %d future %d: %v", w, i, err)
+			}
+			if f.Wait().Dropped {
+				t.Fatalf("worker %d future %d dropped", w, i)
+			}
+		}
+	}
+	if got, want := rm.Stats().Ops, uint64(workers*perW); got != want {
+		t.Fatalf("client counted %d served ops, submitted %d", got, want)
+	}
+}
+
+// TestQuiesceDrainsWithoutPolling checks the notification-based
+// Quiesce: idle return is immediate, a loaded Remote drains, and a
+// cancelled ctx aborts the wait instead of deadlocking.
+func TestQuiesceDrainsWithoutPolling(t *testing.T) {
+	rm := dialTestRemote(t, WithConns(2), WithCoalesce(16, 50*time.Microsecond))
+	defer rm.Close()
+
+	// Idle: nothing pending, nothing buffered — must not block.
+	start := time.Now()
+	if err := rm.Quiesce(context.Background()); err != nil {
+		t.Fatalf("idle quiesce: %v", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("idle quiesce took %v", d)
+	}
+
+	// Loaded: buffered point ops plus in-flight vector batches across
+	// both connections; Quiesce must flush the buffers and wait them out.
+	var futs []*Future
+	for i := 0; i < 40; i++ {
+		futs = append(futs, rm.Insert(context.Background(), uint64(i)*2, uint32(i)))
+	}
+	keys := make([]uint64, 32)
+	for i := range keys {
+		keys[i] = uint64(i) * 2
+	}
+	b1 := rm.GoBatch(context.Background(), keys)
+	b2 := rm.JoinBatch(context.Background(), keys)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := rm.Quiesce(ctx); err != nil {
+		t.Fatalf("loaded quiesce: %v", err)
+	}
+	// Post-quiesce every future must already be complete.
+	for i, f := range futs {
+		select {
+		case <-f.c.done:
+		default:
+			t.Fatalf("future %d still pending after Quiesce", i)
+		}
+	}
+	for _, bf := range []*BatchFuture{b1, b2} {
+		select {
+		case <-bf.Done():
+		default:
+			t.Fatal("batch still pending after Quiesce")
+		}
+	}
+
+	// Cancelled ctx: a Quiesce racing live traffic must return ctx.Err
+	// rather than hang when the caller gives up.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				rm.Lookup(context.Background(), 4)
+			}
+		}
+	}()
+	cctx, ccancel := context.WithCancel(context.Background())
+	ccancel()
+	if err := rm.Quiesce(cctx); err != context.Canceled {
+		// A drained instant between frames can legitimately return nil;
+		// only a wrong error is a failure.
+		if err != nil {
+			t.Fatalf("cancelled quiesce: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := rm.Quiesce(context.Background()); err != nil {
+		t.Fatalf("final quiesce: %v", err)
+	}
+}
+
+// TestQuiesceConcurrentWithCompletions stresses the drain-waiter
+// bookkeeping: many Quiesce calls racing request completions must all
+// return without a lost wakeup.
+func TestQuiesceConcurrentWithCompletions(t *testing.T) {
+	rm := dialTestRemote(t, WithCoalesce(4, 20*time.Microsecond))
+	defer rm.Close()
+
+	var wg sync.WaitGroup
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 8; i++ {
+			rm.Go(context.Background(), uint64(i)*2)
+		}
+		for q := 0; q < 3; q++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				defer cancel()
+				if err := rm.Quiesce(ctx); err != nil {
+					t.Errorf("quiesce: %v", err)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}

@@ -152,11 +152,15 @@ type RunResults struct {
 	Series           []SeriesPoint            `json:"series,omitempty"`
 	Inserts          uint64                   `json:"inserts,omitempty"`
 	Deletes          uint64                   `json:"deletes,omitempty"`
-	Rebuilds         uint64                   `json:"rebuilds,omitempty"`
-	RangeQueries     uint64                   `json:"range_queries,omitempty"`
-	RangeEntries     uint64                   `json:"range_entries,omitempty"`
-	FinalGroups      []int                    `json:"final_groups"`
-	Shards           []ShardReport            `json:"shards"`
+	// WriteStalls is serve.Stats.WriteStalls: degraded-mode generation-
+	// backlog ticks. Writes never park, so the stall CI leg gates this
+	// at exactly zero.
+	WriteStalls  uint64        `json:"write_stalls"`
+	Rebuilds     uint64        `json:"rebuilds,omitempty"`
+	RangeQueries uint64        `json:"range_queries,omitempty"`
+	RangeEntries uint64        `json:"range_entries,omitempty"`
+	FinalGroups  []int         `json:"final_groups"`
+	Shards       []ShardReport `json:"shards"`
 }
 
 // seriesSampler snapshots the service's per-op latency windows on a
@@ -306,6 +310,7 @@ func buildReport(cfg RunConfig, st serve.Stats, submitted int, gen, total time.D
 		},
 		Inserts:      st.Inserts,
 		Deletes:      st.Deletes,
+		WriteStalls:  st.WriteStalls,
 		Rebuilds:     st.Rebuilds,
 		RangeEntries: st.RangeEntries,
 	}

@@ -9,8 +9,8 @@ import (
 // lifecycle events, one ring per shard (plus one service-level ring for
 // admission-side events), each stamping a batch's passage through the
 // system — admit → enqueue → drain-start → kernel-done → complete —
-// and the epoch machinery's merge/install and write-stall park/unpark
-// transitions. Recording is allocation-free (one struct copy into a
+// and the epoch machinery's merge/install and degraded-mode backlog
+// ticks. Recording is allocation-free (one struct copy into a
 // pre-sized ring under a ring-local mutex — the writer is almost always
 // the single owning shard goroutine, so the lock is uncontended) and
 // nil-safe, so call sites gate on a single pointer check. Readers copy
@@ -44,10 +44,14 @@ const (
 	// SpanInstall: the shard installed the merged epoch between batches.
 	// Batch is the epoch sequence, Arg the install pause in nanoseconds.
 	SpanInstall
-	// SpanStallPark: the write path parked waiting for an in-flight merge.
+	// SpanStallPark: a degraded-mode tick — a freeze found the frozen-
+	// generation backlog behind the in-flight merge beyond the fence. The
+	// write proceeded (nothing parks since the multi-version rework); N is
+	// the backlog depth. The historical name is kept so span decoders and
+	// dashboards keyed on "stall-park" stay valid.
 	SpanStallPark
-	// SpanStallUnpark: the parked write path resumed. Arg is the parked
-	// time in nanoseconds.
+	// SpanStallUnpark: no longer emitted (the write path never parks);
+	// retained so recorded streams from older builds still decode.
 	SpanStallUnpark
 	// SpanAccept: a network front-end accepted a connection. N is the
 	// live connection count after the accept.

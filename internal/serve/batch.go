@@ -52,6 +52,17 @@ type BatchFuture struct {
 	pending atomic.Int32
 	dropped atomic.Uint64
 	done    chan struct{}
+	// snapSeq is the read horizon (latestSeq = read at the current commit
+	// horizon, loaded per shard segment); snap is an ephemeral pin taken
+	// at admission for an At-variant called with nil, released when the
+	// batch completes.
+	snapSeq uint64
+	snap    *Snap
+	// atomicSeq tags an ApplyBatchAtomic batch (0 = plain): its writes
+	// carry the seq into the deltas and stay invisible until the last
+	// segment lands and svc's commit queue advances the horizon past it.
+	atomicSeq uint64
+	svc       *Service
 }
 
 // Err blocks until the batch completes and reports whether it entered
@@ -115,12 +126,19 @@ func (bf *BatchFuture) Matches() iter.Seq[Match] {
 }
 
 // segDone retires one shard segment, accumulating its dropped count;
-// the last segment completes the batch.
+// the last segment completes the batch. An atomic batch commits its seq
+// (advancing the commit horizon over the contiguous completed prefix)
+// before done closes, so a reader admitted after Wait returns observes
+// the whole batch; an ephemeral admission pin releases here too.
 func (bf *BatchFuture) segDone(dropped uint64) {
 	if dropped > 0 {
 		bf.dropped.Add(dropped)
 	}
 	if bf.pending.Add(-1) == 0 {
+		if bf.atomicSeq != 0 {
+			bf.svc.commits.commit(bf.atomicSeq, &bf.svc.horizon)
+		}
+		bf.snap.Release()
 		close(bf.done)
 	}
 }
@@ -137,16 +155,32 @@ func (bf *BatchFuture) segDone(dropped uint64) {
 // Err() == ErrClosed and nil Results — the admission gate makes the
 // race safe, exactly like the point path. OpJoin requires WithBuild.
 func (s *Service) SubmitBatch(ctx context.Context, kind OpKind, keys []uint64) *BatchFuture {
+	return s.submitBatch(ctx, kind, keys, nil, s.snapReads)
+}
+
+// SubmitBatchAt is SubmitBatch reading at a pinned commit horizon: the
+// batch observes exactly the atomic batches committed at or before the
+// pin, on every shard — all of a cross-shard ApplyBatchAtomic or none
+// of it. Plain writes remain immediately visible (pinning fences atomic
+// batches, it does not give repeatable reads). A nil sn pins the current
+// horizon ephemerally at admission and releases it when the batch
+// completes; a non-nil sn is the caller's to Release.
+func (s *Service) SubmitBatchAt(ctx context.Context, kind OpKind, keys []uint64, sn *Snap) *BatchFuture {
+	return s.submitBatch(ctx, kind, keys, sn, true)
+}
+
+func (s *Service) submitBatch(ctx context.Context, kind OpKind, keys []uint64, sn *Snap, pin bool) *BatchFuture {
 	if kind.IsWrite() {
 		panic("serve: SubmitBatch of write kind " + kind.String() + " (use ApplyBatch)")
 	}
 	s.checkOp(Op{Kind: kind})
 	bf := &BatchFuture{
-		ctx:  ctx,
-		kind: kind,
-		enq:  time.Now(),
-		keys: keys,
-		done: make(chan struct{}),
+		ctx:     ctx,
+		kind:    kind,
+		enq:     time.Now(),
+		keys:    keys,
+		done:    make(chan struct{}),
+		snapSeq: latestSeq,
 	}
 	n := len(keys)
 	s.admitGate.RLock()
@@ -160,6 +194,13 @@ func (s *Service) SubmitBatch(ctx context.Context, kind OpKind, keys []uint64) *
 	if n == 0 {
 		close(bf.done)
 		return bf
+	}
+	if pin {
+		if sn == nil {
+			bf.snap = s.Snapshot()
+			sn = bf.snap
+		}
+		bf.snapSeq = sn.Seq()
 	}
 	bf.res = make([]Result, n)
 	if kind == OpJoin {
@@ -209,11 +250,12 @@ func (s *Service) ApplyBatch(ctx context.Context, ops []Op) *BatchFuture {
 		s.checkOp(op)
 	}
 	bf := &BatchFuture{
-		ctx:  ctx,
-		kind: OpInsert,
-		enq:  time.Now(),
-		ops:  ops,
-		done: make(chan struct{}),
+		ctx:     ctx,
+		kind:    OpInsert,
+		enq:     time.Now(),
+		ops:     ops,
+		done:    make(chan struct{}),
+		snapSeq: latestSeq,
 	}
 	s.admitGate.RLock()
 	defer s.admitGate.RUnlock()
@@ -233,16 +275,90 @@ func (s *Service) ApplyBatch(ctx context.Context, ops []Op) *BatchFuture {
 	return bf
 }
 
+// ApplyBatchAtomic admits one cross-shard atomic write batch: the same
+// validation, ownership, and partitioning as ApplyBatch, but the batch's
+// writes are tagged with a fresh atomic seq and stay invisible — on
+// every shard — until the last segment lands and the commit queue
+// advances the commit horizon past the seq. A snapshot reader (the
+// At-suffixed reads, WithSnapshotReads) therefore observes all of the
+// batch or none of it; a latest reader loads the horizon per shard
+// segment and may see the batch appear between segments.
+//
+// Cancellation is admission-time only: a ctx already cancelled refuses
+// the whole batch (every op Dropped, nothing applied), but once admitted
+// the batch always applies in full — dropping one shard's segment
+// mid-flight would tear the batch and wedge the commit queue. Per-key
+// conflicts resolve by per-shard apply order (last apply wins): a plain
+// write landing after an uncommitted atomic entry shadows it for every
+// reader even if the batch commits later.
+//
+// Wait returns after the commit horizon includes the batch, so a read
+// admitted afterwards — snapshot or latest — observes it.
+func (s *Service) ApplyBatchAtomic(ctx context.Context, ops []Op) *BatchFuture {
+	for _, op := range ops {
+		if !op.Kind.IsWrite() {
+			panic("serve: ApplyBatchAtomic of read kind " + op.Kind.String())
+		}
+		s.checkOp(op)
+	}
+	bf := &BatchFuture{
+		ctx:     ctx,
+		kind:    OpInsert,
+		enq:     time.Now(),
+		ops:     ops,
+		done:    make(chan struct{}),
+		snapSeq: latestSeq,
+	}
+	s.admitGate.RLock()
+	defer s.admitGate.RUnlock()
+	if s.closed.Load() {
+		s.closedDrops.Add(uint64(len(ops)))
+		bf.err = ErrClosed
+		close(bf.done)
+		return bf
+	}
+	if len(ops) == 0 {
+		close(bf.done)
+		return bf
+	}
+	if ctx != nil && ctx.Err() != nil {
+		bf.res = make([]Result, len(ops))
+		for i := range bf.res {
+			bf.res[i] = Result{Code: NotFound, Dropped: true}
+		}
+		bf.dropped.Store(uint64(len(ops)))
+		close(bf.done)
+		return bf
+	}
+	bf.svc = s
+	bf.atomicSeq = s.atomSeq.Add(1)
+	bf.res = make([]Result, len(ops))
+	bf.bounds = partitionByShard(ops, len(s.shards), func(o Op) uint64 { return o.Key })
+	s.dispatchSegments(bf, s.nextBatch(len(ops)))
+	return bf
+}
+
 // GoBatch submits a whole probe column of point lookups:
 // SubmitBatch(ctx, OpLookup, keys).
 func (s *Service) GoBatch(ctx context.Context, keys []uint64) *BatchFuture {
 	return s.SubmitBatch(ctx, OpLookup, keys)
 }
 
+// GoBatchAt is GoBatch at a pinned commit horizon (see SubmitBatchAt).
+func (s *Service) GoBatchAt(ctx context.Context, keys []uint64, sn *Snap) *BatchFuture {
+	return s.SubmitBatchAt(ctx, OpLookup, keys, sn)
+}
+
 // JoinBatch submits a whole probe column of join probes, with streamed
 // per-match payloads available through Matches.
 func (s *Service) JoinBatch(ctx context.Context, keys []uint64) *BatchFuture {
 	return s.SubmitBatch(ctx, OpJoin, keys)
+}
+
+// JoinBatchAt is JoinBatch at a pinned commit horizon (see
+// SubmitBatchAt).
+func (s *Service) JoinBatchAt(ctx context.Context, keys []uint64, sn *Snap) *BatchFuture {
+	return s.SubmitBatchAt(ctx, OpJoin, keys, sn)
 }
 
 // partitionByShard groups items by owning shard with an in-place

@@ -77,17 +77,30 @@ func genStream(seed uint64, n int, keySpace uint64) []diffOp {
 	return ops
 }
 
+// replayCfg tunes one differential replay: the rebuild threshold (small
+// values force delta refills while merges are in flight, stacking
+// generations), and snapEvery routes every Nth clean read through the
+// snapshot-pinned At-variants (0 = all latest). The replay is
+// sequential, so a read pinned at admission must agree with a latest
+// read — and with the oracle — exactly; any divergence is a visibility
+// bug in the pinned path (retained-ring walk, absorbed replay, or the
+// view's horizon filter).
+type replayCfg struct {
+	threshold int
+	snapEvery int
+}
+
 // replayBackend runs the stream sequentially (submit, wait, record)
 // against one backend and returns the per-op results, the ordered
 // entries of every range op (nil for dropped ranges, keyed by stream
 // index), a final vectorized sweep of the whole key space through
 // GoBatch, and a final ordered full-domain range sweep.
-func replayBackend(t *testing.T, kind IndexKind, domain []uint64, stream []diffOp, keySpace uint64) (perOp []Result, perRange [][]RangeEntry, sweep map[uint64]Result, ordered []RangeEntry) {
+func replayBackend(t *testing.T, kind IndexKind, domain []uint64, stream []diffOp, keySpace uint64, cfg replayCfg) (perOp []Result, perRange [][]RangeEntry, sweep map[uint64]Result, ordered []RangeEntry) {
 	t.Helper()
 	s, err := New(domain,
 		WithBackend(kind), WithShards(3),
 		WithAdmission(1, 50*time.Microsecond),
-		WithRebuildThreshold(16), WithSimSeed(99))
+		WithRebuildThreshold(cfg.threshold), WithSimSeed(99))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,14 +115,24 @@ func replayBackend(t *testing.T, kind IndexKind, domain []uint64, stream []diffO
 		if op.cancel {
 			octx = cancelled
 		}
+		snapRead := cfg.snapEvery > 0 && !op.cancel && i%cfg.snapEvery == 0
 		if op.kind == OpRange {
-			rf := s.Range(octx, op.key, op.hi, op.limit)
+			var rf *RangeFuture
+			if snapRead {
+				rf = s.RangeBatchAt(octx, []Op{RangeOp(op.key, op.hi, op.limit)}, nil)
+			} else {
+				rf = s.Range(octx, op.key, op.hi, op.limit)
+			}
 			if rf.Dropped() {
 				perOp[i] = Result{Code: NotFound, Dropped: true}
 			} else {
 				perRange[i] = rf.Collect(0)
 				perOp[i] = Result{Code: uint32(len(perRange[i])), Found: true}
 			}
+			continue
+		}
+		if snapRead && op.kind == OpLookup {
+			perOp[i] = s.GoBatchAt(octx, []uint64{op.key}, nil).Wait()[0]
 			continue
 		}
 		perOp[i] = s.Submit(octx, Op{Kind: op.kind, Key: op.key, Val: op.val}).Wait()
@@ -127,6 +150,8 @@ func replayBackend(t *testing.T, kind IndexKind, domain []uint64, stream []diffO
 	ordered = s.Range(ctx, 0, ^uint64(0), 0).Collect(0)
 	if st := s.Stats(); st.Rebuilds == 0 {
 		t.Fatalf("%s: differential replay forced no epoch rebuilds", kind)
+	} else if st.WriteStalls != 0 {
+		t.Fatalf("%s: differential replay hit the degraded write backlog %d times", kind, st.WriteStalls)
 	}
 	return perOp, perRange, sweep, ordered
 }
@@ -197,7 +222,84 @@ func TestDifferentialBackendsVsOracle(t *testing.T) {
 		stream := genStream(seed, nOps, keySpace)
 		wantOps, wantRanges, wantSweep, wantOrdered := replayOracle(domain, stream, keySpace)
 		for _, kind := range backends {
-			gotOps, gotRanges, gotSweep, gotOrdered := replayBackend(t, kind, domain, stream, keySpace)
+			gotOps, gotRanges, gotSweep, gotOrdered := replayBackend(t, kind, domain, stream, keySpace, replayCfg{threshold: 16, snapEvery: 4})
+			for i := range stream {
+				if gotOps[i] != wantOps[i] {
+					t.Fatalf("seed %d %s op %d (%+v): got %+v, oracle %+v",
+						seed, kind, i, stream[i], gotOps[i], wantOps[i])
+				}
+				if !slices.Equal(gotRanges[i], wantRanges[i]) {
+					t.Fatalf("seed %d %s op %d: range [%d,%d] limit %d: got %v, oracle %v",
+						seed, kind, i, stream[i].key, stream[i].hi, stream[i].limit,
+						gotRanges[i], wantRanges[i])
+				}
+			}
+			for k, want := range wantSweep {
+				if gotSweep[k] != want {
+					t.Fatalf("seed %d %s sweep key %d: got %+v, oracle %+v",
+						seed, kind, k, gotSweep[k], want)
+				}
+			}
+			if !slices.Equal(gotOrdered, wantOrdered) {
+				t.Fatalf("seed %d %s: ordered full-range sweep diverged (%d entries vs %d)",
+					seed, kind, len(gotOrdered), len(wantOrdered))
+			}
+		}
+	}
+}
+
+// genBurstStream is genStream with write bursts spliced in: every ~25
+// ops, a run of 12-20 consecutive inserts/deletes over a narrow key
+// window. With a tiny rebuild threshold each burst refills the delta
+// several times while the previous freeze's merge is still in flight,
+// so the replay constantly runs with multiple frozen generations
+// stacked — the exact pressure the old machinery answered by parking.
+func genBurstStream(seed uint64, n int, keySpace uint64) []diffOp {
+	rng := rand.New(rand.NewPCG(seed^0x5eed, seed*2654435761))
+	base := genStream(seed, n, keySpace)
+	var ops []diffOp
+	for i, op := range base {
+		ops = append(ops, op)
+		if i%25 != 24 {
+			continue
+		}
+		lo := rng.Uint64N(keySpace)
+		for b := 12 + rng.Uint64N(9); b > 0; b-- {
+			burst := diffOp{key: lo + rng.Uint64N(20)}
+			if rng.Uint64N(4) == 0 {
+				burst.kind = OpDelete
+			} else {
+				burst.kind = OpInsert
+				burst.val = rng.Uint32N(1 << 30)
+			}
+			ops = append(ops, burst)
+		}
+	}
+	return ops
+}
+
+// TestDifferentialRefillPressureVsOracle replays write-burst streams
+// with a rebuild threshold of 4, forcing delta refills during every
+// rebuild (multiple generations queued behind in-flight merges), with
+// every other clean read routed through the snapshot-pinned paths. All
+// three backends must agree with the oracle op for op — and never count
+// a write stall, because writes must not stall under exactly this load.
+func TestDifferentialRefillPressureVsOracle(t *testing.T) {
+	seeds := []uint64{11, 12}
+	nOps := 500
+	if testing.Short() {
+		seeds, nOps = []uint64{11}, 300
+	}
+	const keySpace = 200
+	var domain []uint64
+	for k := uint64(0); k < keySpace/2; k += 3 {
+		domain = append(domain, k)
+	}
+	for _, seed := range seeds {
+		stream := genBurstStream(seed, nOps, keySpace)
+		wantOps, wantRanges, wantSweep, wantOrdered := replayOracle(domain, stream, keySpace)
+		for _, kind := range []IndexKind{NativeSorted, SimMain, SimTree} {
+			gotOps, gotRanges, gotSweep, gotOrdered := replayBackend(t, kind, domain, stream, keySpace, replayCfg{threshold: 4, snapEvery: 2})
 			for i := range stream {
 				if gotOps[i] != wantOps[i] {
 					t.Fatalf("seed %d %s op %d (%+v): got %+v, oracle %+v",

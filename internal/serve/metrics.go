@@ -89,14 +89,18 @@ type shardMetrics struct {
 	lat [nOpClasses]obs.Histogram
 
 	// Write-path counters: applied writes, time spent applying them, the
-	// delta-size gauge, write stalls (waits for an in-flight merge), and
-	// the epoch rebuilds with their install pauses.
+	// delta-size gauge, degraded-mode write-stall ticks (generation
+	// backlog beyond the fence — writes never park anymore), the frozen-
+	// generation and retained-epoch depth gauges, and the epoch rebuilds
+	// with their install pauses.
 	inserts      obs.Counter
 	deletes      obs.Counter
 	wBusyNS      obs.Counter
 	stalls       obs.Counter
 	stallNS      obs.Counter
 	deltaLen     obs.Gauge
+	genDepth     obs.Gauge
+	retainedEp   obs.Gauge
 	epoch        obs.Gauge
 	rebuilds     obs.Counter
 	rebuildNS    obs.Counter
@@ -126,6 +130,8 @@ func (m *shardMetrics) register(reg *obs.Registry, shard int) {
 	reg.RegisterCounter(obs.Name("serve_write_stalls", "shard", s), &m.stalls)
 	reg.RegisterCounter(obs.Name("serve_write_stall_ns", "shard", s), &m.stallNS)
 	reg.RegisterGauge(obs.Name("serve_delta_len", "shard", s), &m.deltaLen)
+	reg.RegisterGauge(obs.Name("serve_frozen_gens", "shard", s), &m.genDepth)
+	reg.RegisterGauge(obs.Name("serve_retained_epochs", "shard", s), &m.retainedEp)
 	reg.RegisterGauge(obs.Name("serve_epoch", "shard", s), &m.epoch)
 	reg.RegisterCounter(obs.Name("serve_rebuilds", "shard", s), &m.rebuilds)
 	reg.RegisterCounter(obs.Name("serve_rebuild_ns", "shard", s), &m.rebuildNS)
@@ -167,12 +173,19 @@ func (m *shardMetrics) recordWriteBusy(busy time.Duration) {
 	m.wBusyNS.Add(uint64(busy))
 }
 
-// recordWriteStall counts one write stall: the write path parked until
-// an in-flight background merge landed.
-func (m *shardMetrics) recordWriteStall(d time.Duration) {
+// recordWriteStall counts one degraded-mode tick: a generation froze
+// while the backlog behind the in-flight merge already exceeded the
+// fence. Nothing waited — the write proceeded — so no duration is
+// recorded; stallNS stays registered (and zero) for exposition
+// continuity with the old parking write path.
+func (m *shardMetrics) recordWriteStall() {
 	m.stalls.Add(1)
-	m.stallNS.Add(uint64(d))
 }
+
+// setGenDepth / setRetained refresh the frozen-generation queue depth
+// and retained-epoch ring depth gauges.
+func (m *shardMetrics) setGenDepth(n int) { m.genDepth.Set(int64(n)) }
+func (m *shardMetrics) setRetained(n int) { m.retainedEp.Set(int64(n)) }
 
 func (m *shardMetrics) recordJoins(joins, hits uint64) {
 	if joins == 0 {
@@ -282,17 +295,24 @@ type ShardStats struct {
 	P50, P99 time.Duration
 	PerOp    OpLatencies
 	// Inserts and Deletes count applied writes (included in Items);
-	// WriteBusy the time spent applying them (including stalls and any
-	// piggybacked installs); DeltaLen is the live write-delta size after
-	// the most recent write or install. WriteStalls counts writes that
-	// parked for an in-flight background merge (the ~2×-threshold
-	// LSM-style backpressure), WriteStall their total parked time.
-	Inserts     uint64
-	Deletes     uint64
-	WriteBusy   time.Duration
-	WriteStalls uint64
-	WriteStall  time.Duration
-	DeltaLen    int
+	// WriteBusy the time spent applying them (including any piggybacked
+	// installs); DeltaLen is the live write-delta size after the most
+	// recent write or install. WriteStalls is a degraded-mode counter: a
+	// refilling delta now freezes another generation instead of parking
+	// the shard, and the counter only ticks when a freeze finds the
+	// generation backlog behind the in-flight merge beyond the fence.
+	// WriteStall (total parked time) is always zero since the never-stall
+	// rework; it is retained for report compatibility. FrozenGens is the
+	// current frozen-generation queue depth, RetainedEpochs the
+	// multi-version retained-epoch ring depth after the last reclaim.
+	Inserts        uint64
+	Deletes        uint64
+	WriteBusy      time.Duration
+	WriteStalls    uint64
+	WriteStall     time.Duration
+	DeltaLen       int
+	FrozenGens     int
+	RetainedEpochs int
 	// Epoch is the published snapshot sequence (0 = the domain New was
 	// built over); Rebuilds counts installed epoch rebuilds, with
 	// RebuildPause the total and MaxRebuildPause the worst single
@@ -324,6 +344,8 @@ func (m *shardMetrics) snapshot(id int) ShardStats {
 		WriteStalls:     m.stalls.Load(),
 		WriteStall:      time.Duration(m.stallNS.Load()),
 		DeltaLen:        int(m.deltaLen.Load()),
+		FrozenGens:      int(m.genDepth.Load()),
+		RetainedEpochs:  int(m.retainedEp.Load()),
 		Epoch:           uint64(m.epoch.Load()),
 		Rebuilds:        m.rebuilds.Load(),
 		RebuildPause:    time.Duration(m.rebuildNS.Load()),
@@ -414,8 +436,9 @@ type Stats struct {
 	P50, P99 time.Duration
 	PerOp    OpLatencies
 	// Inserts/Deletes count applied writes service-wide, WriteBusy their
-	// total apply time; WriteStalls/WriteStall the write-path stalls for
-	// in-flight merges; Rebuilds the installed epoch rebuilds,
+	// total apply time; WriteStalls the degraded-mode generation-backlog
+	// ticks (writes never park; WriteStall is always zero and retained
+	// for report compatibility); Rebuilds the installed epoch rebuilds,
 	// RebuildPause their total install pause and MaxRebuildPause the
 	// worst single pause on any shard.
 	Inserts         uint64

@@ -19,7 +19,7 @@ import (
 // Each shard scans its epoch snapshot through its backend kernel (the
 // interleaved native.RangeCursor, the SimMain sorted-array scan behind
 // an interleaved lower-bound seek, or the SimTree leaf walk), three-way
-// merges the scan with its live and frozen write deltas (newest wins,
+// merges the scan with its delta view's parts (newest wins,
 // tombstones mask — the point composite of delta.go, ordered), and
 // parks its sorted per-range entries on the RangeFuture. The caller
 // streams the final result through a k-way merge over the per-shard
@@ -42,7 +42,11 @@ type RangeFuture struct {
 	ops []Op
 	// ents[shard][r] holds shard's sorted entries for range r — written
 	// only by that shard's goroutine, read after done closes.
-	ents    [][][]RangeEntry
+	ents [][][]RangeEntry
+	// snapSeq is the atomic-batch visibility cut the scans drain at:
+	// latestSeq for latest reads (each shard loads the horizon at drain).
+	snapSeq uint64
+	snap    *Snap // auto-taken pin, released when the batch completes
 	err     error // ErrClosed when the submission never entered the service
 	pending atomic.Int32
 	dropped atomic.Uint64
@@ -128,6 +132,7 @@ func (rf *RangeFuture) segDone(dropped uint64) {
 		rf.dropped.Add(dropped)
 	}
 	if rf.pending.Add(-1) == 0 {
+		rf.snap.Release()
 		close(rf.done)
 	}
 }
@@ -148,14 +153,27 @@ func (s *Service) Range(ctx context.Context, lo, hi uint64, limit int) *RangeFut
 // shards' scans (Dropped reports it). A submission racing or following
 // Close completes immediately with Err() == ErrClosed — the admission
 // gate makes the race safe, like the other vectorized paths. Non-range
-// kinds panic.
+// kinds panic. Under WithSnapshotReads the batch drains at a pinned
+// commit horizon (see RangeBatchAt).
 func (s *Service) RangeBatch(ctx context.Context, ops []Op) *RangeFuture {
+	return s.rangeBatch(ctx, ops, nil, s.snapReads)
+}
+
+// RangeBatchAt is RangeBatch draining at a pinned commit horizon: the
+// scans observe exactly the atomic batches with seq <= sn.Seq() on
+// every shard. A nil sn pins the current horizon for the batch's
+// lifetime (released automatically on completion).
+func (s *Service) RangeBatchAt(ctx context.Context, ops []Op, sn *Snap) *RangeFuture {
+	return s.rangeBatch(ctx, ops, sn, true)
+}
+
+func (s *Service) rangeBatch(ctx context.Context, ops []Op, sn *Snap, pin bool) *RangeFuture {
 	for _, op := range ops {
 		if op.Kind != OpRange {
 			panic("serve: RangeBatch of non-range kind " + op.Kind.String())
 		}
 	}
-	rf := &RangeFuture{ctx: ctx, enq: time.Now(), ops: ops, done: make(chan struct{})}
+	rf := &RangeFuture{ctx: ctx, enq: time.Now(), ops: ops, snapSeq: latestSeq, done: make(chan struct{})}
 	s.admitGate.RLock()
 	defer s.admitGate.RUnlock()
 	if s.closed.Load() {
@@ -167,6 +185,13 @@ func (s *Service) RangeBatch(ctx context.Context, ops []Op) *RangeFuture {
 	if len(ops) == 0 {
 		close(rf.done)
 		return rf
+	}
+	if pin {
+		if sn == nil {
+			rf.snap = s.Snapshot()
+			sn = rf.snap
+		}
+		rf.snapSeq = sn.Seq()
 	}
 	rf.ents = make([][][]RangeEntry, len(s.shards))
 	rf.pending.Store(int32(len(s.shards)))
@@ -187,10 +212,12 @@ func lowerBound(part []writeEntry, lo uint64) int {
 // countInRange counts the view's entries with lo ≤ key ≤ hi — the bound
 // by which a delta can stretch a limited range's snapshot demand (every
 // tombstone may mask one snapshot entry), so the kernel limit for a
-// range with Limit L is L + countInRange.
+// range with Limit L is L + countInRange. Invisible entries (atomic
+// batches past the view's cut) are counted too: the bound only needs to
+// be an over-estimate, and counting blind keeps the loop branch-free.
 func (dv deltaView) countInRange(lo, hi uint64) int {
 	n := 0
-	for _, part := range [2][]writeEntry{dv.live, dv.frozen} {
+	for _, part := range dv.parts {
 		for i := lowerBound(part, lo); i < len(part) && part[i].key <= hi; i++ {
 			n++
 		}
@@ -198,23 +225,27 @@ func (dv deltaView) countInRange(lo, hi uint64) int {
 	return n
 }
 
-// mergeRange three-way merges one shard's snapshot scan with its write
-// deltas over [lo, hi]: ascending key order, live delta over frozen
-// delta over snapshot at equal keys (newest wins), tombstones masking
-// the key entirely, truncated at limit when limit > 0. snap must be
-// sorted and already within [lo, hi] (the kernel guarantees both).
+// mergeRange k-way merges one shard's snapshot scan with its delta
+// parts over [lo, hi]: ascending key order, the first visible entry in
+// part order supplying each key (parts are newest-first, so newest
+// wins), tombstones masking the key entirely, truncated at limit when
+// limit > 0. Entries hidden by the view's visibility cut (uncommitted
+// or post-snapshot atomic batches) are skipped as if absent. snap must
+// be sorted and already within [lo, hi] (the kernel guarantees both).
 // Entries are appended to out (normally nil) and returned.
 func mergeRange(dv deltaView, snap []native.Pair, lo, hi uint64, limit int, out []RangeEntry) []RangeEntry {
-	live := dv.live[lowerBound(dv.live, lo):]
-	frozen := dv.frozen[lowerBound(dv.frozen, lo):]
-	li, fi, si := 0, 0, 0
+	parts := dv.parts
+	pos := make([]int, len(parts))
+	for p, part := range parts {
+		pos[p] = lowerBound(part, lo)
+	}
+	si := 0
 	for limit <= 0 || len(out) < limit {
 		bestKey, any := uint64(0), false
-		if li < len(live) && live[li].key <= hi {
-			bestKey, any = live[li].key, true
-		}
-		if fi < len(frozen) && frozen[fi].key <= hi && (!any || frozen[fi].key < bestKey) {
-			bestKey, any = frozen[fi].key, true
+		for p, part := range parts {
+			if pos[p] < len(part) && part[pos[p]].key <= hi && (!any || part[pos[p]].key < bestKey) {
+				bestKey, any = part[pos[p]].key, true
+			}
 		}
 		if si < len(snap) && (!any || snap[si].Key < bestKey) {
 			bestKey, any = snap[si].Key, true
@@ -222,19 +253,18 @@ func mergeRange(dv deltaView, snap []native.Pair, lo, hi uint64, limit int, out 
 		if !any {
 			break
 		}
-		// Consume every stream sitting on bestKey; the newest (live, then
-		// frozen) supplies the entry, older versions are shadowed.
+		// Consume every part's whole version chain at bestKey; the first
+		// visible entry in part order (newest part, arrival-newest head)
+		// supplies the key, everything older is shadowed.
 		var e writeEntry
 		fromDelta := false
-		if li < len(live) && live[li].key == bestKey {
-			e, fromDelta = live[li], true
-			li++
-		}
-		if fi < len(frozen) && frozen[fi].key == bestKey {
-			if !fromDelta {
-				e, fromDelta = frozen[fi], true
+		for p, part := range parts {
+			for pos[p] < len(part) && part[pos[p]].key == bestKey {
+				if !fromDelta && dv.visible(part[pos[p]]) {
+					e, fromDelta = part[pos[p]], true
+				}
+				pos[p]++
 			}
-			fi++
 		}
 		if si < len(snap) && snap[si].Key == bestKey {
 			if !fromDelta {

@@ -34,8 +34,8 @@ func sortedRange(m map[uint64]uint32, lo, hi uint64, limit int) []RangeEntry {
 	return out
 }
 
-// TestMergeRangeVsOracle drives the shard-side three-way merge (live
-// delta over frozen delta over snapshot, tombstones masking, limit
+// TestMergeRangeVsOracle drives the shard-side k-way merge (newer delta
+// part over older part over snapshot, tombstones masking, limit
 // truncation) against a map oracle over randomized states.
 func TestMergeRangeVsOracle(t *testing.T) {
 	rng := rand.New(rand.NewPCG(42, 43))
@@ -59,9 +59,9 @@ func TestMergeRangeVsOracle(t *testing.T) {
 				switch rng.Uint64N(6) {
 				case 0:
 					v := rng.Uint32N(1000)
-					d = applyWriteEntry(d, k, v, false)
+					d = applyWriteEntry(d, k, v, false, 0)
 				case 1:
-					d = applyWriteEntry(d, k, 0, true)
+					d = applyWriteEntry(d, k, 0, true, 0)
 				}
 			}
 			return d
@@ -94,7 +94,7 @@ func TestMergeRangeVsOracle(t *testing.T) {
 				snap = append(snap, p)
 			}
 		}
-		got := mergeRange(deltaView{live: live, frozen: frozen}, snap, lo, hi, limit, nil)
+		got := mergeRange(deltaView{parts: [][]writeEntry{live, frozen}}, snap, lo, hi, limit, nil)
 		want := sortedRange(m, lo, hi, limit)
 		if !slices.Equal(got, want) {
 			t.Fatalf("iter %d [%d,%d] limit %d:\n got %v\nwant %v\nlive %v\nfrozen %v\nsnap %v",

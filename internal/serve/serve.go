@@ -23,9 +23,19 @@
 // delta probed delta-then-main by the same coroutine drains that serve
 // reads, and a background epoch manager bulk-merges full deltas into the
 // shard's index, publishing merged snapshots through an atomic epoch
-// pointer (delta.go, epoch.go). Reads never block on writes; a write
-// stalls only when its shard's delta refills before the previous rebuild
-// installs.
+// pointer (delta.go, epoch.go). Reads never block on writes, and writes
+// never block on merges: a delta that refills before the previous
+// rebuild installs freezes another generation and keeps going.
+//
+// Epochs are multi-versioned: each shard retains its last few installed
+// snapshots behind a grace-period reclaimer, so a reader can pin the
+// commit horizon at admission (Snapshot / the At-suffixed submission
+// variants / WithSnapshotReads) and drain against a consistent
+// cross-shard view. Plain writes are visible to every reader the moment
+// they land; the pinned horizon only fences atomic batches
+// (ApplyBatchAtomic), which become visible everywhere at once when their
+// seq commits — a snapshot reader observes all of a cross-shard atomic
+// batch or none of it.
 //
 // Either way, requests are hash-partitioned across per-core shards
 // (vectorized batches are partitioned in place) and drained through the
@@ -191,6 +201,12 @@ type Future struct {
 	err     error // ErrClosed when the submission never entered the service
 	done    chan struct{}
 	dropped bool // set by the owning shard before done closes
+	// snapSeq is the read horizon: latestSeq (read at the current commit
+	// horizon, the default) or the pinned seq a WithSnapshotReads
+	// admission batch captured. snapRef releases that batch's shared pin
+	// once every future of the batch completes.
+	snapSeq uint64
+	snapRef *snapRef
 }
 
 // Op returns the submitted operation.
@@ -346,10 +362,11 @@ func (c Config) withDefaults() Config {
 type Option func(*options)
 
 type options struct {
-	cfg      Config
-	build    []BuildTuple
-	hasBuild bool
-	obsv     *obs.Observer
+	cfg       Config
+	build     []BuildTuple
+	hasBuild  bool
+	snapReads bool
+	obsv      *obs.Observer
 }
 
 // WithConfig replaces the service configuration wholesale (zero fields
@@ -394,6 +411,16 @@ func WithRebuildThreshold(n int) Option {
 	return func(o *options) { o.cfg.RebuildThreshold = n }
 }
 
+// WithSnapshotReads makes every read admission pin the commit horizon at
+// admission time: each sealed point batch, vectorized read batch, and
+// range batch drains against the horizon it was admitted under, so a
+// cross-shard atomic batch (ApplyBatchAtomic) is observed all-or-none.
+// Plain writes stay immediately visible regardless. Equivalent to
+// routing every read through the At-suffixed variants with a nil Snap.
+func WithSnapshotReads(on bool) Option {
+	return func(o *options) { o.snapReads = on }
+}
+
 // WithBuild declares a build-side relation (possibly empty), making this
 // a join service: each shard owns, next to its dictionary partition, a
 // real-memory hash table over the build tuples whose keys hash to it,
@@ -430,6 +457,17 @@ type Service struct {
 	closed    atomic.Bool
 	closeOnce sync.Once
 	hasBuild  bool
+	snapReads bool
+
+	// Multi-version machinery: horizon is the commit horizon — every
+	// atomic batch with seq <= horizon is fully applied on every shard;
+	// atomSeq mints atomic batch seqs; commits advances the horizon over
+	// the contiguous committed prefix; pins tracks live snapshot pins for
+	// the shards' grace-period epoch reclaim.
+	horizon atomic.Uint64
+	atomSeq atomic.Uint64
+	commits commitQueue
+	pins    pinSet
 
 	// admitGate serializes the vectorized and range admission paths
 	// against Close: SubmitBatch/ApplyBatch/RangeBatch dispatch straight
@@ -533,7 +571,8 @@ func New(values []uint64, opts ...Option) (*Service, error) {
 	// Construct every shard's index before starting any goroutine, so a
 	// backend construction error returns without leaking the epoch
 	// manager or half a shard fleet.
-	s := &Service{cfg: cfg, hasBuild: o.hasBuild, obsv: o.obsv}
+	s := &Service{cfg: cfg, hasBuild: o.hasBuild, snapReads: o.snapReads, obsv: o.obsv}
+	s.pins.init()
 	if o.obsv != nil {
 		s.admit = o.obsv.Ring("admit")
 		o.obsv.Registry().RegisterCounter("serve_dropped_shed", &s.shedDrops)
@@ -546,7 +585,8 @@ func New(values []uint64, opts ...Option) (*Service, error) {
 			ctl:       newController(cfg),
 			met:       &shardMetrics{},
 			rebuildAt: cfg.RebuildThreshold,
-			installed: make(chan struct{}, 1),
+			hz:        &s.horizon,
+			pins:      &s.pins,
 		}
 		if o.obsv != nil {
 			sh.attachObserver(o.obsv, cfg.Kind.String())
@@ -562,6 +602,8 @@ func New(values []uint64, opts ...Option) (*Service, error) {
 			ep.idx = idx
 		}
 		sh.epoch.Store(ep)
+		sh.retained = []*epochState{ep}
+		sh.met.setRetained(1)
 		sh.met.group.Set(int64(cfg.Group))
 		s.shards = append(s.shards, sh)
 	}
@@ -591,7 +633,7 @@ func New(values []uint64, opts ...Option) (*Service, error) {
 // key); concurrent clients race at admission as usual.
 func (s *Service) Submit(ctx context.Context, op Op) *Future {
 	s.checkOp(op)
-	f := &Future{op: op, ctx: ctx, enq: time.Now(), done: make(chan struct{})}
+	f := &Future{op: op, ctx: ctx, enq: time.Now(), done: make(chan struct{}), snapSeq: latestSeq}
 	if s.closed.Load() || !s.b.add(f) {
 		s.closedDrops.Inc()
 		f.fail(ErrClosed)
@@ -685,9 +727,20 @@ func (s *Service) Delete(ctx context.Context, key uint64) *Future {
 
 // dispatch hash-partitions one sealed admission batch into per-shard
 // sub-batches. Sends block when a shard queue is full — admission
-// back-pressure.
+// back-pressure. Under WithSnapshotReads the sealed batch pins the
+// commit horizon once, shared by every future in it and released when
+// the last one completes; the pin happens here (after admission
+// succeeded) so refused futures never pin.
 func (s *Service) dispatch(batch []*Future) {
 	id := s.nextBatch(len(batch))
+	if s.snapReads && len(batch) > 0 {
+		ref := &snapRef{sn: s.Snapshot()}
+		ref.n.Store(int32(len(batch)))
+		for _, f := range batch {
+			f.snapSeq = ref.sn.Seq()
+			f.snapRef = ref
+		}
+	}
 	subs := make([][]*Future, len(s.shards))
 	for _, f := range batch {
 		i := shardOf(f.op.Key, len(s.shards))

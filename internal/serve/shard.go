@@ -35,15 +35,22 @@ type shard struct {
 	met   *shardMetrics
 
 	// Write state (shard goroutine only, except the pendingInstall slot
-	// the epoch manager fills and the installed channel it signals).
-	delta          []writeEntry // live sorted write buffer
-	frozen         []writeEntry // delta snapshot being merged, nil when idle
-	rebuildAt      int          // freeze threshold; <= 0 disables rebuilds
-	em             *epochManager
+	// the epoch manager fills).
+	delta     []writeEntry   // live sorted write buffer
+	gens      [][]writeEntry // frozen generations queued for merge, oldest→newest
+	merging   int            // generations covered by the in-flight merge; 0 = idle
+	rebuildAt int            // freeze threshold; <= 0 disables rebuilds
+	em        *epochManager
+	// retained is the multi-version epoch ring, oldest→newest; the last
+	// entry is always the current epoch. Shard goroutine only — pinned
+	// readers drain on this goroutine too, so no locking.
+	retained       []*epochState
 	pendingInstall atomic.Pointer[installMsg]
-	// installed carries one token per parked install: the write-stall
-	// path parks on it instead of burning a core polling pendingInstall.
-	installed chan struct{}
+	// hz/pins alias the service's commit horizon and snapshot pin set.
+	hz   *atomic.Uint64
+	pins *pinSet
+	// viewParts is the scratch part list viewAt rebuilds per drain run.
+	viewParts [][]writeEntry
 
 	// Point-path scratch, reused across sub-batches (shard-local).
 	keys []uint64
@@ -131,16 +138,18 @@ func (sh *shard) run(wg *sync.WaitGroup) {
 }
 
 // applyOp applies one write to the live delta and returns its
-// acknowledgement result. Shard goroutine only.
-func (sh *shard) applyOp(op Op) Result {
+// acknowledgement result. seq is 0 for a plain (immediately visible)
+// write, or the atomic batch tag the entry becomes visible at. Shard
+// goroutine only.
+func (sh *shard) applyOp(op Op, seq uint64) Result {
 	switch op.Kind {
 	case OpInsert:
-		sh.delta = applyWriteEntry(sh.delta, op.Key, op.Val, false)
+		sh.delta = applyWriteEntry(sh.delta, op.Key, op.Val, false, seq)
 		sh.met.recordInsert(len(sh.delta))
 		sh.maybeRebuild()
 		return Result{Code: op.Val, Found: true}
 	default: // OpDelete
-		sh.delta = applyWriteEntry(sh.delta, op.Key, 0, true)
+		sh.delta = applyWriteEntry(sh.delta, op.Key, 0, true, seq)
 		sh.met.recordDelete(len(sh.delta))
 		sh.maybeRebuild()
 		return Result{Code: NotFound}
@@ -175,7 +184,7 @@ func (sh *shard) drainPoint(sub []*Future, id uint64) {
 		}
 		if f.op.Kind.IsWrite() {
 			t0 := time.Now()
-			f.res = sh.applyOp(f.op)
+			f.res = sh.applyOp(f.op, 0)
 			writeBusy += time.Since(t0)
 			writes++
 			i++
@@ -211,6 +220,9 @@ func (sh *shard) drainPoint(sub []*Future, id uint64) {
 			sh.met.recordLatency(classOf(f.op.Kind), now.Sub(f.enq))
 		}
 		close(f.done)
+		if f.snapRef != nil {
+			f.snapRef.done()
+		}
 	}
 	sh.ring.Record(obs.SpanComplete, sh.id, id, len(sub), int64(dropped))
 	// Kernel metrics (batch size, group, busy, drain rate) count only
@@ -230,15 +242,18 @@ func (sh *shard) drainPoint(sub []*Future, id uint64) {
 
 // drainReadRun drains one run of point reads (dropped futures in the
 // run are skipped through the schedulers' nil-start contract) against
-// the current epoch snapshot and delta view, completing their result
-// fields. Both are loaded per run, not per sub-batch: a write between
-// runs can install a pending epoch (the write-stall path), and a read
-// after it must probe the post-install pair or it would miss the writes
-// the merge just retired from the delta. It returns the run's kernel
-// cost and counts the live reads into n.
+// the epoch snapshot and delta view of the run's read horizon,
+// completing their result fields. The view is built per run, not per
+// sub-batch: a write between runs can install a pending epoch, and a
+// read after it must probe the post-install pair or it would miss the
+// writes the merge just retired from the delta. It returns the run's
+// kernel cost and counts the live reads into n.
 func (sh *shard) drainReadRun(run []*Future, g int, n *int) float64 {
-	ep := sh.epoch.Load()
-	dv := deltaView{live: sh.delta, frozen: sh.frozen}
+	at := run[0].snapSeq // uniform per sealed admission batch
+	if at == latestSeq {
+		at = sh.hz.Load()
+	}
+	ep, dv := sh.viewAt(at)
 	if ep.joinIdx != nil {
 		for _, f := range run {
 			if !f.dropped {
@@ -283,10 +298,14 @@ func (sh *shard) drainReadRun(run []*Future, g int, n *int) float64 {
 // cancelled is dropped whole: it never reaches the kernel or the delta.
 // Write segments (ApplyBatch) apply in op order as one unit — other
 // batches on this shard observe all of the segment's writes or none.
+// Atomic write segments (ApplyBatchAtomic) skip the cancellation fast
+// path: their context was checked at admission, and dropping one shard's
+// segment after admission would tear the batch and wedge the commit
+// queue behind its never-arriving seq.
 func (sh *shard) drainSegment(bf *BatchFuture, lo, hi int, id uint64) {
 	n := hi - lo
 	sh.ring.Record(obs.SpanDrainStart, sh.id, id, n, 0)
-	if bf.ctx != nil && bf.ctx.Err() != nil {
+	if bf.ctx != nil && bf.ctx.Err() != nil && bf.atomicSeq == 0 {
 		for i := lo; i < hi; i++ {
 			bf.res[i] = Result{Code: NotFound, Dropped: true}
 		}
@@ -300,28 +319,31 @@ func (sh *shard) drainSegment(bf *BatchFuture, lo, hi int, id uint64) {
 		bf.segDone(uint64(n))
 		return
 	}
-	ep := sh.epoch.Load()
 	g := sh.ctl.Group()
 	t0 := time.Now()
 	var cost float64
 	var joins, hits uint64
-	switch {
-	case bf.ops != nil:
+	if bf.ops != nil {
 		for i := lo; i < hi; i++ {
-			bf.res[i] = sh.applyOp(bf.ops[i])
+			bf.res[i] = sh.applyOp(bf.ops[i], bf.atomicSeq)
 		}
-	case ep.joinIdx != nil:
-		dv := deltaView{live: sh.delta, frozen: sh.frozen}
-		cost = ep.joinIdx.drainSegment(dv, bf, sh.id, lo, hi, g)
-		if bf.kind == OpJoin {
-			joins = uint64(n)
-			for i := lo; i < hi; i++ {
-				hits += uint64(bf.jres[i].Hits)
+	} else {
+		at := bf.snapSeq
+		if at == latestSeq {
+			at = sh.hz.Load()
+		}
+		ep, dv := sh.viewAt(at)
+		if ep.joinIdx != nil {
+			cost = ep.joinIdx.drainSegment(dv, bf, sh.id, lo, hi, g)
+			if bf.kind == OpJoin {
+				joins = uint64(n)
+				for i := lo; i < hi; i++ {
+					hits += uint64(bf.jres[i].Hits)
+				}
 			}
+		} else {
+			cost = ep.idx.lookupBatch(dv, bf.keys[lo:hi], g, bf.res[lo:hi])
 		}
-	default:
-		dv := deltaView{live: sh.delta, frozen: sh.frozen}
-		cost = ep.idx.lookupBatch(dv, bf.keys[lo:hi], g, bf.res[lo:hi])
 	}
 	busy := time.Since(t0)
 	sh.ring.Record(obs.SpanKernelDone, sh.id, id, n, int64(busy))
@@ -357,8 +379,11 @@ func (sh *shard) drainRange(rf *RangeFuture, id uint64) {
 		rf.segDone(uint64(nops))
 		return
 	}
-	ep := sh.epoch.Load()
-	dv := deltaView{live: sh.delta, frozen: sh.frozen}
+	at := rf.snapSeq
+	if at == latestSeq {
+		at = sh.hz.Load()
+	}
+	ep, dv := sh.viewAt(at)
 	g := sh.ctl.Group()
 	if cap(sh.rangePairs) < nops {
 		// Grow with carry-over: the old headers hold the per-range pair

@@ -16,6 +16,7 @@ import (
 	"math/rand/v2"
 	"net"
 	"slices"
+	"sync"
 	"testing"
 	"time"
 
@@ -509,5 +510,143 @@ func TestBadHandshake(t *testing.T) {
 	defer rm.Close()
 	if r := rm.Lookup(context.Background(), 4); !r.Found {
 		t.Fatalf("post-garbage lookup: %+v", r)
+	}
+}
+
+// TestE2ESnapshotAtomicity drives the new header flags end to end: a
+// Remote dialed WithSnapshotReads races vector lookups and range scans
+// against a writer issuing cross-shard ApplyBatchAtomic batches that
+// rewrite every key to a uniform version. Snapshot-pinned readers must
+// never observe a torn batch — every key found at the same version —
+// across the full encode → admit → pin → drain → decode path.
+func TestE2ESnapshotAtomicity(t *testing.T) {
+	svc := testService(t, nil)
+	defer svc.Close()
+	addr := startServer(t, svc, wire.Config{})
+	rm, err := client.Dial(addr, client.WithSnapshotReads(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rm.Close()
+
+	// Fresh keys off the build domain, spread over the 3 shards.
+	keys := make([]uint64, 9)
+	for i := range keys {
+		keys[i] = 5000 + uint64(i)*7
+	}
+	const rounds = 25
+
+	// uniform asserts all-or-none at a single version and returns it.
+	uniform := func(t *testing.T, who string, found []uint32) uint32 {
+		t.Helper()
+		if len(found) == 0 {
+			return 0
+		}
+		v := found[0]
+		for _, f := range found[1:] {
+			if f != v {
+				t.Errorf("%s: torn atomic batch: versions %d and %d visible together", who, v, f)
+				return v
+			}
+		}
+		if len(found) != len(keys) {
+			t.Errorf("%s: partial batch: %d of %d keys at version %d", who, len(found), len(keys), v)
+		}
+		return v
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var lookupMax, rangeMax uint32
+	wg.Add(2)
+	go func() { // snapshot-pinned vector lookups
+		defer wg.Done()
+		var last uint32
+		for {
+			select {
+			case <-stop:
+				lookupMax = last
+				return
+			default:
+			}
+			res := rm.GoBatch(context.Background(), keys).Wait()
+			var found []uint32
+			for _, e := range res {
+				if e.Dropped {
+					t.Error("lookup dropped without a deadline")
+					return
+				}
+				if e.Found {
+					found = append(found, e.Code)
+				}
+			}
+			if v := uniform(t, "lookup", found); v != 0 {
+				if v < last {
+					t.Errorf("lookup went back in time: %d after %d", v, last)
+					return
+				}
+				last = v
+			}
+		}
+	}()
+	go func() { // snapshot-pinned range scans over the same window
+		defer wg.Done()
+		var last uint32
+		for {
+			select {
+			case <-stop:
+				rangeMax = last
+				return
+			default:
+			}
+			rf := rm.Range(context.Background(), keys[0], keys[len(keys)-1]+1, 0)
+			ents := rf.Collect(0)
+			if rf.Dropped() {
+				t.Error("range dropped without a deadline")
+				return
+			}
+			var found []uint32
+			for _, e := range ents {
+				found = append(found, e.Code)
+			}
+			if v := uniform(t, "range", found); v != 0 {
+				if v < last {
+					t.Errorf("range went back in time: %d after %d", v, last)
+					return
+				}
+				last = v
+			}
+		}
+	}()
+
+	for v := uint32(1); v <= rounds; v++ {
+		ops := make([]serve.Op, len(keys))
+		for i, k := range keys {
+			ops[i] = serve.Op{Kind: serve.OpInsert, Key: k, Val: v}
+		}
+		bf := rm.ApplyBatchAtomic(context.Background(), ops)
+		if err := bf.Err(); err != nil {
+			t.Fatalf("atomic batch %d: %v", v, err)
+		}
+		if d := bf.Dropped(); d != 0 {
+			t.Fatalf("atomic batch %d: %d ops dropped", v, d)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if lookupMax == 0 && rangeMax == 0 {
+		t.Fatal("readers never observed any committed batch")
+	}
+
+	// After the last batch is acknowledged, a fresh snapshot read must
+	// land on the final version for every key.
+	res := rm.GoBatch(context.Background(), keys).Wait()
+	for i, e := range res {
+		if !e.Found || e.Code != rounds {
+			t.Fatalf("final read key %d: %+v, want version %d", keys[i], e, rounds)
+		}
 	}
 }

@@ -579,6 +579,27 @@ func (c *conn) respondLookup(ctx context.Context, b KeyBatch) {
 		defer cancel()
 	}
 	out := make([]Result, len(b.Keys))
+	if b.Hdr.Flags&ReqFlagSnapshot != 0 {
+		// A snapshot read must drain as ONE pinned batch — point
+		// coalescing would scatter the keys across admission batches with
+		// different pins — so the flag forces the vectorized path.
+		orig := append([]uint64(nil), b.Keys...)
+		bf := c.srv.svc.GoBatchAt(ctx, b.Keys, nil)
+		res := bf.Wait()
+		if bf.Err() != nil {
+			c.shed(b.Hdr.ID, ShedClosed, 0)
+			return
+		}
+		byKey := make(map[uint64]Result, len(res))
+		for j, k := range bf.Keys() {
+			byKey[k] = toWireResult(res[j])
+		}
+		for i, k := range orig {
+			out[i] = byKey[k]
+		}
+		c.respond(b.Hdr.ID, MsgResults, AppendResults(nil, Results{ID: b.Hdr.ID, Res: out}), len(out))
+		return
+	}
 	if len(b.Keys) < c.srv.cfg.CoalesceBelow {
 		futs := make([]*serve.Future, len(b.Keys))
 		for i, k := range b.Keys {
@@ -624,7 +645,12 @@ func (c *conn) respondJoin(ctx context.Context, b KeyBatch) {
 			firstIdx[k] = uint32(i)
 		}
 	}
-	bf := c.srv.svc.JoinBatch(ctx, b.Keys)
+	var bf *serve.BatchFuture
+	if b.Hdr.Flags&ReqFlagSnapshot != 0 {
+		bf = c.srv.svc.JoinBatchAt(ctx, b.Keys, nil)
+	} else {
+		bf = c.srv.svc.JoinBatch(ctx, b.Keys)
+	}
 	part := bf.Keys()
 	chunk := make([]MatchRec, 0, c.srv.cfg.ChunkSize)
 	flush := func() {
@@ -672,8 +698,39 @@ func (c *conn) respondJoin(ctx context.Context, b KeyBatch) {
 // coarsening: ApplyBatch reports drops per batch, not per op, so a
 // partially dropped vectorized write frame acks every op as dropped
 // (the protocol's contract: remote writes must be idempotent to retry).
+// A ReqFlagAtomic frame always goes through ApplyBatchAtomic as one
+// batch, whatever its size: snapshot readers see it all-or-nothing.
 func (c *conn) respondWrite(ctx context.Context, b WriteBatch) {
 	out := make([]Result, len(b.Ops))
+	if b.Hdr.Flags&ReqFlagAtomic != 0 {
+		ops := make([]serve.Op, len(b.Ops))
+		for i, o := range b.Ops {
+			if o.Kind == WriteInsert {
+				ops[i] = serve.Op{Kind: serve.OpInsert, Key: o.Key, Val: o.Val}
+			} else {
+				ops[i] = serve.Op{Kind: serve.OpDelete, Key: o.Key}
+			}
+		}
+		bf := c.srv.svc.ApplyBatchAtomic(ctx, ops)
+		bf.Wait()
+		if bf.Err() != nil {
+			c.shed(b.Hdr.ID, ShedClosed, 0)
+			return
+		}
+		dropped := bf.Dropped() > 0
+		for i, o := range b.Ops {
+			switch {
+			case dropped:
+				out[i] = Result{Code: serve.NotFound, Flags: FlagDropped}
+			case o.Kind == WriteInsert:
+				out[i] = Result{Code: o.Val, Flags: FlagFound}
+			default:
+				out[i] = Result{Code: serve.NotFound}
+			}
+		}
+		c.respond(b.Hdr.ID, MsgResults, AppendResults(nil, Results{ID: b.Hdr.ID, Res: out}), len(out))
+		return
+	}
 	if len(b.Ops) < c.srv.cfg.CoalesceBelow {
 		futs := make([]*serve.Future, len(b.Ops))
 		for i, o := range b.Ops {
@@ -728,7 +785,12 @@ func (c *conn) respondRange(ctx context.Context, b RangeBatch) {
 	for i, r := range b.Ranges {
 		ops[i] = serve.RangeOp(r.Lo, r.Hi, int(r.Limit))
 	}
-	rf := c.srv.svc.RangeBatch(ctx, ops)
+	var rf *serve.RangeFuture
+	if b.Hdr.Flags&ReqFlagSnapshot != 0 {
+		rf = c.srv.svc.RangeBatchAt(ctx, ops, nil)
+	} else {
+		rf = c.srv.svc.RangeBatch(ctx, ops)
+	}
 	chunk := make([]RangeEnt, 0, c.srv.cfg.ChunkSize)
 	for i := range ops {
 		for e := range rf.Entries(i) {

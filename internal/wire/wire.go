@@ -11,7 +11,7 @@
 //	frame    := u32 length | u8 type | payload       (length = 1 + len(payload))
 //	hello    := u32 magic | u16 version | u16 n | n×tenant bytes
 //	helloack := u16 version | u16 shards
-//	header   := u64 id | u32 deadline_us              (0 = no deadline)
+//	header   := u64 id | u32 deadline_us | u8 flags   (0 = no deadline)
 //	keys     := header | u32 n | n×u64                (lookup and join batches)
 //	ranges   := header | u32 n | n×(u64 lo | u64 hi | u32 limit)
 //	writes   := header | u32 n | n×(u8 kind | u64 key | u32 val)
@@ -41,8 +41,9 @@ import (
 const Magic uint32 = 0x77697369
 
 // Version is the protocol revision this package speaks. The handshake
-// refuses a client whose version the server does not know.
-const Version uint16 = 1
+// refuses a client whose version the server does not know. Version 2
+// added the request-header flags byte (snapshot-pinned reads).
+const Version uint16 = 2
 
 // DefaultMaxFrame bounds a frame's encoded length (16 MiB): the decoder
 // refuses anything longer before buffering it, so a corrupt length
@@ -160,12 +161,25 @@ type HelloAck struct {
 	Shards  uint16
 }
 
+// Request-header flag bits.
+const (
+	// ReqFlagSnapshot asks the server to drain the read at a pinned
+	// commit horizon (serve's At-variants): the batch observes every
+	// cross-shard atomic write batch all-or-nothing. Ignored on writes.
+	ReqFlagSnapshot uint8 = 1 << 0
+	// ReqFlagAtomic asks the server to apply a write batch atomically
+	// (serve.ApplyBatchAtomic): snapshot readers see all of the frame's
+	// writes or none, across shards. Ignored on reads.
+	ReqFlagAtomic uint8 = 1 << 1
+)
+
 // ReqHeader correlates a request with its responses (ID is
 // client-assigned, unique per connection) and carries the optional
-// relative deadline in microseconds (0 = none).
+// relative deadline in microseconds (0 = none) plus the ReqFlag* bits.
 type ReqHeader struct {
 	ID         uint64
 	DeadlineUS uint32
+	Flags      uint8
 }
 
 // KeyBatch is a lookup or join probe column (the MsgType distinguishes).
@@ -308,7 +322,8 @@ func AppendHelloAck(dst []byte, a HelloAck) []byte {
 
 func appendHeader(dst []byte, h ReqHeader) []byte {
 	dst = binary.LittleEndian.AppendUint64(dst, h.ID)
-	return binary.LittleEndian.AppendUint32(dst, h.DeadlineUS)
+	dst = binary.LittleEndian.AppendUint32(dst, h.DeadlineUS)
+	return append(dst, h.Flags)
 }
 
 // AppendKeyBatch encodes a KeyBatch payload (for MsgLookupBatch or
@@ -502,7 +517,7 @@ func (d *dec) fin() error {
 }
 
 func (d *dec) header() ReqHeader {
-	return ReqHeader{ID: d.u64(), DeadlineUS: d.u32()}
+	return ReqHeader{ID: d.u64(), DeadlineUS: d.u32(), Flags: d.u8()}
 }
 
 // DecodeHello decodes a MsgHello payload, checking the magic.

@@ -165,6 +165,7 @@ var (
 		"range": "ycsb-e",
 		"join":  "join-heavy",
 		"net":   "net-smoke",
+		"stall": "write-storm",
 	}
 )
 
@@ -525,6 +526,16 @@ func init() {
 		name:     "net-smoke",
 		describe: "network smoke: 100% point lookups, zipfian, per-connection wire columns (drive with isiserve -remote against isiserved)",
 		defaults: def(func(c *ScenarioConfig) { c.Vector = 1024 }),
+	})
+	Register(&coreScenario{
+		name: "write-storm",
+		describe: "stall-provoking write storm: 90% inserts (half fresh) / 10% reads, uniform — " +
+			"sized so the live delta refills during every epoch merge; the CI leg gates WriteStalls == 0",
+		defaults: def(func(c *ScenarioConfig) {
+			c.Dist = "uniform"
+			c.InsertFrac, c.FreshFrac = 0.9, 0.5
+			c.MissFrac = 0
+		}),
 	})
 	Register(&coreScenario{
 		name:     "range-wide",

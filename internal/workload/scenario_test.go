@@ -3,7 +3,7 @@ package workload
 import "testing"
 
 func TestRegistryNamesAndAliases(t *testing.T) {
-	want := []string{"join-heavy", "net-smoke", "range-wide", "ycsb-a", "ycsb-b", "ycsb-c", "ycsb-d", "ycsb-e", "ycsb-f"}
+	want := []string{"join-heavy", "net-smoke", "range-wide", "write-storm", "ycsb-a", "ycsb-b", "ycsb-c", "ycsb-d", "ycsb-e", "ycsb-f"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("registered %v, want %v", got, want)
@@ -14,7 +14,7 @@ func TestRegistryNamesAndAliases(t *testing.T) {
 		}
 	}
 	for alias, canon := range map[string]string{
-		"smoke": "ycsb-c", "write": "ycsb-a", "range": "ycsb-e", "join": "join-heavy", "net": "net-smoke",
+		"smoke": "ycsb-c", "write": "ycsb-a", "range": "ycsb-e", "join": "join-heavy", "net": "net-smoke", "stall": "write-storm",
 	} {
 		s, ok := Get(alias)
 		if !ok || s.Name() != canon {
