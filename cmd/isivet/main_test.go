@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestCleanTreeExitsZero runs the suite over the conforming testdata
+// module: no findings, exit 0.
+func TestCleanTreeExitsZero(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run("testdata/clean", []string{"./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d on clean module; stdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if out.Len() > 0 {
+		t.Errorf("unexpected findings on clean module:\n%s", out.String())
+	}
+}
+
+// TestSeededViolationsAllCaught runs the suite over the module seeded
+// with one violation per analyzer: every analyzer must fire and the
+// exit code must be non-zero.
+func TestSeededViolationsAllCaught(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run("testdata/seeded", []string{"./..."}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d on seeded module, want 1; stdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	got := out.String()
+	for _, an := range Analyzers {
+		if !strings.Contains(got, ": "+an.Name+": ") {
+			t.Errorf("analyzer %s reported nothing on the seeded module; output:\n%s", an.Name, got)
+		}
+	}
+	if n := strings.Count(got, "\n"); n != 4 {
+		t.Errorf("want exactly 4 findings (one per analyzer), got %d:\n%s", n, got)
+	}
+}
+
+// TestBinaryExitCodes builds and execs the real binary, pinning the
+// documented exit statuses end to end.
+func TestBinaryExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exec smoke skipped in -short (the CI isivet job runs the binary over the real tree)")
+	}
+	bin := t.TempDir() + "/isivet"
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building isivet: %v\n%s", err, out)
+	}
+	if out, err := exec.Command(bin, "-C", "testdata/clean", "./...").CombinedOutput(); err != nil {
+		t.Errorf("clean module: %v\n%s", err, out)
+	}
+	err := exec.Command(bin, "-C", "testdata/seeded", "./...").Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Errorf("seeded module: err = %v, want exit status 1", err)
+	}
+}

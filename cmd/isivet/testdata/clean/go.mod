@@ -1,0 +1,3 @@
+module clean
+
+go 1.24

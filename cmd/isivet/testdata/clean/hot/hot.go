@@ -1,0 +1,49 @@
+// Package hot mirrors the seeded module with every contract honored:
+// cmd/isivet must exit 0 here.
+package hot
+
+import (
+	"context"
+	"sync/atomic"
+
+	"clean/obs"
+)
+
+type shard struct {
+	seq     uint64
+	scratch []uint64
+	ring    *obs.Ring
+}
+
+// drain reuses its scratch and records through the self-gated ring.
+//
+//isi:hotpath
+func (s *shard) drain(n int) {
+	if n > len(s.scratch) {
+		n = len(s.scratch)
+	}
+	for i := 0; i < n; i++ {
+		s.scratch[i] = atomic.AddUint64(&s.seq, 1)
+	}
+	s.ring.Record(n)
+}
+
+// grow is the cold path: allocation is fine outside //isi:hotpath.
+func (s *shard) grow(n int) {
+	s.scratch = make([]uint64, n)
+}
+
+// observe gates the non-nil-safe observer with one pointer check.
+func observe(o *obs.Observer) {
+	if o != nil {
+		o.Ring().Record(1)
+	}
+}
+
+// current reads seq the same way next writes it.
+func (s *shard) current() uint64 { return atomic.LoadUint64(&s.seq) }
+
+func (s *shard) next() uint64 { return atomic.AddUint64(&s.seq, 1) }
+
+// lookup takes and uses its context first.
+func lookup(ctx context.Context, key uint64) error { return ctx.Err() }

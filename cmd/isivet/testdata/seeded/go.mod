@@ -1,0 +1,3 @@
+module seeded
+
+go 1.24

@@ -1,0 +1,36 @@
+// Package hot seeds exactly one violation per analyzer, so the smoke
+// test can assert cmd/isivet catches all four kinds and exits non-zero.
+package hot
+
+import (
+	"context"
+	"sync/atomic"
+
+	"seeded/obs"
+)
+
+type shard struct {
+	seq     uint64
+	scratch []uint64
+}
+
+// drain violates hotpathalloc: a make inside a //isi:hotpath function.
+//
+//isi:hotpath
+func (s *shard) drain(n int) {
+	s.scratch = make([]uint64, n)
+}
+
+// observe violates obsgate: no nil check dominates the Observer call.
+func observe(o *obs.Observer) {
+	o.Ring().Record(1)
+}
+
+// current violates atomicfield: seq is advanced atomically in next but
+// read plainly here.
+func (s *shard) current() uint64 { return s.seq }
+
+func (s *shard) next() uint64 { return atomic.AddUint64(&s.seq, 1) }
+
+// lookup violates ctxfirst: the context arrives second.
+func lookup(key uint64, ctx context.Context) error { return ctx.Err() }

@@ -1,0 +1,19 @@
+// Package obs is the smoke suite's miniature observability package.
+package obs
+
+// Ring is a recorder; nil means disabled.
+type Ring struct{ n int }
+
+// Record is self-gated.
+func (r *Ring) Record(v int) {
+	if r == nil {
+		return
+	}
+	r.n += v
+}
+
+// Observer hands out rings and is NOT nil-safe.
+type Observer struct{ ring Ring }
+
+// Ring returns the observer's ring.
+func (o *Observer) Ring() *Ring { return &o.ring }

@@ -1,0 +1,272 @@
+// Package atomicfield enforces atomic-access discipline on struct
+// fields:
+//
+//   - a field accessed through an old-style sync/atomic function
+//     (atomic.LoadUint64(&s.f), atomic.AddInt64(&s.f, 1), ...)
+//     anywhere in the module must never be read or written plainly —
+//     mixing atomic and plain access is a data race the race detector
+//     only catches when both sides happen to run;
+//   - such a field, when 64 bits wide, must sit at an 8-byte-aligned
+//     offset under 32-bit layout (the sync/atomic bugs section:
+//     misaligned 64-bit atomics fault on 386/arm). Typed atomics
+//     (atomic.Int64, atomic.Uint64) embed align64 and are exempt;
+//   - a struct that carries atomic state (typed sync/atomic values or
+//     old-style atomic fields) must not have value-receiver methods —
+//     the receiver copy tears the atomics it was supposed to share.
+//
+// //isi:allow-atomic(reason) suppresses a finding.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/isivet"
+)
+
+// Analyzer is the atomic-field discipline checker.
+var Analyzer = &isivet.Analyzer{
+	Name:  "atomicfield",
+	Doc:   "fields accessed via sync/atomic must never be accessed plainly, 64-bit atomics must be alignment-safe, atomic-bearing structs must not be copied by value receivers",
+	Allow: "atomic",
+	Run:   run,
+}
+
+func run(pass *isivet.Pass) error {
+	fields := atomicFields(pass.Prog)
+	checkPlainAccess(pass, fields)
+	checkAlignment(pass, fields)
+	checkValueReceivers(pass, fields)
+	return nil
+}
+
+// atomicUse records one old-style atomic access of a field.
+type atomicUse struct {
+	pos   token.Position
+	is64  bool
+	first bool
+}
+
+// atomicFields scans the whole module for old-style sync/atomic calls
+// taking &struct.field and returns the accessed field objects with one
+// representative use site each.
+func atomicFields(prog *isivet.Program) map[*types.Var]*atomicUse {
+	out := make(map[*types.Var]*atomicUse)
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, ok := oldStyleAtomic(pkg.Info, call)
+				if !ok {
+					return true
+				}
+				fv := fieldArg(pkg.Info, call)
+				if fv == nil {
+					return true
+				}
+				if u := out[fv]; u == nil {
+					out[fv] = &atomicUse{
+						pos:  prog.Fset.Position(call.Pos()),
+						is64: strings.HasSuffix(name, "64"),
+					}
+				} else if strings.HasSuffix(name, "64") {
+					u.is64 = true
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// oldStyleAtomic reports whether the call is a package-level sync/atomic
+// function (not a typed-atomic method) and returns its name.
+func oldStyleAtomic(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := isivet.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return "", false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return "", false // methods of atomic.Int64 etc. are always safe
+	}
+	return fn.Name(), true
+}
+
+// fieldArg returns the struct field whose address is the call's first
+// argument (&x.f), or nil.
+func fieldArg(info *types.Info, call *ast.CallExpr) *types.Var {
+	if len(call.Args) == 0 {
+		return nil
+	}
+	u, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil
+	}
+	sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		return s.Obj().(*types.Var)
+	}
+	return nil
+}
+
+// checkPlainAccess reports selector accesses of atomic fields in the
+// target package that are not themselves &-args of atomic calls.
+func checkPlainAccess(pass *isivet.Pass, fields map[*types.Var]*atomicUse) {
+	if len(fields) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		// First pass: selectors legitimately consumed as &x.f by an
+		// atomic call.
+		atomicArgs := make(map[*ast.SelectorExpr]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if _, ok := oldStyleAtomic(pass.Info, call); !ok {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			if u, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr); ok && u.Op == token.AND {
+				if sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr); ok {
+					atomicArgs[sel] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicArgs[sel] {
+				return true
+			}
+			s, ok := pass.Info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			fv, ok := s.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			use, isAtomic := fields[fv]
+			if !isAtomic {
+				return true
+			}
+			pass.Reportf(sel.Sel.Pos(),
+				"plain access of field %s, which is accessed atomically at %s:%d — mixing atomic and plain access races",
+				fv.Name(), use.pos.Filename, use.pos.Line)
+			return true
+		})
+	}
+}
+
+// checkAlignment verifies 64-bit old-style atomic fields sit at
+// 8-byte-aligned offsets under 32-bit (GOARCH=386) struct layout, where
+// the compiler only guarantees 4-byte alignment for the struct itself.
+// Reported in the package that declares the struct.
+func checkAlignment(pass *isivet.Pass, fields map[*types.Var]*atomicUse) {
+	sizes32 := types.SizesFor("gc", "386")
+	scope := pass.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		if named, ok := tn.Type().(*types.Named); !ok || named.TypeParams().Len() > 0 {
+			continue // generic types have no concrete layout to check
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		var fvs []*types.Var
+		for i := 0; i < st.NumFields(); i++ {
+			fvs = append(fvs, st.Field(i))
+		}
+		if len(fvs) == 0 {
+			continue
+		}
+		offsets := sizes32.Offsetsof(fvs)
+		for i, fv := range fvs {
+			use, isAtomic := fields[fv]
+			if !isAtomic || !use.is64 {
+				continue
+			}
+			if offsets[i]%8 != 0 {
+				pass.Reportf(fv.Pos(),
+					"64-bit atomic field %s is at offset %d under 32-bit layout; place it first (or after another 8-byte-aligned field), or use atomic.Uint64/atomic.Int64 which embed align64",
+					fv.Name(), offsets[i])
+			}
+		}
+	}
+}
+
+// checkValueReceivers reports value-receiver methods on types whose
+// struct (transitively) carries atomic state.
+func checkValueReceivers(pass *isivet.Pass, fields map[*types.Var]*atomicUse) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			rt := pass.TypeOf(fd.Recv.List[0].Type)
+			if rt == nil {
+				continue
+			}
+			if _, isPtr := rt.(*types.Pointer); isPtr {
+				continue
+			}
+			if why := carriesAtomic(rt, fields, nil); why != "" {
+				pass.Reportf(fd.Name.Pos(),
+					"method %s has a value receiver but %s %s; the receiver copy tears it — use a pointer receiver",
+					fd.Name.Name, rt, why)
+			}
+		}
+	}
+}
+
+// carriesAtomic reports how t transitively contains atomic state:
+// a typed sync/atomic value, or a field accessed via old-style atomics.
+// Empty string means it does not.
+func carriesAtomic(t types.Type, fields map[*types.Var]*atomicUse, seen []types.Type) string {
+	for _, s := range seen {
+		if types.Identical(s, t) {
+			return ""
+		}
+	}
+	seen = append(seen, t)
+	if named, ok := t.(*types.Named); ok {
+		if obj := named.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" {
+			return "is sync/atomic." + obj.Name()
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			fv := u.Field(i)
+			if _, ok := fields[fv]; ok {
+				return "contains field " + fv.Name() + ", accessed via sync/atomic"
+			}
+			if why := carriesAtomic(fv.Type(), fields, seen); why != "" {
+				if strings.HasPrefix(why, "is ") {
+					return "contains field " + fv.Name() + ", which " + why
+				}
+				return why
+			}
+		}
+	case *types.Array:
+		return carriesAtomic(u.Elem(), fields, seen)
+	}
+	return ""
+}

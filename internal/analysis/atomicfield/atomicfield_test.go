@@ -1,0 +1,12 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atomicfield"
+	"repro/internal/analysis/isivet"
+)
+
+func TestAtomicField(t *testing.T) {
+	isivet.RunTest(t, "testdata", atomicfield.Analyzer, "./...")
+}

@@ -1,0 +1,70 @@
+// Package a exercises atomicfield: mixed atomic/plain access, 32-bit
+// alignment of 64-bit old-style atomics, value receivers on
+// atomic-bearing structs, and //isi:allow-atomic suppression.
+package a
+
+import "sync/atomic"
+
+// stats mixes a bool before a 64-bit old-style atomic: offset 4 under
+// 32-bit layout.
+type stats struct {
+	flag bool
+	hits uint64 // want `64-bit atomic field hits is at offset 4 under 32-bit layout`
+	mode uint32
+}
+
+func (s *stats) bump() { atomic.AddUint64(&s.hits, 1) }
+
+func (s *stats) ok() uint64 { return atomic.LoadUint64(&s.hits) }
+
+func (s *stats) read() uint64 { return s.hits } // want `plain access of field hits`
+
+func (s *stats) reset() { s.hits = 0 } // want `plain access of field hits`
+
+// total has a value receiver over atomic state: the copy tears it.
+func (s stats) total() uint64 { // want `method total has a value receiver`
+	return atomic.LoadUint64(&s.hits)
+}
+
+// drainLocked documents why its plain read is safe.
+func (s *stats) drainLocked() uint64 {
+	return s.hits //isi:allow-atomic(merge path: writers are quiesced)
+}
+
+// keyed composite-literal initialization happens before sharing: fine.
+func fresh() *stats { return &stats{mode: 1} }
+
+// aligned puts the 64-bit field first: offset 0 everywhere.
+type aligned struct {
+	hits uint64
+	flag bool
+}
+
+func (a *aligned) bump() { atomic.AddUint64(&a.hits, 1) }
+
+// counters carries a typed atomic: methods must take pointer receivers,
+// but the typed value needs no alignment check (align64 inside).
+type counters struct {
+	n atomic.Uint64
+}
+
+func (c counters) snapshot() uint64 { // want `method snapshot has a value receiver`
+	return 0
+}
+
+func (c *counters) inc() { c.n.Add(1) }
+
+// nested atomic state is found transitively.
+type outer struct {
+	inner counters
+}
+
+func (o outer) peek() {} // want `method peek has a value receiver`
+
+// plain is untouched by sync/atomic: plain access and value receivers
+// are fine.
+type plain struct {
+	hits uint64
+}
+
+func (p plain) read() uint64 { return p.hits }

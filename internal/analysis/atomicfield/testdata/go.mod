@@ -1,0 +1,3 @@
+module atomicfieldtest
+
+go 1.24

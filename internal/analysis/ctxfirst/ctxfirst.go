@@ -1,0 +1,134 @@
+// Package ctxfirst enforces context discipline on the admission
+// surface:
+//
+//   - a context.Context parameter must be the first parameter (method
+//     receivers aside) — Go convention, and what keeps the serve /
+//     client / wire surfaces mechanically uniform;
+//   - a declared ctx parameter must actually be used: an ignored
+//     context silently breaks cancellation propagation (the serve
+//     contract drops cancelled requests unprobed, which only works if
+//     every layer hands the context down). Name it _ to declare the
+//     intent to discard;
+//   - library packages must not mint roots with context.Background()
+//     or context.TODO() — the caller's context is the root. Package
+//     main (the cmd/ binaries, examples) is exempt, as are goroutine
+//     roots annotated //isi:allow-ctx(reason).
+package ctxfirst
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/isivet"
+)
+
+// Analyzer is the context-discipline checker.
+var Analyzer = &isivet.Analyzer{
+	Name:  "ctxfirst",
+	Doc:   "context.Context parameters come first and are propagated; no context.Background()/TODO() outside package main",
+	Allow: "ctx",
+	Run:   run,
+}
+
+func run(pass *isivet.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkParams(pass, n.Type, n.Name.Name)
+				checkUnused(pass, n)
+			case *ast.InterfaceType:
+				for _, m := range n.Methods.List {
+					ft, ok := m.Type.(*ast.FuncType)
+					if !ok || len(m.Names) == 0 {
+						continue
+					}
+					checkParams(pass, ft, m.Names[0].Name)
+				}
+			case *ast.CallExpr:
+				checkRoot(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isContext reports whether the expression's type is context.Context.
+func isContext(pass *isivet.Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checkParams reports a context.Context parameter that is not first.
+func checkParams(pass *isivet.Pass, ft *ast.FuncType, name string) {
+	if ft.Params == nil {
+		return
+	}
+	pos := 0
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContext(pass, field.Type) && pos > 0 {
+			pass.Reportf(field.Type.Pos(),
+				"%s takes context.Context at parameter position %d; context must be the first parameter", name, pos)
+		}
+		pos += n
+	}
+}
+
+// checkUnused reports a named ctx parameter the body never references.
+func checkUnused(pass *isivet.Pass, fd *ast.FuncDecl) {
+	if fd.Body == nil || fd.Type.Params == nil {
+		return
+	}
+	for _, field := range fd.Type.Params.List {
+		if !isContext(pass, field.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := pass.Info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			used := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+					used = true
+				}
+				return !used
+			})
+			if !used {
+				pass.Reportf(name.Pos(),
+					"%s declares context parameter %s but never uses it; propagate the context or name it _", fd.Name.Name, name.Name)
+			}
+		}
+	}
+}
+
+// checkRoot reports context.Background()/context.TODO() outside package
+// main.
+func checkRoot(pass *isivet.Pass, call *ast.CallExpr) {
+	if pass.Name == "main" {
+		return
+	}
+	fn := isivet.Callee(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return
+	}
+	if fn.Name() != "Background" && fn.Name() != "TODO" {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"context.%s() in library code mints a fresh root; accept and propagate the caller's context instead", fn.Name())
+}

@@ -1,0 +1,12 @@
+package ctxfirst_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/ctxfirst"
+	"repro/internal/analysis/isivet"
+)
+
+func TestCtxFirst(t *testing.T) {
+	isivet.RunTest(t, "testdata", ctxfirst.Analyzer, "./...")
+}

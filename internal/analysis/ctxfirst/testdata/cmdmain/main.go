@@ -1,0 +1,10 @@
+// Command cmdmain shows package main is exempt from the root-context
+// rule: binaries own their root.
+package main
+
+import "context"
+
+func main() {
+	_ = context.Background()
+	_ = context.TODO()
+}

@@ -1,0 +1,3 @@
+module ctxfirsttest
+
+go 1.24

@@ -1,0 +1,52 @@
+// Package lib exercises ctxfirst: parameter position, propagation, and
+// context roots in library code.
+package lib
+
+import "context"
+
+// Service mimics an admission surface.
+type Service struct{}
+
+// Good follows the contract.
+func (s *Service) Good(ctx context.Context, key uint64) error { return ctx.Err() }
+
+// Late takes the context after the key.
+func (s *Service) Late(key uint64, ctx context.Context) error { // want `Late takes context.Context at parameter position 1`
+	return ctx.Err()
+}
+
+// Multi counts positions through grouped parameters.
+func Multi(a, b int, ctx context.Context) error { // want `Multi takes context.Context at parameter position 2`
+	_ = a + b
+	return ctx.Err()
+}
+
+// Unused declares a context it never touches.
+func Unused(ctx context.Context, n int) int { // want `Unused declares context parameter ctx but never uses it`
+	return n
+}
+
+// Discarded declares the intent to ignore the context.
+func Discarded(_ context.Context, n int) int { return n }
+
+// Root mints a fresh root in library code.
+func Root() context.Context {
+	return context.Background() // want `context.Background\(\) in library code mints a fresh root`
+}
+
+// Todo is no better.
+func Todo() {
+	_ = context.TODO() // want `context.TODO\(\) in library code mints a fresh root`
+}
+
+// Labeled documents why its root is deliberate.
+func Labeled() context.Context {
+	//isi:allow-ctx(goroutine root: detached from any request lifetime)
+	return context.Background()
+}
+
+// API interfaces are held to the same parameter order.
+type API interface {
+	Do(ctx context.Context) error
+	Bad(n int, ctx context.Context) error // want `Bad takes context.Context at parameter position 1`
+}

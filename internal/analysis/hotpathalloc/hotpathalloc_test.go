@@ -1,0 +1,12 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/hotpathalloc"
+	"repro/internal/analysis/isivet"
+)
+
+func TestHotpathAlloc(t *testing.T) {
+	isivet.RunTest(t, "testdata", hotpathalloc.Analyzer, "./...")
+}

@@ -1,0 +1,3 @@
+module hotpathalloctest
+
+go 1.24

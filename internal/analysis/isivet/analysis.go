@@ -1,0 +1,149 @@
+package isivet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named check, run once per target package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Allow names the suppression kind: a //isi:allow-<Allow>(reason)
+	// directive on (or directly above) a flagged line silences the
+	// diagnostic. Empty means the analyzer cannot be suppressed.
+	Allow string
+	Run   func(*Pass) error
+}
+
+// Diagnostic is one finding, positioned for editors (file:line:col).
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass is one analyzer's view of one target package.
+type Pass struct {
+	*Package
+	Prog *Program
+
+	an    *Analyzer
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic unless an allow directive covers pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.an.Allow != "" && p.AllowedAt(p.an.Allow, pos) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.an.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of an expression in this package, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.Info.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := p.Info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// Run executes the analyzers over every target package of the program
+// and returns all surviving diagnostics sorted by position. Malformed
+// or unknown //isi: directives in target packages are reported under
+// the reserved "directive" analyzer name (never suppressible).
+func Run(prog *Program, analyzers ...*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range prog.Targets() {
+		for _, d := range pkg.directives {
+			if d.Malformed != "" {
+				diags = append(diags, Diagnostic{
+					Analyzer: "directive",
+					Pos:      prog.Fset.Position(d.Pos),
+					Message:  d.Malformed,
+				})
+			}
+		}
+		for _, an := range analyzers {
+			pass := &Pass{Package: pkg, Prog: prog, an: an, diags: &diags}
+			if err := an.Run(pass); err != nil {
+				return diags, fmt.Errorf("%s: %s: %v", an.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// Callee resolves the statically-known function or method a call
+// invokes, unwrapping parentheses. Nil for builtins, type conversions,
+// calls of function-typed values, and interface method calls where the
+// receiver's dynamic type is unknown — interface dispatch is
+// intentionally unresolved (one call level deep means *statically
+// resolvable* callees only).
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	switch f := fun.(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[f].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[f]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				// Method value through an interface: no static callee.
+				if types.IsInterface(sel.Recv()) {
+					return nil
+				}
+				return fn
+			}
+			return nil
+		}
+		// Package-qualified function (pkg.F).
+		if fn, ok := info.Uses[f.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// IsBuiltin reports whether the call invokes the named builtin.
+func IsBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}

@@ -1,0 +1,142 @@
+package isivet
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive grammar
+//
+//	//isi:hotpath
+//	    On a function's doc comment: the function is part of the
+//	    allocation-free hot path and is checked by hotpathalloc.
+//
+//	//isi:allow-alloc(reason)
+//	//isi:allow-obs(reason)
+//	//isi:allow-atomic(reason)
+//	//isi:allow-ctx(reason)
+//	    On the flagged line, or on the line immediately above it:
+//	    suppress one analyzer's diagnostics there. The reason is
+//	    mandatory — a bare //isi:allow-alloc is itself a diagnostic.
+//
+// A space after // is tolerated (both //isi:hotpath and // isi:hotpath
+// parse), and anything else under the isi: namespace is reported as an
+// unknown directive so typos fail loudly instead of silently
+// deactivating a check.
+
+// Directive is one parsed //isi: comment.
+type Directive struct {
+	Name      string // "hotpath", "allow-alloc", ...
+	Arg       string // reason inside parentheses, "" if none
+	Pos       token.Pos
+	Line      int    // line the comment sits on
+	File      string // file name (not full path)
+	Malformed string // non-empty if the directive fails to parse
+}
+
+// knownDirectives is the full vocabulary; anything else is a typo.
+var knownDirectives = map[string]bool{
+	"hotpath":      true,
+	"allow-alloc":  true,
+	"allow-obs":    true,
+	"allow-atomic": true,
+	"allow-ctx":    true,
+}
+
+// parseDirective parses one comment's text. ok is false when the
+// comment is not an isi: directive at all.
+func parseDirective(text string) (name, arg, malformed string, ok bool) {
+	body := strings.TrimSpace(strings.TrimPrefix(text, "//"))
+	if !strings.HasPrefix(body, "isi:") {
+		return "", "", "", false
+	}
+	body = body[len("isi:"):]
+	// A line comment swallows the rest of the line, so a trailing
+	// "// ..." inside the directive text is a second, unrelated comment
+	// (the golden tests put // want expectations there). Reasons
+	// therefore must not contain "//".
+	if i := strings.Index(body, "//"); i >= 0 {
+		body = body[:i]
+	}
+	name = body
+	if i := strings.IndexByte(body, '('); i >= 0 {
+		name = body[:i]
+		rest := body[i+1:]
+		j := strings.LastIndexByte(rest, ')')
+		if j < 0 {
+			return name, "", "missing closing parenthesis", true
+		}
+		arg = strings.TrimSpace(rest[:j])
+		if tail := strings.TrimSpace(rest[j+1:]); tail != "" {
+			return name, arg, "trailing text after directive", true
+		}
+	}
+	name = strings.TrimSpace(name)
+	switch {
+	case !knownDirectives[name]:
+		malformed = "unknown directive isi:" + name
+	case name == "hotpath" && arg != "":
+		malformed = "isi:hotpath takes no argument"
+	case strings.HasPrefix(name, "allow-") && arg == "":
+		malformed = "isi:" + name + " requires a (reason)"
+	}
+	return name, arg, malformed, true
+}
+
+// scanDirectives collects every isi: directive in the files.
+func scanDirectives(fset *token.FileSet, files []*ast.File) []Directive {
+	var out []Directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, arg, malformed, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				out = append(out, Directive{
+					Name:      name,
+					Arg:       arg,
+					Pos:       c.Pos(),
+					Line:      pos.Line,
+					File:      pos.Filename,
+					Malformed: malformed,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// IsHotpath reports whether the function declaration carries
+// //isi:hotpath in its doc comment.
+func IsHotpath(fd *ast.FuncDecl) bool {
+	if fd == nil || fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if name, _, malformed, ok := parseDirective(c.Text); ok && name == "hotpath" && malformed == "" {
+			return true
+		}
+	}
+	return false
+}
+
+// AllowedAt reports whether a well-formed allow-<kind> directive covers
+// the given position: same file, same line or the line directly above.
+// Pass.Reportf consults it automatically; analyzers call it directly
+// when checking a callee's body from another package (transitive
+// hot-path scans honor the callee's own annotations).
+func (p *Package) AllowedAt(kind string, pos token.Pos) bool {
+	where := p.Fset.Position(pos)
+	for _, d := range p.directives {
+		if d.Name != "allow-"+kind || d.Malformed != "" || d.File != where.Filename {
+			continue
+		}
+		if d.Line == where.Line || d.Line == where.Line-1 {
+			return true
+		}
+	}
+	return false
+}

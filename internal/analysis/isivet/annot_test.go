@@ -1,0 +1,43 @@
+package isivet
+
+import "testing"
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text      string
+		ok        bool
+		name, arg string
+		malformed bool
+	}{
+		{"// plain comment", false, "", "", false},
+		{"//isi:hotpath", true, "hotpath", "", false},
+		{"// isi:hotpath", true, "hotpath", "", false},
+		{"//isi:hotpath(why)", true, "hotpath", "why", true}, // hotpath takes no argument
+		{"//isi:allow-alloc(cap-guarded growth)", true, "allow-alloc", "cap-guarded growth", false},
+		{"//isi:allow-obs( spaced )", true, "allow-obs", "spaced", false},
+		{"//isi:allow-alloc", true, "allow-alloc", "", true},                  // missing reason
+		{"//isi:allow-alloc(open", true, "allow-alloc", "", true},             // unclosed
+		{"//isi:allow-alloc(a) tail", true, "allow-alloc", "", true},          // trailing junk
+		{"//isi:allow-alloc(a) // want `x`", true, "allow-alloc", "a", false}, // trailing comment stripped
+		{"//isi:frobnicate", true, "frobnicate", "", true},                    // unknown directive
+	}
+	for _, c := range cases {
+		name, arg, malformed, ok := parseDirective(c.text)
+		if ok != c.ok {
+			t.Errorf("%q: ok = %v, want %v", c.text, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if name != c.name {
+			t.Errorf("%q: name = %q, want %q", c.text, name, c.name)
+		}
+		if (malformed != "") != c.malformed {
+			t.Errorf("%q: malformed = %q, want malformed=%v", c.text, malformed, c.malformed)
+		}
+		if !c.malformed && arg != c.arg {
+			t.Errorf("%q: arg = %q, want %q", c.text, arg, c.arg)
+		}
+	}
+}

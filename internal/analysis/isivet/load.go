@@ -1,0 +1,265 @@
+// Package isivet is a small, dependency-free static-analysis framework
+// in the spirit of golang.org/x/tools/go/analysis, built on the
+// standard library's go/ast, go/types and go/importer so it runs in
+// environments with no module proxy access. It loads packages through
+// `go list -deps -export -json`, source-typechecks every package of the
+// enclosing module (importing standard-library dependencies from the
+// compiler export data go list just produced), and runs Analyzer passes
+// over the pattern-matched target packages.
+//
+// Diagnostics can be suppressed at the call site with //isi:allow-NAME
+// (reason) directives — see annot.go for the grammar — and functions
+// join the hot-path contract with a //isi:hotpath doc directive.
+package isivet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+)
+
+// Package is one type-checked module package.
+type Package struct {
+	Path   string // import path
+	Name   string
+	Dir    string
+	Target bool // matched the load patterns (vs. pulled in as a dependency)
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	directives []Directive // every //isi: directive in the package's files
+}
+
+// Program is a loaded, fully type-checked module: every package of the
+// module reachable from the load patterns, sorted by import path,
+// sharing one FileSet so positions compare across packages.
+type Program struct {
+	Fset  *token.FileSet
+	Pkgs  []*Package // all module packages, dependencies first
+	Sizes types.Sizes
+
+	byPath map[string]*Package
+	decls  map[*types.Func]*ast.FuncDecl
+}
+
+// Targets returns the packages that matched the load patterns, i.e. the
+// ones analyzers report on.
+func (p *Program) Targets() []*Package {
+	var out []*Package
+	for _, pkg := range p.Pkgs {
+		if pkg.Target {
+			out = append(out, pkg)
+		}
+	}
+	return out
+}
+
+// Package returns the module package with the given import path, or nil.
+func (p *Program) Package(path string) *Package { return p.byPath[path] }
+
+// PackageFor maps a type-checker package back to its loaded module
+// package, or nil for out-of-module (standard library) packages.
+func (p *Program) PackageFor(tp *types.Package) *Package {
+	if tp == nil {
+		return nil
+	}
+	return p.byPath[tp.Path()]
+}
+
+// DeclOf returns the syntax of a function or method defined anywhere in
+// the module, or nil for functions without bodies and out-of-module
+// functions. Analyzers use it to peek one call level deep.
+func (p *Program) DeclOf(fn *types.Func) *ast.FuncDecl {
+	if fn == nil {
+		return nil
+	}
+	return p.decls[fn]
+}
+
+// listPackage mirrors the subset of `go list -json` output the loader
+// consumes.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Standard   bool
+	DepOnly    bool
+	Export     string
+	GoFiles    []string
+	Imports    []string
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Load runs `go list -deps -export -json patterns...` in dir and
+// type-checks every package of dir's module from source. Standard
+// library imports are satisfied from the export data the go command
+// just compiled, so no network or module proxy is touched.
+func Load(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOWORK=off")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+
+	var pkgs []*listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: package %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+
+	byPath := make(map[string]*listPackage, len(pkgs))
+	for _, lp := range pkgs {
+		byPath[lp.ImportPath] = lp
+	}
+
+	prog := &Program{
+		Fset:   token.NewFileSet(),
+		Sizes:  types.SizesFor("gc", runtime.GOARCH),
+		byPath: make(map[string]*Package),
+		decls:  make(map[*types.Func]*ast.FuncDecl),
+	}
+
+	// Export-data importer for out-of-module (standard library)
+	// dependencies: resolve each import path to the export file go list
+	// recorded for it.
+	exportLookup := func(path string) (io.ReadCloser, error) {
+		lp := byPath[path]
+		if lp == nil || lp.Export == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(lp.Export)
+	}
+	gcImp := importer.ForCompiler(prog.Fset, "gc", exportLookup)
+
+	// Type-check module packages from source, dependencies first.
+	var (
+		visit func(lp *listPackage) (*Package, error)
+		state = make(map[string]int) // 0 unvisited, 1 in progress, 2 done
+	)
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		lp := byPath[path]
+		if lp == nil {
+			return nil, fmt.Errorf("unknown import %q", path)
+		}
+		if lp.Module != nil && !lp.Standard {
+			pkg, err := visit(lp)
+			if err != nil {
+				return nil, err
+			}
+			return pkg.Types, nil
+		}
+		return gcImp.Import(path)
+	})
+
+	visit = func(lp *listPackage) (*Package, error) {
+		if pkg, ok := prog.byPath[lp.ImportPath]; ok {
+			return pkg, nil
+		}
+		switch state[lp.ImportPath] {
+		case 1:
+			return nil, fmt.Errorf("import cycle through %s", lp.ImportPath)
+		}
+		state[lp.ImportPath] = 1
+		defer func() { state[lp.ImportPath] = 2 }()
+
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(prog.Fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		}
+		conf := &types.Config{Importer: imp, Sizes: prog.Sizes}
+		tpkg, err := conf.Check(lp.ImportPath, prog.Fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, err)
+		}
+		pkg := &Package{
+			Path:   lp.ImportPath,
+			Name:   lp.Name,
+			Dir:    lp.Dir,
+			Target: !lp.DepOnly,
+			Fset:   prog.Fset,
+			Files:  files,
+			Types:  tpkg,
+			Info:   info,
+		}
+		pkg.directives = scanDirectives(prog.Fset, files)
+		for _, f := range files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Name.Name == "_" {
+					continue
+				}
+				if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+					prog.decls[fn] = fd
+				}
+			}
+		}
+		prog.byPath[lp.ImportPath] = pkg
+		prog.Pkgs = append(prog.Pkgs, pkg)
+		return pkg, nil
+	}
+
+	for _, lp := range pkgs {
+		if lp.Standard || lp.Module == nil {
+			continue
+		}
+		if _, err := visit(lp); err != nil {
+			return nil, err
+		}
+	}
+	sort.SliceStable(prog.Pkgs, func(i, j int) bool {
+		// Type-checking already happened in dependency order during the
+		// DFS; path order here just keeps reports stable across runs.
+		return prog.Pkgs[i].Path < prog.Pkgs[j].Path
+	})
+	return prog, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

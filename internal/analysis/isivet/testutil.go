@@ -1,0 +1,100 @@
+package isivet
+
+import (
+	"regexp"
+	"strconv"
+	"testing"
+)
+
+// RunTest loads the module rooted at dir (testdata modules carry their
+// own go.mod so `go list` treats them standalone), runs the analyzer
+// over the patterns, and checks the diagnostics against `// want`
+// expectations in the source, analysistest-style:
+//
+//	badCall() // want `cannot allocate`
+//	twoFindings() // want `first` `second`
+//
+// Each expectation is a Go string literal holding a regexp matched
+// against diagnostic messages reported on that line. Every diagnostic
+// must be wanted and every want must be matched.
+func RunTest(t *testing.T, dir string, an *Analyzer, patterns ...string) {
+	t.Helper()
+	prog, err := Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := Run(prog, an)
+	if err != nil {
+		t.Fatalf("running %s: %v", an.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	type want struct {
+		re      *regexp.Regexp
+		raw     string
+		matched bool
+	}
+	wants := make(map[key][]*want)
+	for _, pkg := range prog.Targets() {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantMarker.FindStringSubmatchIndex(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					k := key{pos.Filename, pos.Line}
+					for _, lit := range wantLit.FindAllString(c.Text[m[5]:], -1) {
+						raw, err := strconv.Unquote(lit)
+						if err != nil {
+							t.Errorf("%s:%d: bad want literal %s: %v", pos.Filename, pos.Line, lit, err)
+							continue
+						}
+						re, err := regexp.Compile(raw)
+						if err != nil {
+							t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, raw, err)
+							continue
+						}
+						wants[k] = append(wants[k], &want{re: re, raw: raw})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		found := false
+		for _, w := range wants[k] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matched want %q", k.file, k.line, w.raw)
+			}
+		}
+	}
+}
+
+// wantMarker locates the `want` keyword inside a comment — either a
+// standalone expectation comment or one trailing an //isi: directive on
+// the same line (a line comment swallows the rest of the line, so both
+// land in one comment token). The literals follow the marker.
+var wantMarker = regexp.MustCompile("(^//[ \t]*|[ \t])(want)[ \t]")
+
+// wantLit matches the double- or back-quoted regexp literals of a want
+// comment.
+var wantLit = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")

@@ -1,0 +1,326 @@
+// Package obsgate enforces the observability contract from the obs
+// package: a disabled observer costs exactly one pointer check.
+//
+// Methods of package obs fall in two classes, detected mechanically
+// from their bodies: *self-gated* recorders open with `if recv == nil {
+// return ... }` (SpanRing.Record, DecisionLog.Record, ...) and are safe
+// to call bare, while everything else with a pointer receiver
+// (Observer.Ring, Registry.Counter, Counter.Add through an explicit
+// pointer, ...) must be dominated by a nil check on the receiver.
+// obsgate reports
+//
+//   - calls to non-self-gated obs methods on a possibly-nil pointer
+//     receiver with no dominating `recv != nil` guard (or `recv == nil`
+//     early return), and
+//   - `if recv != nil { recv.Record(...) }` wrappers whose body only
+//     calls self-gated methods — the double check violates the
+//     one-pointer-check contract in the opposite direction.
+//
+// Receivers that are provably non-nil are skipped: value fields
+// (obs.Counter embedded in a metrics struct), direct call results, and
+// locals assigned from an obs constructor or accessor in the same
+// function. //isi:allow-obs(reason) suppresses a finding.
+package obsgate
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/isivet"
+)
+
+// Analyzer is the obs nil-gating checker.
+var Analyzer = &isivet.Analyzer{
+	Name:  "obsgate",
+	Doc:   "calls to obs recorders must be dominated by exactly one nil-observer pointer check",
+	Allow: "obs",
+	Run:   run,
+}
+
+func run(pass *isivet.Pass) error {
+	if pass.Name == "obs" {
+		return nil // the obs package implements the contract, callers honor it
+	}
+	selfGated := classify(pass.Prog)
+	if selfGated == nil {
+		return nil // no obs package in this module
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, selfGated)
+		}
+	}
+	return nil
+}
+
+// classify scans every package named "obs" in the module and labels its
+// pointer-receiver methods: true = self-gated (first statement is `if
+// recv == nil { ... }` ending in return), false = caller must gate.
+// Returns nil when the module has no obs package.
+func classify(prog *isivet.Program) map[*types.Func]bool {
+	var out map[*types.Func]bool
+	for _, pkg := range prog.Pkgs {
+		if pkg.Name != "obs" {
+			continue
+		}
+		if out == nil {
+			out = make(map[*types.Func]bool)
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Recv == nil || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				if _, ok := fn.Type().(*types.Signature).Recv().Type().(*types.Pointer); !ok {
+					continue
+				}
+				out[fn] = selfGates(fd)
+			}
+		}
+	}
+	return out
+}
+
+// selfGates reports whether the method's first statement is a nil check
+// on its receiver that returns.
+func selfGates(fd *ast.FuncDecl) bool {
+	if len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return false // anonymous receiver cannot be nil-checked
+	}
+	recv := fd.Recv.List[0].Names[0].Name
+	if len(fd.Body.List) == 0 {
+		return false
+	}
+	ifs, ok := fd.Body.List[0].(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	if !isNilCompare(ifs.Cond, recv, token.EQL) {
+		return false
+	}
+	return len(ifs.Body.List) > 0 && terminates(ifs.Body.List[len(ifs.Body.List)-1])
+}
+
+func checkFunc(pass *isivet.Pass, fd *ast.FuncDecl, selfGated map[*types.Func]bool) {
+	nonNil := constructorAssigned(pass, fd)
+	reportedIf := make(map[*ast.IfStmt]bool)
+
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn := isivet.Callee(pass.Info, call)
+		if fn == nil {
+			return true
+		}
+		gated, isObsMethod := selfGated[fn]
+		if !isObsMethod {
+			return true
+		}
+		recvExpr := ast.Unparen(sel.X)
+		if _, ok := pass.TypeOf(recvExpr).(*types.Pointer); !ok {
+			return true // value receiver expression (embedded metric field): cannot be nil
+		}
+		recvStr := types.ExprString(recvExpr)
+
+		if gated {
+			if ifs := redundantGuard(stack, recvStr, pass, selfGated); ifs != nil && !reportedIf[ifs] {
+				reportedIf[ifs] = true
+				pass.Reportf(ifs.Pos(), "redundant nil guard: %s.%s is nil-safe, the guard double-pays the one pointer check", recvStr, fn.Name())
+			}
+			return true
+		}
+		if _, isCall := recvExpr.(*ast.CallExpr); isCall {
+			return true // constructor/accessor results are never nil
+		}
+		if nonNil[recvStr] {
+			return true
+		}
+		if dominated(stack, recvStr) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "call to %s.%s without a dominating %s != nil check (obs contract: one pointer check when unobserved)", recvStr, fn.Name(), recvStr)
+		return true
+	})
+}
+
+// constructorAssigned collects local names assigned from a call into
+// package obs (New, NewSpanRing, Observer.Ring, Registry.Counter, ...):
+// every obs constructor and accessor returns non-nil.
+func constructorAssigned(pass *isivet.Pass, fd *ast.FuncDecl) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			fn := isivet.Callee(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Name() != "obs" {
+				continue
+			}
+			if pass.Prog.PackageFor(fn.Pkg()) == nil {
+				continue
+			}
+			out[types.ExprString(as.Lhs[i])] = true
+		}
+		return true
+	})
+	return out
+}
+
+// dominated reports whether some enclosing context proves recv non-nil:
+// the call sits in the body of `if ... recv != nil ... {}` (any &&
+// conjunct, init form included), in the else of `if recv == nil`, or
+// after an `if recv == nil { return/continue/break/panic }` statement
+// in an enclosing block.
+func dominated(stack []ast.Node, recv string) bool {
+	for i := len(stack) - 2; i >= 0; i-- {
+		child := stack[i+1]
+		switch node := stack[i].(type) {
+		case *ast.IfStmt:
+			if child == node.Body && impliesNonNil(node.Cond, recv) {
+				return true
+			}
+			if child == node.Else && isNilCompare(node.Cond, recv, token.EQL) {
+				return true
+			}
+		case *ast.BlockStmt:
+			for _, st := range node.List {
+				if st == child {
+					break
+				}
+				if guardReturns(st, recv) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// redundantGuard returns the enclosing if statement when the call is
+// the body of `if recv != nil { ... }` whose every statement is a bare
+// call to a self-gated obs method on the same receiver — a guard that
+// buys nothing.
+func redundantGuard(stack []ast.Node, recv string, pass *isivet.Pass, selfGated map[*types.Func]bool) *ast.IfStmt {
+	// stack ends: ..., IfStmt, BlockStmt, ExprStmt, CallExpr
+	if len(stack) < 4 {
+		return nil
+	}
+	if _, ok := stack[len(stack)-2].(*ast.ExprStmt); !ok {
+		return nil
+	}
+	body, ok := stack[len(stack)-3].(*ast.BlockStmt)
+	if !ok {
+		return nil
+	}
+	ifs, ok := stack[len(stack)-4].(*ast.IfStmt)
+	if !ok || ifs.Body != body || ifs.Init != nil || ifs.Else != nil {
+		return nil
+	}
+	if !isNilCompare(ifs.Cond, recv, token.NEQ) {
+		return nil
+	}
+	for _, st := range body.List {
+		es, ok := st.(*ast.ExprStmt)
+		if !ok {
+			return nil
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return nil
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || types.ExprString(ast.Unparen(sel.X)) != recv {
+			return nil
+		}
+		fn := isivet.Callee(pass.Info, call)
+		if fn == nil || !selfGated[fn] {
+			return nil
+		}
+	}
+	return ifs
+}
+
+// impliesNonNil reports whether cond being true proves recv != nil,
+// walking && chains.
+func impliesNonNil(cond ast.Expr, recv string) bool {
+	cond = ast.Unparen(cond)
+	if b, ok := cond.(*ast.BinaryExpr); ok && b.Op == token.LAND {
+		return impliesNonNil(b.X, recv) || impliesNonNil(b.Y, recv)
+	}
+	return isNilCompare(cond, recv, token.NEQ)
+}
+
+// isNilCompare reports whether e is `recv op nil` (either operand
+// order), comparing the receiver syntactically.
+func isNilCompare(e ast.Expr, recv string, op token.Token) bool {
+	b, ok := ast.Unparen(e).(*ast.BinaryExpr)
+	if !ok || b.Op != op {
+		return false
+	}
+	x, y := ast.Unparen(b.X), ast.Unparen(b.Y)
+	return (isNil(y) && types.ExprString(x) == recv) || (isNil(x) && types.ExprString(y) == recv)
+}
+
+func isNil(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// guardReturns reports whether st is `if recv == nil { ...; return }`
+// (or continue/break/panic): everything after it sees recv non-nil.
+func guardReturns(st ast.Stmt, recv string) bool {
+	ifs, ok := st.(*ast.IfStmt)
+	if !ok || ifs.Else != nil || ifs.Init != nil {
+		return false
+	}
+	if !isNilCompare(ifs.Cond, recv, token.EQL) {
+		return false
+	}
+	return len(ifs.Body.List) > 0 && terminates(ifs.Body.List[len(ifs.Body.List)-1])
+}
+
+// terminates reports whether the statement unconditionally leaves the
+// surrounding block: return, break, continue, goto, or panic.
+func terminates(st ast.Stmt) bool {
+	switch s := st.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package obsgate_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/isivet"
+	"repro/internal/analysis/obsgate"
+)
+
+func TestObsGate(t *testing.T) {
+	isivet.RunTest(t, "testdata", obsgate.Analyzer, "./...")
+}

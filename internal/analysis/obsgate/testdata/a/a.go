@@ -1,0 +1,87 @@
+// Package a exercises obsgate: ungated calls, every accepted guard
+// shape, the redundant-guard rule for self-gated recorders, non-nil
+// inference for constructor results, and //isi:allow-obs suppression.
+package a
+
+import "obsgatetest/obs"
+
+type server struct {
+	obsv *obs.Observer
+	hits obs.Counter // embedded value: never nil
+}
+
+var enabled bool
+
+func get() *obs.Observer { return obs.New() }
+
+func other() {}
+
+// ungated calls are the core finding.
+func ungated(o *obs.Observer, s *server) {
+	o.Ring("x")      // want `call to o.Ring without a dominating o != nil check`
+	s.obsv.Ring("x") // want `call to s.obsv.Ring without a dominating s.obsv != nil check`
+}
+
+// guards in every accepted shape.
+func guarded(o *obs.Observer, s *server) {
+	if o != nil {
+		o.Ring("a")
+	}
+	if o == nil {
+		return
+	}
+	o.Ring("b")
+	if enabled && s.obsv != nil {
+		s.obsv.Ring("c")
+	}
+	if o := get(); o != nil {
+		o.Ring("d")
+	}
+	if o == nil {
+	} else {
+		o.Ring("e")
+	}
+}
+
+// nonDominating: a guard whose body does not contain the call proves
+// nothing.
+func nonDominating(o *obs.Observer) {
+	if o != nil {
+		other()
+	}
+	o.Ring("x") // want `call to o.Ring without a dominating o != nil check`
+}
+
+// constructor results and locals assigned from obs calls are non-nil.
+func constructed() {
+	o := obs.New()
+	o.Ring("x")
+	get().Ring("y")
+	r := o.Ring("z")
+	r.Record(1)
+}
+
+// selfGated recorders need no guard — and guarding them is itself a
+// finding when the guard buys nothing.
+func selfGated(r *obs.Ring, s *server) {
+	r.Record(1)
+	s.hits.Inc()  // value field: cannot be nil
+	if r != nil { // want `redundant nil guard: r.Record is nil-safe`
+		r.Record(2)
+	}
+	if r != nil { // want `redundant nil guard: r.Record is nil-safe`
+		r.Record(3)
+		r.Record(4)
+	}
+	if r != nil { // mixed body: the guard pays for other() too, fine
+		r.Record(5)
+		other()
+	}
+}
+
+// suppressed findings carry an explicit reason.
+func suppressed(o *obs.Observer) {
+	o.Ring("x") //isi:allow-obs(caller guarantees a live observer)
+	//isi:allow-obs(wired only from New which always attaches)
+	o.Ring("y")
+}

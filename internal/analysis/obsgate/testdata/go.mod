@@ -1,0 +1,3 @@
+module obsgatetest
+
+go 1.24

@@ -1,0 +1,46 @@
+// Package obs is a miniature of the real observability package: one
+// self-gated recorder (Ring.Record opens with a nil check) and several
+// methods that require the caller to gate.
+package obs
+
+// Ring records values; a nil *Ring is a valid no-op recorder.
+type Ring struct{ n int }
+
+// Record is self-gated: callers need no nil check.
+func (r *Ring) Record(v int) {
+	if r == nil {
+		return
+	}
+	r.n += v
+}
+
+// Recorded is self-gated too.
+func (r *Ring) Recorded() int {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}
+
+// Counter is a metric value; the zero value is ready.
+type Counter struct{ v uint64 }
+
+// Inc is NOT nil-safe: it is meant to be called on embedded values or
+// guarded pointers.
+func (c *Counter) Inc() { c.v++ }
+
+// Observer bundles rings; nil means observation disabled.
+type Observer struct{ rings map[string]*Ring }
+
+// New returns a ready observer (never nil).
+func New() *Observer { return &Observer{rings: map[string]*Ring{}} }
+
+// Ring is NOT nil-safe: calling it on a nil observer panics.
+func (o *Observer) Ring(name string) *Ring {
+	r, ok := o.rings[name]
+	if !ok {
+		r = &Ring{}
+		o.rings[name] = r
+	}
+	return r
+}
