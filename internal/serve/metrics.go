@@ -111,6 +111,9 @@ type shardMetrics struct {
 // under serve_* names labeled by shard, so the HTTP/JSON exposition
 // reads the same atomics the hot path writes. Construction-time only.
 func (m *shardMetrics) register(reg *obs.Registry, shard int) {
+	if reg == nil {
+		return
+	}
 	s := strconv.Itoa(shard)
 	reg.RegisterCounter(obs.Name("serve_items", "shard", s), &m.items)
 	reg.RegisterCounter(obs.Name("serve_batches", "shard", s), &m.batches)

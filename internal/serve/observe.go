@@ -46,13 +46,20 @@ func (s *Service) Observer() *obs.Observer { return s.obsv }
 // under serve_*{shard=i} names, hand it its span ring and its
 // controller's decision log, and precompute the pprof label contexts
 // its goroutine will swap between. Called from New before the shard
-// goroutine starts, so the plain field writes are race-free.
+// goroutine starts, so the plain field writes are race-free. Nil-safe:
+// with no observer every recording field stays nil and the shard runs
+// unobserved (New used to be the only caller and guarded this; the
+// method now upholds the obs contract itself).
 func (sh *shard) attachObserver(o *obs.Observer, backend string) {
+	if o == nil {
+		return
+	}
 	id := strconv.Itoa(sh.id)
 	sh.met.register(o.Registry(), sh.id)
 	sh.ring = o.Ring("shard" + id)
 	sh.ctl.dlog = o.DecisionLog("ctl" + id)
 	base := pprof.Labels("subsystem", "serve", "shard", id, "backend", backend)
+	//isi:allow-ctx(pprof label carrier for the shard goroutine's lifetime, not a request context)
 	sh.baseCtx = pprof.WithLabels(context.Background(), base)
 	for c := opClass(0); c < nOpClasses; c++ {
 		sh.opCtx[c] = pprof.WithLabels(sh.baseCtx, pprof.Labels("op", c.String()))

@@ -316,3 +316,26 @@ func TestGoBatchAllocsO1Observed(t *testing.T) {
 		t.Fatalf("observed GoBatch allocations grow with batch size: %v at n=64 vs %v at n=4096", small, large)
 	}
 }
+
+// TestAttachObserverNilObserver pins the nil-guard the obsgate analyzer
+// surfaced: attachObserver used to dereference the observer
+// unconditionally (o.Registry(), o.Ring(), o.DecisionLog()) and relied
+// on every caller pre-checking. The method is now nil-safe itself — a
+// nil observer must leave the shard unobserved instead of panicking.
+func TestAttachObserverNilObserver(t *testing.T) {
+	sh := &shard{id: 3}
+	sh.attachObserver(nil, "native")
+	if sh.ring != nil {
+		t.Fatalf("nil observer attached a span ring: %v", sh.ring)
+	}
+	if sh.baseCtx != nil {
+		t.Fatalf("nil observer attached pprof label context: %v", sh.baseCtx)
+	}
+}
+
+// TestRegisterNilRegistry pins the companion guard in
+// shardMetrics.register: a nil registry is a no-op, not a panic.
+func TestRegisterNilRegistry(t *testing.T) {
+	m := &shardMetrics{}
+	m.register(nil, 0)
+}
