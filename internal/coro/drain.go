@@ -40,6 +40,8 @@ func (d *Drainer[R]) Drain(n, group int, start func(i int) Handle[R], sink func(
 // per-lookup allocation at all. As with RunInterleavedSlots, start may
 // return nil to skip an input (a dropped request): no slot is occupied
 // and sink is never called for that index.
+//
+//isi:hotpath
 func (d *Drainer[R]) DrainSlots(n, group int, start func(slot, i int) Handle[R], sink func(i int, r R)) {
 	if n <= 0 {
 		return
@@ -51,8 +53,8 @@ func (d *Drainer[R]) DrainSlots(n, group int, start func(slot, i int) Handle[R],
 		group = 1
 	}
 	if cap(d.handles) < group {
-		d.handles = make([]Handle[R], group)
-		d.owner = make([]int, group)
+		d.handles = make([]Handle[R], group) //isi:allow-alloc(cap-guarded growth to a new max group size; steady state reuses)
+		d.owner = make([]int, group)         //isi:allow-alloc(grows with handles above)
 	}
 	d.handles = d.handles[:group]
 	d.owner = d.owner[:group]

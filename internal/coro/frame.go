@@ -19,6 +19,8 @@ func NewFrame[R any](step func() (R, bool)) *Frame[R] {
 }
 
 // Resume advances the state machine by one step.
+//
+//isi:hotpath
 func (f *Frame[R]) Resume() {
 	if f.done {
 		return
@@ -30,9 +32,13 @@ func (f *Frame[R]) Resume() {
 }
 
 // Done reports completion.
+//
+//isi:hotpath
 func (f *Frame[R]) Done() bool { return f.done }
 
 // Result returns the final value once Done is true.
+//
+//isi:hotpath
 func (f *Frame[R]) Result() R { return f.result }
 
 // Reset rearms the frame with a new step function, recycling the handle
@@ -51,6 +57,8 @@ func (f *Frame[R]) Reset(step func() (R, bool)) {
 // (slot-recycled frames under Drainer.DrainSlots). Unlike Reset, Rearm
 // allocates nothing: the step closure, bound once to the recycled
 // struct, is reused as-is.
+//
+//isi:hotpath
 func (f *Frame[R]) Rearm() {
 	var zero R
 	f.result = zero

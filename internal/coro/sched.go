@@ -63,6 +63,8 @@ func RunInterleavedSlots[R any](n, group int, start func(slot, i int) Handle[R],
 // and are fully overwritten. A nil handle from start skips that input
 // (see RunInterleavedSlots); the slot keeps claiming pending inputs
 // until one starts or the input sequence is exhausted.
+//
+//isi:hotpath
 func drainInterleaved[R any](handles []Handle[R], owner []int, n int, start func(slot, i int) Handle[R], sink func(i int, r R)) {
 	group := len(handles)
 	next := 0

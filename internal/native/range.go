@@ -24,6 +24,8 @@ type Pair struct {
 // every (key, code) pair with key ≤ hi to out, stopping after limit
 // entries when limit > 0. Returns the number of entries emitted. The
 // caller guarantees a non-empty table and lo ≤ hi.
+//
+//isi:hotpath
 func scanBounded(table []uint64, codes []uint32, low int, lo, hi uint64, limit int, out *[]Pair) int {
 	start := low
 	if table[start] < lo {
@@ -34,7 +36,7 @@ func scanBounded(table []uint64, codes []uint32, low int, lo, hi uint64, limit i
 		if table[i] > hi {
 			break
 		}
-		*out = append(*out, Pair{Key: table[i], Code: codes[i]})
+		*out = append(*out, Pair{Key: table[i], Code: codes[i]}) //isi:allow-alloc(emits into the caller-owned scratch buffer, whose growth amortizes across batches)
 		n++
 		if limit > 0 && n >= limit {
 			break
@@ -74,6 +76,8 @@ type RangeCursor struct {
 // StartRangeScan begins an interleaved range scan of [lo, hi] over the
 // sorted table with its parallel code column. limit > 0 bounds the
 // number of emitted entries; limit <= 0 scans to the end of the range.
+//
+//isi:hotpath
 func StartRangeScan(table []uint64, codes []uint32, lo, hi uint64, limit int, out *[]Pair) RangeCursor {
 	return RangeCursor{
 		table:  table,
@@ -89,6 +93,8 @@ func StartRangeScan(table []uint64, codes []uint32, lo, hi uint64, limit int, ou
 // Step advances the cursor: while seeking it behaves exactly like
 // SearchCursor.Step (one early-load round per resume, done=false); once
 // the seek lands it performs the whole scan and returns (emitted, true).
+//
+//isi:hotpath
 func (c *RangeCursor) Step() (int, bool) {
 	low, done := c.search.Step()
 	if !done {

@@ -19,6 +19,8 @@ import "repro/internal/coro"
 
 // Baseline is the branch-free sequential binary search over a real slice:
 // the largest index with table[idx] ≤ key, or 0 (Listing 2 semantics).
+//
+//isi:hotpath
 func Baseline(table []uint64, key uint64) int {
 	size := len(table)
 	low := 0
@@ -159,6 +161,8 @@ type SearchCursor struct {
 }
 
 // StartSearch begins a Baseline search for key over the sorted table.
+//
+//isi:hotpath
 func StartSearch(table []uint64, key uint64) SearchCursor {
 	return SearchCursor{table: table, key: key, size: len(table)}
 }
@@ -166,6 +170,8 @@ func StartSearch(table []uint64, key uint64) SearchCursor {
 // Step advances by one early-load round: it consumes the probe value
 // loaded on the previous round and issues the next one. done=true
 // delivers the final index (Listing 2 semantics, as Baseline).
+//
+//isi:hotpath
 func (c *SearchCursor) Step() (int, bool) {
 	if c.pending {
 		if c.val <= c.key {

@@ -81,6 +81,8 @@ type Result struct {
 func (r Result) Found() bool { return r.Hits > 0 }
 
 // Probe walks key's chain sequentially.
+//
+//isi:hotpath
 func (t *Table) Probe(key uint64) Result {
 	var r Result
 	next := t.buckets[t.hash(key)]
@@ -140,6 +142,8 @@ type Cursor struct {
 
 // Start begins a probe for key: it performs the bucket-head load (the
 // first potential miss) and returns a cursor to step after suspending.
+//
+//isi:hotpath
 func (t *Table) Start(key uint64) Cursor {
 	return Cursor{key: key, next: t.buckets[t.hash(key)]} // early load
 }
@@ -148,6 +152,8 @@ func (t *Table) Start(key uint64) Cursor {
 // the early-loaded value from the previous round and issues the next
 // load. done=true delivers the final Result; the caller suspends after
 // every done=false return.
+//
+//isi:hotpath
 func (c *Cursor) Step(t *Table) (Result, bool) {
 	c.mHit = false
 	if !c.loaded {
@@ -177,6 +183,8 @@ func (c *Cursor) Step(t *Table) (Result, bool) {
 // match emission without a per-probe callback, so a larger coroutine
 // frame (internal/serve's dictionary→probe pipeline) can forward
 // matches with no closure allocation.
+//
+//isi:hotpath
 func (c *Cursor) Matched() (uint32, bool) { return c.mVal, c.mHit }
 
 // frameProbe is the flat coroutine frame for one probe (the hand-spilled
@@ -189,6 +197,7 @@ type frameProbe struct {
 	started bool
 }
 
+//isi:hotpath
 func (f *frameProbe) step() (Result, bool) {
 	if !f.started {
 		f.cur = f.t.Start(f.key)

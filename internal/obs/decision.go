@@ -49,6 +49,8 @@ func NewDecisionLog(capacity int) *DecisionLog {
 
 // Record appends one decision, filling Seq and T; allocation-free;
 // no-op on a nil log.
+//
+//isi:hotpath
 func (l *DecisionLog) Record(d Decision) {
 	if l == nil {
 		return

@@ -86,10 +86,14 @@ func BucketMid(b int) uint64 {
 // Observe records one value; negative values clamp to zero (the
 // histogram exists for durations and sizes, where a negative sample is
 // clock skew, not signal).
+//
+//isi:hotpath
 func (h *Histogram) Observe(v int64) { h.ObserveN(v, 1) }
 
 // ObserveN records n observations of the same value — a vectorized
 // batch segment completes all its items at once.
+//
+//isi:hotpath
 func (h *Histogram) ObserveN(v int64, n uint64) {
 	if n == 0 {
 		return

@@ -21,9 +21,13 @@ import (
 type Counter struct{ v atomic.Uint64 }
 
 // Add increments the counter by n.
+//
+//isi:hotpath
 func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Inc increments the counter by one.
+//
+//isi:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Load returns the current count.
@@ -33,10 +37,14 @@ func (c *Counter) Load() uint64 { return c.v.Load() }
 type Gauge struct{ v atomic.Int64 }
 
 // Set stores v.
+//
+//isi:hotpath
 func (g *Gauge) Set(v int64) { g.v.Store(v) }
 
 // SetMax raises the gauge to v if v is larger (CAS loop, safe for
 // concurrent writers).
+//
+//isi:hotpath
 func (g *Gauge) SetMax(v int64) {
 	for {
 		cur := g.v.Load()

@@ -120,6 +120,8 @@ func NewSpanRing(capacity int) *SpanRing {
 // concurrent writers (the epoch manager stamps merge events into the
 // owning shard's ring from its own goroutine); allocation-free; no-op
 // on a nil ring.
+//
+//isi:hotpath
 func (r *SpanRing) Record(kind SpanKind, shard int, batch uint64, n int, arg int64) {
 	if r == nil {
 		return

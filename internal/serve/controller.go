@@ -103,9 +103,9 @@ func (c *controller) observe(items int, cost float64) {
 		c.group = next
 	}
 	if len(c.hist) == histCap {
-		c.hist = append(c.hist[:0], c.hist[1:]...)
+		c.hist = append(c.hist[:0], c.hist[1:]...) //isi:allow-alloc(in-place shift of the bounded history ring; epoch-boundary only)
 	}
-	c.hist = append(c.hist, c.group)
+	c.hist = append(c.hist, c.group) //isi:allow-alloc(bounded history ring, one entry per controller epoch)
 	c.epochs++
 	// The decision log's mutex nests strictly inside c.mu here and is
 	// never taken the other way around.

@@ -183,7 +183,7 @@ func (sh *shard) maybeRebuild() {
 		return
 	}
 	sh.delta = uncommitted
-	sh.gens = append(sh.gens, committed)
+	sh.gens = append(sh.gens, committed) //isi:allow-alloc(generation freeze: one header per rebuild threshold crossing, not per write)
 	sh.met.setGenDepth(len(sh.gens))
 	if sh.merging > 0 && len(sh.gens) > maxGenBacklog {
 		sh.met.recordWriteStall()
@@ -292,17 +292,19 @@ func (sh *shard) reclaim() {
 // horizon) never enter the walk: the current epoch's upTo never exceeds
 // the commit horizon. Shard goroutine only; the returned view aliases
 // shard state and is valid until the next write or install.
+//
+//isi:hotpath
 func (sh *shard) viewAt(at uint64) (*epochState, deltaView) {
 	parts := sh.viewParts[:0]
 	if len(sh.delta) > 0 {
-		parts = append(parts, sh.delta)
+		parts = append(parts, sh.delta) //isi:allow-alloc(view headers reuse shard scratch; growth amortizes across batches)
 	}
 	for i := len(sh.gens) - 1; i >= 0; i-- {
-		parts = append(parts, sh.gens[i])
+		parts = append(parts, sh.gens[i]) //isi:allow-alloc(scratch growth, as above)
 	}
 	ep := sh.retained[len(sh.retained)-1]
 	for i := len(sh.retained) - 1; i > 0 && ep.upTo > at; i-- {
-		parts = append(parts, ep.absorbed...)
+		parts = append(parts, ep.absorbed...) //isi:allow-alloc(scratch growth, as above; pinned-reader walk only)
 		ep = sh.retained[i-1]
 	}
 	sh.viewParts = parts

@@ -96,6 +96,8 @@ type joinFrame struct {
 // (stage 2) without touching the main index, and a delta-resolved join
 // enters the chain walk (stage 1) with its delta code — issuing the
 // bucket-head early load immediately, like the search stage would have.
+//
+//isi:hotpath
 func (f *joinFrame) init(x *nativeJoinIndex, dv deltaView, key uint64, join bool, msink *[]Match, probe int) {
 	*f = joinFrame{idx: x, key: key, join: join, msink: msink, probe: probe}
 	if !dv.empty() {
@@ -123,6 +125,7 @@ func (f *joinFrame) init(x *nativeJoinIndex, dv deltaView, key uint64, join bool
 	f.search = native.StartSearch(x.table, key)
 }
 
+//isi:hotpath
 func (f *joinFrame) step() (joinOut, bool) {
 	switch f.stage {
 	case 0:
@@ -147,7 +150,7 @@ func (f *joinFrame) step() (joinOut, bool) {
 		r, done := f.cur.Step(f.idx.jt)
 		if f.msink != nil {
 			if payload, hit := f.cur.Matched(); hit {
-				*f.msink = append(*f.msink, Match{Probe: f.probe, Key: f.key, Code: f.out.code, Payload: payload})
+				*f.msink = append(*f.msink, Match{Probe: f.probe, Key: f.key, Code: f.out.code, Payload: payload}) //isi:allow-alloc(streams into the batch's per-shard match buffer, whose growth amortizes across batches)
 			}
 		}
 		if !done {
@@ -209,9 +212,12 @@ func (x *nativeJoinIndex) rebuild(vals []uint64, codes []uint32) *nativeJoinInde
 // Futures pre-marked dropped are skipped through the scheduler's
 // nil-start contract: they never occupy a slot and are never probed.
 // Returns the batch cost in nanoseconds for the controller.
+//
+//isi:hotpath
 func (x *nativeJoinIndex) drainBatch(dv deltaView, sub []*Future, group int) float64 {
 	t0 := time.Now()
 	x.d.DrainSlots(len(sub), group,
+		//isi:allow-alloc(two closures per batch over the batch's columns; O(1) per batch, not per key)
 		func(slot, i int) coro.Handle[joinOut] {
 			f := sub[i]
 			if f.dropped {
@@ -221,6 +227,7 @@ func (x *nativeJoinIndex) drainBatch(dv deltaView, sub []*Future, group int) flo
 			fr.init(x, dv, f.op.Key, f.op.Kind == OpJoin, nil, i)
 			return h
 		},
+		//isi:allow-alloc(see the start closure above)
 		func(i int, r joinOut) {
 			f := sub[i]
 			f.res = Result{Code: r.code, Found: r.found}
@@ -236,6 +243,8 @@ func (x *nativeJoinIndex) drainBatch(dv deltaView, sub []*Future, group int) flo
 // caller-visible slices; join segments additionally stream every
 // build-tuple match into the batch's per-shard match buffer. Returns the
 // segment cost in nanoseconds.
+//
+//isi:hotpath
 func (x *nativeJoinIndex) drainSegment(dv deltaView, bf *BatchFuture, shardID, lo, hi, group int) float64 {
 	t0 := time.Now()
 	join := bf.kind == OpJoin
@@ -245,11 +254,13 @@ func (x *nativeJoinIndex) drainSegment(dv deltaView, bf *BatchFuture, shardID, l
 	}
 	keys := bf.keys[lo:hi]
 	x.d.DrainSlots(len(keys), group,
+		//isi:allow-alloc(two closures per batch over the batch's columns; O(1) per batch, not per key)
 		func(slot, i int) coro.Handle[joinOut] {
 			fr, h := x.pool.Slot(slot)
 			fr.init(x, dv, keys[i], join, msink, lo+i)
 			return h
 		},
+		//isi:allow-alloc(see the start closure above)
 		func(i int, r joinOut) {
 			bf.res[lo+i] = Result{Code: r.code, Found: r.found}
 			if join {

@@ -215,6 +215,8 @@ func lowerBound(part []writeEntry, lo uint64) int {
 // range with Limit L is L + countInRange. Invisible entries (atomic
 // batches past the view's cut) are counted too: the bound only needs to
 // be an over-estimate, and counting blind keeps the loop branch-free.
+//
+//isi:hotpath
 func (dv deltaView) countInRange(lo, hi uint64) int {
 	n := 0
 	for _, part := range dv.parts {
@@ -233,9 +235,11 @@ func (dv deltaView) countInRange(lo, hi uint64) int {
 // or post-snapshot atomic batches) are skipped as if absent. snap must
 // be sorted and already within [lo, hi] (the kernel guarantees both).
 // Entries are appended to out (normally nil) and returned.
+//
+//isi:hotpath
 func mergeRange(dv deltaView, snap []native.Pair, lo, hi uint64, limit int, out []RangeEntry) []RangeEntry {
 	parts := dv.parts
-	pos := make([]int, len(parts))
+	pos := make([]int, len(parts)) //isi:allow-alloc(per-range merge cursors: O(parts) ints, dwarfed by the scan they steer)
 	for p, part := range parts {
 		pos[p] = lowerBound(part, lo)
 	}
@@ -268,12 +272,12 @@ func mergeRange(dv deltaView, snap []native.Pair, lo, hi uint64, limit int, out 
 		}
 		if si < len(snap) && snap[si].Key == bestKey {
 			if !fromDelta {
-				out = append(out, RangeEntry{Key: snap[si].Key, Code: snap[si].Code})
+				out = append(out, RangeEntry{Key: snap[si].Key, Code: snap[si].Code}) //isi:allow-alloc(merged entries are the batch's caller-owned output)
 			}
 			si++
 		}
 		if fromDelta && !e.del {
-			out = append(out, RangeEntry{Key: e.key, Code: e.val})
+			out = append(out, RangeEntry{Key: e.key, Code: e.val}) //isi:allow-alloc(caller-owned output, as above)
 		}
 	}
 	return out

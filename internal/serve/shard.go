@@ -109,13 +109,17 @@ type shardIndex interface {
 // run drains point sub-batches, vectorized segments, and range batches
 // until the queue closes, installing any completed rebuild between
 // messages.
+//
+//isi:hotpath
 func (sh *shard) run(wg *sync.WaitGroup) {
 	defer wg.Done()
 	if sh.baseCtx != nil {
 		pprof.SetGoroutineLabels(sh.baseCtx)
+		//isi:allow-ctx(pprof label reset to the empty root at goroutine exit, not a request context)
 		defer pprof.SetGoroutineLabels(context.Background())
 	}
 	for msg := range sh.in {
+		//isi:allow-alloc(epoch install is the rebuild pause: index construction and epoch bookkeeping run between batches, off the per-op path)
 		sh.installPending()
 		switch {
 		case msg.rf != nil:
@@ -141,6 +145,8 @@ func (sh *shard) run(wg *sync.WaitGroup) {
 // acknowledgement result. seq is 0 for a plain (immediately visible)
 // write, or the atomic batch tag the entry becomes visible at. Shard
 // goroutine only.
+//
+//isi:hotpath
 func (sh *shard) applyOp(op Op, seq uint64) Result {
 	switch op.Kind {
 	case OpInsert:
@@ -163,6 +169,8 @@ func (sh *shard) applyOp(op Op, seq uint64) Result {
 // maximal runs of reads drain interleaved through the kernels, and each
 // write applies to the delta at its position between runs, so a lookup
 // submitted after an insert in the same sub-batch observes it.
+//
+//isi:hotpath
 func (sh *shard) drainPoint(sub []*Future, id uint64) {
 	sh.ring.Record(obs.SpanDrainStart, sh.id, id, len(sub), 0)
 	var dropped uint64
@@ -248,6 +256,8 @@ func (sh *shard) drainPoint(sub []*Future, id uint64) {
 // read after it must probe the post-install pair or it would miss the
 // writes the merge just retired from the delta. It returns the run's
 // kernel cost and counts the live reads into n.
+//
+//isi:hotpath
 func (sh *shard) drainReadRun(run []*Future, g int, n *int) float64 {
 	at := run[0].snapSeq // uniform per sealed admission batch
 	if at == latestSeq {
@@ -273,15 +283,15 @@ func (sh *shard) drainReadRun(run []*Future, g int, n *int) float64 {
 	}
 	*n += live
 	if cap(sh.keys) < live {
-		sh.keys = make([]uint64, live)
-		sh.out = make([]Result, live)
-		sh.live = make([]*Future, live)
+		sh.keys = make([]uint64, live)  //isi:allow-alloc(cap-guarded growth of the shard's drain scratch to a new max run size)
+		sh.out = make([]Result, live)   //isi:allow-alloc(grows with keys above)
+		sh.live = make([]*Future, live) //isi:allow-alloc(grows with keys above)
 	}
 	keys, out, lf := sh.keys[:0], sh.out[:live], sh.live[:0]
 	for _, f := range run {
 		if !f.dropped {
-			keys = append(keys, f.op.Key)
-			lf = append(lf, f)
+			keys = append(keys, f.op.Key) //isi:allow-alloc(appends stay within the cap-guarded scratch sized above)
+			lf = append(lf, f)            //isi:allow-alloc(within scratch cap, as above)
 		}
 	}
 	cost := ep.idx.lookupBatch(dv, keys, g, out)
@@ -302,6 +312,8 @@ func (sh *shard) drainReadRun(run []*Future, g int, n *int) float64 {
 // path: their context was checked at admission, and dropping one shard's
 // segment after admission would tear the batch and wedge the commit
 // queue behind its never-arriving seq.
+//
+//isi:hotpath
 func (sh *shard) drainSegment(bf *BatchFuture, lo, hi int, id uint64) {
 	n := hi - lo
 	sh.ring.Record(obs.SpanDrainStart, sh.id, id, n, 0)
@@ -370,6 +382,8 @@ func (sh *shard) drainSegment(bf *BatchFuture, lo, hi int, id uint64) {
 // per-range entries park on the future for the caller's k-way merge. A
 // batch whose context is already cancelled is dropped whole, like a
 // vectorized segment.
+//
+//isi:hotpath
 func (sh *shard) drainRange(rf *RangeFuture, id uint64) {
 	nops := len(rf.ops)
 	sh.ring.Record(obs.SpanDrainStart, sh.id, id, nops, 0)
@@ -389,10 +403,10 @@ func (sh *shard) drainRange(rf *RangeFuture, id uint64) {
 		// Grow with carry-over: the old headers hold the per-range pair
 		// buffers earlier batches already grew, which is the whole point
 		// of the scratch.
-		grown := make([][]native.Pair, nops)
+		grown := make([][]native.Pair, nops) //isi:allow-alloc(cap-guarded growth of the range-scratch headers to a new max fan-out)
 		copy(grown, sh.rangePairs)
 		sh.rangePairs = grown
-		sh.rangeLimits = make([]int, nops)
+		sh.rangeLimits = make([]int, nops) //isi:allow-alloc(grows with the headers above)
 	}
 	pairs, limits := sh.rangePairs[:nops], sh.rangeLimits[:nops]
 	for r, op := range rf.ops {
@@ -417,7 +431,7 @@ func (sh *shard) drainRange(rf *RangeFuture, id uint64) {
 	// scans, exactly like the write-apply time recordBatch now excludes.
 	busy := time.Since(t0)
 	sh.ring.Record(obs.SpanKernelDone, sh.id, id, nops, int64(busy))
-	res := make([][]RangeEntry, nops)
+	res := make([][]RangeEntry, nops) //isi:allow-alloc(merged results are handed to the caller on the future; O(ranges) per batch, not per entry)
 	var entries uint64
 	for r, op := range rf.ops {
 		res[r] = mergeRange(dv, pairs[r], op.Key, op.Hi, op.Limit, nil)
@@ -451,9 +465,12 @@ func newRangeScanner(cfg Config) *rangeScanner {
 
 // scan fills pairs[i] with up to limits[i] snapshot entries of ops[i]'s
 // range, seeks interleaved at group; returns wall nanoseconds.
+//
+//isi:hotpath
 func (rs *rangeScanner) scan(table []uint64, codes []uint32, ops []Op, limits []int, group int, pairs [][]native.Pair) float64 {
 	t0 := time.Now()
 	rs.d.DrainSlots(len(ops), group,
+		//isi:allow-alloc(two closures per batch over the batch's columns; O(1) per batch, not per range)
 		func(slot, i int) coro.Handle[int] {
 			op := ops[i]
 			if len(table) == 0 || op.Key > op.Hi {
@@ -463,6 +480,7 @@ func (rs *rangeScanner) scan(table []uint64, codes []uint32, ops []Op, limits []
 			*c = native.StartRangeScan(table, codes, op.Key, op.Hi, limits[i], &pairs[i])
 			return h
 		},
+		//isi:allow-alloc(see the start closure above)
 		func(int, int) {})
 	return float64(time.Since(t0))
 }
@@ -518,6 +536,7 @@ type nativeIndex struct {
 	rs    *rangeScanner
 }
 
+//isi:hotpath
 func (x *nativeIndex) lookupBatch(dv deltaView, keys []uint64, group int, out []Result) float64 {
 	t0 := time.Now()
 	if len(x.table) == 0 && dv.empty() {
@@ -527,6 +546,7 @@ func (x *nativeIndex) lookupBatch(dv deltaView, keys []uint64, group int, out []
 		return float64(time.Since(t0))
 	}
 	x.d.DrainSlots(len(keys), group,
+		//isi:allow-alloc(two closures per batch over the batch's columns; O(1) per batch, not per key)
 		func(slot, i int) coro.Handle[int] {
 			if !dv.empty() {
 				if v, oc := dv.lookup(keys[i]); oc != deltaMiss {
@@ -546,6 +566,7 @@ func (x *nativeIndex) lookupBatch(dv deltaView, keys []uint64, group int, out []
 			*c = native.StartSearch(x.table, keys[i])
 			return h
 		},
+		//isi:allow-alloc(see the start closure above)
 		func(i, low int) {
 			if x.table[low] == keys[i] {
 				out[i] = Result{Code: x.codes[low], Found: true}
@@ -556,6 +577,7 @@ func (x *nativeIndex) lookupBatch(dv deltaView, keys []uint64, group int, out []
 	return float64(time.Since(t0))
 }
 
+//isi:hotpath
 func (x *nativeIndex) scanRanges(ops []Op, limits []int, group int, pairs [][]native.Pair) float64 {
 	return x.rs.scan(x.table, x.codes, ops, limits, group, pairs)
 }

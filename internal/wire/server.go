@@ -295,11 +295,17 @@ func (c *conn) send(t MsgType, payload []byte) {
 	c.out <- frame{t: t, p: payload}
 }
 
+// writeLoop drains queued response frames to the socket: one buffered
+// write per frame, one flush per burst. Per-frame work is allocation-
+// free; the buffer and closure below are per-connection setup.
+//
+//isi:hotpath
 func (c *conn) writeLoop() {
 	defer c.srv.wg.Done()
 	defer close(c.wdone)
-	w := newCountingWriter(c.nc)
+	w := newCountingWriter(c.nc) //isi:allow-alloc(one 64KB write buffer per connection, at writer start)
 	failed := false
+	//isi:allow-alloc(one closure per connection at writer start, not per frame)
 	write := func(f frame) {
 		if failed {
 			return
@@ -531,11 +537,15 @@ func (c *conn) shed(id uint64, reason uint8, n int) {
 func (c *conn) release(n int) { c.srv.inflight.Add(-int64(n)) }
 
 // spawn runs fn as a responder goroutine with a background context.
+// The wire protocol carries no caller context across the network — the
+// request header's deadline (spawnDeadline) is the only propagated
+// cancellation, so an undeadlined responder legitimately roots here.
 func (c *conn) spawn(n int, fn func(context.Context)) {
 	c.resp.Add(1)
 	go func() {
 		defer c.resp.Done()
 		defer c.release(n)
+		//isi:allow-ctx(responder root: the remote caller's context ends at the socket)
 		fn(context.Background())
 	}()
 }
@@ -551,6 +561,7 @@ func (c *conn) spawnDeadline(deadlineUS uint32, n int, fn func(context.Context))
 	go func() {
 		defer c.resp.Done()
 		defer c.release(n)
+		//isi:allow-ctx(responder root: the wire deadline header is the only context that crosses the socket)
 		ctx, cancel := context.WithTimeout(context.Background(), time.Duration(deadlineUS)*time.Microsecond)
 		defer cancel()
 		fn(ctx)
@@ -847,6 +858,7 @@ func newCountingWriter(w io.Writer) *countingWriter {
 	return &countingWriter{w: w, buf: make([]byte, 0, 64<<10)}
 }
 
+//isi:hotpath
 func (cw *countingWriter) Write(p []byte) (int, error) {
 	if len(cw.buf)+len(p) > cap(cw.buf) {
 		if err := cw.Flush(); err != nil {
@@ -858,10 +870,11 @@ func (cw *countingWriter) Write(p []byte) (int, error) {
 		cw.n += uint64(n)
 		return n, err
 	}
-	cw.buf = append(cw.buf, p...)
+	cw.buf = append(cw.buf, p...) //isi:allow-alloc(never grows: the flush guard above keeps len+p within the fixed cap)
 	return len(p), nil
 }
 
+//isi:hotpath
 func (cw *countingWriter) Flush() error {
 	if len(cw.buf) == 0 {
 		return nil
@@ -873,6 +886,8 @@ func (cw *countingWriter) Flush() error {
 }
 
 // take returns and resets the flushed-byte tally.
+//
+//isi:hotpath
 func (cw *countingWriter) take() uint64 {
 	n := cw.n
 	cw.n = 0
@@ -889,10 +904,11 @@ func newCountingReader(r io.Reader, c *obs.Counter) *countingReader {
 	return &countingReader{r: r, c: c}
 }
 
+//isi:hotpath
 func (cr *countingReader) Read(p []byte) (int, error) {
 	n, err := cr.r.Read(p)
 	if n > 0 {
-		cr.c.Add(uint64(n))
+		cr.c.Add(uint64(n)) //isi:allow-obs(always &Server.bytesIn — the address of a value field is never nil)
 	}
 	return n, err
 }

@@ -295,6 +295,8 @@ type Shed struct {
 // prefix and type tag.
 
 // WriteFrame writes one complete frame.
+//
+//isi:hotpath
 func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
 	var hdr [5]byte
 	binary.LittleEndian.PutUint32(hdr[:4], uint32(1+len(payload)))
