@@ -1,0 +1,22 @@
+package nativejoin
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestProbeLayout pins the chain-arena node at a quarter cache line
+// (the simulated layout internal/hashjoin models) and the probe cursor
+// at its packed size — the cursor is the per-slot state every
+// interleaved probe sweeps, so growth here taxes every group.
+func TestProbeLayout(t *testing.T) {
+	if s := unsafe.Sizeof(node{}); s != 16 {
+		t.Errorf("sizeof(node) = %d, want 16 (a quarter cache line, as the simulated build side)", s)
+	}
+	if s := unsafe.Sizeof(Cursor{}); s != 56 {
+		t.Errorf("sizeof(Cursor) = %d, want 56 — repack widest-first or update the pin", s)
+	}
+	if s := unsafe.Sizeof(Result{}); s != 16 {
+		t.Errorf("sizeof(Result) = %d, want 16", s)
+	}
+}

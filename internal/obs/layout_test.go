@@ -1,0 +1,20 @@
+package obs
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestSpanLayout pins the span ring element size: Record is one struct
+// copy into a pre-sized ring, so Span's footprint is the per-event cost
+// of enabled observation. 41 payload bytes pack to 48 under 8-byte
+// alignment in any order; the pin catches a field addition that tips
+// the ring element over the next alignment boundary unnoticed.
+func TestSpanLayout(t *testing.T) {
+	if s := unsafe.Sizeof(Span{}); s != 48 {
+		t.Errorf("sizeof(Span) = %d, want 48 — repack widest-first or update the pin", s)
+	}
+	if s := unsafe.Sizeof(Decision{}); s != 72 {
+		t.Errorf("sizeof(Decision) = %d, want 72 — repack widest-first or update the pin", s)
+	}
+}
